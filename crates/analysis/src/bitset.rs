@@ -1,0 +1,208 @@
+//! A compact fixed-capacity bit set used by the dataflow analyses.
+
+use std::fmt;
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+///
+/// ```
+/// use mpart_analysis::bitset::BitSet;
+///
+/// let mut live = BitSet::new(128);
+/// live.insert(3);
+/// live.insert(90);
+/// let mut other = BitSet::new(128);
+/// other.insert(90);
+/// live.intersect_with(&other);
+/// assert_eq!(live.iter().collect::<Vec<_>>(), vec![90]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Removes `i`; returns whether it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Intersects `self` with `other` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Removes all elements of `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * 64 + b))
+        })
+    }
+
+    /// Clears the set.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element plus one.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map(|m| m + 1).unwrap_or(0);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        b.insert(65);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(65));
+    }
+
+    #[test]
+    fn intersect_and_difference() {
+        let mut a: BitSet = [1, 2, 3].into_iter().collect();
+        let b: BitSet = [2, 3].into_iter().collect();
+        let mut a2 = a.clone();
+        // Capacities differ (4 vs 4) — both sized by max+1 = 4.
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 3]);
+        a2.difference_with(&b);
+        assert_eq!(a2.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn iter_ascending_across_words() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_beyond_capacity_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn contains_beyond_capacity_is_false() {
+        let s = BitSet::new(4);
+        assert!(!s.contains(100));
+    }
+}

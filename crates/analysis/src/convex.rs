@@ -1,0 +1,289 @@
+//! The `ConvexCut` algorithm (paper Figure 3): identifies Potential Split
+//! Edges.
+//!
+//! ```text
+//! Algorithm ConvexCut
+//! 1. MarkStopNodes(ug)
+//! 2. foreach Edge(out, in) in the ddg do
+//! 3.   foreach path p in ug that starts from in and ends at out do
+//! 4.     Mark each edge in p with infinite cost
+//! 5. PSESet = null
+//! 6. foreach TargetPath p do
+//! 7.   PSESet += MinCostEdgeSet(p)
+//! ```
+//!
+//! The infinite marking guarantees *convex* partitions: cutting an edge on
+//! a use→def control path would let data defined on the demodulator side
+//! flow back to a modulator-side use on a later loop iteration.
+
+use std::collections::{HashMap, HashSet};
+
+use mpart_ir::func::Function;
+use mpart_ir::instr::{Pc, Var};
+
+use crate::cost::{EdgeCostEstimator, EstimatorCx, StaticCost};
+use crate::ddg::Ddg;
+use crate::liveness::Liveness;
+use crate::paths::TargetPaths;
+use crate::ug::{Edge, UnitGraph};
+
+/// A Potential Split Edge with its statically-computed metadata.
+#[derive(Debug, Clone)]
+pub struct PseInfo {
+    /// The Unit Graph edge.
+    pub edge: Edge,
+    /// `INTER(edge)` — live variables a continuation must carry, sorted.
+    pub inter: Vec<Var>,
+    /// Static cost under the analysis' cost model (from the first target
+    /// path that selected this edge; runtime profiling refines it).
+    pub static_cost: StaticCost,
+}
+
+/// Output of the convex-cut analysis.
+#[derive(Debug, Clone)]
+pub struct ConvexCut {
+    /// The PSE set, sorted by edge.
+    pub pses: Vec<PseInfo>,
+    /// For each target path, the indices into `pses` of the candidate
+    /// split edges lying on that path.
+    pub path_pses: Vec<Vec<usize>>,
+    /// Edges priced at infinity by the convexity rule.
+    pub infinite_edges: HashSet<Edge>,
+}
+
+impl ConvexCut {
+    /// Runs the algorithm over precomputed analyses.
+    pub fn run(
+        func: &Function,
+        ug: &UnitGraph,
+        liveness: &Liveness,
+        ddg: &Ddg,
+        paths: &TargetPaths,
+        cx: &EstimatorCx<'_>,
+        estimator: &dyn EdgeCostEstimator,
+    ) -> Self {
+        // Step 2-4: price convexity-violating edges at infinity.
+        let mut infinite_edges: HashSet<Edge> = HashSet::new();
+        for dep in ddg.backward_candidates(ug) {
+            // Every UG edge on a path use -> def: from reachable from the
+            // use, and the def reachable from to.
+            let from_use = ug.reachable_from(dep.uses);
+            let to_def = ug.reaches(dep.def);
+            for e in ug.edges() {
+                if from_use.contains(e.from) && to_def.contains(e.to) {
+                    infinite_edges.insert(e);
+                }
+            }
+        }
+
+        // Steps 6-9: per-path minimal cost edge sets.
+        let mut pse_index: HashMap<Edge, usize> = HashMap::new();
+        let mut pses: Vec<PseInfo> = Vec::new();
+        let mut path_pses: Vec<Vec<usize>> = Vec::new();
+
+        for path in &paths.paths {
+            let edges = path_edges(ug.start(), path);
+            // Price each edge.
+            let priced: Vec<(Edge, Vec<Var>, StaticCost)> = edges
+                .iter()
+                .enumerate()
+                .map(|(idx, &e)| {
+                    let inter = liveness.inter(func, e);
+                    let cost = if infinite_edges.contains(&e) {
+                        StaticCost::Infinite
+                    } else {
+                        let c = estimator.edge_cost(cx, path, idx, e, &inter);
+                        canonicalize(c, cx)
+                    };
+                    (e, inter, cost)
+                })
+                .collect();
+            let min_set = min_cost_edge_set(&priced);
+            let mut on_path = Vec::new();
+            for idx in min_set {
+                let (e, inter, cost) = &priced[idx];
+                let pse_idx = *pse_index.entry(*e).or_insert_with(|| {
+                    pses.push(PseInfo {
+                        edge: *e,
+                        inter: inter.clone(),
+                        static_cost: cost.clone(),
+                    });
+                    pses.len() - 1
+                });
+                on_path.push(pse_idx);
+            }
+            path_pses.push(on_path);
+        }
+
+        ConvexCut { pses, path_pses, infinite_edges }
+    }
+}
+
+/// The candidate edges of a path: the synthetic entry edge followed by
+/// every consecutive pair.
+pub fn path_edges(start: Pc, path: &[Pc]) -> Vec<Edge> {
+    let mut out = Vec::with_capacity(path.len());
+    debug_assert_eq!(path.first().copied(), Some(start));
+    out.push(Edge::entry(start));
+    for w in path.windows(2) {
+        out.push(Edge::new(w[0], w[1]));
+    }
+    out
+}
+
+fn canonicalize(cost: StaticCost, cx: &EstimatorCx<'_>) -> StaticCost {
+    match cost {
+        StaticCost::LowerBounded { det, vars } => StaticCost::LowerBounded {
+            det,
+            vars: cx.aliases.canon_set(&vars),
+        },
+        other => other,
+    }
+}
+
+/// `MinCostEdgeSet(p)`: indices (into the priced edge list) of edges that
+/// are not determinably more expensive than any other edge on the path,
+/// with determinably-equal duplicates removed (keeping the earliest, as the
+/// paper "arbitrarily" removes one of an identical pair).
+fn min_cost_edge_set(priced: &[(Edge, Vec<Var>, StaticCost)]) -> Vec<usize> {
+    let mut keep: Vec<usize> = Vec::new();
+    'outer: for i in 0..priced.len() {
+        let ci = &priced[i].2;
+        if matches!(ci, StaticCost::Infinite) {
+            continue;
+        }
+        for (j, other) in priced.iter().enumerate() {
+            if i != j && ci.determinably_greater(&other.2) {
+                continue 'outer;
+            }
+        }
+        // Dedup determinably-equal edges (same INTER after aliasing, or
+        // equal costs): keep the earliest occurrence.
+        for &k in &keep {
+            if priced[k].2.determinably_equal(ci) {
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::InterCountEstimator;
+    use crate::points_to::AliasClasses;
+    use crate::reaching::ReachingDefs;
+    use crate::stop::StopNodes;
+    use crate::varkinds::VarKinds;
+    use mpart_ir::parse::parse_program;
+
+    fn run(src: &str) -> (mpart_ir::Program, ConvexCut) {
+        let p = parse_program(src).unwrap();
+        let f = p.function("f").unwrap();
+        let ug = UnitGraph::build(f);
+        let stops = StopNodes::mark(f);
+        let live = Liveness::compute(f, &ug);
+        let rd = ReachingDefs::compute(f, &ug);
+        let ddg = Ddg::build(f, &ug, &rd);
+        let paths = crate::paths::target_paths(&ug, &stops, Default::default());
+        let kinds = VarKinds::compute(f);
+        let aliases = AliasClasses::compute(f);
+        let cx = EstimatorCx { func: f, kinds: &kinds, aliases: &aliases };
+        let cut = ConvexCut::run(f, &ug, &live, &ddg, &paths, &cx, &InterCountEstimator);
+        (p, cut)
+    }
+
+    #[test]
+    fn every_path_gets_at_least_one_pse() {
+        let src = r#"
+            class ImageData { width: int, buff: ref }
+            fn f(event) {
+                z0 = event instanceof ImageData
+                if z0 == 0 goto skip
+                r2 = (ImageData) event
+                r4 = call resize(r2, 100, 100)
+                native display_image(r4)
+                return
+            skip:
+                return
+            }
+        "#;
+        let (_, cut) = run(src);
+        for (i, on_path) in cut.path_pses.iter().enumerate() {
+            assert!(!on_path.is_empty(), "path {i} has no PSE");
+        }
+        assert!(!cut.pses.is_empty());
+    }
+
+    #[test]
+    fn loop_interior_edges_are_infinite() {
+        let src = r#"
+            fn f(n) {
+                i = 0
+            head:
+                if i >= n goto done
+                i = i + 1
+                goto head
+            done:
+                return i
+            }
+        "#;
+        let (_, cut) = run(src);
+        // The loop body edges (1->2), (2->3), (3->1) carry the loop-carried
+        // dependency i@2 -> i@1 and must be infinite.
+        assert!(cut.infinite_edges.contains(&Edge::new(1, 2)));
+        assert!(cut.infinite_edges.contains(&Edge::new(2, 3)));
+        assert!(cut.infinite_edges.contains(&Edge::new(3, 1)));
+        // No selected PSE may be an infinite edge.
+        for pse in &cut.pses {
+            assert!(!cut.infinite_edges.contains(&pse.edge), "{:?}", pse.edge);
+        }
+        // The entry edge remains a valid cut for the loop path.
+        assert!(cut.pses.iter().any(|p| p.edge.is_entry()));
+    }
+
+    #[test]
+    fn min_set_excludes_dominated_edges() {
+        // a dies immediately; the edge after its last use carries fewer
+        // variables and must win under the inter-count estimator.
+        let src = r#"
+            fn f(x, y) {
+                a = x + y
+                b = a * 2
+                return b
+            }
+        "#;
+        let (_, cut) = run(src);
+        // Path edges: entry{x,y}=2, (0,1){a}=1, (1,2){b}=1.
+        // entry is dominated; (0,1) kept; (1,2) has equal cost but distinct
+        // vars under InterCountEstimator (Known(1) == Known(1)) -> deduped.
+        assert_eq!(cut.pses.len(), 1);
+        assert_eq!(cut.pses[0].edge, Edge::new(0, 1));
+    }
+
+    #[test]
+    fn entry_edge_survives_for_trivial_handler() {
+        let src = "fn f(x) {\n  native consume(x)\n  return\n}\n";
+        let (_, cut) = run(src);
+        // Path: [0]; edges: entry only (native node is terminal).
+        assert_eq!(cut.pses.len(), 1);
+        assert!(cut.pses[0].edge.is_entry());
+    }
+
+    #[test]
+    fn inter_sets_recorded_sorted() {
+        let src = "fn f(x, y) {\n  a = x + y\n  b = a + x\n  return b\n}\n";
+        let (p, cut) = run(src);
+        let f = p.function("f").unwrap();
+        for pse in &cut.pses {
+            let mut sorted = pse.inter.clone();
+            sorted.sort();
+            assert_eq!(sorted, pse.inter);
+            for v in &pse.inter {
+                assert!(v.index() < f.locals);
+            }
+        }
+    }
+}

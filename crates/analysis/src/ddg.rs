@@ -1,0 +1,172 @@
+//! The Data Dependency Graph (DDG): def→use edges derived from reaching
+//! definitions.
+//!
+//! Each node of the DDG corresponds to a Unit Graph node (the paper: "each
+//! node ... has a corresponding node in the DDG, and vice versa"). An edge
+//! `(out, in)` means the value defined at `out` is consumed at `in`.
+
+use mpart_ir::func::Function;
+use mpart_ir::instr::Pc;
+
+use crate::reaching::ReachingDefs;
+use crate::ug::UnitGraph;
+
+/// A def→use dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DepEdge {
+    /// Defining node.
+    pub def: Pc,
+    /// Using node.
+    pub uses: Pc,
+}
+
+/// The Data Dependency Graph of a handler.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    edges: Vec<DepEdge>,
+    /// Nodes whose own definition reaches their own use (`c = c + 1`
+    /// inside a loop): not proper def→use edges, but loop-carried
+    /// dependencies the convexity pricing must still honour.
+    self_deps: Vec<Pc>,
+}
+
+impl Ddg {
+    /// Builds the DDG from reaching definitions: for every use of `v` at
+    /// node `u`, add an edge from every reaching definition of `v`.
+    pub fn build(func: &Function, ug: &UnitGraph, rd: &ReachingDefs) -> Self {
+        let mut edges = Vec::new();
+        let mut self_deps = Vec::new();
+        for (pc, instr) in func.instrs.iter().enumerate() {
+            let _ = ug;
+            for v in instr.uses() {
+                for def in rd.reaching(pc, v) {
+                    if def != pc {
+                        edges.push(DepEdge { def, uses: pc });
+                    } else {
+                        self_deps.push(pc);
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        self_deps.sort_unstable();
+        self_deps.dedup();
+        Ddg { edges, self_deps }
+    }
+
+    /// All dependency edges, sorted (self-dependencies excluded; see
+    /// [`backward_candidates`](Self::backward_candidates)).
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Edges whose *use* appears strictly before their *def* in some Unit
+    /// Graph path — i.e. candidate loop-carried dependencies. These are the
+    /// `Edge(out, in)` pairs of the paper's `ConvexCut` for which every UG
+    /// path `in → out` must be priced at infinity. Self-dependencies of
+    /// nodes that sit on a cycle are included: an accumulator whose only
+    /// carried variable is itself (`c = c + 1` re-reached via the loop)
+    /// still forbids cutting inside that loop.
+    pub fn backward_candidates<'a>(
+        &'a self,
+        ug: &'a UnitGraph,
+    ) -> impl Iterator<Item = DepEdge> + 'a {
+        let carried = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| ug.reachable_from(e.uses).contains(e.def));
+        let cyclic_self = self.self_deps.iter().copied().filter_map(move |pc| {
+            let on_cycle = ug
+                .succs(pc)
+                .iter()
+                .any(|&s| ug.reachable_from(s).contains(pc));
+            on_cycle.then_some(DepEdge { def: pc, uses: pc })
+        });
+        carried.chain(cyclic_self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    fn build(src: &str) -> (mpart_ir::Program, UnitGraph, Ddg) {
+        let p = parse_program(src).unwrap();
+        let f = p.function("f").unwrap();
+        let ug = UnitGraph::build(f);
+        let rd = ReachingDefs::compute(f, &ug);
+        let ddg = Ddg::build(f, &ug, &rd);
+        (p, ug, ddg)
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let (_, _, ddg) = build("fn f(x) {\n  a = x + 1\n  b = a * 2\n  return b\n}\n");
+        assert!(ddg.edges().contains(&DepEdge { def: 0, uses: 1 }));
+        assert!(ddg.edges().contains(&DepEdge { def: 1, uses: 2 }));
+        assert!(!ddg.edges().contains(&DepEdge { def: 0, uses: 2 }));
+    }
+
+    #[test]
+    fn acyclic_code_has_no_backward_candidates() {
+        let (_, ug, ddg) =
+            build("fn f(x) {\n  a = x + 1\n  b = a * 2\n  return b\n}\n");
+        assert_eq!(ddg.backward_candidates(&ug).count(), 0);
+    }
+
+    #[test]
+    fn loop_carried_dependency_detected() {
+        let src = r#"
+            fn f(n) {
+                i = 0
+            head:
+                if i >= n goto done
+                i = i + 1
+                goto head
+            done:
+                return i
+            }
+        "#;
+        let (_, ug, ddg) = build(src);
+        // `i = i + 1` (node 2) defines i, which is used at the loop head
+        // test (node 1) on the next iteration: use-before-def in path order.
+        let backs: Vec<_> = ddg.backward_candidates(&ug).collect();
+        assert!(
+            backs.iter().any(|e| e.def == 2 && e.uses == 1),
+            "loop-carried def(2)->use(1) should be backward: {backs:?}"
+        );
+    }
+
+    #[test]
+    fn self_dependency_excluded_from_edges() {
+        let (_, ug, ddg) = build("fn f(x) {\n  x = x + 1\n  return x\n}\n");
+        assert!(!ddg.edges().iter().any(|e| e.def == e.uses));
+        // Straight-line self-assignments are not loop-carried either.
+        assert_eq!(ddg.backward_candidates(&ug).count(), 0);
+    }
+
+    #[test]
+    fn cyclic_self_dependency_is_a_backward_candidate() {
+        // The accumulator `c` is the ONLY loop-carried variable whose
+        // dependency is a self-dependency at node 1; the loop condition
+        // depends on an external input read each iteration.
+        let src = r#"
+            fn f(input) {
+            head:
+                c = c + 1
+                more = input > c
+                if more != 0 goto head
+                return c
+            }
+        "#;
+        let (_, ug, ddg) = build(src);
+        let backs: Vec<_> = ddg.backward_candidates(&ug).collect();
+        assert!(
+            backs.iter().any(|e| e.def == e.uses),
+            "cyclic self-dependency reported: {backs:?}"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! # mpart-analysis — static analysis for Method Partitioning
+//!
+//! Implements the static half of the paper: given a message-handling
+//! method in [`mpart_ir`] form and a cost model's
+//! [`cost::EdgeCostEstimator`], produce the set of
+//! *Potential Split Edges* (PSEs) at which the handler may be split into a
+//! modulator (sender-side) and demodulator (receiver-side) pair.
+//!
+//! The pipeline (all exposed individually for testing and tooling):
+//!
+//! 1. [`ug::UnitGraph`] — per-instruction CFG;
+//! 2. [`stop::StopNodes`] — returns, native calls, global accesses;
+//! 3. [`liveness::Liveness`] — IN/OUT sets and `INTER(e)`;
+//! 4. [`reaching::ReachingDefs`] → [`ddg::Ddg`] — data dependencies;
+//! 5. [`points_to::AliasClasses`] — unification-based points-to;
+//! 6. [`varkinds::VarKinds`] — size determinability;
+//! 7. [`paths::target_paths`] — TargetPath enumeration;
+//! 8. [`convex::ConvexCut`] — infinite pricing of convexity-violating
+//!    edges and `MinCostEdgeSet` per path.
+//!
+//! [`analyze`] runs the whole pipeline and returns a [`HandlerAnalysis`].
+
+pub mod bitset;
+pub mod convex;
+pub mod cost;
+pub mod ddg;
+pub mod liveness;
+pub mod paths;
+pub mod points_to;
+pub mod reaching;
+pub mod stop;
+pub mod ug;
+pub mod union_find;
+pub mod varkinds;
+
+use mpart_ir::{IrError, Program};
+
+pub use convex::{ConvexCut, PseInfo};
+pub use cost::{EdgeCostEstimator, EstimatorCx, StaticCost};
+pub use ug::{Edge, ENTRY};
+
+/// Complete static-analysis results for one handler under one cost model.
+#[derive(Debug, Clone)]
+pub struct HandlerAnalysis {
+    /// Name of the analyzed handler function.
+    pub func_name: String,
+    /// The Unit Graph.
+    pub ug: ug::UnitGraph,
+    /// Live-variable sets.
+    pub liveness: liveness::Liveness,
+    /// Data Dependency Graph.
+    pub ddg: ddg::Ddg,
+    /// Stop nodes.
+    pub stops: stop::StopNodes,
+    /// Alias classes.
+    pub aliases: points_to::AliasClasses,
+    /// Variable size classification.
+    pub kinds: varkinds::VarKinds,
+    /// Enumerated target paths.
+    pub paths: paths::TargetPaths,
+    /// The convex-cut result: PSEs and per-path candidates.
+    pub cut: ConvexCut,
+}
+
+impl HandlerAnalysis {
+    /// The PSE list (sorted by discovery order; stable across runs).
+    pub fn pses(&self) -> &[PseInfo] {
+        &self.cut.pses
+    }
+
+    /// Index of the PSE covering `edge`, if any.
+    pub fn pse_for_edge(&self, edge: Edge) -> Option<usize> {
+        self.cut.pses.iter().position(|p| p.edge == edge)
+    }
+}
+
+/// Runs the full static-analysis pipeline on `func_name` within `program`.
+///
+/// # Errors
+///
+/// Returns [`IrError::Unresolved`] if the function does not exist and
+/// [`IrError::Invalid`] if it is degenerate (no instructions).
+pub fn analyze(
+    program: &Program,
+    func_name: &str,
+    estimator: &dyn EdgeCostEstimator,
+    limits: paths::EnumLimits,
+) -> Result<HandlerAnalysis, IrError> {
+    let func = program.function_or_err(func_name)?;
+    if func.instrs.is_empty() {
+        return Err(IrError::Invalid(format!("function `{func_name}` is empty")));
+    }
+    let ug = ug::UnitGraph::build(func);
+    let stops = stop::StopNodes::mark_with_program(program, func);
+    let live = liveness::Liveness::compute(func, &ug);
+    let rd = reaching::ReachingDefs::compute(func, &ug);
+    let ddg = ddg::Ddg::build(func, &ug, &rd);
+    let paths = paths::target_paths(&ug, &stops, limits);
+    let kinds = varkinds::VarKinds::compute(func);
+    let aliases = points_to::AliasClasses::compute(func);
+    let cx = EstimatorCx { func, kinds: &kinds, aliases: &aliases };
+    let cut = ConvexCut::run(func, &ug, &live, &ddg, &paths, &cx, estimator);
+    Ok(HandlerAnalysis {
+        func_name: func_name.to_string(),
+        ug,
+        liveness: live,
+        ddg,
+        stops,
+        aliases,
+        kinds,
+        paths,
+        cut,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cost::InterCountEstimator;
+    use mpart_ir::parse::parse_program;
+
+    #[test]
+    fn analyze_push_example_end_to_end() {
+        let src = r#"
+            class ImageData { width: int, buff: ref }
+            fn push(event) {
+                z0 = event instanceof ImageData
+                if z0 == 0 goto skip
+                r2 = (ImageData) event
+                r4 = call resize(r2, 100, 100)
+                native display_image(r4)
+                return
+            skip:
+                return
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let ha = analyze(&program, "push", &InterCountEstimator, Default::default()).unwrap();
+        assert_eq!(ha.func_name, "push");
+        assert_eq!(ha.paths.paths.len(), 2);
+        assert!(!ha.pses().is_empty());
+        // Every target path must have at least one candidate split edge.
+        for on_path in &ha.cut.path_pses {
+            assert!(!on_path.is_empty());
+        }
+    }
+
+    #[test]
+    fn analyze_missing_function_errors() {
+        let program = parse_program("fn f() {\n  return\n}\n").unwrap();
+        assert!(analyze(&program, "nope", &InterCountEstimator, Default::default()).is_err());
+    }
+
+    #[test]
+    fn pse_for_edge_lookup() {
+        let program = parse_program("fn f(x) {\n  a = x + 1\n  return a\n}\n").unwrap();
+        let ha = analyze(&program, "f", &InterCountEstimator, Default::default()).unwrap();
+        let pse0 = &ha.pses()[0];
+        assert_eq!(ha.pse_for_edge(pse0.edge), Some(0));
+        assert_eq!(ha.pse_for_edge(Edge::new(97, 98)), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! Live-variable analysis (backward may dataflow) on the Unit Graph.
+//!
+//! The paper's remote continuation packs, at a split edge `e = (out, in)`,
+//! the variables in `INTER(e) = OUT(out) ∩ IN(in)` — "the intersection of
+//! the OUT set of the out node of the edge with the IN set of the in node"
+//! (§2.4). This module computes those sets.
+
+use mpart_ir::func::Function;
+use mpart_ir::instr::{Pc, Var};
+
+use crate::bitset::BitSet;
+use crate::ug::{Edge, UnitGraph};
+
+/// Per-node IN/OUT live-variable sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    ins: Vec<BitSet>,
+    outs: Vec<BitSet>,
+    nvars: usize,
+}
+
+impl Liveness {
+    /// Runs the classic backward fixpoint:
+    /// `IN[n] = use[n] ∪ (OUT[n] ∖ def[n])`, `OUT[n] = ⋃ IN[succ]`.
+    pub fn compute(func: &Function, ug: &UnitGraph) -> Self {
+        let n = ug.len();
+        let nvars = func.locals;
+        let mut uses = vec![BitSet::new(nvars); n];
+        let mut defs = vec![BitSet::new(nvars); n];
+        for (pc, instr) in func.instrs.iter().enumerate() {
+            for v in instr.uses() {
+                uses[pc].insert(v.index());
+            }
+            if let Some(v) = instr.def() {
+                defs[pc].insert(v.index());
+            }
+        }
+        let mut ins = vec![BitSet::new(nvars); n];
+        let mut outs = vec![BitSet::new(nvars); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pc in (0..n).rev() {
+                let mut out = BitSet::new(nvars);
+                for &s in ug.succs(pc) {
+                    out.union_with(&ins[s]);
+                }
+                if out != outs[pc] {
+                    outs[pc] = out.clone();
+                    changed = true;
+                }
+                let mut inn = out;
+                inn.difference_with(&defs[pc]);
+                inn.union_with(&uses[pc]);
+                if inn != ins[pc] {
+                    ins[pc] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { ins, outs, nvars }
+    }
+
+    /// Variables live on entry to `pc`.
+    pub fn live_in(&self, pc: Pc) -> &BitSet {
+        &self.ins[pc]
+    }
+
+    /// Variables live on exit from `pc`.
+    pub fn live_out(&self, pc: Pc) -> &BitSet {
+        &self.outs[pc]
+    }
+
+    /// `INTER(e) = OUT(from) ∩ IN(to)` — the live variables a continuation
+    /// message must carry across edge `e`.
+    ///
+    /// For the synthetic entry edge, `OUT(entry)` is taken to be the
+    /// parameter set, so `INTER` is the live-in parameters of the start
+    /// node (i.e. the original message contents).
+    pub fn inter(&self, func: &Function, edge: Edge) -> Vec<Var> {
+        let mut set = self.ins[edge.to].clone();
+        if edge.is_entry() {
+            let mut params = BitSet::new(self.nvars);
+            for i in 0..func.params {
+                params.insert(i);
+            }
+            set.intersect_with(&params);
+        } else {
+            set.intersect_with(&self.outs[edge.from]);
+        }
+        set.iter().map(|i| Var(i as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    fn setup(src: &str, name: &str) -> (mpart_ir::Program, UnitGraph) {
+        let p = parse_program(src).unwrap();
+        let ug = UnitGraph::build(p.function(name).unwrap());
+        (p, ug)
+    }
+
+    #[test]
+    fn dead_after_last_use() {
+        let src = r#"
+            fn f(x) {
+                a = x + 1
+                b = a * 2
+                c = b + 3
+                return c
+            }
+        "#;
+        let (p, ug) = setup(src, "f");
+        let f = p.function("f").unwrap();
+        let live = Liveness::compute(f, &ug);
+        let a = f.var_by_name("a").unwrap();
+        let x = f.var_by_name("x").unwrap();
+        // x dies after instruction 0; a dies after instruction 1.
+        assert!(live.live_in(0).contains(x.index()));
+        assert!(!live.live_out(0).contains(x.index()));
+        assert!(live.live_out(0).contains(a.index()));
+        assert!(!live.live_out(1).contains(a.index()));
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        let src = r#"
+            fn f(n) {
+                i = 0
+                acc = 0
+            head:
+                if i >= n goto done
+                acc = acc + i
+                i = i + 1
+                goto head
+            done:
+                return acc
+            }
+        "#;
+        let (p, ug) = setup(src, "f");
+        let f = p.function("f").unwrap();
+        let live = Liveness::compute(f, &ug);
+        let acc = f.var_by_name("acc").unwrap();
+        let n = f.var_by_name("n").unwrap();
+        // acc and n live throughout the loop body.
+        for pc in 2..=5 {
+            assert!(live.live_in(pc).contains(acc.index()), "acc live at {pc}");
+            assert!(live.live_in(pc).contains(n.index()) || pc == 5, "n live at {pc}");
+        }
+    }
+
+    #[test]
+    fn inter_of_entry_edge_is_live_params() {
+        let src = r#"
+            fn f(used, unused) {
+                a = used + 1
+                return a
+            }
+        "#;
+        let (p, ug) = setup(src, "f");
+        let f = p.function("f").unwrap();
+        let live = Liveness::compute(f, &ug);
+        let inter = live.inter(f, Edge::entry(ug.start()));
+        assert_eq!(inter, vec![f.var_by_name("used").unwrap()]);
+    }
+
+    #[test]
+    fn inter_shrinks_along_straight_line() {
+        let src = r#"
+            fn f(x, y) {
+                a = x + y
+                b = a * 2
+                return b
+            }
+        "#;
+        let (p, ug) = setup(src, "f");
+        let f = p.function("f").unwrap();
+        let live = Liveness::compute(f, &ug);
+        let i0 = live.inter(f, Edge::new(0, 1));
+        let i1 = live.inter(f, Edge::new(1, 2));
+        // After 0, only `a` crosses; after 1, only `b` crosses.
+        assert_eq!(i0, vec![f.var_by_name("a").unwrap()]);
+        assert_eq!(i1, vec![f.var_by_name("b").unwrap()]);
+    }
+
+    #[test]
+    fn branch_merges_union_liveness() {
+        let src = r#"
+            fn f(x, p) {
+                if p == 0 goto other
+                y = x + 1
+                goto done
+            other:
+                y = x - 1
+            done:
+                return y
+            }
+        "#;
+        let (p, ug) = setup(src, "f");
+        let f = p.function("f").unwrap();
+        let live = Liveness::compute(f, &ug);
+        let x = f.var_by_name("x").unwrap();
+        // x is live out of the branch because both arms use it.
+        assert!(live.live_out(0).contains(x.index()));
+    }
+}

@@ -1,0 +1,208 @@
+//! TargetPath enumeration.
+//!
+//! "A TargetPath is a path in a UG that starts from StartNode, and ends at
+//! either the ExitNode or a StopNode, where none of the intermediate nodes
+//! are StopNodes." Paths are enumerated as *simple* paths (no repeated
+//! node), which visits each loop at most once; edges strictly inside loops
+//! are excluded from the PSE set anyway by the convexity pricing, so simple
+//! paths suffice to discover every candidate split edge.
+
+use mpart_ir::instr::Pc;
+
+use crate::stop::StopNodes;
+use crate::ug::UnitGraph;
+
+/// Result of target-path enumeration.
+#[derive(Debug, Clone)]
+pub struct TargetPaths {
+    /// Each path is the node sequence from the start node to (and
+    /// including) its terminating stop node or exit.
+    pub paths: Vec<Vec<Pc>>,
+    /// True if enumeration hit [`EnumLimits`] and some paths were dropped.
+    pub truncated: bool,
+}
+
+/// Bounds on path enumeration to keep worst-case handlers tractable.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumLimits {
+    /// Maximum number of paths collected.
+    pub max_paths: usize,
+    /// Maximum path length in nodes.
+    pub max_len: usize,
+}
+
+impl Default for EnumLimits {
+    fn default() -> Self {
+        EnumLimits { max_paths: 4096, max_len: 4096 }
+    }
+}
+
+/// Enumerates target paths by DFS from the start node.
+pub fn target_paths(ug: &UnitGraph, stops: &StopNodes, limits: EnumLimits) -> TargetPaths {
+    let mut paths = Vec::new();
+    let mut truncated = false;
+    let mut on_path = vec![false; ug.len()];
+    let mut cur: Vec<Pc> = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        node: Pc,
+        ug: &UnitGraph,
+        stops: &StopNodes,
+        limits: &EnumLimits,
+        on_path: &mut [bool],
+        cur: &mut Vec<Pc>,
+        paths: &mut Vec<Vec<Pc>>,
+        truncated: &mut bool,
+    ) {
+        if paths.len() >= limits.max_paths || cur.len() >= limits.max_len {
+            *truncated = true;
+            return;
+        }
+        cur.push(node);
+        on_path[node] = true;
+        let terminal = stops.is_stop(node) || ug.succs(node).is_empty();
+        if terminal {
+            paths.push(cur.clone());
+        } else {
+            for &s in ug.succs(node) {
+                if on_path[s] {
+                    continue; // simple paths only
+                }
+                dfs(s, ug, stops, limits, on_path, cur, paths, truncated);
+            }
+        }
+        on_path[node] = false;
+        cur.pop();
+    }
+
+    if !ug.is_empty() {
+        dfs(
+            ug.start(),
+            ug,
+            stops,
+            &limits,
+            &mut on_path,
+            &mut cur,
+            &mut paths,
+            &mut truncated,
+        );
+    }
+    TargetPaths { paths, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    fn enumerate(src: &str) -> TargetPaths {
+        let p = parse_program(src).unwrap();
+        let f = p.function("f").unwrap();
+        let ug = UnitGraph::build(f);
+        let stops = StopNodes::mark(f);
+        target_paths(&ug, &stops, EnumLimits::default())
+    }
+
+    #[test]
+    fn push_example_has_two_target_paths() {
+        // Mirrors the paper's push() example: tp1 takes the early return,
+        // tp2 runs the full processing to the native display.
+        let src = r#"
+            class ImageData { width: int, buff: ref }
+            fn f(event) {
+                z0 = event instanceof ImageData
+                if z0 == 0 goto skip
+                r2 = (ImageData) event
+                r4 = call resize(r2, 100, 100)
+                native display_image(r4)
+                return
+            skip:
+                return
+            }
+        "#;
+        let tp = enumerate(src);
+        assert!(!tp.truncated);
+        assert_eq!(tp.paths.len(), 2);
+        // One path ends at the native call (pc 4), one at the skip return.
+        let mut ends: Vec<Pc> = tp.paths.iter().map(|p| *p.last().unwrap()).collect();
+        ends.sort_unstable();
+        assert_eq!(ends, vec![4, 6]);
+        // No intermediate stop nodes.
+        for path in &tp.paths {
+            for &n in &path[..path.len() - 1] {
+                assert_ne!(n, *path.last().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_single_path() {
+        let tp = enumerate("fn f(x) {\n  a = x + 1\n  return a\n}\n");
+        assert_eq!(tp.paths, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn loop_visited_once() {
+        let src = r#"
+            fn f(n) {
+                i = 0
+            head:
+                if i >= n goto done
+                i = i + 1
+                goto head
+            done:
+                return i
+            }
+        "#;
+        let tp = enumerate(src);
+        assert!(!tp.truncated);
+        // One simple path: the loop-exit branch straight to the return.
+        // The walk through the body dies re-entering the visited head, so
+        // it is not a target path (its interior edges are priced infinite
+        // by the convexity rule anyway).
+        assert_eq!(tp.paths.len(), 1);
+        assert_eq!(tp.paths[0], vec![0, 1, 4]);
+        for p in &tp.paths {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.len(), "path must be simple: {p:?}");
+        }
+    }
+
+    #[test]
+    fn early_stop_cuts_path_short() {
+        let src = r#"
+            global g = 0
+            fn f(x) {
+                a = global::g
+                b = a + x
+                return b
+            }
+        "#;
+        let tp = enumerate(src);
+        // The global read at pc 0 is a stop node, so the single target path
+        // is just [0].
+        assert_eq!(tp.paths, vec![vec![0]]);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        // 2^10 paths through 10 diamonds exceeds a tiny limit.
+        let mut src = String::from("fn f(x) {\n");
+        for i in 0..10 {
+            src.push_str(&format!(
+                "  if x == {i} goto a{i}\n  t{i} = 1\n  goto b{i}\na{i}:\n  t{i} = 2\nb{i}:\n  u{i} = t{i}\n"
+            ));
+        }
+        src.push_str("  return x\n}\n");
+        let p = parse_program(&src).unwrap();
+        let f = p.function("f").unwrap();
+        let ug = UnitGraph::build(f);
+        let stops = StopNodes::mark(f);
+        let tp = target_paths(&ug, &stops, EnumLimits { max_paths: 16, max_len: 4096 });
+        assert!(tp.truncated);
+        assert_eq!(tp.paths.len(), 16);
+    }
+}

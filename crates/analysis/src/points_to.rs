@@ -1,0 +1,126 @@
+//! Flow-insensitive, unification-based alias classes.
+//!
+//! The paper uses points-to analysis (citing Shapiro–Horwitz) to recognize
+//! that "variables with different names but identical costs" — e.g. `r1`
+//! and `r2 = (ImageData) r1` — denote the same runtime object, so two split
+//! edges whose non-deterministic cost components differ only by such
+//! renamings cost the same and one can be dropped from the PSE set.
+//!
+//! We implement the classic Steensgaard-style unification: every copy or
+//! cast between variables merges their alias classes. This is sound for
+//! the *identical-cost* use (variables in one class provably refer to the
+//! same object along any path where both are defined by the merged copies).
+
+use mpart_ir::func::Function;
+use mpart_ir::instr::{Instr, Operand, Place, Rvalue, Var};
+
+use crate::union_find::UnionFind;
+
+/// Alias classes over a function's variables.
+#[derive(Debug, Clone)]
+pub struct AliasClasses {
+    uf: UnionFind,
+}
+
+impl AliasClasses {
+    /// Computes alias classes by unifying across copies and casts.
+    pub fn compute(func: &Function) -> Self {
+        let mut uf = UnionFind::new(func.locals);
+        for instr in &func.instrs {
+            if let Instr::Assign { place: Place::Var(dst), rvalue } = instr {
+                match rvalue {
+                    Rvalue::Use(Operand::Var(src)) => {
+                        uf.union(dst.index(), src.index());
+                    }
+                    Rvalue::Cast(_, src) => {
+                        uf.union(dst.index(), src.index());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        AliasClasses { uf }
+    }
+
+    /// Canonical representative of `v`'s alias class.
+    pub fn canon(&self, v: Var) -> Var {
+        Var(self.uf.find_const(v.index()) as u32)
+    }
+
+    /// Whether `a` and `b` are in the same alias class.
+    pub fn same(&self, a: Var, b: Var) -> bool {
+        self.uf.find_const(a.index()) == self.uf.find_const(b.index())
+    }
+
+    /// Canonicalizes and sorts a variable set for structural comparison.
+    pub fn canon_set(&self, vars: &[Var]) -> Vec<Var> {
+        let mut out: Vec<Var> = vars.iter().map(|v| self.canon(*v)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    fn classes(src: &str) -> (mpart_ir::Program, AliasClasses) {
+        let p = parse_program(src).unwrap();
+        let a = AliasClasses::compute(p.function("f").unwrap());
+        (p, a)
+    }
+
+    #[test]
+    fn cast_unifies() {
+        let src = r#"
+            class ImageData { width: int }
+            fn f(event) {
+                r2 = (ImageData) event
+                w = r2.width
+                return w
+            }
+        "#;
+        let (p, a) = classes(src);
+        let f = p.function("f").unwrap();
+        let event = f.var_by_name("event").unwrap();
+        let r2 = f.var_by_name("r2").unwrap();
+        let w = f.var_by_name("w").unwrap();
+        assert!(a.same(event, r2));
+        assert!(!a.same(event, w));
+    }
+
+    #[test]
+    fn copy_chain_unifies_transitively() {
+        let src = "fn f(x) {\n  a = x\n  b = a\n  c = b\n  return c\n}\n";
+        let (p, a) = classes(src);
+        let f = p.function("f").unwrap();
+        let x = f.var_by_name("x").unwrap();
+        let c = f.var_by_name("c").unwrap();
+        assert!(a.same(x, c));
+    }
+
+    #[test]
+    fn arithmetic_does_not_unify() {
+        let src = "fn f(x) {\n  a = x + 0\n  return a\n}\n";
+        let (p, a) = classes(src);
+        let f = p.function("f").unwrap();
+        assert!(!a.same(
+            f.var_by_name("x").unwrap(),
+            f.var_by_name("a").unwrap()
+        ));
+    }
+
+    #[test]
+    fn canon_set_dedups_aliases() {
+        let src = "fn f(x) {\n  a = x\n  b = a + 1\n  return b\n}\n";
+        let (p, al) = classes(src);
+        let f = p.function("f").unwrap();
+        let x = f.var_by_name("x").unwrap();
+        let a = f.var_by_name("a").unwrap();
+        let b = f.var_by_name("b").unwrap();
+        let set = al.canon_set(&[x, a, b]);
+        assert_eq!(set.len(), 2, "x and a collapse to one class: {set:?}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Reaching-definitions analysis (forward may dataflow), feeding the Data
+//! Dependency Graph.
+
+use mpart_ir::func::Function;
+use mpart_ir::instr::Pc;
+
+use crate::bitset::BitSet;
+use crate::ug::UnitGraph;
+
+/// Per-node reaching-definition sets. Definition ids are the instruction
+/// indices of defining instructions.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    ins: Vec<BitSet>,
+    /// Instruction index of each definition's defining node (identity map
+    /// restricted to defining instructions).
+    defs_of_var: Vec<Vec<Pc>>,
+}
+
+impl ReachingDefs {
+    /// Runs the forward fixpoint:
+    /// `IN[n] = ⋃ OUT[pred]`, `OUT[n] = gen[n] ∪ (IN[n] ∖ kill[n])`.
+    ///
+    /// Definitions reaching the start node from "outside" (parameters) are
+    /// modelled as a virtual definition at the entry, tracked separately by
+    /// [`param_reaches`](Self::param_reaches).
+    pub fn compute(func: &Function, ug: &UnitGraph) -> Self {
+        let n = ug.len();
+        let nvars = func.locals;
+        // gen[pc] = {pc} if pc defines a var; kill[pc] = other defs of same var.
+        let mut defs_of_var: Vec<Vec<Pc>> = vec![Vec::new(); nvars];
+        for (pc, instr) in func.instrs.iter().enumerate() {
+            if let Some(v) = instr.def() {
+                defs_of_var[v.index()].push(pc);
+            }
+        }
+        let mut ins = vec![BitSet::new(n); n];
+        let mut outs = vec![BitSet::new(n); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pc in 0..n {
+                let mut inn = BitSet::new(n);
+                for &p in ug.preds(pc) {
+                    inn.union_with(&outs[p]);
+                }
+                if inn != ins[pc] {
+                    ins[pc] = inn.clone();
+                    changed = true;
+                }
+                let mut out = inn;
+                if let Some(v) = func.instrs[pc].def() {
+                    for &d in &defs_of_var[v.index()] {
+                        out.remove(d);
+                    }
+                    out.insert(pc);
+                }
+                if out != outs[pc] {
+                    outs[pc] = out;
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs { ins, defs_of_var }
+    }
+
+    /// Definitions of `var` that reach the entry of `pc`.
+    pub fn reaching(&self, pc: Pc, var: mpart_ir::Var) -> Vec<Pc> {
+        self.defs_of_var[var.index()]
+            .iter()
+            .copied()
+            .filter(|&d| self.ins[pc].contains(d))
+            .collect()
+    }
+
+    /// Whether the (parameter or uninitialized) entry value of `var` can
+    /// reach `pc` — true when no definition of `var` dominates every path
+    /// to `pc`. Conservatively computed as: some path from the start
+    /// reaches `pc` without passing a definition of `var`.
+    pub fn param_reaches(&self, func: &Function, ug: &UnitGraph, pc: Pc, var: mpart_ir::Var) -> bool {
+        // BFS from start avoiding nodes that define `var`.
+        let mut seen = BitSet::new(ug.len());
+        let mut stack = vec![ug.start()];
+        while let Some(u) = stack.pop() {
+            if !seen.insert(u) {
+                continue;
+            }
+            if u == pc {
+                return true;
+            }
+            if func.instrs[u].def() == Some(var) {
+                continue; // definition blocks the entry value
+            }
+            for &s in ug.succs(u) {
+                stack.push(s);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    fn setup(src: &str) -> (mpart_ir::Program, UnitGraph) {
+        let p = parse_program(src).unwrap();
+        let ug = UnitGraph::build(p.function("f").unwrap());
+        (p, ug)
+    }
+
+    #[test]
+    fn straight_line_single_def() {
+        let src = "fn f(x) {\n  a = x + 1\n  b = a * 2\n  return b\n}\n";
+        let (p, ug) = setup(src);
+        let f = p.function("f").unwrap();
+        let rd = ReachingDefs::compute(f, &ug);
+        let a = f.var_by_name("a").unwrap();
+        assert_eq!(rd.reaching(1, a), vec![0]);
+        assert_eq!(rd.reaching(0, a), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn branch_merges_multiple_defs() {
+        let src = r#"
+            fn f(p) {
+                if p == 0 goto other
+                y = 1
+                goto done
+            other:
+                y = 2
+            done:
+                return y
+            }
+        "#;
+        let (p, ug) = setup(src);
+        let f = p.function("f").unwrap();
+        let rd = ReachingDefs::compute(f, &ug);
+        let y = f.var_by_name("y").unwrap();
+        // Find the return instruction.
+        let ret = f
+            .instrs
+            .iter()
+            .position(|i| matches!(i, mpart_ir::Instr::Return { .. }))
+            .unwrap();
+        let mut defs = rd.reaching(ret, y);
+        defs.sort();
+        assert_eq!(defs.len(), 2, "both arms' defs reach the merge: {defs:?}");
+    }
+
+    #[test]
+    fn redefinition_kills() {
+        let src = "fn f(x) {\n  a = 1\n  a = 2\n  return a\n}\n";
+        let (p, ug) = setup(src);
+        let f = p.function("f").unwrap();
+        let rd = ReachingDefs::compute(f, &ug);
+        let a = f.var_by_name("a").unwrap();
+        assert_eq!(rd.reaching(2, a), vec![1]);
+    }
+
+    #[test]
+    fn loop_def_reaches_own_head() {
+        let src = r#"
+            fn f(n) {
+                i = 0
+            head:
+                if i >= n goto done
+                i = i + 1
+                goto head
+            done:
+                return i
+            }
+        "#;
+        let (p, ug) = setup(src);
+        let f = p.function("f").unwrap();
+        let rd = ReachingDefs::compute(f, &ug);
+        let i = f.var_by_name("i").unwrap();
+        let mut defs = rd.reaching(1, i);
+        defs.sort();
+        assert_eq!(defs, vec![0, 2], "both initial and loop defs reach the head");
+    }
+
+    #[test]
+    fn param_entry_value_reachability() {
+        let src = "fn f(x) {\n  a = x\n  x = 1\n  b = x\n  return b\n}\n";
+        let (p, ug) = setup(src);
+        let f = p.function("f").unwrap();
+        let rd = ReachingDefs::compute(f, &ug);
+        let x = f.var_by_name("x").unwrap();
+        assert!(rd.param_reaches(f, &ug, 0, x));
+        assert!(rd.param_reaches(f, &ug, 1, x));
+        assert!(!rd.param_reaches(f, &ug, 2, x), "x redefined at 1");
+    }
+}

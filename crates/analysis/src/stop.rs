@@ -1,0 +1,240 @@
+//! Stop-node identification (the paper's `MarkStopNodes`).
+//!
+//! "A node is a StopNode if the node is a return instruction, uses
+//! variable(s) that are mutable outside the event handler, or if it
+//! references native variables or invokes native methods." Such nodes must
+//! execute on the receiver.
+
+use std::collections::HashMap;
+
+use mpart_ir::func::{Function, Program};
+use mpart_ir::instr::{Instr, Pc, Place, Rvalue};
+
+use crate::bitset::BitSet;
+
+/// The stop nodes of a handler, as a set of instruction indices.
+#[derive(Debug, Clone)]
+pub struct StopNodes {
+    set: BitSet,
+}
+
+impl StopNodes {
+    /// Marks stop nodes per [`Instr::is_stop`](mpart_ir::Instr::is_stop):
+    /// returns, native invocations, and global (mutable-outside) accesses.
+    ///
+    /// This intraprocedural view treats every invocation as opaque *and
+    /// unanchored*; prefer [`mark_with_program`](Self::mark_with_program),
+    /// which also anchors calls to IR functions whose bodies (transitively)
+    /// touch receiver-owned state.
+    pub fn mark(func: &Function) -> Self {
+        let mut set = BitSet::new(func.instrs.len());
+        for (pc, instr) in func.instrs.iter().enumerate() {
+            if instr.is_stop() {
+                set.insert(pc);
+            }
+        }
+        StopNodes { set }
+    }
+
+    /// Marks stop nodes with interprocedural anchoring: an invocation of
+    /// an IR function is a stop node when the callee's body — transitively
+    /// through further IR calls — invokes a native builtin or accesses a
+    /// global. Such a call must execute on the receiver: running it inside
+    /// the sender would execute receiver-anchored code there.
+    ///
+    /// Rust-implemented *pure* builtins stay unanchored by contract (the
+    /// registry rejects calling a native builtin through `call`).
+    pub fn mark_with_program(program: &Program, func: &Function) -> Self {
+        let anchored = anchored_functions(program);
+        let mut set = BitSet::new(func.instrs.len());
+        for (pc, instr) in func.instrs.iter().enumerate() {
+            if instr.is_stop() || invokes_anchored(instr, &anchored) {
+                set.insert(pc);
+            }
+        }
+        StopNodes { set }
+    }
+
+    /// Whether `pc` is a stop node.
+    pub fn is_stop(&self, pc: Pc) -> bool {
+        self.set.contains(pc)
+    }
+
+    /// Iterates over stop nodes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Pc> + '_ {
+        self.set.iter()
+    }
+
+    /// Number of stop nodes.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether there are no stop nodes (a malformed handler: every function
+    /// ends in a return, so this indicates an empty body).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// Returns whether `instr` invokes an IR function known to be anchored.
+fn invokes_anchored(instr: &Instr, anchored: &HashMap<&str, bool>) -> bool {
+    if let Instr::Assign { rvalue: Rvalue::Invoke { callee, .. }, .. } = instr {
+        return anchored.get(callee.as_str()).copied().unwrap_or(false);
+    }
+    false
+}
+
+/// Fixpoint over the call graph: a function is *anchored* when its body
+/// contains a native invocation, a global access, or a call to another
+/// anchored function. Returns (the callee's `Return` instructions do not
+/// anchor — every function returns) are excluded.
+fn anchored_functions(program: &Program) -> HashMap<&str, bool> {
+    let directly = |f: &Function| -> bool {
+        f.instrs.iter().any(|i| match i {
+            Instr::Assign { place, rvalue } => {
+                matches!(place, Place::Global(_)) || rvalue.is_anchored()
+            }
+            _ => false,
+        })
+    };
+    let mut anchored: HashMap<&str, bool> =
+        program.functions().map(|f| (f.name.as_str(), directly(f))).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in program.functions() {
+            if anchored[f.name.as_str()] {
+                continue;
+            }
+            let calls_anchored = f.instrs.iter().any(|i| {
+                matches!(
+                    i,
+                    Instr::Assign { rvalue: Rvalue::Invoke { callee, .. }, .. }
+                    if anchored.get(callee.as_str()).copied().unwrap_or(false)
+                )
+            });
+            if calls_anchored {
+                anchored.insert(f.name.as_str(), true);
+                changed = true;
+            }
+        }
+    }
+    anchored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    #[test]
+    fn returns_native_and_globals_are_stops() {
+        let src = r#"
+            global shown = 0
+            fn f(x) {
+                a = x + 1
+                s = global::shown
+                native display(a)
+                global::shown = s
+                return a
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let f = p.function("f").unwrap();
+        let stops = StopNodes::mark(f);
+        assert!(!stops.is_stop(0)); // arithmetic
+        assert!(stops.is_stop(1)); // global read
+        assert!(stops.is_stop(2)); // native invoke
+        assert!(stops.is_stop(3)); // global write
+        assert!(stops.is_stop(4)); // return
+        assert_eq!(stops.len(), 4);
+    }
+
+    #[test]
+    fn pure_calls_are_not_stops() {
+        let src = "fn f(x) {\n  y = call helper(x)\n  return y\n}\n";
+        let p = parse_program(src).unwrap();
+        let stops = StopNodes::mark(p.function("f").unwrap());
+        assert!(!stops.is_stop(0));
+        assert!(stops.is_stop(1));
+        assert_eq!(stops.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn anchored_ir_callees_anchor_their_call_sites() {
+        let src = r#"
+            global hits = 0
+
+            fn pure_math(x) {
+                y = x * 2
+                return y
+            }
+
+            fn touches_global(x) {
+                h = global::hits
+                h = h + x
+                global::hits = h
+                return h
+            }
+
+            fn calls_native(x) {
+                native ping(x)
+                return x
+            }
+
+            fn indirect(x) {
+                y = call calls_native(x)
+                return y
+            }
+
+            fn handler(v) {
+                a = call pure_math(v)
+                b = call touches_global(a)
+                c = call indirect(b)
+                d = call unknown_builtin(c)
+                return d
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = program.function("handler").unwrap();
+        let stops = StopNodes::mark_with_program(&program, f);
+        assert!(!stops.is_stop(0), "pure IR callee stays unanchored");
+        assert!(stops.is_stop(1), "global-touching callee anchors");
+        assert!(stops.is_stop(2), "transitively-native callee anchors");
+        assert!(!stops.is_stop(3), "unknown (builtin) callee stays pure by contract");
+        assert!(stops.is_stop(4), "return");
+    }
+
+    #[test]
+    fn recursive_anchoring_terminates() {
+        let src = r#"
+            fn even(n) {
+                if n == 0 goto yes
+                m = n - 1
+                r = call odd(m)
+                return r
+            yes:
+                return 1
+            }
+            fn odd(n) {
+                if n == 0 goto no
+                m = n - 1
+                r = call even(m)
+                native tick(r)
+                return r
+            no:
+                return 0
+            }
+            fn handler(v) {
+                e = call even(v)
+                return e
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let f = program.function("handler").unwrap();
+        let stops = StopNodes::mark_with_program(&program, f);
+        // even -> odd -> native: the mutual recursion anchors both.
+        assert!(stops.is_stop(0));
+    }
+}

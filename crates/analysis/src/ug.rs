@@ -1,0 +1,238 @@
+//! The Unit Graph: a control-flow graph with one instruction per node.
+//!
+//! Following the paper, "a UG is similar to a Control Flow Graph except
+//! that each node is an instruction instead of a basic block". Node ids are
+//! instruction indices (`Pc`); a synthetic [`ENTRY`] node precedes the
+//! start node so that "ship the whole message unprocessed" is itself a
+//! candidate split edge (the paper's `Edge(2,3)` before any real work).
+
+use mpart_ir::func::Function;
+use mpart_ir::instr::Pc;
+
+/// Synthetic entry node id, predecessor of the start node.
+pub const ENTRY: usize = usize::MAX;
+
+/// A directed edge `(from, to)` of the Unit Graph.
+///
+/// `from == ENTRY` denotes the synthetic entry edge into the start node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source node (`ENTRY` for the entry edge).
+    pub from: usize,
+    /// Destination node.
+    pub to: usize,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(from: usize, to: usize) -> Self {
+        Edge { from, to }
+    }
+
+    /// The entry edge into `start`.
+    pub fn entry(start: Pc) -> Self {
+        Edge { from: ENTRY, to: start }
+    }
+
+    /// Whether this is the synthetic entry edge.
+    pub fn is_entry(&self) -> bool {
+        self.from == ENTRY
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_entry() {
+            write!(f, "(entry,{})", self.to)
+        } else {
+            write!(f, "({},{})", self.from, self.to)
+        }
+    }
+}
+
+/// The Unit Graph of a handler function.
+#[derive(Debug, Clone)]
+pub struct UnitGraph {
+    n: usize,
+    start: Pc,
+    succs: Vec<Vec<Pc>>,
+    preds: Vec<Vec<Pc>>,
+}
+
+impl UnitGraph {
+    /// Builds the Unit Graph of `func`. The start node is instruction 0
+    /// (our IR has no parameter-renaming identity prologue to skip).
+    pub fn build(func: &Function) -> Self {
+        let n = func.instrs.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        #[allow(clippy::needless_range_loop)]
+        for pc in 0..n {
+            for s in func.successors(pc) {
+                succs[pc].push(s);
+                preds[s].push(pc);
+            }
+        }
+        UnitGraph { n, start: 0, succs, preds }
+    }
+
+    /// Number of instruction nodes (excluding the synthetic entry).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The start node.
+    pub fn start(&self) -> Pc {
+        self.start
+    }
+
+    /// Successors of `pc`.
+    pub fn succs(&self, pc: Pc) -> &[Pc] {
+        &self.succs[pc]
+    }
+
+    /// Predecessors of `pc` (not including the synthetic entry).
+    pub fn preds(&self, pc: Pc) -> &[Pc] {
+        &self.preds[pc]
+    }
+
+    /// All real (non-entry) edges in ascending order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for (from, ss) in self.succs.iter().enumerate() {
+            for &to in ss {
+                out.push(Edge::new(from, to));
+            }
+        }
+        out
+    }
+
+    /// Set of nodes reachable from `from` (inclusive), following edges
+    /// forward.
+    pub fn reachable_from(&self, from: Pc) -> crate::bitset::BitSet {
+        let mut seen = crate::bitset::BitSet::new(self.n);
+        let mut stack = vec![from];
+        while let Some(u) = stack.pop() {
+            if u >= self.n || !seen.insert(u) {
+                continue;
+            }
+            for &v in &self.succs[u] {
+                stack.push(v);
+            }
+        }
+        seen
+    }
+
+    /// Set of nodes that can reach `to` (inclusive), following edges
+    /// backward.
+    pub fn reaches(&self, to: Pc) -> crate::bitset::BitSet {
+        let mut seen = crate::bitset::BitSet::new(self.n);
+        let mut stack = vec![to];
+        while let Some(u) = stack.pop() {
+            if u >= self.n || !seen.insert(u) {
+                continue;
+            }
+            for &v in &self.preds[u] {
+                stack.push(v);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    fn graph(src: &str, name: &str) -> UnitGraph {
+        let p = parse_program(src).unwrap();
+        UnitGraph::build(p.function(name).unwrap())
+    }
+
+    #[test]
+    fn straight_line() {
+        let g = graph("fn f(x) {\n  a = x + 1\n  b = a * 2\n  return b\n}\n", "f");
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.succs(2), &[] as &[usize]);
+        assert_eq!(g.preds(1), &[0]);
+    }
+
+    #[test]
+    fn diamond_branch() {
+        let src = r#"
+            fn f(x) {
+                if x == 0 goto zero
+                y = 1
+                goto done
+            zero:
+                y = 2
+            done:
+                return y
+            }
+        "#;
+        let g = graph(src, "f");
+        // if at 0 -> {1 (fallthrough), 3 (zero)}
+        let mut s: Vec<_> = g.succs(0).to_vec();
+        s.sort();
+        assert_eq!(s, vec![1, 3]);
+        // both branches merge at the return's nop/return chain
+        assert!(g.preds(4).len() >= 2 || g.preds(g.len() - 1).len() >= 2);
+    }
+
+    #[test]
+    fn reachability_both_directions() {
+        let src = r#"
+            fn f(x) {
+                if x == 0 goto end
+                a = 1
+            end:
+                return
+            }
+        "#;
+        let g = graph(src, "f");
+        let fwd = g.reachable_from(0);
+        assert_eq!(fwd.len(), g.len());
+        let bwd = g.reaches(1);
+        assert!(bwd.contains(0));
+        assert!(bwd.contains(1));
+        assert!(!bwd.contains(2));
+    }
+
+    #[test]
+    fn loop_back_edges() {
+        let src = r#"
+            fn f(n) {
+                i = 0
+            head:
+                if i >= n goto done
+                i = i + 1
+                goto head
+            done:
+                return i
+            }
+        "#;
+        let g = graph(src, "f");
+        // The goto must point back to the loop head.
+        let back = g
+            .edges()
+            .into_iter()
+            .find(|e| e.to < e.from)
+            .expect("expected a back edge");
+        assert!(g.reachable_from(back.to).contains(back.from));
+    }
+
+    #[test]
+    fn entry_edge_properties() {
+        let e = Edge::entry(0);
+        assert!(e.is_entry());
+        assert_eq!(e.to_string(), "(entry,0)");
+        assert!(!Edge::new(1, 2).is_entry());
+    }
+}

@@ -1,0 +1,209 @@
+//! Static classification of variables into size-determinable and
+//! size-non-determinable kinds.
+//!
+//! The data-size cost model (§4.1) can fully price an edge only when the
+//! runtime sizes of all crossing variables are statically known; "programs
+//! can use interfaces, superclasses and arrays whose sizes are only known
+//! at runtime". This pass conservatively classifies each variable by
+//! joining the kinds of all its definitions.
+
+use mpart_ir::func::Function;
+use mpart_ir::instr::{Const, Instr, Operand, Place, Rvalue, Var};
+
+/// Static size classification of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Never defined (dead slot); size 0.
+    Unset,
+    /// Always a fixed-size scalar of the given byte width.
+    Scalar(u32),
+    /// A reference (object/array/string) — runtime size unknown.
+    Unknown,
+}
+
+impl VarKind {
+    fn join(self, other: VarKind) -> VarKind {
+        use VarKind::*;
+        match (self, other) {
+            (Unset, k) | (k, Unset) => k,
+            (Scalar(a), Scalar(b)) if a == b => Scalar(a),
+            (Scalar(a), Scalar(b)) => Scalar(a.max(b)),
+            _ => Unknown,
+        }
+    }
+
+    /// Statically-known byte width, if any.
+    pub fn known_size(self) -> Option<u64> {
+        match self {
+            VarKind::Unset => Some(0),
+            VarKind::Scalar(w) => Some(u64::from(w)),
+            VarKind::Unknown => None,
+        }
+    }
+}
+
+/// Per-variable kinds for one function.
+#[derive(Debug, Clone)]
+pub struct VarKinds {
+    kinds: Vec<VarKind>,
+}
+
+impl VarKinds {
+    /// Computes kinds by a flow-insensitive scan of all definitions.
+    /// Parameters are `Unknown` (messages are arbitrary objects).
+    pub fn compute(func: &Function) -> Self {
+        let mut kinds = vec![VarKind::Unset; func.locals];
+        for kind in kinds.iter_mut().take(func.params) {
+            *kind = VarKind::Unknown;
+        }
+        // Iterate to a fixpoint so copy chains settle (at most #vars rounds;
+        // kinds only move up a 3-level lattice, so this terminates fast).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for instr in &func.instrs {
+                let Instr::Assign { place: Place::Var(dst), rvalue } = instr else {
+                    continue;
+                };
+                let k = rvalue_kind(rvalue, &kinds);
+                let joined = kinds[dst.index()].join(k);
+                if joined != kinds[dst.index()] {
+                    kinds[dst.index()] = joined;
+                    changed = true;
+                }
+            }
+        }
+        VarKinds { kinds }
+    }
+
+    /// The kind of `v`.
+    pub fn kind(&self, v: Var) -> VarKind {
+        self.kinds[v.index()]
+    }
+}
+
+fn operand_kind(op: &Operand, kinds: &[VarKind]) -> VarKind {
+    match op {
+        Operand::Var(v) => kinds[v.index()],
+        Operand::Const(c) => match c {
+            Const::Null => VarKind::Scalar(mpart_ir::marshal::REF_SIZE as u32),
+            Const::Bool(_) => VarKind::Scalar(1),
+            Const::Int(_) => VarKind::Scalar(8),
+            Const::Float(_) => VarKind::Scalar(8),
+            Const::Str(_) => VarKind::Unknown,
+        },
+    }
+}
+
+fn rvalue_kind(r: &Rvalue, kinds: &[VarKind]) -> VarKind {
+    match r {
+        Rvalue::Use(op) => operand_kind(op, kinds),
+        Rvalue::Unary(_, op) => operand_kind(op, kinds),
+        Rvalue::Binary(op, a, b) => {
+            if op.is_comparison() {
+                VarKind::Scalar(1)
+            } else {
+                operand_kind(a, kinds).join(operand_kind(b, kinds))
+            }
+        }
+        Rvalue::InstanceOf(_, _) => VarKind::Scalar(1),
+        Rvalue::Cast(_, v) => kinds[v.index()],
+        Rvalue::New(_)
+        | Rvalue::NewArray(_, _)
+        | Rvalue::FieldGet(_, _)
+        | Rvalue::Invoke { .. }
+        | Rvalue::InvokeNative { .. }
+        | Rvalue::GlobalGet(_) => VarKind::Unknown,
+        Rvalue::ArrayGet(_, _) => VarKind::Unknown,
+        Rvalue::ArrayLen(_) => VarKind::Scalar(8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::parse::parse_program;
+
+    fn kinds(src: &str) -> (mpart_ir::Program, VarKinds) {
+        let p = parse_program(src).unwrap();
+        let k = VarKinds::compute(p.function("f").unwrap());
+        (p, k)
+    }
+
+    #[test]
+    fn scalars_are_known() {
+        let src = "fn f(x) {\n  a = 1\n  b = a + 2\n  c = a < b\n  n = len x\n  return b\n}\n";
+        let (p, k) = kinds(src);
+        let f = p.function("f").unwrap();
+        assert_eq!(k.kind(f.var_by_name("a").unwrap()), VarKind::Scalar(8));
+        assert_eq!(k.kind(f.var_by_name("b").unwrap()), VarKind::Scalar(8));
+        assert_eq!(k.kind(f.var_by_name("c").unwrap()), VarKind::Scalar(1));
+        assert_eq!(k.kind(f.var_by_name("n").unwrap()), VarKind::Scalar(8));
+    }
+
+    #[test]
+    fn params_and_allocations_unknown() {
+        let src = r#"
+            class Box { v: int }
+            fn f(e) {
+                b = new Box
+                a = new byte[10]
+                c = (Box) e
+                return c
+            }
+        "#;
+        let (p, k) = kinds(src);
+        let f = p.function("f").unwrap();
+        for name in ["e", "b", "a", "c"] {
+            assert_eq!(
+                k.kind(f.var_by_name(name).unwrap()),
+                VarKind::Unknown,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_defs_degrade_to_unknown() {
+        let src = r#"
+            fn f(e, p) {
+                if p == 0 goto other
+                y = 1
+                goto done
+            other:
+                y = e
+            done:
+                return y
+            }
+        "#;
+        let (p, k) = kinds(src);
+        let f = p.function("f").unwrap();
+        assert_eq!(k.kind(f.var_by_name("y").unwrap()), VarKind::Unknown);
+    }
+
+    #[test]
+    fn copy_chain_propagates_through_fixpoint() {
+        // `b = a` appears before `a`'s definition textually when the loop
+        // jumps backward; the fixpoint must still settle.
+        let src = r#"
+            fn f(n) {
+                a = 0
+            head:
+                b = a
+                a = b + 1
+                if a < n goto head
+                return b
+            }
+        "#;
+        let (p, k) = kinds(src);
+        let f = p.function("f").unwrap();
+        assert_eq!(k.kind(f.var_by_name("b").unwrap()), VarKind::Scalar(8));
+    }
+
+    #[test]
+    fn unset_vars_have_zero_size() {
+        assert_eq!(VarKind::Unset.known_size(), Some(0));
+        assert_eq!(VarKind::Scalar(8).known_size(), Some(8));
+        assert_eq!(VarKind::Unknown.known_size(), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! The interprocedural-expansion extension experiment.
+//!
+//! §7 leaves "expanding the UG of the message handling method" as future
+//! work; [`mpart_ir::inline`] implements it. This module quantifies the
+//! benefit: a handler whose heavy computation hides inside helper methods
+//! can only be split *around* the helpers when they are opaque, but can be
+//! split *inside* them after expansion — finer balance, lower
+//! `max(T_mod, T_demod)`.
+//!
+//! The handler calls three IR helpers; the middle one contains four heavy
+//! `grind` steps. Opaquely, the best split leaves ~70% of the work on one
+//! side; expanded, the split lands between grind steps, near 50/50.
+
+use std::sync::Arc;
+
+use mpart::profile::TriggerPolicy;
+use mpart_cost::{CostModel, ExecTimeModel};
+use mpart_ir::inline::{inlined_program, InlineOptions};
+use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
+use mpart_ir::parse::parse_program;
+use mpart_ir::{IrError, Program, Value};
+use mpart_jecho::{SimConfig, SimSession};
+use mpart_simnet::{Host, Link};
+
+/// Work units of one `grind` step.
+pub const GRIND_UNITS: u64 = 10_000;
+
+/// The handler: three helpers, with the heavy lifting buried inside
+/// `heavy_mid`.
+pub const INLINING_PROGRAM: &str = r#"
+class Job { id: int, payload: ref }
+
+fn prepare(x) {
+    a = call grind(x)
+    return a
+}
+
+fn heavy_mid(x) {
+    a = call grind(x)
+    b = call grind(a)
+    c = call grind(b)
+    d = call grind(c)
+    return d
+}
+
+fn finish(x) {
+    a = call grind(x)
+    return a
+}
+
+fn work(event) {
+    ok = event instanceof Job
+    if ok == 0 goto skip
+    j = (Job) event
+    p = call prepare(j)
+    m = call heavy_mid(p)
+    f = call finish(m)
+    native submit(f)
+    return 1
+skip:
+    return 0
+}
+"#;
+
+/// Parses the handler program.
+///
+/// # Errors
+///
+/// Propagates parser errors (never fails for the embedded source).
+pub fn inlining_program() -> Result<Arc<Program>, IrError> {
+    Ok(Arc::new(parse_program(INLINING_PROGRAM)?))
+}
+
+/// Builtins: `grind` is a pure step costing [`GRIND_UNITS`] that passes
+/// its (Job) argument through; `submit` is the receiver-anchored sink.
+pub fn inlining_builtins() -> BuiltinRegistry {
+    let mut b = BuiltinRegistry::new();
+    b.register_pure(
+        "grind",
+        |_, _| GRIND_UNITS,
+        |_, args| Ok(args[0].clone()),
+    );
+    b.register_native("submit", 16, |_, _| Ok(Value::Null));
+    b
+}
+
+/// Allocates one job event.
+///
+/// # Errors
+///
+/// Propagates heap errors.
+pub fn make_job(program: &Program, ctx: &mut ExecCtx, id: u64) -> Result<Vec<Value>, IrError> {
+    let classes = &program.classes;
+    let class = classes.id("Job").expect("Job");
+    let decl = classes.decl(class);
+    let j = ctx.heap.alloc_object(classes, class);
+    let payload = ctx.heap.alloc_array(mpart_ir::types::ElemType::Byte, 512);
+    ctx.heap.set_field(j, decl.field("id").expect("id"), Value::Int(id as i64))?;
+    ctx.heap.set_field(j, decl.field("payload").expect("payload"), Value::Ref(payload))?;
+    Ok(vec![Value::Ref(j)])
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct InliningRunStats {
+    /// Average message processing time (ms).
+    pub avg_ms: f64,
+    /// Number of Potential Split Edges the analysis found.
+    pub pses: usize,
+}
+
+/// Runs the adaptive session with the handler either opaque or expanded.
+///
+/// # Errors
+///
+/// Propagates analysis/runtime errors.
+pub fn run_inlining_experiment(expand: bool, messages: usize) -> Result<InliningRunStats, IrError> {
+    let base = inlining_program()?;
+    let program = if expand {
+        Arc::new(inlined_program(&base, "work", InlineOptions::default())?)
+    } else {
+        base
+    };
+    let model: Arc<dyn CostModel> = Arc::new(ExecTimeModel::new());
+    let pses = mpart::PartitionedHandler::analyze(
+        Arc::clone(&program),
+        "work",
+        Arc::clone(&model),
+    )?
+    .analysis()
+    .pses()
+    .len();
+
+    let config = SimConfig::new(
+        Host::new("producer", 1_000_000.0),
+        Link::fast_ethernet(),
+        Host::new("consumer", 1_000_000.0),
+        TriggerPolicy::Rate(1),
+    )
+    .with_serialize_cost(0.35);
+    let mut session = SimSession::adaptive(
+        Arc::clone(&program),
+        "work",
+        model,
+        inlining_builtins(),
+        inlining_builtins(),
+        config,
+    )?;
+    let program_ref = Arc::clone(&program);
+    session.run(messages, move |seq, ctx| make_job(&program_ref, ctx, seq))?;
+    Ok(InliningRunStats { avg_ms: session.avg_processing_ms(), pses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_exposes_interior_pses() {
+        let opaque = run_inlining_experiment(false, 30).unwrap();
+        let expanded = run_inlining_experiment(true, 30).unwrap();
+        assert!(
+            expanded.pses > opaque.pses,
+            "{} vs {}",
+            expanded.pses,
+            opaque.pses
+        );
+    }
+
+    #[test]
+    fn expansion_improves_balance() {
+        let opaque = run_inlining_experiment(false, 60).unwrap();
+        let expanded = run_inlining_experiment(true, 60).unwrap();
+        // Opaque best split: 2 grinds vs 4 (or 1 vs 5) -> max 4/6 of the
+        // work; expanded best: 3 vs 3 -> max 3/6. Expect a clear win.
+        assert!(
+            expanded.avg_ms < opaque.avg_ms * 0.85,
+            "expanded {} ms vs opaque {} ms",
+            expanded.avg_ms,
+            opaque.avg_ms
+        );
+    }
+
+    #[test]
+    fn both_variants_produce_identical_results() {
+        let base = inlining_program().unwrap();
+        let expanded =
+            Arc::new(inlined_program(&base, "work", InlineOptions::default()).unwrap());
+        for program in [&base, &expanded] {
+            let mut ctx = ExecCtx::with_builtins(program, inlining_builtins());
+            let args = make_job(program, &mut ctx, 7).unwrap();
+            let r = mpart_ir::interp::Interp::new(program)
+                .run(&mut ctx, "work", args)
+                .unwrap();
+            assert_eq!(r, Some(Value::Int(1)));
+            assert_eq!(ctx.trace.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # mpart-apps — the paper's two evaluation applications
+//!
+//! * [`image`] — communication-bound wireless image streaming (§5.1,
+//!   Table 2): resize-to-display handlers under the data-size cost model;
+//! * [`sensor`] — compute-bound sensor data processing (§5.2, Tables 3–4,
+//!   Figures 7–8): a multi-stage pipeline under the execution-time cost
+//!   model, with perturbation-thread load, plus the signal-complexity
+//!   extension;
+//! * [`inlining`] — the interprocedural-expansion extension: quantifies
+//!   the benefit of splitting *inside* helper methods.
+
+pub mod image;
+pub mod inlining;
+pub mod sensor;

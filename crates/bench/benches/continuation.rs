@@ -1,0 +1,59 @@
+//! Criterion microbenches for remote continuation: modulator execution,
+//! payload pack/unpack, and the full sender→receiver round trip.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpart_apps::image::{
+    client_builtins, image_cost_model, image_program, make_frame, server_builtins,
+};
+use mpart_ir::interp::ExecCtx;
+
+fn bench_continuation(c: &mut Criterion) {
+    let program = image_program().expect("program");
+    let handler = mpart::PartitionedHandler::analyze(
+        Arc::clone(&program),
+        "push",
+        image_cost_model(&program),
+    )
+    .expect("analysis");
+    // Split after the resize (ship the processed frame).
+    let late: Vec<usize> = handler
+        .analysis()
+        .pses()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.edge.is_entry())
+        .map(|(i, _)| i)
+        .collect();
+    handler.plan().install(&late);
+    let modulator = handler.modulator();
+    let demodulator = handler.demodulator();
+
+    let mut group = c.benchmark_group("continuation");
+    group.bench_function("modulator_run_160px", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::with_builtins(&program, server_builtins(&program));
+            let args = make_frame(&program, &mut ctx, 160).unwrap();
+            black_box(modulator.handle(&mut ctx, args).unwrap())
+        })
+    });
+    group.bench_function("round_trip_160px", |b| {
+        b.iter(|| {
+            let mut sender = ExecCtx::with_builtins(&program, server_builtins(&program));
+            let args = make_frame(&program, &mut sender, 160).unwrap();
+            let run = modulator.handle(&mut sender, args).unwrap();
+            let mut receiver = ExecCtx::with_builtins(&program, client_builtins(&program));
+            black_box(demodulator.handle(&mut receiver, &run.message).unwrap())
+        })
+    });
+    // Adaptation actuation: pure flag switching.
+    group.bench_function("plan_switch", |b| {
+        b.iter(|| handler.plan().install(black_box(&late)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_continuation);
+criterion_main!(benches);

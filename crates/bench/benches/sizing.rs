@@ -1,0 +1,41 @@
+//! Criterion microbenches for the Table 1 sizing strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpart_bench::Table1Fixtures;
+use mpart_ir::marshal::{calculated_size, marshal_values, reflective_size};
+use std::hint::black_box;
+
+fn bench_sizing(c: &mut Criterion) {
+    let fx = Table1Fixtures::build().expect("fixtures");
+    let sizers = fx.sizers();
+
+    let mut group = c.benchmark_group("table1_sizing");
+    for (label, value, has_sizer) in fx.rows() {
+        let roots = std::slice::from_ref(value);
+        group.bench_function(format!("serialize/{label}"), |b| {
+            b.iter(|| marshal_values(black_box(&fx.heap), black_box(roots)).unwrap())
+        });
+        group.bench_function(format!("reflective_size/{label}"), |b| {
+            b.iter(|| {
+                reflective_size(black_box(&fx.heap), black_box(&fx.classes), black_box(roots))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("direct_size/{label}"), |b| {
+            b.iter(|| calculated_size(black_box(&fx.heap), black_box(roots)).unwrap())
+        });
+        if has_sizer {
+            group.bench_function(format!("self_desc_size/{label}"), |b| {
+                b.iter(|| {
+                    sizers
+                        .size_of(black_box(&fx.heap), black_box(&fx.classes), black_box(value))
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing);
+criterion_main!(benches);

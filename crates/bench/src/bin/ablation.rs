@@ -1,0 +1,93 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **sizing strategy** — self-describing `sizeOf` vs. generic walk
+//!    profiling (connects Table 1's microcosts to end-to-end fps);
+//! 2. **feedback trigger** — rate vs. diff vs. frozen plans (§2.5);
+//! 3. **profiling sampling period** — probe every message vs. sampled;
+//! 4. **EWMA smoothing** — adaptation speed vs. stability.
+//!
+//! All runs use the Mixed image workload, where adaptation matters most.
+
+use mpart::profile::TriggerPolicy;
+use mpart_apps::image::{
+    run_image_experiment_with, ImageOptions, ImageScenario, ImageVersion,
+};
+use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+
+fn run(options: ImageOptions, frames: usize, seed: u64) -> (f64, u64) {
+    let stats = run_image_experiment_with(
+        ImageVersion::MethodPartitioning,
+        ImageScenario::Mixed,
+        frames,
+        seed,
+        options,
+    )
+    .expect("ablation run");
+    (stats.fps, stats.plan_installs)
+}
+
+fn main() {
+    let frames = arg_usize("frames", 300);
+    let seed = arg_u64("seed", 7);
+
+    let mut sizing = Table::new(
+        "Ablation 1: profiling sizing strategy (Mixed image workload)",
+        &["Sizing", "fps", "plan installs"],
+    );
+    for (label, self_sizers) in [("self-describing sizeOf", true), ("generic walk", false)] {
+        let (fps, installs) = run(
+            ImageOptions { self_sizers, ..Default::default() },
+            frames,
+            seed,
+        );
+        sizing.row(vec![label.into(), f2(fps), installs.to_string()]);
+    }
+    sizing.note("the generic walk pays O(object graph) probe cost on every frame");
+    sizing.print();
+
+    let mut triggers = Table::new(
+        "Ablation 2: feedback trigger policy",
+        &["Trigger", "fps", "plan installs"],
+    );
+    for (label, trigger) in [
+        ("rate: every message", TriggerPolicy::Rate(1)),
+        ("rate: every 5", TriggerPolicy::Rate(5)),
+        ("rate: every 20", TriggerPolicy::Rate(20)),
+        ("diff: 10% change", TriggerPolicy::Diff(0.1)),
+        ("diff: 50% change", TriggerPolicy::Diff(0.5)),
+        ("never (frozen initial plan)", TriggerPolicy::Never),
+    ] {
+        let (fps, installs) =
+            run(ImageOptions { trigger, ..Default::default() }, frames, seed);
+        triggers.row(vec![label.into(), f2(fps), installs.to_string()]);
+    }
+    triggers.note("diff triggers reconfigure only on real shifts; rate triggers track faster");
+    triggers.print();
+
+    let mut sampling = Table::new(
+        "Ablation 3: profiling sampling period",
+        &["Profile every Nth message", "fps", "plan installs"],
+    );
+    for period in [1u64, 2, 4, 8, 16] {
+        let (fps, installs) = run(
+            ImageOptions { sample_period: period, ..Default::default() },
+            frames,
+            seed,
+        );
+        sampling.row(vec![period.to_string(), f2(fps), installs.to_string()]);
+    }
+    sampling.note("sampling trades probe cost against adaptation lag (§2.5)");
+    sampling.print();
+
+    let mut alpha = Table::new(
+        "Ablation 4: EWMA smoothing factor",
+        &["alpha", "fps", "plan installs"],
+    );
+    for a in [0.1, 0.3, 0.5, 0.8, 1.0] {
+        let (fps, installs) =
+            run(ImageOptions { ewma_alpha: a, ..Default::default() }, frames, seed);
+        alpha.row(vec![format!("{a}"), f2(fps), installs.to_string()]);
+    }
+    alpha.note("low alpha damps noise but lags scenario flips; 1.0 trusts the last sample");
+    alpha.print();
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Figure 7**: impact of consumer-side active-period
+//! probability (AProb) on the four sensor implementations.
+//!
+//! Consumer side: PLen = 1000 ms, LIndex = 0.8; producer load-free.
+//! Prints one series per implementation across the AProb sweep.
+
+use mpart_apps::sensor::{run_sensor_experiment, HostLoad, SensorSetup, SensorVersion};
+use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+
+fn main() {
+    let messages = arg_usize("messages", 150);
+    let seed = arg_u64("seed", 31);
+    let aprobs = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+    let mut headers: Vec<String> = vec!["Implementation".into()];
+    headers.extend(aprobs.iter().map(|a| format!("AProb={a}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut table = Table::new(
+        "Figure 7: consumer-side AProb sweep (PLen=1000ms, LIndex=0.8; avg ms)",
+        &header_refs,
+    );
+    for version in SensorVersion::ALL {
+        let mut cells = vec![version.label().to_string()];
+        for &aprob in &aprobs {
+            let mut setup = SensorSetup::intel_cluster(messages, seed);
+            setup.consumer_load = HostLoad { aprob, plen_ms: 1000.0, lindex: 0.8 };
+            let stats = run_sensor_experiment(version, &setup).expect("cell");
+            cells.push(f2(stats.avg_ms));
+        }
+        table.row(cells);
+    }
+    table.note(
+        "expected shape: Producer flat; Method Partitioning near-flat; \
+         Consumer and Divided degrade as AProb grows",
+    );
+    table.print();
+}

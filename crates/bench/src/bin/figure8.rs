@@ -1,0 +1,40 @@
+//! Regenerates **Figure 8**: impact of consumer-side expected period
+//! length (PLen) on the Method Partitioning version.
+//!
+//! Consumer side: AProb = 0.5, LIndex = 0.8; producer load-free. The
+//! paper's claim: Method Partitioning "is relatively stable against
+//! changes in perturbation patterns". All four versions are printed for
+//! context.
+
+use mpart_apps::sensor::{run_sensor_experiment, HostLoad, SensorSetup, SensorVersion};
+use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+
+fn main() {
+    let messages = arg_usize("messages", 150);
+    let seed = arg_u64("seed", 33);
+    let plens = [125.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0];
+
+    let mut headers: Vec<String> = vec!["Implementation".into()];
+    headers.extend(plens.iter().map(|p| format!("PLen={p}ms")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut table = Table::new(
+        "Figure 8: consumer-side PLen sweep (AProb=0.5, LIndex=0.8; avg ms)",
+        &header_refs,
+    );
+    for version in SensorVersion::ALL {
+        let mut cells = vec![version.label().to_string()];
+        for &plen in &plens {
+            let mut setup = SensorSetup::intel_cluster(messages, seed);
+            setup.consumer_load = HostLoad { aprob: 0.5, plen_ms: plen, lindex: 0.8 };
+            let stats = run_sensor_experiment(version, &setup).expect("cell");
+            cells.push(f2(stats.avg_ms));
+        }
+        table.row(cells);
+    }
+    table.note(
+        "expected shape: the Method Partitioning row stays near-constant \
+         across period lengths",
+    );
+    table.print();
+}

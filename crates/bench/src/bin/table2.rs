@@ -1,0 +1,32 @@
+//! Regenerates **Table 2**: effects of runtime adaptation in the wireless
+//! image-streaming application (display 160×160; values are average
+//! frames per second).
+//!
+//! Run with `--frames N` (default 300) and `--seed S`.
+
+use mpart_apps::image::{run_image_experiment, ImageScenario, ImageVersion};
+use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+
+fn main() {
+    let frames = arg_usize("frames", 300);
+    let seed = arg_u64("seed", 7);
+
+    let mut table = Table::new(
+        "Table 2: runtime adaptation with Method Partitioning (fps, display 160*160)",
+        &["Implementation", "Small Image (80*80)", "Large Image (200*200)", "Mixed"],
+    );
+    for version in ImageVersion::ALL {
+        let mut cells = vec![version.label().to_string()];
+        for scenario in ImageScenario::ALL {
+            let stats = run_image_experiment(version, scenario, frames, seed)
+                .expect("image experiment");
+            cells.push(f2(stats.fps));
+        }
+        table.row(cells);
+    }
+    table.note(
+        "paper: Image<Display 29.79 / 7.53 / 12.98; Image>Display 12.06 / 12.11 / 12.19; \
+         Method Partitioning 29.72 / 12.07 / 17.65",
+    );
+    table.print();
+}

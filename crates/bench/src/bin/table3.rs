@@ -1,0 +1,29 @@
+//! Regenerates **Table 3**: the sensor application on heterogeneous
+//! platforms without perturbation (average message processing time, ms).
+//!
+//! Run with `--messages N` (default 150) and `--seed S`.
+
+use mpart_apps::sensor::{run_sensor_experiment, SensorSetup, SensorVersion};
+use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+
+fn main() {
+    let messages = arg_usize("messages", 150);
+    let seed = arg_u64("seed", 7);
+
+    let mut table = Table::new(
+        "Table 3: heterogeneous platforms (avg message processing time, ms)",
+        &["Implementation", "PC->Sun", "Sun->PC"],
+    );
+    for version in SensorVersion::ALL {
+        let a = run_sensor_experiment(version, &SensorSetup::pc_to_sun(messages, seed))
+            .expect("pc->sun");
+        let b = run_sensor_experiment(version, &SensorSetup::sun_to_pc(messages, seed))
+            .expect("sun->pc");
+        table.row(vec![version.label().to_string(), f2(a.avg_ms), f2(b.avg_ms)]);
+    }
+    table.note(
+        "paper: Consumer 352.10 / 108.92; Producer 143.93 / 139.00; \
+         Divided 250.19 / 83.59; Method Partitioning 109.34 / 74.67",
+    );
+    table.print();
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table 4**: the sensor application under perturbation
+//! load on the homogeneous Intel cluster (average processing time, ms).
+//!
+//! Rows are `(producer LIndex)/(consumer LIndex)`; each cell averages
+//! `--runs R` (default 5, as in the paper) runs of `--messages N`
+//! messages with distinct seeds shared across all four versions.
+
+use mpart_apps::sensor::{run_sensor_experiment, HostLoad, SensorSetup, SensorVersion};
+use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+
+fn main() {
+    let messages = arg_usize("messages", 100);
+    let runs = arg_usize("runs", 5);
+    let base_seed = arg_u64("seed", 21);
+
+    let grid = [(0.0, 0.0), (0.0, 0.6), (0.0, 1.0), (0.6, 0.6), (0.6, 0.0), (1.0, 0.0)];
+
+    let mut table = Table::new(
+        "Table 4: Method Partitioning under perturbation load (avg ms, mean of runs)",
+        &["(P LIndex)/(C LIndex)", "Consumer", "Producer", "Divided", "Method Partitioning"],
+    );
+    for (pl, cl) in grid {
+        let mut cells = vec![format!("{pl}/{cl}")];
+        for version in SensorVersion::ALL {
+            let mut total = 0.0;
+            for r in 0..runs {
+                let mut setup = SensorSetup::intel_cluster(messages, base_seed + r as u64);
+                setup.producer_load = HostLoad::constant(pl);
+                setup.consumer_load = HostLoad::constant(cl);
+                total += run_sensor_experiment(version, &setup).expect("cell").avg_ms;
+            }
+            cells.push(f2(total / runs as f64));
+        }
+        table.row(cells);
+    }
+    table.note(
+        "paper rows (Consumer/Producer/Divided/MP): 0/0: 88.44 80.46 58.52 48.45; \
+         0/0.6: 146.94 80.26 103.68 54.61; 0/1: 215.20 80.41 148.99 65.26; \
+         0.6/0.6: 142.51 149.90 101.13 59.23; 0.6/0: 87.32 154.55 60.13 49.19; \
+         1/0: 88.81 243.58 116.47 60.17",
+    );
+    table.print();
+}

@@ -1,0 +1,213 @@
+//! Shared experiment fixtures.
+//!
+//! The Table 1 object population mirrors the paper's Appendix B:
+//!
+//! * `Int100 (w/ wrapper)` — a wrapper class around an `int[100]`;
+//! * `Int100 (w/o wrapper)` — the bare `int[100]`;
+//! * `AppBase` — a record of primitive fields plus a short string;
+//! * `AppComp` — a composite: two strings, two `AppBase` refs (one null),
+//!   an `int[20]`, and a `float[10]`.
+
+use mpart_ir::heap::{ArrayData, Heap};
+use mpart_ir::marshal::{SelfSizerRegistry, OBJECT_HEADER_SIZE, REF_SIZE, STRING_HEADER_SIZE};
+use mpart_ir::types::{ClassTable, ElemType};
+use mpart_ir::{IrError, Value};
+
+/// The four Table 1 objects, materialized on one heap.
+#[derive(Debug)]
+pub struct Table1Fixtures {
+    /// Class table declaring `Int100`, `AppBase`, `AppComp`.
+    pub classes: ClassTable,
+    /// The heap holding the fixtures.
+    pub heap: Heap,
+    /// `Int100 (w/ wrapper)`.
+    pub int100_wrapped: Value,
+    /// `Int100 (w/o wrapper)` — the bare array.
+    pub int100_bare: Value,
+    /// `AppBase`.
+    pub app_base: Value,
+    /// `AppComp`.
+    pub app_comp: Value,
+}
+
+impl Table1Fixtures {
+    /// Builds the fixture population.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors (cannot fail for the fixed layout).
+    pub fn build() -> Result<Self, IrError> {
+        use mpart_ir::types::{ClassDecl, FieldDecl, FieldType};
+        let mut classes = ClassTable::new();
+        let int100 = classes.declare(ClassDecl::new(
+            "Int100",
+            vec![FieldDecl { name: "data".into(), ty: FieldType::Ref }],
+        ))?;
+        let app_base = classes.declare(ClassDecl::new(
+            "AppBase",
+            vec![
+                FieldDecl { name: "a".into(), ty: FieldType::Int },
+                FieldDecl { name: "b".into(), ty: FieldType::Int },
+                FieldDecl { name: "c".into(), ty: FieldType::Int },
+                FieldDecl { name: "d".into(), ty: FieldType::Str },
+            ],
+        ))?;
+        let app_comp = classes.declare(ClassDecl::new(
+            "AppComp",
+            vec![
+                FieldDecl { name: "s1".into(), ty: FieldType::Str },
+                FieldDecl { name: "s2".into(), ty: FieldType::Str },
+                FieldDecl { name: "ab1".into(), ty: FieldType::Ref },
+                FieldDecl { name: "ab2".into(), ty: FieldType::Ref },
+                FieldDecl { name: "ia".into(), ty: FieldType::Ref },
+                FieldDecl { name: "fa".into(), ty: FieldType::Ref },
+            ],
+        ))?;
+
+        let mut heap = Heap::new();
+        // Int100 with wrapper.
+        let arr = heap.alloc_array_from(ArrayData::Int((0..100).collect()));
+        let wrapped = heap.alloc_object(&classes, int100);
+        let int100_decl = classes.decl(int100);
+        heap.set_field(wrapped, int100_decl.field("data").expect("data"), Value::Ref(arr))?;
+        // Bare Int100.
+        let bare = heap.alloc_array_from(ArrayData::Int((0..100).rev().collect()));
+        // AppBase { a = 0, b = 2, c = 1202, d = "rrr" }.
+        let base = heap.alloc_object(&classes, app_base);
+        let base_decl = classes.decl(app_base);
+        heap.set_field(base, base_decl.field("a").expect("a"), Value::Int(0))?;
+        heap.set_field(base, base_decl.field("b").expect("b"), Value::Int(2))?;
+        heap.set_field(base, base_decl.field("c").expect("c"), Value::Int(1202))?;
+        heap.set_field(base, base_decl.field("d").expect("d"), Value::str("rrr"))?;
+        // AppComp.
+        let inner_base = heap.alloc_object(&classes, app_base);
+        heap.set_field(inner_base, base_decl.field("d").expect("d"), Value::str("rrr"))?;
+        let ia = heap.alloc_array(ElemType::Int, 20);
+        let fa = heap.alloc_array(ElemType::Float, 10);
+        let comp = heap.alloc_object(&classes, app_comp);
+        let comp_decl = classes.decl(app_comp);
+        heap.set_field(comp, comp_decl.field("s1").expect("s1"), Value::str("aa"))?;
+        heap.set_field(
+            comp,
+            comp_decl.field("s2").expect("s2"),
+            Value::str("This is a string!"),
+        )?;
+        heap.set_field(comp, comp_decl.field("ab1").expect("ab1"), Value::Ref(inner_base))?;
+        heap.set_field(comp, comp_decl.field("ab2").expect("ab2"), Value::Null)?;
+        heap.set_field(comp, comp_decl.field("ia").expect("ia"), Value::Ref(ia))?;
+        heap.set_field(comp, comp_decl.field("fa").expect("fa"), Value::Ref(fa))?;
+
+        Ok(Table1Fixtures {
+            classes,
+            heap,
+            int100_wrapped: Value::Ref(wrapped),
+            int100_bare: Value::Ref(bare),
+            app_base: Value::Ref(base),
+            app_comp: Value::Ref(comp),
+        })
+    }
+
+    /// Self-describing `sizeOf` methods for the wrapper classes — the
+    /// Appendix B `SelfSizedObject` implementations. The bare array has
+    /// none (`n/a` in the paper's table).
+    pub fn sizers(&self) -> SelfSizerRegistry {
+        let mut reg = SelfSizerRegistry::new();
+        let classes = self.classes.clone();
+        reg.register("Int100", move |heap, obj| {
+            let class = classes.id("Int100").expect("Int100");
+            let data = heap
+                .field(obj, classes.decl(class).field("data").expect("data"))?
+                .as_ref("data")?;
+            Ok(OBJECT_HEADER_SIZE + REF_SIZE + 8 * heap.array_len(data)?)
+        });
+        let classes = self.classes.clone();
+        reg.register("AppBase", move |heap, obj| {
+            let class = classes.id("AppBase").expect("AppBase");
+            let d = heap.field(obj, classes.decl(class).field("d").expect("d"))?;
+            let dlen = match d {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            };
+            // 16 bytes of primitives + string, as in the paper's sizeOf.
+            Ok(OBJECT_HEADER_SIZE + 24 + STRING_HEADER_SIZE + dlen)
+        });
+        let classes = self.classes.clone();
+        reg.register("AppComp", move |heap, obj| {
+            let class = classes.id("AppComp").expect("AppComp");
+            let decl = classes.decl(class);
+            let get_str_len = |name: &str| -> Result<usize, IrError> {
+                match heap.field(obj, decl.field(name).expect(name))? {
+                    Value::Str(s) => Ok(s.len()),
+                    _ => Ok(0),
+                }
+            };
+            let s1 = get_str_len("s1")?;
+            let s2 = get_str_len("s2")?;
+            let ia = heap
+                .field(obj, decl.field("ia").expect("ia"))?
+                .as_ref("ia")?;
+            let fa = heap
+                .field(obj, decl.field("fa").expect("fa"))?
+                .as_ref("fa")?;
+            // Inner AppBase sized via its own method, as AppComp.sizeOf
+            // calls JECho.getSize(ab1) in the paper.
+            let inner = OBJECT_HEADER_SIZE + 24 + STRING_HEADER_SIZE + 3;
+            Ok(s1
+                + s2
+                + 2 * STRING_HEADER_SIZE
+                + inner
+                + 2 * OBJECT_HEADER_SIZE
+                + heap.array_len(ia)? * 8
+                + heap.array_len(fa)? * 8)
+        });
+        reg
+    }
+
+    /// `(label, value, has_self_sizer)` rows in the paper's order.
+    pub fn rows(&self) -> [(&'static str, &Value, bool); 4] {
+        [
+            ("Int100 (w/ wrapper)", &self.int100_wrapped, true),
+            ("Int100 (w/o wrapper)", &self.int100_bare, false),
+            ("AppBase", &self.app_base, true),
+            ("AppComp", &self.app_comp, true),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_ir::marshal::{calculated_size, serialized_size};
+
+    #[test]
+    fn fixtures_build_and_size_sensibly() {
+        let fx = Table1Fixtures::build().unwrap();
+        // Wrapped vs bare Int100 differ only by the wrapper object.
+        let wrapped = serialized_size(&fx.heap, std::slice::from_ref(&fx.int100_wrapped)).unwrap();
+        let bare = serialized_size(&fx.heap, std::slice::from_ref(&fx.int100_bare)).unwrap();
+        assert!(wrapped > bare);
+        assert!(bare >= 800, "100 ints: {bare}");
+        // AppComp is richer than AppBase.
+        let base = serialized_size(&fx.heap, std::slice::from_ref(&fx.app_base)).unwrap();
+        let comp = serialized_size(&fx.heap, std::slice::from_ref(&fx.app_comp)).unwrap();
+        assert!(comp > base * 2, "{comp} vs {base}");
+    }
+
+    #[test]
+    fn self_sizers_close_to_generic_walk() {
+        let fx = Table1Fixtures::build().unwrap();
+        let sizers = fx.sizers();
+        for (label, value, has) in fx.rows() {
+            if !has {
+                continue;
+            }
+            let fast = sizers.size_of(&fx.heap, &fx.classes, value).unwrap();
+            let generic = calculated_size(&fx.heap, std::slice::from_ref(value)).unwrap();
+            let ratio = fast as f64 / generic as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{label}: fast {fast} vs generic {generic}"
+            );
+        }
+    }
+}

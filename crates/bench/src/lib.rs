@@ -1,0 +1,21 @@
+//! # mpart-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation section:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1`  | object serialization vs. size-calculation costs |
+//! | `table2`  | wireless image streaming fps |
+//! | `table3`  | heterogeneous-platform processing times |
+//! | `table4`  | perturbation-load grid |
+//! | `figure7` | consumer-side AProb sweep |
+//! | `figure8` | consumer-side PLen sweep |
+//! | `overheads` | §5.3 PSE counts, generated-class sizes, adaptation costs |
+//!
+//! Criterion microbenches (`benches/`) cover the sizing strategies, remote
+//! continuation marshalling, and min-cut reconfiguration.
+
+pub mod fixtures;
+pub mod table;
+
+pub use fixtures::Table1Fixtures;

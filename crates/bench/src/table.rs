@@ -1,0 +1,149 @@
+//! Plain-text table rendering for the harness binaries, plus tiny CLI and
+//! timing helpers.
+
+use std::time::Instant;
+
+/// A printable table with a title, column headers, and string rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    note: Option<String>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note: None,
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Sets a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        if let Some(n) = &self.note {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Reads `--<name> <value>` from the process arguments, falling back to
+/// `default`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads `--seed <value>` style u64 arguments.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    arg_usize(name, default as usize) as u64
+}
+
+/// Median wall-clock microseconds of `f` over `iters` timed runs (after
+/// one warm-up).
+pub fn time_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let _warmup = f();
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let out = f();
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            drop(out);
+            us
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer-name"));
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn timing_returns_positive() {
+        let us = time_us(3, || (0..1000).sum::<u64>());
+        assert!(us >= 0.0);
+    }
+}

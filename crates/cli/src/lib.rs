@@ -1,0 +1,571 @@
+//! # mpart-cli — command-line tools for Method Partitioning
+//!
+//! The `mpart` binary lets you work with handler programs written in the
+//! textual IR without writing any Rust:
+//!
+//! ```text
+//! mpart fmt <file>                 pretty-print the canonical form
+//! mpart run <file> <fn> [args..]   interpret a function (stdlib loaded)
+//! mpart analyze <file> <fn> [--model data-size|exec-time|power] [--inline]
+//! mpart codegen <file> <fn>        print the generated modulator/demodulator
+//! mpart split <file> <fn> --pse N [args..]
+//!                                  run partitioned at PSE N and show the wire
+//! mpart trace <file> <fn> [args..] instruction-level execution trace
+//! ```
+//!
+//! Arguments are parsed as ints, floats, `true`/`false`, `null`, or
+//! strings. Native builtins referenced by the program are stubbed with
+//! no-ops that echo their invocation, so any handler can be driven from
+//! the command line.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use mpart::codegen::{demodulator_text, generated_sizes, modulator_text};
+use mpart::PartitionedHandler;
+use mpart_cost::{CostModel, DataSizeModel, ExecTimeModel, PowerModel};
+use mpart_ir::instr::{Instr, Rvalue};
+use mpart_ir::interp::{BuiltinRegistry, ExecCtx, Interp};
+use mpart_ir::parse::parse_program;
+use mpart_ir::pretty::program_to_string;
+use mpart_ir::stdlib::register_stdlib;
+use mpart_ir::{IrError, Program, Value};
+
+/// A CLI failure: either a usage error or an underlying IR error.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was malformed.
+    Usage(String),
+    /// The program failed to parse, analyze, or run.
+    Ir(IrError),
+    /// A file could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Ir(e) => write!(f, "{e}"),
+            CliError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<IrError> for CliError {
+    fn from(e: IrError) -> Self {
+        CliError::Ir(e)
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "usage:
+  mpart fmt <file>
+  mpart run <file> <fn> [args..]
+  mpart analyze <file> <fn> [--model data-size|exec-time|power] [--inline]
+  mpart codegen <file> <fn> [--model ...] [--inline]
+  mpart split <file> <fn> --pse <N> [args..]
+  mpart trace <file> <fn> [args..]";
+
+/// Entry point: executes `args` (without the program name) and returns
+/// the output text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad usage, unreadable files, or failing
+/// programs.
+pub fn execute(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    match command.as_str() {
+        "fmt" => {
+            let file = next(&mut it, "file")?;
+            let program = load(&file)?;
+            Ok(program_to_string(&program))
+        }
+        "run" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_run(&file, &func, &rest)
+        }
+        "analyze" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_analyze(&file, &func, &rest)
+        }
+        "codegen" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_codegen(&file, &func, &rest)
+        }
+        "split" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_split(&file, &func, &rest)
+        }
+        "trace" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_trace(&file, &func, &rest)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+fn next(it: &mut std::slice::Iter<'_, String>, what: &str) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("missing <{what}>\n{USAGE}")))
+}
+
+fn load(path: &str) -> Result<Arc<Program>, CliError> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    Ok(Arc::new(parse_program(&source)?))
+}
+
+/// Parses a CLI value literal.
+pub fn parse_value(text: &str) -> Value {
+    match text {
+        "null" => Value::Null,
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => {
+            if let Ok(i) = text.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(x) = text.parse::<f64>() {
+                Value::Float(x)
+            } else {
+                Value::str(text)
+            }
+        }
+    }
+}
+
+fn model_from(rest: &[String]) -> Result<Arc<dyn CostModel>, CliError> {
+    let name = rest
+        .iter()
+        .position(|a| a == "--model")
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("data-size");
+    match name {
+        "data-size" => Ok(Arc::new(DataSizeModel::new())),
+        "exec-time" => Ok(Arc::new(ExecTimeModel::new())),
+        "power" => Ok(Arc::new(PowerModel::new())),
+        other => Err(CliError::Usage(format!(
+            "unknown cost model `{other}` (data-size, exec-time, power)"
+        ))),
+    }
+}
+
+/// Builds a context with the stdlib plus echoing stubs for every native
+/// builtin the program references.
+fn stubbed_ctx(program: &Program) -> ExecCtx {
+    let mut registry = BuiltinRegistry::new();
+    register_stdlib(&mut registry);
+    for f in program.functions() {
+        for instr in &f.instrs {
+            if let Instr::Assign { rvalue: Rvalue::InvokeNative { callee, .. }, .. } = instr {
+                if !registry.contains(callee) {
+                    let name = callee.clone();
+                    registry.register_native(callee.clone(), 1, move |heap, args| {
+                        let digest = mpart_ir::marshal::deep_digest_many(heap, args)
+                            .unwrap_or_else(|_| "?".into());
+                        eprintln!("[native {name}] {digest}");
+                        Ok(Value::Null)
+                    });
+                }
+            }
+        }
+    }
+    ExecCtx::with_builtins(program, registry)
+}
+
+fn cmd_run(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = load(file)?;
+    let args: Vec<Value> = rest.iter().map(|a| parse_value(a)).collect();
+    let mut ctx = stubbed_ctx(&program);
+    let ret = Interp::new(&program).run(&mut ctx, func, args)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "return: {}", ret.map(|v| v.to_string()).unwrap_or("(void)".into()));
+    let _ = writeln!(out, "work units: {}", ctx.work);
+    let _ = writeln!(out, "native calls: {}", ctx.trace.len());
+    for t in &ctx.trace {
+        let _ = writeln!(out, "  {}({})", t.callee, t.args_digest);
+    }
+    Ok(out)
+}
+
+/// Applies `--inline` if requested: interprocedural UG expansion.
+fn maybe_inline(
+    program: Arc<Program>,
+    func: &str,
+    rest: &[String],
+) -> Result<Arc<Program>, CliError> {
+    if rest.iter().any(|a| a == "--inline") {
+        Ok(Arc::new(mpart_ir::inline::inlined_program(
+            &program,
+            func,
+            mpart_ir::inline::InlineOptions::default(),
+        )?))
+    } else {
+        Ok(program)
+    }
+}
+
+fn cmd_analyze(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = maybe_inline(load(file)?, func, rest)?;
+    let model = model_from(rest)?;
+    let model_name = model.name().to_string();
+    let handler = PartitionedHandler::analyze(Arc::clone(&program), func, model)?;
+    let analysis = handler.analysis();
+    let f = handler.func();
+    let mut out = String::new();
+    let _ = writeln!(out, "function `{func}` under cost model `{model_name}`");
+    let _ = writeln!(
+        out,
+        "{} instructions, {} stop nodes, {} target paths{}",
+        analysis.ug.len(),
+        analysis.stops.len(),
+        analysis.paths.paths.len(),
+        if analysis.paths.truncated { " (truncated)" } else { "" }
+    );
+    for (i, path) in analysis.paths.paths.iter().enumerate() {
+        let _ = writeln!(out, "  path {i}: {path:?}");
+    }
+    let _ = writeln!(out, "potential split edges:");
+    for (i, pse) in analysis.pses().iter().enumerate() {
+        let vars: Vec<&str> = pse.inter.iter().map(|v| f.var_name(*v)).collect();
+        let _ = writeln!(
+            out,
+            "  PSE {i}: {} ships {{{}}}  cost {:?}",
+            pse.edge,
+            vars.join(", "),
+            pse.static_cost
+        );
+    }
+    let _ = writeln!(out, "initial plan: {:?}", handler.plan().active());
+    Ok(out)
+}
+
+fn cmd_codegen(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = maybe_inline(load(file)?, func, rest)?;
+    let model = model_from(rest)?;
+    let handler = PartitionedHandler::analyze(Arc::clone(&program), func, model)?;
+    let sizes = generated_sizes(&handler);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// {} PSEs; modulator {} B, demodulator {} B, redirect classes {} B",
+        sizes.pses, sizes.modulator_bytes, sizes.demodulator_bytes, sizes.redirect_classes_bytes
+    );
+    out.push_str(&modulator_text(&handler));
+    out.push('\n');
+    out.push_str(&demodulator_text(&handler));
+    Ok(out)
+}
+
+fn cmd_split(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = load(file)?;
+    let pse_idx = rest
+        .iter()
+        .position(|a| a == "--pse")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| CliError::Usage("split requires `--pse <N>`".into()))?;
+    let args: Vec<Value> = rest
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            *a != "--pse" && !(*i > 0 && rest[*i - 1] == "--pse")
+        })
+        .map(|(_, a)| parse_value(a))
+        .collect();
+
+    let handler = PartitionedHandler::analyze(
+        Arc::clone(&program),
+        func,
+        Arc::new(DataSizeModel::new()),
+    )?;
+    let analysis = handler.analysis();
+    if pse_idx >= analysis.pses().len() {
+        return Err(CliError::Usage(format!(
+            "PSE {pse_idx} out of range (handler has {})",
+            analysis.pses().len()
+        )));
+    }
+    // Cover every path: the chosen PSE plus first candidates elsewhere.
+    let mut plan = vec![pse_idx];
+    for (path, candidates) in analysis.paths.paths.iter().zip(&analysis.cut.path_pses) {
+        let edges = mpart_analysis::convex::path_edges(analysis.ug.start(), path);
+        if !plan.iter().any(|&p| edges.contains(&analysis.pses()[p].edge)) {
+            plan.push(candidates[0]);
+        }
+    }
+    handler.plan().install(&plan);
+    handler.plan().validate_cut(analysis)?;
+
+    let mut sender = stubbed_ctx(&program);
+    let run = handler.modulator().handle(&mut sender, args)?;
+    let mut receiver = stubbed_ctx(&program);
+    let out_run = handler.demodulator().handle(&mut receiver, &run.message)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "plan: {:?}", handler.plan().active());
+    let _ = writeln!(out, "split at PSE {}", run.message.pse);
+    let _ = writeln!(out, "continuation wire size: {} bytes", run.message.wire_size());
+    let _ = writeln!(out, "modulator work: {}", run.mod_work);
+    let _ = writeln!(out, "demodulator work: {}", out_run.demod_work);
+    let _ = writeln!(
+        out,
+        "return: {}",
+        out_run.ret.map(|v| v.to_string()).unwrap_or("(void)".into())
+    );
+    Ok(out)
+}
+
+/// Observer recording the executed edge sequence of the outer frame.
+struct TraceObserver {
+    edges: Vec<(usize, usize, u64)>, // (from, to, cumulative work)
+}
+
+impl mpart_ir::interp::EdgeObserver for TraceObserver {
+    fn on_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        _vars: &[Value],
+        _heap: &mpart_ir::heap::Heap,
+        work: u64,
+    ) -> mpart_ir::interp::EdgeAction {
+        self.edges.push((from, to, work));
+        mpart_ir::interp::EdgeAction::Continue
+    }
+}
+
+fn cmd_trace(file: &str, func_name: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = load(file)?;
+    let func = program.function_or_err(func_name)?;
+    let args: Vec<Value> = rest.iter().map(|a| parse_value(a)).collect();
+    let mut ctx = stubbed_ctx(&program);
+    let mut observer = TraceObserver { edges: Vec::new() };
+    let outcome = Interp::new(&program).run_with_observer(&mut ctx, func, args, &mut observer)?;
+    let ret = match outcome {
+        mpart_ir::interp::Outcome::Finished(v) => v,
+        mpart_ir::interp::Outcome::Suspended(_) => unreachable!("trace never suspends"),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "trace of `{func_name}` (outer frame; invocations are opaque):");
+    // The first executed instruction is the start node; each observed edge
+    // names the next one.
+    let mut executed: Vec<(usize, u64)> = vec![(0, 0)];
+    for (_, to, work) in &observer.edges {
+        executed.push((*to, *work));
+    }
+    for (pc, work) in &executed {
+        let _ = writeln!(
+            out,
+            "  [{work:>8}] {:>3}: {}",
+            pc,
+            mpart_ir::pretty::instr_to_string(&program, func, &func.instrs[*pc])
+        );
+    }
+    let _ = writeln!(
+        out,
+        "return: {} after {} instructions, {} work units",
+        ret.map(|v| v.to_string()).unwrap_or("(void)".into()),
+        executed.len(),
+        ctx.work
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn demo_file() -> tempfile_path::TempPath {
+        tempfile_path::write(
+            r#"
+            class Pkt { n: int, body: ref }
+            fn handle(event, scale) {
+                ok = event instanceof Pkt
+                if ok == 0 goto skip
+                p = (Pkt) event
+                s = p.n
+                t = s * scale
+                native emit(t)
+                return t
+            skip:
+                return -1
+            }
+            "#,
+        )
+    }
+
+    /// Minimal temp-file helper (std-only).
+    mod tempfile_path {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().unwrap()
+            }
+        }
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub fn write(contents: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("mpart-cli-test-{}-{n}.jmpl", std::process::id()));
+            std::fs::write(&path, contents).unwrap();
+            TempPath(path)
+        }
+    }
+
+    #[test]
+    fn fmt_round_trips() {
+        let file = demo_file();
+        let out = execute(&args(&["fmt", file.as_str()])).unwrap();
+        assert!(out.contains("fn handle"));
+        assert!(parse_program(&out).is_ok(), "fmt output re-parses");
+    }
+
+    #[test]
+    fn run_executes_with_stubbed_natives() {
+        let file = demo_file();
+        // A non-Pkt event takes the reject path.
+        let out = execute(&args(&["run", file.as_str(), "handle", "5", "3"])).unwrap();
+        assert!(out.contains("return: -1"), "{out}");
+        assert!(out.contains("native calls: 0"));
+    }
+
+    #[test]
+    fn analyze_lists_pses() {
+        let file = demo_file();
+        let out = execute(&args(&["analyze", file.as_str(), "handle"])).unwrap();
+        assert!(out.contains("potential split edges"), "{out}");
+        assert!(out.contains("PSE 0"), "{out}");
+        let out2 = execute(&args(&[
+            "analyze",
+            file.as_str(),
+            "handle",
+            "--model",
+            "exec-time",
+        ]))
+        .unwrap();
+        assert!(out2.contains("exec-time"));
+    }
+
+    #[test]
+    fn analyze_with_inline_exposes_more_pses() {
+        let file = tempfile_path::write(
+            r#"
+            fn helper(x) {
+                a = x + 1
+                b = a * 2
+                c = b + 3
+                return c
+            }
+            fn handle(v) {
+                r = call helper(v)
+                native out(r)
+                return r
+            }
+            "#,
+        );
+        let plain = execute(&args(&["analyze", file.as_str(), "handle"])).unwrap();
+        let inlined =
+            execute(&args(&["analyze", file.as_str(), "handle", "--inline"])).unwrap();
+        let count = |s: &str| s.matches("PSE ").count();
+        assert!(
+            count(&inlined) > count(&plain),
+            "inlining exposes split edges inside the helper:\nplain:\n{plain}\ninlined:\n{inlined}"
+        );
+    }
+
+    #[test]
+    fn codegen_emits_both_halves() {
+        let file = demo_file();
+        let out = execute(&args(&["codegen", file.as_str(), "handle"])).unwrap();
+        assert!(out.contains("__modulator"));
+        assert!(out.contains("__demodulator"));
+    }
+
+    #[test]
+    fn split_runs_partitioned() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "split",
+            file.as_str(),
+            "handle",
+            "--pse",
+            "0",
+            "9",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("return: -1") || out.contains("return: 18"), "{out}");
+        assert!(out.contains("continuation wire size"), "{out}");
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        assert!(matches!(execute(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(execute(&args(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            execute(&args(&["run", "/nonexistent.jmpl", "f"])),
+            Err(CliError::Io(_))
+        ));
+        let file = demo_file();
+        assert!(matches!(
+            execute(&args(&["split", file.as_str(), "handle", "--pse", "999"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            execute(&args(&["analyze", file.as_str(), "handle", "--model", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_lists_executed_instructions() {
+        let file = demo_file();
+        // Reject path: instanceof, if, return -1.
+        let out = execute(&args(&["trace", file.as_str(), "handle", "5", "2"])).unwrap();
+        assert!(out.contains("instanceof"), "{out}");
+        assert!(out.contains("return: -1"), "{out}");
+        let lines = out.lines().filter(|l| l.trim_start().starts_with('[')).count();
+        assert_eq!(lines, 3, "{out}");
+    }
+
+    #[test]
+    fn parse_value_literals() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("-1.5"), Value::Float(-1.5));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("null"), Value::Null);
+        assert_eq!(parse_value("hello"), Value::str("hello"));
+    }
+}

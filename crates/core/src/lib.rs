@@ -1,0 +1,82 @@
+//! # mpart — the Method Partitioning runtime
+//!
+//! This crate is the paper's primary contribution: it turns the static
+//! analysis of `mpart-analysis` and a cost model from `mpart-cost` into a
+//! *running* partitioned handler.
+//!
+//! * [`plan`] — [`plan::PartitionPlan`]: the per-PSE split
+//!   and profiling flags. "Switching plans is as efficient as changing
+//!   flag values" — flags are atomics shared with the modulator.
+//! * [`continuation`] — the Remote Continuation message: PSE id plus the
+//!   marshalled live variables (`INTER` set) of the split edge.
+//! * [`modulator`] — the sender-side half: runs the handler under an edge
+//!   observer, stops at the first active PSE, packs the continuation, and
+//!   gathers profiling samples.
+//! * [`demodulator`] — the receiver-side half: restores live variables and
+//!   resumes execution at the split edge's in-node (or runs the whole
+//!   handler for an entry-edge split).
+//! * [`profile`] — the Runtime Profiling Unit: per-PSE statistics with
+//!   EWMA smoothing, conditional profiling flags, and rate-/diff-triggered
+//!   feedback.
+//! * [`reconfig`] — the Runtime Reconfiguration Unit: converts profiled
+//!   statistics into per-PSE weights and re-selects the optimal partition
+//!   with a max-flow/min-cut over the Unit Graph.
+//! * [`codegen`] — renders the instrumented modulator/demodulator "classes"
+//!   as text and accounts their size overhead (§5.3).
+//! * [`partitioned`] — [`partitioned::PartitionedHandler`],
+//!   the deployment-time facade tying everything together.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use mpart::partitioned::PartitionedHandler;
+//! use mpart_cost::DataSizeModel;
+//! use mpart_ir::parse::parse_program;
+//! use mpart_ir::interp::ExecCtx;
+//! use mpart_ir::Value;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(parse_program(r#"
+//!     fn handle(x) {
+//!         y = x * 2
+//!         native deliver(y)
+//!         return
+//!     }
+//! "#)?);
+//! let handler = PartitionedHandler::analyze(
+//!     program.clone(),
+//!     "handle",
+//!     Arc::new(DataSizeModel::new()),
+//! )?;
+//! // Sender side: run the modulator, which stops at the active split
+//! // edge and emits a remote continuation.
+//! let modulator = handler.modulator();
+//! let mut sender_ctx = ExecCtx::new(&program);
+//! let run = modulator.handle(&mut sender_ctx, vec![Value::Int(21)])?;
+//! // Receiver side: the demodulator restores the live variables and
+//! // finishes the handler, reaching the native stop node.
+//! let demodulator = handler.demodulator();
+//! let mut recv_ctx = ExecCtx::new(&program);
+//! recv_ctx.builtins.register_native("deliver", 1, |_, _| Ok(Value::Null));
+//! demodulator.handle(&mut recv_ctx, &run.message)?;
+//! assert_eq!(recv_ctx.trace.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codegen;
+pub mod continuation;
+pub mod demodulator;
+pub mod modulator;
+pub mod partitioned;
+pub mod plan;
+pub mod profile;
+pub mod reconfig;
+
+/// Index of a Potential Split Edge within a handler's analysis results.
+pub type PseId = usize;
+
+pub use continuation::ContinuationMessage;
+pub use partitioned::PartitionedHandler;
+pub use plan::PartitionPlan;

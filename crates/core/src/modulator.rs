@@ -1,0 +1,338 @@
+//! The modulator: the sender-side half of a partitioned handler.
+//!
+//! "When a message is sent to a receiver, the message is first touched by
+//! the sender using the receiver's modulator, and any data emitted by the
+//! modulator is sent and then touched by the demodulator in the receiver"
+//! (§2.1). The modulator executes the handler prefix up to the first
+//! *active* Potential Split Edge, runs the per-PSE profiling code on the
+//! way (when the PSE's profiling flag is set), and packs a
+//! [`ContinuationMessage`] at the split.
+
+use std::sync::Arc;
+
+use mpart_ir::heap::Heap;
+use mpart_ir::interp::{EdgeAction, EdgeObserver, ExecCtx, Interp, Outcome};
+use mpart_ir::{IrError, Value};
+
+use crate::continuation::ContinuationMessage;
+use crate::partitioned::PartitionedHandler;
+use crate::profile::PseSample;
+use crate::PseId;
+
+/// Result of one modulator invocation.
+#[derive(Debug, Clone)]
+pub struct ModRun {
+    /// The continuation to ship to the receiver.
+    pub message: ContinuationMessage,
+    /// Profiling observations collected along the executed prefix (one per
+    /// traversed PSE whose profiling flag was set).
+    pub samples: Vec<PseSample>,
+    /// Work units the modulator consumed for this message.
+    pub mod_work: u64,
+    /// Work units spent running the profiling probes themselves (§2.5's
+    /// conditional profiling exists to bound this).
+    pub profile_work: u64,
+}
+
+/// The sender-side half of a [`PartitionedHandler`].
+///
+/// Cheap to clone; all clones share the handler's atomic plan, so a
+/// reconfiguration is visible to every installed modulator instantly.
+#[derive(Debug, Clone)]
+pub struct Modulator {
+    handler: Arc<PartitionedHandler>,
+}
+
+impl Modulator {
+    pub(crate) fn new(handler: Arc<PartitionedHandler>) -> Self {
+        Modulator { handler }
+    }
+
+    /// The shared handler.
+    pub fn handler(&self) -> &Arc<PartitionedHandler> {
+        &self.handler
+    }
+
+    /// Processes one message on the sender: executes the handler prefix up
+    /// to the first active PSE and packs the remote continuation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Continuation`] if the current plan is not a
+    /// valid cut (execution would reach a stop node on the sender), plus
+    /// any runtime error from the handler prefix.
+    pub fn handle(&self, ctx: &mut ExecCtx, args: Vec<Value>) -> Result<ModRun, IrError> {
+        let func = self.handler.func();
+        if args.len() != func.params {
+            return Err(IrError::Type(format!(
+                "handler `{}` expects {} args, got {}",
+                func.name,
+                func.params,
+                args.len()
+            )));
+        }
+        let work_start = ctx.work;
+        let mut samples = Vec::new();
+        let mut profile_work = 0u64;
+
+        // Snapshot the plan at message start: a reconfiguration racing
+        // with this message must not change its split decisions
+        // mid-flight (a torn view could miss every active edge on the
+        // taken path and run into a stop node).
+        let n_pses = self.handler.analysis().pses().len();
+        let plan = self.handler.plan();
+        let split: Vec<bool> = (0..n_pses).map(|p| plan.is_split(p)).collect();
+        let profiled: Vec<bool> = (0..n_pses).map(|p| plan.is_profiled(p)).collect();
+
+        // Entry-edge split: ship the raw message without touching it.
+        if let Some(entry) = self.handler.entry_pse() {
+            if profiled[entry] {
+                let pse = &self.handler.analysis().pses()[entry];
+                let roots: Vec<Value> =
+                    pse.inter.iter().map(|v| args[v.index()].clone()).collect();
+                let classes = &self.handler.program().classes;
+                let bytes = self.handler.model().measure_payload(&ctx.heap, classes, &roots);
+                profile_work += self
+                    .handler
+                    .model()
+                    .profiling_work(&ctx.heap, classes, &roots);
+                samples.push(PseSample {
+                    pse: entry,
+                    mod_work: 0,
+                    payload_bytes: Some(bytes),
+                    was_split: split[entry],
+                });
+            }
+            if split[entry] {
+                let mut env = vec![Value::Null; func.locals];
+                for (i, a) in args.into_iter().enumerate() {
+                    env[i] = a;
+                }
+                let pse = &self.handler.analysis().pses()[entry];
+                let message = ContinuationMessage::pack(entry, pse, &env, &ctx.heap, 0)?;
+                let mod_work = ctx.work - work_start;
+                return Ok(ModRun { message, samples, mod_work, profile_work });
+            }
+        }
+
+        // A handler whose very first instruction is a stop node can only
+        // be covered by the entry split; edge observation starts after the
+        // first instruction, so catch this before executing anything.
+        let start = self.handler.analysis().ug.start();
+        if self.handler.analysis().stops.is_stop(start) {
+            return Err(IrError::Continuation(format!(
+                "plan {:?} lets execution reach stop node {start} (the start node) on the sender",
+                active_of(&split)
+            )));
+        }
+
+        let mut observer = ModObserver {
+            handler: &self.handler,
+            samples: &mut samples,
+            work_base: work_start,
+            split_at: None,
+            violation: None,
+            profile_work: &mut profile_work,
+            split: &split,
+            profiled: &profiled,
+        };
+        let interp = Interp::new(self.handler.program());
+        let outcome = interp.run_with_observer(ctx, func, args, &mut observer)?;
+        let split_at = observer.split_at;
+        let violation = observer.violation;
+
+        if let Some((from, to)) = violation {
+            return Err(IrError::Continuation(format!(
+                "plan {:?} lets execution reach stop node {to} from {from} on the sender",
+                active_of(&split)
+            )));
+        }
+        match outcome {
+            Outcome::Suspended(sp) => {
+                let pse_id = split_at.ok_or_else(|| {
+                    IrError::Continuation("suspended without recorded PSE".into())
+                })?;
+                let pse = &self.handler.analysis().pses()[pse_id];
+                let mod_work = ctx.work - work_start;
+                let message =
+                    ContinuationMessage::pack(pse_id, pse, &sp.env, &ctx.heap, mod_work)?;
+                Ok(ModRun { message, samples, mod_work, profile_work })
+            }
+            Outcome::Finished(_) => Err(IrError::Continuation(format!(
+                "plan {:?} is not a cut: handler completed inside the sender",
+                active_of(&split)
+            ))),
+        }
+    }
+}
+
+/// The PSE ids active in a snapshot, for diagnostics.
+fn active_of(split: &[bool]) -> Vec<PseId> {
+    split
+        .iter()
+        .enumerate()
+        .filter(|(_, on)| **on)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+struct ModObserver<'a> {
+    handler: &'a Arc<PartitionedHandler>,
+    samples: &'a mut Vec<PseSample>,
+    work_base: u64,
+    split_at: Option<PseId>,
+    violation: Option<(usize, usize)>,
+    profile_work: &'a mut u64,
+    split: &'a [bool],
+    profiled: &'a [bool],
+}
+
+impl EdgeObserver for ModObserver<'_> {
+    fn on_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        vars: &[Value],
+        heap: &Heap,
+        work: u64,
+    ) -> EdgeAction {
+        if let Some(pse_id) = self.handler.pse_of_edge(from, to) {
+            let split = self.split[pse_id];
+            if self.profiled[pse_id] {
+                let pse = &self.handler.analysis().pses()[pse_id];
+                let roots: Vec<Value> =
+                    pse.inter.iter().map(|v| vars[v.index()].clone()).collect();
+                let classes = &self.handler.program().classes;
+                let bytes = self.handler.model().measure_payload(heap, classes, &roots);
+                *self.profile_work +=
+                    self.handler.model().profiling_work(heap, classes, &roots);
+                self.samples.push(PseSample {
+                    pse: pse_id,
+                    mod_work: work - self.work_base,
+                    payload_bytes: Some(bytes),
+                    was_split: split,
+                });
+            }
+            if split {
+                self.split_at = Some(pse_id);
+                return EdgeAction::Suspend;
+            }
+        }
+        // Defensive cut check: an edge into a stop node that we are not
+        // splitting at means the plan would execute receiver-anchored code
+        // on the sender. Halt before it runs.
+        if self.handler.analysis().stops.is_stop(to) {
+            self.violation = Some((from, to));
+            return EdgeAction::Suspend;
+        }
+        EdgeAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+
+    const SRC: &str = r#"
+        class ImageData { width: int, buff: ref }
+        fn push(event) {
+            z0 = event instanceof ImageData
+            if z0 == 0 goto skip
+            r2 = (ImageData) event
+            w = r2.width
+            native display_image(w)
+            return
+        skip:
+            return
+        }
+    "#;
+
+    fn setup() -> (Arc<mpart_ir::Program>, Arc<PartitionedHandler>) {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h = PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "push",
+            Arc::new(DataSizeModel::new()),
+        )
+        .unwrap();
+        (program, h)
+    }
+
+    /// Installs the "process on the sender" plan: split at the last edge
+    /// of every path instead of the entry.
+    fn install_late_plan(h: &Arc<PartitionedHandler>) {
+        let late: Vec<usize> = h
+            .analysis()
+            .pses()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.edge.is_entry())
+            .map(|(i, _)| i)
+            .collect();
+        h.plan().install(&late);
+        h.plan().validate_cut(h.analysis()).unwrap();
+    }
+
+    #[test]
+    fn modulator_filters_wrong_type_on_sender() {
+        let (program, h) = setup();
+        install_late_plan(&h);
+        let m = h.modulator();
+        let mut ctx = ExecCtx::new(&program);
+        // A non-ImageData event: the skip path's PSE carries nothing.
+        let run = m.handle(&mut ctx, vec![Value::Int(7)]).unwrap();
+        let pse = &h.analysis().pses()[run.message.pse];
+        assert!(pse.inter.is_empty(), "filtered event ships no data");
+        assert!(run.message.payload.wire_size() < 16);
+    }
+
+    #[test]
+    fn modulator_ships_processed_data_on_main_path() {
+        let (program, h) = setup();
+        install_late_plan(&h);
+        let m = h.modulator();
+        let mut ctx = ExecCtx::new(&program);
+        let image = ctx.heap.alloc_object(
+            &program.classes,
+            program.classes.id("ImageData").unwrap(),
+        );
+        ctx.heap
+            .set_field(image, program.classes.decl(program.classes.id("ImageData").unwrap()).field("width").unwrap(), Value::Int(320))
+            .unwrap();
+        let run = m.handle(&mut ctx, vec![Value::Ref(image)]).unwrap();
+        assert!(run.mod_work > 0);
+        assert!(!run.samples.is_empty(), "profiling flags default on");
+    }
+
+    #[test]
+    fn empty_plan_is_rejected_at_runtime() {
+        let (program, h) = setup();
+        h.plan().install(&[]); // deliberately invalid
+        let m = h.modulator();
+        let mut ctx = ExecCtx::new(&program);
+        let err = m.handle(&mut ctx, vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, IrError::Continuation(_)), "{err}");
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (program, h) = setup();
+        let m = h.modulator();
+        let mut ctx = ExecCtx::new(&program);
+        assert!(m.handle(&mut ctx, vec![]).is_err());
+    }
+
+    #[test]
+    fn profiling_flags_suppress_samples() {
+        let (program, h) = setup();
+        for i in 0..h.analysis().pses().len() {
+            h.plan().set_profiled(i, false);
+        }
+        let m = h.modulator();
+        let mut ctx = ExecCtx::new(&program);
+        let run = m.handle(&mut ctx, vec![Value::Int(7)]).unwrap();
+        assert!(run.samples.is_empty());
+    }
+}

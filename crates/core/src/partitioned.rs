@@ -1,0 +1,225 @@
+//! The deployment-time facade: analyze a handler once, then hand out the
+//! modulator (to ship to senders) and demodulator (kept by the receiver).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mpart_analysis::paths::EnumLimits;
+use mpart_analysis::{analyze, EdgeCostEstimator, HandlerAnalysis, StaticCost};
+use mpart_cost::CostModel;
+use mpart_ir::{IrError, Program};
+
+use crate::demodulator::Demodulator;
+use crate::modulator::Modulator;
+use crate::plan::PartitionPlan;
+use crate::reconfig::select_active_set;
+use crate::PseId;
+
+/// A handler analyzed for Method Partitioning under one cost model.
+///
+/// Created once at deployment time (when the receiver submits its handler);
+/// the [`Modulator`] half is then installed into message senders while the
+/// [`Demodulator`] half stays with the receiver. Both halves share this
+/// structure (and its atomic [`PartitionPlan`]) by `Arc`.
+pub struct PartitionedHandler {
+    program: Arc<Program>,
+    func_name: String,
+    analysis: Arc<HandlerAnalysis>,
+    model: Arc<dyn CostModel>,
+    plan: PartitionPlan,
+    edge_to_pse: HashMap<(usize, usize), PseId>,
+}
+
+impl std::fmt::Debug for PartitionedHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedHandler")
+            .field("func", &self.func_name)
+            .field("model", &self.model.name())
+            .field("pses", &self.analysis.pses().len())
+            .field("active", &self.plan.active())
+            .finish()
+    }
+}
+
+impl PartitionedHandler {
+    /// Runs static analysis on `func_name` under `model` and installs the
+    /// statically-optimal initial partition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures (unknown function, malformed body).
+    pub fn analyze(
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+    ) -> Result<Arc<Self>, IrError> {
+        Self::analyze_with_limits(program, func_name, model, EnumLimits::default())
+    }
+
+    /// Like [`analyze`](Self::analyze) with explicit path-enumeration
+    /// limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn analyze_with_limits(
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        limits: EnumLimits,
+    ) -> Result<Arc<Self>, IrError> {
+        let estimator: &dyn EdgeCostEstimator = model.as_ref();
+        let analysis = Arc::new(analyze(&program, func_name, estimator, limits)?);
+        let plan = PartitionPlan::new(analysis.pses().len());
+
+        let edge_to_pse = analysis
+            .pses()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((p.edge.from, p.edge.to), i))
+            .collect();
+
+        let handler = PartitionedHandler {
+            program,
+            func_name: func_name.to_string(),
+            analysis,
+            model,
+            plan,
+            edge_to_pse,
+        };
+        // Deployment-time initial plan from static costs alone.
+        let weights = handler.static_weights();
+        let initial = select_active_set(&handler.analysis, &weights)?;
+        handler.plan.install(&initial);
+        handler.plan.validate_cut(&handler.analysis)?;
+        Ok(Arc::new(handler))
+    }
+
+    /// Per-PSE weights derived from static costs (deterministic parts of
+    /// lower bounds; used before any profiling data exists).
+    pub fn static_weights(&self) -> Vec<u64> {
+        self.analysis
+            .pses()
+            .iter()
+            .map(|p| match &p.static_cost {
+                StaticCost::Known(k) => *k,
+                StaticCost::LowerBounded { det, .. } => *det,
+                StaticCost::Infinite => mpart_flow::INF,
+            })
+            .collect()
+    }
+
+    /// The sender-side half.
+    pub fn modulator(self: &Arc<Self>) -> Modulator {
+        Modulator::new(Arc::clone(self))
+    }
+
+    /// The receiver-side half.
+    pub fn demodulator(self: &Arc<Self>) -> Demodulator {
+        Demodulator::new(Arc::clone(self))
+    }
+
+    /// The analyzed program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The handler function's name.
+    pub fn func_name(&self) -> &str {
+        &self.func_name
+    }
+
+    /// The handler function.
+    pub fn func(&self) -> &mpart_ir::Function {
+        self.program
+            .function(&self.func_name)
+            .expect("validated at construction")
+    }
+
+    /// Static analysis results.
+    pub fn analysis(&self) -> &Arc<HandlerAnalysis> {
+        &self.analysis
+    }
+
+    /// The deployment-time cost model.
+    pub fn model(&self) -> &Arc<dyn CostModel> {
+        &self.model
+    }
+
+    /// The shared partition plan (atomic flags).
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
+    /// PSE id of a Unit Graph edge, if that edge is a PSE.
+    pub fn pse_of_edge(&self, from: usize, to: usize) -> Option<PseId> {
+        self.edge_to_pse.get(&(from, to)).copied()
+    }
+
+    /// The PSE lying on the synthetic entry edge, if any.
+    pub fn entry_pse(&self) -> Option<PseId> {
+        self.analysis
+            .pses()
+            .iter()
+            .position(|p| p.edge.is_entry())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_cost::{DataSizeModel, ExecTimeModel};
+    use mpart_ir::parse::parse_program;
+
+    const SRC: &str = r#"
+        class ImageData { width: int, buff: ref }
+        fn push(event) {
+            z0 = event instanceof ImageData
+            if z0 == 0 goto skip
+            r2 = (ImageData) event
+            r4 = call resize(r2, 100, 100)
+            native display_image(r4)
+            return
+        skip:
+            return
+        }
+    "#;
+
+    #[test]
+    fn analyze_installs_valid_initial_plan() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h = PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new()))
+            .unwrap();
+        h.plan().validate_cut(h.analysis()).unwrap();
+        assert!(!h.plan().active().is_empty());
+    }
+
+    #[test]
+    fn edge_lookup_round_trips() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h = PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new()))
+            .unwrap();
+        for (i, pse) in h.analysis().pses().iter().enumerate() {
+            assert_eq!(h.pse_of_edge(pse.edge.from, pse.edge.to), Some(i));
+        }
+        assert_eq!(h.pse_of_edge(500, 501), None);
+        assert!(h.entry_pse().is_some());
+    }
+
+    #[test]
+    fn exec_time_model_also_analyzes() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h = PartitionedHandler::analyze(program, "push", Arc::new(ExecTimeModel::new()))
+            .unwrap();
+        h.plan().validate_cut(h.analysis()).unwrap();
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        assert!(
+            PartitionedHandler::analyze(program, "nope", Arc::new(DataSizeModel::new()))
+                .is_err()
+        );
+    }
+}

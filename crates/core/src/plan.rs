@@ -1,0 +1,187 @@
+//! Partition plans: the per-PSE split and profiling flags.
+//!
+//! "For each PSE, there is a dedicated flag controlling whether actual
+//! splitting of the processing will happen there. ... At any given time,
+//! the set of PSEs with their flags set comprise the actual partition of
+//! the handling method" (§2.1). Flags are atomics so that the
+//! Reconfiguration Unit can swap plans while messages are in flight —
+//! adaptation really is just flag writes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mpart_analysis::HandlerAnalysis;
+use mpart_ir::IrError;
+
+use crate::PseId;
+
+/// Shared, atomically-updatable split/profile flags for one
+/// modulator/demodulator pair.
+///
+/// ```
+/// use mpart::plan::PartitionPlan;
+///
+/// let plan = PartitionPlan::new(3);
+/// let modulator_view = plan.clone(); // clones share the flags
+/// plan.install(&[1]);
+/// assert!(modulator_view.is_split(1));
+/// assert_eq!(modulator_view.active(), vec![1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PartitionPlan {
+    split: Arc<[AtomicBool]>,
+    profile: Arc<[AtomicBool]>,
+}
+
+impl PartitionPlan {
+    /// Creates a plan for `n_pses` PSEs with all split flags clear and all
+    /// profiling flags set (profile everything until statistics settle).
+    pub fn new(n_pses: usize) -> Self {
+        PartitionPlan {
+            split: (0..n_pses).map(|_| AtomicBool::new(false)).collect(),
+            profile: (0..n_pses).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    /// Number of PSEs covered.
+    pub fn len(&self) -> usize {
+        self.split.len()
+    }
+
+    /// Whether the plan covers no PSEs.
+    pub fn is_empty(&self) -> bool {
+        self.split.is_empty()
+    }
+
+    /// Whether splitting is active at `pse`.
+    pub fn is_split(&self, pse: PseId) -> bool {
+        self.split[pse].load(Ordering::Acquire)
+    }
+
+    /// Sets the split flag of one PSE.
+    pub fn set_split(&self, pse: PseId, on: bool) {
+        self.split[pse].store(on, Ordering::Release);
+    }
+
+    /// Whether profiling is active at `pse`.
+    pub fn is_profiled(&self, pse: PseId) -> bool {
+        self.profile[pse].load(Ordering::Acquire)
+    }
+
+    /// Sets the profiling flag of one PSE.
+    pub fn set_profiled(&self, pse: PseId, on: bool) {
+        self.profile[pse].store(on, Ordering::Release);
+    }
+
+    /// Installs a whole new active set: exactly the PSEs in `active` have
+    /// their split flags set afterwards.
+    ///
+    /// Individual flag writes are atomic, and the new flags are set
+    /// *before* the old ones are cleared, so a message racing with the
+    /// switch observes a superset of either the old or the new active set
+    /// — and every superset of a cut is itself a cut, so concurrent
+    /// messages always find a valid split point. (Clearing first would
+    /// expose an empty-plan window that lets execution reach a stop node
+    /// on the sender.)
+    pub fn install(&self, active: &[PseId]) {
+        for &p in active {
+            self.set_split(p, true);
+        }
+        for i in 0..self.split.len() {
+            if !active.contains(&i) {
+                self.set_split(i, false);
+            }
+        }
+    }
+
+    /// The currently-active PSE ids, ascending.
+    pub fn active(&self) -> Vec<PseId> {
+        (0..self.split.len()).filter(|&i| self.is_split(i)).collect()
+    }
+
+    /// Validates that the active set forms a *cut*: every target path of
+    /// `analysis` crosses at least one active PSE edge. A plan that is not
+    /// a cut would let the modulator run into a stop node.
+    ///
+    /// Note this checks edge membership on each path, not just the per-path
+    /// candidate sets — the min cut may legitimately cover a path with a
+    /// PSE that `MinCostEdgeSet` pruned for that particular path (e.g. the
+    /// entry edge covering every path at once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Continuation`] naming the first uncovered path.
+    pub fn validate_cut(&self, analysis: &HandlerAnalysis) -> Result<(), IrError> {
+        let active_edges: Vec<mpart_analysis::Edge> = self
+            .active()
+            .into_iter()
+            .map(|p| analysis.pses()[p].edge)
+            .collect();
+        for (i, path) in analysis.paths.paths.iter().enumerate() {
+            let edges = mpart_analysis::convex::path_edges(analysis.ug.start(), path);
+            if !edges.iter().any(|e| active_edges.contains(e)) {
+                return Err(IrError::Continuation(format!(
+                    "plan {:?} does not cover target path {i} ({path:?})",
+                    self.active()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_analysis::analyze;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+
+    #[test]
+    fn flags_toggle() {
+        let plan = PartitionPlan::new(3);
+        assert!(!plan.is_split(0));
+        assert!(plan.is_profiled(0));
+        plan.set_split(0, true);
+        plan.set_profiled(2, false);
+        assert!(plan.is_split(0));
+        assert!(!plan.is_profiled(2));
+        assert_eq!(plan.active(), vec![0]);
+    }
+
+    #[test]
+    fn install_replaces_active_set() {
+        let plan = PartitionPlan::new(4);
+        plan.install(&[0, 2]);
+        assert_eq!(plan.active(), vec![0, 2]);
+        plan.install(&[3]);
+        assert_eq!(plan.active(), vec![3]);
+    }
+
+    #[test]
+    fn clones_share_flags() {
+        let plan = PartitionPlan::new(2);
+        let clone = plan.clone();
+        plan.set_split(1, true);
+        assert!(clone.is_split(1), "clone must observe the shared flag");
+    }
+
+    #[test]
+    fn cut_validation() {
+        let src = r#"
+            fn f(x) {
+                a = x + 1
+                native out(a)
+                return
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let model = DataSizeModel::new();
+        let ha = analyze(&program, "f", &model, Default::default()).unwrap();
+        let plan = PartitionPlan::new(ha.pses().len());
+        assert!(plan.validate_cut(&ha).is_err(), "empty plan is not a cut");
+        // Activating every PSE is always a valid cut.
+        plan.install(&(0..ha.pses().len()).collect::<Vec<_>>());
+        plan.validate_cut(&ha).unwrap();
+    }
+}

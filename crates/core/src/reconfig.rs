@@ -1,0 +1,604 @@
+//! The Runtime Reconfiguration Unit.
+//!
+//! "It invokes a max-flow algorithm to re-select the optimal partitioning
+//! from the graph of PSEs when profiling data changes significantly.
+//! Finally, it sends a new partitioning plan to the modulator side" (§2.5).
+//!
+//! The optimal partition is the s–t minimum cut of the Unit Graph with
+//! PSE edges priced at their profiled runtime weights and all other edges
+//! at infinity (see [`select_active_set`]). The unit may be placed with
+//! the modulator, the demodulator, or a third party
+//! ([`ReconfigPlacement`]); placement only affects where the computation
+//! runs, not its result.
+
+use mpart_analysis::{HandlerAnalysis, StaticCost, ENTRY};
+use mpart_cost::RuntimeCostKind;
+use mpart_flow::{Dinic, INF};
+use mpart_ir::IrError;
+
+use crate::profile::{DemodMessageProfile, ModMessageProfile, ProfileSnapshot, ProfilingUnit, TriggerPolicy};
+use crate::PseId;
+
+/// Where the Reconfiguration Unit runs (§2.5: "the location of the
+/// reconfiguration unit is variable").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconfigPlacement {
+    /// Co-located with the modulator (sender).
+    Modulator,
+    /// Co-located with the demodulator (receiver) — the default, since the
+    /// receiver owns the handler.
+    #[default]
+    Demodulator,
+    /// A third party, appropriate "when repartitioning requires large
+    /// amounts of computation".
+    ThirdParty,
+}
+
+/// Selects the minimum-weight cut of the Unit Graph, returning the PSE ids
+/// whose split flags should be set.
+///
+/// Graph construction: nodes are the handler's instructions plus a source
+/// (the synthetic entry) and a super-sink; each stop node connects to the
+/// super-sink with infinite capacity; each Unit Graph edge gets its PSE's
+/// `weight` or infinity when it is not a PSE.
+///
+/// # Errors
+///
+/// Returns [`IrError::Continuation`] if no finite cut exists (cannot
+/// happen for analyses produced by `ConvexCut`, which guarantees a finite
+/// candidate on every path — this guards against inconsistent inputs).
+pub fn select_active_set(
+    analysis: &HandlerAnalysis,
+    weights: &[u64],
+) -> Result<Vec<PseId>, IrError> {
+    let n = analysis.ug.len();
+    let source = n; // stands in for ENTRY
+    let sink = n + 1;
+    let mut dinic = Dinic::new(n + 2);
+
+    // Cap weights so that summing them can never reach INF.
+    let cap_of = |pse: PseId| -> u64 { weights.get(pse).copied().unwrap_or(0).min(INF / 1024) };
+
+    let mut handles = Vec::new(); // (pse, handle, from-node)
+    // Entry edge.
+    let entry_to = analysis.ug.start();
+    let entry_cap = match analysis
+        .pses()
+        .iter()
+        .position(|p| p.edge.from == ENTRY && p.edge.to == entry_to)
+    {
+        Some(pse) => {
+            let h = dinic.add_edge(source, entry_to, cap_of(pse));
+            handles.push((pse, h, source));
+            None
+        }
+        None => Some(dinic.add_edge(source, entry_to, INF)),
+    };
+    let _ = entry_cap;
+
+    // Real edges.
+    for e in analysis.ug.edges() {
+        match analysis.pse_for_edge(e) {
+            Some(pse) => {
+                let h = dinic.add_edge(e.from, e.to, cap_of(pse));
+                handles.push((pse, h, e.from));
+            }
+            None => {
+                dinic.add_edge(e.from, e.to, INF);
+            }
+        }
+    }
+    // Stop nodes drain into the super-sink.
+    for s in analysis.stops.iter() {
+        dinic.add_edge(s, sink, INF);
+    }
+
+    let flow = dinic.max_flow(source, sink);
+    if flow >= INF {
+        return Err(IrError::Continuation(
+            "no finite cut separates the start node from the stop nodes".into(),
+        ));
+    }
+    let side = dinic.min_cut_source_side(source);
+    let mut active: Vec<PseId> = handles
+        .iter()
+        .filter(|(_, h, from)| dinic.edge_in_cut(*h, &side, *from))
+        .map(|(pse, _, _)| *pse)
+        .collect();
+    active.sort_unstable();
+    active.dedup();
+    Ok(active)
+}
+
+/// Computes per-PSE weights from profiled statistics under the given cost
+/// model kind, falling back to static costs for unprofiled PSEs.
+///
+/// * [`RuntimeCostKind::DataSize`]: weight is the smoothed payload size in
+///   bytes.
+/// * [`RuntimeCostKind::ExecTime`]: weight is
+///   `max(w_mod/speed_mod, (W_total − w_mod)/speed_demod)` in
+///   microseconds — the §4.2 `max(T_mod, T_demod)` per-message balance
+///   objective evaluated for *every* candidate edge from the single
+///   profiled execution (work-to-edge plus measured total work).
+pub fn runtime_weights(
+    analysis: &HandlerAnalysis,
+    kind: RuntimeCostKind,
+    snapshot: &ProfileSnapshot,
+) -> Vec<u64> {
+    runtime_weights_with(analysis, kind, snapshot, 0.0)
+}
+
+/// Like [`runtime_weights`], additionally charging each side
+/// `serialize_work_per_byte × payload size` of marshalling work when
+/// pricing a candidate split under the execution-time model ("as well as
+/// the actual data sizes passed across the network", §4.2).
+pub fn runtime_weights_with(
+    analysis: &HandlerAnalysis,
+    kind: RuntimeCostKind,
+    snapshot: &ProfileSnapshot,
+    serialize_work_per_byte: f64,
+) -> Vec<u64> {
+    runtime_weights_opts(
+        analysis,
+        kind,
+        snapshot,
+        WeightOptions { serialize_work_per_byte, frequency_weighted: false },
+    )
+}
+
+/// Options for [`runtime_weights_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightOptions {
+    /// Marshalling work charged per payload byte on each side (exec-time
+    /// model only).
+    pub serialize_work_per_byte: f64,
+    /// Scale each PSE's cost by its observed traversal frequency — the
+    /// §2.3 path-sensitive optimization. The min cut then minimizes the
+    /// *expected* cost per message instead of the per-traversal cost,
+    /// which matters when target paths have very different hit rates
+    /// (e.g. a filter that rejects most events).
+    pub frequency_weighted: bool,
+}
+
+/// Fully-parameterized weight computation; see [`runtime_weights`].
+pub fn runtime_weights_opts(
+    analysis: &HandlerAnalysis,
+    kind: RuntimeCostKind,
+    snapshot: &ProfileSnapshot,
+    options: WeightOptions,
+) -> Vec<u64> {
+    let serialize_work_per_byte = options.serialize_work_per_byte;
+    let freq = |pse: PseId| -> f64 {
+        if !options.frequency_weighted || snapshot.messages == 0 {
+            return 1.0;
+        }
+        (snapshot.traversals[pse] as f64 / snapshot.messages as f64).min(1.0)
+    };
+    let static_weight = |pse: PseId| -> u64 {
+        match &analysis.pses()[pse].static_cost {
+            StaticCost::Known(k) => *k,
+            StaticCost::LowerBounded { det, .. } => *det,
+            StaticCost::Infinite => INF,
+        }
+    };
+    (0..analysis.pses().len())
+        .map(|pse| match kind {
+            RuntimeCostKind::DataSize => snapshot.size[pse]
+                .map(|s| (s * freq(pse)).round() as u64)
+                .unwrap_or_else(|| static_weight(pse)),
+            RuntimeCostKind::ExecTime => {
+                let (Some(w_mod), Some(total)) = (snapshot.mod_work[pse], snapshot.total_work)
+                else {
+                    return static_weight(pse);
+                };
+                let speed_mod = snapshot.speed_mod.unwrap_or(1.0).max(1e-9);
+                let speed_demod = snapshot.speed_demod.unwrap_or(1.0).max(1e-9);
+                let ser = serialize_work_per_byte * snapshot.size[pse].unwrap_or(0.0);
+                let w_demod = (total - w_mod).max(0.0);
+                let t = ((w_mod + ser) / speed_mod).max((w_demod + ser) / speed_demod);
+                // Scale seconds to microseconds for integer weights.
+                (t * freq(pse) * 1e6).round() as u64
+            }
+        })
+        .collect()
+}
+
+/// A proposed plan change emitted by the Reconfiguration Unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanUpdate {
+    /// PSE ids whose split flags should be set (all others cleared).
+    pub active: Vec<PseId>,
+    /// The weights that produced this plan (diagnostics).
+    pub weights: Vec<u64>,
+}
+
+/// The Runtime Reconfiguration Unit: owns the profiling statistics and
+/// re-runs the min-cut when feedback triggers fire.
+#[derive(Debug)]
+pub struct ReconfigUnit {
+    analysis: std::sync::Arc<HandlerAnalysis>,
+    kind: RuntimeCostKind,
+    profiling: ProfilingUnit,
+    trigger: TriggerPolicy,
+    placement: ReconfigPlacement,
+    serialize_work_per_byte: f64,
+    frequency_weighted: bool,
+    last_weights: Option<Vec<u64>>,
+    messages_since: u64,
+    reconfigurations: u64,
+}
+
+impl ReconfigUnit {
+    /// Creates a unit for `analysis` under cost-model `kind`.
+    pub fn new(
+        analysis: std::sync::Arc<HandlerAnalysis>,
+        kind: RuntimeCostKind,
+        trigger: TriggerPolicy,
+    ) -> Self {
+        let n = analysis.pses().len();
+        ReconfigUnit {
+            analysis,
+            kind,
+            profiling: ProfilingUnit::new(n, 0.5),
+            trigger,
+            placement: ReconfigPlacement::default(),
+            serialize_work_per_byte: 0.0,
+            frequency_weighted: false,
+            last_weights: None,
+            messages_since: 0,
+            reconfigurations: 0,
+        }
+    }
+
+    /// Sets where the unit notionally runs (diagnostics only; computation
+    /// is identical).
+    pub fn with_placement(mut self, placement: ReconfigPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Accounts marshalling work (per wire byte, both sides) when pricing
+    /// candidate splits under the execution-time model.
+    pub fn with_serialize_cost(mut self, work_per_byte: f64) -> Self {
+        self.serialize_work_per_byte = work_per_byte;
+        self
+    }
+
+    /// Weights PSE costs by observed traversal frequency (§2.3's
+    /// path-sensitive optimization): the min cut then minimizes expected
+    /// cost per message.
+    pub fn with_frequency_weighting(mut self, on: bool) -> Self {
+        self.frequency_weighted = on;
+        self
+    }
+
+    /// Replaces the EWMA smoothing factor (default 0.5). Smaller values
+    /// damp noisy profiles; larger values adapt faster.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        let n = self.analysis.pses().len();
+        self.profiling = ProfilingUnit::new(n, alpha);
+        self
+    }
+
+    /// The unit's placement.
+    pub fn placement(&self) -> ReconfigPlacement {
+        self.placement
+    }
+
+    /// Number of plan re-selections performed so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Read access to the owned profiling unit.
+    pub fn profiling(&self) -> &ProfilingUnit {
+        &self.profiling
+    }
+
+    /// Feeds one message's modulator-side profile.
+    pub fn record_mod(&mut self, profile: ModMessageProfile) {
+        self.profiling.record_mod(profile);
+        self.messages_since += 1;
+    }
+
+    /// Feeds one message's demodulator-side profile.
+    pub fn record_demod(&mut self, profile: DemodMessageProfile) {
+        self.profiling.record_demod(profile);
+    }
+
+    /// Feeds loose per-PSE observations (the demodulator's suffix
+    /// profiling samples).
+    pub fn record_samples(&mut self, samples: &[crate::profile::PseSample]) {
+        self.profiling.record_samples(samples);
+    }
+
+    /// Checks the feedback trigger and, if it fires and the weights moved,
+    /// re-selects the optimal partition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`select_active_set`] failures.
+    pub fn maybe_reconfigure(&mut self) -> Result<Option<PlanUpdate>, IrError> {
+        let weights = self.current_weights();
+        let max_rel_change = match &self.last_weights {
+            None => f64::INFINITY,
+            Some(last) => weights
+                .iter()
+                .zip(last)
+                .map(|(&w, &l)| {
+                    let base = l.max(1) as f64;
+                    ((w as f64 - l as f64).abs()) / base
+                })
+                .fold(0.0, f64::max),
+        };
+        if !self.trigger.fires(self.messages_since, max_rel_change) {
+            return Ok(None);
+        }
+        self.messages_since = 0;
+        self.last_weights = Some(weights.clone());
+        let active = select_active_set(&self.analysis, &weights)?;
+        self.reconfigurations += 1;
+        Ok(Some(PlanUpdate { active, weights }))
+    }
+
+    /// Per-PSE weights under the current statistics and options.
+    fn current_weights(&self) -> Vec<u64> {
+        runtime_weights_opts(
+            &self.analysis,
+            self.kind,
+            &self.profiling.snapshot(),
+            WeightOptions {
+                serialize_work_per_byte: self.serialize_work_per_byte,
+                frequency_weighted: self.frequency_weighted,
+            },
+        )
+    }
+
+    /// Unconditionally re-selects the plan from current statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`select_active_set`] failures.
+    pub fn force_reconfigure(&mut self) -> Result<PlanUpdate, IrError> {
+        let weights = self.current_weights();
+        self.messages_since = 0;
+        self.last_weights = Some(weights.clone());
+        let active = select_active_set(&self.analysis, &weights)?;
+        self.reconfigurations += 1;
+        Ok(PlanUpdate { active, weights })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PseSample;
+    use mpart_analysis::analyze;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+    use std::sync::Arc;
+
+    const SRC: &str = r#"
+        class ImageData { width: int, buff: ref }
+        fn push(event) {
+            z0 = event instanceof ImageData
+            if z0 == 0 goto skip
+            r2 = (ImageData) event
+            r4 = call resize(r2, 100, 100)
+            native display_image(r4)
+            return
+        skip:
+            return
+        }
+    "#;
+
+    fn analysis() -> Arc<HandlerAnalysis> {
+        let program = parse_program(SRC).unwrap();
+        Arc::new(analyze(&program, "push", &DataSizeModel::new(), Default::default()).unwrap())
+    }
+
+    #[test]
+    fn min_cut_picks_cheapest_cut_per_path() {
+        let ha = analysis();
+        // Three PSEs: entry (raw event), post-resize, skip-return.
+        // Make the post-resize edge cheap: the cut should split there on
+        // the main path and at the free skip edge on the filter path.
+        let entry = ha.pses().iter().position(|p| p.edge.is_entry()).unwrap();
+        let mut weights = vec![0u64; ha.pses().len()];
+        weights[entry] = 1000;
+        for (i, p) in ha.pses().iter().enumerate() {
+            if !p.edge.is_entry() {
+                weights[i] = if p.inter.is_empty() { 0 } else { 10 };
+            }
+        }
+        let active = select_active_set(&ha, &weights).unwrap();
+        assert!(!active.contains(&entry), "expensive entry not cut: {active:?}");
+        // Validity: the returned set covers every path.
+        let plan = crate::plan::PartitionPlan::new(ha.pses().len());
+        plan.install(&active);
+        plan.validate_cut(&ha).unwrap();
+    }
+
+    #[test]
+    fn expensive_downstream_prefers_entry() {
+        let ha = analysis();
+        let entry = ha.pses().iter().position(|p| p.edge.is_entry()).unwrap();
+        let mut weights = vec![10_000u64; ha.pses().len()];
+        weights[entry] = 1;
+        // Skip edge stays free so the filter path uses it.
+        for (i, p) in ha.pses().iter().enumerate() {
+            if p.inter.is_empty() && !p.edge.is_entry() {
+                weights[i] = 0;
+            }
+        }
+        let active = select_active_set(&ha, &weights).unwrap();
+        assert!(active.contains(&entry), "{active:?}");
+    }
+
+    #[test]
+    fn runtime_weights_fall_back_to_static() {
+        let ha = analysis();
+        let unit = ProfilingUnit::new(ha.pses().len(), 0.5);
+        let weights = runtime_weights(&ha, RuntimeCostKind::DataSize, &unit.snapshot());
+        assert_eq!(weights.len(), ha.pses().len());
+        // Skip edge (empty INTER) statically costs 0.
+        let skip = ha.pses().iter().position(|p| p.inter.is_empty()).unwrap();
+        assert_eq!(weights[skip], 0);
+    }
+
+    #[test]
+    fn reconfigures_when_sizes_flip() {
+        let ha = analysis();
+        let entry = ha.pses().iter().position(|p| p.edge.is_entry()).unwrap();
+        let main = ha
+            .pses()
+            .iter()
+            .position(|p| !p.edge.is_entry() && !p.inter.is_empty())
+            .unwrap();
+        let mut unit = ReconfigUnit::new(
+            Arc::clone(&ha),
+            RuntimeCostKind::DataSize,
+            TriggerPolicy::Rate(1),
+        );
+
+        // Phase 1: big raw event, small processed result -> split late.
+        for _ in 0..5 {
+            unit.record_mod(ModMessageProfile {
+                samples: vec![
+                    PseSample { pse: entry, mod_work: 0, payload_bytes: Some(40_000), was_split: false },
+                    PseSample { pse: main, mod_work: 50, payload_bytes: Some(10_000), was_split: true },
+                ],
+                split: main,
+                mod_work: 50,
+                t_mod: None,
+            });
+        }
+        let update = unit.maybe_reconfigure().unwrap().expect("trigger fires");
+        assert!(update.active.contains(&main), "{update:?}");
+        assert!(!update.active.contains(&entry));
+
+        // Phase 2: small raw event (upsampling case) -> ship raw, split at entry.
+        for _ in 0..20 {
+            unit.record_mod(ModMessageProfile {
+                samples: vec![
+                    PseSample { pse: entry, mod_work: 0, payload_bytes: Some(6_400), was_split: false },
+                    PseSample { pse: main, mod_work: 50, payload_bytes: Some(25_600), was_split: true },
+                ],
+                split: main,
+                mod_work: 50,
+                t_mod: None,
+            });
+        }
+        let update2 = unit.maybe_reconfigure().unwrap().expect("trigger fires again");
+        assert!(update2.active.contains(&entry), "{update2:?}");
+        assert_eq!(unit.reconfigurations(), 2);
+    }
+
+    #[test]
+    fn diff_trigger_suppresses_stable_feedback() {
+        let ha = analysis();
+        let main = ha
+            .pses()
+            .iter()
+            .position(|p| !p.edge.is_entry() && !p.inter.is_empty())
+            .unwrap();
+        let mut unit = ReconfigUnit::new(
+            Arc::clone(&ha),
+            RuntimeCostKind::DataSize,
+            TriggerPolicy::Diff(0.5),
+        );
+        let feed = |unit: &mut ReconfigUnit, bytes: u64| {
+            unit.record_mod(ModMessageProfile {
+                samples: vec![PseSample {
+                    pse: main,
+                    mod_work: 10,
+                    payload_bytes: Some(bytes),
+                    was_split: true,
+                }],
+                split: main,
+                mod_work: 10,
+                t_mod: None,
+            });
+        };
+        feed(&mut unit, 1000);
+        // First call always fires (no prior weights).
+        assert!(unit.maybe_reconfigure().unwrap().is_some());
+        for _ in 0..10 {
+            feed(&mut unit, 1010);
+            assert!(unit.maybe_reconfigure().unwrap().is_none(), "stable data");
+        }
+        for _ in 0..10 {
+            feed(&mut unit, 40_000);
+        }
+        assert!(unit.maybe_reconfigure().unwrap().is_some(), "big shift fires");
+    }
+
+    #[test]
+    fn frequency_weighting_prefers_filtered_paths() {
+        // A filter rejects 90% of events. Shipping raw costs 1000 B on
+        // every message; splitting late costs 5000 B but only for the 10%
+        // that pass. Per-traversal weights pick "ship raw"; expected-cost
+        // weights pick the late split.
+        let ha = analysis();
+        let entry = ha.pses().iter().position(|p| p.edge.is_entry()).unwrap();
+        let main = ha
+            .pses()
+            .iter()
+            .position(|p| !p.edge.is_entry() && !p.inter.is_empty())
+            .unwrap();
+        let mut unit = ReconfigUnit::new(
+            Arc::clone(&ha),
+            RuntimeCostKind::DataSize,
+            TriggerPolicy::Rate(1),
+        )
+        .with_frequency_weighting(true);
+        let mut plain = ReconfigUnit::new(
+            Arc::clone(&ha),
+            RuntimeCostKind::DataSize,
+            TriggerPolicy::Rate(1),
+        );
+        for i in 0..40 {
+            let passes = i % 10 == 0;
+            let mut samples = vec![PseSample {
+                pse: entry,
+                mod_work: 0,
+                payload_bytes: Some(1000),
+                was_split: false,
+            }];
+            if passes {
+                samples.push(PseSample {
+                    pse: main,
+                    mod_work: 50,
+                    payload_bytes: Some(5000),
+                    was_split: true,
+                });
+            }
+            let profile = ModMessageProfile {
+                samples,
+                split: if passes { main } else { entry },
+                mod_work: 50,
+                t_mod: None,
+            };
+            unit.record_mod(profile.clone());
+            plain.record_mod(profile);
+        }
+        let weighted = unit.force_reconfigure().unwrap();
+        let unweighted = plain.force_reconfigure().unwrap();
+        assert!(
+            weighted.active.contains(&main),
+            "expected-cost weighting splits late: {weighted:?}"
+        );
+        assert!(
+            unweighted.active.contains(&entry),
+            "per-traversal weighting ships raw: {unweighted:?}"
+        );
+    }
+
+    #[test]
+    fn placement_is_recorded() {
+        let ha = analysis();
+        let unit = ReconfigUnit::new(ha, RuntimeCostKind::DataSize, TriggerPolicy::Rate(1))
+            .with_placement(ReconfigPlacement::ThirdParty);
+        assert_eq!(unit.placement(), ReconfigPlacement::ThirdParty);
+    }
+}

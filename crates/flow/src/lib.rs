@@ -1,0 +1,395 @@
+//! # mpart-flow — max-flow / min-cut for the Reconfiguration Unit
+//!
+//! The Runtime Reconfiguration Unit of Method Partitioning "invokes a
+//! max-flow algorithm to re-select the optimal partitioning from the graph
+//! of PSEs when profiling data changes significantly" (§2.5). The optimal
+//! partition is an s–t minimum cut of the handler's Unit Graph where
+//!
+//! * the source is the start node, the sink is a super-node merging all
+//!   stop/exit nodes,
+//! * each Potential Split Edge is priced at its (profiled) runtime cost,
+//! * every other edge has infinite capacity,
+//!
+//! so that the min cut crosses each target path exactly through its
+//! cheapest compatible split edge.
+//!
+//! This crate provides [`Dinic`], a standard blocking-flow max-flow
+//! implementation with min-cut extraction, plus [`brute_force_min_cut`]
+//! used by the property tests to validate it on small graphs.
+
+use std::collections::VecDeque;
+
+/// Capacity value. [`INF`] models the un-cuttable non-PSE edges.
+pub type Cap = u64;
+
+/// Effectively-infinite capacity (large enough to never bind, small enough
+/// to never overflow when summed over realistic graphs).
+pub const INF: Cap = u64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    cap: Cap,
+    flow: Cap,
+}
+
+/// A max-flow problem on a directed graph, solved with Dinic's algorithm.
+///
+/// Nodes are `0..n`; edges are added with [`add_edge`](Self::add_edge) and
+/// identified by the returned handle for later inspection.
+///
+/// ```
+/// use mpart_flow::Dinic;
+///
+/// let mut net = Dinic::new(3);
+/// let cheap = net.add_edge(0, 1, 2);
+/// net.add_edge(1, 2, 10);
+/// assert_eq!(net.max_flow(0, 2), 2);
+/// let side = net.min_cut_source_side(0);
+/// assert!(net.edge_in_cut(cheap, &side, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dinic {
+    edges: Vec<FlowEdge>,
+    adj: Vec<Vec<usize>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+/// Handle of an edge added to a [`Dinic`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeHandle(usize);
+
+impl Dinic {
+    /// Creates a flow network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a directed edge `from -> to` with capacity `cap`, returning its
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: Cap) -> EdgeHandle {
+        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        let h = self.edges.len();
+        self.adj[from].push(h);
+        self.edges.push(FlowEdge { to, cap, flow: 0 });
+        // Residual edge.
+        self.adj[to].push(h + 1);
+        self.edges.push(FlowEdge { to: from, cap: 0, flow: 0 });
+        EdgeHandle(h)
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut q = VecDeque::new();
+        self.level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &h in &self.adj[u] {
+                let e = &self.edges[h];
+                if e.cap > e.flow && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[u] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, pushed: Cap) -> Cap {
+        if u == t {
+            return pushed;
+        }
+        while self.iter[u] < self.adj[u].len() {
+            let h = self.adj[u][self.iter[u]];
+            let (to, residual) = {
+                let e = &self.edges[h];
+                (e.to, e.cap - e.flow)
+            };
+            if residual > 0 && self.level[to] == self.level[u] + 1 {
+                let d = self.dfs(to, t, pushed.min(residual));
+                if d > 0 {
+                    self.edges[h].flow += d;
+                    // Push back along the paired residual edge.
+                    let back = h ^ 1;
+                    if self.edges[back].flow >= d {
+                        self.edges[back].flow -= d;
+                    } else {
+                        let extra = d - self.edges[back].flow;
+                        self.edges[back].flow = 0;
+                        self.edges[back].cap += extra;
+                    }
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum `s`→`t` flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> Cap {
+        assert!(s != t, "source equals sink");
+        assert!(s < self.len() && t < self.len(), "terminal out of range");
+        let mut total: Cap = 0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, INF);
+                if f == 0 {
+                    break;
+                }
+                total = total.saturating_add(f);
+            }
+        }
+        total
+    }
+
+    /// After [`max_flow`](Self::max_flow), returns the source side of the
+    /// minimum cut: nodes reachable from `s` in the residual graph.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        side[s] = true;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &h in &self.adj[u] {
+                let e = &self.edges[h];
+                if e.cap > e.flow && !side[e.to] {
+                    side[e.to] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        side
+    }
+
+    /// Whether the edge behind `h` (added as `from -> to`) crosses the
+    /// min cut given the side assignment from
+    /// [`min_cut_source_side`](Self::min_cut_source_side).
+    pub fn edge_in_cut(&self, h: EdgeHandle, side: &[bool], from: usize) -> bool {
+        let e = &self.edges[h.0];
+        side[from] && !side[e.to]
+    }
+}
+
+/// Brute-force minimum cut over explicit edge subsets — exponential, for
+/// validating [`Dinic`] on small graphs in tests.
+///
+/// `edges` is `(from, to, cap)`; returns the minimum total capacity of an
+/// edge subset whose removal disconnects `s` from `t`.
+///
+/// # Panics
+///
+/// Panics if more than 20 edges are supplied.
+pub fn brute_force_min_cut(n: usize, edges: &[(usize, usize, Cap)], s: usize, t: usize) -> Cap {
+    let m = edges.len();
+    assert!(m <= 20, "brute force limited to 20 edges");
+    let mut best = INF;
+    'subsets: for mask in 0u32..(1 << m) {
+        let mut cost: Cap = 0;
+        for (i, e) in edges.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                cost = cost.saturating_add(e.2);
+                if cost >= best {
+                    continue 'subsets;
+                }
+            }
+        }
+        // Check connectivity without the removed edges.
+        let mut adj = vec![Vec::new(); n];
+        for (i, &(f, to, _)) in edges.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                adj[f].push(to);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            for &v in &adj[u] {
+                stack.push(v);
+            }
+        }
+        if !seen[t] {
+            best = cost;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_path_network() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 3);
+        d.add_edge(1, 3, 2);
+        d.add_edge(0, 2, 5);
+        d.add_edge(2, 3, 4);
+        assert_eq!(d.max_flow(0, 3), 6);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 100);
+        d.add_edge(1, 2, 1);
+        assert_eq!(d.max_flow(0, 2), 1);
+    }
+
+    #[test]
+    fn min_cut_identifies_cheap_edges() {
+        // Three parallel chains, each with one cheap edge.
+        let mut d = Dinic::new(6);
+        let _a0 = d.add_edge(0, 1, INF);
+        let a1 = d.add_edge(1, 5, 2);
+        let _b0 = d.add_edge(0, 2, INF);
+        let _b1 = d.add_edge(2, 3, 7);
+        let b2 = d.add_edge(3, 5, 3);
+        let _c0 = d.add_edge(0, 4, INF);
+        let c1 = d.add_edge(4, 5, 1);
+        let flow = d.max_flow(0, 5);
+        assert_eq!(flow, 2 + 3 + 1);
+        let side = d.min_cut_source_side(0);
+        assert!(d.edge_in_cut(a1, &side, 1));
+        assert!(d.edge_in_cut(b2, &side, 3));
+        assert!(d.edge_in_cut(c1, &side, 4));
+    }
+
+    #[test]
+    fn cheaper_upstream_edge_preferred() {
+        // Chain 0 -e1(5)-> 1 -e2(2)-> 2 -e3(9)-> 3: cut must pick e2 only.
+        let mut d = Dinic::new(4);
+        let e1 = d.add_edge(0, 1, 5);
+        let e2 = d.add_edge(1, 2, 2);
+        let e3 = d.add_edge(2, 3, 9);
+        assert_eq!(d.max_flow(0, 3), 2);
+        let side = d.min_cut_source_side(0);
+        assert!(!d.edge_in_cut(e1, &side, 0));
+        assert!(d.edge_in_cut(e2, &side, 1));
+        assert!(!d.edge_in_cut(e3, &side, 2));
+    }
+
+    #[test]
+    fn disconnected_sink_zero_flow() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 5);
+        assert_eq!(d.max_flow(0, 2), 0);
+        let side = d.min_cut_source_side(0);
+        assert!(side[0] && side[1] && !side[2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_diamond() {
+        let edges = [
+            (0usize, 1usize, 4u64),
+            (0, 2, 3),
+            (1, 3, 2),
+            (2, 3, 5),
+            (1, 2, 1),
+        ];
+        let mut d = Dinic::new(4);
+        for &(f, t, c) in &edges {
+            d.add_edge(f, t, c);
+        }
+        assert_eq!(d.max_flow(0, 3), brute_force_min_cut(4, &edges, 0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "source equals sink")]
+    fn source_sink_must_differ() {
+        Dinic::new(2).max_flow(1, 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn dinic_matches_brute_force(
+            n in 3usize..7,
+            raw_edges in proptest::collection::vec((0usize..6, 0usize..6, 1u64..20), 1..12),
+        ) {
+            let edges: Vec<(usize, usize, Cap)> = raw_edges
+                .into_iter()
+                .map(|(a, b, c)| (a % n, b % n, c))
+                .filter(|(a, b, _)| a != b)
+                .collect();
+            prop_assume!(!edges.is_empty());
+            let s = 0;
+            let t = n - 1;
+            let mut d = Dinic::new(n);
+            for &(f, to, c) in &edges {
+                d.add_edge(f, to, c);
+            }
+            let flow = d.max_flow(s, t);
+            let cut = brute_force_min_cut(n, &edges, s, t);
+            prop_assert_eq!(flow, cut);
+        }
+
+        #[test]
+        fn min_cut_actually_separates(
+            n in 3usize..7,
+            raw_edges in proptest::collection::vec((0usize..6, 0usize..6, 1u64..20), 1..12),
+        ) {
+            let edges: Vec<(usize, usize, Cap)> = raw_edges
+                .into_iter()
+                .map(|(a, b, c)| (a % n, b % n, c))
+                .filter(|(a, b, _)| a != b)
+                .collect();
+            prop_assume!(!edges.is_empty());
+            let mut d = Dinic::new(n);
+            let handles: Vec<_> = edges.iter().map(|&(f, t, c)| (f, d.add_edge(f, t, c))).collect();
+            let _ = d.max_flow(0, n - 1);
+            let side = d.min_cut_source_side(0);
+            // Removing all cut edges must disconnect s from t.
+            let mut adj = vec![Vec::new(); n];
+            for (i, &(f, to, _)) in edges.iter().enumerate() {
+                let (hf, h) = handles[i];
+                if !d.edge_in_cut(h, &side, hf) {
+                    adj[f].push(to);
+                }
+            }
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            while let Some(u) = stack.pop() {
+                if seen[u] { continue; }
+                seen[u] = true;
+                for &v in &adj[u] { stack.push(v); }
+            }
+            prop_assert!(!seen[n - 1], "cut must separate source from sink");
+        }
+    }
+}

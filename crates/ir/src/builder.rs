@@ -1,0 +1,229 @@
+//! Fluent construction of IR functions from Rust code.
+//!
+//! The builder resolves named variables and labels, so tests and
+//! applications can construct handlers without tracking instruction
+//! indices by hand:
+//!
+//! ```
+//! use mpart_ir::builder::FunctionBuilder;
+//! use mpart_ir::instr::{BinOp, Operand};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = FunctionBuilder::new("clamp", &["x"]);
+//! let x = b.param("x");
+//! let out = b.var("out");
+//! b.assign(out, mpart_ir::instr::Rvalue::Use(Operand::Var(x)));
+//! b.branch_if(Operand::Var(x), BinOp::Le, Operand::int(100), "done");
+//! b.assign(out, mpart_ir::instr::Rvalue::Use(Operand::int(100)));
+//! b.label("done");
+//! b.ret(Some(Operand::Var(out)));
+//! let f = b.build()?;
+//! assert_eq!(f.params, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::func::Function;
+use crate::instr::{BinOp, CondExpr, Instr, Operand, Place, Rvalue, Var};
+use crate::IrError;
+
+/// Incremental builder for a [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: usize,
+    vars: Vec<String>,
+    var_by_name: HashMap<String, Var>,
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given parameter names.
+    ///
+    /// Parameters occupy the first variable slots in order.
+    pub fn new(name: impl Into<String>, params: &[&str]) -> Self {
+        let mut b = FunctionBuilder {
+            name: name.into(),
+            params: params.len(),
+            vars: Vec::new(),
+            var_by_name: HashMap::new(),
+            instrs: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        };
+        for p in params {
+            b.var(p);
+        }
+        b
+    }
+
+    /// Returns (creating if needed) the variable slot named `name`.
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(v) = self.var_by_name.get(name) {
+            return *v;
+        }
+        let v = Var(self.vars.len() as u32);
+        self.vars.push(name.to_string());
+        self.var_by_name.insert(name.to_string(), v);
+        v
+    }
+
+    /// Returns the slot of an already-declared parameter or variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was never declared; this is a builder-usage bug.
+    pub fn param(&self, name: &str) -> Var {
+        self.var_by_name[name]
+    }
+
+    /// Current next instruction index.
+    pub fn pc(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        self.labels.insert(label.to_string(), self.instrs.len());
+        self
+    }
+
+    /// Emits `dest = rvalue`.
+    pub fn assign(&mut self, dest: Var, rvalue: Rvalue) -> &mut Self {
+        self.instrs.push(Instr::Assign { place: Place::Var(dest), rvalue });
+        self
+    }
+
+    /// Emits an assignment to an arbitrary place.
+    pub fn store(&mut self, place: Place, rvalue: Rvalue) -> &mut Self {
+        self.instrs.push(Instr::Assign { place, rvalue });
+        self
+    }
+
+    /// Emits `if lhs op rhs goto label`.
+    pub fn branch_if(
+        &mut self,
+        lhs: Operand,
+        op: BinOp,
+        rhs: Operand,
+        label: &str,
+    ) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::If { cond: CondExpr { lhs, op, rhs }, target: usize::MAX });
+        self
+    }
+
+    /// Emits `goto label`.
+    pub fn goto(&mut self, label: &str) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Goto { target: usize::MAX });
+        self
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, value: Option<Operand>) -> &mut Self {
+        self.instrs.push(Instr::Return { value });
+        self
+    }
+
+    /// Emits a no-op (label anchor).
+    pub fn nop(&mut self) -> &mut Self {
+        self.instrs.push(Instr::Nop);
+        self
+    }
+
+    /// Emits a raw instruction (jump targets must already be resolved).
+    pub fn raw(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Resolves labels and validates the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Unresolved`] for an undefined label and any
+    /// validation error from [`Function::validate`]. A label defined at the
+    /// very end of the body gets an implicit trailing `Nop` anchor.
+    pub fn build(mut self) -> Result<Function, IrError> {
+        // Allow labels that point just past the last instruction by
+        // anchoring them on a Nop.
+        if self.labels.values().any(|&pc| pc == self.instrs.len()) {
+            self.instrs.push(Instr::Nop);
+        }
+        for (pc, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| IrError::Unresolved(format!("label `{label}`")))?;
+            match &mut self.instrs[*pc] {
+                Instr::If { target: t, .. } | Instr::Goto { target: t } => *t = target,
+                _ => unreachable!("fixup on non-jump"),
+            }
+        }
+        let f = Function {
+            name: self.name,
+            params: self.params,
+            locals: self.vars.len(),
+            instrs: self.instrs,
+            var_names: self.vars,
+        };
+        f.validate()?;
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = FunctionBuilder::new("loop", &["n"]);
+        let n = b.param("n");
+        let i = b.var("i");
+        b.assign(i, Rvalue::Use(Operand::int(0)));
+        b.label("head");
+        b.branch_if(Operand::Var(i), BinOp::Ge, Operand::Var(n), "done");
+        b.assign(i, Rvalue::Binary(BinOp::Add, Operand::Var(i), Operand::int(1)));
+        b.goto("head");
+        b.label("done");
+        b.ret(None);
+        let f = b.build().unwrap();
+        assert!(matches!(f.instrs[1], Instr::If { target: 4, .. }));
+        assert!(matches!(f.instrs[3], Instr::Goto { target: 1 }));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut b = FunctionBuilder::new("bad", &[]);
+        b.goto("nowhere");
+        b.ret(None);
+        assert!(matches!(b.build(), Err(IrError::Unresolved(_))));
+    }
+
+    #[test]
+    fn trailing_label_gets_nop_anchor() {
+        let mut b = FunctionBuilder::new("t", &[]);
+        b.goto("end");
+        b.ret(None);
+        b.label("end");
+        let f = b.build().unwrap();
+        assert!(matches!(f.instrs.last(), Some(Instr::Nop)));
+    }
+
+    #[test]
+    fn vars_are_interned() {
+        let mut b = FunctionBuilder::new("v", &["a"]);
+        let a1 = b.var("a");
+        let a2 = b.var("a");
+        let c = b.var("c");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, c);
+        assert_eq!(b.param("a"), a1);
+    }
+}

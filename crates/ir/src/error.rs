@@ -1,0 +1,86 @@
+//! Error types shared across the IR crate.
+
+use std::fmt;
+
+/// Error produced by IR construction, parsing, interpretation, or
+/// marshalling.
+///
+/// Every fallible public function in this crate returns `Result<_, IrError>`.
+/// The variants are deliberately coarse: fine-grained context is carried in
+/// the message strings, which are intended for humans debugging handler
+/// programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// The textual IR could not be parsed. Carries `(line, message)`.
+    Parse { line: usize, message: String },
+    /// A name (function, class, field, label, builtin) could not be resolved.
+    Unresolved(String),
+    /// A runtime type error, e.g. adding an int to an object reference.
+    Type(String),
+    /// An operation addressed a heap location that does not exist.
+    DanglingRef(String),
+    /// Array index out of bounds. Carries `(index, length)`.
+    Bounds { index: i64, len: usize },
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// Execution exceeded the configured step budget (runaway loop guard).
+    StepLimit(u64),
+    /// A continuation message was malformed or addressed an unknown
+    /// split point.
+    Continuation(String),
+    /// Marshalling failed (cycle limits, unknown class, truncated buffer...).
+    Marshal(String),
+    /// A program-level validation failure (duplicate function, bad jump
+    /// target, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            IrError::Unresolved(name) => write!(f, "unresolved {name}"),
+            IrError::Type(msg) => write!(f, "type error: {msg}"),
+            IrError::DanglingRef(msg) => write!(f, "dangling reference: {msg}"),
+            IrError::Bounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            IrError::DivideByZero => write!(f, "division by zero"),
+            IrError::StepLimit(limit) => {
+                write!(f, "execution exceeded step limit of {limit}")
+            }
+            IrError::Continuation(msg) => write!(f, "continuation error: {msg}"),
+            IrError::Marshal(msg) => write!(f, "marshal error: {msg}"),
+            IrError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = IrError::DivideByZero;
+        let s = e.to_string();
+        assert!(s.starts_with("division"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+
+    #[test]
+    fn parse_error_carries_line() {
+        let e = IrError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

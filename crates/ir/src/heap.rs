@@ -1,0 +1,401 @@
+//! The object heap: class instances and arrays.
+//!
+//! Each side of a partitioned method (modulator in the sender, demodulator
+//! in the receiver) owns its own `Heap`; remote continuation deep-copies the
+//! live subgraph from one heap to the other via [`crate::marshal`].
+
+use std::fmt;
+
+use crate::types::{ClassId, ClassTable, ElemType, FieldId};
+use crate::value::{ObjRef, Value};
+use crate::IrError;
+
+/// Payload of an array on the heap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayData {
+    /// Packed byte array.
+    Byte(Vec<u8>),
+    /// Packed int array.
+    Int(Vec<i64>),
+    /// Packed float array.
+    Float(Vec<f64>),
+    /// Array of arbitrary values (including references).
+    Ref(Vec<Value>),
+}
+
+impl ArrayData {
+    /// Allocates a zero-initialized array of `len` elements.
+    pub fn zeroed(elem: ElemType, len: usize) -> Self {
+        match elem {
+            ElemType::Byte => ArrayData::Byte(vec![0; len]),
+            ElemType::Int => ArrayData::Int(vec![0; len]),
+            ElemType::Float => ArrayData::Float(vec![0.0; len]),
+            ElemType::Ref => ArrayData::Ref(vec![Value::Null; len]),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayData::Byte(v) => v.len(),
+            ArrayData::Int(v) => v.len(),
+            ArrayData::Float(v) => v.len(),
+            ArrayData::Ref(v) => v.len(),
+        }
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element type tag.
+    pub fn elem_type(&self) -> ElemType {
+        match self {
+            ArrayData::Byte(_) => ElemType::Byte,
+            ArrayData::Int(_) => ElemType::Int,
+            ArrayData::Float(_) => ElemType::Float,
+            ArrayData::Ref(_) => ElemType::Ref,
+        }
+    }
+
+    /// Reads element `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Bounds`] if `index` is negative or past the end.
+    pub fn get(&self, index: i64) -> Result<Value, IrError> {
+        let i = self.check(index)?;
+        Ok(match self {
+            ArrayData::Byte(v) => Value::Int(i64::from(v[i])),
+            ArrayData::Int(v) => Value::Int(v[i]),
+            ArrayData::Float(v) => Value::Float(v[i]),
+            ArrayData::Ref(v) => v[i].clone(),
+        })
+    }
+
+    /// Writes element `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Bounds`] for a bad index and
+    /// [`IrError::Type`] if `value` does not fit the element type
+    /// (byte stores are truncated like Java byte casts).
+    pub fn set(&mut self, index: i64, value: Value) -> Result<(), IrError> {
+        let i = self.check(index)?;
+        match self {
+            ArrayData::Byte(v) => v[i] = value.as_int("byte array store")? as u8,
+            ArrayData::Int(v) => v[i] = value.as_int("int array store")?,
+            ArrayData::Float(v) => v[i] = value.as_float("float array store")?,
+            ArrayData::Ref(v) => v[i] = value,
+        }
+        Ok(())
+    }
+
+    fn check(&self, index: i64) -> Result<usize, IrError> {
+        let len = self.len();
+        if index < 0 || index as usize >= len {
+            Err(IrError::Bounds { index, len })
+        } else {
+            Ok(index as usize)
+        }
+    }
+}
+
+/// A heap cell: either a class instance or an array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapCell {
+    /// Instance of a declared class, with one value per declared field.
+    Object {
+        /// Declaring class.
+        class: ClassId,
+        /// Field values, parallel to the class's field declarations.
+        fields: Vec<Value>,
+    },
+    /// An array.
+    Array(ArrayData),
+}
+
+/// A growable object heap.
+///
+/// The heap never frees cells during a handler invocation; the paper's
+/// handlers are short-lived per message, so each invocation starts from a
+/// fresh or host-owned heap. This keeps `ObjRef`s stable, which the
+/// continuation machinery relies on.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    cells: Vec<HeapCell>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the heap holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Allocates an instance of `class` with all fields defaulted to
+    /// `null`/zero per the declared field type.
+    pub fn alloc_object(&mut self, classes: &ClassTable, class: ClassId) -> ObjRef {
+        let decl = classes.decl(class);
+        let fields = decl
+            .fields
+            .iter()
+            .map(|f| match f.ty {
+                crate::types::FieldType::Bool => Value::Bool(false),
+                crate::types::FieldType::Int => Value::Int(0),
+                crate::types::FieldType::Float => Value::Float(0.0),
+                crate::types::FieldType::Str => Value::str(""),
+                crate::types::FieldType::Ref => Value::Null,
+            })
+            .collect();
+        self.push(HeapCell::Object { class, fields })
+    }
+
+    /// Allocates a zeroed array.
+    pub fn alloc_array(&mut self, elem: ElemType, len: usize) -> ObjRef {
+        self.push(HeapCell::Array(ArrayData::zeroed(elem, len)))
+    }
+
+    /// Allocates an array from existing data.
+    pub fn alloc_array_from(&mut self, data: ArrayData) -> ObjRef {
+        self.push(HeapCell::Array(data))
+    }
+
+    fn push(&mut self, cell: HeapCell) -> ObjRef {
+        let r = ObjRef(self.cells.len() as u32);
+        self.cells.push(cell);
+        r
+    }
+
+    /// Returns the cell behind `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DanglingRef`] if `r` belongs to a different heap.
+    pub fn cell(&self, r: ObjRef) -> Result<&HeapCell, IrError> {
+        self.cells
+            .get(r.index())
+            .ok_or_else(|| IrError::DanglingRef(format!("{r} not on this heap")))
+    }
+
+    /// Mutable access to the cell behind `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DanglingRef`] if `r` belongs to a different heap.
+    pub fn cell_mut(&mut self, r: ObjRef) -> Result<&mut HeapCell, IrError> {
+        self.cells
+            .get_mut(r.index())
+            .ok_or_else(|| IrError::DanglingRef(format!("{r} not on this heap")))
+    }
+
+    /// Reads object field `field` of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error if `r` is an array, or a dangling-ref error.
+    pub fn field(&self, r: ObjRef, field: FieldId) -> Result<Value, IrError> {
+        match self.cell(r)? {
+            HeapCell::Object { fields, .. } => fields
+                .get(field.index())
+                .cloned()
+                .ok_or_else(|| IrError::Type(format!("no field #{} on {r}", field.index()))),
+            HeapCell::Array(_) => Err(IrError::Type(format!("{r} is an array, not an object"))),
+        }
+    }
+
+    /// Writes object field `field` of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error if `r` is an array or the field is missing.
+    pub fn set_field(&mut self, r: ObjRef, field: FieldId, value: Value) -> Result<(), IrError> {
+        match self.cell_mut(r)? {
+            HeapCell::Object { fields, .. } => {
+                let slot = fields
+                    .get_mut(field.index())
+                    .ok_or_else(|| IrError::Type(format!("no field #{} on {r}", field.index())))?;
+                *slot = value;
+                Ok(())
+            }
+            HeapCell::Array(_) => Err(IrError::Type(format!("{r} is an array, not an object"))),
+        }
+    }
+
+    /// Returns the class of the object behind `r`, or `None` for arrays.
+    pub fn class_of(&self, r: ObjRef) -> Result<Option<ClassId>, IrError> {
+        Ok(match self.cell(r)? {
+            HeapCell::Object { class, .. } => Some(*class),
+            HeapCell::Array(_) => None,
+        })
+    }
+
+    /// Reads array element `index` of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error if `r` is not an array, or bounds errors.
+    pub fn array_get(&self, r: ObjRef, index: i64) -> Result<Value, IrError> {
+        match self.cell(r)? {
+            HeapCell::Array(a) => a.get(index),
+            HeapCell::Object { .. } => {
+                Err(IrError::Type(format!("{r} is an object, not an array")))
+            }
+        }
+    }
+
+    /// Writes array element `index` of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error if `r` is not an array, or bounds errors.
+    pub fn array_set(&mut self, r: ObjRef, index: i64, value: Value) -> Result<(), IrError> {
+        match self.cell_mut(r)? {
+            HeapCell::Array(a) => a.set(index, value),
+            HeapCell::Object { .. } => {
+                Err(IrError::Type(format!("{r} is an object, not an array")))
+            }
+        }
+    }
+
+    /// Length of the array behind `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error if `r` is not an array.
+    pub fn array_len(&self, r: ObjRef) -> Result<usize, IrError> {
+        match self.cell(r)? {
+            HeapCell::Array(a) => Ok(a.len()),
+            HeapCell::Object { .. } => {
+                Err(IrError::Type(format!("{r} is an object, not an array")))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "heap with {} cells", self.cells.len())?;
+        for (i, cell) in self.cells.iter().enumerate() {
+            match cell {
+                HeapCell::Object { class, fields } => {
+                    writeln!(f, "  @{i}: {class} {{{} fields}}", fields.len())?
+                }
+                HeapCell::Array(a) => {
+                    writeln!(f, "  @{i}: {}[{}]", a.elem_type(), a.len())?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClassDecl, FieldDecl, FieldType};
+
+    fn table_with_point() -> (ClassTable, ClassId) {
+        let mut t = ClassTable::new();
+        let id = t
+            .declare(ClassDecl::new(
+                "Point",
+                vec![
+                    FieldDecl { name: "x".into(), ty: FieldType::Int },
+                    FieldDecl { name: "y".into(), ty: FieldType::Int },
+                ],
+            ))
+            .unwrap();
+        (t, id)
+    }
+
+    #[test]
+    fn object_fields_default_then_update() {
+        let (t, point) = table_with_point();
+        let mut h = Heap::new();
+        let r = h.alloc_object(&t, point);
+        assert_eq!(h.field(r, FieldId(0)).unwrap(), Value::Int(0));
+        h.set_field(r, FieldId(1), Value::Int(7)).unwrap();
+        assert_eq!(h.field(r, FieldId(1)).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn array_round_trip_all_elem_types() {
+        let mut h = Heap::new();
+        for elem in [ElemType::Byte, ElemType::Int, ElemType::Float, ElemType::Ref] {
+            let r = h.alloc_array(elem, 4);
+            assert_eq!(h.array_len(r).unwrap(), 4);
+            let v = match elem {
+                ElemType::Float => Value::Float(2.5),
+                ElemType::Ref => Value::str("x"),
+                _ => Value::Int(3),
+            };
+            h.array_set(r, 2, v.clone()).unwrap();
+            let got = h.array_get(r, 2).unwrap();
+            match elem {
+                ElemType::Byte | ElemType::Int => assert_eq!(got, Value::Int(3)),
+                ElemType::Float => assert_eq!(got, Value::Float(2.5)),
+                ElemType::Ref => assert_eq!(got, Value::str("x")),
+            }
+        }
+    }
+
+    #[test]
+    fn byte_array_truncates_like_java() {
+        let mut h = Heap::new();
+        let r = h.alloc_array(ElemType::Byte, 1);
+        h.array_set(r, 0, Value::Int(300)).unwrap();
+        assert_eq!(h.array_get(r, 0).unwrap(), Value::Int(44));
+    }
+
+    #[test]
+    fn bounds_errors() {
+        let mut h = Heap::new();
+        let r = h.alloc_array(ElemType::Int, 2);
+        assert!(matches!(h.array_get(r, 2), Err(IrError::Bounds { .. })));
+        assert!(matches!(h.array_get(r, -1), Err(IrError::Bounds { .. })));
+        assert!(matches!(
+            h.array_set(r, 9, Value::Int(0)),
+            Err(IrError::Bounds { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_confusion_reports_type_error() {
+        let (t, point) = table_with_point();
+        let mut h = Heap::new();
+        let obj = h.alloc_object(&t, point);
+        let arr = h.alloc_array(ElemType::Int, 1);
+        assert!(matches!(h.array_len(obj), Err(IrError::Type(_))));
+        assert!(matches!(h.field(arr, FieldId(0)), Err(IrError::Type(_))));
+    }
+
+    #[test]
+    fn dangling_ref_detected() {
+        let h = Heap::new();
+        assert!(matches!(
+            h.cell(ObjRef(5)),
+            Err(IrError::DanglingRef(_))
+        ));
+    }
+
+    #[test]
+    fn class_of_distinguishes_arrays() {
+        let (t, point) = table_with_point();
+        let mut h = Heap::new();
+        let obj = h.alloc_object(&t, point);
+        let arr = h.alloc_array(ElemType::Byte, 0);
+        assert_eq!(h.class_of(obj).unwrap(), Some(point));
+        assert_eq!(h.class_of(arr).unwrap(), None);
+    }
+}

@@ -1,0 +1,566 @@
+//! Interprocedural Unit Graph expansion by inlining — the final §7 item:
+//! "Our current implementation treats each method invocation inside the
+//! message handling method as an opaque instruction, rather than expanding
+//! the UG of the message handling method ... Our future research will
+//! address more complex, whole program based partitioning plans."
+//!
+//! [`inline_function`] splices the bodies of (non-recursive) IR callees
+//! into the handler, renaming locals and rewriting returns, up to a
+//! configurable depth and size budget. Analyzing the expanded handler
+//! exposes Potential Split Edges *inside* former callees, so partitioning
+//! plans can cut through helper methods instead of around them. Native
+//! builtins and globals inside callees carry over and correctly become
+//! stop nodes of the expanded handler.
+//!
+//! Pure *builtins* (Rust-implemented helpers) remain opaque — they have no
+//! IR body to expand.
+
+use std::collections::HashSet;
+
+use crate::func::{Function, Program};
+use crate::instr::{Instr, Operand, Place, Rvalue, Var};
+use crate::IrError;
+
+/// Budgets for the inlining pass.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineOptions {
+    /// Maximum nesting depth of inlined calls.
+    pub max_depth: usize,
+    /// Hard cap on the expanded handler's instruction count; call sites
+    /// whose expansion would exceed it stay opaque.
+    pub max_instrs: usize,
+}
+
+impl Default for InlineOptions {
+    fn default() -> Self {
+        InlineOptions { max_depth: 4, max_instrs: 4096 }
+    }
+}
+
+/// Expands `root` within `program` by inlining IR callees, returning the
+/// expanded function (named like the original).
+///
+/// Call sites stay opaque when the callee is a builtin, when inlining
+/// would recurse, or when a budget would be exceeded.
+///
+/// # Errors
+///
+/// Returns [`IrError::Unresolved`] if `root` does not exist and
+/// [`IrError::Invalid`] if expansion produces a malformed function
+/// (indicates an internal bug; surfaced rather than silently truncated).
+pub fn inline_function(
+    program: &Program,
+    root: &str,
+    options: InlineOptions,
+) -> Result<Function, IrError> {
+    let root_fn = program.function_or_err(root)?;
+    let mut stack: HashSet<String> = HashSet::new();
+    stack.insert(root_fn.name.clone());
+    let expanded = expand(program, root_fn, &options, &mut stack, 0)?;
+    expanded.validate()?;
+    Ok(expanded)
+}
+
+/// Convenience: a clone of `program` whose `root` function is replaced by
+/// its inlined expansion (classes, globals, and the other functions are
+/// carried over unchanged).
+///
+/// # Errors
+///
+/// Propagates [`inline_function`] failures.
+pub fn inlined_program(
+    program: &Program,
+    root: &str,
+    options: InlineOptions,
+) -> Result<Program, IrError> {
+    let expanded = inline_function(program, root, options)?;
+    let mut out = Program::new();
+    out.classes = program.classes.clone();
+    for g in program.globals() {
+        out.add_global(g.name.clone(), g.init.clone())?;
+    }
+    for f in program.functions() {
+        if f.name == root {
+            out.add_function(expanded.clone())?;
+        } else {
+            out.add_function(f.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+fn remap_operand(op: &Operand, base: u32) -> Operand {
+    match op {
+        Operand::Var(v) => Operand::Var(Var(v.0 + base)),
+        c => c.clone(),
+    }
+}
+
+fn remap_rvalue(r: &Rvalue, base: u32) -> Rvalue {
+    match r {
+        Rvalue::Use(a) => Rvalue::Use(remap_operand(a, base)),
+        Rvalue::Unary(op, a) => Rvalue::Unary(*op, remap_operand(a, base)),
+        Rvalue::Binary(op, a, b) => {
+            Rvalue::Binary(*op, remap_operand(a, base), remap_operand(b, base))
+        }
+        Rvalue::InstanceOf(v, c) => Rvalue::InstanceOf(Var(v.0 + base), *c),
+        Rvalue::Cast(c, v) => Rvalue::Cast(*c, Var(v.0 + base)),
+        Rvalue::New(c) => Rvalue::New(*c),
+        Rvalue::NewArray(e, n) => Rvalue::NewArray(*e, remap_operand(n, base)),
+        Rvalue::FieldGet(v, f) => Rvalue::FieldGet(Var(v.0 + base), *f),
+        Rvalue::ArrayGet(v, i) => Rvalue::ArrayGet(Var(v.0 + base), remap_operand(i, base)),
+        Rvalue::ArrayLen(v) => Rvalue::ArrayLen(Var(v.0 + base)),
+        Rvalue::Invoke { callee, args } => Rvalue::Invoke {
+            callee: callee.clone(),
+            args: args.iter().map(|a| remap_operand(a, base)).collect(),
+        },
+        Rvalue::InvokeNative { callee, args } => Rvalue::InvokeNative {
+            callee: callee.clone(),
+            args: args.iter().map(|a| remap_operand(a, base)).collect(),
+        },
+        Rvalue::GlobalGet(g) => Rvalue::GlobalGet(*g),
+    }
+}
+
+fn remap_place(p: &Place, base: u32) -> Place {
+    match p {
+        Place::Var(v) => Place::Var(Var(v.0 + base)),
+        Place::Field(v, f) => Place::Field(Var(v.0 + base), *f),
+        Place::ArrayElem(v, i) => Place::ArrayElem(Var(v.0 + base), remap_operand(i, base)),
+        Place::Global(g) => Place::Global(*g),
+    }
+}
+
+fn expand(
+    program: &Program,
+    func: &Function,
+    options: &InlineOptions,
+    stack: &mut HashSet<String>,
+    depth: usize,
+) -> Result<Function, IrError> {
+    let mut instrs: Vec<Instr> = Vec::with_capacity(func.instrs.len());
+    let mut var_names = func.var_names.clone();
+    var_names.resize(func.locals, String::new());
+    let mut locals = func.locals as u32;
+
+    // Map from original pc to the pc of its first expanded instruction.
+    let mut pc_map: Vec<usize> = Vec::with_capacity(func.instrs.len());
+    // Jump fixups: (expanded index, original target pc).
+    let mut fixups: Vec<(usize, usize)> = Vec::new();
+
+    for instr in func.instrs.iter() {
+        pc_map.push(instrs.len());
+        match instr {
+            Instr::Assign { place, rvalue: Rvalue::Invoke { callee, args } } => {
+                let inlineable = depth < options.max_depth
+                    && !stack.contains(callee)
+                    && program.function(callee).is_some();
+                if !inlineable {
+                    instrs.push(instr.clone());
+                    continue;
+                }
+                let callee_fn = program.function(callee).expect("checked above");
+                stack.insert(callee.to_string());
+                let body = expand(program, callee_fn, options, stack, depth + 1)?;
+                stack.remove(callee);
+                // Budget check against the *expanded* callee: if splicing
+                // it would blow the cap, the call site stays opaque.
+                if instrs.len() + body.instrs.len() + args.len() + 1 > options.max_instrs {
+                    instrs.push(instr.clone());
+                    continue;
+                }
+
+                // Allocate fresh slots for the callee's locals.
+                let base = locals;
+                locals += body.locals as u32;
+                for (i, name) in body.var_names.iter().enumerate() {
+                    let pretty = if name.is_empty() {
+                        format!("{}${}", callee, i)
+                    } else {
+                        format!("{}${}", callee, name)
+                    };
+                    var_names.push(pretty);
+                }
+
+                // Parameter copies.
+                for (i, arg) in args.iter().enumerate() {
+                    instrs.push(Instr::Assign {
+                        place: Place::Var(Var(base + i as u32)),
+                        rvalue: Rvalue::Use(arg.clone()),
+                    });
+                }
+                // Splice the body; returns become result-assign + goto-end.
+                let body_start = instrs.len();
+                let mut body_return_fixups: Vec<usize> = Vec::new();
+                for b_instr in &body.instrs {
+                    match b_instr {
+                        Instr::Return { value } => {
+                            let rv = match value {
+                                Some(op) => Rvalue::Use(remap_operand(op, base)),
+                                None => Rvalue::Use(Operand::Const(
+                                    crate::instr::Const::Null,
+                                )),
+                            };
+                            instrs.push(Instr::Assign { place: place.clone(), rvalue: rv });
+                            body_return_fixups.push(instrs.len());
+                            instrs.push(Instr::Goto { target: usize::MAX });
+                        }
+                        Instr::Goto { target } => {
+                            // Body-internal jump: offset resolved below via
+                            // body_pc_map; store original body pc in target
+                            // temporarily (it is re-resolved after splice).
+                            instrs.push(Instr::Goto { target: *target });
+                        }
+                        Instr::If { cond, target } => {
+                            instrs.push(Instr::If {
+                                cond: crate::instr::CondExpr {
+                                    lhs: remap_operand(&cond.lhs, base),
+                                    op: cond.op,
+                                    rhs: remap_operand(&cond.rhs, base),
+                                },
+                                target: *target,
+                            });
+                        }
+                        Instr::Assign { place, rvalue } => {
+                            instrs.push(Instr::Assign {
+                                place: remap_place(place, base),
+                                rvalue: remap_rvalue(rvalue, base),
+                            });
+                        }
+                        Instr::Nop => instrs.push(Instr::Nop),
+                    }
+                }
+                let body_end = instrs.len();
+
+                // The callee body is a straight splice (returns replaced by
+                // 2 instructions), so body-internal targets need a per-pc
+                // offset map.
+                let mut body_pc_map = Vec::with_capacity(body.instrs.len());
+                {
+                    let mut cursor = body_start;
+                    for b_instr in &body.instrs {
+                        body_pc_map.push(cursor);
+                        cursor += match b_instr {
+                            Instr::Return { .. } => 2,
+                            _ => 1,
+                        };
+                    }
+                }
+                #[allow(clippy::needless_range_loop)]
+                for idx in body_start..body_end {
+                    match &mut instrs[idx] {
+                        Instr::Goto { target } if *target != usize::MAX => {
+                            *target = body_pc_map[*target];
+                        }
+                        Instr::If { target, .. } => {
+                            *target = body_pc_map[*target];
+                        }
+                        _ => {}
+                    }
+                }
+                // Returns jump to just past the spliced body.
+                for idx in body_return_fixups {
+                    if let Instr::Goto { target } = &mut instrs[idx] {
+                        *target = body_end;
+                    }
+                }
+                // If the call site's next instruction doesn't exist yet,
+                // `body_end` correctly falls through to whatever comes next.
+            }
+            Instr::Goto { target } => {
+                fixups.push((instrs.len(), *target));
+                instrs.push(Instr::Goto { target: usize::MAX });
+            }
+            Instr::If { cond, target } => {
+                fixups.push((instrs.len(), *target));
+                instrs.push(Instr::If { cond: cond.clone(), target: usize::MAX });
+            }
+            other => instrs.push(other.clone()),
+        }
+    }
+
+    // Top-level jump targets move by the accumulated expansion offsets.
+    for (idx, original_target) in fixups {
+        let new_target = pc_map[original_target];
+        match &mut instrs[idx] {
+            Instr::Goto { target } | Instr::If { target, .. } => *target = new_target,
+            _ => unreachable!("fixup on non-jump"),
+        }
+    }
+
+    // An inlined return at the very end of the function produces a goto
+    // targeting one-past-the-end; anchor it on a trailing Nop.
+    let end = instrs.len();
+    let needs_anchor = instrs.iter().any(|i| {
+        matches!(i, Instr::Goto { target } | Instr::If { target, .. } if *target == end)
+    });
+    if needs_anchor {
+        instrs.push(Instr::Nop);
+    }
+
+    Ok(Function {
+        name: func.name.clone(),
+        params: func.params,
+        locals: locals as usize,
+        instrs,
+        var_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExecCtx, Interp};
+    use crate::parse::parse_program;
+    use crate::Value;
+
+    const SRC: &str = r#"
+        class Box { v: int }
+        global seen = 0
+
+        fn helper(x) {
+            if x < 0 goto neg
+            y = x * 2
+            return y
+        neg:
+            return 0
+        }
+
+        fn wrap(a, b) {
+            s = a + b
+            t = call helper(s)
+            return t
+        }
+
+        fn handler(event) {
+            u = call wrap(event, 3)
+            w = call helper(u)
+            c = global::seen
+            c = c + 1
+            global::seen = c
+            native out(w)
+            return w
+        }
+    "#;
+
+    fn run_both(input: i64) -> (Option<Value>, Option<Value>) {
+        let program = parse_program(SRC).unwrap();
+        let expanded =
+            inlined_program(&program, "handler", InlineOptions::default()).unwrap();
+        let mut natives = crate::interp::BuiltinRegistry::new();
+        natives.register_native("out", 1, |_, _| Ok(Value::Null));
+
+        let mut ctx1 = ExecCtx::with_builtins(&program, natives.clone());
+        let r1 = Interp::new(&program)
+            .run(&mut ctx1, "handler", vec![Value::Int(input)])
+            .unwrap();
+        let mut ctx2 = ExecCtx::with_builtins(&expanded, natives);
+        let r2 = Interp::new(&expanded)
+            .run(&mut ctx2, "handler", vec![Value::Int(input)])
+            .unwrap();
+        assert_eq!(ctx1.globals, ctx2.globals, "global effects agree");
+        assert_eq!(ctx1.trace.len(), ctx2.trace.len());
+        (r1, r2)
+    }
+
+    #[test]
+    fn inlined_handler_is_equivalent() {
+        for input in [-10i64, -3, 0, 1, 7, 40] {
+            let (orig, inl) = run_both(input);
+            assert_eq!(orig, inl, "input {input}");
+        }
+    }
+
+    #[test]
+    fn expansion_grows_the_body() {
+        let program = parse_program(SRC).unwrap();
+        let original = program.function("handler").unwrap();
+        let expanded =
+            inline_function(&program, "handler", InlineOptions::default()).unwrap();
+        assert!(
+            expanded.instrs.len() > original.instrs.len() + 6,
+            "expanded {} vs original {}",
+            expanded.instrs.len(),
+            original.instrs.len()
+        );
+        // No IR-function invocations remain (helper + nested wrap inlined).
+        let remaining = expanded
+            .instrs
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Assign { rvalue: Rvalue::Invoke { callee, .. }, .. }
+                    if program.function(callee).is_some()
+                )
+            })
+            .count();
+        assert_eq!(remaining, 0);
+    }
+
+    #[test]
+    fn recursion_stays_opaque() {
+        let src = r#"
+            fn fact(n) {
+                if n <= 1 goto base
+                m = n - 1
+                r = call fact(m)
+                p = n * r
+                return p
+            base:
+                return 1
+            }
+            fn handler(x) {
+                f = call fact(x)
+                native out(f)
+                return f
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let expanded =
+            inlined_program(&program, "handler", InlineOptions::default()).unwrap();
+        // `fact` was inlined once into handler, but its recursive call to
+        // itself stays opaque.
+        let f = expanded.function("handler").unwrap();
+        let recursive_calls = f
+            .instrs
+            .iter()
+            .filter(|i| {
+                matches!(i, Instr::Assign { rvalue: Rvalue::Invoke { callee, .. }, .. } if callee == "fact")
+            })
+            .count();
+        assert!(recursive_calls >= 1, "recursive call left opaque");
+        // And the expanded program still computes factorial correctly.
+        let mut natives = crate::interp::BuiltinRegistry::new();
+        natives.register_native("out", 1, |_, _| Ok(Value::Null));
+        let mut ctx = ExecCtx::with_builtins(&expanded, natives);
+        let r = Interp::new(&expanded)
+            .run(&mut ctx, "handler", vec![Value::Int(5)])
+            .unwrap();
+        assert_eq!(r, Some(Value::Int(120)));
+    }
+
+    #[test]
+    fn size_budget_keeps_call_sites_opaque() {
+        let program = parse_program(SRC).unwrap();
+        // Too tight for anything: every call site stays opaque.
+        let off = InlineOptions { max_depth: 4, max_instrs: 4 };
+        let unchanged = inline_function(&program, "handler", off).unwrap();
+        assert_eq!(
+            unchanged.instrs.len(),
+            program.function("handler").unwrap().instrs.len()
+        );
+
+        // Partial budget: the small `helper` fits, the (internally
+        // expanded) `wrap` does not — one call site inlines, one stays
+        // opaque.
+        let tight = InlineOptions { max_depth: 4, max_instrs: 8 };
+        let partial = inline_function(&program, "handler", tight).unwrap();
+        let calls = |f: &Function, name: &str| {
+            f.instrs
+                .iter()
+                .filter(|i| {
+                    matches!(i, Instr::Assign { rvalue: Rvalue::Invoke { callee, .. }, .. } if callee == name)
+                })
+                .count()
+        };
+        assert_eq!(calls(&partial, "wrap"), 1, "wrap stayed opaque");
+        assert_eq!(calls(&partial, "helper"), 0, "helper inlined");
+        assert!(
+            partial.instrs.len() > program.function("handler").unwrap().instrs.len()
+        );
+        // Semantics still hold under partial inlining.
+        let mut natives = crate::interp::BuiltinRegistry::new();
+        natives.register_native("out", 1, |_, _| Ok(Value::Null));
+        let mut expanded_program = Program::new();
+        expanded_program.classes = program.classes.clone();
+        for g in program.globals() {
+            expanded_program.add_global(g.name.clone(), g.init.clone()).unwrap();
+        }
+        for f in program.functions() {
+            if f.name == "handler" {
+                expanded_program.add_function(partial.clone()).unwrap();
+            } else {
+                expanded_program.add_function(f.clone()).unwrap();
+            }
+        }
+        let mut ctx = ExecCtx::with_builtins(&expanded_program, natives);
+        let r = Interp::new(&expanded_program)
+            .run(&mut ctx, "handler", vec![Value::Int(7)])
+            .unwrap();
+        assert_eq!(r, Some(Value::Int(40)));
+    }
+
+    #[test]
+    fn depth_zero_disables_inlining() {
+        let program = parse_program(SRC).unwrap();
+        let off = InlineOptions { max_depth: 0, max_instrs: 4096 };
+        let expanded = inline_function(&program, "handler", off).unwrap();
+        assert_eq!(
+            expanded.instrs.len(),
+            program.function("handler").unwrap().instrs.len()
+        );
+    }
+
+    #[test]
+    fn call_as_final_instruction_inlines_cleanly() {
+        // The call site is the last instruction; the inlined return's goto
+        // needs a trailing anchor. (Such a function errors at runtime when
+        // control falls off the end — the expansion must preserve that,
+        // not fail to build.)
+        let src = r#"
+            fn tail(x) {
+                y = x + 1
+                return y
+            }
+            fn handler(v) {
+                w = call tail(v)
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let expanded =
+            inlined_program(&program, "handler", InlineOptions::default()).unwrap();
+        let f = expanded.function("handler").unwrap();
+        f.validate().unwrap();
+        // Both versions fall off the end identically.
+        let mut c1 = ExecCtx::new(&program);
+        let r1 = Interp::new(&program).run(&mut c1, "handler", vec![Value::Int(1)]);
+        let mut c2 = ExecCtx::new(&expanded);
+        let r2 = Interp::new(&expanded).run(&mut c2, "handler", vec![Value::Int(1)]);
+        assert_eq!(r1.is_err(), r2.is_err());
+    }
+
+    #[test]
+    fn globals_and_natives_inside_callees_survive() {
+        let src = r#"
+            global hits = 0
+            fn bump(x) {
+                h = global::hits
+                h = h + x
+                global::hits = h
+                native ping(h)
+                return h
+            }
+            fn handler(v) {
+                r = call bump(v)
+                return r
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let expanded = inlined_program(&program, "handler", InlineOptions::default()).unwrap();
+        let f = expanded.function("handler").unwrap();
+        // The inlined body contains the global accesses and native call —
+        // now visible to stop-node analysis.
+        let stops = f.instrs.iter().filter(|i| i.is_stop()).count();
+        assert!(stops >= 4, "global r/w + native + return: {stops}");
+        let mut natives = crate::interp::BuiltinRegistry::new();
+        natives.register_native("ping", 1, |_, _| Ok(Value::Null));
+        let mut ctx = ExecCtx::with_builtins(&expanded, natives);
+        let r = Interp::new(&expanded)
+            .run(&mut ctx, "handler", vec![Value::Int(4)])
+            .unwrap();
+        assert_eq!(r, Some(Value::Int(4)));
+        assert_eq!(ctx.globals[0], Value::Int(4));
+    }
+}
+

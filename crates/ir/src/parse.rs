@@ -1,0 +1,922 @@
+//! Parser for the textual, Jimple-ish concrete syntax.
+//!
+//! The surface syntax is line-oriented, like Jimple. A program is a
+//! sequence of `class`, `global`, and `fn` items:
+//!
+//! ```text
+//! class ImageData { width: int, height: int, buff: ref }
+//!
+//! global frames_shown = 0
+//!
+//! fn push(event) {
+//!     z0 = event instanceof ImageData
+//!     if z0 == 0 goto skip
+//!     r2 = (ImageData) event
+//!     r4 = call resize(r2, 100, 100)
+//!     native display_image(r4)
+//! skip:
+//!     return
+//! }
+//! ```
+//!
+//! Statement forms:
+//!
+//! * `x = <rvalue>` / `x.f = <op>` / `x[i] = <op>` / `global::g = <op>`
+//! * `if <op> <cmp> <op> goto <label>` and `goto <label>`
+//! * `return` / `return <op>`
+//! * `native f(a, b)` — value discarded
+//! * `call f(a, b)` — value discarded
+//! * `<label>:`
+//!
+//! R-values: constants (`null`, `true`, `false`, ints, floats, strings),
+//! variables, `<op> <binop> <op>`, `-<op>`, `!<op>`, `new Class`,
+//! `new byte[n]` (likewise `int`/`float`/`ref`), `(Class) x`,
+//! `x instanceof Class`, `x.f`, `x[i]`, `len x`, `call f(...)`,
+//! `native f(...)`, `global::g`.
+
+use std::sync::Arc;
+
+use crate::builder::FunctionBuilder;
+use crate::func::Program;
+use crate::instr::{BinOp, Const, Operand, Place, Rvalue, UnOp};
+use crate::types::{ClassDecl, ElemType, FieldDecl, FieldType};
+use crate::IrError;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Punct(&'static str),
+    Newline,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> IrError {
+        IrError::Parse { line: self.line, message: message.into() }
+    }
+
+    fn lex(mut self) -> Result<Vec<(Tok, usize)>, IrError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    out.push((Tok::Newline, self.line));
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'#' => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let mut bytes: Vec<u8> = Vec::new();
+                    loop {
+                        match self.src.get(self.pos) {
+                            None | Some(b'\n') => {
+                                return Err(self.err("unterminated string literal"))
+                            }
+                            Some(b'"') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(b'\\') => {
+                                let esc = self.peek(1).ok_or_else(|| {
+                                    self.err("unterminated escape sequence")
+                                })?;
+                                bytes.push(match esc {
+                                    b'n' => b'\n',
+                                    b't' => b'\t',
+                                    b'"' => b'"',
+                                    b'\\' => b'\\',
+                                    other => {
+                                        return Err(self.err(format!(
+                                            "unknown escape `\\{}`",
+                                            other as char
+                                        )))
+                                    }
+                                });
+                                self.pos += 2;
+                            }
+                            Some(&b) => {
+                                bytes.push(b);
+                                self.pos += 1;
+                            }
+                        }
+                    }
+                    let s = String::from_utf8(bytes)
+                        .map_err(|_| self.err("string literal is not valid UTF-8"))?;
+                    out.push((Tok::Str(s), self.line));
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    let mut is_float = false;
+                    while let Some(&b) = self.src.get(self.pos) {
+                        if b.is_ascii_digit() {
+                            self.pos += 1;
+                        } else if b == b'.'
+                            && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                            && !is_float
+                        {
+                            is_float = true;
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    let tok = if is_float {
+                        Tok::Float(text.parse().map_err(|_| self.err("bad float literal"))?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| self.err("bad int literal"))?)
+                    };
+                    out.push((tok, self.line));
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let start = self.pos;
+                    while self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    out.push((Tok::Ident(text.to_string()), self.line));
+                }
+                _ => {
+                    let two: Option<&'static str> = match (c, self.peek(1)) {
+                        (b'=', Some(b'=')) => Some("=="),
+                        (b'!', Some(b'=')) => Some("!="),
+                        (b'<', Some(b'=')) => Some("<="),
+                        (b'>', Some(b'=')) => Some(">="),
+                        (b':', Some(b':')) => Some("::"),
+                        _ => None,
+                    };
+                    if let Some(p) = two {
+                        out.push((Tok::Punct(p), self.line));
+                        self.pos += 2;
+                    } else {
+                        let one: &'static str = match c {
+                            b'=' => "=",
+                            b'(' => "(",
+                            b')' => ")",
+                            b'[' => "[",
+                            b']' => "]",
+                            b'{' => "{",
+                            b'}' => "}",
+                            b'.' => ".",
+                            b',' => ",",
+                            b':' => ":",
+                            b'+' => "+",
+                            b'-' => "-",
+                            b'*' => "*",
+                            b'/' => "/",
+                            b'%' => "%",
+                            b'<' => "<",
+                            b'>' => ">",
+                            b'&' => "&",
+                            b'|' => "|",
+                            b'!' => "!",
+                            other => {
+                                return Err(
+                                    self.err(format!("unexpected character `{}`", other as char))
+                                )
+                            }
+                        };
+                        out.push((Tok::Punct(one), self.line));
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        out.push((Tok::Newline, self.line));
+        Ok(out)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> IrError {
+        IrError::Parse { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Some(Tok::Newline)) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), IrError> {
+        match self.next() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => Err(self.err(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, IrError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), IrError> {
+        match self.next() {
+            Some(Tok::Newline) => Ok(()),
+            other => Err(self.err(format!("expected end of line, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Parses a complete program from its textual form.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number on syntax errors, or the
+/// underlying validation error for semantically malformed items.
+pub fn parse_program(src: &str) -> Result<Program, IrError> {
+    let toks = Lexer::new(src).lex()?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut program = Program::new();
+
+    loop {
+        p.skip_newlines();
+        match p.peek() {
+            None => break,
+            Some(Tok::Ident(kw)) if kw == "class" => {
+                p.pos += 1;
+                let decl = parse_class(&mut p)?;
+                program.classes.declare(decl)?;
+            }
+            Some(Tok::Ident(kw)) if kw == "global" => {
+                p.pos += 1;
+                let name = p.expect_ident()?;
+                p.expect_punct("=")?;
+                let init = parse_const(&mut p)?;
+                p.expect_newline()?;
+                program.add_global(name, init.to_value())?;
+            }
+            Some(Tok::Ident(kw)) if kw == "fn" => {
+                p.pos += 1;
+                parse_fn(&mut p, &mut program)?;
+            }
+            other => return Err(p.err(format!("expected item, found {other:?}"))),
+        }
+    }
+    Ok(program)
+}
+
+fn parse_class(p: &mut Parser) -> Result<ClassDecl, IrError> {
+    let name = p.expect_ident()?;
+    p.expect_punct("{")?;
+    let mut fields = Vec::new();
+    p.skip_newlines();
+    if !p.eat_punct("}") {
+        loop {
+            p.skip_newlines();
+            let fname = p.expect_ident()?;
+            p.expect_punct(":")?;
+            let tname = p.expect_ident()?;
+            let ty = match tname.as_str() {
+                "bool" => FieldType::Bool,
+                "int" => FieldType::Int,
+                "float" => FieldType::Float,
+                "str" => FieldType::Str,
+                "ref" => FieldType::Ref,
+                other => return Err(p.err(format!("unknown field type `{other}`"))),
+            };
+            fields.push(FieldDecl { name: fname, ty });
+            p.skip_newlines();
+            if p.eat_punct(",") {
+                p.skip_newlines();
+                if p.eat_punct("}") {
+                    break;
+                }
+                continue;
+            }
+            p.expect_punct("}")?;
+            break;
+        }
+    }
+    Ok(ClassDecl::new(name, fields))
+}
+
+fn parse_const(p: &mut Parser) -> Result<Const, IrError> {
+    match p.next() {
+        Some(Tok::Int(i)) => Ok(Const::Int(i)),
+        Some(Tok::Float(x)) => Ok(Const::Float(x)),
+        Some(Tok::Str(s)) => Ok(Const::Str(Arc::from(s.as_str()))),
+        Some(Tok::Punct("-")) => match p.next() {
+            Some(Tok::Int(i)) => Ok(Const::Int(-i)),
+            Some(Tok::Float(x)) => Ok(Const::Float(-x)),
+            other => Err(p.err(format!("expected number after `-`, found {other:?}"))),
+        },
+        Some(Tok::Ident(s)) if s == "null" => Ok(Const::Null),
+        Some(Tok::Ident(s)) if s == "true" => Ok(Const::Bool(true)),
+        Some(Tok::Ident(s)) if s == "false" => Ok(Const::Bool(false)),
+        other => Err(p.err(format!("expected constant, found {other:?}"))),
+    }
+}
+
+fn parse_fn(p: &mut Parser, program: &mut Program) -> Result<(), IrError> {
+    let name = p.expect_ident()?;
+    p.expect_punct("(")?;
+    let mut params = Vec::new();
+    if !p.eat_punct(")") {
+        loop {
+            params.push(p.expect_ident()?);
+            if p.eat_punct(",") {
+                continue;
+            }
+            p.expect_punct(")")?;
+            break;
+        }
+    }
+    p.expect_punct("{")?;
+    p.expect_newline()?;
+
+    let param_refs: Vec<&str> = params.iter().map(String::as_str).collect();
+    let mut b = FunctionBuilder::new(name, &param_refs);
+    let mut native_tmp = 0usize;
+
+    loop {
+        p.skip_newlines();
+        if p.eat_punct("}") {
+            break;
+        }
+        parse_stmt(p, program, &mut b, &mut native_tmp)?;
+    }
+    program.add_function(b.build()?)
+}
+
+fn parse_stmt(
+    p: &mut Parser,
+    program: &Program,
+    b: &mut FunctionBuilder,
+    native_tmp: &mut usize,
+) -> Result<(), IrError> {
+    // Label: `ident :` followed by newline or another statement.
+    if let (Some(Tok::Ident(name)), Some(Tok::Punct(":"))) = (p.peek(), p.peek2()) {
+        let is_keyword = matches!(
+            name.as_str(),
+            "if" | "goto" | "return" | "native" | "call" | "new" | "len" | "global"
+        );
+        if !is_keyword {
+            let label = name.clone();
+            p.pos += 2;
+            b.label(&label);
+            // A label may share a line with a statement or stand alone.
+            if matches!(p.peek(), Some(Tok::Newline)) {
+                p.pos += 1;
+            }
+            return Ok(());
+        }
+    }
+
+    if p.eat_ident("if") {
+        let lhs = parse_operand(p, b)?;
+        let op = parse_cmp(p)?;
+        let rhs = parse_operand(p, b)?;
+        if !p.eat_ident("goto") {
+            return Err(p.err("expected `goto` after if condition"));
+        }
+        let label = p.expect_ident()?;
+        p.expect_newline()?;
+        b.branch_if(lhs, op, rhs, &label);
+        return Ok(());
+    }
+    if p.eat_ident("goto") {
+        let label = p.expect_ident()?;
+        p.expect_newline()?;
+        b.goto(&label);
+        return Ok(());
+    }
+    if p.eat_ident("return") {
+        if matches!(p.peek(), Some(Tok::Newline)) {
+            p.pos += 1;
+            b.ret(None);
+        } else {
+            let v = parse_operand(p, b)?;
+            p.expect_newline()?;
+            b.ret(Some(v));
+        }
+        return Ok(());
+    }
+    if p.eat_ident("native") {
+        let (callee, args) = parse_call_tail(p, b)?;
+        p.expect_newline()?;
+        let tmp = b.var(&format!("_nat{native_tmp}"));
+        *native_tmp += 1;
+        b.assign(tmp, Rvalue::InvokeNative { callee, args });
+        return Ok(());
+    }
+    if p.eat_ident("call") {
+        let (callee, args) = parse_call_tail(p, b)?;
+        p.expect_newline()?;
+        let tmp = b.var(&format!("_call{native_tmp}"));
+        *native_tmp += 1;
+        b.assign(tmp, Rvalue::Invoke { callee, args });
+        return Ok(());
+    }
+
+    // Assignment: parse the place first.
+    let place = parse_place(p, program, b)?;
+    p.expect_punct("=")?;
+    let rvalue = parse_rvalue(p, program, b)?;
+    p.expect_newline()?;
+    b.store(place, rvalue);
+    Ok(())
+}
+
+fn parse_place(p: &mut Parser, program: &Program, b: &mut FunctionBuilder) -> Result<Place, IrError> {
+    if p.eat_ident("global") {
+        p.expect_punct("::")?;
+        let gname = p.expect_ident()?;
+        let id = program
+            .global(&gname)
+            .ok_or_else(|| p.err(format!("unknown global `{gname}`")))?;
+        return Ok(Place::Global(id));
+    }
+    let base = p.expect_ident()?;
+    let base_var = b.var(&base);
+    if p.eat_punct(".") {
+        let fname = p.expect_ident()?;
+        let field = resolve_field(p, program, &fname)?;
+        return Ok(Place::Field(base_var, field));
+    }
+    if p.eat_punct("[") {
+        let idx = parse_operand(p, b)?;
+        p.expect_punct("]")?;
+        return Ok(Place::ArrayElem(base_var, idx));
+    }
+    Ok(Place::Var(base_var))
+}
+
+/// Resolves a field name by searching every class for a unique match.
+///
+/// Field names in handler programs are globally disambiguated the way the
+/// paper's Jimple excerpts are (fully qualified); for ergonomics we accept
+/// bare names when they are unambiguous across all classes. Writing
+/// `Class.field` qualifies explicitly.
+fn resolve_field(
+    p: &Parser,
+    program: &Program,
+    name: &str,
+) -> Result<crate::types::FieldId, IrError> {
+    let mut found = None;
+    for (_, decl) in program.classes.iter() {
+        if let Some(f) = decl.field(name) {
+            match found {
+                None => found = Some(f),
+                Some(existing) if existing == f => {}
+                Some(_) => {
+                    return Err(p.err(format!(
+                        "field `{name}` is ambiguous across classes; \
+                         declare distinct field names or qualify"
+                    )))
+                }
+            }
+        }
+    }
+    found.ok_or_else(|| p.err(format!("unknown field `{name}`")))
+}
+
+fn parse_cmp(p: &mut Parser) -> Result<BinOp, IrError> {
+    let op = match p.next() {
+        Some(Tok::Punct("==")) => BinOp::Eq,
+        Some(Tok::Punct("!=")) => BinOp::Ne,
+        Some(Tok::Punct("<")) => BinOp::Lt,
+        Some(Tok::Punct("<=")) => BinOp::Le,
+        Some(Tok::Punct(">")) => BinOp::Gt,
+        Some(Tok::Punct(">=")) => BinOp::Ge,
+        other => return Err(p.err(format!("expected comparison operator, found {other:?}"))),
+    };
+    Ok(op)
+}
+
+fn parse_operand(p: &mut Parser, b: &mut FunctionBuilder) -> Result<Operand, IrError> {
+    match p.peek() {
+        Some(Tok::Ident(s))
+            if s != "null" && s != "true" && s != "false" =>
+        {
+            let name = s.clone();
+            p.pos += 1;
+            Ok(Operand::Var(b.var(&name)))
+        }
+        _ => Ok(Operand::Const(parse_const(p)?)),
+    }
+}
+
+fn parse_call_tail(
+    p: &mut Parser,
+    b: &mut FunctionBuilder,
+) -> Result<(String, Vec<Operand>), IrError> {
+    let callee = p.expect_ident()?;
+    p.expect_punct("(")?;
+    let mut args = Vec::new();
+    if !p.eat_punct(")") {
+        loop {
+            args.push(parse_operand(p, b)?);
+            if p.eat_punct(",") {
+                continue;
+            }
+            p.expect_punct(")")?;
+            break;
+        }
+    }
+    Ok((callee, args))
+}
+
+fn elem_type_of(name: &str) -> Option<ElemType> {
+    match name {
+        "byte" => Some(ElemType::Byte),
+        "int" => Some(ElemType::Int),
+        "float" => Some(ElemType::Float),
+        "ref" => Some(ElemType::Ref),
+        _ => None,
+    }
+}
+
+fn parse_rvalue(
+    p: &mut Parser,
+    program: &Program,
+    b: &mut FunctionBuilder,
+) -> Result<Rvalue, IrError> {
+    if p.eat_ident("new") {
+        let name = p.expect_ident()?;
+        if let Some(elem) = elem_type_of(&name) {
+            if p.eat_punct("[") {
+                let n = parse_operand(p, b)?;
+                p.expect_punct("]")?;
+                return Ok(Rvalue::NewArray(elem, n));
+            }
+        }
+        let class = program
+            .classes
+            .id(&name)
+            .ok_or_else(|| p.err(format!("unknown class `{name}`")))?;
+        return Ok(Rvalue::New(class));
+    }
+    if p.eat_ident("call") {
+        let (callee, args) = parse_call_tail(p, b)?;
+        return Ok(Rvalue::Invoke { callee, args });
+    }
+    if p.eat_ident("native") {
+        let (callee, args) = parse_call_tail(p, b)?;
+        return Ok(Rvalue::InvokeNative { callee, args });
+    }
+    if p.eat_ident("len") {
+        let name = p.expect_ident()?;
+        return Ok(Rvalue::ArrayLen(b.var(&name)));
+    }
+    if p.eat_ident("global") {
+        p.expect_punct("::")?;
+        let gname = p.expect_ident()?;
+        let id = program
+            .global(&gname)
+            .ok_or_else(|| p.err(format!("unknown global `{gname}`")))?;
+        return Ok(Rvalue::GlobalGet(id));
+    }
+    if p.eat_punct("(") {
+        // `(Class) var` cast.
+        let cname = p.expect_ident()?;
+        p.expect_punct(")")?;
+        let class = program
+            .classes
+            .id(&cname)
+            .ok_or_else(|| p.err(format!("unknown class `{cname}`")))?;
+        let vname = p.expect_ident()?;
+        return Ok(Rvalue::Cast(class, b.var(&vname)));
+    }
+    if p.eat_punct("!") {
+        let a = parse_operand(p, b)?;
+        return Ok(Rvalue::Unary(UnOp::Not, a));
+    }
+    if matches!(p.peek(), Some(Tok::Punct("-")))
+        && matches!(p.peek2(), Some(Tok::Ident(_)))
+    {
+        p.pos += 1;
+        let a = parse_operand(p, b)?;
+        return Ok(Rvalue::Unary(UnOp::Neg, a));
+    }
+
+    // Primary: operand, possibly `.field`, `[idx]`, `instanceof`, or binop.
+    let first = parse_operand(p, b)?;
+    if let Operand::Var(base) = first {
+        if p.eat_punct(".") {
+            let fname = p.expect_ident()?;
+            let field = resolve_field(p, program, &fname)?;
+            return Ok(Rvalue::FieldGet(base, field));
+        }
+        if p.eat_punct("[") {
+            let idx = parse_operand(p, b)?;
+            p.expect_punct("]")?;
+            return Ok(Rvalue::ArrayGet(base, idx));
+        }
+        if p.eat_ident("instanceof") {
+            let cname = p.expect_ident()?;
+            let class = program
+                .classes
+                .id(&cname)
+                .ok_or_else(|| p.err(format!("unknown class `{cname}`")))?;
+            return Ok(Rvalue::InstanceOf(base, class));
+        }
+    }
+    let binop = match p.peek() {
+        Some(Tok::Punct("+")) => Some(BinOp::Add),
+        Some(Tok::Punct("-")) => Some(BinOp::Sub),
+        Some(Tok::Punct("*")) => Some(BinOp::Mul),
+        Some(Tok::Punct("/")) => Some(BinOp::Div),
+        Some(Tok::Punct("%")) => Some(BinOp::Rem),
+        Some(Tok::Punct("==")) => Some(BinOp::Eq),
+        Some(Tok::Punct("!=")) => Some(BinOp::Ne),
+        Some(Tok::Punct("<")) => Some(BinOp::Lt),
+        Some(Tok::Punct("<=")) => Some(BinOp::Le),
+        Some(Tok::Punct(">")) => Some(BinOp::Gt),
+        Some(Tok::Punct(">=")) => Some(BinOp::Ge),
+        Some(Tok::Punct("&")) => Some(BinOp::And),
+        Some(Tok::Punct("|")) => Some(BinOp::Or),
+        _ => None,
+    };
+    if let Some(op) = binop {
+        p.pos += 1;
+        let rhs = parse_operand(p, b)?;
+        return Ok(Rvalue::Binary(op, first, rhs));
+    }
+    Ok(Rvalue::Use(first))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    #[test]
+    fn parses_push_example_from_paper() {
+        let src = r#"
+            class ImageData { width: int, buff: ref }
+
+            fn push(event) {
+                z0 = event instanceof ImageData
+                if z0 == 0 goto skip
+                r2 = (ImageData) event
+                r4 = call resize(r2, 100, 100)
+                native display_image(r4)
+            skip:
+                return
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let f = prog.function("push").unwrap();
+        assert_eq!(f.params, 1);
+        assert!(f.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Assign { rvalue: Rvalue::InvokeNative { .. }, .. }
+        )));
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::Return { .. })));
+    }
+
+    #[test]
+    fn parses_globals_and_global_access() {
+        let src = r#"
+            global hits = 0
+            fn bump() {
+                h = global::hits
+                h = h + 1
+                global::hits = h
+                return h
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert!(prog.global("hits").is_some());
+        let f = prog.function("bump").unwrap();
+        assert!(f.instrs[0].is_stop());
+        assert!(f.instrs[2].is_stop());
+    }
+
+    #[test]
+    fn parses_arrays_and_loops() {
+        let src = r#"
+            fn sum(arr) {
+                i = 0
+                total = 0
+                n = len arr
+            head:
+                if i >= n goto done
+                x = arr[i]
+                total = total + x
+                i = i + 1
+                goto head
+            done:
+                return total
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let f = prog.function("sum").unwrap();
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn parses_new_array_and_class() {
+        let src = r#"
+            class Box { v: int }
+            fn mk(n) {
+                a = new byte[n]
+                b = new Box
+                b.v = 3
+                return a
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert!(prog.function("mk").is_some());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let src = "fn broken() {\n  x = @\n}\n";
+        match parse_program(src) {
+            Err(IrError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_class_is_an_error() {
+        let src = "fn f(e) {\n  x = e instanceof Nope\n  return\n}\n";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = r#"
+            # a comment
+            // another comment
+            fn id(x) {
+                return x  # trailing comment
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert!(prog.function("id").is_some());
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let src = "fn s() {\n  x = \"a\\n\\\"b\"\n  return x\n}\n";
+        let prog = parse_program(src).unwrap();
+        assert!(prog.function("s").is_some());
+    }
+
+    #[test]
+    fn negative_const_and_unary() {
+        let src = "fn n(x) {\n  a = -3\n  b = -x\n  c = !x\n  return a\n}\n";
+        let prog = parse_program(src).unwrap();
+        let f = prog.function("n").unwrap();
+        assert!(matches!(
+            f.instrs[0],
+            Instr::Assign { rvalue: Rvalue::Use(Operand::Const(Const::Int(-3))), .. }
+        ));
+    }
+
+    #[test]
+    fn ambiguous_field_is_error_unique_field_ok() {
+        let src = r#"
+            class A { v: int }
+            class B { v: int }
+            fn f(x) {
+                y = x.v
+                return y
+            }
+        "#;
+        // `v` exists in both A and B but at the same FieldId(0), so it is
+        // unambiguous positionally — accepted.
+        assert!(parse_program(src).is_ok());
+
+        let src2 = r#"
+            class A { u: int, v: int }
+            class B { v: int }
+            fn f(x) {
+                y = x.v
+                return y
+            }
+        "#;
+        // `v` resolves to different indices in A and B — rejected.
+        assert!(parse_program(src2).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The parser must never panic, whatever bytes it is fed — it
+        /// either parses or returns a parse error with a line number.
+        #[test]
+        fn parser_never_panics_on_arbitrary_input(input in ".{0,400}") {
+            let _ = parse_program(&input);
+        }
+
+        /// Mutations of a valid program (truncation, byte swaps) must also
+        /// be handled gracefully.
+        #[test]
+        fn parser_never_panics_on_mutated_programs(
+            cut in 0usize..400,
+            junk in "[a-z0-9{}()\\[\\]=+*:,\n ]{0,40}",
+        ) {
+            let base = r#"
+                class Frame { n: int, buff: ref }
+                global seen = 0
+                fn handle(event) {
+                    ok = event instanceof Frame
+                    if ok == 0 goto skip
+                    f = (Frame) event
+                    x = f.n
+                    native out(x)
+                    return x
+                skip:
+                    return 0
+                }
+            "#;
+            let cut = cut.min(base.len());
+            // Cut at a char boundary.
+            let mut idx = cut;
+            while !base.is_char_boundary(idx) { idx -= 1; }
+            let mutated = format!("{}{}", &base[..idx], junk);
+            let _ = parse_program(&mutated);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Pretty-printer: the inverse of [`crate::parse`].
+//!
+//! Printing uses variable debug names and synthesizes labels for jump
+//! targets, so `parse(print(p))` yields a structurally equivalent program
+//! (tested by the round-trip property tests in `tests/`).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::func::{Function, Program};
+use crate::instr::{Instr, Operand, Place, Rvalue, Var};
+
+/// Renders a whole program in concrete syntax.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for (_, decl) in p.classes.iter() {
+        let fields: Vec<String> = decl
+            .fields
+            .iter()
+            .map(|f| format!("{}: {}", f.name, f.ty))
+            .collect();
+        let _ = writeln!(out, "class {} {{ {} }}", decl.name, fields.join(", "));
+    }
+    for g in p.globals() {
+        let _ = writeln!(out, "global {} = {}", g.name, g.init);
+    }
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    for f in p.functions() {
+        out.push_str(&function_to_string(p, f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function in concrete syntax.
+pub fn function_to_string(p: &Program, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<&str> = (0..f.params)
+        .map(|i| f.var_name(Var(i as u32)))
+        .collect();
+    let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
+
+    // Collect jump targets that need labels.
+    let mut targets = BTreeSet::new();
+    for instr in &f.instrs {
+        match instr {
+            Instr::If { target, .. } | Instr::Goto { target } => {
+                targets.insert(*target);
+            }
+            _ => {}
+        }
+    }
+
+    for (pc, instr) in f.instrs.iter().enumerate() {
+        if targets.contains(&pc) {
+            let _ = writeln!(out, "L{pc}:");
+        }
+        let _ = writeln!(out, "    {}", instr_to_string(p, f, instr));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn var_str(f: &Function, v: Var) -> String {
+    f.var_name(v).to_string()
+}
+
+fn op_str(f: &Function, o: &Operand) -> String {
+    match o {
+        Operand::Var(v) => var_str(f, *v),
+        Operand::Const(c) => c.to_string(),
+    }
+}
+
+/// Renders one instruction in concrete syntax (without the label).
+pub fn instr_to_string(p: &Program, f: &Function, instr: &Instr) -> String {
+    match instr {
+        Instr::Assign { place, rvalue } => {
+            let lhs = match place {
+                Place::Var(v) => var_str(f, *v),
+                Place::Field(v, field) => {
+                    format!("{}.{}", var_str(f, *v), field_name(p, *field))
+                }
+                Place::ArrayElem(v, i) => {
+                    format!("{}[{}]", var_str(f, *v), op_str(f, i))
+                }
+                Place::Global(g) => format!("global::{}", p.global_name(*g)),
+            };
+            format!("{lhs} = {}", rvalue_to_string(p, f, rvalue))
+        }
+        Instr::If { cond, target } => format!(
+            "if {} {} {} goto L{target}",
+            op_str(f, &cond.lhs),
+            cond.op,
+            op_str(f, &cond.rhs)
+        ),
+        Instr::Goto { target } => format!("goto L{target}"),
+        Instr::Return { value: Some(v) } => format!("return {}", op_str(f, v)),
+        Instr::Return { value: None } => "return".to_string(),
+        Instr::Nop => "nop = 0".to_string(),
+    }
+}
+
+fn field_name(p: &Program, field: crate::types::FieldId) -> String {
+    // Field ids are positional; recover a representative name from any class
+    // that has a field at this index. Parsing resolves bare names
+    // positionally, so any consistent name round-trips.
+    for (_, decl) in p.classes.iter() {
+        if let Some(fd) = decl.fields.get(field.index()) {
+            return fd.name.clone();
+        }
+    }
+    format!("f{}", field.index())
+}
+
+fn rvalue_to_string(p: &Program, f: &Function, r: &Rvalue) -> String {
+    match r {
+        Rvalue::Use(o) => op_str(f, o),
+        Rvalue::Unary(op, o) => format!("{op}{}", op_str(f, o)),
+        Rvalue::Binary(op, a, b) => {
+            format!("{} {op} {}", op_str(f, a), op_str(f, b))
+        }
+        Rvalue::InstanceOf(v, c) => {
+            format!("{} instanceof {}", var_str(f, *v), p.classes.decl(*c).name)
+        }
+        Rvalue::Cast(c, v) => {
+            format!("({}) {}", p.classes.decl(*c).name, var_str(f, *v))
+        }
+        Rvalue::New(c) => format!("new {}", p.classes.decl(*c).name),
+        Rvalue::NewArray(elem, n) => format!("new {elem}[{}]", op_str(f, n)),
+        Rvalue::FieldGet(v, field) => {
+            format!("{}.{}", var_str(f, *v), field_name(p, *field))
+        }
+        Rvalue::ArrayGet(v, i) => format!("{}[{}]", var_str(f, *v), op_str(f, i)),
+        Rvalue::ArrayLen(v) => format!("len {}", var_str(f, *v)),
+        Rvalue::Invoke { callee, args } => format!(
+            "call {callee}({})",
+            args.iter().map(|a| op_str(f, a)).collect::<Vec<_>>().join(", ")
+        ),
+        Rvalue::InvokeNative { callee, args } => format!(
+            "native {callee}({})",
+            args.iter().map(|a| op_str(f, a)).collect::<Vec<_>>().join(", ")
+        ),
+        Rvalue::GlobalGet(g) => format!("global::{}", p.global_name(*g)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    const SRC: &str = r#"
+        class ImageData { width: int, buff: ref }
+        global shown = 0
+
+        fn push(event) {
+            z0 = event instanceof ImageData
+            if z0 == 0 goto skip
+            r2 = (ImageData) event
+            w = r2.width
+            a = new byte[w]
+            a[0] = 1
+            n = len a
+            s = global::shown
+            global::shown = s
+            r4 = call resize(r2, 100, 100)
+            native display_image(r4)
+        skip:
+            return
+        }
+    "#;
+
+    #[test]
+    fn round_trips_through_parser() {
+        let p1 = parse_program(SRC).unwrap();
+        let text = program_to_string(&p1);
+        let p2 = parse_program(&text).expect("printed program must re-parse");
+        let f1 = p1.function("push").unwrap();
+        let f2 = p2.function("push").unwrap();
+        assert_eq!(f1.instrs.len(), f2.instrs.len());
+        // Structural equality of the instruction kinds and jump targets.
+        for (a, b) in f1.instrs.iter().zip(&f2.instrs) {
+            assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b),
+                "instruction kind mismatch: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_emitted_only_for_targets() {
+        let p = parse_program(SRC).unwrap();
+        let f = p.function("push").unwrap();
+        let text = function_to_string(&p, f);
+        assert!(text.contains("goto L"));
+        assert_eq!(text.matches(":\n").count(), 1, "{text}");
+    }
+}

@@ -1,0 +1,428 @@
+//! A standard library of *pure* builtins for handler programs.
+//!
+//! The paper's handlers lean on helper methods (resizing, filtering,
+//! numeric kernels) that the analysis treats as opaque invocations. This
+//! module provides a reusable set of such helpers — math, array, and
+//! string operations — with work costs declared per element, so
+//! applications don't have to re-register the basics.
+//!
+//! All functions here are *pure* in the Method Partitioning sense: they
+//! touch only their arguments and fresh allocations, never
+//! receiver-anchored state, and may therefore execute on either side of a
+//! split.
+
+use crate::heap::{ArrayData, Heap, HeapCell};
+use crate::interp::BuiltinRegistry;
+use crate::value::Value;
+use crate::IrError;
+
+/// Registers the whole standard library into `registry`.
+///
+/// Names: `abs`, `min`, `max`, `clamp`, `sqrt`, `pow`,
+/// `arr_len`, `arr_sum`, `arr_avg`, `arr_min`, `arr_max`, `arr_fill`,
+/// `arr_copy`, `arr_slice`, `arr_reverse`, `arr_scale`, `arr_concat`,
+/// `str_len`, `str_concat`, `str_upper`.
+pub fn register_stdlib(registry: &mut BuiltinRegistry) {
+    register_math(registry);
+    register_arrays(registry);
+    register_strings(registry);
+}
+
+fn num(v: &Value, what: &str) -> Result<f64, IrError> {
+    v.as_float(what)
+}
+
+fn both_int(a: &Value, b: &Value) -> bool {
+    matches!(a, Value::Int(_) | Value::Bool(_)) && matches!(b, Value::Int(_) | Value::Bool(_))
+}
+
+fn arity(args: &[Value], n: usize, name: &str) -> Result<(), IrError> {
+    if args.len() != n {
+        return Err(IrError::Type(format!(
+            "{name} expects {n} arguments, got {}",
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+fn register_math(registry: &mut BuiltinRegistry) {
+    registry.register_pure("abs", |_, _| 1, |_, args| {
+        arity(args, 1, "abs")?;
+        Ok(match &args[0] {
+            Value::Int(i) => Value::Int(i.wrapping_abs()),
+            other => Value::Float(num(other, "abs")?.abs()),
+        })
+    });
+    registry.register_pure("min", |_, _| 1, |_, args| {
+        arity(args, 2, "min")?;
+        if both_int(&args[0], &args[1]) {
+            Ok(Value::Int(args[0].as_int("min")?.min(args[1].as_int("min")?)))
+        } else {
+            Ok(Value::Float(num(&args[0], "min")?.min(num(&args[1], "min")?)))
+        }
+    });
+    registry.register_pure("max", |_, _| 1, |_, args| {
+        arity(args, 2, "max")?;
+        if both_int(&args[0], &args[1]) {
+            Ok(Value::Int(args[0].as_int("max")?.max(args[1].as_int("max")?)))
+        } else {
+            Ok(Value::Float(num(&args[0], "max")?.max(num(&args[1], "max")?)))
+        }
+    });
+    registry.register_pure("clamp", |_, _| 1, |_, args| {
+        arity(args, 3, "clamp")?;
+        let (x, lo, hi) = (
+            num(&args[0], "clamp")?,
+            num(&args[1], "clamp")?,
+            num(&args[2], "clamp")?,
+        );
+        if lo > hi {
+            return Err(IrError::Type("clamp: lo > hi".into()));
+        }
+        Ok(Value::Float(x.clamp(lo, hi)))
+    });
+    registry.register_pure("sqrt", |_, _| 4, |_, args| {
+        arity(args, 1, "sqrt")?;
+        let x = num(&args[0], "sqrt")?;
+        if x < 0.0 {
+            return Err(IrError::Type("sqrt of negative".into()));
+        }
+        Ok(Value::Float(x.sqrt()))
+    });
+    registry.register_pure("pow", |_, _| 4, |_, args| {
+        arity(args, 2, "pow")?;
+        Ok(Value::Float(num(&args[0], "pow")?.powf(num(&args[1], "pow")?)))
+    });
+}
+
+fn array_of<'h>(heap: &'h Heap, v: &Value, what: &str) -> Result<&'h ArrayData, IrError> {
+    let r = v.as_ref(what)?;
+    match heap.cell(r)? {
+        HeapCell::Array(a) => Ok(a),
+        HeapCell::Object { .. } => Err(IrError::Type(format!("{what}: expected an array"))),
+    }
+}
+
+fn as_floats(a: &ArrayData) -> Vec<f64> {
+    match a {
+        ArrayData::Byte(v) => v.iter().map(|x| f64::from(*x)).collect(),
+        ArrayData::Int(v) => v.iter().map(|x| *x as f64).collect(),
+        ArrayData::Float(v) => v.clone(),
+        ArrayData::Ref(v) => v.iter().map(|x| x.as_float("elem").unwrap_or(0.0)).collect(),
+    }
+}
+
+fn elem_cost(heap: &Heap, args: &[Value]) -> u64 {
+    args.first()
+        .and_then(|v| v.as_ref("arr").ok())
+        .and_then(|r| heap.array_len(r).ok())
+        .map(|n| 1 + n as u64)
+        .unwrap_or(1)
+}
+
+fn register_arrays(registry: &mut BuiltinRegistry) {
+    registry.register_pure("arr_len", |_, _| 1, |heap, args| {
+        arity(args, 1, "arr_len")?;
+        Ok(Value::Int(array_of(heap, &args[0], "arr_len")?.len() as i64))
+    });
+    registry.register_pure("arr_sum", elem_cost, |heap, args| {
+        arity(args, 1, "arr_sum")?;
+        let xs = as_floats(array_of(heap, &args[0], "arr_sum")?);
+        Ok(Value::Float(xs.iter().sum()))
+    });
+    registry.register_pure("arr_avg", elem_cost, |heap, args| {
+        arity(args, 1, "arr_avg")?;
+        let xs = as_floats(array_of(heap, &args[0], "arr_avg")?);
+        if xs.is_empty() {
+            return Err(IrError::Type("arr_avg of empty array".into()));
+        }
+        Ok(Value::Float(xs.iter().sum::<f64>() / xs.len() as f64))
+    });
+    registry.register_pure("arr_min", elem_cost, |heap, args| {
+        arity(args, 1, "arr_min")?;
+        let xs = as_floats(array_of(heap, &args[0], "arr_min")?);
+        xs.into_iter()
+            .reduce(f64::min)
+            .map(Value::Float)
+            .ok_or_else(|| IrError::Type("arr_min of empty array".into()))
+    });
+    registry.register_pure("arr_max", elem_cost, |heap, args| {
+        arity(args, 1, "arr_max")?;
+        let xs = as_floats(array_of(heap, &args[0], "arr_max")?);
+        xs.into_iter()
+            .reduce(f64::max)
+            .map(Value::Float)
+            .ok_or_else(|| IrError::Type("arr_max of empty array".into()))
+    });
+    registry.register_pure("arr_fill", elem_cost, |heap, args| {
+        arity(args, 2, "arr_fill")?;
+        let r = args[0].as_ref("arr_fill")?;
+        let n = heap.array_len(r)?;
+        for i in 0..n {
+            heap.array_set(r, i as i64, args[1].clone())?;
+        }
+        Ok(args[0].clone())
+    });
+    registry.register_pure("arr_copy", elem_cost, |heap, args| {
+        arity(args, 1, "arr_copy")?;
+        let data = array_of(heap, &args[0], "arr_copy")?.clone();
+        Ok(Value::Ref(heap.alloc_array_from(data)))
+    });
+    registry.register_pure("arr_slice", elem_cost, |heap, args| {
+        arity(args, 3, "arr_slice")?;
+        let data = array_of(heap, &args[0], "arr_slice")?.clone();
+        let from = args[1].as_int("arr_slice from")?;
+        let to = args[2].as_int("arr_slice to")?;
+        let len = data.len() as i64;
+        if from < 0 || to < from || to > len {
+            return Err(IrError::Bounds { index: to, len: len as usize });
+        }
+        let (a, b) = (from as usize, to as usize);
+        let sliced = match data {
+            ArrayData::Byte(v) => ArrayData::Byte(v[a..b].to_vec()),
+            ArrayData::Int(v) => ArrayData::Int(v[a..b].to_vec()),
+            ArrayData::Float(v) => ArrayData::Float(v[a..b].to_vec()),
+            ArrayData::Ref(v) => ArrayData::Ref(v[a..b].to_vec()),
+        };
+        Ok(Value::Ref(heap.alloc_array_from(sliced)))
+    });
+    registry.register_pure("arr_reverse", elem_cost, |heap, args| {
+        arity(args, 1, "arr_reverse")?;
+        let mut data = array_of(heap, &args[0], "arr_reverse")?.clone();
+        match &mut data {
+            ArrayData::Byte(v) => v.reverse(),
+            ArrayData::Int(v) => v.reverse(),
+            ArrayData::Float(v) => v.reverse(),
+            ArrayData::Ref(v) => v.reverse(),
+        }
+        Ok(Value::Ref(heap.alloc_array_from(data)))
+    });
+    registry.register_pure("arr_scale", elem_cost, |heap, args| {
+        arity(args, 2, "arr_scale")?;
+        let factor = num(&args[1], "arr_scale factor")?;
+        let xs = as_floats(array_of(heap, &args[0], "arr_scale")?);
+        let out: Vec<f64> = xs.into_iter().map(|x| x * factor).collect();
+        Ok(Value::Ref(heap.alloc_array_from(ArrayData::Float(out))))
+    });
+    registry.register_pure(
+        "arr_concat",
+        |heap, args| {
+            elem_cost(heap, args) + elem_cost(heap, args.get(1..).unwrap_or(&[]))
+        },
+        |heap, args| {
+            arity(args, 2, "arr_concat")?;
+            let a = array_of(heap, &args[0], "arr_concat")?.clone();
+            let b = array_of(heap, &args[1], "arr_concat")?.clone();
+            let joined = match (a, b) {
+                (ArrayData::Byte(mut x), ArrayData::Byte(y)) => {
+                    x.extend(y);
+                    ArrayData::Byte(x)
+                }
+                (ArrayData::Int(mut x), ArrayData::Int(y)) => {
+                    x.extend(y);
+                    ArrayData::Int(x)
+                }
+                (ArrayData::Float(mut x), ArrayData::Float(y)) => {
+                    x.extend(y);
+                    ArrayData::Float(x)
+                }
+                (ArrayData::Ref(mut x), ArrayData::Ref(y)) => {
+                    x.extend(y);
+                    ArrayData::Ref(x)
+                }
+                _ => return Err(IrError::Type("arr_concat: mismatched element types".into())),
+            };
+            Ok(Value::Ref(heap.alloc_array_from(joined)))
+        },
+    );
+}
+
+fn register_strings(registry: &mut BuiltinRegistry) {
+    registry.register_pure("str_len", |_, _| 1, |_, args| {
+        arity(args, 1, "str_len")?;
+        match &args[0] {
+            Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+            other => Err(IrError::Type(format!(
+                "str_len: expected str, got {}",
+                other.kind_name()
+            ))),
+        }
+    });
+    registry.register_pure("str_concat", |_, _| 2, |_, args| {
+        arity(args, 2, "str_concat")?;
+        match (&args[0], &args[1]) {
+            (Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
+            _ => Err(IrError::Type("str_concat: expected two strings".into())),
+        }
+    });
+    registry.register_pure("str_upper", |_, _| 2, |_, args| {
+        arity(args, 1, "str_upper")?;
+        match &args[0] {
+            Value::Str(s) => Ok(Value::str(s.to_uppercase())),
+            other => Err(IrError::Type(format!(
+                "str_upper: expected str, got {}",
+                other.kind_name()
+            ))),
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExecCtx, Interp};
+    use crate::parse::parse_program;
+
+    fn eval(body: &str, args: Vec<Value>) -> Result<Option<Value>, IrError> {
+        let src = format!("fn f(a, b) {{\n{body}\n}}\n");
+        let program = parse_program(&src)?;
+        let mut registry = BuiltinRegistry::new();
+        register_stdlib(&mut registry);
+        let mut ctx = ExecCtx::with_builtins(&program, registry);
+        Interp::new(&program).run(&mut ctx, "f", args)
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert_eq!(
+            eval("  r = call abs(a)\n  return r", vec![Value::Int(-5), Value::Null]).unwrap(),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            eval("  r = call min(a, b)\n  return r", vec![Value::Int(3), Value::Int(7)]).unwrap(),
+            Some(Value::Int(3))
+        );
+        assert_eq!(
+            eval("  r = call max(a, b)\n  return r", vec![Value::Int(3), Value::Int(7)]).unwrap(),
+            Some(Value::Int(7))
+        );
+        assert_eq!(
+            eval("  r = call sqrt(a)\n  return r", vec![Value::Float(9.0), Value::Null]).unwrap(),
+            Some(Value::Float(3.0))
+        );
+        assert_eq!(
+            eval(
+                "  r = call clamp(a, 0, 10)\n  return r",
+                vec![Value::Int(42), Value::Null]
+            )
+            .unwrap(),
+            Some(Value::Float(10.0))
+        );
+        assert!(eval("  r = call sqrt(a)\n  return r", vec![Value::Float(-1.0), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn array_builtins() {
+        let body = r#"
+            arr = new int[4]
+            arr[0] = 10
+            arr[1] = 20
+            arr[2] = 30
+            arr[3] = 40
+            s = call arr_sum(arr)
+            m = call arr_avg(arr)
+            lo = call arr_min(arr)
+            hi = call arr_max(arr)
+            t = s + m
+            t = t + lo
+            t = t + hi
+            return t
+        "#;
+        assert_eq!(
+            eval(body, vec![Value::Null, Value::Null]).unwrap(),
+            Some(Value::Float(100.0 + 25.0 + 10.0 + 40.0))
+        );
+    }
+
+    #[test]
+    fn slice_copy_reverse_concat() {
+        let body = r#"
+            arr = new int[3]
+            arr[0] = 1
+            arr[1] = 2
+            arr[2] = 3
+            rev = call arr_reverse(arr)
+            first = rev[0]
+            cp = call arr_copy(arr)
+            cp[0] = 99
+            orig0 = arr[0]
+            sl = call arr_slice(arr, 1, 3)
+            sln = call arr_len(sl)
+            cat = call arr_concat(arr, rev)
+            catn = call arr_len(cat)
+            t = first * 1000
+            u = orig0 * 100
+            t = t + u
+            v = sln * 10
+            t = t + v
+            t = t + catn
+            return t
+        "#;
+        // rev[0]=3, arr untouched by copy (1), slice len 2, concat len 6.
+        assert_eq!(
+            eval(body, vec![Value::Null, Value::Null]).unwrap(),
+            Some(Value::Int(3 * 1000 + 100 + 20 + 6))
+        );
+    }
+
+    #[test]
+    fn fill_and_scale() {
+        let body = r#"
+            arr = new float[3]
+            x = call arr_fill(arr, 2)
+            scaled = call arr_scale(arr, 1.5)
+            s = call arr_sum(scaled)
+            return s
+        "#;
+        assert_eq!(
+            eval(body, vec![Value::Null, Value::Null]).unwrap(),
+            Some(Value::Float(9.0))
+        );
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert_eq!(
+            eval("  r = call str_len(a)\n  return r", vec![Value::str("hello"), Value::Null])
+                .unwrap(),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            eval(
+                "  r = call str_concat(a, b)\n  return r",
+                vec![Value::str("ab"), Value::str("cd")]
+            )
+            .unwrap(),
+            Some(Value::str("abcd"))
+        );
+        assert_eq!(
+            eval("  r = call str_upper(a)\n  return r", vec![Value::str("hi"), Value::Null])
+                .unwrap(),
+            Some(Value::str("HI"))
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(eval("  r = call arr_avg(a)\n  return r", vec![Value::Int(1), Value::Null])
+            .is_err());
+        let body = "  arr = new int[0]\n  r = call arr_avg(arr)\n  return r";
+        assert!(eval(body, vec![Value::Null, Value::Null]).is_err());
+        assert!(eval(
+            "  r = call arr_slice(a, 0, 5)\n  return r",
+            vec![Value::Null, Value::Null]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stdlib_builtins_are_pure_not_stop_nodes() {
+        let src = "fn f(x) {\n  y = call arr_sum(x)\n  native out(y)\n  return\n}\n";
+        let program = parse_program(src).unwrap();
+        let f = program.function("f").unwrap();
+        assert!(!f.instrs[0].is_stop(), "stdlib call is not a stop node");
+        assert!(f.instrs[1].is_stop());
+    }
+}

@@ -1,0 +1,277 @@
+//! Class declarations and the program-wide class table.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::IrError;
+
+/// Index of a class in the [`ClassTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Index of a field within its declaring class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub(crate) u32);
+
+impl FieldId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Element type of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// Bytes; models `byte[]` such as `ImageData.buff` in the paper.
+    Byte,
+    /// 64-bit ints; models `int[]` such as `Int100`.
+    Int,
+    /// 64-bit floats; models `float[]`.
+    Float,
+    /// Arbitrary values, including references.
+    Ref,
+}
+
+impl ElemType {
+    /// Width in bytes used by the sizing machinery of the data-size cost
+    /// model. Reference elements count the reference itself
+    /// ([`crate::marshal::REF_SIZE`]); the referee is sized separately.
+    pub fn width(self) -> usize {
+        match self {
+            ElemType::Byte => 1,
+            ElemType::Int => 8,
+            ElemType::Float => 8,
+            ElemType::Ref => crate::marshal::REF_SIZE,
+        }
+    }
+
+    /// Keyword used in the textual syntax (`byte`, `int`, `float`, `ref`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ElemType::Byte => "byte",
+            ElemType::Int => "int",
+            ElemType::Float => "float",
+            ElemType::Ref => "ref",
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Declared type of a class field, used for sizing and marshalling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Boolean field.
+    Bool,
+    /// Integer field.
+    Int,
+    /// Float field.
+    Float,
+    /// String field.
+    Str,
+    /// Reference field (object, array, or null).
+    Ref,
+}
+
+impl FieldType {
+    /// Keyword used in the textual syntax.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FieldType::Bool => "bool",
+            FieldType::Int => "int",
+            FieldType::Float => "float",
+            FieldType::Str => "str",
+            FieldType::Ref => "ref",
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A field declaration: name and declared type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Field name, unique within the class.
+    pub name: String,
+    /// Declared type.
+    pub ty: FieldType,
+}
+
+/// A class declaration.
+///
+/// Classes are flat records (no inheritance): the paper's analysis treats
+/// the object layout only through sizing and marshalling, for which a flat
+/// field list suffices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name, unique within the program.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<FieldDecl>,
+}
+
+impl ClassDecl {
+    /// Creates a class declaration.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDecl>) -> Self {
+        ClassDecl { name: name.into(), fields }
+    }
+
+    /// Looks up a field index by name.
+    pub fn field(&self, name: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FieldId(i as u32))
+    }
+}
+
+/// The program-wide registry of classes.
+#[derive(Debug, Clone, Default)]
+pub struct ClassTable {
+    classes: Vec<ClassDecl>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassTable {
+    /// Creates an empty class table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a class declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] if a class with the same name or a
+    /// duplicate field name exists.
+    pub fn declare(&mut self, decl: ClassDecl) -> Result<ClassId, IrError> {
+        if self.by_name.contains_key(&decl.name) {
+            return Err(IrError::Invalid(format!("duplicate class `{}`", decl.name)));
+        }
+        for (i, f) in decl.fields.iter().enumerate() {
+            if decl.fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(IrError::Invalid(format!(
+                    "duplicate field `{}` in class `{}`",
+                    f.name, decl.name
+                )));
+            }
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.by_name.insert(decl.name.clone(), id);
+        self.classes.push(decl);
+        Ok(id)
+    }
+
+    /// Resolves a class by name.
+    pub fn id(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the declaration for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn decl(&self, id: ClassId) -> &ClassDecl {
+        &self.classes[id.index()]
+    }
+
+    /// Number of declared classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether no classes are declared.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over `(id, decl)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDecl)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_data() -> ClassDecl {
+        ClassDecl::new(
+            "ImageData",
+            vec![
+                FieldDecl { name: "width".into(), ty: FieldType::Int },
+                FieldDecl { name: "buff".into(), ty: FieldType::Ref },
+            ],
+        )
+    }
+
+    #[test]
+    fn declare_and_resolve() {
+        let mut table = ClassTable::new();
+        let id = table.declare(image_data()).unwrap();
+        assert_eq!(table.id("ImageData"), Some(id));
+        assert_eq!(table.decl(id).name, "ImageData");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut table = ClassTable::new();
+        table.declare(image_data()).unwrap();
+        assert!(table.declare(image_data()).is_err());
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let mut table = ClassTable::new();
+        let bad = ClassDecl::new(
+            "Bad",
+            vec![
+                FieldDecl { name: "x".into(), ty: FieldType::Int },
+                FieldDecl { name: "x".into(), ty: FieldType::Int },
+            ],
+        );
+        assert!(table.declare(bad).is_err());
+    }
+
+    #[test]
+    fn field_lookup_by_name() {
+        let decl = image_data();
+        assert_eq!(decl.field("width"), Some(FieldId(0)));
+        assert_eq!(decl.field("buff"), Some(FieldId(1)));
+        assert_eq!(decl.field("nope"), None);
+    }
+
+    #[test]
+    fn elem_type_widths() {
+        assert_eq!(ElemType::Byte.width(), 1);
+        assert_eq!(ElemType::Int.width(), 8);
+        assert_eq!(ElemType::Float.width(), 8);
+    }
+}

@@ -1,0 +1,219 @@
+//! Runtime values of the IR.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An opaque handle to an object or array on a [`Heap`](crate::heap::Heap).
+///
+/// References are only meaningful with respect to the heap they were
+/// allocated from. Marshalling (see [`crate::marshal`]) re-maps references
+/// when a value graph crosses from one heap to another, exactly as the
+/// paper's remote continuation re-creates objects inside the demodulator's
+/// address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub(crate) u32);
+
+impl ObjRef {
+    /// Raw slot index, useful for diagnostics.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A dynamically-typed runtime value.
+///
+/// The IR is untyped at the variable level (like Jimple locals after type
+/// erasure in our model); operations check types dynamically and report
+/// [`IrError::Type`](crate::IrError::Type) on mismatch.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// The null reference.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer (models Java `int`/`long`).
+    Int(i64),
+    /// A 64-bit float (models Java `float`/`double`).
+    Float(f64),
+    /// An immutable interned string.
+    Str(Arc<str>),
+    /// A reference to a heap object or array.
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns the value interpreted as a branch condition.
+    ///
+    /// Mirrors Jimple's integer conditions: `0`, `false`, and `null` are
+    /// falsy; everything else is truthy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(x) => *x != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Ref(_) => true,
+        }
+    }
+
+    /// Returns the integer payload, or a type error naming `what`.
+    pub fn as_int(&self, what: &str) -> Result<i64, crate::IrError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Bool(b) => Ok(i64::from(*b)),
+            other => Err(crate::IrError::Type(format!(
+                "{what}: expected int, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Returns the float payload (ints are widened), or a type error.
+    pub fn as_float(&self, what: &str) -> Result<f64, crate::IrError> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Bool(b) => Ok(f64::from(u8::from(*b))),
+            other => Err(crate::IrError::Type(format!(
+                "{what}: expected float, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Returns the heap reference, or a type error naming `what`.
+    pub fn as_ref(&self, what: &str) -> Result<ObjRef, crate::IrError> {
+        match self {
+            Value::Ref(r) => Ok(*r),
+            Value::Null => Err(crate::IrError::Type(format!("{what}: null reference"))),
+            other => Err(crate::IrError::Type(format!(
+                "{what}: expected reference, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// A short human-readable name of the value's kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Ref(_) => "ref",
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(r: ObjRef) -> Self {
+        Value::Ref(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_jimple_conventions() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Ref(ObjRef(0)).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+    }
+
+    #[test]
+    fn as_int_widens_bool_only() {
+        assert_eq!(Value::Bool(true).as_int("t").unwrap(), 1);
+        assert_eq!(Value::Int(9).as_int("t").unwrap(), 9);
+        assert!(Value::Float(1.0).as_int("t").is_err());
+        assert!(Value::Null.as_int("t").is_err());
+    }
+
+    #[test]
+    fn as_float_widens_ints() {
+        assert_eq!(Value::Int(2).as_float("t").unwrap(), 2.0);
+        assert_eq!(Value::Float(2.5).as_float("t").unwrap(), 2.5);
+        assert!(Value::str("x").as_float("t").is_err());
+    }
+
+    #[test]
+    fn as_ref_rejects_null_with_context() {
+        let err = Value::Null.as_ref("field load").unwrap_err();
+        assert!(err.to_string().contains("field load"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Ref(ObjRef(3)).to_string(), "@3");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("s"), Value::str("s"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Wire-level envelopes exchanged between sources and subscribers.
+//!
+//! JECho delivers *modulated events*: the continuation produced by the
+//! subscriber's modulator inside the source, plus piggy-backed profiling
+//! samples. Control traffic flows the other way: profiling feedback from
+//! the demodulator side and plan updates from the Reconfiguration Unit.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mpart::continuation::ContinuationMessage;
+use mpart::profile::PseSample;
+use mpart::PseId;
+use mpart_ir::marshal::Marshalled;
+use mpart_ir::IrError;
+
+/// Wire cost (bytes) charged per piggy-backed profiling sample.
+pub const SAMPLE_WIRE_BYTES: usize = 12;
+
+/// A modulated event on the wire: the remote continuation plus the
+/// modulator's profiling samples for this message.
+#[derive(Debug, Clone)]
+pub struct ModulatedEvent {
+    /// Monotone per-source message number.
+    pub seq: u64,
+    /// The remote continuation.
+    pub continuation: ContinuationMessage,
+    /// Modulator-side profiling samples (empty when profiling flags are
+    /// off).
+    pub samples: Vec<PseSample>,
+}
+
+impl ModulatedEvent {
+    /// Total bytes on the wire: continuation plus sample piggyback.
+    pub fn wire_size(&self) -> usize {
+        self.continuation.wire_size() + self.samples.len() * SAMPLE_WIRE_BYTES
+    }
+}
+
+/// A plan update travelling from the Reconfiguration Unit to the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEnvelope {
+    /// PSE ids to activate (all others cleared).
+    pub active: Vec<PseId>,
+    /// Sequence number of the reconfiguration (monotone).
+    pub revision: u64,
+}
+
+/// A frame on a byte-stream transport (e.g. TCP).
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// A modulated event, sender → receiver, with the sender-side elapsed
+    /// time (nanoseconds) piggy-backed for the exec-time profiler.
+    Event {
+        /// The modulated event.
+        event: ModulatedEvent,
+        /// Sender-side elapsed time for the modulator run, in nanoseconds.
+        t_mod_nanos: u64,
+    },
+    /// A plan update, receiver → sender.
+    Plan(PlanEnvelope),
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+const FRAME_EVENT: u8 = 0;
+const FRAME_PLAN: u8 = 1;
+const FRAME_SHUTDOWN: u8 = 2;
+
+impl Frame {
+    /// Encodes the frame as `[type u8][len u32][body]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        let kind = match self {
+            Frame::Event { event: e, t_mod_nanos } => {
+                body.put_u64(e.seq);
+                body.put_u64(*t_mod_nanos);
+                body.put_u32(e.continuation.pse as u32);
+                body.put_u64(e.continuation.mod_work);
+                let payload = e.continuation.payload.as_bytes();
+                body.put_u32(payload.len() as u32);
+                body.put_slice(payload);
+                body.put_u32(e.samples.len() as u32);
+                for s in &e.samples {
+                    body.put_u32(s.pse as u32);
+                    body.put_u64(s.mod_work);
+                    body.put_u64(s.payload_bytes.unwrap_or(u64::MAX));
+                    body.put_u8(u8::from(s.was_split));
+                }
+                FRAME_EVENT
+            }
+            Frame::Plan(p) => {
+                body.put_u64(p.revision);
+                body.put_u32(p.active.len() as u32);
+                for &pse in &p.active {
+                    body.put_u32(pse as u32);
+                }
+                FRAME_PLAN
+            }
+            Frame::Shutdown => FRAME_SHUTDOWN,
+        };
+        let mut out = Vec::with_capacity(5 + body.len());
+        out.push(kind);
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a frame from `kind` and `body` (the transport strips the
+    /// 5-byte header and reads `len` body bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] on malformed frames.
+    pub fn decode(kind: u8, body: &[u8]) -> Result<Frame, IrError> {
+        let mut buf = Bytes::copy_from_slice(body);
+        let short = || IrError::Marshal("truncated frame".into());
+        let need = |buf: &Bytes, n: usize| -> Result<(), IrError> {
+            if buf.remaining() < n {
+                Err(IrError::Marshal("truncated frame".into()))
+            } else {
+                Ok(())
+            }
+        };
+        match kind {
+            FRAME_EVENT => {
+                need(&buf, 8 + 8 + 4 + 8 + 4)?;
+                let seq = buf.get_u64();
+                let t_mod_nanos = buf.get_u64();
+                let pse = buf.get_u32() as PseId;
+                let mod_work = buf.get_u64();
+                let payload_len = buf.get_u32() as usize;
+                need(&buf, payload_len)?;
+                let payload = Marshalled::from_bytes(buf.copy_to_bytes(payload_len));
+                need(&buf, 4)?;
+                let nsamples = buf.get_u32() as usize;
+                // Each encoded sample occupies 21 bytes; reject crafted
+                // counts before allocating.
+                if nsamples.checked_mul(21).is_none_or(|b| b > buf.remaining()) {
+                    return Err(short());
+                }
+                let mut samples = Vec::with_capacity(nsamples);
+                for _ in 0..nsamples {
+                    need(&buf, 4 + 8 + 8 + 1)?;
+                    let pse = buf.get_u32() as PseId;
+                    let mod_work = buf.get_u64();
+                    let bytes = buf.get_u64();
+                    let was_split = buf.get_u8() != 0;
+                    samples.push(PseSample {
+                        pse,
+                        mod_work,
+                        payload_bytes: (bytes != u64::MAX).then_some(bytes),
+                        was_split,
+                    });
+                }
+                Ok(Frame::Event {
+                    event: ModulatedEvent {
+                        seq,
+                        continuation: ContinuationMessage { pse, payload, mod_work },
+                        samples,
+                    },
+                    t_mod_nanos,
+                })
+            }
+            FRAME_PLAN => {
+                need(&buf, 8 + 4)?;
+                let revision = buf.get_u64();
+                let n = buf.get_u32() as usize;
+                if n.checked_mul(4).is_none_or(|b| b > buf.remaining()) {
+                    return Err(short());
+                }
+                let active = (0..n).map(|_| buf.get_u32() as PseId).collect();
+                Ok(Frame::Plan(PlanEnvelope { active, revision }))
+            }
+            FRAME_SHUTDOWN => Ok(Frame::Shutdown),
+            other => Err(IrError::Marshal(format!("unknown frame type {other}"))),
+        }
+    }
+
+    /// Reads one frame from a byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] on malformed frames or I/O failures.
+    pub fn read_from(reader: &mut impl std::io::Read) -> Result<Frame, IrError> {
+        let mut header = [0u8; 5];
+        reader
+            .read_exact(&mut header)
+            .map_err(|e| IrError::Marshal(format!("frame header: {e}")))?;
+        let kind = header[0];
+        let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
+        if len > 64 * 1024 * 1024 {
+            return Err(IrError::Marshal(format!("frame too large: {len}")));
+        }
+        let mut body = vec![0u8; len];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| IrError::Marshal(format!("frame body: {e}")))?;
+        Frame::decode(kind, &body)
+    }
+
+    /// Writes the frame to a byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] on I/O failures.
+    pub fn write_to(&self, writer: &mut impl std::io::Write) -> Result<(), IrError> {
+        writer
+            .write_all(&self.encode())
+            .map_err(|e| IrError::Marshal(format!("frame write: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_samples() {
+        let payload = Marshalled::from_bytes(vec![0u8; 100]);
+        let event = ModulatedEvent {
+            seq: 1,
+            continuation: ContinuationMessage { pse: 0, payload, mod_work: 5 },
+            samples: vec![
+                PseSample { pse: 0, mod_work: 0, payload_bytes: Some(1), was_split: false },
+                PseSample { pse: 1, mod_work: 2, payload_bytes: Some(2), was_split: true },
+            ],
+        };
+        assert_eq!(
+            event.wire_size(),
+            100 + mpart::continuation::CONTINUATION_HEADER_BYTES + 2 * SAMPLE_WIRE_BYTES
+        );
+    }
+
+    fn sample_event() -> ModulatedEvent {
+        ModulatedEvent {
+            seq: 42,
+            continuation: ContinuationMessage {
+                pse: 3,
+                payload: Marshalled::from_bytes(vec![1u8, 2, 3, 4, 5]),
+                mod_work: 77,
+            },
+            samples: vec![
+                PseSample { pse: 0, mod_work: 1, payload_bytes: Some(100), was_split: false },
+                PseSample { pse: 3, mod_work: 9, payload_bytes: None, was_split: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn event_frame_round_trips() {
+        let frame = Frame::Event { event: sample_event(), t_mod_nanos: 1_500_000 };
+        let bytes = frame.encode();
+        let decoded = Frame::decode(bytes[0], &bytes[5..]).unwrap();
+        match decoded {
+            Frame::Event { event: e, t_mod_nanos } => {
+                assert_eq!(t_mod_nanos, 1_500_000);
+                assert_eq!(e.seq, 42);
+                assert_eq!(e.continuation.pse, 3);
+                assert_eq!(e.continuation.mod_work, 77);
+                assert_eq!(e.continuation.payload.as_bytes(), &[1, 2, 3, 4, 5]);
+                assert_eq!(e.samples.len(), 2);
+                assert_eq!(e.samples[0].payload_bytes, Some(100));
+                assert_eq!(e.samples[1].payload_bytes, None);
+                assert!(e.samples[1].was_split);
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_frame_round_trips() {
+        let frame = Frame::Plan(PlanEnvelope { active: vec![1, 4, 9], revision: 7 });
+        let bytes = frame.encode();
+        match Frame::decode(bytes[0], &bytes[5..]).unwrap() {
+            Frame::Plan(p) => {
+                assert_eq!(p.active, vec![1, 4, 9]);
+                assert_eq!(p.revision, 7);
+            }
+            other => panic!("expected plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_and_stream_io() {
+        let mut buf = Vec::new();
+        Frame::Event { event: sample_event(), t_mod_nanos: 7 }
+            .write_to(&mut buf)
+            .unwrap();
+        Frame::Plan(PlanEnvelope { active: vec![2], revision: 1 })
+            .write_to(&mut buf)
+            .unwrap();
+        Frame::Shutdown.write_to(&mut buf).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(Frame::read_from(&mut cursor).unwrap(), Frame::Event { .. }));
+        assert!(matches!(Frame::read_from(&mut cursor).unwrap(), Frame::Plan(_)));
+        assert!(matches!(Frame::read_from(&mut cursor).unwrap(), Frame::Shutdown));
+        assert!(Frame::read_from(&mut cursor).is_err(), "EOF is an error");
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(Frame::decode(99, &[]).is_err());
+        assert!(Frame::decode(0, &[1, 2, 3]).is_err());
+        // Huge declared payload with a tiny body.
+        let mut body = Vec::new();
+        body.extend_from_slice(&42u64.to_be_bytes());
+        body.extend_from_slice(&3u32.to_be_bytes());
+        body.extend_from_slice(&7u64.to_be_bytes());
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Frame::decode(0, &body).is_err());
+    }
+}

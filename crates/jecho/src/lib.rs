@@ -1,0 +1,34 @@
+//! # mpart-jecho — a JECho-like distributed event substrate
+//!
+//! The paper hosts Method Partitioning inside JECho, a Java distributed
+//! event system: receivers *subscribe* handlers to channels, the system
+//! analyzes each handler, ships the generated modulator to the event
+//! source, and keeps the demodulator with the subscriber. This crate
+//! re-creates those roles on top of the `mpart` runtime with three
+//! transports:
+//!
+//! * [`channel::EventChannel`] — synchronous in-process delivery with
+//!   fan-out to multiple subscribers (Figure 1); the reference semantics;
+//! * [`sim::SimSession`] — virtual-time delivery through the
+//!   `mpart-simnet` pipeline, with feedback-delayed plan updates; this is
+//!   what the benchmark harness uses;
+//! * [`local::LocalPair`] — real OS threads and channels with wall-clock
+//!   profiling, demonstrating the machinery under true concurrency;
+//! * [`proxy::ProxySession`] — §7's third-party modulator placement: the
+//!   modulator runs inside a broker between source and receiver;
+//! * [`tcp::TcpSender`] / [`tcp::TcpReceiver`] — real TCP sockets:
+//!   continuations and plan updates cross as length-prefixed frames.
+
+pub mod channel;
+pub mod envelope;
+pub mod local;
+pub mod proxy;
+pub mod sim;
+pub mod tcp;
+
+pub use channel::{DeliveryReport, EventChannel, SubscriberId};
+pub use envelope::{ModulatedEvent, PlanEnvelope};
+pub use local::LocalPair;
+pub use proxy::{ProxyConfig, ProxyReport, ProxySession};
+pub use sim::{SimConfig, SimReport, SimSession};
+pub use tcp::{TcpReceiver, TcpSender};

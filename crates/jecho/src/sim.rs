@@ -1,0 +1,623 @@
+//! Virtual-time sessions: a source and one subscriber bridged by the
+//! `mpart-simnet` pipeline.
+//!
+//! A [`SimSession`] runs the real Method Partitioning machinery — actual
+//! modulator/demodulator execution, marshalling, profiling, min-cut
+//! reconfiguration — while *time* comes from the simulator: interpreter
+//! work units divided by host speeds (with perturbation load), and wire
+//! bytes priced through `T_s = α + β·S`. Plan updates travel back to the
+//! source with a feedback latency, so adaptation lag is modelled
+//! faithfully.
+
+use std::sync::Arc;
+
+use mpart::demodulator::Demodulator;
+use mpart::modulator::Modulator;
+use mpart::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
+use mpart::reconfig::ReconfigUnit;
+use mpart::{PartitionedHandler, PseId};
+use mpart_cost::CostModel;
+use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
+use mpart_ir::{IrError, Program, Value};
+use mpart_simnet::{EventQueue, Host, Link, MessageDemand, MessageTiming, Pipeline, SimTime};
+use rand::prelude::*;
+
+use crate::envelope::ModulatedEvent;
+
+/// Hosts, link, and adaptation policy of a simulated session.
+#[derive(Debug)]
+pub struct SimConfig {
+    /// The message source's host.
+    pub sender: Host,
+    /// The connecting link.
+    pub link: Link,
+    /// The subscriber's host.
+    pub receiver: Host,
+    /// Feedback trigger policy ([`TriggerPolicy::Never`] freezes the plan).
+    pub trigger: TriggerPolicy,
+    /// One-way latency for feedback/plan-update control messages
+    /// (typically the link's α).
+    pub feedback_latency: SimTime,
+    /// CPU work units charged per wire byte on *each* side for
+    /// marshalling/unmarshalling — the serialization costs the paper's
+    /// Table 1 quantifies. Zero disables the accounting.
+    pub serialize_work_per_byte: f64,
+    /// Profile only every Nth message ("if profiling is expensive, such
+    /// costs can be reduced by periodic sampling, at the expense of having
+    /// less timely statistics", §2.5). `1` profiles every message.
+    pub profile_sample_period: u64,
+    /// EWMA smoothing factor of the profiling statistics.
+    pub ewma_alpha: f64,
+    /// Weight PSE costs by traversal frequency (§2.3 path-sensitive
+    /// optimization).
+    pub frequency_weighted: bool,
+    /// Maximum messages in flight before the sender blocks (bounded
+    /// socket/queue buffering). Without a bound, a congested receiver
+    /// lets the sender race arbitrarily far ahead and plan updates stall
+    /// behind the data queue.
+    pub max_in_flight: usize,
+    /// Probability that a plan-update control message is lost in transit
+    /// (failure injection; seeded, deterministic). Zero disables losses.
+    pub control_loss: f64,
+    /// Seed for the control-loss coin flips.
+    pub control_loss_seed: u64,
+}
+
+impl SimConfig {
+    /// A config with feedback latency equal to the link's α.
+    pub fn new(sender: Host, link: Link, receiver: Host, trigger: TriggerPolicy) -> Self {
+        let feedback_latency = link.alpha;
+        SimConfig {
+            sender,
+            link,
+            receiver,
+            trigger,
+            feedback_latency,
+            serialize_work_per_byte: 0.0,
+            profile_sample_period: 1,
+            ewma_alpha: 0.5,
+            frequency_weighted: false,
+            max_in_flight: 4,
+            control_loss: 0.0,
+            control_loss_seed: 0,
+        }
+    }
+
+    /// Sets the per-byte marshalling work charged to each side's CPU.
+    pub fn with_serialize_cost(mut self, work_per_byte: f64) -> Self {
+        self.serialize_work_per_byte = work_per_byte;
+        self
+    }
+
+    /// Profiles only every `period`-th message (periodic sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_profile_sampling(mut self, period: u64) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        self.profile_sample_period = period;
+        self
+    }
+
+    /// Sets the EWMA smoothing factor for the profiling statistics.
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// Enables frequency-weighted (expected-cost) plan selection.
+    pub fn with_frequency_weighting(mut self, on: bool) -> Self {
+        self.frequency_weighted = on;
+        self
+    }
+
+    /// Sets the in-flight message bound (sender-side backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn with_max_in_flight(mut self, bound: usize) -> Self {
+        assert!(bound > 0, "in-flight bound must be positive");
+        self.max_in_flight = bound;
+        self
+    }
+
+    /// Drops each plan-update control message with probability `loss`
+    /// (deterministic under `seed`) — failure injection for the control
+    /// channel.
+    pub fn with_control_loss(mut self, loss: f64, seed: u64) -> Self {
+        self.control_loss = loss.clamp(0.0, 1.0);
+        self.control_loss_seed = seed;
+        self
+    }
+}
+
+/// Per-message outcome of a simulated delivery.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Message sequence number.
+    pub seq: u64,
+    /// The PSE the message split at.
+    pub split_pse: PseId,
+    /// Wire bytes of the modulated event.
+    pub wire_bytes: usize,
+    /// Virtual-time timeline.
+    pub timing: MessageTiming,
+    /// Handler return value.
+    pub ret: Option<Value>,
+    /// Whether a plan update was scheduled after this message.
+    pub reconfigured: bool,
+}
+
+/// A simulated source→subscriber session.
+pub struct SimSession {
+    program: Arc<Program>,
+    handler: Arc<PartitionedHandler>,
+    modulator: Modulator,
+    demodulator: Demodulator,
+    sender_builtins: BuiltinRegistry,
+    receiver_ctx: ExecCtx,
+    pipeline: Pipeline,
+    reconfig: ReconfigUnit,
+    pending_plans: EventQueue<Vec<PseId>>,
+    feedback_latency: SimTime,
+    serialize_work_per_byte: f64,
+    profile_sample_period: u64,
+    max_in_flight: usize,
+    control_loss: f64,
+    control_rng: StdRng,
+    plans_dropped: u64,
+    reports: Vec<SimReport>,
+    seq: u64,
+    plan_installs: u64,
+}
+
+impl std::fmt::Debug for SimSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession")
+            .field("handler", &self.handler.func_name())
+            .field("messages", &self.seq)
+            .field("plan", &self.handler.plan().active())
+            .finish()
+    }
+}
+
+impl SimSession {
+    /// Creates an adaptive session: the subscriber submits `handler_fn`
+    /// under `model`; the initial plan is the statically-selected cut and
+    /// the Reconfiguration Unit adapts it per `config.trigger`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn adaptive(
+        program: Arc<Program>,
+        handler_fn: &str,
+        model: Arc<dyn CostModel>,
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+        config: SimConfig,
+    ) -> Result<Self, IrError> {
+        let kind = model.kind();
+        let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
+        let reconfig =
+            ReconfigUnit::new(Arc::clone(handler.analysis()), kind, config.trigger)
+                .with_serialize_cost(config.serialize_work_per_byte)
+                .with_alpha(config.ewma_alpha)
+                .with_frequency_weighting(config.frequency_weighted);
+        Ok(SimSession {
+            modulator: handler.modulator(),
+            demodulator: handler.demodulator(),
+            receiver_ctx: {
+                let mut ctx = ExecCtx::with_builtins(&program, receiver_builtins);
+                // Virtual-time sessions never compare traces; skip the
+                // per-native deep-digest cost.
+                ctx.trace_digests = false;
+                ctx
+            },
+            sender_builtins,
+            handler,
+            program,
+            pipeline: Pipeline::new(config.sender, config.link, config.receiver),
+            reconfig,
+            pending_plans: EventQueue::new(),
+            feedback_latency: config.feedback_latency,
+            serialize_work_per_byte: config.serialize_work_per_byte,
+            profile_sample_period: config.profile_sample_period.max(1),
+            max_in_flight: config.max_in_flight.max(1),
+            control_loss: config.control_loss,
+            control_rng: StdRng::seed_from_u64(config.control_loss_seed),
+            plans_dropped: 0,
+            reports: Vec::new(),
+            seq: 0,
+            plan_installs: 0,
+        })
+    }
+
+    /// Creates a fixed-plan session — the paper's manually-coded baseline
+    /// versions (Consumer/Producer/Divided, `Image<Display`, ...): the
+    /// given active set is installed once and never changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures and rejects a non-cut `active` set.
+    pub fn fixed(
+        program: Arc<Program>,
+        handler_fn: &str,
+        model: Arc<dyn CostModel>,
+        active: &[PseId],
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+        mut config: SimConfig,
+    ) -> Result<Self, IrError> {
+        config.trigger = TriggerPolicy::Never;
+        // Baselines neither profile nor sample; a sampling period would
+        // otherwise re-enable the profiling flags per message.
+        config.profile_sample_period = 1;
+        let session = Self::adaptive(
+            program,
+            handler_fn,
+            model,
+            sender_builtins,
+            receiver_builtins,
+            config,
+        )?;
+        session.handler.plan().install(active);
+        session.handler.plan().validate_cut(session.handler.analysis())?;
+        // Baselines do not profile either.
+        for pse in 0..session.handler.analysis().pses().len() {
+            session.handler.plan().set_profiled(pse, false);
+        }
+        Ok(session)
+    }
+
+    /// The analyzed handler.
+    pub fn handler(&self) -> &Arc<PartitionedHandler> {
+        &self.handler
+    }
+
+    /// The subscriber-side execution context.
+    pub fn receiver_ctx(&self) -> &ExecCtx {
+        &self.receiver_ctx
+    }
+
+    /// Number of plan installations applied at the source so far.
+    pub fn plan_installs(&self) -> u64 {
+        self.plan_installs
+    }
+
+    /// Number of plan updates lost to control-channel failure injection.
+    pub fn plans_dropped(&self) -> u64 {
+        self.plans_dropped
+    }
+
+    /// The Reconfiguration Unit.
+    pub fn reconfig(&self) -> &ReconfigUnit {
+        &self.reconfig
+    }
+
+    /// Delivers one message built by `make_event` inside a fresh
+    /// source-side context; returns the full report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler runtime errors.
+    pub fn deliver(
+        &mut self,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
+    ) -> Result<SimReport, IrError> {
+        self.seq += 1;
+        // Closed-loop generation: the source emits the next message as
+        // soon as (a) its CPU is free, (b) the previous message has
+        // drained into the link (a sender blocks on the socket send), and
+        // (c) fewer than `max_in_flight` messages are unprocessed
+        // (bounded buffering / backpressure).
+        let mut gen_time = self
+            .pipeline
+            .sender
+            .busy_until()
+            .max(self.pipeline.link.busy_until());
+        if self.reports.len() >= self.max_in_flight {
+            let window_end =
+                self.reports[self.reports.len() - self.max_in_flight].timing.demod_end;
+            gen_time = gen_time.max(window_end);
+        }
+
+        // Plan updates that have reached the source by now take effect.
+        for (_, active) in self.pending_plans.drain_until(gen_time) {
+            self.handler.plan().install(&active);
+            self.plan_installs += 1;
+        }
+
+        // Periodic profiling sampling: flip all profiling flags for
+        // non-sampled messages (fixed baselines cleared them already and
+        // are unaffected because their trigger never fires).
+        if self.profile_sample_period > 1 {
+            let profiled = self.seq % self.profile_sample_period == 1;
+            for pse in 0..self.handler.analysis().pses().len() {
+                self.handler.plan().set_profiled(pse, profiled);
+            }
+        }
+
+        let mut sender_ctx =
+            ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
+        sender_ctx.trace_digests = false;
+        let args = make_event(&mut sender_ctx)?;
+        let run = self.modulator.handle(&mut sender_ctx, args)?;
+        let event = ModulatedEvent {
+            seq: self.seq,
+            continuation: run.message,
+            samples: run.samples,
+        };
+        let wire_bytes = event.wire_size();
+
+        let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
+
+        // Marshalling costs CPU on both sides, proportional to the wire
+        // size (Table 1's serialization costs).
+        let ser_work = (self.serialize_work_per_byte * wire_bytes as f64).round() as u64;
+        let mod_work_total = run.mod_work + ser_work + run.profile_work;
+        let demod_work_total = demod.demod_work + ser_work + demod.profile_work;
+        let timing = self.pipeline.submit(
+            gen_time,
+            MessageDemand {
+                mod_work: mod_work_total,
+                bytes: wire_bytes as u64,
+                demod_work: demod_work_total,
+            },
+        );
+
+        // Profiling feedback, in virtual time.
+        self.reconfig.record_mod(ModMessageProfile {
+            samples: event.samples.clone(),
+            split: event.continuation.pse,
+            mod_work: mod_work_total,
+            t_mod: Some((timing.mod_end - timing.mod_start).as_secs_f64()),
+        });
+        self.reconfig.record_samples(&demod.samples);
+        self.reconfig.record_demod(DemodMessageProfile {
+            pse: demod.pse,
+            demod_work: demod_work_total,
+            t_demod: Some((timing.demod_end - timing.demod_start).as_secs_f64()),
+        });
+        let mut reconfigured = false;
+        if let Some(update) = self.reconfig.maybe_reconfigure()? {
+            if self.control_loss > 0.0 && self.control_rng.random_bool(self.control_loss) {
+                // Control message lost in transit; the stale plan stays
+                // active until a later update gets through.
+                self.plans_dropped += 1;
+            } else {
+                // The new plan reaches the source after the feedback latency.
+                self.pending_plans
+                    .push(timing.demod_end + self.feedback_latency, update.active);
+                reconfigured = true;
+            }
+        }
+
+        let report = SimReport {
+            seq: self.seq,
+            split_pse: event.continuation.pse,
+            wire_bytes,
+            timing,
+            ret: demod.ret,
+            reconfigured,
+        };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// Delivers `n` messages from the same generator.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing delivery.
+    pub fn run(
+        &mut self,
+        n: usize,
+        mut make_event: impl FnMut(u64, &mut ExecCtx) -> Result<Vec<Value>, IrError>,
+    ) -> Result<(), IrError> {
+        for _ in 0..n {
+            let seq = self.seq;
+            self.deliver(|ctx| make_event(seq, ctx))?;
+        }
+        Ok(())
+    }
+
+    /// All per-message reports.
+    pub fn reports(&self) -> &[SimReport] {
+        &self.reports
+    }
+
+    /// Average per-message makespan in milliseconds (the paper's "average
+    /// message processing time").
+    pub fn avg_processing_ms(&self) -> f64 {
+        self.pipeline
+            .avg_processing_time()
+            .map(|t| t.as_millis_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Delivered frames per second.
+    pub fn fps(&self) -> f64 {
+        self.pipeline.fps().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+    use mpart_ir::types::ElemType;
+
+    const SRC: &str = r#"
+        class Frame { pixels: int, buff: ref }
+
+        fn shrink(f) {
+            out = new Frame
+            out.pixels = 256
+            b = new byte[256]
+            out.buff = b
+            return out
+        }
+
+        fn view(event) {
+            z = event instanceof Frame
+            if z == 0 goto skip
+            f = (Frame) event
+            small = call shrink(f)
+            native paint(small)
+            return 1
+        skip:
+            return 0
+        }
+    "#;
+
+    fn receiver_builtins() -> BuiltinRegistry {
+        let mut b = BuiltinRegistry::new();
+        b.register_native("paint", 5, |_, _| Ok(Value::Null));
+        b
+    }
+
+    fn frame_builder(
+        program: &Arc<Program>,
+        pixels: usize,
+    ) -> impl FnMut(u64, &mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+        let classes = &program.classes;
+        move |_, ctx| {
+            let class = classes.id("Frame").unwrap();
+            let decl = classes.decl(class);
+            let f = ctx.heap.alloc_object(classes, class);
+            let b = ctx.heap.alloc_array(ElemType::Byte, pixels);
+            ctx.heap.set_field(f, decl.field("pixels").unwrap(), Value::Int(pixels as i64))?;
+            ctx.heap.set_field(f, decl.field("buff").unwrap(), Value::Ref(b))?;
+            Ok(vec![Value::Ref(f)])
+        }
+    }
+
+    fn config(trigger: TriggerPolicy) -> SimConfig {
+        SimConfig::new(
+            Host::new("sender", 1_000_000.0),
+            Link::new("lan", SimTime::from_millis(1), 1_000_000.0),
+            Host::new("receiver", 1_000_000.0),
+            trigger,
+        )
+    }
+
+    #[test]
+    fn adaptive_session_converges_to_small_payload() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            config(TriggerPolicy::Rate(1)),
+        )
+        .unwrap();
+        // Big frames: 100_000B raw vs 256B shrunk. Adaptation must move
+        // the split past the shrink.
+        session.run(20, frame_builder(&program, 100_000)).unwrap();
+        let last = session.reports().last().unwrap();
+        assert!(
+            last.wire_bytes < 1000,
+            "after adaptation the wire carries the shrunk frame: {}",
+            last.wire_bytes
+        );
+        assert!(session.plan_installs() >= 1);
+    }
+
+    #[test]
+    fn fixed_session_never_adapts() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        // Force "ship raw" (entry split).
+        let probe = PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+        )
+        .unwrap();
+        let entry = probe.entry_pse().unwrap();
+        let skip: Vec<usize> = vec![entry];
+        let mut session = SimSession::fixed(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            &skip,
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            config(TriggerPolicy::Rate(1)),
+        )
+        .unwrap();
+        session.run(10, frame_builder(&program, 100_000)).unwrap();
+        assert_eq!(session.plan_installs(), 0);
+        let last = session.reports().last().unwrap();
+        assert!(last.wire_bytes > 100_000, "raw frames stay raw");
+    }
+
+    #[test]
+    fn adaptive_beats_bad_fixed_plan_on_fps() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let probe = PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+        )
+        .unwrap();
+        let entry = probe.entry_pse().unwrap();
+
+        let mut fixed = SimSession::fixed(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            &[entry],
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            config(TriggerPolicy::Never),
+        )
+        .unwrap();
+        fixed.run(30, frame_builder(&program, 100_000)).unwrap();
+
+        let mut adaptive = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            config(TriggerPolicy::Rate(1)),
+        )
+        .unwrap();
+        adaptive.run(30, frame_builder(&program, 100_000)).unwrap();
+
+        assert!(
+            adaptive.fps() > fixed.fps() * 2.0,
+            "adaptive {} fps vs fixed {} fps",
+            adaptive.fps(),
+            fixed.fps()
+        );
+    }
+
+    #[test]
+    fn reports_and_metrics_populated() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            config(TriggerPolicy::Rate(4)),
+        )
+        .unwrap();
+        session.run(8, frame_builder(&program, 1024)).unwrap();
+        assert_eq!(session.reports().len(), 8);
+        assert!(session.avg_processing_ms() > 0.0);
+        assert!(session.fps() > 0.0);
+        // Sequence numbers are monotone.
+        for (i, r) in session.reports().iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+        }
+    }
+}

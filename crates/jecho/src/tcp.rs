@@ -1,0 +1,422 @@
+//! A real-socket transport: modulated events and plan updates cross a TCP
+//! connection as length-prefixed [`Frame`]s.
+//!
+//! This is the closest analogue to the paper's deployment: sender and
+//! receiver own separate address spaces, the continuation travels as
+//! marshalled bytes, and the Reconfiguration Unit's plan updates flow back
+//! over the same full-duplex connection. (The sender and receiver here
+//! share the analyzed handler via `Arc` the way JECho ships the modulator
+//! class to the source at subscription time.)
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver};
+use mpart::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
+use mpart::reconfig::ReconfigUnit;
+use mpart::PartitionedHandler;
+use mpart_cost::CostModel;
+use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
+use mpart_ir::{IrError, Program, Value};
+
+use crate::envelope::{Frame, ModulatedEvent, PlanEnvelope};
+use crate::local::LocalOutcome;
+
+/// A receiver endpoint bound to a TCP port.
+pub struct TcpReceiver {
+    handler: Arc<PartitionedHandler>,
+    port: u16,
+    accept_thread: Option<JoinHandle<Result<u64, IrError>>>,
+    outcomes: Receiver<LocalOutcome>,
+}
+
+impl std::fmt::Debug for TcpReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpReceiver")
+            .field("handler", &self.handler.func_name())
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+impl TcpReceiver {
+    /// Analyzes `handler_fn` and binds a listener on `127.0.0.1:0`
+    /// (ephemeral port). The receiver serves exactly one sender
+    /// connection, demodulating events and pushing plan updates back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures; returns [`IrError::Marshal`] when the
+    /// socket cannot be bound.
+    pub fn bind(
+        program: Arc<Program>,
+        handler_fn: &str,
+        model: Arc<dyn CostModel>,
+        receiver_builtins: BuiltinRegistry,
+        trigger: TriggerPolicy,
+    ) -> Result<Self, IrError> {
+        let kind = model.kind();
+        let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| IrError::Marshal(format!("bind: {e}")))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| IrError::Marshal(format!("local_addr: {e}")))?
+            .port();
+        let (outcome_tx, outcomes) = bounded::<LocalOutcome>(1024);
+
+        let recv_handler = Arc::clone(&handler);
+        let accept_thread = std::thread::spawn(move || -> Result<u64, IrError> {
+            let (stream, _) = listener
+                .accept()
+                .map_err(|e| IrError::Marshal(format!("accept: {e}")))?;
+            let mut read_half = stream
+                .try_clone()
+                .map_err(|e| IrError::Marshal(format!("clone: {e}")))?;
+            let mut write_half = stream;
+
+            let demodulator = recv_handler.demodulator();
+            let mut ctx = ExecCtx::with_builtins(&program, receiver_builtins);
+            let mut reconfig =
+                ReconfigUnit::new(Arc::clone(recv_handler.analysis()), kind, trigger);
+            let mut revision = 0u64;
+            let mut processed = 0u64;
+            loop {
+                match Frame::read_from(&mut read_half)? {
+                    Frame::Shutdown => break,
+                    Frame::Plan(_) => {
+                        return Err(IrError::Marshal(
+                            "unexpected plan frame at the receiver".into(),
+                        ))
+                    }
+                    Frame::Event { event, t_mod_nanos } => {
+                        let started = Instant::now();
+                        let demod = demodulator.handle(&mut ctx, &event.continuation)?;
+                        let t_demod = started.elapsed().as_secs_f64();
+                        processed += 1;
+
+                        reconfig.record_mod(ModMessageProfile {
+                            samples: event.samples.clone(),
+                            split: event.continuation.pse,
+                            mod_work: event.continuation.mod_work,
+                            t_mod: (t_mod_nanos > 0)
+                                .then_some(t_mod_nanos as f64 / 1e9),
+                        });
+                        reconfig.record_samples(&demod.samples);
+                        reconfig.record_demod(DemodMessageProfile {
+                            pse: demod.pse,
+                            demod_work: demod.demod_work,
+                            t_demod: Some(t_demod),
+                        });
+                        let mut reconfigured = false;
+                        if let Some(update) = reconfig.maybe_reconfigure()? {
+                            revision += 1;
+                            Frame::Plan(PlanEnvelope {
+                                active: update.active,
+                                revision,
+                            })
+                            .write_to(&mut write_half)?;
+                            let _ = write_half.flush();
+                            reconfigured = true;
+                        }
+                        // Non-blocking: if the consumer stops draining
+                        // outcomes, drop them instead of deadlocking the
+                        // shutdown path behind a full channel.
+                        let _ = outcome_tx.try_send(LocalOutcome {
+                            seq: event.seq,
+                            ret: demod.ret,
+                            split_pse: event.continuation.pse,
+                            wire_bytes: event.wire_size(),
+                            reconfigured,
+                        });
+                    }
+                }
+            }
+            Ok(processed)
+        });
+
+        Ok(TcpReceiver { handler, port, accept_thread: Some(accept_thread), outcomes })
+    }
+
+    /// The bound port on localhost.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The analyzed handler, to hand to the sender (JECho's "modulator
+    /// installation").
+    pub fn handler(&self) -> &Arc<PartitionedHandler> {
+        &self.handler
+    }
+
+    /// Waits for the next processed outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Continuation`] if the receiver stopped.
+    pub fn next_outcome(&self) -> Result<LocalOutcome, IrError> {
+        self.outcomes
+            .recv()
+            .map_err(|_| IrError::Continuation("tcp receiver stopped".into()))
+    }
+
+    /// Joins the receiver after the sender shut the connection down,
+    /// returning the number of processed events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any handler error the receiver hit.
+    pub fn join(mut self) -> Result<u64, IrError> {
+        match self.accept_thread.take() {
+            Some(t) => match t.join() {
+                Ok(result) => result,
+                Err(_) => Err(IrError::Continuation("tcp receiver panicked".into())),
+            },
+            None => Ok(0),
+        }
+    }
+}
+
+/// The sender endpoint: runs the modulator locally and streams modulated
+/// events to a [`TcpReceiver`].
+pub struct TcpSender {
+    program: Arc<Program>,
+    handler: Arc<PartitionedHandler>,
+    modulator: mpart::modulator::Modulator,
+    sender_builtins: BuiltinRegistry,
+    write_half: TcpStream,
+    plan_thread: Option<JoinHandle<()>>,
+    seq: u64,
+    plans_applied: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSender")
+            .field("handler", &self.handler.func_name())
+            .field("sent", &self.seq)
+            .finish()
+    }
+}
+
+impl TcpSender {
+    /// Connects to a receiver and installs its modulator (shared handler).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] if the connection fails.
+    pub fn connect(
+        program: Arc<Program>,
+        handler: Arc<PartitionedHandler>,
+        sender_builtins: BuiltinRegistry,
+        port: u16,
+    ) -> Result<Self, IrError> {
+        let stream = TcpStream::connect(("127.0.0.1", port))
+            .map_err(|e| IrError::Marshal(format!("connect: {e}")))?;
+        let mut read_half = stream
+            .try_clone()
+            .map_err(|e| IrError::Marshal(format!("clone: {e}")))?;
+        let write_half = stream;
+
+        // Plan updates arrive asynchronously; install them into the shared
+        // atomic flags as they land.
+        let plans_applied = Arc::new(AtomicU64::new(0));
+        let plan_handler = Arc::clone(&handler);
+        let plan_counter = Arc::clone(&plans_applied);
+        let plan_thread = std::thread::spawn(move || {
+            while let Ok(frame) = Frame::read_from(&mut read_half) {
+                match frame {
+                    Frame::Plan(update) => {
+                        plan_handler.plan().install(&update.active);
+                        plan_counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Frame::Shutdown => break,
+                    Frame::Event { .. } => break, // protocol violation; stop
+                }
+            }
+        });
+
+        Ok(TcpSender {
+            modulator: handler.modulator(),
+            handler,
+            program,
+            sender_builtins,
+            write_half,
+            plan_thread: Some(plan_thread),
+            seq: 0,
+            plans_applied,
+        })
+    }
+
+    /// Number of plan updates applied so far.
+    pub fn plans_applied(&self) -> u64 {
+        self.plans_applied.load(Ordering::Relaxed)
+    }
+
+    /// Publishes one event over the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates modulator and socket errors.
+    pub fn publish(
+        &mut self,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
+    ) -> Result<(), IrError> {
+        self.seq += 1;
+        let mut ctx = ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
+        let args = make_event(&mut ctx)?;
+        let started = Instant::now();
+        let run = self.modulator.handle(&mut ctx, args)?;
+        let t_mod_nanos = started.elapsed().as_nanos() as u64;
+        let event = ModulatedEvent {
+            seq: self.seq,
+            continuation: run.message,
+            samples: run.samples,
+        };
+        Frame::Event { event, t_mod_nanos }.write_to(&mut self.write_half)?;
+        self.write_half
+            .flush()
+            .map_err(|e| IrError::Marshal(format!("flush: {e}")))
+    }
+
+    /// Sends the shutdown frame and joins the plan thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn shutdown(mut self) -> Result<(), IrError> {
+        Frame::Shutdown.write_to(&mut self.write_half)?;
+        let _ = self.write_half.flush();
+        let _ = self.write_half.shutdown(std::net::Shutdown::Write);
+        if let Some(t) = self.plan_thread.take() {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TcpSender {
+    fn drop(&mut self) {
+        let _ = Frame::Shutdown.write_to(&mut self.write_half);
+        let _ = self.write_half.shutdown(std::net::Shutdown::Both);
+        if let Some(t) = self.plan_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+    use mpart_ir::types::ElemType;
+
+    const SRC: &str = r#"
+        class Doc { n: int, text: ref }
+
+        fn shrink(d) {
+            out = new Doc
+            out.n = 4
+            t = new byte[4]
+            out.text = t
+            return out
+        }
+
+        fn index(event) {
+            ok = event instanceof Doc
+            if ok == 0 goto skip
+            d = (Doc) event
+            s = call shrink(d)
+            native store(s)
+            return 1
+        skip:
+            return 0
+        }
+    "#;
+
+    fn receiver_builtins() -> BuiltinRegistry {
+        let mut b = BuiltinRegistry::new();
+        b.register_native("store", 1, |_, _| Ok(Value::Null));
+        b
+    }
+
+    fn doc(program: &Arc<Program>, n: usize) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+        let classes = &program.classes;
+        move |ctx| {
+            let class = classes.id("Doc").unwrap();
+            let decl = classes.decl(class);
+            let d = ctx.heap.alloc_object(classes, class);
+            let t = ctx.heap.alloc_array(ElemType::Byte, n);
+            ctx.heap.set_field(d, decl.field("n").unwrap(), Value::Int(n as i64))?;
+            ctx.heap.set_field(d, decl.field("text").unwrap(), Value::Ref(t))?;
+            Ok(vec![Value::Ref(d)])
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_with_adaptation() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let receiver = TcpReceiver::bind(
+            Arc::clone(&program),
+            "index",
+            Arc::new(DataSizeModel::new()),
+            receiver_builtins(),
+            TriggerPolicy::Rate(1),
+        )
+        .unwrap();
+        let mut sender = TcpSender::connect(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+        )
+        .unwrap();
+
+        let mut last_bytes = usize::MAX;
+        for _ in 0..10 {
+            sender.publish(doc(&program, 20_000)).unwrap();
+            let outcome = receiver.next_outcome().unwrap();
+            assert_eq!(outcome.ret, Some(Value::Int(1)));
+            last_bytes = outcome.wire_bytes;
+        }
+        assert!(
+            last_bytes < 1000,
+            "adaptation shrank the wire to {last_bytes} bytes"
+        );
+        assert!(sender.plans_applied() >= 1);
+        sender.shutdown().unwrap();
+        assert_eq!(receiver.join().unwrap(), 10);
+    }
+
+    #[test]
+    fn filtered_events_cross_tcp_cheaply() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let receiver = TcpReceiver::bind(
+            Arc::clone(&program),
+            "index",
+            Arc::new(DataSizeModel::new()),
+            receiver_builtins(),
+            TriggerPolicy::Rate(1),
+        )
+        .unwrap();
+        let mut sender = TcpSender::connect(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+        )
+        .unwrap();
+        for _ in 0..4 {
+            sender.publish(|_| Ok(vec![Value::Int(9)])).unwrap();
+            let outcome = receiver.next_outcome().unwrap();
+            assert_eq!(outcome.ret, Some(Value::Int(0)));
+        }
+        sender.shutdown().unwrap();
+        assert_eq!(receiver.join().unwrap(), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulated hosts: a CPU with a base speed and a perturbation load.
+
+use crate::perturb::PerturbationTrace;
+use crate::time::SimTime;
+
+/// A simulated host.
+///
+/// ```
+/// use mpart_simnet::{Host, SimTime};
+///
+/// let mut ipaq = Host::new("ipaq", 1_000_000.0); // 1M work units/s
+/// let (start, end) = ipaq.run(SimTime::ZERO, 500_000);
+/// assert_eq!(start, SimTime::ZERO);
+/// assert_eq!(end.as_millis_f64(), 500.0);
+/// ```
+///
+/// `speed` is in abstract work units per second; the interpreter's
+/// work-unit metering divided by this speed yields virtual execution time.
+/// Relative speeds between hosts model the paper's heterogeneous platforms
+/// (PII laptop vs. iPAQ, Sun Ultra-30 vs. PII server).
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Base speed in work units per second.
+    pub speed: f64,
+    /// Background load schedule.
+    pub perturb: PerturbationTrace,
+    /// Time at which the host's CPU becomes free (FIFO execution).
+    busy_until: SimTime,
+}
+
+impl Host {
+    /// Creates an unloaded host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    pub fn new(name: impl Into<String>, speed: f64) -> Self {
+        assert!(speed > 0.0, "host speed must be positive");
+        Host {
+            name: name.into(),
+            speed,
+            perturb: PerturbationTrace::idle(),
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// Attaches a perturbation schedule.
+    pub fn with_perturbation(mut self, trace: PerturbationTrace) -> Self {
+        self.perturb = trace;
+        self
+    }
+
+    /// Schedules `work` units on this host's CPU no earlier than `ready`;
+    /// returns `(start, end)` of the execution. The CPU serves jobs FIFO.
+    pub fn run(&mut self, ready: SimTime, work: u64) -> (SimTime, SimTime) {
+        let start = ready.max(self.busy_until);
+        let end = self.perturb.finish_time(start, work, self.speed);
+        self.busy_until = end;
+        (start, end)
+    }
+
+    /// Computes the completion time of `work` starting at `start`,
+    /// ignoring the FIFO queue (for what-if estimates).
+    pub fn estimate(&self, start: SimTime, work: u64) -> SimTime {
+        self.perturb.finish_time(start, work, self.speed)
+    }
+
+    /// Resets the FIFO queue state (for a fresh run on the same host
+    /// definition).
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+    }
+
+    /// Time at which the CPU becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::PerturbConfig;
+
+    #[test]
+    fn fifo_serialization() {
+        let mut h = Host::new("h", 1000.0);
+        let (s1, e1) = h.run(SimTime::ZERO, 500);
+        let (s2, e2) = h.run(SimTime::ZERO, 500);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(e1.as_secs_f64(), 0.5);
+        assert_eq!(s2, e1, "second job waits for the CPU");
+        assert_eq!(e2.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn ready_time_respected() {
+        let mut h = Host::new("h", 100.0);
+        let (s, e) = h.run(SimTime::from_millis(250), 100);
+        assert_eq!(s, SimTime::from_millis(250));
+        assert_eq!(e.as_secs_f64(), 1.25);
+    }
+
+    #[test]
+    fn perturbation_slows_execution() {
+        let trace = PerturbationTrace::generate(
+            &PerturbConfig::single(100.0, 1.0, 1.0),
+            SimTime::from_millis(60_000),
+            3,
+        );
+        let mut loaded = Host::new("loaded", 1000.0).with_perturbation(trace);
+        let mut free = Host::new("free", 1000.0);
+        let (_, e_loaded) = loaded.run(SimTime::ZERO, 1000);
+        let (_, e_free) = free.run(SimTime::ZERO, 1000);
+        assert!(e_loaded > e_free);
+    }
+
+    #[test]
+    fn reset_clears_queue() {
+        let mut h = Host::new("h", 100.0);
+        h.run(SimTime::ZERO, 1000);
+        assert!(h.busy_until() > SimTime::ZERO);
+        h.reset();
+        assert_eq!(h.busy_until(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        Host::new("bad", 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # mpart-simnet — deterministic host/network simulation
+//!
+//! The paper's evaluation ran on real 2002-era testbeds: a PII laptop
+//! streaming to an iPAQ 3650 over 802.11b, and Sun Ultra-30 / dual-PII
+//! clusters on Fast Ethernet with perturbation threads generating load.
+//! We cannot own that hardware, so this crate provides a deterministic
+//! simulation substrate preserving the quantities the experiments measure:
+//!
+//! * [`time::SimTime`] — virtual nanoseconds;
+//! * [`host::Host`] — CPUs with relative speeds and the §5.2
+//!   perturbation-thread load model ([`perturb`]: PLen, AProb, LIndex,
+//!   with pre-generated per-seed schedules reused across compared
+//!   implementations, exactly as the paper does);
+//! * [`link::Link`] — `T_s(m) = α + β·S(m)` (equation 1) with FIFO
+//!   occupancy;
+//! * [`pipeline::Pipeline`] — the sender-CPU → link → receiver-CPU
+//!   message pipeline with cross-message overlap (equation 2);
+//! * [`queue::EventQueue`] — deterministic ordering for control traffic
+//!   (profiling feedback, plan updates).
+//!
+//! Interpreter work units (from `mpart-ir`) divided by host speeds yield
+//! virtual time, so every experiment is exactly reproducible from its
+//! seed.
+
+pub mod host;
+pub mod link;
+pub mod perturb;
+pub mod pipeline;
+pub mod queue;
+pub mod time;
+
+pub use host::Host;
+pub use link::Link;
+pub use perturb::{PerturbConfig, PerturbationTrace};
+pub use pipeline::{MessageDemand, MessageTiming, Pipeline};
+pub use queue::EventQueue;
+pub use time::SimTime;

@@ -1,0 +1,131 @@
+//! Simulated network links with the paper's cost model
+//! `T_s(m) = α + β·S(m)` (equation 1).
+
+use crate::time::SimTime;
+
+/// A simulated point-to-point link.
+///
+/// ```
+/// use mpart_simnet::{Link, SimTime};
+///
+/// let link = Link::new("wifi", SimTime::from_millis(5), 500_000.0);
+/// // T_s(m) = alpha + beta * S(m): 5 ms + 100 kB at 500 kB/s.
+/// assert_eq!(link.transfer_time(100_000).as_millis_f64(), 205.0);
+/// ```
+///
+/// `alpha` is the per-message setup time; `beta` the per-byte time
+/// (1 / bandwidth). Transfers occupy the link FIFO for their `β·S`
+/// serialization time; the `α` latency overlaps with subsequent
+/// transfers (store-and-forward pipe).
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Link name for reports.
+    pub name: String,
+    /// Per-message setup/propagation time.
+    pub alpha: SimTime,
+    /// Seconds per byte.
+    pub beta: f64,
+    busy_until: SimTime,
+}
+
+impl Link {
+    /// Creates a link from `alpha` and a bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not positive.
+    pub fn new(name: impl Into<String>, alpha: SimTime, bandwidth_bytes_per_sec: f64) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        Link {
+            name: name.into(),
+            alpha,
+            beta: 1.0 / bandwidth_bytes_per_sec,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// An 802.11b-class wireless link (~500 KB/s effective, 5 ms setup) —
+    /// the image-streaming experiment's network.
+    pub fn wireless_80211b() -> Self {
+        Link::new("802.11b", SimTime::from_millis(5), 500_000.0)
+    }
+
+    /// A 100 Mbit Fast Ethernet link (~11 MB/s effective, 0.2 ms setup) —
+    /// the clusters' interconnect.
+    pub fn fast_ethernet() -> Self {
+        Link::new("fast-ethernet", SimTime::from_nanos(200_000), 11_000_000.0)
+    }
+
+    /// A gigabit-class link (~100 MB/s effective, 0.1 ms setup) — the
+    /// inter-cluster connection of §5.2.
+    pub fn gigabit() -> Self {
+        Link::new("gigabit", SimTime::from_nanos(100_000), 100_000_000.0)
+    }
+
+    /// Transfers `bytes` no earlier than `ready`; returns
+    /// `(send_start, arrival)`.
+    pub fn transfer(&mut self, ready: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let start = ready.max(self.busy_until);
+        let serialize = SimTime::from_secs_f64(self.beta * bytes as f64);
+        self.busy_until = start + serialize;
+        let arrival = start + serialize + self.alpha;
+        (start, arrival)
+    }
+
+    /// One-shot estimate of `T_s(m) = α + β·S(m)` without occupying the
+    /// link.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.alpha + SimTime::from_secs_f64(self.beta * bytes as f64)
+    }
+
+    /// Time at which the link's pipe drains (end of the last accepted
+    /// serialization).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Resets FIFO state.
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_one() {
+        let link = Link::new("l", SimTime::from_millis(10), 1000.0);
+        // 500 bytes at 1000 B/s = 0.5 s + 10 ms alpha.
+        assert_eq!(link.transfer_time(500), SimTime::from_millis(510));
+    }
+
+    #[test]
+    fn fifo_occupancy_excludes_alpha() {
+        let mut link = Link::new("l", SimTime::from_millis(100), 1000.0);
+        let (s1, a1) = link.transfer(SimTime::ZERO, 1000); // 1s serialize
+        let (s2, a2) = link.transfer(SimTime::ZERO, 1000);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(a1, SimTime::from_millis(1100));
+        // Second transfer starts as soon as the pipe drains (alpha overlaps).
+        assert_eq!(s2, SimTime::from_millis(1000));
+        assert_eq!(a2, SimTime::from_millis(2100));
+    }
+
+    #[test]
+    fn canned_links_ordering() {
+        let w = Link::wireless_80211b();
+        let f = Link::fast_ethernet();
+        let g = Link::gigabit();
+        let payload = 100_000;
+        assert!(w.transfer_time(payload) > f.transfer_time(payload));
+        assert!(f.transfer_time(payload) > g.transfer_time(payload));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        Link::new("bad", SimTime::ZERO, 0.0);
+    }
+}

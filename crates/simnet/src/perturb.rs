@@ -1,0 +1,256 @@
+//! The perturbation-thread load model of §5.2.
+//!
+//! "Perturbation threads have active and idle periods, where each period
+//! consists of multiple atomic cycles. ... the number of atomic cycles in
+//! a period (PLen), and the probability of perturbation threads being
+//! active (AProb) are uniformly distributed, with adjustable ranges.
+//! Active periods have a fixed load index (LIndex), which represents the
+//! ratio of busy cycles over the total number of cycles in a period. We
+//! pre-generate arrays of random numbers ... and use these same random
+//! numbers for all four implementations being evaluated."
+//!
+//! A [`PerturbationTrace`] is that pre-generated schedule: a deterministic
+//! piecewise-constant load function `L(t)`. Hosts divide their speed by
+//! `1 + L(t)` (uniprocessor time sharing between the application thread
+//! and the spinning perturbation threads).
+
+use rand::prelude::*;
+
+use crate::time::SimTime;
+
+/// Configuration of one perturbation thread population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbConfig {
+    /// Number of perturbation threads.
+    pub threads: usize,
+    /// Period length range in milliseconds (uniform). The paper's default
+    /// experiments use an expected PLen of 1000 ms.
+    pub plen_ms: (f64, f64),
+    /// Probability that a period is active (uniform range; collapse both
+    /// ends to a single value for a fixed AProb).
+    pub aprob: (f64, f64),
+    /// Load index of active periods: fraction of CPU an active thread
+    /// consumes.
+    pub lindex: f64,
+}
+
+impl PerturbConfig {
+    /// A single thread with fixed expected period `plen_ms`, fixed active
+    /// probability `aprob`, and the given load index — the configuration
+    /// used throughout §5.2.
+    pub fn single(plen_ms: f64, aprob: f64, lindex: f64) -> Self {
+        PerturbConfig {
+            threads: 1,
+            // Uniform around the expectation, like the paper's adjustable
+            // ranges: U(0.5·PLen, 1.5·PLen).
+            plen_ms: (plen_ms * 0.5, plen_ms * 1.5),
+            aprob: (aprob, aprob),
+            lindex,
+        }
+    }
+
+    /// No perturbation at all.
+    pub fn none() -> Self {
+        PerturbConfig { threads: 0, plen_ms: (1.0, 1.0), aprob: (0.0, 0.0), lindex: 0.0 }
+    }
+}
+
+/// A pre-generated, deterministic load schedule: change points with the
+/// total load `L(t)` in effect until the next point.
+#[derive(Debug, Clone)]
+pub struct PerturbationTrace {
+    /// Sorted change points: `(time, load-after)`. Load before the first
+    /// point is 0. After the last point the final load persists.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl PerturbationTrace {
+    /// Generates the schedule from `config` up to `horizon`, using `seed`
+    /// — the same seed reproduces the same perturbation for every
+    /// implementation being compared, as in the paper.
+    pub fn generate(config: &PerturbConfig, horizon: SimTime, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Per-thread activity intervals.
+        let mut deltas: Vec<(u64, f64)> = Vec::new(); // (nanos, +/- lindex)
+        for thread in 0..config.threads {
+            // Derive an independent stream per thread from the same seed.
+            let mut trng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
+                .wrapping_mul(thread as u64 + 1)));
+            let mut t = 0u64;
+            while t < horizon.as_nanos() {
+                let plen_ms = if config.plen_ms.0 >= config.plen_ms.1 {
+                    config.plen_ms.0
+                } else {
+                    trng.random_range(config.plen_ms.0..config.plen_ms.1)
+                };
+                let plen = (plen_ms.max(0.001) * 1e6) as u64;
+                let aprob = if config.aprob.0 >= config.aprob.1 {
+                    config.aprob.0
+                } else {
+                    trng.random_range(config.aprob.0..config.aprob.1)
+                };
+                let active = trng.random_bool(aprob.clamp(0.0, 1.0));
+                if active && config.lindex > 0.0 {
+                    deltas.push((t, config.lindex));
+                    deltas.push((t + plen, -config.lindex));
+                }
+                t += plen;
+            }
+        }
+        let _ = &mut rng;
+        deltas.sort_by_key(|d| d.0);
+        let mut points = Vec::with_capacity(deltas.len());
+        let mut load = 0.0;
+        for (t, d) in deltas {
+            load += d;
+            let load = load.max(0.0);
+            match points.last_mut() {
+                Some((pt, pl)) if *pt == SimTime::from_nanos(t) => *pl = load,
+                _ => points.push((SimTime::from_nanos(t), load)),
+            }
+        }
+        PerturbationTrace { points }
+    }
+
+    /// A trace with no load at any time.
+    pub fn idle() -> Self {
+        PerturbationTrace { points: Vec::new() }
+    }
+
+    /// Total perturbation load at time `t`.
+    pub fn load_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|(pt, _)| pt.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The next load change strictly after `t`, if any.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        let idx = match self.points.binary_search_by(|(pt, _)| pt.cmp(&t)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.points.get(idx).map(|(pt, _)| *pt)
+    }
+
+    /// Integrates `work` units of CPU demand starting at `start` on a host
+    /// with base speed `speed` (work units per second), honoring the
+    /// time-varying load: the application receives a `1 / (1 + L(t))`
+    /// share of the CPU. Returns the completion time.
+    pub fn finish_time(&self, start: SimTime, work: u64, speed: f64) -> SimTime {
+        assert!(speed > 0.0, "host speed must be positive");
+        let mut t = start;
+        let mut remaining = work as f64;
+        loop {
+            if remaining <= 0.0 {
+                return t;
+            }
+            let load = self.load_at(t);
+            let rate = speed / (1.0 + load); // work units per second
+            match self.next_change_after(t) {
+                Some(change) => {
+                    let span = (change - t).as_secs_f64();
+                    let can_do = rate * span;
+                    if can_do >= remaining {
+                        return t + SimTime::from_secs_f64(remaining / rate);
+                    }
+                    remaining -= can_do;
+                    t = change;
+                }
+                None => {
+                    return t + SimTime::from_secs_f64(remaining / rate);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_trace_runs_at_full_speed() {
+        let trace = PerturbationTrace::idle();
+        let end = trace.finish_time(SimTime::ZERO, 1000, 1000.0);
+        assert_eq!(end, SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn constant_full_load_halves_speed() {
+        // AProb = 1, LIndex = 1: always one spinning thread -> 1/(1+1).
+        let config = PerturbConfig::single(100.0, 1.0, 1.0);
+        let trace = PerturbationTrace::generate(&config, SimTime::from_millis(60_000), 7);
+        let end = trace.finish_time(SimTime::ZERO, 1000, 1000.0);
+        let secs = end.as_secs_f64();
+        assert!((secs - 2.0).abs() < 0.05, "expected ~2s, got {secs}");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let config = PerturbConfig::single(1000.0, 0.5, 0.8);
+        let a = PerturbationTrace::generate(&config, SimTime::from_millis(30_000), 42);
+        let b = PerturbationTrace::generate(&config, SimTime::from_millis(30_000), 42);
+        for ms in (0..30_000).step_by(77) {
+            let t = SimTime::from_millis(ms);
+            assert_eq!(a.load_at(t), b.load_at(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = PerturbConfig::single(1000.0, 0.5, 0.8);
+        let a = PerturbationTrace::generate(&config, SimTime::from_millis(30_000), 1);
+        let b = PerturbationTrace::generate(&config, SimTime::from_millis(30_000), 2);
+        let differs = (0..30_000)
+            .step_by(50)
+            .any(|ms| a.load_at(SimTime::from_millis(ms)) != b.load_at(SimTime::from_millis(ms)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn average_load_tracks_aprob() {
+        let config = PerturbConfig::single(200.0, 0.5, 1.0);
+        let trace = PerturbationTrace::generate(&config, SimTime::from_millis(120_000), 3);
+        let samples = 4000;
+        let mean: f64 = (0..samples)
+            .map(|i| trace.load_at(SimTime::from_millis(i * 30)))
+            .sum::<f64>()
+            / samples as f64;
+        assert!((mean - 0.5).abs() < 0.1, "mean load {mean} should be ~0.5");
+    }
+
+    #[test]
+    fn finish_time_monotone_in_work() {
+        let config = PerturbConfig::single(500.0, 0.7, 0.9);
+        let trace = PerturbationTrace::generate(&config, SimTime::from_millis(60_000), 11);
+        let mut last = SimTime::ZERO;
+        for work in [0u64, 10, 100, 1000, 10_000] {
+            let end = trace.finish_time(SimTime::from_millis(5), work, 1_000.0);
+            assert!(end >= last, "monotone");
+            last = end;
+        }
+    }
+
+    #[test]
+    fn multi_thread_loads_stack() {
+        let config = PerturbConfig {
+            threads: 3,
+            plen_ms: (100.0, 100.0),
+            aprob: (1.0, 1.0),
+            lindex: 0.5,
+        };
+        let trace = PerturbationTrace::generate(&config, SimTime::from_millis(10_000), 5);
+        let load = trace.load_at(SimTime::from_millis(50));
+        assert!((load - 1.5).abs() < 1e-9, "3 threads x 0.5 = {load}");
+    }
+
+    #[test]
+    fn zero_aprob_is_idle() {
+        let config = PerturbConfig::single(100.0, 0.0, 1.0);
+        let trace = PerturbationTrace::generate(&config, SimTime::from_millis(10_000), 5);
+        assert_eq!(trace.load_at(SimTime::from_millis(500)), 0.0);
+    }
+}

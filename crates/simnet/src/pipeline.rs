@@ -1,0 +1,198 @@
+//! The three-stage message pipeline: sender CPU → link → receiver CPU.
+//!
+//! All of the paper's experiments share this shape: a producer host runs
+//! the modulator, the continuation crosses a link (`T_s = α + β·S`), and a
+//! consumer host runs the demodulator. Stages overlap across messages
+//! (equation 2's "communication ... can be overlapped with computation"),
+//! so steady-state throughput is set by the bottleneck stage — which is
+//! exactly what Method Partitioning shifts.
+
+use crate::host::Host;
+use crate::link::Link;
+use crate::time::SimTime;
+
+/// Resource demands of one message under the current partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageDemand {
+    /// Modulator work units (sender CPU).
+    pub mod_work: u64,
+    /// Continuation wire size in bytes.
+    pub bytes: u64,
+    /// Demodulator work units (receiver CPU).
+    pub demod_work: u64,
+}
+
+/// The simulated timeline of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageTiming {
+    /// When the message became available at the sender.
+    pub generated: SimTime,
+    /// Modulator execution window.
+    pub mod_start: SimTime,
+    /// End of modulator execution.
+    pub mod_end: SimTime,
+    /// Arrival of the continuation at the receiver.
+    pub arrival: SimTime,
+    /// Demodulator execution window.
+    pub demod_start: SimTime,
+    /// End of demodulator execution — message fully processed.
+    pub demod_end: SimTime,
+}
+
+impl MessageTiming {
+    /// End-to-end latency of this message.
+    pub fn latency(&self) -> SimTime {
+        self.demod_end - self.generated
+    }
+}
+
+/// The sender-link-receiver pipeline simulator.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Sender host (runs modulators).
+    pub sender: Host,
+    /// The connecting link.
+    pub link: Link,
+    /// Receiver host (runs demodulators).
+    pub receiver: Host,
+    completions: Vec<MessageTiming>,
+}
+
+impl Pipeline {
+    /// Assembles a pipeline.
+    pub fn new(sender: Host, link: Link, receiver: Host) -> Self {
+        Pipeline { sender, link, receiver, completions: Vec::new() }
+    }
+
+    /// Pushes one message generated at `generated` with the given stage
+    /// demands; returns its timing. Stages are FIFO per resource and
+    /// overlap across messages.
+    pub fn submit(&mut self, generated: SimTime, demand: MessageDemand) -> MessageTiming {
+        let (mod_start, mod_end) = self.sender.run(generated, demand.mod_work);
+        let (_, arrival) = self.link.transfer(mod_end, demand.bytes);
+        let (demod_start, demod_end) = self.receiver.run(arrival, demand.demod_work);
+        let timing = MessageTiming {
+            generated,
+            mod_start,
+            mod_end,
+            arrival,
+            demod_start,
+            demod_end,
+        };
+        self.completions.push(timing);
+        timing
+    }
+
+    /// All message timings so far, in submission order.
+    pub fn completions(&self) -> &[MessageTiming] {
+        &self.completions
+    }
+
+    /// Average end-to-end makespan per message:
+    /// `(last completion − first generation) / n` — the paper's "average
+    /// message processing time" for pipelined streams.
+    pub fn avg_processing_time(&self) -> Option<SimTime> {
+        let first = self.completions.first()?;
+        let last = self.completions.last()?;
+        let span = last.demod_end - first.generated;
+        Some(SimTime::from_nanos(
+            span.as_nanos() / self.completions.len() as u64,
+        ))
+    }
+
+    /// Delivered frames per second over the whole run.
+    pub fn fps(&self) -> Option<f64> {
+        let first = self.completions.first()?;
+        let last = self.completions.last()?;
+        let span = (last.demod_end - first.generated).as_secs_f64();
+        (span > 0.0).then(|| self.completions.len() as f64 / span)
+    }
+
+    /// Resets all FIFO state and recorded completions.
+    pub fn reset(&mut self) {
+        self.sender.reset();
+        self.link.reset();
+        self.receiver.reset();
+        self.completions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline(sender_speed: f64, bw: f64, receiver_speed: f64) -> Pipeline {
+        Pipeline::new(
+            Host::new("s", sender_speed),
+            Link::new("l", SimTime::from_millis(1), bw),
+            Host::new("r", receiver_speed),
+        )
+    }
+
+    #[test]
+    fn single_message_latency_adds_up() {
+        let mut p = pipeline(1000.0, 1_000_000.0, 1000.0);
+        let t = p.submit(
+            SimTime::ZERO,
+            MessageDemand { mod_work: 100, bytes: 1000, demod_work: 200 },
+        );
+        // 100ms mod + 1ms serialize + 1ms alpha + 200ms demod.
+        assert_eq!(t.demod_end, SimTime::from_millis(302));
+        assert_eq!(t.latency(), SimTime::from_millis(302));
+    }
+
+    #[test]
+    fn stages_overlap_across_messages() {
+        let mut p = pipeline(1000.0, 1_000_000.0, 1000.0);
+        let demand = MessageDemand { mod_work: 100, bytes: 1000, demod_work: 100 };
+        for _ in 0..50 {
+            p.submit(SimTime::ZERO, demand);
+        }
+        // Steady state: bottleneck is 100ms per message on either CPU;
+        // makespan ~ 50*100ms + pipeline fill, so avg < sum of stages.
+        let avg = p.avg_processing_time().unwrap().as_millis_f64();
+        assert!(avg < 110.0, "pipelined avg {avg}ms");
+        assert!(avg >= 100.0, "cannot beat the bottleneck: {avg}ms");
+    }
+
+    #[test]
+    fn bottleneck_shifts_with_demand() {
+        // Receiver-heavy demand: receiver sets the pace.
+        let mut p = pipeline(10_000.0, 10_000_000.0, 1000.0);
+        let demand = MessageDemand { mod_work: 100, bytes: 100, demod_work: 400 };
+        for _ in 0..50 {
+            p.submit(SimTime::ZERO, demand);
+        }
+        let avg = p.avg_processing_time().unwrap().as_millis_f64();
+        assert!((avg - 400.0).abs() < 40.0, "receiver-bound avg {avg}ms");
+    }
+
+    #[test]
+    fn fps_matches_bottleneck() {
+        let mut p = pipeline(1000.0, 1_000_000.0, 100_000.0);
+        // Link-bound: 100 KB per frame at 1 MB/s = 100ms per frame.
+        let demand = MessageDemand { mod_work: 1, bytes: 100_000, demod_work: 1 };
+        for _ in 0..100 {
+            p.submit(SimTime::ZERO, demand);
+        }
+        let fps = p.fps().unwrap();
+        assert!((fps - 10.0).abs() < 1.0, "link-bound fps {fps}");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut p = pipeline(1000.0, 1_000_000.0, 1000.0);
+        p.submit(SimTime::ZERO, MessageDemand { mod_work: 1, bytes: 1, demod_work: 1 });
+        p.reset();
+        assert!(p.completions().is_empty());
+        let t = p.submit(SimTime::ZERO, MessageDemand { mod_work: 1, bytes: 1, demod_work: 1 });
+        assert_eq!(t.mod_start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_pipeline_has_no_metrics() {
+        let p = pipeline(1.0, 1.0, 1.0);
+        assert!(p.avg_processing_time().is_none());
+        assert!(p.fps().is_none());
+    }
+}

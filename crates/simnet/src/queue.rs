@@ -1,0 +1,158 @@
+//! A generic discrete-event queue.
+//!
+//! The pipeline simulator resolves most timing analytically, but control
+//! traffic (profiling feedback, plan updates) is genuinely event-driven:
+//! updates take effect only once they arrive back at the sender. This
+//! queue orders such events deterministically (ties broken by insertion
+//! sequence).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// ```
+/// use mpart_simnet::{EventQueue, SimTime};
+///
+/// let mut plans = EventQueue::new();
+/// plans.push(SimTime::from_millis(20), "late plan");
+/// plans.push(SimTime::from_millis(5), "early plan");
+/// let applied = plans.drain_until(SimTime::from_millis(10));
+/// assert_eq!(applied.len(), 1);
+/// assert_eq!(applied[0].1, "early plan");
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `item` at `time`.
+    pub fn push(&mut self, time: SimTime, item: T) {
+        self.heap.push(Entry { time, seq: self.seq, item });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.item))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops every event scheduled at or before `now`, in order.
+    pub fn drain_until(&mut self, now: SimTime) -> Vec<(SimTime, T)> {
+        let mut out = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= now) {
+            out.push(self.pop().expect("peeked"));
+        }
+        out
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue").field("pending", &self.heap.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.push(t, 1);
+        q.push(t, 2);
+        q.push(t, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn drain_until_is_inclusive() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(1), "x");
+        q.push(SimTime::from_millis(2), "y");
+        q.push(SimTime::from_millis(3), "z");
+        let drained = q.drain_until(SimTime::from_millis(2));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The wireless image-streaming scenario of §5.1, narrated: a server
+//! streams frames to a simulated handheld while the frame population
+//! flips between small and large, and Method Partitioning re-splits the
+//! handler on the fly.
+//!
+//! ```sh
+//! cargo run --release --example image_streaming
+//! ```
+
+use std::sync::Arc;
+
+use method_partitioning::apps::image::{
+    image_program, image_session, make_frame, ImageScenario, ImageVersion,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = image_program()?;
+    let mut session = image_session(ImageVersion::MethodPartitioning)?;
+
+    println!("streaming 120 frames (phases of small 80x80 / large 200x200)...\n");
+    let sides = ImageScenario::Mixed.sides(120, 42);
+    let mut last_split = usize::MAX;
+    for (i, side) in sides.iter().enumerate() {
+        let program_ref = Arc::clone(&program);
+        let side = *side;
+        let report = session.deliver(move |ctx| make_frame(&program_ref, ctx, side))?;
+        if report.split_pse != last_split {
+            let pse = &session.handler().analysis().pses()[report.split_pse];
+            println!(
+                "frame {i:>3} ({side}x{side}): split moved to PSE {} (edge {}), wire {} bytes",
+                report.split_pse,
+                pse.edge,
+                report.wire_bytes
+            );
+            last_split = report.split_pse;
+        }
+    }
+
+    println!("\nadaptive run: {:.2} fps", session.fps());
+    println!("plan updates applied at the sender: {}", session.plan_installs());
+
+    // Compare against the two manual versions on the same frame sequence.
+    for version in [ImageVersion::ShipRaw, ImageVersion::ResizeAtServer] {
+        let mut fixed = image_session(version)?;
+        for side in &sides {
+            let program_ref = Arc::clone(&program);
+            let side = *side;
+            fixed.deliver(move |ctx| make_frame(&program_ref, ctx, side))?;
+        }
+        println!("{:<22} {:.2} fps", version.label(), fixed.fps());
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The sensor-processing scenario of §5.2, narrated: a 12-stage pipeline
+//! is balanced between producer and consumer; when background load hits
+//! the consumer, the split migrates toward the producer.
+//!
+//! ```sh
+//! cargo run --release --example sensor_load_balancing
+//! ```
+
+use std::sync::Arc;
+
+use method_partitioning::apps::sensor::{
+    consumer_builtins, make_signal, sensor_cost_model, sensor_program, stage_builtins,
+    HostLoad, SENSOR_PROGRAM, SERIALIZE_WORK_PER_BYTE,
+};
+use method_partitioning::core::profile::TriggerPolicy;
+use method_partitioning::jecho::{SimConfig, SimSession};
+use method_partitioning::simnet::{Host, Link, PerturbConfig, PerturbationTrace, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _ = SENSOR_PROGRAM; // the handler source, printable if you like
+    let program = sensor_program()?;
+
+    // Consumer becomes heavily loaded after t = 3 s: one perturbation
+    // thread, always active, LIndex 1.0, but only from the second phase.
+    // We emulate the phase change by concatenating two traces via a
+    // generated schedule with AProb ramping — simplest here: run two
+    // sessions and compare; within one session the perturbation trace
+    // does the work.
+    let load = HostLoad { aprob: 0.7, plen_ms: 1500.0, lindex: 1.0 };
+    let horizon = SimTime::from_millis(600_000);
+    // Keep a copy of the schedule for narration; the host gets the same
+    // deterministic trace (same config + seed).
+    let trace = PerturbationTrace::generate(
+        &PerturbConfig::single(load.plen_ms, load.aprob, load.lindex),
+        horizon,
+        3,
+    );
+    let consumer = Host::new("consumer", 760_000.0).with_perturbation(trace.clone());
+    let producer = Host::new("producer", 760_000.0);
+    let config = SimConfig::new(producer, Link::fast_ethernet(), consumer, TriggerPolicy::Rate(1))
+        .with_serialize_cost(SERIALIZE_WORK_PER_BYTE);
+
+    let mut session = SimSession::adaptive(
+        Arc::clone(&program),
+        "process",
+        sensor_cost_model(),
+        stage_builtins(),
+        consumer_builtins(),
+        config,
+    )?;
+
+    println!("{} PSEs along the pipeline\n", session.handler().analysis().pses().len());
+    println!("msg | consumer load | split PSE | consumer time");
+    println!("----+---------------+-----------+--------------");
+    let mut last = usize::MAX;
+    for i in 0..240u64 {
+        let program_ref = Arc::clone(&program);
+        let report = session.deliver(move |ctx| make_signal(&program_ref, ctx, i, 5))?;
+        let t = report.timing.demod_start;
+        let load_now = trace.load_at(t);
+        if report.split_pse != last || i % 40 == 0 {
+            println!(
+                "{:>3} | {:>13.2} | {:>9} | {:>6.1}ms",
+                i,
+                load_now,
+                report.split_pse,
+                (report.timing.demod_end - report.timing.demod_start).as_millis_f64()
+            );
+            last = report.split_pse;
+        }
+    }
+    println!(
+        "\navg processing time: {:.2} ms; plan updates: {}",
+        session.avg_processing_ms(),
+        session.plan_installs()
+    );
+    Ok(())
+}

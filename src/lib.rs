@@ -1,0 +1,23 @@
+//! # method-partitioning — umbrella crate
+//!
+//! Re-exports the whole Method Partitioning (ICDCS 2003 reproduction)
+//! workspace behind one dependency. See the individual crates for details:
+//!
+//! * [`ir`] — the Jimple-like IR handlers are written in;
+//! * [`analysis`] — unit graph, dataflow, and the `ConvexCut` PSE marker;
+//! * [`cost`] — the data-size and execution-time cost models;
+//! * [`flow`] — max-flow/min-cut used by the Reconfiguration Unit;
+//! * [`core`] — modulator/demodulator generation, remote continuation,
+//!   profiling, and reconfiguration;
+//! * [`simnet`] — deterministic discrete-event host/network simulator;
+//! * [`jecho`] — the JECho-like distributed event channel substrate;
+//! * [`apps`] — the paper's two evaluation applications.
+
+pub use mpart as core;
+pub use mpart_analysis as analysis;
+pub use mpart_apps as apps;
+pub use mpart_cost as cost;
+pub use mpart_flow as flow;
+pub use mpart_ir as ir;
+pub use mpart_jecho as jecho;
+pub use mpart_simnet as simnet;

@@ -1,0 +1,181 @@
+//! End-to-end adaptation tests: the Reconfiguration Unit must converge to
+//! the plan a brute-force oracle would pick, and react to load steps the
+//! way the paper describes.
+
+use std::sync::Arc;
+
+use method_partitioning::apps::image::{
+    image_program, image_session, make_frame, ImageVersion,
+};
+use method_partitioning::core::profile::TriggerPolicy;
+use method_partitioning::core::reconfig::{runtime_weights, select_active_set};
+use method_partitioning::cost::{DataSizeModel, RuntimeCostKind};
+use method_partitioning::flow::brute_force_min_cut;
+use mpart::PartitionedHandler;
+use mpart_analysis::ENTRY;
+
+/// Brute-force oracle: enumerate the Unit Graph as an explicit edge list
+/// and find the true minimum cut with exhaustive search, then compare
+/// against the runtime's Dinic-based selection.
+#[test]
+fn min_cut_selection_matches_brute_force_oracle() {
+    let program = image_program().unwrap();
+    let handler = PartitionedHandler::analyze(
+        Arc::clone(&program),
+        "push",
+        Arc::new(DataSizeModel::new()),
+    )
+    .unwrap();
+    let analysis = handler.analysis();
+
+    // Try several weight assignments, including ties and extremes.
+    let n = analysis.pses().len();
+    let weight_sets: Vec<Vec<u64>> = vec![
+        vec![10; n],
+        (0..n as u64).map(|i| i * 100 + 1).collect(),
+        (0..n as u64).map(|i| 1000 - i * 100).collect(),
+        vec![0; n],
+    ];
+
+    for weights in weight_sets {
+        let active = select_active_set(analysis, &weights).unwrap();
+        let chosen: u64 = active.iter().map(|&p| weights[p]).sum();
+
+        // Build the explicit graph for the oracle: node ids are pcs, with
+        // source = n_nodes (entry) and sink = n_nodes + 1.
+        let n_nodes = analysis.ug.len();
+        let source = n_nodes;
+        let sink = n_nodes + 1;
+        let big = 1_000_000u64;
+        let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+        let entry_pse = analysis.pses().iter().position(|p| p.edge.from == ENTRY);
+        edges.push((
+            source,
+            analysis.ug.start(),
+            entry_pse.map(|p| weights[p]).unwrap_or(big),
+        ));
+        for e in analysis.ug.edges() {
+            let cap = analysis
+                .pse_for_edge(e)
+                .map(|p| weights[p])
+                .unwrap_or(big);
+            edges.push((e.from, e.to, cap));
+        }
+        for s in analysis.stops.iter() {
+            edges.push((s, sink, big));
+        }
+        let oracle = brute_force_min_cut(n_nodes + 2, &edges, source, sink);
+        assert_eq!(chosen, oracle, "weights {weights:?}: plan {active:?}");
+    }
+}
+
+/// The adaptive image session must converge to (near) the per-scenario
+/// optimum and, after a scenario flip, re-converge within a few frames.
+#[test]
+fn image_session_adapts_within_a_few_frames() {
+    let program = image_program().unwrap();
+    let mut session = image_session(ImageVersion::MethodPartitioning).unwrap();
+
+    // Phase 1: large frames -> resize at server -> small payloads.
+    for _ in 0..10 {
+        let p = Arc::clone(&program);
+        session.deliver(move |ctx| make_frame(&p, ctx, 200)).unwrap();
+    }
+    let last = session.reports().last().unwrap();
+    assert!(last.wire_bytes < 27_000, "large frames resized: {}", last.wire_bytes);
+
+    // Phase 2: small frames -> ship raw.
+    for _ in 0..10 {
+        let p = Arc::clone(&program);
+        session.deliver(move |ctx| make_frame(&p, ctx, 80)).unwrap();
+    }
+    let last = session.reports().last().unwrap();
+    assert!(last.wire_bytes < 7_000, "small frames ship raw: {}", last.wire_bytes);
+
+    // Count how many frames of phase 2 were needed before the plan
+    // settled: adaptation lag should be small (the paper's "fine-grain,
+    // low overhead adaptation").
+    let phase2 = &session.reports()[10..];
+    let lag = phase2
+        .iter()
+        .position(|r| r.wire_bytes < 7_000)
+        .expect("adaptation happened");
+    assert!(lag <= 4, "adaptation lag {lag} frames");
+}
+
+/// The ExecTime weights must move toward the loaded side's disadvantage:
+/// when the receiver speed estimate halves, the selected split moves
+/// toward the sender.
+#[test]
+fn exec_time_weights_shift_with_speed_estimates() {
+    use method_partitioning::apps::sensor::{sensor_cost_model, sensor_program};
+    use method_partitioning::core::profile::{
+        DemodMessageProfile, ModMessageProfile, ProfilingUnit, PseSample,
+    };
+
+    let program = sensor_program().unwrap();
+    let handler =
+        PartitionedHandler::analyze(Arc::clone(&program), "process", sensor_cost_model())
+            .unwrap();
+    let analysis = handler.analysis();
+    let n = analysis.pses().len();
+
+    let feed = |speed_demod: f64| -> Vec<usize> {
+        let mut unit = ProfilingUnit::new(n, 1.0);
+        // Synthetic per-edge work curve: PSE i sits at i/n of the total.
+        let total = 60_000.0;
+        let samples: Vec<PseSample> = (0..n)
+            .map(|i| PseSample {
+                pse: i,
+                mod_work: (total * i as f64 / n as f64) as u64,
+                payload_bytes: Some(1000),
+                was_split: false,
+            })
+            .collect();
+        unit.record_mod(ModMessageProfile {
+            samples,
+            split: n - 1,
+            mod_work: total as u64,
+            t_mod: Some(total / 1_000_000.0), // sender speed 1M
+        });
+        unit.record_demod(DemodMessageProfile {
+            pse: n - 1,
+            demod_work: 100,
+            t_demod: Some(100.0 / speed_demod),
+        });
+        let weights =
+            runtime_weights(analysis, RuntimeCostKind::ExecTime, &unit.snapshot());
+        select_active_set(analysis, &weights).unwrap()
+    };
+
+    let balanced = feed(1_000_000.0);
+    let slow_receiver = feed(250_000.0);
+    // With a 4x slower receiver the split must move later (more work on
+    // the sender side): the chosen main-path PSE index grows.
+    let main_pse = |plan: &[usize]| {
+        plan.iter()
+            .map(|&p| analysis.pses()[p].edge.to)
+            .max()
+            .unwrap_or(0)
+    };
+    assert!(
+        main_pse(&slow_receiver) > main_pse(&balanced),
+        "balanced {balanced:?} vs slow receiver {slow_receiver:?}"
+    );
+}
+
+/// Adaptation must also stop: with a `Never` trigger nothing ever changes
+/// even under wildly shifting traffic.
+#[test]
+fn never_trigger_freezes_the_plan() {
+    let program = image_program().unwrap();
+    let mut session = image_session(ImageVersion::ShipRaw).unwrap();
+    let initial = session.handler().plan().active();
+    for side in [80i64, 200, 80, 200, 200, 80] {
+        let p = Arc::clone(&program);
+        session.deliver(move |ctx| make_frame(&p, ctx, side)).unwrap();
+    }
+    assert_eq!(session.handler().plan().active(), initial);
+    assert_eq!(session.plan_installs(), 0);
+    let _ = TriggerPolicy::Never; // referenced for documentation purposes
+}

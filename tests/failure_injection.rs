@@ -1,0 +1,277 @@
+//! Failure injection: the runtime must stay safe under lost, duplicated,
+//! or corrupted control traffic and malformed continuations.
+
+use std::sync::Arc;
+
+use method_partitioning::core::continuation::ContinuationMessage;
+use method_partitioning::core::partitioned::PartitionedHandler;
+use method_partitioning::core::profile::{
+    DemodMessageProfile, ModMessageProfile, PseSample, TriggerPolicy,
+};
+use method_partitioning::core::reconfig::ReconfigUnit;
+use method_partitioning::cost::{CostModel, DataSizeModel, RuntimeCostKind};
+use method_partitioning::ir::interp::{BuiltinRegistry, ExecCtx};
+use method_partitioning::ir::marshal::Marshalled;
+use method_partitioning::ir::parse::parse_program;
+use method_partitioning::ir::types::ElemType;
+use method_partitioning::ir::{IrError, Program, Value};
+
+fn setup() -> (Arc<Program>, Arc<PartitionedHandler>, BuiltinRegistry) {
+    let program = Arc::new(
+        parse_program(
+            r#"
+            class Item { size: int, data: ref }
+            fn sink(event) {
+                ok = event instanceof Item
+                if ok == 0 goto skip
+                it = (Item) event
+                d = it.data
+                native store(d)
+                return 1
+            skip:
+                return 0
+            }
+            "#,
+        )
+        .unwrap(),
+    );
+    let handler = PartitionedHandler::analyze(
+        Arc::clone(&program),
+        "sink",
+        Arc::new(DataSizeModel::new()) as Arc<dyn CostModel>,
+    )
+    .unwrap();
+    let mut builtins = BuiltinRegistry::new();
+    builtins.register_native("store", 1, |_, _| Ok(Value::Null));
+    (program, handler, builtins)
+}
+
+fn make_item(program: &Program, ctx: &mut ExecCtx, n: usize) -> Vec<Value> {
+    let classes = &program.classes;
+    let class = classes.id("Item").unwrap();
+    let decl = classes.decl(class);
+    let it = ctx.heap.alloc_object(classes, class);
+    let d = ctx.heap.alloc_array(ElemType::Byte, n);
+    ctx.heap.set_field(it, decl.field("size").unwrap(), Value::Int(n as i64)).unwrap();
+    ctx.heap.set_field(it, decl.field("data").unwrap(), Value::Ref(d)).unwrap();
+    vec![Value::Ref(it)]
+}
+
+#[test]
+fn corrupted_continuation_payload_is_rejected_not_crashing() {
+    let (program, handler, builtins) = setup();
+    let mut sender = ExecCtx::new(&program);
+    let args = make_item(&program, &mut sender, 256);
+    let run = handler.modulator().handle(&mut sender, args).unwrap();
+
+    // Corrupt the payload in several ways; the demodulator must return an
+    // error each time, never panic or execute garbage.
+    let base = run.message;
+    let corruptions: Vec<ContinuationMessage> = vec![
+        // Truncated payload.
+        ContinuationMessage {
+            pse: base.pse,
+            payload: Marshalled::from_bytes(
+                base.payload.as_bytes()[..base.payload.wire_size() / 2].to_vec(),
+            ),
+            mod_work: base.mod_work,
+        },
+        // Garbage bytes.
+        ContinuationMessage {
+            pse: base.pse,
+            payload: Marshalled::from_bytes(vec![0xFF; 64]),
+            mod_work: base.mod_work,
+        },
+        // Unknown split point.
+        ContinuationMessage {
+            pse: 4242,
+            payload: base.payload.clone(),
+            mod_work: base.mod_work,
+        },
+    ];
+    for (i, msg) in corruptions.iter().enumerate() {
+        let mut receiver = ExecCtx::with_builtins(&program, builtins.clone());
+        let err = handler.demodulator().handle(&mut receiver, msg);
+        assert!(err.is_err(), "corruption {i} must be detected");
+        assert!(
+            matches!(err.unwrap_err(), IrError::Marshal(_) | IrError::Continuation(_)),
+            "corruption {i} yields a marshal/continuation error"
+        );
+        assert!(receiver.trace.is_empty(), "no native ran for corruption {i}");
+    }
+
+    // The original message still works after all that.
+    let mut receiver = ExecCtx::with_builtins(&program, builtins);
+    let out = handler.demodulator().handle(&mut receiver, &base).unwrap();
+    assert_eq!(out.ret, Some(Value::Int(1)));
+}
+
+#[test]
+fn lost_and_duplicated_feedback_keeps_plans_valid() {
+    let (_, handler, _) = setup();
+    let analysis = Arc::clone(handler.analysis());
+    let mut unit = ReconfigUnit::new(analysis, RuntimeCostKind::DataSize, TriggerPolicy::Rate(1));
+
+    let sample = |pse: usize, bytes: u64| PseSample {
+        pse,
+        mod_work: 10,
+        payload_bytes: Some(bytes),
+        was_split: true,
+    };
+
+    // Lost demod halves: record mod profiles only.
+    for _ in 0..10 {
+        unit.record_mod(ModMessageProfile {
+            samples: vec![sample(0, 5000)],
+            split: 0,
+            mod_work: 10,
+            t_mod: None,
+        });
+    }
+    // Duplicated demod halves, including for messages never seen.
+    for _ in 0..20 {
+        unit.record_demod(DemodMessageProfile { pse: 0, demod_work: 99, t_demod: None });
+        unit.record_demod(DemodMessageProfile { pse: 7, demod_work: 1, t_demod: None });
+    }
+    // Out-of-range samples are ignored.
+    unit.record_samples(&[sample(999, 1)]);
+
+    // Whatever happened, reconfiguration still produces a valid cut.
+    let update = unit.force_reconfigure().unwrap();
+    handler.plan().install(&update.active);
+    handler.plan().validate_cut(handler.analysis()).unwrap();
+}
+
+#[test]
+fn stale_plan_update_is_still_a_valid_cut() {
+    let (program, handler, builtins) = setup();
+    // A "stale" update computed from old statistics is applied after the
+    // traffic has changed completely: correctness (being a cut) must not
+    // depend on traffic.
+    let stale: Vec<usize> = (0..handler.analysis().pses().len()).collect();
+    handler.plan().install(&stale);
+    handler.plan().validate_cut(handler.analysis()).unwrap();
+
+    let mut sender = ExecCtx::new(&program);
+    let args = make_item(&program, &mut sender, 8);
+    let run = handler.modulator().handle(&mut sender, args).unwrap();
+    let mut receiver = ExecCtx::with_builtins(&program, builtins);
+    let out = handler.demodulator().handle(&mut receiver, &run.message).unwrap();
+    assert_eq!(out.ret, Some(Value::Int(1)));
+}
+
+#[test]
+fn plan_torn_between_updates_still_yields_correct_results() {
+    // Concurrent plan switching: a message may observe a mixture of old
+    // and new flags. Any active PSE produces a correct continuation, so
+    // the result must be unaffected. Emulate torn states by toggling
+    // every combination of two plans' flags.
+    let (program, handler, builtins) = setup();
+    let n = handler.analysis().pses().len();
+    let all: Vec<usize> = (0..n).collect();
+    for mask in 1u32..(1 << n.min(5)) {
+        let subset: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|i| mask & (1 << i) != 0)
+            .collect();
+        handler.plan().install(&subset);
+        if handler.plan().validate_cut(handler.analysis()).is_err() {
+            continue; // a non-cut mixture is rejected by the modulator
+        }
+        let mut sender = ExecCtx::new(&program);
+        let args = make_item(&program, &mut sender, 64);
+        let run = handler.modulator().handle(&mut sender, args).unwrap();
+        let mut receiver = ExecCtx::with_builtins(&program, builtins.clone());
+        let out = handler.demodulator().handle(&mut receiver, &run.message).unwrap();
+        assert_eq!(out.ret, Some(Value::Int(1)), "plan {subset:?}");
+    }
+}
+
+#[test]
+fn adaptation_survives_a_lossy_control_channel() {
+    use method_partitioning::jecho::{SimConfig, SimSession};
+    use method_partitioning::simnet::{Host, Link, SimTime};
+
+    // A handler with a compaction stage, so the late split actually
+    // shrinks the wire (unlike `sink`, whose every split ships the blob).
+    let program = Arc::new(
+        parse_program(
+            r#"
+            class Item { size: int, data: ref }
+            fn digestion(event) {
+                ok = event instanceof Item
+                if ok == 0 goto skip
+                it = (Item) event
+                g = call digest(it)
+                native store(g)
+                return 1
+            skip:
+                return 0
+            }
+            "#,
+        )
+        .unwrap(),
+    );
+    let mut builtins = BuiltinRegistry::new();
+    builtins.register_native("store", 1, |_, _| Ok(Value::Null));
+    let program_for_digest = Arc::clone(&program);
+    builtins.register_pure(
+        "digest",
+        |_, _| 10,
+        move |heap, _args| {
+            let classes = &program_for_digest.classes;
+            let class = classes.id("Item").unwrap();
+            let decl = classes.decl(class);
+            let out = heap.alloc_object(classes, class);
+            let small = heap.alloc_array(ElemType::Byte, 16);
+            heap.set_field(out, decl.field("size").unwrap(), Value::Int(16))?;
+            heap.set_field(out, decl.field("data").unwrap(), Value::Ref(small))?;
+            Ok(Value::Ref(out))
+        },
+    );
+
+    let make = |loss: f64| {
+        SimSession::adaptive(
+            Arc::clone(&program),
+            "digestion",
+            Arc::new(DataSizeModel::new()),
+            builtins.clone(),
+            builtins.clone(),
+            SimConfig::new(
+                Host::new("s", 1_000_000.0),
+                Link::new("l", SimTime::from_millis(1), 1_000_000.0),
+                Host::new("r", 1_000_000.0),
+                TriggerPolicy::Rate(1),
+            )
+            .with_control_loss(loss, 77),
+        )
+        .unwrap()
+    };
+
+    // 60% of plan updates are lost; large items still force adaptation to
+    // the post-digest split eventually.
+    let mut lossy = make(0.6);
+    for _ in 0..20 {
+        let p = Arc::clone(&program);
+        lossy
+            .deliver(move |ctx| Ok(make_item(&p, ctx, 50_000)))
+            .unwrap();
+    }
+    assert!(lossy.plans_dropped() >= 1, "losses actually happened");
+    let last = lossy.reports().last().unwrap();
+    assert!(
+        last.wire_bytes < 1000,
+        "converged despite losses: {} bytes",
+        last.wire_bytes
+    );
+
+    // Total loss: the initial static plan stays forever, and nothing breaks.
+    let mut dead = make(1.0);
+    for _ in 0..8 {
+        let p = Arc::clone(&program);
+        dead.deliver(move |ctx| Ok(make_item(&p, ctx, 50_000))).unwrap();
+    }
+    assert_eq!(dead.plan_installs(), 0);
+    assert_eq!(dead.reports().last().unwrap().ret, Some(Value::Int(1)));
+}
