@@ -133,10 +133,9 @@ pub fn path_edges(start: Pc, path: &[Pc]) -> Vec<Edge> {
 
 fn canonicalize(cost: StaticCost, cx: &EstimatorCx<'_>) -> StaticCost {
     match cost {
-        StaticCost::LowerBounded { det, vars } => StaticCost::LowerBounded {
-            det,
-            vars: cx.aliases.canon_set(&vars),
-        },
+        StaticCost::LowerBounded { det, vars } => {
+            StaticCost::LowerBounded { det, vars: cx.aliases.canon_set(&vars) }
+        }
         other => other,
     }
 }

@@ -56,8 +56,8 @@ impl StaticCost {
                 // other >= det; if det >= a then other >= a.
                 if det >= a {
                     Some(Ordering::Less) // self < other (or equal; Less is
-                                          // safe for exclusion purposes only
-                                          // when strict — see cmp use sites)
+                                         // safe for exclusion purposes only
+                                         // when strict — see cmp use sites)
                 } else {
                     None
                 }
@@ -168,10 +168,7 @@ mod tests {
     use super::*;
 
     fn lb(det: u64, vars: &[u32]) -> StaticCost {
-        StaticCost::LowerBounded {
-            det,
-            vars: vars.iter().map(|&v| Var(v)).collect(),
-        }
+        StaticCost::LowerBounded { det, vars: vars.iter().map(|&v| Var(v)).collect() }
     }
 
     #[test]

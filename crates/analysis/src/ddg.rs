@@ -72,16 +72,10 @@ impl Ddg {
         &'a self,
         ug: &'a UnitGraph,
     ) -> impl Iterator<Item = DepEdge> + 'a {
-        let carried = self
-            .edges
-            .iter()
-            .copied()
-            .filter(|e| ug.reachable_from(e.uses).contains(e.def));
+        let carried =
+            self.edges.iter().copied().filter(|e| ug.reachable_from(e.uses).contains(e.def));
         let cyclic_self = self.self_deps.iter().copied().filter_map(move |pc| {
-            let on_cycle = ug
-                .succs(pc)
-                .iter()
-                .any(|&s| ug.reachable_from(s).contains(pc));
+            let on_cycle = ug.succs(pc).iter().any(|&s| ug.reachable_from(s).contains(pc));
             on_cycle.then_some(DepEdge { def: pc, uses: pc })
         });
         carried.chain(cyclic_self)
@@ -112,8 +106,7 @@ mod tests {
 
     #[test]
     fn acyclic_code_has_no_backward_candidates() {
-        let (_, ug, ddg) =
-            build("fn f(x) {\n  a = x + 1\n  b = a * 2\n  return b\n}\n");
+        let (_, ug, ddg) = build("fn f(x) {\n  a = x + 1\n  b = a * 2\n  return b\n}\n");
         assert_eq!(ddg.backward_candidates(&ug).count(), 0);
     }
 

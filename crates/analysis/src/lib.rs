@@ -99,7 +99,8 @@ pub fn analyze(
     let kinds = varkinds::VarKinds::compute(func);
     let aliases = points_to::AliasClasses::compute(func);
     let cx = EstimatorCx { func, kinds: &kinds, aliases: &aliases };
-    let cut = ConvexCut::run(func, &ug, &live, &ddg, &paths, &cx, estimator);
+    let mut cut = ConvexCut::run(func, &ug, &live, &ddg, &paths, &cx, estimator);
+    ensure_entry_pse(func, &ug, &live, &paths, &cx, estimator, &mut cut);
     Ok(HandlerAnalysis {
         func_name: func_name.to_string(),
         ug,
@@ -111,6 +112,42 @@ pub fn analyze(
         paths,
         cut,
     })
+}
+
+/// Reinstates the synthetic entry edge as a PSE if `MinCostEdgeSet`
+/// pruned it as dominated.
+///
+/// The entry cut — ship the raw event, run the whole handler at the
+/// receiver — is always a *valid* cut, and the runtime relies on it as the
+/// trivial fallback plan when the link degrades. Static dominance pruning
+/// is only a search-space reduction; it must not remove the one plan that
+/// needs no link quality and no profiling data to be safe. The entry edge
+/// lies on every target path, so it is appended to every path's candidate
+/// list, priced at its true static cost (never infinity: no data
+/// dependency can cross an edge with no modulator side).
+fn ensure_entry_pse(
+    func: &mpart_ir::Function,
+    ug: &ug::UnitGraph,
+    liveness: &liveness::Liveness,
+    paths: &paths::TargetPaths,
+    cx: &EstimatorCx<'_>,
+    estimator: &dyn EdgeCostEstimator,
+    cut: &mut ConvexCut,
+) {
+    if cut.pses.iter().any(|p| p.edge.is_entry()) {
+        return;
+    }
+    let Some(first_path) = paths.paths.first() else {
+        return;
+    };
+    let edge = Edge::entry(ug.start());
+    let inter = liveness.inter(func, edge);
+    let static_cost = estimator.edge_cost(cx, first_path, 0, edge, &inter);
+    cut.pses.push(PseInfo { edge, inter, static_cost });
+    let idx = cut.pses.len() - 1;
+    for on_path in &mut cut.path_pses {
+        on_path.push(idx);
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +186,23 @@ mod tests {
     fn analyze_missing_function_errors() {
         let program = parse_program("fn f() {\n  return\n}\n").unwrap();
         assert!(analyze(&program, "nope", &InterCountEstimator, Default::default()).is_err());
+    }
+
+    #[test]
+    fn entry_pse_survives_dominance_pruning() {
+        // `a` dies immediately, so the entry edge {x, y} is dominated and
+        // MinCostEdgeSet prunes it — yet the analysis must still expose it
+        // as the runtime's trivial fallback plan.
+        let src = "fn f(x, y) {\n  a = x + y\n  b = a * 2\n  return b\n}\n";
+        let program = parse_program(src).unwrap();
+        let ha = analyze(&program, "f", &InterCountEstimator, Default::default()).unwrap();
+        let entry = ha.pses().iter().position(|p| p.edge.is_entry()).expect("entry PSE reinstated");
+        // It is a candidate on every target path (it lies on all of them).
+        for on_path in &ha.cut.path_pses {
+            assert!(on_path.contains(&entry));
+        }
+        // And it is priced at its real cost, not infinity.
+        assert!(!matches!(ha.pses()[entry].static_cost, StaticCost::Infinite));
     }
 
     #[test]

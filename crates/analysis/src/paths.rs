@@ -77,16 +77,7 @@ pub fn target_paths(ug: &UnitGraph, stops: &StopNodes, limits: EnumLimits) -> Ta
     }
 
     if !ug.is_empty() {
-        dfs(
-            ug.start(),
-            ug,
-            stops,
-            &limits,
-            &mut on_path,
-            &mut cur,
-            &mut paths,
-            &mut truncated,
-        );
+        dfs(ug.start(), ug, stops, &limits, &mut on_path, &mut cur, &mut paths, &mut truncated);
     }
     TargetPaths { paths, truncated }
 }

@@ -106,10 +106,7 @@ mod tests {
         let src = "fn f(x) {\n  a = x + 0\n  return a\n}\n";
         let (p, a) = classes(src);
         let f = p.function("f").unwrap();
-        assert!(!a.same(
-            f.var_by_name("x").unwrap(),
-            f.var_by_name("a").unwrap()
-        ));
+        assert!(!a.same(f.var_by_name("x").unwrap(), f.var_by_name("a").unwrap()));
     }
 
     #[test]

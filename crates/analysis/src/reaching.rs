@@ -77,7 +77,13 @@ impl ReachingDefs {
     /// reach `pc` — true when no definition of `var` dominates every path
     /// to `pc`. Conservatively computed as: some path from the start
     /// reaches `pc` without passing a definition of `var`.
-    pub fn param_reaches(&self, func: &Function, ug: &UnitGraph, pc: Pc, var: mpart_ir::Var) -> bool {
+    pub fn param_reaches(
+        &self,
+        func: &Function,
+        ug: &UnitGraph,
+        pc: Pc,
+        var: mpart_ir::Var,
+    ) -> bool {
         // BFS from start avoiding nodes that define `var`.
         let mut seen = BitSet::new(ug.len());
         let mut stack = vec![ug.start()];
@@ -139,11 +145,8 @@ mod tests {
         let rd = ReachingDefs::compute(f, &ug);
         let y = f.var_by_name("y").unwrap();
         // Find the return instruction.
-        let ret = f
-            .instrs
-            .iter()
-            .position(|i| matches!(i, mpart_ir::Instr::Return { .. }))
-            .unwrap();
+        let ret =
+            f.instrs.iter().position(|i| matches!(i, mpart_ir::Instr::Return { .. })).unwrap();
         let mut defs = rd.reaching(ret, y);
         defs.sort();
         assert_eq!(defs.len(), 2, "both arms' defs reach the merge: {defs:?}");

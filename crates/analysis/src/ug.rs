@@ -220,11 +220,7 @@ mod tests {
         "#;
         let g = graph(src, "f");
         // The goto must point back to the loop head.
-        let back = g
-            .edges()
-            .into_iter()
-            .find(|e| e.to < e.from)
-            .expect("expected a back edge");
+        let back = g.edges().into_iter().find(|e| e.to < e.from).expect("expected a back edge");
         assert!(g.reachable_from(back.to).contains(back.from));
     }
 

@@ -155,11 +155,7 @@ mod tests {
         let (p, k) = kinds(src);
         let f = p.function("f").unwrap();
         for name in ["e", "b", "a", "c"] {
-            assert_eq!(
-                k.kind(f.var_by_name(name).unwrap()),
-                VarKind::Unknown,
-                "{name}"
-            );
+            assert_eq!(k.kind(f.var_by_name(name).unwrap()), VarKind::Unknown, "{name}");
         }
     }
 

@@ -67,11 +67,8 @@ pub enum ImageVersion {
 
 impl ImageVersion {
     /// All three versions, in Table 2 row order.
-    pub const ALL: [ImageVersion; 3] = [
-        ImageVersion::ShipRaw,
-        ImageVersion::ResizeAtServer,
-        ImageVersion::MethodPartitioning,
-    ];
+    pub const ALL: [ImageVersion; 3] =
+        [ImageVersion::ShipRaw, ImageVersion::ResizeAtServer, ImageVersion::MethodPartitioning];
 
     /// Table row label.
     pub fn label(self) -> &'static str {
@@ -153,9 +150,7 @@ pub fn image_program() -> Result<Arc<Program>, IrError> {
 /// errors (none for valid sides).
 pub fn image_program_custom(display_side: i64) -> Result<Arc<Program>, IrError> {
     if display_side <= 0 {
-        return Err(IrError::Invalid(format!(
-            "display side must be positive, got {display_side}"
-        )));
+        return Err(IrError::Invalid(format!("display side must be positive, got {display_side}")));
     }
     let source = format!(
         r#"
@@ -183,9 +178,8 @@ fn resize_impl(classes: &ClassTable, heap: &mut Heap, args: &[Value]) -> Result<
     if w <= 0 || h <= 0 {
         return Err(IrError::Type("resize_image: non-positive target".into()));
     }
-    let class = classes
-        .id("ImageData")
-        .ok_or_else(|| IrError::Unresolved("class ImageData".into()))?;
+    let class =
+        classes.id("ImageData").ok_or_else(|| IrError::Unresolved("class ImageData".into()))?;
     let decl = classes.decl(class);
     let f_width = decl.field("width").expect("width field");
     let f_height = decl.field("height").expect("height field");
@@ -269,12 +263,8 @@ pub fn image_sizers(program: &Program) -> SelfSizerRegistry {
     reg.register("ImageData", move |heap, obj| {
         let class = classes.id("ImageData").expect("ImageData");
         let decl = classes.decl(class);
-        let w = heap
-            .field(obj, decl.field("width").expect("width"))?
-            .as_int("width")?;
-        let h = heap
-            .field(obj, decl.field("height").expect("height"))?
-            .as_int("height")?;
+        let w = heap.field(obj, decl.field("width").expect("width"))?.as_int("width")?;
+        let h = heap.field(obj, decl.field("height").expect("height"))?.as_int("height")?;
         Ok(OBJECT_HEADER_SIZE + 2 * 8 + 2 * REF_SIZE + ARRAY_HEADER_SIZE + (w * h).max(0) as usize)
     });
     reg
@@ -504,9 +494,7 @@ mod tests {
         let sizers = image_sizers(&program);
         let mut ctx = ExecCtx::new(&program);
         let frame = make_frame(&program, &mut ctx, 80).unwrap();
-        let size = sizers
-            .size_of(&ctx.heap, &program.classes, &frame[0])
-            .unwrap();
+        let size = sizers.size_of(&ctx.heap, &program.classes, &frame[0]).unwrap();
         assert!(size > 6400 && size < 6500, "{size}");
     }
 
@@ -569,8 +557,7 @@ mod tests {
         // Handlers live in separate programs; publish through two channels
         // fed the same frames (one sender per subscriber program).
         let run = |program: Arc<mpart_ir::Program>, frames: &[i64]| -> (usize, i64) {
-            let mut channel =
-                EventChannel::new(Arc::clone(&program), server_builtins(&program));
+            let mut channel = EventChannel::new(Arc::clone(&program), server_builtins(&program));
             let id = channel
                 .subscribe(
                     "push",
@@ -582,9 +569,7 @@ mod tests {
             let mut last_bytes = 0usize;
             for &side in frames {
                 let p = Arc::clone(&program);
-                let reports = channel
-                    .publish(move |ctx| make_frame(&p, ctx, side))
-                    .unwrap();
+                let reports = channel.publish(move |ctx| make_frame(&p, ctx, side)).unwrap();
                 last_bytes = reports[id].wire_bytes;
             }
             (last_bytes, frames[frames.len() - 1])
@@ -595,10 +580,7 @@ mod tests {
         // The 40x40 client converges to tiny resized payloads; the 160x160
         // client prefers the raw 120x120 frame (smaller than its resize).
         assert!(small_bytes < 2200, "small display ships thumbnails: {small_bytes}");
-        assert!(
-            big_bytes > 14_000,
-            "big display ships the raw 120x120 frame: {big_bytes}"
-        );
+        assert!(big_bytes > 14_000, "big display ships the raw 120x120 frame: {big_bytes}");
         drop(base);
     }
 
@@ -610,8 +592,9 @@ mod tests {
 
     #[test]
     fn method_partitioning_wins_on_mixed() {
-        let mp = run_image_experiment(ImageVersion::MethodPartitioning, ImageScenario::Mixed, 120, 3)
-            .unwrap();
+        let mp =
+            run_image_experiment(ImageVersion::MethodPartitioning, ImageScenario::Mixed, 120, 3)
+                .unwrap();
         let raw =
             run_image_experiment(ImageVersion::ShipRaw, ImageScenario::Mixed, 120, 3).unwrap();
         let server =

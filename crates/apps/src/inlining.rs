@@ -75,11 +75,7 @@ pub fn inlining_program() -> Result<Arc<Program>, IrError> {
 /// its (Job) argument through; `submit` is the receiver-anchored sink.
 pub fn inlining_builtins() -> BuiltinRegistry {
     let mut b = BuiltinRegistry::new();
-    b.register_pure(
-        "grind",
-        |_, _| GRIND_UNITS,
-        |_, args| Ok(args[0].clone()),
-    );
+    b.register_pure("grind", |_, _| GRIND_UNITS, |_, args| Ok(args[0].clone()));
     b.register_native("submit", 16, |_, _| Ok(Value::Null));
     b
 }
@@ -122,14 +118,11 @@ pub fn run_inlining_experiment(expand: bool, messages: usize) -> Result<Inlining
         base
     };
     let model: Arc<dyn CostModel> = Arc::new(ExecTimeModel::new());
-    let pses = mpart::PartitionedHandler::analyze(
-        Arc::clone(&program),
-        "work",
-        Arc::clone(&model),
-    )?
-    .analysis()
-    .pses()
-    .len();
+    let pses =
+        mpart::PartitionedHandler::analyze(Arc::clone(&program), "work", Arc::clone(&model))?
+            .analysis()
+            .pses()
+            .len();
 
     let config = SimConfig::new(
         Host::new("producer", 1_000_000.0),
@@ -159,12 +152,7 @@ mod tests {
     fn expansion_exposes_interior_pses() {
         let opaque = run_inlining_experiment(false, 30).unwrap();
         let expanded = run_inlining_experiment(true, 30).unwrap();
-        assert!(
-            expanded.pses > opaque.pses,
-            "{} vs {}",
-            expanded.pses,
-            opaque.pses
-        );
+        assert!(expanded.pses > opaque.pses, "{} vs {}", expanded.pses, opaque.pses);
     }
 
     #[test]
@@ -184,14 +172,11 @@ mod tests {
     #[test]
     fn both_variants_produce_identical_results() {
         let base = inlining_program().unwrap();
-        let expanded =
-            Arc::new(inlined_program(&base, "work", InlineOptions::default()).unwrap());
+        let expanded = Arc::new(inlined_program(&base, "work", InlineOptions::default()).unwrap());
         for program in [&base, &expanded] {
             let mut ctx = ExecCtx::with_builtins(program, inlining_builtins());
             let args = make_job(program, &mut ctx, 7).unwrap();
-            let r = mpart_ir::interp::Interp::new(program)
-                .run(&mut ctx, "work", args)
-                .unwrap();
+            let r = mpart_ir::interp::Interp::new(program).run(&mut ctx, "work", args).unwrap();
             assert_eq!(r, Some(Value::Int(1)));
             assert_eq!(ctx.trace.len(), 1);
         }

@@ -157,9 +157,7 @@ pub fn stage_builtins() -> BuiltinRegistry {
             .collect()
     });
     register_stage(&mut b, "stage_derivative", STAGES[4].1, |xs| {
-        (0..xs.len())
-            .map(|i| xs[(i + 1).min(xs.len() - 1)] - xs[i])
-            .collect()
+        (0..xs.len()).map(|i| xs[(i + 1).min(xs.len() - 1)] - xs[i]).collect()
     });
     register_stage(&mut b, "stage_decimate", STAGES[5].1, |xs| {
         xs.chunks(4).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
@@ -322,13 +320,8 @@ pub fn fixed_plan(version: SensorVersion, handler: &PartitionedHandler) -> Vec<P
             // type check runs in the consumer. (The entry edge itself is
             // deduped away by the points-to analysis: the post-cast edge
             // ships the identical object.)
-            let main = handler
-                .analysis()
-                .cut
-                .path_pses
-                .iter()
-                .max_by_key(|v| v.len())
-                .expect("main path");
+            let main =
+                handler.analysis().cut.path_pses.iter().max_by_key(|v| v.len()).expect("main path");
             plan.push(*main.first().expect("main-path PSE"));
         }
         SensorVersion::Producer => {
@@ -507,11 +500,8 @@ pub fn run_sensor_experiment(
             config,
         )?,
         fixed => {
-            let probe = PartitionedHandler::analyze(
-                Arc::clone(&program),
-                "process",
-                sensor_cost_model(),
-            )?;
+            let probe =
+                PartitionedHandler::analyze(Arc::clone(&program), "process", sensor_cost_model())?;
             let plan = fixed_plan(fixed, &probe);
             SimSession::fixed(
                 Arc::clone(&program),
@@ -527,9 +517,7 @@ pub fn run_sensor_experiment(
 
     let seed = setup.seed;
     let program_ref = Arc::clone(&program);
-    session.run(setup.messages, move |seq, ctx| {
-        make_signal(&program_ref, ctx, seq, seed)
-    })?;
+    session.run(setup.messages, move |seq, ctx| make_signal(&program_ref, ctx, seq, seed))?;
 
     let total_bytes: usize = session.reports().iter().map(|r| r.wire_bytes).sum();
     Ok(SensorRunStats {
@@ -538,7 +526,6 @@ pub fn run_sensor_experiment(
         avg_wire_bytes: total_bytes as f64 / setup.messages.max(1) as f64,
     })
 }
-
 
 /// The signal-complexity extension experiment.
 ///
@@ -585,15 +572,11 @@ pub fn complexity_program() -> Result<Arc<Program>, IrError> {
 /// quadratically in the detection count.
 pub fn complexity_builtins() -> BuiltinRegistry {
     let mut b = BuiltinRegistry::new();
-    register_stage(&mut b, "stage_prepare", 2, |xs| {
-        xs.iter().map(|x| x * 1.02).collect()
-    });
+    register_stage(&mut b, "stage_prepare", 2, |xs| xs.iter().map(|x| x * 1.02).collect());
     register_stage(&mut b, "stage_detect", 2, |xs| {
         xs.iter().copied().filter(|x| x.abs() > 0.8).collect()
     });
-    register_stage(&mut b, "stage_refine", 10, |xs| {
-        xs.iter().map(|x| x * 0.99 + 0.001).collect()
-    });
+    register_stage(&mut b, "stage_refine", 10, |xs| xs.iter().map(|x| x * 0.99 + 0.001).collect());
     // Pairwise correlation: cost scales with len^2 (capped), output len.
     b.register_pure(
         "stage_correlate",
@@ -711,11 +694,8 @@ pub fn run_complexity_experiment(
             config,
         )?,
         fixed => {
-            let probe = PartitionedHandler::analyze(
-                Arc::clone(&program),
-                "track",
-                sensor_cost_model(),
-            )?;
+            let probe =
+                PartitionedHandler::analyze(Arc::clone(&program), "track", sensor_cost_model())?;
             let plan = complexity_fixed_plan(fixed, &probe);
             SimSession::fixed(
                 Arc::clone(&program),
@@ -732,9 +712,8 @@ pub fn run_complexity_experiment(
     let schedule = burst_schedule(messages, quiet_fraction, seed);
     for (i, &active) in schedule.iter().enumerate() {
         let program_ref = Arc::clone(&program);
-        session.deliver(move |ctx| {
-            make_bursty_signal(&program_ref, ctx, i as u64, seed, active)
-        })?;
+        session
+            .deliver(move |ctx| make_bursty_signal(&program_ref, ctx, i as u64, seed, active))?;
     }
     let total_bytes: usize = session.reports().iter().map(|r| r.wire_bytes).sum();
     Ok(SensorRunStats {
@@ -767,13 +746,8 @@ fn complexity_fixed_plan(version: SensorVersion, handler: &PartitionedHandler) -
     match version {
         SensorVersion::Consumer => {
             plan.clear();
-            let main = handler
-                .analysis()
-                .cut
-                .path_pses
-                .iter()
-                .max_by_key(|v| v.len())
-                .expect("main path");
+            let main =
+                handler.analysis().cut.path_pses.iter().max_by_key(|v| v.len()).expect("main path");
             plan.push(*main.first().expect("first candidate"));
         }
         SensorVersion::Producer => {
@@ -815,11 +789,7 @@ mod tests {
             .unwrap();
         // Entry + 13 chain edges (after the field load and each of the 12
         // stages) at minimum; the paper reports 21 for its handler.
-        assert!(
-            h.analysis().pses().len() >= 14,
-            "PSE ladder: {}",
-            h.analysis().pses().len()
-        );
+        assert!(h.analysis().pses().len() >= 14, "PSE ladder: {}", h.analysis().pses().len());
     }
 
     #[test]
@@ -866,11 +836,7 @@ mod tests {
             consumer.avg_ms
         );
         // Calibration: Consumer Version near the paper's 88.44 ms.
-        assert!(
-            (consumer.avg_ms - 88.44).abs() < 12.0,
-            "consumer version {} ms",
-            consumer.avg_ms
-        );
+        assert!((consumer.avg_ms - 88.44).abs() < 12.0, "consumer version {} ms", consumer.avg_ms);
     }
 
     #[test]
@@ -892,12 +858,7 @@ mod tests {
         // Consumer version degrades hard.
         assert!(consumer.avg_ms > consumer_free.avg_ms * 1.5);
         // MP shifts load away and degrades only mildly.
-        assert!(
-            mp.avg_ms < mp_free.avg_ms * 1.5,
-            "MP {} vs free {}",
-            mp.avg_ms,
-            mp_free.avg_ms
-        );
+        assert!(mp.avg_ms < mp_free.avg_ms * 1.5, "MP {} vs free {}", mp.avg_ms, mp_free.avg_ms);
         assert!(mp.avg_ms < consumer.avg_ms);
     }
 
@@ -946,14 +907,8 @@ mod tests {
             let stats = run_complexity_experiment(version, 80, 0.5, 23).unwrap();
             best_fixed = best_fixed.min(stats.avg_ms);
         }
-        let mp = run_complexity_experiment(SensorVersion::MethodPartitioning, 80, 0.5, 23)
-            .unwrap();
-        assert!(
-            mp.avg_ms <= best_fixed * 1.02,
-            "MP {} vs best fixed {}",
-            mp.avg_ms,
-            best_fixed
-        );
+        let mp = run_complexity_experiment(SensorVersion::MethodPartitioning, 80, 0.5, 23).unwrap();
+        assert!(mp.avg_ms <= best_fixed * 1.02, "MP {} vs best fixed {}", mp.avg_ms, best_fixed);
         assert!(mp.plan_installs >= 2, "MP re-split across bursts");
     }
 

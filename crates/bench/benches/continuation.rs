@@ -49,9 +49,7 @@ fn bench_continuation(c: &mut Criterion) {
         })
     });
     // Adaptation actuation: pure flag switching.
-    group.bench_function("plan_switch", |b| {
-        b.iter(|| handler.plan().install(black_box(&late)))
-    });
+    group.bench_function("plan_switch", |b| b.iter(|| handler.plan().install(black_box(&late))));
     group.finish();
 }
 

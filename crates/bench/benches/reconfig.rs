@@ -7,17 +7,14 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpart::profile::{ModMessageProfile, ProfilingUnit, PseSample};
 use mpart::reconfig::select_active_set;
-use mpart_apps::sensor::{sensor_cost_model, sensor_program};
 use mpart_analysis::analyze;
+use mpart_apps::sensor::{sensor_cost_model, sensor_program};
 
 fn bench_reconfig(c: &mut Criterion) {
     let program = sensor_program().expect("program");
-    let handler = mpart::PartitionedHandler::analyze(
-        Arc::clone(&program),
-        "process",
-        sensor_cost_model(),
-    )
-    .expect("analysis");
+    let handler =
+        mpart::PartitionedHandler::analyze(Arc::clone(&program), "process", sensor_cost_model())
+            .expect("analysis");
     let analysis = handler.analysis();
     let weights = handler.static_weights();
 

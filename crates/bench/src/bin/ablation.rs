@@ -9,9 +9,7 @@
 //! All runs use the Mixed image workload, where adaptation matters most.
 
 use mpart::profile::TriggerPolicy;
-use mpart_apps::image::{
-    run_image_experiment_with, ImageOptions, ImageScenario, ImageVersion,
-};
+use mpart_apps::image::{run_image_experiment_with, ImageOptions, ImageScenario, ImageVersion};
 use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
 
 fn run(options: ImageOptions, frames: usize, seed: u64) -> (f64, u64) {
@@ -35,20 +33,14 @@ fn main() {
         &["Sizing", "fps", "plan installs"],
     );
     for (label, self_sizers) in [("self-describing sizeOf", true), ("generic walk", false)] {
-        let (fps, installs) = run(
-            ImageOptions { self_sizers, ..Default::default() },
-            frames,
-            seed,
-        );
+        let (fps, installs) = run(ImageOptions { self_sizers, ..Default::default() }, frames, seed);
         sizing.row(vec![label.into(), f2(fps), installs.to_string()]);
     }
     sizing.note("the generic walk pays O(object graph) probe cost on every frame");
     sizing.print();
 
-    let mut triggers = Table::new(
-        "Ablation 2: feedback trigger policy",
-        &["Trigger", "fps", "plan installs"],
-    );
+    let mut triggers =
+        Table::new("Ablation 2: feedback trigger policy", &["Trigger", "fps", "plan installs"]);
     for (label, trigger) in [
         ("rate: every message", TriggerPolicy::Rate(1)),
         ("rate: every 5", TriggerPolicy::Rate(5)),
@@ -57,8 +49,7 @@ fn main() {
         ("diff: 50% change", TriggerPolicy::Diff(0.5)),
         ("never (frozen initial plan)", TriggerPolicy::Never),
     ] {
-        let (fps, installs) =
-            run(ImageOptions { trigger, ..Default::default() }, frames, seed);
+        let (fps, installs) = run(ImageOptions { trigger, ..Default::default() }, frames, seed);
         triggers.row(vec![label.into(), f2(fps), installs.to_string()]);
     }
     triggers.note("diff triggers reconfigure only on real shifts; rate triggers track faster");
@@ -69,20 +60,15 @@ fn main() {
         &["Profile every Nth message", "fps", "plan installs"],
     );
     for period in [1u64, 2, 4, 8, 16] {
-        let (fps, installs) = run(
-            ImageOptions { sample_period: period, ..Default::default() },
-            frames,
-            seed,
-        );
+        let (fps, installs) =
+            run(ImageOptions { sample_period: period, ..Default::default() }, frames, seed);
         sampling.row(vec![period.to_string(), f2(fps), installs.to_string()]);
     }
     sampling.note("sampling trades probe cost against adaptation lag (§2.5)");
     sampling.print();
 
-    let mut alpha = Table::new(
-        "Ablation 4: EWMA smoothing factor",
-        &["alpha", "fps", "plan installs"],
-    );
+    let mut alpha =
+        Table::new("Ablation 4: EWMA smoothing factor", &["alpha", "fps", "plan installs"]);
     for a in [0.1, 0.3, 0.5, 0.8, 1.0] {
         let (fps, installs) =
             run(ImageOptions { ewma_alpha: a, ..Default::default() }, frames, seed);

@@ -28,8 +28,7 @@ fn main() {
     for version in SensorVersion::ALL {
         let mut cells = vec![version.label().to_string()];
         for &q in &quiet_fractions {
-            let stats =
-                run_complexity_experiment(version, messages, q, seed).expect("cell");
+            let stats = run_complexity_experiment(version, messages, q, seed).expect("cell");
             cells.push(f2(stats.avg_ms));
         }
         table.row(cells);

@@ -33,11 +33,7 @@ fn main() {
 
     let isz = generated_sizes(&image);
     let ssz = generated_sizes(&sensor);
-    table.row(vec![
-        "PSEs".into(),
-        isz.pses.to_string(),
-        ssz.pses.to_string(),
-    ]);
+    table.row(vec!["PSEs".into(), isz.pses.to_string(), ssz.pses.to_string()]);
     table.row(vec![
         "redirect classes total (B)".into(),
         isz.redirect_classes_bytes.to_string(),
@@ -64,22 +60,14 @@ fn main() {
     let switch_us = time_us(5000, || image.plan().install(&image_active));
     let sensor_active: Vec<usize> = sensor.plan().active();
     let sensor_switch_us = time_us(5000, || sensor.plan().install(&sensor_active));
-    table.row(vec![
-        "plan switch (us)".into(),
-        f2(switch_us),
-        f2(sensor_switch_us),
-    ]);
+    table.row(vec!["plan switch (us)".into(), f2(switch_us), f2(sensor_switch_us)]);
 
     // Plan re-selection: the min-cut over the Unit Graph.
     let iw = image.static_weights();
     let sw = sensor.static_weights();
     let image_cut_us = time_us(2000, || select_active_set(image.analysis(), &iw).expect("cut"));
     let sensor_cut_us = time_us(2000, || select_active_set(sensor.analysis(), &sw).expect("cut"));
-    table.row(vec![
-        "min-cut reselection (us)".into(),
-        f2(image_cut_us),
-        f2(sensor_cut_us),
-    ]);
+    table.row(vec!["min-cut reselection (us)".into(), f2(image_cut_us), f2(sensor_cut_us)]);
 
     table.note(
         "paper: 5 and 21 PSEs; redirect argument classes 500-800 B each; \

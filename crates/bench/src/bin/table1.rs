@@ -30,14 +30,11 @@ fn main() {
         let roots = std::slice::from_ref(value);
         let size = serialized_size(&fx.heap, roots).expect("size");
         let ser_us = time_us(iters, || marshal_values(&fx.heap, roots).expect("marshal"));
-        let refl_us = time_us(iters, || {
-            reflective_size(&fx.heap, &fx.classes, roots).expect("reflective")
-        });
+        let refl_us =
+            time_us(iters, || reflective_size(&fx.heap, &fx.classes, roots).expect("reflective"));
         let calc_us = time_us(iters, || calculated_size(&fx.heap, roots).expect("calc"));
         let self_us = if has_sizer {
-            f2(time_us(iters, || {
-                sizers.size_of(&fx.heap, &fx.classes, value).expect("sizeOf")
-            }))
+            f2(time_us(iters, || sizers.size_of(&fx.heap, &fx.classes, value).expect("sizeOf")))
         } else {
             "n/a".to_string()
         };

@@ -18,8 +18,8 @@ fn main() {
     for version in ImageVersion::ALL {
         let mut cells = vec![version.label().to_string()];
         for scenario in ImageScenario::ALL {
-            let stats = run_image_experiment(version, scenario, frames, seed)
-                .expect("image experiment");
+            let stats =
+                run_image_experiment(version, scenario, frames, seed).expect("image experiment");
             cells.push(f2(stats.fps));
         }
         table.row(cells);

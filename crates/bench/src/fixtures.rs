@@ -87,11 +87,7 @@ impl Table1Fixtures {
         let comp = heap.alloc_object(&classes, app_comp);
         let comp_decl = classes.decl(app_comp);
         heap.set_field(comp, comp_decl.field("s1").expect("s1"), Value::str("aa"))?;
-        heap.set_field(
-            comp,
-            comp_decl.field("s2").expect("s2"),
-            Value::str("This is a string!"),
-        )?;
+        heap.set_field(comp, comp_decl.field("s2").expect("s2"), Value::str("This is a string!"))?;
         heap.set_field(comp, comp_decl.field("ab1").expect("ab1"), Value::Ref(inner_base))?;
         heap.set_field(comp, comp_decl.field("ab2").expect("ab2"), Value::Null)?;
         heap.set_field(comp, comp_decl.field("ia").expect("ia"), Value::Ref(ia))?;
@@ -143,12 +139,8 @@ impl Table1Fixtures {
             };
             let s1 = get_str_len("s1")?;
             let s2 = get_str_len("s2")?;
-            let ia = heap
-                .field(obj, decl.field("ia").expect("ia"))?
-                .as_ref("ia")?;
-            let fa = heap
-                .field(obj, decl.field("fa").expect("fa"))?
-                .as_ref("fa")?;
+            let ia = heap.field(obj, decl.field("ia").expect("ia"))?.as_ref("ia")?;
+            let fa = heap.field(obj, decl.field("fa").expect("fa"))?.as_ref("fa")?;
             // Inner AppBase sized via its own method, as AppComp.sizeOf
             // calls JECho.getSize(ab1) in the paper.
             let inner = OBJECT_HEADER_SIZE + 24 + STRING_HEADER_SIZE + 3;
@@ -204,10 +196,7 @@ mod tests {
             let fast = sizers.size_of(&fx.heap, &fx.classes, value).unwrap();
             let generic = calculated_size(&fx.heap, std::slice::from_ref(value)).unwrap();
             let ratio = fast as f64 / generic as f64;
-            assert!(
-                (0.5..2.0).contains(&ratio),
-                "{label}: fast {fast} vs generic {generic}"
-            );
+            assert!((0.5..2.0).contains(&ratio), "{label}: fast {fast} vs generic {generic}");
         }
     }
 }

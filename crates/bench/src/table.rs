@@ -44,11 +44,7 @@ impl Table {
                 widths[i] = widths[i].max(c.len());
             }
         }
-        let sep: String = widths
-            .iter()
-            .map(|w| "-".repeat(w + 2))
-            .collect::<Vec<_>>()
-            .join("+");
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
         let fmt_row = |cells: &[String]| -> String {
             cells
                 .iter()

@@ -120,14 +120,11 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
 }
 
 fn next(it: &mut std::slice::Iter<'_, String>, what: &str) -> Result<String, CliError> {
-    it.next()
-        .cloned()
-        .ok_or_else(|| CliError::Usage(format!("missing <{what}>\n{USAGE}")))
+    it.next().cloned().ok_or_else(|| CliError::Usage(format!("missing <{what}>\n{USAGE}")))
 }
 
 fn load(path: &str) -> Result<Arc<Program>, CliError> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let source = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     Ok(Arc::new(parse_program(&source)?))
 }
 
@@ -284,17 +281,12 @@ fn cmd_split(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     let args: Vec<Value> = rest
         .iter()
         .enumerate()
-        .filter(|(i, a)| {
-            *a != "--pse" && !(*i > 0 && rest[*i - 1] == "--pse")
-        })
+        .filter(|(i, a)| *a != "--pse" && !(*i > 0 && rest[*i - 1] == "--pse"))
         .map(|(_, a)| parse_value(a))
         .collect();
 
-    let handler = PartitionedHandler::analyze(
-        Arc::clone(&program),
-        func,
-        Arc::new(DataSizeModel::new()),
-    )?;
+    let handler =
+        PartitionedHandler::analyze(Arc::clone(&program), func, Arc::new(DataSizeModel::new()))?;
     let analysis = handler.analysis();
     if pse_idx >= analysis.pses().len() {
         return Err(CliError::Usage(format!(
@@ -324,11 +316,8 @@ fn cmd_split(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     let _ = writeln!(out, "continuation wire size: {} bytes", run.message.wire_size());
     let _ = writeln!(out, "modulator work: {}", run.mod_work);
     let _ = writeln!(out, "demodulator work: {}", out_run.demod_work);
-    let _ = writeln!(
-        out,
-        "return: {}",
-        out_run.ret.map(|v| v.to_string()).unwrap_or("(void)".into())
-    );
+    let _ =
+        writeln!(out, "return: {}", out_run.ret.map(|v| v.to_string()).unwrap_or("(void)".into()));
     Ok(out)
 }
 
@@ -467,14 +456,8 @@ mod tests {
         let out = execute(&args(&["analyze", file.as_str(), "handle"])).unwrap();
         assert!(out.contains("potential split edges"), "{out}");
         assert!(out.contains("PSE 0"), "{out}");
-        let out2 = execute(&args(&[
-            "analyze",
-            file.as_str(),
-            "handle",
-            "--model",
-            "exec-time",
-        ]))
-        .unwrap();
+        let out2 =
+            execute(&args(&["analyze", file.as_str(), "handle", "--model", "exec-time"])).unwrap();
         assert!(out2.contains("exec-time"));
     }
 
@@ -496,8 +479,7 @@ mod tests {
             "#,
         );
         let plain = execute(&args(&["analyze", file.as_str(), "handle"])).unwrap();
-        let inlined =
-            execute(&args(&["analyze", file.as_str(), "handle", "--inline"])).unwrap();
+        let inlined = execute(&args(&["analyze", file.as_str(), "handle", "--inline"])).unwrap();
         let count = |s: &str| s.matches("PSE ").count();
         assert!(
             count(&inlined) > count(&plain),
@@ -516,16 +498,8 @@ mod tests {
     #[test]
     fn split_runs_partitioned() {
         let file = demo_file();
-        let out = execute(&args(&[
-            "split",
-            file.as_str(),
-            "handle",
-            "--pse",
-            "0",
-            "9",
-            "2",
-        ]))
-        .unwrap();
+        let out =
+            execute(&args(&["split", file.as_str(), "handle", "--pse", "0", "9", "2"])).unwrap();
         assert!(out.contains("return: -1") || out.contains("return: 18"), "{out}");
         assert!(out.contains("continuation wire size"), "{out}");
     }
@@ -534,10 +508,7 @@ mod tests {
     fn bad_usage_is_reported() {
         assert!(matches!(execute(&args(&[])), Err(CliError::Usage(_))));
         assert!(matches!(execute(&args(&["bogus"])), Err(CliError::Usage(_))));
-        assert!(matches!(
-            execute(&args(&["run", "/nonexistent.jmpl", "f"])),
-            Err(CliError::Io(_))
-        ));
+        assert!(matches!(execute(&args(&["run", "/nonexistent.jmpl", "f"])), Err(CliError::Io(_))));
         let file = demo_file();
         assert!(matches!(
             execute(&args(&["split", file.as_str(), "handle", "--pse", "999"])),

@@ -95,18 +95,11 @@ pub fn demodulator_text(handler: &PartitionedHandler) -> String {
     let _ = writeln!(out, "    // dispatch on continuation.pse_id:");
     for (pse_id, pse) in handler.analysis().pses().iter().enumerate() {
         let to = pse.edge.to;
-        let _ = writeln!(
-            out,
-            "    //   {pse_id} -> restore {{{}}}; jump L{to}",
-            inter_list(func, pse)
-        );
+        let _ =
+            writeln!(out, "    //   {pse_id} -> restore {{{}}}; jump L{to}", inter_list(func, pse));
     }
     for (pc, instr) in func.instrs.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "L{pc}: {}",
-            mpart_ir::pretty::instr_to_string(program, func, instr)
-        );
+        let _ = writeln!(out, "L{pc}: {}", mpart_ir::pretty::instr_to_string(program, func, instr));
     }
     out.push_str("}\n");
     out
@@ -139,9 +132,7 @@ pub fn generated_sizes(handler: &PartitionedHandler) -> GeneratedSizes {
     let base = handler
         .program()
         .function(handler.func_name())
-        .map(|f| {
-            mpart_ir::pretty::function_to_string(handler.program(), f).len()
-        })
+        .map(|f| mpart_ir::pretty::function_to_string(handler.program(), f).len())
         .unwrap_or(0);
     let instrumentation = (modulator.len() + demodulator.len()).saturating_sub(2 * base);
     GeneratedSizes {
@@ -166,11 +157,7 @@ fn params(func: &mpart_ir::Function) -> String {
 }
 
 fn inter_list(func: &mpart_ir::Function, pse: &mpart_analysis::PseInfo) -> String {
-    pse.inter
-        .iter()
-        .map(|v| func.var_name(*v).to_string())
-        .collect::<Vec<_>>()
-        .join(", ")
+    pse.inter.iter().map(|v| func.var_name(*v).to_string()).collect::<Vec<_>>().join(", ")
 }
 
 #[cfg(test)]

@@ -31,6 +31,11 @@ pub struct ContinuationMessage {
     /// piggy-backed on the continuation, as the paper's instrumentation
     /// does).
     pub mod_work: u64,
+    /// The plan generation this message was modulated under (see
+    /// [`PartitionPlan::epoch`](crate::plan::PartitionPlan::epoch)). The
+    /// demodulator rejects messages older than its retained plan history
+    /// with [`IrError::StalePlan`].
+    pub epoch: u64,
 }
 
 impl ContinuationMessage {
@@ -46,10 +51,11 @@ impl ContinuationMessage {
         env: &[Value],
         heap: &Heap,
         mod_work: u64,
+        epoch: u64,
     ) -> Result<Self, IrError> {
         let roots: Vec<Value> = pse.inter.iter().map(|v| env[v.index()].clone()).collect();
         let payload = marshal_values(heap, &roots)?;
-        Ok(ContinuationMessage { pse: pse_id, payload, mod_work })
+        Ok(ContinuationMessage { pse: pse_id, payload, mod_work, epoch })
     }
 
     /// Unpacks the live variables into the demodulator's heap, returning a
@@ -136,9 +142,10 @@ mod tests {
         let d = f.var_by_name("d").unwrap();
         env[d.index()] = Value::Ref(arr);
 
-        let msg = ContinuationMessage::pack(pse_id, pse, &env, &sender_heap, 7).unwrap();
+        let msg = ContinuationMessage::pack(pse_id, pse, &env, &sender_heap, 7, 3).unwrap();
         assert_eq!(msg.pse, pse_id);
         assert_eq!(msg.mod_work, 7);
+        assert_eq!(msg.epoch, 3);
         assert!(msg.wire_size() > CONTINUATION_HEADER_BYTES);
 
         let mut recv_heap = Heap::new();
@@ -154,16 +161,12 @@ mod tests {
     fn unpack_arity_mismatch_rejected() {
         let (program, ha) = setup();
         let f = program.function("f").unwrap();
-        let (pse_id, pse) = ha
-            .pses()
-            .iter()
-            .enumerate()
-            .find(|(_, p)| !p.inter.is_empty())
-            .unwrap();
+        let (pse_id, pse) =
+            ha.pses().iter().enumerate().find(|(_, p)| !p.inter.is_empty()).unwrap();
         // Craft a payload with the wrong number of roots.
         let heap = Heap::new();
         let bogus = marshal_values(&heap, &[]).unwrap();
-        let msg = ContinuationMessage { pse: pse_id, payload: bogus, mod_work: 0 };
+        let msg = ContinuationMessage { pse: pse_id, payload: bogus, mod_work: 0, epoch: 0 };
         let mut recv_heap = Heap::new();
         let err = msg.unpack(pse, f.locals, &mut recv_heap, &program.classes).unwrap_err();
         assert!(matches!(err, IrError::Continuation(_)), "{err}");

@@ -55,9 +55,23 @@ impl Demodulator {
     ///
     /// # Errors
     ///
-    /// Returns [`IrError::Continuation`] for an unknown PSE id or a
-    /// malformed payload, plus any runtime error from the handler suffix.
-    pub fn handle(&self, ctx: &mut ExecCtx, msg: &ContinuationMessage) -> Result<DemodRun, IrError> {
+    /// Returns [`IrError::StalePlan`] if the message was modulated under a
+    /// plan generation the handler no longer retains,
+    /// [`IrError::Continuation`] for an unknown PSE id or a malformed
+    /// payload, plus any runtime error from the handler suffix.
+    pub fn handle(
+        &self,
+        ctx: &mut ExecCtx,
+        msg: &ContinuationMessage,
+    ) -> Result<DemodRun, IrError> {
+        // Epoch admission: resuming is driven entirely by the static
+        // analysis, so any *retained* generation demodulates correctly;
+        // only messages older than the retained history are refused (their
+        // split decisions can no longer be audited against a known plan).
+        let oldest = self.handler.oldest_admissible_epoch();
+        if msg.epoch < oldest {
+            return Err(IrError::StalePlan { epoch: msg.epoch, oldest });
+        }
         let analysis = self.handler.analysis();
         let pse = analysis.pses().get(msg.pse).ok_or_else(|| {
             IrError::Continuation(format!(
@@ -79,8 +93,7 @@ impl Demodulator {
             profile_work: &mut profile_work,
         };
         let interp = Interp::new(self.handler.program());
-        let outcome =
-            interp.resume_with_observer(ctx, func, pse.edge.to, env, &mut observer)?;
+        let outcome = interp.resume_with_observer(ctx, func, pse.edge.to, env, &mut observer)?;
         match outcome {
             Outcome::Finished(ret) => Ok(DemodRun {
                 ret,
@@ -116,12 +129,10 @@ impl EdgeObserver for DemodObserver<'_> {
         if let Some(pse_id) = self.handler.pse_of_edge(from, to) {
             if self.handler.plan().is_profiled(pse_id) {
                 let pse = &self.handler.analysis().pses()[pse_id];
-                let roots: Vec<Value> =
-                    pse.inter.iter().map(|v| vars[v.index()].clone()).collect();
+                let roots: Vec<Value> = pse.inter.iter().map(|v| vars[v.index()].clone()).collect();
                 let classes = &self.handler.program().classes;
                 let bytes = self.handler.model().measure_payload(heap, classes, &roots);
-                *self.profile_work +=
-                    self.handler.model().profiling_work(heap, classes, &roots);
+                *self.profile_work += self.handler.model().profiling_work(heap, classes, &roots);
                 self.samples.push(PseSample {
                     pse: pse_id,
                     mod_work: self.mod_work + (work - self.work_base),
@@ -199,6 +210,58 @@ mod tests {
         let (ret, trace) = pipeline(None);
         assert_eq!(ret, Some(Value::Int(16)));
         assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn superseded_but_retained_epoch_still_demodulates() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h = PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "handle",
+            Arc::new(DataSizeModel::new()),
+        )
+        .unwrap();
+        let m = h.modulator();
+        let d = h.demodulator();
+        let mut sender = ExecCtx::new(&program);
+        let run = m.handle(&mut sender, vec![Value::Int(5)]).unwrap();
+        // The plan moves on while the message is in flight; the message's
+        // generation is still retained, so it demodulates fine.
+        let all: Vec<usize> = (0..h.analysis().pses().len()).collect();
+        h.install_plan(&all);
+        assert!(h.plan().epoch() > run.message.epoch);
+        let mut builtins = BuiltinRegistry::new();
+        builtins.register_native("deliver", 1, |_, _| Ok(Value::Null));
+        let mut receiver = ExecCtx::with_builtins(&program, builtins);
+        let out = d.handle(&mut receiver, &run.message).unwrap();
+        assert_eq!(out.ret, Some(Value::Int(16)));
+    }
+
+    #[test]
+    fn stale_epoch_rejected_once_history_evicts() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h = PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "handle",
+            Arc::new(DataSizeModel::new()),
+        )
+        .unwrap();
+        h.set_plan_retention(2);
+        let m = h.modulator();
+        let d = h.demodulator();
+        let mut sender = ExecCtx::new(&program);
+        let run = m.handle(&mut sender, vec![Value::Int(5)]).unwrap();
+        // Burn through generations until the message's epoch is evicted.
+        let all: Vec<usize> = (0..h.analysis().pses().len()).collect();
+        for _ in 0..4 {
+            h.install_plan(&all);
+        }
+        let oldest = h.oldest_admissible_epoch();
+        assert!(oldest > run.message.epoch);
+        let mut receiver = ExecCtx::new(&program);
+        let err = d.handle(&mut receiver, &run.message).unwrap_err();
+        assert_eq!(err, IrError::StalePlan { epoch: run.message.epoch, oldest });
+        assert!(receiver.trace.is_empty(), "nothing executed for a stale message");
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Link health tracking and graceful degradation.
+//!
+//! When the link to the receiver is down — or the transport's error
+//! budget is exhausted — an optimized partition plan is worse than
+//! useless: the modulator keeps spending sender CPU preparing
+//! continuations that cannot be delivered, and profiling feedback that
+//! would correct the plan cannot arrive either. The degradation ladder is:
+//!
+//! 1. **Healthy** — the optimized plan (whatever the Reconfiguration Unit
+//!    last selected) is active.
+//! 2. **Degraded** — after `failure_budget` consecutive delivery failures,
+//!    the modulator falls back to the *trivial plan*: the entry cut, which
+//!    ships the raw event and runs the entire handler at the receiver
+//!    (local execution). The entry cut is always a valid cut, needs no
+//!    profiling data, and keeps sender-side work minimal while the link
+//!    flaps.
+//! 3. **Re-promotion** — after `recovery_streak` consecutive successful
+//!    deliveries, the stashed optimized plan is reinstalled and the
+//!    Reconfiguration Unit resumes tuning from there.
+//!
+//! Both thresholds give the transitions hysteresis: a single lost message
+//! does not thrash the plan, and a single lucky delivery during an outage
+//! does not re-promote prematurely.
+
+use std::sync::Arc;
+
+use crate::partitioned::PartitionedHandler;
+use crate::PseId;
+
+/// Health of the delivery path, with hysteresis on both transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Deliveries are succeeding; the optimized plan is trusted.
+    Healthy,
+    /// The failure budget is exhausted; operate on the trivial plan.
+    Degraded,
+}
+
+/// Consecutive-outcome counter driving the [`HealthState`] transitions.
+#[derive(Debug, Clone)]
+pub struct LinkHealth {
+    state: HealthState,
+    failure_budget: u32,
+    recovery_streak: u32,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+}
+
+impl LinkHealth {
+    /// Degrade after `failure_budget` consecutive failures; recover after
+    /// `recovery_streak` consecutive successes (both clamped to ≥ 1).
+    pub fn new(failure_budget: u32, recovery_streak: u32) -> Self {
+        LinkHealth {
+            state: HealthState::Healthy,
+            failure_budget: failure_budget.max(1),
+            recovery_streak: recovery_streak.max(1),
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether the path is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.state == HealthState::Degraded
+    }
+
+    /// Records a delivery failure; returns `true` on the Healthy →
+    /// Degraded transition.
+    pub fn record_failure(&mut self) -> bool {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.state == HealthState::Healthy && self.consecutive_failures >= self.failure_budget {
+            self.state = HealthState::Degraded;
+            return true;
+        }
+        false
+    }
+
+    /// Records a delivery success; returns `true` on the Degraded →
+    /// Healthy transition.
+    pub fn record_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+        if self.state == HealthState::Degraded && self.consecutive_successes >= self.recovery_streak
+        {
+            self.state = HealthState::Healthy;
+            return true;
+        }
+        false
+    }
+}
+
+/// Ties [`LinkHealth`] to a handler's plan: installs the entry cut on
+/// degradation and re-promotes the stashed optimized plan on recovery.
+#[derive(Debug)]
+pub struct DegradationController {
+    handler: Arc<PartitionedHandler>,
+    health: LinkHealth,
+    /// The optimized active set stashed when degradation struck.
+    stashed: Option<Vec<PseId>>,
+    degradations: u64,
+    promotions: u64,
+}
+
+impl DegradationController {
+    /// Wraps `handler` with the given hysteresis thresholds.
+    pub fn new(
+        handler: Arc<PartitionedHandler>,
+        failure_budget: u32,
+        recovery_streak: u32,
+    ) -> Self {
+        DegradationController {
+            handler,
+            health: LinkHealth::new(failure_budget, recovery_streak),
+            stashed: None,
+            degradations: 0,
+            promotions: 0,
+        }
+    }
+
+    /// The health tracker.
+    pub fn health(&self) -> &LinkHealth {
+        &self.health
+    }
+
+    /// Whether the trivial plan is currently forced.
+    pub fn is_degraded(&self) -> bool {
+        self.health.is_degraded()
+    }
+
+    /// Healthy → Degraded transitions so far.
+    pub fn degradations(&self) -> u64 {
+        self.degradations
+    }
+
+    /// Degraded → Healthy transitions so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Records a delivery failure. On the transition into Degraded the
+    /// current active set is stashed and the entry cut installed; returns
+    /// the new plan epoch in that case.
+    pub fn record_failure(&mut self) -> Option<u64> {
+        if !self.health.record_failure() {
+            return None;
+        }
+        let Some(entry) = self.handler.entry_pse() else {
+            // No synthetic entry edge: there is no trivial plan to fall
+            // back to, so keep whatever is installed.
+            return None;
+        };
+        self.stashed = Some(self.handler.plan().active());
+        self.degradations += 1;
+        Some(self.handler.install_plan(&[entry]))
+    }
+
+    /// Records a delivery success. On the transition back to Healthy the
+    /// stashed optimized plan is reinstalled; returns the new plan epoch
+    /// in that case.
+    pub fn record_success(&mut self) -> Option<u64> {
+        if !self.health.record_success() {
+            return None;
+        }
+        let stashed = self.stashed.take()?;
+        self.promotions += 1;
+        Some(self.handler.install_plan(&stashed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+
+    const SRC: &str = r#"
+        class Blob { size: int, data: ref }
+        fn absorb(event) {
+            ok = event instanceof Blob
+            if ok == 0 goto skip
+            b = (Blob) event
+            d = b.data
+            native keep(d)
+            return 1
+        skip:
+            return 0
+        }
+    "#;
+
+    fn handler() -> Arc<PartitionedHandler> {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        PartitionedHandler::analyze(program, "absorb", Arc::new(DataSizeModel::new())).unwrap()
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_outcomes() {
+        let mut h = LinkHealth::new(3, 2);
+        assert_eq!(h.state(), HealthState::Healthy);
+        // Failures interleaved with successes never accumulate.
+        for _ in 0..10 {
+            assert!(!h.record_failure());
+            assert!(!h.record_failure());
+            assert!(!h.record_success());
+        }
+        assert_eq!(h.state(), HealthState::Healthy);
+        // Three in a row degrade (exactly once).
+        assert!(!h.record_failure());
+        assert!(!h.record_failure());
+        assert!(h.record_failure());
+        assert!(!h.record_failure(), "already degraded");
+        // One success is not enough; two are.
+        assert!(!h.record_success());
+        assert!(h.record_success());
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn degradation_installs_entry_cut_and_promotion_restores() {
+        let h = handler();
+        let entry = h.entry_pse().unwrap();
+        // Force a distinctive optimized plan (all PSEs active).
+        let optimized: Vec<usize> = (0..h.analysis().pses().len()).collect();
+        h.install_plan(&optimized);
+        let mut ctl = DegradationController::new(Arc::clone(&h), 2, 2);
+
+        assert!(ctl.record_failure().is_none(), "budget not exhausted yet");
+        let epoch = ctl.record_failure().expect("second failure degrades");
+        assert!(ctl.is_degraded());
+        assert_eq!(ctl.degradations(), 1);
+        assert_eq!(h.plan().active(), vec![entry], "trivial plan installed");
+        assert_eq!(h.plan().epoch(), epoch);
+        h.plan().validate_cut(h.analysis()).unwrap();
+
+        assert!(ctl.record_success().is_none());
+        let epoch = ctl.record_success().expect("streak re-promotes");
+        assert!(!ctl.is_degraded());
+        assert_eq!(ctl.promotions(), 1);
+        assert_eq!(h.plan().active(), optimized, "optimized plan restored");
+        assert_eq!(h.plan().epoch(), epoch);
+    }
+
+    #[test]
+    fn repeated_outages_cycle_cleanly() {
+        let h = handler();
+        let mut ctl = DegradationController::new(Arc::clone(&h), 1, 1);
+        for round in 1..=3 {
+            assert!(ctl.record_failure().is_some(), "round {round} degrades");
+            assert!(ctl.record_failure().is_none(), "idempotent while down");
+            assert!(ctl.record_success().is_some(), "round {round} promotes");
+            assert!(ctl.record_success().is_none(), "idempotent while up");
+        }
+        assert_eq!(ctl.degradations(), 3);
+        assert_eq!(ctl.promotions(), 3);
+        h.plan().validate_cut(h.analysis()).unwrap();
+    }
+}

@@ -23,6 +23,9 @@
 //!   with a max-flow/min-cut over the Unit Graph.
 //! * [`codegen`] — renders the instrumented modulator/demodulator "classes"
 //!   as text and accounts their size overhead (§5.3).
+//! * [`health`] — link health with hysteresis and the degradation ladder:
+//!   fall back to the trivial entry cut while the link is down, re-promote
+//!   the optimized plan once it recovers.
 //! * [`partitioned`] — [`partitioned::PartitionedHandler`],
 //!   the deployment-time facade tying everything together.
 //!
@@ -68,6 +71,7 @@
 pub mod codegen;
 pub mod continuation;
 pub mod demodulator;
+pub mod health;
 pub mod modulator;
 pub mod partitioned;
 pub mod plan;

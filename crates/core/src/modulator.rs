@@ -81,6 +81,11 @@ impl Modulator {
         // taken path and run into a stop node).
         let n_pses = self.handler.analysis().pses().len();
         let plan = self.handler.plan();
+        // The epoch is read before the flags: an install racing with this
+        // snapshot can at worst stamp the message one generation behind
+        // the flags actually used, which the receiver's retained plan
+        // history absorbs.
+        let epoch = plan.epoch();
         let split: Vec<bool> = (0..n_pses).map(|p| plan.is_split(p)).collect();
         let profiled: Vec<bool> = (0..n_pses).map(|p| plan.is_profiled(p)).collect();
 
@@ -88,14 +93,10 @@ impl Modulator {
         if let Some(entry) = self.handler.entry_pse() {
             if profiled[entry] {
                 let pse = &self.handler.analysis().pses()[entry];
-                let roots: Vec<Value> =
-                    pse.inter.iter().map(|v| args[v.index()].clone()).collect();
+                let roots: Vec<Value> = pse.inter.iter().map(|v| args[v.index()].clone()).collect();
                 let classes = &self.handler.program().classes;
                 let bytes = self.handler.model().measure_payload(&ctx.heap, classes, &roots);
-                profile_work += self
-                    .handler
-                    .model()
-                    .profiling_work(&ctx.heap, classes, &roots);
+                profile_work += self.handler.model().profiling_work(&ctx.heap, classes, &roots);
                 samples.push(PseSample {
                     pse: entry,
                     mod_work: 0,
@@ -109,7 +110,7 @@ impl Modulator {
                     env[i] = a;
                 }
                 let pse = &self.handler.analysis().pses()[entry];
-                let message = ContinuationMessage::pack(entry, pse, &env, &ctx.heap, 0)?;
+                let message = ContinuationMessage::pack(entry, pse, &env, &ctx.heap, 0, epoch)?;
                 let mod_work = ctx.work - work_start;
                 return Ok(ModRun { message, samples, mod_work, profile_work });
             }
@@ -155,7 +156,7 @@ impl Modulator {
                 let pse = &self.handler.analysis().pses()[pse_id];
                 let mod_work = ctx.work - work_start;
                 let message =
-                    ContinuationMessage::pack(pse_id, pse, &sp.env, &ctx.heap, mod_work)?;
+                    ContinuationMessage::pack(pse_id, pse, &sp.env, &ctx.heap, mod_work, epoch)?;
                 Ok(ModRun { message, samples, mod_work, profile_work })
             }
             Outcome::Finished(_) => Err(IrError::Continuation(format!(
@@ -168,12 +169,7 @@ impl Modulator {
 
 /// The PSE ids active in a snapshot, for diagnostics.
 fn active_of(split: &[bool]) -> Vec<PseId> {
-    split
-        .iter()
-        .enumerate()
-        .filter(|(_, on)| **on)
-        .map(|(i, _)| i)
-        .collect()
+    split.iter().enumerate().filter(|(_, on)| **on).map(|(i, _)| i).collect()
 }
 
 struct ModObserver<'a> {
@@ -200,12 +196,10 @@ impl EdgeObserver for ModObserver<'_> {
             let split = self.split[pse_id];
             if self.profiled[pse_id] {
                 let pse = &self.handler.analysis().pses()[pse_id];
-                let roots: Vec<Value> =
-                    pse.inter.iter().map(|v| vars[v.index()].clone()).collect();
+                let roots: Vec<Value> = pse.inter.iter().map(|v| vars[v.index()].clone()).collect();
                 let classes = &self.handler.program().classes;
                 let bytes = self.handler.model().measure_payload(heap, classes, &roots);
-                *self.profile_work +=
-                    self.handler.model().profiling_work(heap, classes, &roots);
+                *self.profile_work += self.handler.model().profiling_work(heap, classes, &roots);
                 self.samples.push(PseSample {
                     pse: pse_id,
                     mod_work: work - self.work_base,
@@ -294,12 +288,18 @@ mod tests {
         install_late_plan(&h);
         let m = h.modulator();
         let mut ctx = ExecCtx::new(&program);
-        let image = ctx.heap.alloc_object(
-            &program.classes,
-            program.classes.id("ImageData").unwrap(),
-        );
+        let image =
+            ctx.heap.alloc_object(&program.classes, program.classes.id("ImageData").unwrap());
         ctx.heap
-            .set_field(image, program.classes.decl(program.classes.id("ImageData").unwrap()).field("width").unwrap(), Value::Int(320))
+            .set_field(
+                image,
+                program
+                    .classes
+                    .decl(program.classes.id("ImageData").unwrap())
+                    .field("width")
+                    .unwrap(),
+                Value::Int(320),
+            )
             .unwrap();
         let run = m.handle(&mut ctx, vec![Value::Ref(image)]).unwrap();
         assert!(run.mod_work > 0);

@@ -1,8 +1,8 @@
 //! The deployment-time facade: analyze a handler once, then hand out the
 //! modulator (to ship to senders) and demodulator (kept by the receiver).
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 use mpart_analysis::paths::EnumLimits;
 use mpart_analysis::{analyze, EdgeCostEstimator, HandlerAnalysis, StaticCost};
@@ -14,6 +14,41 @@ use crate::modulator::Modulator;
 use crate::plan::PartitionPlan;
 use crate::reconfig::select_active_set;
 use crate::PseId;
+
+/// How many plan generations a handler retains by default for in-flight
+/// continuations (see [`PartitionedHandler::install_plan`]).
+pub const DEFAULT_PLAN_RETENTION: usize = 8;
+
+/// The last-K installed plan generations, kept so the demodulator can
+/// admit in-flight continuations stamped with a superseded epoch. Only
+/// once a generation is actually evicted does its epoch become stale.
+#[derive(Debug)]
+struct PlanHistory {
+    retention: usize,
+    /// `(epoch, active set)` pairs, oldest first.
+    generations: VecDeque<(u64, Vec<PseId>)>,
+    /// Epochs below this have been evicted and are no longer admissible.
+    oldest_admissible: u64,
+}
+
+impl PlanHistory {
+    fn new(retention: usize) -> Self {
+        PlanHistory {
+            retention: retention.max(1),
+            generations: VecDeque::new(),
+            oldest_admissible: 0,
+        }
+    }
+
+    fn record(&mut self, epoch: u64, active: Vec<PseId>) {
+        self.generations.push_back((epoch, active));
+        while self.generations.len() > self.retention {
+            if let Some((evicted, _)) = self.generations.pop_front() {
+                self.oldest_admissible = self.oldest_admissible.max(evicted + 1);
+            }
+        }
+    }
+}
 
 /// A handler analyzed for Method Partitioning under one cost model.
 ///
@@ -28,6 +63,7 @@ pub struct PartitionedHandler {
     model: Arc<dyn CostModel>,
     plan: PartitionPlan,
     edge_to_pse: HashMap<(usize, usize), PseId>,
+    history: Mutex<PlanHistory>,
 }
 
 impl std::fmt::Debug for PartitionedHandler {
@@ -86,13 +122,62 @@ impl PartitionedHandler {
             model,
             plan,
             edge_to_pse,
+            history: Mutex::new(PlanHistory::new(DEFAULT_PLAN_RETENTION)),
         };
         // Deployment-time initial plan from static costs alone.
         let weights = handler.static_weights();
         let initial = select_active_set(&handler.analysis, &weights)?;
-        handler.plan.install(&initial);
+        handler.install_plan(&initial);
         handler.plan.validate_cut(&handler.analysis)?;
         Ok(Arc::new(handler))
+    }
+
+    /// Installs a new active set and records the generation in the plan
+    /// history, so in-flight continuations stamped with recent epochs keep
+    /// demodulating. Returns the new epoch.
+    ///
+    /// Prefer this over `plan().install(..)` wherever the handler is
+    /// reachable: direct flag installs still bump the epoch but leave no
+    /// history entry, so the stale-plan horizon cannot advance past them.
+    pub fn install_plan(&self, active: &[PseId]) -> u64 {
+        let epoch = self.plan.install(active);
+        self.history.lock().expect("plan history poisoned").record(epoch, active.to_vec());
+        epoch
+    }
+
+    /// Replaces how many plan generations are retained for in-flight
+    /// messages (default [`DEFAULT_PLAN_RETENTION`]; minimum 1).
+    pub fn set_plan_retention(&self, retention: usize) {
+        let mut history = self.history.lock().expect("plan history poisoned");
+        history.retention = retention.max(1);
+        let epoch = self.plan.epoch();
+        // Re-apply the bound immediately (record with the current epoch is
+        // not needed; just evict the surplus).
+        while history.generations.len() > history.retention {
+            if let Some((evicted, _)) = history.generations.pop_front() {
+                history.oldest_admissible = history.oldest_admissible.max(evicted + 1);
+            }
+        }
+        debug_assert!(history.oldest_admissible <= epoch + 1);
+    }
+
+    /// The oldest plan epoch the demodulator still admits. Messages
+    /// stamped below this are rejected with
+    /// [`IrError::StalePlan`](mpart_ir::IrError::StalePlan).
+    pub fn oldest_admissible_epoch(&self) -> u64 {
+        self.history.lock().expect("plan history poisoned").oldest_admissible
+    }
+
+    /// The active set recorded for `epoch`, if that generation is still
+    /// retained.
+    pub fn plan_of_epoch(&self, epoch: u64) -> Option<Vec<PseId>> {
+        self.history
+            .lock()
+            .expect("plan history poisoned")
+            .generations
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, active)| active.clone())
     }
 
     /// Per-PSE weights derived from static costs (deterministic parts of
@@ -131,9 +216,7 @@ impl PartitionedHandler {
 
     /// The handler function.
     pub fn func(&self) -> &mpart_ir::Function {
-        self.program
-            .function(&self.func_name)
-            .expect("validated at construction")
+        self.program.function(&self.func_name).expect("validated at construction")
     }
 
     /// Static analysis results.
@@ -158,10 +241,7 @@ impl PartitionedHandler {
 
     /// The PSE lying on the synthetic entry edge, if any.
     pub fn entry_pse(&self) -> Option<PseId> {
-        self.analysis
-            .pses()
-            .iter()
-            .position(|p| p.edge.is_entry())
+        self.analysis.pses().iter().position(|p| p.edge.is_entry())
     }
 }
 
@@ -188,8 +268,8 @@ mod tests {
     #[test]
     fn analyze_installs_valid_initial_plan() {
         let program = Arc::new(parse_program(SRC).unwrap());
-        let h = PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new()))
-            .unwrap();
+        let h =
+            PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new())).unwrap();
         h.plan().validate_cut(h.analysis()).unwrap();
         assert!(!h.plan().active().is_empty());
     }
@@ -197,8 +277,8 @@ mod tests {
     #[test]
     fn edge_lookup_round_trips() {
         let program = Arc::new(parse_program(SRC).unwrap());
-        let h = PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new()))
-            .unwrap();
+        let h =
+            PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new())).unwrap();
         for (i, pse) in h.analysis().pses().iter().enumerate() {
             assert_eq!(h.pse_of_edge(pse.edge.from, pse.edge.to), Some(i));
         }
@@ -207,10 +287,37 @@ mod tests {
     }
 
     #[test]
+    fn plan_history_retains_last_k_generations() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h =
+            PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new())).unwrap();
+        h.set_plan_retention(3);
+        // The deployment-time install is generation 1 and initially admissible.
+        assert_eq!(h.oldest_admissible_epoch(), 0);
+        assert!(h.plan_of_epoch(1).is_some());
+
+        let all: Vec<usize> = (0..h.analysis().pses().len()).collect();
+        let e2 = h.install_plan(&all);
+        let e3 = h.install_plan(&[all[0]]);
+        assert_eq!((e2, e3), (2, 3));
+        assert_eq!(h.plan_of_epoch(3), Some(vec![all[0]]));
+
+        // A fourth generation evicts the first.
+        h.install_plan(&all);
+        assert_eq!(h.oldest_admissible_epoch(), 2);
+        assert!(h.plan_of_epoch(1).is_none());
+        assert!(h.plan_of_epoch(2).is_some());
+
+        // Shrinking the retention evicts immediately.
+        h.set_plan_retention(1);
+        assert_eq!(h.oldest_admissible_epoch(), 4);
+    }
+
+    #[test]
     fn exec_time_model_also_analyzes() {
         let program = Arc::new(parse_program(SRC).unwrap());
-        let h = PartitionedHandler::analyze(program, "push", Arc::new(ExecTimeModel::new()))
-            .unwrap();
+        let h =
+            PartitionedHandler::analyze(program, "push", Arc::new(ExecTimeModel::new())).unwrap();
         h.plan().validate_cut(h.analysis()).unwrap();
     }
 
@@ -218,8 +325,7 @@ mod tests {
     fn unknown_function_errors() {
         let program = Arc::new(parse_program(SRC).unwrap());
         assert!(
-            PartitionedHandler::analyze(program, "nope", Arc::new(DataSizeModel::new()))
-                .is_err()
+            PartitionedHandler::analyze(program, "nope", Arc::new(DataSizeModel::new())).is_err()
         );
     }
 }

@@ -7,7 +7,7 @@
 //! Reconfiguration Unit can swap plans while messages are in flight —
 //! adaptation really is just flag writes.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mpart_analysis::HandlerAnalysis;
@@ -31,6 +31,11 @@ use crate::PseId;
 pub struct PartitionPlan {
     split: Arc<[AtomicBool]>,
     profile: Arc<[AtomicBool]>,
+    /// Monotone plan generation. Bumped by every [`install`](Self::install);
+    /// messages are stamped with the epoch they were modulated under so the
+    /// receiver can tell in-flight continuations of superseded plans apart
+    /// from current traffic.
+    epoch: Arc<AtomicU64>,
 }
 
 impl PartitionPlan {
@@ -40,7 +45,13 @@ impl PartitionPlan {
         PartitionPlan {
             split: (0..n_pses).map(|_| AtomicBool::new(false)).collect(),
             profile: (0..n_pses).map(|_| AtomicBool::new(true)).collect(),
+            epoch: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The current plan generation. Starts at 0; each install bumps it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Number of PSEs covered.
@@ -83,7 +94,14 @@ impl PartitionPlan {
     /// messages always find a valid split point. (Clearing first would
     /// expose an empty-plan window that lets execution reach a stop node
     /// on the sender.)
-    pub fn install(&self, active: &[PseId]) {
+    ///
+    /// Returns the new plan epoch. The epoch is bumped *before* the flags
+    /// change, so a message that snapshots epoch-then-flags can observe a
+    /// newer flag set than its stamp, but never flags older than it — and
+    /// since flag updates keep the superset invariant, either view is a
+    /// valid cut.
+    pub fn install(&self, active: &[PseId]) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         for &p in active {
             self.set_split(p, true);
         }
@@ -92,6 +110,7 @@ impl PartitionPlan {
                 self.set_split(i, false);
             }
         }
+        epoch
     }
 
     /// The currently-active PSE ids, ascending.
@@ -112,11 +131,8 @@ impl PartitionPlan {
     ///
     /// Returns [`IrError::Continuation`] naming the first uncovered path.
     pub fn validate_cut(&self, analysis: &HandlerAnalysis) -> Result<(), IrError> {
-        let active_edges: Vec<mpart_analysis::Edge> = self
-            .active()
-            .into_iter()
-            .map(|p| analysis.pses()[p].edge)
-            .collect();
+        let active_edges: Vec<mpart_analysis::Edge> =
+            self.active().into_iter().map(|p| analysis.pses()[p].edge).collect();
         for (i, path) in analysis.paths.paths.iter().enumerate() {
             let edges = mpart_analysis::convex::path_edges(analysis.ug.start(), path);
             if !edges.iter().any(|e| active_edges.contains(e)) {
@@ -156,6 +172,18 @@ mod tests {
         assert_eq!(plan.active(), vec![0, 2]);
         plan.install(&[3]);
         assert_eq!(plan.active(), vec![3]);
+    }
+
+    #[test]
+    fn installs_bump_the_epoch() {
+        let plan = PartitionPlan::new(3);
+        assert_eq!(plan.epoch(), 0);
+        assert_eq!(plan.install(&[0]), 1);
+        assert_eq!(plan.install(&[1, 2]), 2);
+        assert_eq!(plan.epoch(), 2);
+        let clone = plan.clone();
+        plan.install(&[0]);
+        assert_eq!(clone.epoch(), 3, "clones share the epoch counter");
     }
 
     #[test]

@@ -111,12 +111,7 @@ pub struct PseStats {
 
 impl PseStats {
     fn new(alpha: f64) -> Self {
-        PseStats {
-            size: Ewma::new(alpha),
-            mod_work: Ewma::new(alpha),
-            traversals: 0,
-            splits: 0,
-        }
+        PseStats { size: Ewma::new(alpha), mod_work: Ewma::new(alpha), traversals: 0, splits: 0 }
     }
 }
 
@@ -232,8 +227,7 @@ impl ProfilingUnit {
         }
         if let Some(pos) = self.pending_mod.iter().position(|m| m.split == profile.pse) {
             let m = self.pending_mod.remove(pos);
-            self.total_work
-                .update((m.mod_work + profile.demod_work) as f64);
+            self.total_work.update((m.mod_work + profile.demod_work) as f64);
         } else {
             // Unpaired demod profile (e.g. entry split with zero mod work).
             self.total_work.update(profile.demod_work as f64);
@@ -328,11 +322,7 @@ mod tests {
             mod_work: 10,
             t_mod: Some(0.001),
         });
-        unit.record_demod(DemodMessageProfile {
-            pse: 1,
-            demod_work: 30,
-            t_demod: Some(0.003),
-        });
+        unit.record_demod(DemodMessageProfile { pse: 1, demod_work: 30, t_demod: Some(0.003) });
         let snap = unit.snapshot();
         assert_eq!(snap.size[0], Some(800.0));
         assert_eq!(snap.size[1], Some(100.0));

@@ -16,7 +16,9 @@ use mpart_cost::RuntimeCostKind;
 use mpart_flow::{Dinic, INF};
 use mpart_ir::IrError;
 
-use crate::profile::{DemodMessageProfile, ModMessageProfile, ProfileSnapshot, ProfilingUnit, TriggerPolicy};
+use crate::profile::{
+    DemodMessageProfile, ModMessageProfile, ProfileSnapshot, ProfilingUnit, TriggerPolicy,
+};
 use crate::PseId;
 
 /// Where the Reconfiguration Unit runs (§2.5: "the location of the
@@ -60,21 +62,17 @@ pub fn select_active_set(
     let cap_of = |pse: PseId| -> u64 { weights.get(pse).copied().unwrap_or(0).min(INF / 1024) };
 
     let mut handles = Vec::new(); // (pse, handle, from-node)
-    // Entry edge.
+                                  // Entry edge.
     let entry_to = analysis.ug.start();
-    let entry_cap = match analysis
-        .pses()
-        .iter()
-        .position(|p| p.edge.from == ENTRY && p.edge.to == entry_to)
-    {
+    match analysis.pses().iter().position(|p| p.edge.from == ENTRY && p.edge.to == entry_to) {
         Some(pse) => {
             let h = dinic.add_edge(source, entry_to, cap_of(pse));
             handles.push((pse, h, source));
-            None
         }
-        None => Some(dinic.add_edge(source, entry_to, INF)),
-    };
-    let _ = entry_cap;
+        None => {
+            dinic.add_edge(source, entry_to, INF);
+        }
+    }
 
     // Real edges.
     for e in analysis.ug.edges() {
@@ -450,23 +448,27 @@ mod tests {
     fn reconfigures_when_sizes_flip() {
         let ha = analysis();
         let entry = ha.pses().iter().position(|p| p.edge.is_entry()).unwrap();
-        let main = ha
-            .pses()
-            .iter()
-            .position(|p| !p.edge.is_entry() && !p.inter.is_empty())
-            .unwrap();
-        let mut unit = ReconfigUnit::new(
-            Arc::clone(&ha),
-            RuntimeCostKind::DataSize,
-            TriggerPolicy::Rate(1),
-        );
+        let main =
+            ha.pses().iter().position(|p| !p.edge.is_entry() && !p.inter.is_empty()).unwrap();
+        let mut unit =
+            ReconfigUnit::new(Arc::clone(&ha), RuntimeCostKind::DataSize, TriggerPolicy::Rate(1));
 
         // Phase 1: big raw event, small processed result -> split late.
         for _ in 0..5 {
             unit.record_mod(ModMessageProfile {
                 samples: vec![
-                    PseSample { pse: entry, mod_work: 0, payload_bytes: Some(40_000), was_split: false },
-                    PseSample { pse: main, mod_work: 50, payload_bytes: Some(10_000), was_split: true },
+                    PseSample {
+                        pse: entry,
+                        mod_work: 0,
+                        payload_bytes: Some(40_000),
+                        was_split: false,
+                    },
+                    PseSample {
+                        pse: main,
+                        mod_work: 50,
+                        payload_bytes: Some(10_000),
+                        was_split: true,
+                    },
                 ],
                 split: main,
                 mod_work: 50,
@@ -481,8 +483,18 @@ mod tests {
         for _ in 0..20 {
             unit.record_mod(ModMessageProfile {
                 samples: vec![
-                    PseSample { pse: entry, mod_work: 0, payload_bytes: Some(6_400), was_split: false },
-                    PseSample { pse: main, mod_work: 50, payload_bytes: Some(25_600), was_split: true },
+                    PseSample {
+                        pse: entry,
+                        mod_work: 0,
+                        payload_bytes: Some(6_400),
+                        was_split: false,
+                    },
+                    PseSample {
+                        pse: main,
+                        mod_work: 50,
+                        payload_bytes: Some(25_600),
+                        was_split: true,
+                    },
                 ],
                 split: main,
                 mod_work: 50,
@@ -497,16 +509,10 @@ mod tests {
     #[test]
     fn diff_trigger_suppresses_stable_feedback() {
         let ha = analysis();
-        let main = ha
-            .pses()
-            .iter()
-            .position(|p| !p.edge.is_entry() && !p.inter.is_empty())
-            .unwrap();
-        let mut unit = ReconfigUnit::new(
-            Arc::clone(&ha),
-            RuntimeCostKind::DataSize,
-            TriggerPolicy::Diff(0.5),
-        );
+        let main =
+            ha.pses().iter().position(|p| !p.edge.is_entry() && !p.inter.is_empty()).unwrap();
+        let mut unit =
+            ReconfigUnit::new(Arc::clone(&ha), RuntimeCostKind::DataSize, TriggerPolicy::Diff(0.5));
         let feed = |unit: &mut ReconfigUnit, bytes: u64| {
             unit.record_mod(ModMessageProfile {
                 samples: vec![PseSample {
@@ -541,22 +547,13 @@ mod tests {
         // weights pick the late split.
         let ha = analysis();
         let entry = ha.pses().iter().position(|p| p.edge.is_entry()).unwrap();
-        let main = ha
-            .pses()
-            .iter()
-            .position(|p| !p.edge.is_entry() && !p.inter.is_empty())
-            .unwrap();
-        let mut unit = ReconfigUnit::new(
-            Arc::clone(&ha),
-            RuntimeCostKind::DataSize,
-            TriggerPolicy::Rate(1),
-        )
-        .with_frequency_weighting(true);
-        let mut plain = ReconfigUnit::new(
-            Arc::clone(&ha),
-            RuntimeCostKind::DataSize,
-            TriggerPolicy::Rate(1),
-        );
+        let main =
+            ha.pses().iter().position(|p| !p.edge.is_entry() && !p.inter.is_empty()).unwrap();
+        let mut unit =
+            ReconfigUnit::new(Arc::clone(&ha), RuntimeCostKind::DataSize, TriggerPolicy::Rate(1))
+                .with_frequency_weighting(true);
+        let mut plain =
+            ReconfigUnit::new(Arc::clone(&ha), RuntimeCostKind::DataSize, TriggerPolicy::Rate(1));
         for i in 0..40 {
             let passes = i % 10 == 0;
             let mut samples = vec![PseSample {

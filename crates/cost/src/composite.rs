@@ -191,12 +191,7 @@ mod tests {
         let arr = heap.alloc_array(mpart_ir::types::ElemType::Byte, 100);
         let ds: Arc<dyn CostModel> = Arc::new(DataSizeModel::new());
         let base = ds.measure_payload(&heap, &program.classes, &[Value::Ref(arr)]);
-        let m = CompositeModel::new(
-            Arc::clone(&ds),
-            0.5,
-            Arc::new(DataSizeModel::new()),
-            0.5,
-        );
+        let m = CompositeModel::new(Arc::clone(&ds), 0.5, Arc::new(DataSizeModel::new()), 0.5);
         let blended = m.measure_payload(&heap, &program.classes, &[Value::Ref(arr)]);
         assert_eq!(blended, base, "0.5+0.5 of the same model is the model");
     }

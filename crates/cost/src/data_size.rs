@@ -54,10 +54,7 @@ impl DataSizeModel {
     pub fn runtime_size(&self, heap: &Heap, classes: &ClassTable, values: &[Value]) -> u64 {
         let mut total = 0u64;
         for v in values {
-            total += self
-                .sizers
-                .size_of(heap, classes, v)
-                .unwrap_or(0) as u64;
+            total += self.sizers.size_of(heap, classes, v).unwrap_or(0) as u64;
         }
         total
     }
@@ -194,11 +191,7 @@ mod tests {
         let program = parse_program(PUSH).unwrap();
         let model = DataSizeModel::new();
         let ha = analyze(&program, "push", &model, Default::default()).unwrap();
-        let skip = ha
-            .pses()
-            .iter()
-            .find(|p| p.edge == Edge::new(1, 6))
-            .expect("skip-path PSE");
+        let skip = ha.pses().iter().find(|p| p.edge == Edge::new(1, 6)).expect("skip-path PSE");
         assert_eq!(skip.static_cost, StaticCost::Known(0));
         assert!(skip.inter.is_empty());
     }

@@ -76,10 +76,7 @@ impl EdgeCostEstimator for ExecTimeModel {
             // cost of the remaining suffix is fully known — zero-ish.
             return StaticCost::Known(suffix.min(prefix));
         }
-        StaticCost::LowerBounded {
-            det: prefix.max(suffix),
-            vars: cx.aliases.canon_set(inter),
-        }
+        StaticCost::LowerBounded { det: prefix.max(suffix), vars: cx.aliases.canon_set(inter) }
     }
 }
 

@@ -63,12 +63,7 @@ pub struct EdgeHandle(usize);
 impl Dinic {
     /// Creates a flow network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Dinic {
-            edges: Vec::new(),
-            adj: vec![Vec::new(); n],
-            level: vec![0; n],
-            iter: vec![0; n],
-        }
+        Dinic { edges: Vec::new(), adj: vec![Vec::new(); n], level: vec![0; n], iter: vec![0; n] }
     }
 
     /// Number of nodes.
@@ -310,13 +305,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_diamond() {
-        let edges = [
-            (0usize, 1usize, 4u64),
-            (0, 2, 3),
-            (1, 3, 2),
-            (2, 3, 5),
-            (1, 2, 1),
-        ];
+        let edges = [(0usize, 1usize, 4u64), (0, 2, 3), (1, 3, 2), (2, 3, 5), (1, 2, 1)];
         let mut d = Dinic::new(4);
         for &(f, t, c) in &edges {
             d.add_edge(f, t, c);

@@ -105,13 +105,7 @@ impl FunctionBuilder {
     }
 
     /// Emits `if lhs op rhs goto label`.
-    pub fn branch_if(
-        &mut self,
-        lhs: Operand,
-        op: BinOp,
-        rhs: Operand,
-        label: &str,
-    ) -> &mut Self {
+    pub fn branch_if(&mut self, lhs: Operand, op: BinOp, rhs: Operand, label: &str) -> &mut Self {
         self.fixups.push((self.instrs.len(), label.to_string()));
         self.instrs.push(Instr::If { cond: CondExpr { lhs, op, rhs }, target: usize::MAX });
         self

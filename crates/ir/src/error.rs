@@ -28,6 +28,10 @@ pub enum IrError {
     /// A continuation message was malformed or addressed an unknown
     /// split point.
     Continuation(String),
+    /// A continuation message was modulated under a plan generation the
+    /// receiver no longer retains. Carries the message's epoch and the
+    /// oldest epoch still admissible.
+    StalePlan { epoch: u64, oldest: u64 },
     /// Marshalling failed (cycle limits, unknown class, truncated buffer...).
     Marshal(String),
     /// A program-level validation failure (duplicate function, bad jump
@@ -52,6 +56,9 @@ impl fmt::Display for IrError {
                 write!(f, "execution exceeded step limit of {limit}")
             }
             IrError::Continuation(msg) => write!(f, "continuation error: {msg}"),
+            IrError::StalePlan { epoch, oldest } => {
+                write!(f, "stale plan epoch {epoch} (oldest retained is {oldest})")
+            }
             IrError::Marshal(msg) => write!(f, "marshal error: {msg}"),
             IrError::Invalid(msg) => write!(f, "invalid program: {msg}"),
         }

@@ -113,18 +113,12 @@ impl Function {
 
     /// Debug name for a variable slot.
     pub fn var_name(&self, v: Var) -> &str {
-        self.var_names
-            .get(v.index())
-            .map(String::as_str)
-            .unwrap_or("?")
+        self.var_names.get(v.index()).map(String::as_str).unwrap_or("?")
     }
 
     /// Resolves a variable by its debug name.
     pub fn var_by_name(&self, name: &str) -> Option<Var> {
-        self.var_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| Var(i as u32))
+        self.var_names.iter().position(|n| n == name).map(|i| Var(i as u32))
     }
 }
 
@@ -174,7 +168,11 @@ impl Program {
     /// # Errors
     ///
     /// Returns [`IrError::Invalid`] on duplicate names.
-    pub fn add_global(&mut self, name: impl Into<String>, init: Value) -> Result<GlobalId, IrError> {
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        init: Value,
+    ) -> Result<GlobalId, IrError> {
         let name = name.into();
         if self.global_by_name.contains_key(&name) {
             return Err(IrError::Invalid(format!("duplicate global `{name}`")));
@@ -196,8 +194,7 @@ impl Program {
     ///
     /// Returns [`IrError::Unresolved`].
     pub fn function_or_err(&self, name: &str) -> Result<&Function, IrError> {
-        self.function(name)
-            .ok_or_else(|| IrError::Unresolved(format!("function `{name}`")))
+        self.function(name).ok_or_else(|| IrError::Unresolved(format!("function `{name}`")))
     }
 
     /// Iterates over all functions.
@@ -230,21 +227,15 @@ impl fmt::Display for Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instr::{CondExpr, Operand, Place, Rvalue};
     use crate::instr::BinOp;
+    use crate::instr::{CondExpr, Operand, Place, Rvalue};
 
     fn ret() -> Instr {
         Instr::Return { value: None }
     }
 
     fn trivial(name: &str) -> Function {
-        Function {
-            name: name.into(),
-            params: 0,
-            locals: 0,
-            instrs: vec![ret()],
-            var_names: vec![],
-        }
+        Function { name: name.into(), params: 0, locals: 0, instrs: vec![ret()], var_names: vec![] }
     }
 
     #[test]
@@ -265,13 +256,8 @@ mod tests {
 
     #[test]
     fn empty_function_rejected() {
-        let f = Function {
-            name: "e".into(),
-            params: 0,
-            locals: 0,
-            instrs: vec![],
-            var_names: vec![],
-        };
+        let f =
+            Function { name: "e".into(), params: 0, locals: 0, instrs: vec![], var_names: vec![] };
         assert!(f.validate().is_err());
     }
 
@@ -294,10 +280,7 @@ mod tests {
             params: 0,
             locals: 1,
             instrs: vec![
-                Instr::Assign {
-                    place: Place::Var(Var(4)),
-                    rvalue: Rvalue::Use(Operand::int(0)),
-                },
+                Instr::Assign { place: Place::Var(Var(4)), rvalue: Rvalue::Use(Operand::int(0)) },
                 ret(),
             ],
             var_names: vec!["a".into()],

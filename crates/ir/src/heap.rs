@@ -291,9 +291,7 @@ impl fmt::Display for Heap {
                 HeapCell::Object { class, fields } => {
                     writeln!(f, "  @{i}: {class} {{{} fields}}", fields.len())?
                 }
-                HeapCell::Array(a) => {
-                    writeln!(f, "  @{i}: {}[{}]", a.elem_type(), a.len())?
-                }
+                HeapCell::Array(a) => writeln!(f, "  @{i}: {}[{}]", a.elem_type(), a.len())?,
             }
         }
         Ok(())
@@ -364,10 +362,7 @@ mod tests {
         let r = h.alloc_array(ElemType::Int, 2);
         assert!(matches!(h.array_get(r, 2), Err(IrError::Bounds { .. })));
         assert!(matches!(h.array_get(r, -1), Err(IrError::Bounds { .. })));
-        assert!(matches!(
-            h.array_set(r, 9, Value::Int(0)),
-            Err(IrError::Bounds { .. })
-        ));
+        assert!(matches!(h.array_set(r, 9, Value::Int(0)), Err(IrError::Bounds { .. })));
     }
 
     #[test]
@@ -383,10 +378,7 @@ mod tests {
     #[test]
     fn dangling_ref_detected() {
         let h = Heap::new();
-        assert!(matches!(
-            h.cell(ObjRef(5)),
-            Err(IrError::DanglingRef(_))
-        ));
+        assert!(matches!(h.cell(ObjRef(5)), Err(IrError::DanglingRef(_))));
     }
 
     #[test]

@@ -197,9 +197,7 @@ fn expand(
                         Instr::Return { value } => {
                             let rv = match value {
                                 Some(op) => Rvalue::Use(remap_operand(op, base)),
-                                None => Rvalue::Use(Operand::Const(
-                                    crate::instr::Const::Null,
-                                )),
+                                None => Rvalue::Use(Operand::Const(crate::instr::Const::Null)),
                             };
                             instrs.push(Instr::Assign { place: place.clone(), rvalue: rv });
                             body_return_fixups.push(instrs.len());
@@ -291,9 +289,9 @@ fn expand(
     // An inlined return at the very end of the function produces a goto
     // targeting one-past-the-end; anchor it on a trailing Nop.
     let end = instrs.len();
-    let needs_anchor = instrs.iter().any(|i| {
-        matches!(i, Instr::Goto { target } | Instr::If { target, .. } if *target == end)
-    });
+    let needs_anchor = instrs
+        .iter()
+        .any(|i| matches!(i, Instr::Goto { target } | Instr::If { target, .. } if *target == end));
     if needs_anchor {
         instrs.push(Instr::Nop);
     }
@@ -345,19 +343,14 @@ mod tests {
 
     fn run_both(input: i64) -> (Option<Value>, Option<Value>) {
         let program = parse_program(SRC).unwrap();
-        let expanded =
-            inlined_program(&program, "handler", InlineOptions::default()).unwrap();
+        let expanded = inlined_program(&program, "handler", InlineOptions::default()).unwrap();
         let mut natives = crate::interp::BuiltinRegistry::new();
         natives.register_native("out", 1, |_, _| Ok(Value::Null));
 
         let mut ctx1 = ExecCtx::with_builtins(&program, natives.clone());
-        let r1 = Interp::new(&program)
-            .run(&mut ctx1, "handler", vec![Value::Int(input)])
-            .unwrap();
+        let r1 = Interp::new(&program).run(&mut ctx1, "handler", vec![Value::Int(input)]).unwrap();
         let mut ctx2 = ExecCtx::with_builtins(&expanded, natives);
-        let r2 = Interp::new(&expanded)
-            .run(&mut ctx2, "handler", vec![Value::Int(input)])
-            .unwrap();
+        let r2 = Interp::new(&expanded).run(&mut ctx2, "handler", vec![Value::Int(input)]).unwrap();
         assert_eq!(ctx1.globals, ctx2.globals, "global effects agree");
         assert_eq!(ctx1.trace.len(), ctx2.trace.len());
         (r1, r2)
@@ -375,8 +368,7 @@ mod tests {
     fn expansion_grows_the_body() {
         let program = parse_program(SRC).unwrap();
         let original = program.function("handler").unwrap();
-        let expanded =
-            inline_function(&program, "handler", InlineOptions::default()).unwrap();
+        let expanded = inline_function(&program, "handler", InlineOptions::default()).unwrap();
         assert!(
             expanded.instrs.len() > original.instrs.len() + 6,
             "expanded {} vs original {}",
@@ -417,8 +409,7 @@ mod tests {
             }
         "#;
         let program = parse_program(src).unwrap();
-        let expanded =
-            inlined_program(&program, "handler", InlineOptions::default()).unwrap();
+        let expanded = inlined_program(&program, "handler", InlineOptions::default()).unwrap();
         // `fact` was inlined once into handler, but its recursive call to
         // itself stays opaque.
         let f = expanded.function("handler").unwrap();
@@ -434,9 +425,7 @@ mod tests {
         let mut natives = crate::interp::BuiltinRegistry::new();
         natives.register_native("out", 1, |_, _| Ok(Value::Null));
         let mut ctx = ExecCtx::with_builtins(&expanded, natives);
-        let r = Interp::new(&expanded)
-            .run(&mut ctx, "handler", vec![Value::Int(5)])
-            .unwrap();
+        let r = Interp::new(&expanded).run(&mut ctx, "handler", vec![Value::Int(5)]).unwrap();
         assert_eq!(r, Some(Value::Int(120)));
     }
 
@@ -446,10 +435,7 @@ mod tests {
         // Too tight for anything: every call site stays opaque.
         let off = InlineOptions { max_depth: 4, max_instrs: 4 };
         let unchanged = inline_function(&program, "handler", off).unwrap();
-        assert_eq!(
-            unchanged.instrs.len(),
-            program.function("handler").unwrap().instrs.len()
-        );
+        assert_eq!(unchanged.instrs.len(), program.function("handler").unwrap().instrs.len());
 
         // Partial budget: the small `helper` fits, the (internally
         // expanded) `wrap` does not — one call site inlines, one stays
@@ -466,9 +452,7 @@ mod tests {
         };
         assert_eq!(calls(&partial, "wrap"), 1, "wrap stayed opaque");
         assert_eq!(calls(&partial, "helper"), 0, "helper inlined");
-        assert!(
-            partial.instrs.len() > program.function("handler").unwrap().instrs.len()
-        );
+        assert!(partial.instrs.len() > program.function("handler").unwrap().instrs.len());
         // Semantics still hold under partial inlining.
         let mut natives = crate::interp::BuiltinRegistry::new();
         natives.register_native("out", 1, |_, _| Ok(Value::Null));
@@ -485,9 +469,8 @@ mod tests {
             }
         }
         let mut ctx = ExecCtx::with_builtins(&expanded_program, natives);
-        let r = Interp::new(&expanded_program)
-            .run(&mut ctx, "handler", vec![Value::Int(7)])
-            .unwrap();
+        let r =
+            Interp::new(&expanded_program).run(&mut ctx, "handler", vec![Value::Int(7)]).unwrap();
         assert_eq!(r, Some(Value::Int(40)));
     }
 
@@ -496,10 +479,7 @@ mod tests {
         let program = parse_program(SRC).unwrap();
         let off = InlineOptions { max_depth: 0, max_instrs: 4096 };
         let expanded = inline_function(&program, "handler", off).unwrap();
-        assert_eq!(
-            expanded.instrs.len(),
-            program.function("handler").unwrap().instrs.len()
-        );
+        assert_eq!(expanded.instrs.len(), program.function("handler").unwrap().instrs.len());
     }
 
     #[test]
@@ -518,8 +498,7 @@ mod tests {
             }
         "#;
         let program = parse_program(src).unwrap();
-        let expanded =
-            inlined_program(&program, "handler", InlineOptions::default()).unwrap();
+        let expanded = inlined_program(&program, "handler", InlineOptions::default()).unwrap();
         let f = expanded.function("handler").unwrap();
         f.validate().unwrap();
         // Both versions fall off the end identically.
@@ -556,11 +535,8 @@ mod tests {
         let mut natives = crate::interp::BuiltinRegistry::new();
         natives.register_native("ping", 1, |_, _| Ok(Value::Null));
         let mut ctx = ExecCtx::with_builtins(&expanded, natives);
-        let r = Interp::new(&expanded)
-            .run(&mut ctx, "handler", vec![Value::Int(4)])
-            .unwrap();
+        let r = Interp::new(&expanded).run(&mut ctx, "handler", vec![Value::Int(4)]).unwrap();
         assert_eq!(r, Some(Value::Int(4)));
         assert_eq!(ctx.globals[0], Value::Int(4));
     }
 }
-

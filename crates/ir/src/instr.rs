@@ -189,10 +189,7 @@ impl BinOp {
 
     /// Whether the operator yields a boolean.
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-        )
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
     }
 }
 
@@ -500,11 +497,7 @@ mod tests {
     #[test]
     fn if_uses_both_sides() {
         let i = Instr::If {
-            cond: CondExpr {
-                lhs: Operand::Var(Var(5)),
-                op: BinOp::Lt,
-                rhs: Operand::int(3),
-            },
+            cond: CondExpr { lhs: Operand::Var(Var(5)), op: BinOp::Lt, rhs: Operand::int(3) },
             target: 0,
         };
         assert_eq!(i.uses(), vec![Var(5)]);

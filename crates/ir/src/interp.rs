@@ -77,11 +77,7 @@ impl BuiltinRegistry {
     ) {
         Arc::make_mut(&mut self.map).insert(
             name.into(),
-            BuiltinEntry {
-                func: Arc::new(func),
-                cost: Arc::new(move |_, _| cost),
-                native: true,
-            },
+            BuiltinEntry { func: Arc::new(func), cost: Arc::new(move |_, _| cost), native: true },
         );
     }
 
@@ -95,11 +91,7 @@ impl BuiltinRegistry {
     ) {
         Arc::make_mut(&mut self.map).insert(
             name.into(),
-            BuiltinEntry {
-                func: Arc::new(func),
-                cost: Arc::new(cost),
-                native: true,
-            },
+            BuiltinEntry { func: Arc::new(func), cost: Arc::new(cost), native: true },
         );
     }
 
@@ -116,11 +108,7 @@ impl BuiltinRegistry {
     ) {
         Arc::make_mut(&mut self.map).insert(
             name.into(),
-            BuiltinEntry {
-                func: Arc::new(func),
-                cost: Arc::new(cost),
-                native: false,
-            },
+            BuiltinEntry { func: Arc::new(func), cost: Arc::new(cost), native: false },
         );
     }
 
@@ -162,14 +150,7 @@ pub struct CostTable {
 
 impl Default for CostTable {
     fn default() -> Self {
-        CostTable {
-            simple: 1,
-            branch: 1,
-            alloc: 4,
-            alloc_per_elem: 0,
-            mem: 1,
-            invoke: 2,
-        }
+        CostTable { simple: 1, branch: 1, alloc: 4, alloc_per_elem: 0, mem: 1, invoke: 2 }
     }
 }
 
@@ -431,10 +412,7 @@ impl<'p> Interp<'p> {
         depth: usize,
     ) -> Result<Outcome, IrError> {
         if depth > self.max_depth {
-            return Err(IrError::Type(format!(
-                "call depth exceeded at `{}`",
-                func.name
-            )));
+            return Err(IrError::Type(format!("call depth exceeded at `{}`", func.name)));
         }
         let mut pc = entry;
         loop {
@@ -487,11 +465,7 @@ impl<'p> Interp<'p> {
                 match obs.on_edge(pc, next, &env, &ctx.heap, ctx.work) {
                     EdgeAction::Continue => {}
                     EdgeAction::Suspend => {
-                        return Ok(Outcome::Suspended(SuspendPoint {
-                            from: pc,
-                            to: next,
-                            env,
-                        }))
+                        return Ok(Outcome::Suspended(SuspendPoint { from: pc, to: next, env }))
                     }
                 }
             }
@@ -563,10 +537,7 @@ impl<'p> Interp<'p> {
                     UnOp::Neg => match v {
                         Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
                         Value::Float(x) => Ok(Value::Float(-x)),
-                        other => Err(IrError::Type(format!(
-                            "cannot negate {}",
-                            other.kind_name()
-                        ))),
+                        other => Err(IrError::Type(format!("cannot negate {}", other.kind_name()))),
                     },
                     UnOp::Not => Ok(Value::Bool(!v.truthy())),
                 }
@@ -665,10 +636,7 @@ impl<'p> Interp<'p> {
                 } else {
                     String::new()
                 };
-                ctx.trace.push(TraceEvent {
-                    callee: callee.clone(),
-                    args_digest: digest,
-                });
+                ctx.trace.push(TraceEvent { callee: callee.clone(), args_digest: digest });
                 (entry.func)(&mut ctx.heap, &argv)
             }
             Rvalue::GlobalGet(g) => {
@@ -689,15 +657,9 @@ fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, IrError> {
     match op {
         BinOp::Add => match (&a, &b) {
             (Str(x), Str(y)) => Ok(Value::str(format!("{x}{y}"))),
-            _ if numeric(&a, &b) && any_float => {
-                Ok(Float(a.as_float("+")? + b.as_float("+")?))
-            }
+            _ if numeric(&a, &b) && any_float => Ok(Float(a.as_float("+")? + b.as_float("+")?)),
             _ if numeric(&a, &b) => Ok(Int(a.as_int("+")?.wrapping_add(b.as_int("+")?))),
-            _ => Err(IrError::Type(format!(
-                "cannot add {} and {}",
-                a.kind_name(),
-                b.kind_name()
-            ))),
+            _ => Err(IrError::Type(format!("cannot add {} and {}", a.kind_name(), b.kind_name()))),
         },
         BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
             if !numeric(&a, &b) {
@@ -829,19 +791,13 @@ mod tests {
                 return total
             }
         "#;
-        assert_eq!(
-            run_src(src, "sum_to", vec![Value::Int(10)]).unwrap(),
-            Some(Value::Int(55))
-        );
+        assert_eq!(run_src(src, "sum_to", vec![Value::Int(10)]).unwrap(), Some(Value::Int(55)));
     }
 
     #[test]
     fn float_promotion() {
         let src = "fn f(x) {\n  y = x * 2\n  return y\n}\n";
-        assert_eq!(
-            run_src(src, "f", vec![Value::Float(1.5)]).unwrap(),
-            Some(Value::Float(3.0))
-        );
+        assert_eq!(run_src(src, "f", vec![Value::Float(1.5)]).unwrap(), Some(Value::Float(3.0)));
     }
 
     #[test]
@@ -856,10 +812,7 @@ mod tests {
     #[test]
     fn divide_by_zero_is_error() {
         let src = "fn f(a) {\n  b = a / 0\n  return b\n}\n";
-        assert_eq!(
-            run_src(src, "f", vec![Value::Int(1)]),
-            Err(IrError::DivideByZero)
-        );
+        assert_eq!(run_src(src, "f", vec![Value::Int(1)]), Err(IrError::DivideByZero));
     }
 
     #[test]
@@ -900,10 +853,7 @@ mod tests {
                 return y
             }
         "#;
-        assert_eq!(
-            run_src(src, "twice", vec![Value::Int(3)]).unwrap(),
-            Some(Value::Int(12))
-        );
+        assert_eq!(run_src(src, "twice", vec![Value::Int(3)]).unwrap(), Some(Value::Int(12)));
     }
 
     #[test]
@@ -983,7 +933,9 @@ mod tests {
         let mut builtins = BuiltinRegistry::new();
         builtins.register_pure(
             "fill",
-            |heap, args| args[0].as_ref("a").map(|r| heap.array_len(r).unwrap_or(0) as u64).unwrap_or(0),
+            |heap, args| {
+                args[0].as_ref("a").map(|r| heap.array_len(r).unwrap_or(0) as u64).unwrap_or(0)
+            },
             |heap, args| {
                 let r = args[0].as_ref("a")?;
                 let n = heap.array_len(r)?;
@@ -1044,9 +996,7 @@ mod tests {
         // Suspend between instruction 1 (b = a + 1) and 2 (c = b * b).
         let mut ctx1 = ExecCtx::new(&p);
         let mut obs = SuspendAt { from: 1, to: 2 };
-        let out = interp
-            .run_with_observer(&mut ctx1, f, vec![Value::Int(5)], &mut obs)
-            .unwrap();
+        let out = interp.run_with_observer(&mut ctx1, f, vec![Value::Int(5)], &mut obs).unwrap();
         let sp = match out {
             Outcome::Suspended(sp) => sp,
             other => panic!("expected suspension, got {other:?}"),
@@ -1054,9 +1004,8 @@ mod tests {
 
         // Resume in a *fresh* context (no heap data needed here).
         let mut ctx2 = ExecCtx::new(&p);
-        let done = interp
-            .resume_with_observer(&mut ctx2, f, sp.to, sp.env, &mut NoObserver)
-            .unwrap();
+        let done =
+            interp.resume_with_observer(&mut ctx2, f, sp.to, sp.env, &mut NoObserver).unwrap();
         match done {
             Outcome::Finished(v) => assert_eq!(v, expected),
             other => panic!("expected finish, got {other:?}"),
@@ -1132,19 +1081,13 @@ mod tests {
     #[test]
     fn float_division_by_zero_is_error() {
         let src = "fn f(a) {\n  b = a / 0.0\n  return b\n}\n";
-        assert_eq!(
-            run_src(src, "f", vec![Value::Float(1.0)]),
-            Err(IrError::DivideByZero)
-        );
+        assert_eq!(run_src(src, "f", vec![Value::Float(1.0)]), Err(IrError::DivideByZero));
     }
 
     #[test]
     fn negative_array_length_is_error() {
         let src = "fn f(n) {\n  a = new byte[n]\n  return a\n}\n";
-        assert!(matches!(
-            run_src(src, "f", vec![Value::Int(-5)]),
-            Err(IrError::Type(_))
-        ));
+        assert!(matches!(run_src(src, "f", vec![Value::Int(-5)]), Err(IrError::Type(_))));
     }
 
     #[test]
@@ -1199,17 +1142,14 @@ mod tests {
         // Instruction index of `d = acc * 2` is 6; suspend on edge (6, 7).
         let mut obs = SuspendAt { from: 6, to: 7 };
         let mut ctx = ExecCtx::new(&p);
-        let out = interp
-            .run_with_observer(&mut ctx, f, vec![Value::Int(5)], &mut obs)
-            .unwrap();
+        let out = interp.run_with_observer(&mut ctx, f, vec![Value::Int(5)], &mut obs).unwrap();
         let sp = match out {
             Outcome::Suspended(sp) => sp,
             other => panic!("{other:?}"),
         };
         let mut ctx2 = ExecCtx::new(&p);
-        let fin = interp
-            .resume_with_observer(&mut ctx2, f, sp.to, sp.env, &mut NoObserver)
-            .unwrap();
+        let fin =
+            interp.resume_with_observer(&mut ctx2, f, sp.to, sp.env, &mut NoObserver).unwrap();
         assert_eq!(fin.finished().unwrap(), Some(Value::Int(21)));
     }
 

@@ -91,9 +91,9 @@ pub fn marshal_values(heap: &Heap, roots: &[Value]) -> Result<Marshalled, IrErro
     // Pass 1: assign table slots in BFS order.
     let mut queue: Vec<ObjRef> = Vec::new();
     let visit = |r: ObjRef,
-                     index: &mut HashMap<ObjRef, u32>,
-                     table: &mut Vec<ObjRef>,
-                     queue: &mut Vec<ObjRef>| {
+                 index: &mut HashMap<ObjRef, u32>,
+                 table: &mut Vec<ObjRef>,
+                 queue: &mut Vec<ObjRef>| {
         if let std::collections::hash_map::Entry::Vacant(e) = index.entry(r) {
             e.insert(table.len() as u32);
             table.push(r);
@@ -109,9 +109,7 @@ pub fn marshal_values(heap: &Heap, roots: &[Value]) -> Result<Marshalled, IrErro
     while qi < queue.len() {
         let r = queue[qi];
         qi += 1;
-        let cell = heap
-            .cell(r)
-            .map_err(|e| IrError::Marshal(e.to_string()))?;
+        let cell = heap.cell(r).map_err(|e| IrError::Marshal(e.to_string()))?;
         match cell {
             HeapCell::Object { fields, .. } => {
                 let refs: Vec<ObjRef> = fields
@@ -289,11 +287,7 @@ pub fn unmarshal_values(
                 if class_idx >= classes.len() {
                     return Err(IrError::Marshal(format!("unknown class id {class_idx}")));
                 }
-                let class = classes
-                    .iter()
-                    .nth(class_idx)
-                    .map(|(id, _)| id)
-                    .ok_or_else(short)?;
+                let class = classes.iter().nth(class_idx).map(|(id, _)| id).ok_or_else(short)?;
                 let nfields = try_u32(&mut buf).ok_or_else(short)? as usize;
                 if nfields > buf.remaining() {
                     return Err(short());
@@ -860,10 +854,7 @@ mod tests {
         let m = marshal_values(&heap, &[Value::Ref(a)]).unwrap();
         let cut = Marshalled::from_bytes(m.as_bytes()[..m.wire_size() - 3].to_vec());
         let mut heap2 = Heap::new();
-        assert!(matches!(
-            unmarshal_values(&mut heap2, &classes, &cut),
-            Err(IrError::Marshal(_))
-        ));
+        assert!(matches!(unmarshal_values(&mut heap2, &classes, &cut), Err(IrError::Marshal(_))));
     }
 
     #[test]
@@ -899,10 +890,7 @@ mod tests {
         assert_eq!(reg.size_of(&heap, &classes, &Value::Int(1)).unwrap(), 8);
         let arr = heap.alloc_array_from(ArrayData::Byte(vec![0; 8]));
         let generic = calculated_size(&heap, &[Value::Ref(arr)]).unwrap();
-        assert_eq!(
-            reg.size_of(&heap, &classes, &Value::Ref(arr)).unwrap(),
-            generic
-        );
+        assert_eq!(reg.size_of(&heap, &classes, &Value::Ref(arr)).unwrap(), generic);
     }
 
     #[test]
@@ -920,10 +908,7 @@ mod tests {
         };
         let v1 = mk(&mut h1);
         let v2 = mk(&mut h2);
-        assert_eq!(
-            deep_digest_many(&h1, &[v1]).unwrap(),
-            deep_digest_many(&h2, &[v2]).unwrap()
-        );
+        assert_eq!(deep_digest_many(&h1, &[v1]).unwrap(), deep_digest_many(&h2, &[v2]).unwrap());
     }
 
     #[test]

@@ -101,19 +101,17 @@ impl<'a> Lexer<'a> {
                                 break;
                             }
                             Some(b'\\') => {
-                                let esc = self.peek(1).ok_or_else(|| {
-                                    self.err("unterminated escape sequence")
-                                })?;
+                                let esc = self
+                                    .peek(1)
+                                    .ok_or_else(|| self.err("unterminated escape sequence"))?;
                                 bytes.push(match esc {
                                     b'n' => b'\n',
                                     b't' => b'\t',
                                     b'"' => b'"',
                                     b'\\' => b'\\',
                                     other => {
-                                        return Err(self.err(format!(
-                                            "unknown escape `\\{}`",
-                                            other as char
-                                        )))
+                                        return Err(self
+                                            .err(format!("unknown escape `\\{}`", other as char)))
                                     }
                                 });
                                 self.pos += 2;
@@ -226,11 +224,7 @@ struct Parser {
 
 impl Parser {
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|(_, l)| *l).unwrap_or(0)
     }
 
     fn err(&self, message: impl Into<String>) -> IrError {
@@ -499,13 +493,16 @@ fn parse_stmt(
     Ok(())
 }
 
-fn parse_place(p: &mut Parser, program: &Program, b: &mut FunctionBuilder) -> Result<Place, IrError> {
+fn parse_place(
+    p: &mut Parser,
+    program: &Program,
+    b: &mut FunctionBuilder,
+) -> Result<Place, IrError> {
     if p.eat_ident("global") {
         p.expect_punct("::")?;
         let gname = p.expect_ident()?;
-        let id = program
-            .global(&gname)
-            .ok_or_else(|| p.err(format!("unknown global `{gname}`")))?;
+        let id =
+            program.global(&gname).ok_or_else(|| p.err(format!("unknown global `{gname}`")))?;
         return Ok(Place::Global(id));
     }
     let base = p.expect_ident()?;
@@ -567,9 +564,7 @@ fn parse_cmp(p: &mut Parser) -> Result<BinOp, IrError> {
 
 fn parse_operand(p: &mut Parser, b: &mut FunctionBuilder) -> Result<Operand, IrError> {
     match p.peek() {
-        Some(Tok::Ident(s))
-            if s != "null" && s != "true" && s != "false" =>
-        {
+        Some(Tok::Ident(s)) if s != "null" && s != "true" && s != "false" => {
             let name = s.clone();
             p.pos += 1;
             Ok(Operand::Var(b.var(&name)))
@@ -622,10 +617,8 @@ fn parse_rvalue(
                 return Ok(Rvalue::NewArray(elem, n));
             }
         }
-        let class = program
-            .classes
-            .id(&name)
-            .ok_or_else(|| p.err(format!("unknown class `{name}`")))?;
+        let class =
+            program.classes.id(&name).ok_or_else(|| p.err(format!("unknown class `{name}`")))?;
         return Ok(Rvalue::New(class));
     }
     if p.eat_ident("call") {
@@ -643,19 +636,16 @@ fn parse_rvalue(
     if p.eat_ident("global") {
         p.expect_punct("::")?;
         let gname = p.expect_ident()?;
-        let id = program
-            .global(&gname)
-            .ok_or_else(|| p.err(format!("unknown global `{gname}`")))?;
+        let id =
+            program.global(&gname).ok_or_else(|| p.err(format!("unknown global `{gname}`")))?;
         return Ok(Rvalue::GlobalGet(id));
     }
     if p.eat_punct("(") {
         // `(Class) var` cast.
         let cname = p.expect_ident()?;
         p.expect_punct(")")?;
-        let class = program
-            .classes
-            .id(&cname)
-            .ok_or_else(|| p.err(format!("unknown class `{cname}`")))?;
+        let class =
+            program.classes.id(&cname).ok_or_else(|| p.err(format!("unknown class `{cname}`")))?;
         let vname = p.expect_ident()?;
         return Ok(Rvalue::Cast(class, b.var(&vname)));
     }
@@ -663,9 +653,7 @@ fn parse_rvalue(
         let a = parse_operand(p, b)?;
         return Ok(Rvalue::Unary(UnOp::Not, a));
     }
-    if matches!(p.peek(), Some(Tok::Punct("-")))
-        && matches!(p.peek2(), Some(Tok::Ident(_)))
-    {
+    if matches!(p.peek(), Some(Tok::Punct("-"))) && matches!(p.peek2(), Some(Tok::Ident(_))) {
         p.pos += 1;
         let a = parse_operand(p, b)?;
         return Ok(Rvalue::Unary(UnOp::Neg, a));
@@ -740,10 +728,10 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let f = prog.function("push").unwrap();
         assert_eq!(f.params, 1);
-        assert!(f.instrs.iter().any(|i| matches!(
-            i,
-            Instr::Assign { rvalue: Rvalue::InvokeNative { .. }, .. }
-        )));
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Assign { rvalue: Rvalue::InvokeNative { .. }, .. })));
         assert!(f.instrs.iter().any(|i| matches!(i, Instr::Return { .. })));
     }
 

@@ -14,11 +14,8 @@ use crate::instr::{Instr, Operand, Place, Rvalue, Var};
 pub fn program_to_string(p: &Program) -> String {
     let mut out = String::new();
     for (_, decl) in p.classes.iter() {
-        let fields: Vec<String> = decl
-            .fields
-            .iter()
-            .map(|f| format!("{}: {}", f.name, f.ty))
-            .collect();
+        let fields: Vec<String> =
+            decl.fields.iter().map(|f| format!("{}: {}", f.name, f.ty)).collect();
         let _ = writeln!(out, "class {} {{ {} }}", decl.name, fields.join(", "));
     }
     for g in p.globals() {
@@ -37,9 +34,7 @@ pub fn program_to_string(p: &Program) -> String {
 /// Renders one function in concrete syntax.
 pub fn function_to_string(p: &Program, f: &Function) -> String {
     let mut out = String::new();
-    let params: Vec<&str> = (0..f.params)
-        .map(|i| f.var_name(Var(i as u32)))
-        .collect();
+    let params: Vec<&str> = (0..f.params).map(|i| f.var_name(Var(i as u32))).collect();
     let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
 
     // Collect jump targets that need labels.

@@ -38,62 +38,80 @@ fn both_int(a: &Value, b: &Value) -> bool {
 
 fn arity(args: &[Value], n: usize, name: &str) -> Result<(), IrError> {
     if args.len() != n {
-        return Err(IrError::Type(format!(
-            "{name} expects {n} arguments, got {}",
-            args.len()
-        )));
+        return Err(IrError::Type(format!("{name} expects {n} arguments, got {}", args.len())));
     }
     Ok(())
 }
 
 fn register_math(registry: &mut BuiltinRegistry) {
-    registry.register_pure("abs", |_, _| 1, |_, args| {
-        arity(args, 1, "abs")?;
-        Ok(match &args[0] {
-            Value::Int(i) => Value::Int(i.wrapping_abs()),
-            other => Value::Float(num(other, "abs")?.abs()),
-        })
-    });
-    registry.register_pure("min", |_, _| 1, |_, args| {
-        arity(args, 2, "min")?;
-        if both_int(&args[0], &args[1]) {
-            Ok(Value::Int(args[0].as_int("min")?.min(args[1].as_int("min")?)))
-        } else {
-            Ok(Value::Float(num(&args[0], "min")?.min(num(&args[1], "min")?)))
-        }
-    });
-    registry.register_pure("max", |_, _| 1, |_, args| {
-        arity(args, 2, "max")?;
-        if both_int(&args[0], &args[1]) {
-            Ok(Value::Int(args[0].as_int("max")?.max(args[1].as_int("max")?)))
-        } else {
-            Ok(Value::Float(num(&args[0], "max")?.max(num(&args[1], "max")?)))
-        }
-    });
-    registry.register_pure("clamp", |_, _| 1, |_, args| {
-        arity(args, 3, "clamp")?;
-        let (x, lo, hi) = (
-            num(&args[0], "clamp")?,
-            num(&args[1], "clamp")?,
-            num(&args[2], "clamp")?,
-        );
-        if lo > hi {
-            return Err(IrError::Type("clamp: lo > hi".into()));
-        }
-        Ok(Value::Float(x.clamp(lo, hi)))
-    });
-    registry.register_pure("sqrt", |_, _| 4, |_, args| {
-        arity(args, 1, "sqrt")?;
-        let x = num(&args[0], "sqrt")?;
-        if x < 0.0 {
-            return Err(IrError::Type("sqrt of negative".into()));
-        }
-        Ok(Value::Float(x.sqrt()))
-    });
-    registry.register_pure("pow", |_, _| 4, |_, args| {
-        arity(args, 2, "pow")?;
-        Ok(Value::Float(num(&args[0], "pow")?.powf(num(&args[1], "pow")?)))
-    });
+    registry.register_pure(
+        "abs",
+        |_, _| 1,
+        |_, args| {
+            arity(args, 1, "abs")?;
+            Ok(match &args[0] {
+                Value::Int(i) => Value::Int(i.wrapping_abs()),
+                other => Value::Float(num(other, "abs")?.abs()),
+            })
+        },
+    );
+    registry.register_pure(
+        "min",
+        |_, _| 1,
+        |_, args| {
+            arity(args, 2, "min")?;
+            if both_int(&args[0], &args[1]) {
+                Ok(Value::Int(args[0].as_int("min")?.min(args[1].as_int("min")?)))
+            } else {
+                Ok(Value::Float(num(&args[0], "min")?.min(num(&args[1], "min")?)))
+            }
+        },
+    );
+    registry.register_pure(
+        "max",
+        |_, _| 1,
+        |_, args| {
+            arity(args, 2, "max")?;
+            if both_int(&args[0], &args[1]) {
+                Ok(Value::Int(args[0].as_int("max")?.max(args[1].as_int("max")?)))
+            } else {
+                Ok(Value::Float(num(&args[0], "max")?.max(num(&args[1], "max")?)))
+            }
+        },
+    );
+    registry.register_pure(
+        "clamp",
+        |_, _| 1,
+        |_, args| {
+            arity(args, 3, "clamp")?;
+            let (x, lo, hi) =
+                (num(&args[0], "clamp")?, num(&args[1], "clamp")?, num(&args[2], "clamp")?);
+            if lo > hi {
+                return Err(IrError::Type("clamp: lo > hi".into()));
+            }
+            Ok(Value::Float(x.clamp(lo, hi)))
+        },
+    );
+    registry.register_pure(
+        "sqrt",
+        |_, _| 4,
+        |_, args| {
+            arity(args, 1, "sqrt")?;
+            let x = num(&args[0], "sqrt")?;
+            if x < 0.0 {
+                return Err(IrError::Type("sqrt of negative".into()));
+            }
+            Ok(Value::Float(x.sqrt()))
+        },
+    );
+    registry.register_pure(
+        "pow",
+        |_, _| 4,
+        |_, args| {
+            arity(args, 2, "pow")?;
+            Ok(Value::Float(num(&args[0], "pow")?.powf(num(&args[1], "pow")?)))
+        },
+    );
 }
 
 fn array_of<'h>(heap: &'h Heap, v: &Value, what: &str) -> Result<&'h ArrayData, IrError> {
@@ -122,10 +140,14 @@ fn elem_cost(heap: &Heap, args: &[Value]) -> u64 {
 }
 
 fn register_arrays(registry: &mut BuiltinRegistry) {
-    registry.register_pure("arr_len", |_, _| 1, |heap, args| {
-        arity(args, 1, "arr_len")?;
-        Ok(Value::Int(array_of(heap, &args[0], "arr_len")?.len() as i64))
-    });
+    registry.register_pure(
+        "arr_len",
+        |_, _| 1,
+        |heap, args| {
+            arity(args, 1, "arr_len")?;
+            Ok(Value::Int(array_of(heap, &args[0], "arr_len")?.len() as i64))
+        },
+    );
     registry.register_pure("arr_sum", elem_cost, |heap, args| {
         arity(args, 1, "arr_sum")?;
         let xs = as_floats(array_of(heap, &args[0], "arr_sum")?);
@@ -207,9 +229,7 @@ fn register_arrays(registry: &mut BuiltinRegistry) {
     });
     registry.register_pure(
         "arr_concat",
-        |heap, args| {
-            elem_cost(heap, args) + elem_cost(heap, args.get(1..).unwrap_or(&[]))
-        },
+        |heap, args| elem_cost(heap, args) + elem_cost(heap, args.get(1..).unwrap_or(&[])),
         |heap, args| {
             arity(args, 2, "arr_concat")?;
             let a = array_of(heap, &args[0], "arr_concat")?.clone();
@@ -239,33 +259,44 @@ fn register_arrays(registry: &mut BuiltinRegistry) {
 }
 
 fn register_strings(registry: &mut BuiltinRegistry) {
-    registry.register_pure("str_len", |_, _| 1, |_, args| {
-        arity(args, 1, "str_len")?;
-        match &args[0] {
-            Value::Str(s) => Ok(Value::Int(s.len() as i64)),
-            other => Err(IrError::Type(format!(
-                "str_len: expected str, got {}",
-                other.kind_name()
-            ))),
-        }
-    });
-    registry.register_pure("str_concat", |_, _| 2, |_, args| {
-        arity(args, 2, "str_concat")?;
-        match (&args[0], &args[1]) {
-            (Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
-            _ => Err(IrError::Type("str_concat: expected two strings".into())),
-        }
-    });
-    registry.register_pure("str_upper", |_, _| 2, |_, args| {
-        arity(args, 1, "str_upper")?;
-        match &args[0] {
-            Value::Str(s) => Ok(Value::str(s.to_uppercase())),
-            other => Err(IrError::Type(format!(
-                "str_upper: expected str, got {}",
-                other.kind_name()
-            ))),
-        }
-    });
+    registry.register_pure(
+        "str_len",
+        |_, _| 1,
+        |_, args| {
+            arity(args, 1, "str_len")?;
+            match &args[0] {
+                Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+                other => {
+                    Err(IrError::Type(format!("str_len: expected str, got {}", other.kind_name())))
+                }
+            }
+        },
+    );
+    registry.register_pure(
+        "str_concat",
+        |_, _| 2,
+        |_, args| {
+            arity(args, 2, "str_concat")?;
+            match (&args[0], &args[1]) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
+                _ => Err(IrError::Type("str_concat: expected two strings".into())),
+            }
+        },
+    );
+    registry.register_pure(
+        "str_upper",
+        |_, _| 2,
+        |_, args| {
+            arity(args, 1, "str_upper")?;
+            match &args[0] {
+                Value::Str(s) => Ok(Value::str(s.to_uppercase())),
+                other => Err(IrError::Type(format!(
+                    "str_upper: expected str, got {}",
+                    other.kind_name()
+                ))),
+            }
+        },
+    );
 }
 
 #[cfg(test)]
@@ -302,15 +333,13 @@ mod tests {
             Some(Value::Float(3.0))
         );
         assert_eq!(
-            eval(
-                "  r = call clamp(a, 0, 10)\n  return r",
-                vec![Value::Int(42), Value::Null]
-            )
-            .unwrap(),
+            eval("  r = call clamp(a, 0, 10)\n  return r", vec![Value::Int(42), Value::Null])
+                .unwrap(),
             Some(Value::Float(10.0))
         );
-        assert!(eval("  r = call sqrt(a)\n  return r", vec![Value::Float(-1.0), Value::Null])
-            .is_err());
+        assert!(
+            eval("  r = call sqrt(a)\n  return r", vec![Value::Float(-1.0), Value::Null]).is_err()
+        );
     }
 
     #[test]
@@ -376,10 +405,7 @@ mod tests {
             s = call arr_sum(scaled)
             return s
         "#;
-        assert_eq!(
-            eval(body, vec![Value::Null, Value::Null]).unwrap(),
-            Some(Value::Float(9.0))
-        );
+        assert_eq!(eval(body, vec![Value::Null, Value::Null]).unwrap(), Some(Value::Float(9.0)));
     }
 
     #[test]
@@ -406,15 +432,13 @@ mod tests {
 
     #[test]
     fn errors_are_reported_not_panicked() {
-        assert!(eval("  r = call arr_avg(a)\n  return r", vec![Value::Int(1), Value::Null])
-            .is_err());
+        assert!(
+            eval("  r = call arr_avg(a)\n  return r", vec![Value::Int(1), Value::Null]).is_err()
+        );
         let body = "  arr = new int[0]\n  r = call arr_avg(arr)\n  return r";
         assert!(eval(body, vec![Value::Null, Value::Null]).is_err());
-        assert!(eval(
-            "  r = call arr_slice(a, 0, 5)\n  return r",
-            vec![Value::Null, Value::Null]
-        )
-        .is_err());
+        assert!(eval("  r = call arr_slice(a, 0, 5)\n  return r", vec![Value::Null, Value::Null])
+            .is_err());
     }
 
     #[test]

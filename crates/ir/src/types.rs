@@ -140,10 +140,7 @@ impl ClassDecl {
 
     /// Looks up a field index by name.
     pub fn field(&self, name: &str) -> Option<FieldId> {
-        self.fields
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FieldId(i as u32))
+        self.fields.iter().position(|f| f.name == name).map(|i| FieldId(i as u32))
     }
 }
 
@@ -210,10 +207,7 @@ impl ClassTable {
 
     /// Iterates over `(id, decl)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDecl)> {
-        self.classes
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (ClassId(i as u32), d))
+        self.classes.iter().enumerate().map(|(i, d)| (ClassId(i as u32), d))
     }
 }
 

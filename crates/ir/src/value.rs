@@ -31,8 +31,7 @@ impl fmt::Display for ObjRef {
 /// The IR is untyped at the variable level (like Jimple locals after type
 /// erasure in our model); operations check types dynamically and report
 /// [`IrError::Type`](crate::IrError::Type) on mismatch.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The null reference.
     #[default]
@@ -119,7 +118,6 @@ impl Value {
         }
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

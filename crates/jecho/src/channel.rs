@@ -96,8 +96,7 @@ impl EventChannel {
         trigger: TriggerPolicy,
     ) -> Result<SubscriberId, IrError> {
         let kind = model.kind();
-        let handler =
-            PartitionedHandler::analyze(Arc::clone(&self.program), handler_fn, model)?;
+        let handler = PartitionedHandler::analyze(Arc::clone(&self.program), handler_fn, model)?;
         let ctx = ExecCtx::with_builtins(&self.program, receiver_builtins);
         let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, trigger);
         let id = self.subscribers.len();
@@ -160,11 +159,7 @@ impl EventChannel {
                 ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
             let args = make_event(&mut sender_ctx)?;
             let run = sub.modulator.handle(&mut sender_ctx, args)?;
-            let event = ModulatedEvent {
-                seq,
-                continuation: run.message,
-                samples: run.samples,
-            };
+            let event = ModulatedEvent { seq, continuation: run.message, samples: run.samples };
             let wire_bytes = event.wire_size();
 
             let demod = sub.demodulator.handle(&mut sub.ctx, &event.continuation)?;
@@ -247,9 +242,8 @@ mod tests {
             let class = classes.id("ImageData").unwrap();
             let decl = classes.decl(class);
             let img = ctx.heap.alloc_object(classes, class);
-            let buff = ctx
-                .heap
-                .alloc_array(mpart_ir::types::ElemType::Byte, (width * width) as usize);
+            let buff =
+                ctx.heap.alloc_array(mpart_ir::types::ElemType::Byte, (width * width) as usize);
             ctx.heap.set_field(img, decl.field("width").unwrap(), Value::Int(width))?;
             ctx.heap.set_field(img, decl.field("height").unwrap(), Value::Int(width))?;
             ctx.heap.set_field(img, decl.field("buff").unwrap(), Value::Ref(buff))?;
@@ -262,10 +256,20 @@ mod tests {
         let program = Arc::new(parse_program(SRC).unwrap());
         let mut channel = EventChannel::new(Arc::clone(&program), BuiltinRegistry::new());
         let a = channel
-            .subscribe("show", Arc::new(DataSizeModel::new()), display_builtins(), TriggerPolicy::Never)
+            .subscribe(
+                "show",
+                Arc::new(DataSizeModel::new()),
+                display_builtins(),
+                TriggerPolicy::Never,
+            )
             .unwrap();
         let b = channel
-            .subscribe("show", Arc::new(DataSizeModel::new()), display_builtins(), TriggerPolicy::Never)
+            .subscribe(
+                "show",
+                Arc::new(DataSizeModel::new()),
+                display_builtins(),
+                TriggerPolicy::Never,
+            )
             .unwrap();
         let reports = channel.publish(event_builder(&program, 32)).unwrap();
         assert_eq!(reports.len(), 2);
@@ -310,10 +314,7 @@ mod tests {
         }
         let plan_small = channel.handler(id).plan().active();
         let entry = channel.handler(id).entry_pse().unwrap();
-        assert!(
-            plan_small.contains(&entry),
-            "small frames should ship raw: {plan_small:?}"
-        );
+        assert!(plan_small.contains(&entry), "small frames should ship raw: {plan_small:?}");
         assert!(channel.reconfig(id).reconfigurations() >= 2);
     }
 
@@ -335,11 +336,7 @@ mod tests {
         }
         // After adaptation, filtered events ship almost nothing.
         let reports = channel.publish(|_| Ok(vec![Value::Int(3)])).unwrap();
-        assert!(
-            reports[0].wire_bytes < 64,
-            "filtered event wire bytes: {}",
-            reports[0].wire_bytes
-        );
+        assert!(reports[0].wire_bytes < 64, "filtered event wire bytes: {}", reports[0].wire_bytes);
         assert_eq!(channel.subscriber_ctx(id).trace.len(), 0, "display never ran");
     }
 }

@@ -4,6 +4,13 @@
 //! subscriber's modulator inside the source, plus piggy-backed profiling
 //! samples. Control traffic flows the other way: profiling feedback from
 //! the demodulator side and plan updates from the Reconfiguration Unit.
+//!
+//! Framing is supervised-transport grade: every frame carries a CRC32
+//! checksum over its header and body, decoding is total (structured
+//! [`IrError::Marshal`] errors, never a panic, never an attacker-sized
+//! allocation), and the frame set includes heartbeats and acknowledgements
+//! so a [`Supervisor`](crate::supervisor::Supervisor) can detect dead
+//! peers and retransmit the unacknowledged window.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mpart::continuation::ContinuationMessage;
@@ -15,13 +22,37 @@ use mpart_ir::IrError;
 /// Wire cost (bytes) charged per piggy-backed profiling sample.
 pub const SAMPLE_WIRE_BYTES: usize = 12;
 
+/// Hard ceiling on a frame body. Applied symmetrically: encoders refuse to
+/// produce larger frames and decoders refuse to allocate for them, so a
+/// corrupted or hostile length prefix can never OOM the receiver.
+pub const MAX_FRAME_SIZE: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing ahead of the body: `[kind u8][len u32][crc u32]`.
+pub const FRAME_HEADER_BYTES: usize = 9;
+
+/// CRC32 (IEEE 802.3, reflected) over a sequence of byte slices.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &byte in *part {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+    !crc
+}
+
 /// A modulated event on the wire: the remote continuation plus the
 /// modulator's profiling samples for this message.
 #[derive(Debug, Clone)]
 pub struct ModulatedEvent {
     /// Monotone per-source message number.
     pub seq: u64,
-    /// The remote continuation.
+    /// The remote continuation (carries the plan epoch it was modulated
+    /// under).
     pub continuation: ContinuationMessage,
     /// Modulator-side profiling samples (empty when profiling flags are
     /// off).
@@ -42,6 +73,14 @@ pub struct PlanEnvelope {
     pub active: Vec<PseId>,
     /// Sequence number of the reconfiguration (monotone).
     pub revision: u64,
+    /// The plan generation assigned by the receiver's handler (stamped on
+    /// subsequent continuations so the receiver can age out old plans).
+    pub epoch: u64,
+    /// Highest contiguous event `seq` the receiver has demodulated —
+    /// acknowledgement piggy-backed on the control channel, letting the
+    /// sender's supervisor trim its retransmission window without
+    /// dedicated ack traffic.
+    pub ack: u64,
 }
 
 /// A frame on a byte-stream transport (e.g. TCP).
@@ -57,6 +96,17 @@ pub enum Frame {
     },
     /// A plan update, receiver → sender.
     Plan(PlanEnvelope),
+    /// Sender liveness probe carrying the highest event `seq` sent so far.
+    Heartbeat {
+        /// Highest `seq` the sender has transmitted.
+        seq: u64,
+    },
+    /// Standalone acknowledgement, receiver → sender: highest contiguous
+    /// event `seq` demodulated.
+    Ack {
+        /// Highest contiguous `seq` received.
+        ack: u64,
+    },
     /// Orderly shutdown.
     Shutdown,
 }
@@ -64,15 +114,19 @@ pub enum Frame {
 const FRAME_EVENT: u8 = 0;
 const FRAME_PLAN: u8 = 1;
 const FRAME_SHUTDOWN: u8 = 2;
+const FRAME_HEARTBEAT: u8 = 3;
+const FRAME_ACK: u8 = 4;
 
 impl Frame {
-    /// Encodes the frame as `[type u8][len u32][body]`.
+    /// Encodes the frame as `[kind u8][len u32][crc u32][body]`, where the
+    /// checksum covers the kind, the length, and the body.
     pub fn encode(&self) -> Vec<u8> {
         let mut body = BytesMut::new();
         let kind = match self {
             Frame::Event { event: e, t_mod_nanos } => {
                 body.put_u64(e.seq);
                 body.put_u64(*t_mod_nanos);
+                body.put_u64(e.continuation.epoch);
                 body.put_u32(e.continuation.pse as u32);
                 body.put_u64(e.continuation.mod_work);
                 let payload = e.continuation.payload.as_bytes();
@@ -89,28 +143,46 @@ impl Frame {
             }
             Frame::Plan(p) => {
                 body.put_u64(p.revision);
+                body.put_u64(p.epoch);
+                body.put_u64(p.ack);
                 body.put_u32(p.active.len() as u32);
                 for &pse in &p.active {
                     body.put_u32(pse as u32);
                 }
                 FRAME_PLAN
             }
+            Frame::Heartbeat { seq } => {
+                body.put_u64(*seq);
+                FRAME_HEARTBEAT
+            }
+            Frame::Ack { ack } => {
+                body.put_u64(*ack);
+                FRAME_ACK
+            }
             Frame::Shutdown => FRAME_SHUTDOWN,
         };
-        let mut out = Vec::with_capacity(5 + body.len());
+        assert!(body.len() <= MAX_FRAME_SIZE, "frame body exceeds MAX_FRAME_SIZE");
+        let len = (body.len() as u32).to_be_bytes();
+        let crc = crc32(&[&[kind], &len, &body]).to_be_bytes();
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
         out.push(kind);
-        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&len);
+        out.extend_from_slice(&crc);
         out.extend_from_slice(&body);
         out
     }
 
-    /// Decodes a frame from `kind` and `body` (the transport strips the
-    /// 5-byte header and reads `len` body bytes).
+    /// Decodes a frame from `kind` and an already-checksummed `body` (the
+    /// transport strips the header, verifies the CRC, and reads `len` body
+    /// bytes).
     ///
     /// # Errors
     ///
     /// Returns [`IrError::Marshal`] on malformed frames.
     pub fn decode(kind: u8, body: &[u8]) -> Result<Frame, IrError> {
+        if body.len() > MAX_FRAME_SIZE {
+            return Err(IrError::Marshal(format!("frame too large: {}", body.len())));
+        }
         let mut buf = Bytes::copy_from_slice(body);
         let short = || IrError::Marshal("truncated frame".into());
         let need = |buf: &Bytes, n: usize| -> Result<(), IrError> {
@@ -122,9 +194,10 @@ impl Frame {
         };
         match kind {
             FRAME_EVENT => {
-                need(&buf, 8 + 8 + 4 + 8 + 4)?;
+                need(&buf, 8 + 8 + 8 + 4 + 8 + 4)?;
                 let seq = buf.get_u64();
                 let t_mod_nanos = buf.get_u64();
+                let epoch = buf.get_u64();
                 let pse = buf.get_u32() as PseId;
                 let mod_work = buf.get_u64();
                 let payload_len = buf.get_u32() as usize;
@@ -154,46 +227,93 @@ impl Frame {
                 Ok(Frame::Event {
                     event: ModulatedEvent {
                         seq,
-                        continuation: ContinuationMessage { pse, payload, mod_work },
+                        continuation: ContinuationMessage { pse, payload, mod_work, epoch },
                         samples,
                     },
                     t_mod_nanos,
                 })
             }
             FRAME_PLAN => {
-                need(&buf, 8 + 4)?;
+                need(&buf, 8 + 8 + 8 + 4)?;
                 let revision = buf.get_u64();
+                let epoch = buf.get_u64();
+                let ack = buf.get_u64();
                 let n = buf.get_u32() as usize;
                 if n.checked_mul(4).is_none_or(|b| b > buf.remaining()) {
                     return Err(short());
                 }
                 let active = (0..n).map(|_| buf.get_u32() as PseId).collect();
-                Ok(Frame::Plan(PlanEnvelope { active, revision }))
+                Ok(Frame::Plan(PlanEnvelope { active, revision, epoch, ack }))
+            }
+            FRAME_HEARTBEAT => {
+                need(&buf, 8)?;
+                Ok(Frame::Heartbeat { seq: buf.get_u64() })
+            }
+            FRAME_ACK => {
+                need(&buf, 8)?;
+                Ok(Frame::Ack { ack: buf.get_u64() })
             }
             FRAME_SHUTDOWN => Ok(Frame::Shutdown),
             other => Err(IrError::Marshal(format!("unknown frame type {other}"))),
         }
     }
 
-    /// Reads one frame from a byte stream.
+    /// Decodes one whole frame (header, checksum, body) from the front of
+    /// `bytes`, returning the frame and how many bytes it consumed.
     ///
     /// # Errors
     ///
-    /// Returns [`IrError::Marshal`] on malformed frames or I/O failures.
+    /// Returns [`IrError::Marshal`] on truncation, an oversized length
+    /// prefix, a checksum mismatch, or a malformed body.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<(Frame, usize), IrError> {
+        if bytes.len() < FRAME_HEADER_BYTES {
+            return Err(IrError::Marshal("truncated frame header".into()));
+        }
+        let kind = bytes[0];
+        let len = u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+        if len > MAX_FRAME_SIZE {
+            return Err(IrError::Marshal(format!("frame too large: {len}")));
+        }
+        let crc_stated = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let total = FRAME_HEADER_BYTES + len;
+        if bytes.len() < total {
+            return Err(IrError::Marshal("truncated frame body".into()));
+        }
+        let body = &bytes[FRAME_HEADER_BYTES..total];
+        let crc_actual = crc32(&[&bytes[..1], &bytes[1..5], body]);
+        if crc_actual != crc_stated {
+            return Err(IrError::Marshal(format!(
+                "frame checksum mismatch: stated {crc_stated:#010x}, computed {crc_actual:#010x}"
+            )));
+        }
+        Ok((Frame::decode(kind, body)?, total))
+    }
+
+    /// Reads one checksummed frame from a byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] on malformed frames, checksum
+    /// mismatches, or I/O failures.
     pub fn read_from(reader: &mut impl std::io::Read) -> Result<Frame, IrError> {
-        let mut header = [0u8; 5];
+        let mut header = [0u8; FRAME_HEADER_BYTES];
         reader
             .read_exact(&mut header)
             .map_err(|e| IrError::Marshal(format!("frame header: {e}")))?;
         let kind = header[0];
         let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
-        if len > 64 * 1024 * 1024 {
+        if len > MAX_FRAME_SIZE {
             return Err(IrError::Marshal(format!("frame too large: {len}")));
         }
+        let crc_stated = u32::from_be_bytes([header[5], header[6], header[7], header[8]]);
         let mut body = vec![0u8; len];
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| IrError::Marshal(format!("frame body: {e}")))?;
+        reader.read_exact(&mut body).map_err(|e| IrError::Marshal(format!("frame body: {e}")))?;
+        let crc_actual = crc32(&[&header[..1], &header[1..5], &body]);
+        if crc_actual != crc_stated {
+            return Err(IrError::Marshal(format!(
+                "frame checksum mismatch: stated {crc_stated:#010x}, computed {crc_actual:#010x}"
+            )));
+        }
         Frame::decode(kind, &body)
     }
 
@@ -203,22 +323,21 @@ impl Frame {
     ///
     /// Returns [`IrError::Marshal`] on I/O failures.
     pub fn write_to(&self, writer: &mut impl std::io::Write) -> Result<(), IrError> {
-        writer
-            .write_all(&self.encode())
-            .map_err(|e| IrError::Marshal(format!("frame write: {e}")))
+        writer.write_all(&self.encode()).map_err(|e| IrError::Marshal(format!("frame write: {e}")))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::prelude::*;
 
     #[test]
     fn wire_size_includes_samples() {
         let payload = Marshalled::from_bytes(vec![0u8; 100]);
         let event = ModulatedEvent {
             seq: 1,
-            continuation: ContinuationMessage { pse: 0, payload, mod_work: 5 },
+            continuation: ContinuationMessage { pse: 0, payload, mod_work: 5, epoch: 0 },
             samples: vec![
                 PseSample { pse: 0, mod_work: 0, payload_bytes: Some(1), was_split: false },
                 PseSample { pse: 1, mod_work: 2, payload_bytes: Some(2), was_split: true },
@@ -237,6 +356,7 @@ mod tests {
                 pse: 3,
                 payload: Marshalled::from_bytes(vec![1u8, 2, 3, 4, 5]),
                 mod_work: 77,
+                epoch: 9,
             },
             samples: vec![
                 PseSample { pse: 0, mod_work: 1, payload_bytes: Some(100), was_split: false },
@@ -249,13 +369,15 @@ mod tests {
     fn event_frame_round_trips() {
         let frame = Frame::Event { event: sample_event(), t_mod_nanos: 1_500_000 };
         let bytes = frame.encode();
-        let decoded = Frame::decode(bytes[0], &bytes[5..]).unwrap();
+        let (decoded, consumed) = Frame::decode_bytes(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
         match decoded {
             Frame::Event { event: e, t_mod_nanos } => {
                 assert_eq!(t_mod_nanos, 1_500_000);
                 assert_eq!(e.seq, 42);
                 assert_eq!(e.continuation.pse, 3);
                 assert_eq!(e.continuation.mod_work, 77);
+                assert_eq!(e.continuation.epoch, 9);
                 assert_eq!(e.continuation.payload.as_bytes(), &[1, 2, 3, 4, 5]);
                 assert_eq!(e.samples.len(), 2);
                 assert_eq!(e.samples[0].payload_bytes, Some(100));
@@ -267,25 +389,30 @@ mod tests {
     }
 
     #[test]
-    fn plan_frame_round_trips() {
-        let frame = Frame::Plan(PlanEnvelope { active: vec![1, 4, 9], revision: 7 });
+    fn plan_heartbeat_and_ack_round_trip() {
+        let frame =
+            Frame::Plan(PlanEnvelope { active: vec![1, 4, 9], revision: 7, epoch: 12, ack: 40 });
         let bytes = frame.encode();
-        match Frame::decode(bytes[0], &bytes[5..]).unwrap() {
+        match Frame::decode_bytes(&bytes).unwrap().0 {
             Frame::Plan(p) => {
                 assert_eq!(p.active, vec![1, 4, 9]);
                 assert_eq!(p.revision, 7);
+                assert_eq!(p.epoch, 12);
+                assert_eq!(p.ack, 40);
             }
             other => panic!("expected plan, got {other:?}"),
         }
+        let hb = Frame::Heartbeat { seq: 88 }.encode();
+        assert!(matches!(Frame::decode_bytes(&hb).unwrap().0, Frame::Heartbeat { seq: 88 }));
+        let ack = Frame::Ack { ack: 31 }.encode();
+        assert!(matches!(Frame::decode_bytes(&ack).unwrap().0, Frame::Ack { ack: 31 }));
     }
 
     #[test]
     fn shutdown_and_stream_io() {
         let mut buf = Vec::new();
-        Frame::Event { event: sample_event(), t_mod_nanos: 7 }
-            .write_to(&mut buf)
-            .unwrap();
-        Frame::Plan(PlanEnvelope { active: vec![2], revision: 1 })
+        Frame::Event { event: sample_event(), t_mod_nanos: 7 }.write_to(&mut buf).unwrap();
+        Frame::Plan(PlanEnvelope { active: vec![2], revision: 1, epoch: 2, ack: 0 })
             .write_to(&mut buf)
             .unwrap();
         Frame::Shutdown.write_to(&mut buf).unwrap();
@@ -297,15 +424,73 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_frames_fail_the_checksum() {
+        let clean = Frame::Event { event: sample_event(), t_mod_nanos: 7 }.encode();
+        // Flip every byte position in turn: either the checksum or the
+        // header validation must catch each corruption.
+        for i in 0..clean.len() {
+            let mut dirty = clean.clone();
+            dirty[i] ^= 0x40;
+            assert!(Frame::decode_bytes(&dirty).is_err(), "corruption at byte {i} went undetected");
+        }
+    }
+
+    #[test]
     fn malformed_frames_rejected() {
         assert!(Frame::decode(99, &[]).is_err());
         assert!(Frame::decode(0, &[1, 2, 3]).is_err());
         // Huge declared payload with a tiny body.
         let mut body = Vec::new();
         body.extend_from_slice(&42u64.to_be_bytes());
-        body.extend_from_slice(&3u32.to_be_bytes());
-        body.extend_from_slice(&7u64.to_be_bytes());
+        body.extend_from_slice(&3u64.to_be_bytes());
+        body.extend_from_slice(&9u64.to_be_bytes());
+        body.extend_from_slice(&7u32.to_be_bytes());
+        body.extend_from_slice(&5u64.to_be_bytes());
         body.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(Frame::decode(0, &body).is_err());
+        // A length prefix above MAX_FRAME_SIZE is refused before any
+        // allocation happens.
+        let mut oversized = vec![FRAME_EVENT];
+        oversized.extend_from_slice(&(u32::MAX).to_be_bytes());
+        oversized.extend_from_slice(&[0u8; 4]);
+        assert!(Frame::decode_bytes(&oversized).is_err());
+        let mut cursor = std::io::Cursor::new(oversized);
+        assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    /// Fuzz-style robustness: random byte strings through the decoders
+    /// must produce errors or frames — never panics, never huge
+    /// allocations (the run itself would OOM or crash on violation).
+    #[test]
+    fn random_bytes_never_panic_the_decoder() {
+        let mut rng = StdRng::seed_from_u64(0xF417_F417);
+        for round in 0..2000 {
+            let len = rng.random_range(0usize..512);
+            let mut bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0u64..256) as u8).collect();
+            // Half the rounds: start from a valid frame and corrupt it, to
+            // reach deeper decode paths than pure noise would.
+            if round % 2 == 0 {
+                let mut framed = Frame::Event { event: sample_event(), t_mod_nanos: 1 }.encode();
+                if !bytes.is_empty() {
+                    let n = bytes.len().min(framed.len());
+                    let at = rng.random_range(0..framed.len() - (n - 1));
+                    framed[at..at + n].copy_from_slice(&bytes[..n]);
+                }
+                bytes = framed;
+            }
+            let _ = Frame::decode_bytes(&bytes);
+            let mut cursor = std::io::Cursor::new(bytes.clone());
+            let _ = Frame::read_from(&mut cursor);
+            if !bytes.is_empty() {
+                let _ = Frame::decode(bytes[0], &bytes[1..]);
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926, "split input agrees");
     }
 }

@@ -17,13 +17,17 @@
 //! * [`proxy::ProxySession`] — §7's third-party modulator placement: the
 //!   modulator runs inside a broker between source and receiver;
 //! * [`tcp::TcpSender`] / [`tcp::TcpReceiver`] — real TCP sockets:
-//!   continuations and plan updates cross as length-prefixed frames.
+//!   continuations and plan updates cross as checksummed frames;
+//! * [`supervisor::Supervisor`] — a fault-tolerant wrapper around the TCP
+//!   sender: reconnection with capped exponential backoff and jitter, and
+//!   retransmission of the unacknowledged event window.
 
 pub mod channel;
 pub mod envelope;
 pub mod local;
 pub mod proxy;
 pub mod sim;
+pub mod supervisor;
 pub mod tcp;
 
 pub use channel::{DeliveryReport, EventChannel, SubscriberId};
@@ -31,4 +35,5 @@ pub use envelope::{ModulatedEvent, PlanEnvelope};
 pub use local::LocalPair;
 pub use proxy::{ProxyConfig, ProxyReport, ProxySession};
 pub use sim::{SimConfig, SimReport, SimSession};
+pub use supervisor::{RetryPolicy, Supervisor};
 pub use tcp::{TcpReceiver, TcpSender};

@@ -167,11 +167,8 @@ impl LocalPair {
         let started = Instant::now();
         let run = self.modulator.handle(&mut ctx, args)?;
         let t_mod = started.elapsed().as_secs_f64();
-        let event = ModulatedEvent {
-            seq: self.seq,
-            continuation: run.message,
-            samples: run.samples,
-        };
+        let event =
+            ModulatedEvent { seq: self.seq, continuation: run.message, samples: run.samples };
         self.to_receiver
             .send(ToReceiver::Event(event, t_mod, run.mod_work))
             .map_err(|_| IrError::Continuation("receiver has shut down".into()))
@@ -183,9 +180,7 @@ impl LocalPair {
     ///
     /// Returns [`IrError::Continuation`] if the receiver has shut down.
     pub fn next_outcome(&self) -> Result<LocalOutcome, IrError> {
-        self.outcomes
-            .recv()
-            .map_err(|_| IrError::Continuation("receiver has shut down".into()))
+        self.outcomes.recv().map_err(|_| IrError::Continuation("receiver has shut down".into()))
     }
 
     /// Shuts the receiver down and joins it, returning its final result.
@@ -251,7 +246,10 @@ mod tests {
         b
     }
 
-    fn blob(program: &Arc<Program>, n: usize) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+    fn blob(
+        program: &Arc<Program>,
+        n: usize,
+    ) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
         let classes = &program.classes;
         move |ctx| {
             let class = classes.id("Blob").unwrap();

@@ -154,9 +154,8 @@ impl ProxySession {
         make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
     ) -> Result<ProxyReport, IrError> {
         self.seq += 1;
-        let ser = |bytes: usize| -> u64 {
-            (self.serialize_work_per_byte * bytes as f64).round() as u64
-        };
+        let ser =
+            |bytes: usize| -> u64 { (self.serialize_work_per_byte * bytes as f64).round() as u64 };
 
         // Source: build and marshal the raw event (the source knows no
         // handler code — it just ships its capture upstream).
@@ -177,15 +176,11 @@ impl ProxySession {
             self.handler.plan().install(&active);
             self.plan_installs += 1;
         }
-        let mut proxy_ctx =
-            ExecCtx::with_builtins(&self.program, self.proxy_builtins.clone());
+        let mut proxy_ctx = ExecCtx::with_builtins(&self.program, self.proxy_builtins.clone());
         let restored = unmarshal_values(&mut proxy_ctx.heap, &self.program.classes, &raw)?;
         let run = self.modulator.handle(&mut proxy_ctx, restored)?;
-        let event = ModulatedEvent {
-            seq: self.seq,
-            continuation: run.message,
-            samples: run.samples,
-        };
+        let event =
+            ModulatedEvent { seq: self.seq, continuation: run.message, samples: run.samples };
         let downlink_bytes = event.wire_size();
         let proxy_work = ser(uplink_bytes) + run.mod_work + ser(downlink_bytes);
         let (proxy_start, proxy_done) = self.proxy.run(at_proxy, proxy_work);
@@ -193,9 +188,8 @@ impl ProxySession {
 
         // Receiver: demodulate.
         let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
-        let (recv_start, recv_done) = self
-            .receiver
-            .run(at_receiver, demod.demod_work + ser(downlink_bytes));
+        let (recv_start, recv_done) =
+            self.receiver.run(at_receiver, demod.demod_work + ser(downlink_bytes));
 
         // Profiling feedback: the third-party reconfiguration unit sees
         // both halves; its plan updates flow back to the proxy.
@@ -212,8 +206,7 @@ impl ProxySession {
             t_demod: Some((recv_done - recv_start).as_secs_f64()),
         });
         if let Some(update) = self.reconfig.maybe_reconfigure()? {
-            self.pending_plans
-                .push(recv_done + self.downlink.alpha, update.active);
+            self.pending_plans.push(recv_done + self.downlink.alpha, update.active);
         }
 
         let report = ProxyReport {
@@ -280,7 +273,10 @@ mod tests {
         b
     }
 
-    fn reading(program: &Arc<Program>, n: usize) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+    fn reading(
+        program: &Arc<Program>,
+        n: usize,
+    ) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
         let classes = &program.classes;
         move |ctx| {
             let class = classes.id("Reading").unwrap();
@@ -325,11 +321,7 @@ mod tests {
         // Uplink always carries the raw 30 KB; after adaptation, the slow
         // downlink carries only the digest.
         assert!(last.uplink_bytes > 30_000);
-        assert!(
-            last.downlink_bytes < 1000,
-            "downlink adapted: {}",
-            last.downlink_bytes
-        );
+        assert!(last.downlink_bytes < 1000, "downlink adapted: {}", last.downlink_bytes);
         assert!(session.plan_installs() >= 1);
         assert!(session.avg_processing_ms() > 0.0);
     }
@@ -366,9 +358,6 @@ mod tests {
             config(),
         )
         .unwrap();
-        assert_eq!(
-            session.reconfig.placement(),
-            mpart::reconfig::ReconfigPlacement::ThirdParty
-        );
+        assert_eq!(session.reconfig.placement(), mpart::reconfig::ReconfigPlacement::ThirdParty);
     }
 }

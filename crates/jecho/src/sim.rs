@@ -8,10 +8,24 @@
 //! bytes priced through `T_s = α + β·S`. Plan updates travel back to the
 //! source with a feedback latency, so adaptation lag is modelled
 //! faithfully.
+//!
+//! When the configured [`Link`] carries a
+//! [`FaultPlan`](mpart_simnet::FaultPlan), the session switches to a
+//! *supervised wire*: every event is encoded to checksummed frame bytes,
+//! run through the link's seeded fault injector (drop / duplicate /
+//! reorder / corrupt / scheduled partitions), and decoded on the far side.
+//! Undelivered frames stay in an unacknowledged window and are
+//! retransmitted; the receiver deduplicates by sequence number; and a
+//! [`DegradationController`] walks the degradation ladder — after enough
+//! consecutive failures the modulator falls back to the trivial entry cut
+//! (ship the raw event, run everything at the receiver), and once the link
+//! recovers the optimized plan is re-promoted.
 
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use mpart::demodulator::Demodulator;
+use mpart::health::DegradationController;
 use mpart::modulator::Modulator;
 use mpart::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
 use mpart::reconfig::ReconfigUnit;
@@ -22,7 +36,7 @@ use mpart_ir::{IrError, Program, Value};
 use mpart_simnet::{EventQueue, Host, Link, MessageDemand, MessageTiming, Pipeline, SimTime};
 use rand::prelude::*;
 
-use crate::envelope::ModulatedEvent;
+use crate::envelope::{Frame, ModulatedEvent};
 
 /// Hosts, link, and adaptation policy of a simulated session.
 #[derive(Debug)]
@@ -61,6 +75,13 @@ pub struct SimConfig {
     pub control_loss: f64,
     /// Seed for the control-loss coin flips.
     pub control_loss_seed: u64,
+    /// Consecutive delivery failures before the session degrades to the
+    /// trivial entry cut (only meaningful when the link carries a fault
+    /// plan).
+    pub degrade_after: u32,
+    /// Consecutive delivery successes before the optimized plan is
+    /// re-promoted.
+    pub promote_after: u32,
 }
 
 impl SimConfig {
@@ -80,6 +101,8 @@ impl SimConfig {
             max_in_flight: 4,
             control_loss: 0.0,
             control_loss_seed: 0,
+            degrade_after: 3,
+            promote_after: 3,
         }
     }
 
@@ -131,6 +154,15 @@ impl SimConfig {
         self.control_loss_seed = seed;
         self
     }
+
+    /// Sets the degradation hysteresis: fall back to the entry cut after
+    /// `degrade_after` consecutive failures, re-promote after
+    /// `promote_after` consecutive successes.
+    pub fn with_degradation(mut self, degrade_after: u32, promote_after: u32) -> Self {
+        self.degrade_after = degrade_after.max(1);
+        self.promote_after = promote_after.max(1);
+        self
+    }
 }
 
 /// Per-message outcome of a simulated delivery.
@@ -148,6 +180,10 @@ pub struct SimReport {
     pub ret: Option<Value>,
     /// Whether a plan update was scheduled after this message.
     pub reconfigured: bool,
+    /// Whether the message has reached the subscriber. Always `true` on a
+    /// fault-free link; on a supervised wire, `false` means the frame is
+    /// still in the unacked window awaiting retransmission.
+    pub delivered: bool,
 }
 
 /// A simulated source→subscriber session.
@@ -171,6 +207,18 @@ pub struct SimSession {
     reports: Vec<SimReport>,
     seq: u64,
     plan_installs: u64,
+    /// Supervised-wire state (present when the link carries a fault plan).
+    degradation: Option<DegradationController>,
+    /// Encoded event frames awaiting acknowledgement, in seq order.
+    unacked: VecDeque<(u64, Vec<u8>)>,
+    /// Seqs already applied at the subscriber (duplicate suppression).
+    applied: HashSet<u64>,
+    /// Per-seq handler results, for oracle comparison.
+    applied_results: BTreeMap<u64, Option<Value>>,
+    retransmissions: u64,
+    frames_lost: u64,
+    frames_corrupted: u64,
+    duplicates_suppressed: u64,
 }
 
 impl std::fmt::Debug for SimSession {
@@ -201,11 +249,21 @@ impl SimSession {
     ) -> Result<Self, IrError> {
         let kind = model.kind();
         let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
-        let reconfig =
-            ReconfigUnit::new(Arc::clone(handler.analysis()), kind, config.trigger)
-                .with_serialize_cost(config.serialize_work_per_byte)
-                .with_alpha(config.ewma_alpha)
-                .with_frequency_weighting(config.frequency_weighted);
+        let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, config.trigger)
+            .with_serialize_cost(config.serialize_work_per_byte)
+            .with_alpha(config.ewma_alpha)
+            .with_frequency_weighting(config.frequency_weighted);
+        let degradation = config.link.has_faults().then(|| {
+            // Long outages keep frames in flight across many plan
+            // generations; widen the demodulator's plan history so
+            // retransmitted continuations stay admissible.
+            handler.set_plan_retention(64);
+            DegradationController::new(
+                Arc::clone(&handler),
+                config.degrade_after,
+                config.promote_after,
+            )
+        });
         Ok(SimSession {
             modulator: handler.modulator(),
             demodulator: handler.demodulator(),
@@ -232,6 +290,14 @@ impl SimSession {
             reports: Vec::new(),
             seq: 0,
             plan_installs: 0,
+            degradation,
+            unacked: VecDeque::new(),
+            applied: HashSet::new(),
+            applied_results: BTreeMap::new(),
+            retransmissions: 0,
+            frames_lost: 0,
+            frames_corrupted: 0,
+            duplicates_suppressed: 0,
         })
     }
 
@@ -255,14 +321,8 @@ impl SimSession {
         // Baselines neither profile nor sample; a sampling period would
         // otherwise re-enable the profiling flags per message.
         config.profile_sample_period = 1;
-        let session = Self::adaptive(
-            program,
-            handler_fn,
-            model,
-            sender_builtins,
-            receiver_builtins,
-            config,
-        )?;
+        let session =
+            Self::adaptive(program, handler_fn, model, sender_builtins, receiver_builtins, config)?;
         session.handler.plan().install(active);
         session.handler.plan().validate_cut(session.handler.analysis())?;
         // Baselines do not profile either.
@@ -292,6 +352,53 @@ impl SimSession {
         self.plans_dropped
     }
 
+    /// Whether the session is currently degraded to the trivial entry cut.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.as_ref().is_some_and(|c| c.is_degraded())
+    }
+
+    /// Healthy → Degraded transitions so far (supervised wire only).
+    pub fn degradations(&self) -> u64 {
+        self.degradation.as_ref().map_or(0, |c| c.degradations())
+    }
+
+    /// Degraded → Healthy re-promotions so far (supervised wire only).
+    pub fn promotions(&self) -> u64 {
+        self.degradation.as_ref().map_or(0, |c| c.promotions())
+    }
+
+    /// Transmission attempts of frames older than the newest (supervised
+    /// wire only).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Frames lost to drops or partitions (supervised wire only).
+    pub fn frames_lost(&self) -> u64 {
+        self.frames_lost
+    }
+
+    /// Frames damaged in transit and rejected by the checksum.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.frames_corrupted
+    }
+
+    /// Duplicate arrivals suppressed at the subscriber.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
+    /// Frames still awaiting acknowledgement.
+    pub fn unacked(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Per-seq handler results applied at the subscriber, in seq order
+    /// (supervised wire only; the oracle-comparison surface).
+    pub fn applied_results(&self) -> &BTreeMap<u64, Option<Value>> {
+        &self.applied_results
+    }
+
     /// The Reconfiguration Unit.
     pub fn reconfig(&self) -> &ReconfigUnit {
         &self.reconfig
@@ -307,26 +414,26 @@ impl SimSession {
         &mut self,
         make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
     ) -> Result<SimReport, IrError> {
+        if self.pipeline.link.has_faults() {
+            return self.deliver_supervised(make_event);
+        }
         self.seq += 1;
         // Closed-loop generation: the source emits the next message as
         // soon as (a) its CPU is free, (b) the previous message has
         // drained into the link (a sender blocks on the socket send), and
         // (c) fewer than `max_in_flight` messages are unprocessed
         // (bounded buffering / backpressure).
-        let mut gen_time = self
-            .pipeline
-            .sender
-            .busy_until()
-            .max(self.pipeline.link.busy_until());
+        let mut gen_time = self.pipeline.sender.busy_until().max(self.pipeline.link.busy_until());
         if self.reports.len() >= self.max_in_flight {
-            let window_end =
-                self.reports[self.reports.len() - self.max_in_flight].timing.demod_end;
+            let window_end = self.reports[self.reports.len() - self.max_in_flight].timing.demod_end;
             gen_time = gen_time.max(window_end);
         }
 
-        // Plan updates that have reached the source by now take effect.
+        // Plan updates that have reached the source by now take effect
+        // (recorded in the plan history so in-flight continuations from
+        // superseded generations keep demodulating).
         for (_, active) in self.pending_plans.drain_until(gen_time) {
-            self.handler.plan().install(&active);
+            self.handler.install_plan(&active);
             self.plan_installs += 1;
         }
 
@@ -340,16 +447,12 @@ impl SimSession {
             }
         }
 
-        let mut sender_ctx =
-            ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
+        let mut sender_ctx = ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
         sender_ctx.trace_digests = false;
         let args = make_event(&mut sender_ctx)?;
         let run = self.modulator.handle(&mut sender_ctx, args)?;
-        let event = ModulatedEvent {
-            seq: self.seq,
-            continuation: run.message,
-            samples: run.samples,
-        };
+        let event =
+            ModulatedEvent { seq: self.seq, continuation: run.message, samples: run.samples };
         let wire_bytes = event.wire_size();
 
         let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
@@ -389,8 +492,7 @@ impl SimSession {
                 self.plans_dropped += 1;
             } else {
                 // The new plan reaches the source after the feedback latency.
-                self.pending_plans
-                    .push(timing.demod_end + self.feedback_latency, update.active);
+                self.pending_plans.push(timing.demod_end + self.feedback_latency, update.active);
                 reconfigured = true;
             }
         }
@@ -402,9 +504,216 @@ impl SimSession {
             timing,
             ret: demod.ret,
             reconfigured,
+            delivered: true,
         };
         self.reports.push(report.clone());
         Ok(report)
+    }
+
+    /// Supervised-wire delivery: the event crosses as checksummed frame
+    /// bytes through the link's fault injector, with retransmission of the
+    /// unacked window and duplicate suppression at the subscriber.
+    fn deliver_supervised(
+        &mut self,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
+    ) -> Result<SimReport, IrError> {
+        self.seq += 1;
+        let gen_time = self.pipeline.sender.busy_until().max(self.pipeline.link.busy_until());
+        for (_, active) in self.pending_plans.drain_until(gen_time) {
+            self.handler.install_plan(&active);
+            self.plan_installs += 1;
+        }
+
+        let mut sender_ctx = ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
+        sender_ctx.trace_digests = false;
+        let args = make_event(&mut sender_ctx)?;
+        let run = self.modulator.handle(&mut sender_ctx, args)?;
+        let event =
+            ModulatedEvent { seq: self.seq, continuation: run.message, samples: run.samples };
+        let this_seq = self.seq;
+        let split_pse = event.continuation.pse;
+        let wire_bytes = event.wire_size();
+        let bytes = Frame::Event { event, t_mod_nanos: 0 }.encode();
+        self.unacked.push_back((this_seq, bytes));
+
+        self.pump(gen_time)?;
+
+        if let Some(report) = self.reports.iter().rev().find(|r| r.seq == this_seq).cloned() {
+            return Ok(report);
+        }
+        // The frame did not make it across this round; it stays in the
+        // unacked window for later pumps.
+        let stalled = MessageTiming {
+            generated: gen_time,
+            mod_start: gen_time,
+            mod_end: gen_time,
+            arrival: gen_time,
+            demod_start: gen_time,
+            demod_end: gen_time,
+        };
+        Ok(SimReport {
+            seq: this_seq,
+            split_pse,
+            wire_bytes,
+            timing: stalled,
+            ret: None,
+            reconfigured: false,
+            delivered: false,
+        })
+    }
+
+    /// One transmission round over the unacked window: every pending frame
+    /// gets a fault decision, survivors cross the wire (possibly damaged,
+    /// duplicated, or reordered) and are decoded, deduplicated, and
+    /// demodulated on the far side. Delivery failures and successes feed
+    /// the degradation controller.
+    fn pump(&mut self, now: SimTime) -> Result<(), IrError> {
+        // Phase 1: decide each frame's fate at the link.
+        let mut wire: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut failures = 0u64;
+        {
+            let injector =
+                self.pipeline.link.fault_mut().expect("pump only runs with a fault plan attached");
+            for (seq, bytes) in &self.unacked {
+                if *seq < self.seq {
+                    self.retransmissions += 1;
+                }
+                let decision = injector.decide();
+                if !decision.delivers() {
+                    self.frames_lost += 1;
+                    failures += 1;
+                    continue;
+                }
+                let mut payload = bytes.clone();
+                if decision.corrupted {
+                    injector.corrupt_in_place(&mut payload);
+                    self.frames_corrupted += 1;
+                }
+                wire.push((*seq, payload));
+                if decision.duplicated {
+                    wire.push((*seq, bytes.clone()));
+                }
+                if decision.reordered && wire.len() >= 2 {
+                    let n = wire.len();
+                    wire.swap(n - 1, n - 2);
+                }
+            }
+        }
+        if let Some(ctl) = self.degradation.as_mut() {
+            for _ in 0..failures {
+                if ctl.record_failure().is_some() {
+                    self.plan_installs += 1;
+                }
+            }
+        }
+
+        // Phase 2: receiver side.
+        for (seq, payload) in wire {
+            let frame = match Frame::decode_bytes(&payload) {
+                Ok((frame, _)) => frame,
+                Err(_) => {
+                    // The checksum caught in-transit damage; to the sender
+                    // this is just a missing ack.
+                    if let Some(ctl) = self.degradation.as_mut() {
+                        if ctl.record_failure().is_some() {
+                            self.plan_installs += 1;
+                        }
+                    }
+                    continue;
+                }
+            };
+            let Frame::Event { event, .. } = frame else {
+                unreachable!("only event frames enter the unacked window")
+            };
+            // The frame arrived intact: acknowledge (trim the window) and
+            // count a success toward recovery.
+            self.unacked.retain(|(s, _)| *s != seq);
+            if let Some(ctl) = self.degradation.as_mut() {
+                if ctl.record_success().is_some() {
+                    self.plan_installs += 1;
+                }
+            }
+            if !self.applied.insert(event.seq) {
+                self.duplicates_suppressed += 1;
+                continue;
+            }
+            let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
+            let wire_bytes = event.wire_size();
+            let ser_work = (self.serialize_work_per_byte * wire_bytes as f64).round() as u64;
+            let mod_work_total = event.continuation.mod_work + ser_work;
+            let demod_work_total = demod.demod_work + ser_work + demod.profile_work;
+            let timing = self.pipeline.submit(
+                now,
+                MessageDemand {
+                    mod_work: mod_work_total,
+                    bytes: wire_bytes as u64,
+                    demod_work: demod_work_total,
+                },
+            );
+
+            self.reconfig.record_mod(ModMessageProfile {
+                samples: event.samples.clone(),
+                split: event.continuation.pse,
+                mod_work: mod_work_total,
+                t_mod: Some((timing.mod_end - timing.mod_start).as_secs_f64()),
+            });
+            self.reconfig.record_samples(&demod.samples);
+            self.reconfig.record_demod(DemodMessageProfile {
+                pse: demod.pse,
+                demod_work: demod_work_total,
+                t_demod: Some((timing.demod_end - timing.demod_start).as_secs_f64()),
+            });
+            let degraded = self.degradation.as_ref().is_some_and(|c| c.is_degraded());
+            let mut reconfigured = false;
+            // While degraded the entry cut is pinned: optimized plans are
+            // only re-promoted by the recovery streak, not by feedback.
+            if !degraded {
+                if let Some(update) = self.reconfig.maybe_reconfigure()? {
+                    if self.control_loss > 0.0 && self.control_rng.random_bool(self.control_loss) {
+                        self.plans_dropped += 1;
+                    } else {
+                        self.pending_plans
+                            .push(timing.demod_end + self.feedback_latency, update.active);
+                        reconfigured = true;
+                    }
+                }
+            }
+
+            let report = SimReport {
+                seq: event.seq,
+                split_pse: event.continuation.pse,
+                wire_bytes,
+                timing,
+                ret: demod.ret.clone(),
+                reconfigured,
+                delivered: true,
+            };
+            self.applied_results.insert(event.seq, demod.ret);
+            self.reports.push(report);
+        }
+        Ok(())
+    }
+
+    /// Retries the unacked window for up to `max_rounds` transmission
+    /// rounds (draining a storm's tail after the last publish); returns
+    /// the number of frames still undelivered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler runtime errors.
+    pub fn drain(&mut self, max_rounds: usize) -> Result<usize, IrError> {
+        for _ in 0..max_rounds {
+            if self.unacked.is_empty() {
+                break;
+            }
+            let now = self.pipeline.sender.busy_until().max(self.pipeline.link.busy_until());
+            for (_, active) in self.pending_plans.drain_until(now) {
+                self.handler.install_plan(&active);
+                self.plan_installs += 1;
+            }
+            self.pump(now)?;
+        }
+        Ok(self.unacked.len())
     }
 
     /// Delivers `n` messages from the same generator.
@@ -432,10 +741,7 @@ impl SimSession {
     /// Average per-message makespan in milliseconds (the paper's "average
     /// message processing time").
     pub fn avg_processing_ms(&self) -> f64 {
-        self.pipeline
-            .avg_processing_time()
-            .map(|t| t.as_millis_f64())
-            .unwrap_or(0.0)
+        self.pipeline.avg_processing_time().map(|t| t.as_millis_f64()).unwrap_or(0.0)
     }
 
     /// Delivered frames per second.

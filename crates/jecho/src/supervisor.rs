@@ -1,0 +1,397 @@
+//! Supervised sending: reconnection with capped exponential backoff and
+//! seeded jitter, plus retransmission of the unacknowledged event window.
+//!
+//! A bare [`TcpSender`] is one connection: if it dies, in-flight events
+//! die with it. The [`Supervisor`] wraps the sender with the classic
+//! reliability loop: every modulated event stays in a window until the
+//! receiver acknowledges it (acks ride on plan frames, standalone `Ack`
+//! frames, and heartbeat echoes); when the connection is declared dead the
+//! supervisor redials — backing off exponentially with jitter up to a cap
+//! — and replays the unacked window on the fresh connection. The receiver
+//! deduplicates by sequence number, so the combination yields exactly-once
+//! application over an at-least-once wire.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpart::PartitionedHandler;
+use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
+use mpart_ir::{IrError, Program, Value};
+use rand::prelude::*;
+
+use crate::envelope::ModulatedEvent;
+use crate::tcp::TcpSender;
+
+/// Reconnection policy: capped exponential backoff with seeded jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Delay before the first reconnection attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the backoff delay.
+    pub max_delay: Duration,
+    /// Attempts per reconnection before giving up (the error budget; when
+    /// exhausted, callers degrade to local execution).
+    pub max_attempts: u32,
+    /// Seed for the jitter PRNG, so runs are reproducible.
+    pub jitter_seed: u64,
+    /// How long the acknowledgement watermark may stall before the
+    /// connection is declared dead.
+    pub stall_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            max_attempts: 8,
+            jitter_seed: 0x5EED_1E55,
+            stall_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before attempt `attempt` (0-based): `base ·
+    /// 2^attempt` capped at `max_delay`, plus up to 50% jitter.
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let jitter_nanos = exp.as_nanos() as u64 / 2;
+        exp + Duration::from_nanos(if jitter_nanos > 0 {
+            rng.random_range(0..=jitter_nanos)
+        } else {
+            0
+        })
+    }
+}
+
+/// A supervised sender: owns the reconnect/retransmit loop around
+/// successive [`TcpSender`] connections to one receiver port.
+pub struct Supervisor {
+    program: Arc<Program>,
+    handler: Arc<PartitionedHandler>,
+    sender_builtins: BuiltinRegistry,
+    port: u16,
+    policy: RetryPolicy,
+    rng: StdRng,
+    sender: Option<TcpSender>,
+    /// Modulated-but-unacknowledged events, in seq order, with their
+    /// sender-side timing piggyback.
+    window: VecDeque<(ModulatedEvent, u64)>,
+    /// Highest contiguous seq acknowledged; shared with every connection's
+    /// control-reading thread so the watermark survives reconnects.
+    acked: Arc<AtomicU64>,
+    /// Highest seq assigned so far (resumes numbering across connections).
+    seq: u64,
+    reconnects: u64,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("port", &self.port)
+            .field("seq", &self.seq)
+            .field("unacked", &self.window.len())
+            .field("reconnects", &self.reconnects)
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// Creates a supervisor for `port`; the first connection is dialed
+    /// lazily on the first publish.
+    pub fn new(
+        program: Arc<Program>,
+        handler: Arc<PartitionedHandler>,
+        sender_builtins: BuiltinRegistry,
+        port: u16,
+        policy: RetryPolicy,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(policy.jitter_seed);
+        Supervisor {
+            program,
+            handler,
+            sender_builtins,
+            port,
+            policy,
+            rng,
+            sender: None,
+            window: VecDeque::new(),
+            acked: Arc::new(AtomicU64::new(0)),
+            seq: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Times the connection has been re-dialed (0 while the first one
+    /// lives).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Highest contiguous seq the receiver has acknowledged.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
+    }
+
+    /// Events modulated but not yet acknowledged.
+    pub fn unacked(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Highest seq assigned so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn trim_window(&mut self) {
+        let acked = self.acked();
+        while self.window.front().is_some_and(|(e, _)| e.seq <= acked) {
+            self.window.pop_front();
+        }
+    }
+
+    /// Dials the receiver, backing off per the policy, and replays the
+    /// unacked window on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once `max_attempts` is exhausted —
+    /// the caller's cue to degrade.
+    fn reconnect_and_replay(&mut self) -> Result<(), IrError> {
+        if let Some(old) = self.sender.take() {
+            old.abandon();
+            self.reconnects += 1;
+        }
+        let mut last_err = IrError::Marshal("no reconnect attempts allowed".into());
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay(attempt - 1, &mut self.rng));
+            }
+            match TcpSender::connect_with(
+                Arc::clone(&self.program),
+                Arc::clone(&self.handler),
+                self.sender_builtins.clone(),
+                self.port,
+                Arc::clone(&self.acked),
+                self.seq,
+            ) {
+                Ok(mut sender) => {
+                    self.trim_window();
+                    for (event, t_mod) in &self.window {
+                        sender.send_event(event, *t_mod)?;
+                    }
+                    self.sender = Some(sender);
+                    return Ok(());
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(IrError::Marshal(format!(
+            "link down: reconnect failed after {} attempts ({last_err})",
+            self.policy.max_attempts.max(1)
+        )))
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), IrError> {
+        if self.sender.is_none() {
+            self.reconnect_and_replay()?;
+        }
+        Ok(())
+    }
+
+    /// Modulates and publishes one event with at-least-once delivery: the
+    /// event enters the unacked window before the send, and a failed send
+    /// triggers reconnect-and-replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates modulator errors; returns the reconnect error once the
+    /// retry budget is exhausted (the event stays in the window and is
+    /// replayed by the next successful reconnect).
+    pub fn publish(
+        &mut self,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
+    ) -> Result<(), IrError> {
+        self.ensure_connected()?;
+        let sender = self.sender.as_mut().expect("just connected");
+        let (event, t_mod) = sender.modulate(make_event)?;
+        self.seq = event.seq;
+        self.window.push_back((event, t_mod));
+        self.trim_window();
+        let (event, t_mod) = self.window.back().cloned().expect("just pushed");
+        let send = self.sender.as_mut().expect("just connected").send_event(&event, t_mod);
+        if send.is_err() {
+            self.reconnect_and_replay()?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until the receiver has acknowledged everything sent so far
+    /// (`acked >= seq`), heartbeating to solicit acks and declaring the
+    /// connection dead — reconnecting and replaying — whenever the
+    /// watermark stalls for `stall_timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Continuation`] if `deadline` elapses first, or
+    /// the reconnect error once the retry budget is exhausted.
+    pub fn await_drain(&mut self, deadline: Duration) -> Result<(), IrError> {
+        let start = Instant::now();
+        let mut last_progress = Instant::now();
+        let mut last_acked = self.acked();
+        while self.acked() < self.seq {
+            if start.elapsed() > deadline {
+                return Err(IrError::Continuation(format!(
+                    "drain deadline: acked {} of {}",
+                    self.acked(),
+                    self.seq
+                )));
+            }
+            self.ensure_connected()?;
+            let dead = self.sender.as_mut().expect("connected").heartbeat().is_err()
+                || last_progress.elapsed() > self.policy.stall_timeout;
+            if dead {
+                self.reconnect_and_replay()?;
+                last_progress = Instant::now();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            let acked = self.acked();
+            if acked > last_acked {
+                last_acked = acked;
+                last_progress = Instant::now();
+            }
+        }
+        self.trim_window();
+        Ok(())
+    }
+
+    /// Drains the window, sends the shutdown handshake, and closes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates drain and socket errors.
+    pub fn shutdown(mut self, drain_deadline: Duration) -> Result<(), IrError> {
+        self.await_drain(drain_deadline)?;
+        match self.sender.take() {
+            Some(sender) => sender.shutdown(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpReceiver;
+    use mpart::profile::TriggerPolicy;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+
+    const SRC: &str = r#"
+        fn tally(x) {
+            y = x * 2
+            native store(y)
+            return y
+        }
+    "#;
+
+    fn receiver_builtins() -> mpart_ir::interp::BuiltinRegistry {
+        let mut b = mpart_ir::interp::BuiltinRegistry::new();
+        b.register_native("store", 1, |_, _| Ok(Value::Null));
+        b
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let delays: Vec<Duration> = (0..8).map(|a| policy.delay(a, &mut rng)).collect();
+        // Jitter adds at most 50%, so bounds are deterministic.
+        for (attempt, d) in delays.iter().enumerate() {
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt.min(6))
+                .min(Duration::from_millis(80));
+            assert!(*d >= exp, "attempt {attempt}: {d:?} below {exp:?}");
+            assert!(*d <= exp * 3 / 2, "attempt {attempt}: {d:?} above cap+jitter");
+        }
+        // Deterministic for a fixed seed.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let replay: Vec<Duration> = (0..8).map(|a| policy.delay(a, &mut rng2)).collect();
+        assert_eq!(delays, replay);
+    }
+
+    #[test]
+    fn survives_forced_mid_stream_disconnect() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        // The receiver kills the first connection after 3 events; the
+        // supervisor must reconnect and replay so that all 10 events are
+        // applied exactly once.
+        let receiver = TcpReceiver::bind_faulty(
+            Arc::clone(&program),
+            "tally",
+            Arc::new(DataSizeModel::new()),
+            receiver_builtins(),
+            TriggerPolicy::Never,
+            3,
+        )
+        .unwrap();
+        let mut supervisor = Supervisor::new(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            mpart_ir::interp::BuiltinRegistry::new(),
+            receiver.port(),
+            RetryPolicy { stall_timeout: Duration::from_millis(100), ..RetryPolicy::default() },
+        );
+        for i in 0..10 {
+            // Sends may land in a dead socket's buffer; the window +
+            // drain below recover them.
+            let _ = supervisor.publish(move |_| Ok(vec![Value::Int(i)]));
+        }
+        supervisor.await_drain(Duration::from_secs(30)).unwrap();
+        assert!(supervisor.reconnects() >= 1, "the fault actually fired");
+        assert_eq!(supervisor.acked(), 10);
+        assert_eq!(supervisor.unacked(), 0);
+        supervisor.shutdown(Duration::from_secs(5)).unwrap();
+        assert_eq!(receiver.join().unwrap(), 10, "exactly-once application");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_link_down() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let handler = mpart::PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "tally",
+            Arc::new(DataSizeModel::new()),
+        )
+        .unwrap();
+        // Nobody is listening on this port (bind-then-drop reserves one).
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut supervisor = Supervisor::new(
+            Arc::clone(&program),
+            handler,
+            mpart_ir::interp::BuiltinRegistry::new(),
+            port,
+            RetryPolicy {
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+        );
+        let err = supervisor.publish(|_| Ok(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, IrError::Marshal(m) if m.contains("link down")));
+    }
+}

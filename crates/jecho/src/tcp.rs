@@ -1,5 +1,5 @@
 //! A real-socket transport: modulated events and plan updates cross a TCP
-//! connection as length-prefixed [`Frame`]s.
+//! connection as checksummed [`Frame`]s.
 //!
 //! This is the closest analogue to the paper's deployment: sender and
 //! receiver own separate address spaces, the continuation travels as
@@ -7,6 +7,14 @@
 //! over the same full-duplex connection. (The sender and receiver here
 //! share the analyzed handler via `Arc` the way JECho ships the modulator
 //! class to the source at subscription time.)
+//!
+//! The receiver is *supervised-transport grade*: it accepts successive
+//! sender connections (a reconnecting [`Supervisor`](crate::supervisor)
+//! shows up as a fresh connection), deduplicates events by sequence
+//! number across connections, and acknowledges the highest contiguous
+//! sequence applied — piggy-backed on plan updates and echoed to
+//! heartbeats — so the sender can trim its retransmission window. A
+//! garbled or dead connection is dropped, never fatal.
 
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
@@ -32,6 +40,7 @@ pub struct TcpReceiver {
     port: u16,
     accept_thread: Option<JoinHandle<Result<u64, IrError>>>,
     outcomes: Receiver<LocalOutcome>,
+    demod_errors: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for TcpReceiver {
@@ -45,8 +54,10 @@ impl std::fmt::Debug for TcpReceiver {
 
 impl TcpReceiver {
     /// Analyzes `handler_fn` and binds a listener on `127.0.0.1:0`
-    /// (ephemeral port). The receiver serves exactly one sender
-    /// connection, demodulating events and pushing plan updates back.
+    /// (ephemeral port). The receiver serves sender connections one at a
+    /// time — a dropped connection sends it back to `accept`, so a
+    /// reconnecting sender resumes the stream — demodulating events and
+    /// pushing plan updates back, until a `Shutdown` frame arrives.
     ///
     /// # Errors
     ///
@@ -59,87 +70,192 @@ impl TcpReceiver {
         receiver_builtins: BuiltinRegistry,
         trigger: TriggerPolicy,
     ) -> Result<Self, IrError> {
+        Self::bind_inner(program, handler_fn, model, receiver_builtins, trigger, None)
+    }
+
+    /// Like [`bind`](Self::bind), but forcibly drops the first connection
+    /// after `disconnect_after` events have arrived on it — a
+    /// fault-injection hook for exercising sender-side reconnect and
+    /// retransmission (the receiver itself keeps running and accepts the
+    /// next connection).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`bind`](Self::bind).
+    pub fn bind_faulty(
+        program: Arc<Program>,
+        handler_fn: &str,
+        model: Arc<dyn CostModel>,
+        receiver_builtins: BuiltinRegistry,
+        trigger: TriggerPolicy,
+        disconnect_after: u64,
+    ) -> Result<Self, IrError> {
+        Self::bind_inner(
+            program,
+            handler_fn,
+            model,
+            receiver_builtins,
+            trigger,
+            Some(disconnect_after),
+        )
+    }
+
+    fn bind_inner(
+        program: Arc<Program>,
+        handler_fn: &str,
+        model: Arc<dyn CostModel>,
+        receiver_builtins: BuiltinRegistry,
+        trigger: TriggerPolicy,
+        disconnect_after: Option<u64>,
+    ) -> Result<Self, IrError> {
         let kind = model.kind();
         let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
-        let listener = TcpListener::bind("127.0.0.1:0")
-            .map_err(|e| IrError::Marshal(format!("bind: {e}")))?;
-        let port = listener
-            .local_addr()
-            .map_err(|e| IrError::Marshal(format!("local_addr: {e}")))?
-            .port();
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| IrError::Marshal(format!("bind: {e}")))?;
+        let port =
+            listener.local_addr().map_err(|e| IrError::Marshal(format!("local_addr: {e}")))?.port();
         let (outcome_tx, outcomes) = bounded::<LocalOutcome>(1024);
+        let demod_errors = Arc::new(AtomicU64::new(0));
 
         let recv_handler = Arc::clone(&handler);
+        let error_counter = Arc::clone(&demod_errors);
         let accept_thread = std::thread::spawn(move || -> Result<u64, IrError> {
-            let (stream, _) = listener
-                .accept()
-                .map_err(|e| IrError::Marshal(format!("accept: {e}")))?;
-            let mut read_half = stream
-                .try_clone()
-                .map_err(|e| IrError::Marshal(format!("clone: {e}")))?;
-            let mut write_half = stream;
-
             let demodulator = recv_handler.demodulator();
             let mut ctx = ExecCtx::with_builtins(&program, receiver_builtins);
             let mut reconfig =
                 ReconfigUnit::new(Arc::clone(recv_handler.analysis()), kind, trigger);
             let mut revision = 0u64;
             let mut processed = 0u64;
-            loop {
-                match Frame::read_from(&mut read_half)? {
-                    Frame::Shutdown => break,
-                    Frame::Plan(_) => {
-                        return Err(IrError::Marshal(
-                            "unexpected plan frame at the receiver".into(),
-                        ))
-                    }
-                    Frame::Event { event, t_mod_nanos } => {
-                        let started = Instant::now();
-                        let demod = demodulator.handle(&mut ctx, &event.continuation)?;
-                        let t_demod = started.elapsed().as_secs_f64();
-                        processed += 1;
-
-                        reconfig.record_mod(ModMessageProfile {
-                            samples: event.samples.clone(),
-                            split: event.continuation.pse,
-                            mod_work: event.continuation.mod_work,
-                            t_mod: (t_mod_nanos > 0)
-                                .then_some(t_mod_nanos as f64 / 1e9),
-                        });
-                        reconfig.record_samples(&demod.samples);
-                        reconfig.record_demod(DemodMessageProfile {
-                            pse: demod.pse,
-                            demod_work: demod.demod_work,
-                            t_demod: Some(t_demod),
-                        });
-                        let mut reconfigured = false;
-                        if let Some(update) = reconfig.maybe_reconfigure()? {
-                            revision += 1;
-                            Frame::Plan(PlanEnvelope {
-                                active: update.active,
-                                revision,
-                            })
-                            .write_to(&mut write_half)?;
+            // Highest contiguous event seq applied; survives reconnects so
+            // retransmitted events are acknowledged but not re-applied.
+            let mut last_applied = 0u64;
+            let mut fault_budget = disconnect_after;
+            'accepting: loop {
+                let (stream, _) =
+                    listener.accept().map_err(|e| IrError::Marshal(format!("accept: {e}")))?;
+                let Ok(mut read_half) = stream.try_clone() else { continue 'accepting };
+                let mut write_half = stream;
+                let mut on_this_conn = 0u64;
+                loop {
+                    let frame = match Frame::read_from(&mut read_half) {
+                        Ok(f) => f,
+                        // Garbled or dead connection: drop it and accept
+                        // the next one; the supervisor retransmits.
+                        Err(_) => continue 'accepting,
+                    };
+                    match frame {
+                        Frame::Shutdown => break 'accepting,
+                        // Plans and acks flow receiver → sender only.
+                        Frame::Plan(_) | Frame::Ack { .. } => continue 'accepting,
+                        Frame::Heartbeat { .. } => {
+                            if (Frame::Ack { ack: last_applied }).write_to(&mut write_half).is_err()
+                            {
+                                continue 'accepting;
+                            }
                             let _ = write_half.flush();
-                            reconfigured = true;
                         }
-                        // Non-blocking: if the consumer stops draining
-                        // outcomes, drop them instead of deadlocking the
-                        // shutdown path behind a full channel.
-                        let _ = outcome_tx.try_send(LocalOutcome {
-                            seq: event.seq,
-                            ret: demod.ret,
-                            split_pse: event.continuation.pse,
-                            wire_bytes: event.wire_size(),
-                            reconfigured,
-                        });
+                        Frame::Event { event, t_mod_nanos } => {
+                            if let Some(limit) = fault_budget {
+                                if on_this_conn >= limit {
+                                    fault_budget = None;
+                                    let _ = write_half.shutdown(std::net::Shutdown::Both);
+                                    continue 'accepting;
+                                }
+                            }
+                            on_this_conn += 1;
+                            if event.seq <= last_applied {
+                                // Retransmission overlap: acknowledge but
+                                // never re-apply.
+                                let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
+                                let _ = write_half.flush();
+                                continue;
+                            }
+                            let started = Instant::now();
+                            let demod = match demodulator.handle(&mut ctx, &event.continuation) {
+                                Ok(demod) => demod,
+                                Err(_) => {
+                                    // A poison event (deterministic
+                                    // failure) is acknowledged and
+                                    // skipped — retrying it would loop
+                                    // forever.
+                                    error_counter.fetch_add(1, Ordering::Relaxed);
+                                    last_applied = event.seq;
+                                    let _ =
+                                        Frame::Ack { ack: last_applied }.write_to(&mut write_half);
+                                    let _ = write_half.flush();
+                                    continue;
+                                }
+                            };
+                            let t_demod = started.elapsed().as_secs_f64();
+                            last_applied = event.seq;
+                            processed += 1;
+
+                            reconfig.record_mod(ModMessageProfile {
+                                samples: event.samples.clone(),
+                                split: event.continuation.pse,
+                                mod_work: event.continuation.mod_work,
+                                t_mod: (t_mod_nanos > 0).then_some(t_mod_nanos as f64 / 1e9),
+                            });
+                            reconfig.record_samples(&demod.samples);
+                            reconfig.record_demod(DemodMessageProfile {
+                                pse: demod.pse,
+                                demod_work: demod.demod_work,
+                                t_demod: Some(t_demod),
+                            });
+                            let mut reconfigured = false;
+                            // A no-op update (same active set) is not
+                            // installed: pointless epoch churn would advance
+                            // the staleness horizon and reject in-flight
+                            // retransmissions for no benefit.
+                            let update = reconfig
+                                .maybe_reconfigure()?
+                                .filter(|u| u.active != recv_handler.plan().active());
+                            if let Some(update) = update {
+                                revision += 1;
+                                // The receiver installs the plan (recording
+                                // the generation for its demodulator's
+                                // history) and tells the sender which epoch
+                                // it became.
+                                let epoch = recv_handler.install_plan(&update.active);
+                                let plan = Frame::Plan(PlanEnvelope {
+                                    active: update.active,
+                                    revision,
+                                    epoch,
+                                    ack: last_applied,
+                                });
+                                if plan.write_to(&mut write_half).is_err() {
+                                    continue 'accepting;
+                                }
+                                let _ = write_half.flush();
+                                reconfigured = true;
+                            } else {
+                                let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
+                                let _ = write_half.flush();
+                            }
+                            // Non-blocking: if the consumer stops draining
+                            // outcomes, drop them instead of deadlocking the
+                            // shutdown path behind a full channel.
+                            let _ = outcome_tx.try_send(LocalOutcome {
+                                seq: event.seq,
+                                ret: demod.ret,
+                                split_pse: event.continuation.pse,
+                                wire_bytes: event.wire_size(),
+                                reconfigured,
+                            });
+                        }
                     }
                 }
             }
             Ok(processed)
         });
 
-        Ok(TcpReceiver { handler, port, accept_thread: Some(accept_thread), outcomes })
+        Ok(TcpReceiver {
+            handler,
+            port,
+            accept_thread: Some(accept_thread),
+            outcomes,
+            demod_errors,
+        })
     }
 
     /// The bound port on localhost.
@@ -153,23 +269,27 @@ impl TcpReceiver {
         &self.handler
     }
 
+    /// Events that failed demodulation and were skipped (acknowledged but
+    /// never applied).
+    pub fn demod_errors(&self) -> u64 {
+        self.demod_errors.load(Ordering::Relaxed)
+    }
+
     /// Waits for the next processed outcome.
     ///
     /// # Errors
     ///
     /// Returns [`IrError::Continuation`] if the receiver stopped.
     pub fn next_outcome(&self) -> Result<LocalOutcome, IrError> {
-        self.outcomes
-            .recv()
-            .map_err(|_| IrError::Continuation("tcp receiver stopped".into()))
+        self.outcomes.recv().map_err(|_| IrError::Continuation("tcp receiver stopped".into()))
     }
 
-    /// Joins the receiver after the sender shut the connection down,
-    /// returning the number of processed events.
+    /// Joins the receiver after a sender shut the session down, returning
+    /// the number of distinct events applied (duplicates excluded).
     ///
     /// # Errors
     ///
-    /// Propagates any handler error the receiver hit.
+    /// Propagates any fatal error the receiver hit.
     pub fn join(mut self) -> Result<u64, IrError> {
         match self.accept_thread.take() {
             Some(t) => match t.join() {
@@ -183,6 +303,9 @@ impl TcpReceiver {
 
 /// The sender endpoint: runs the modulator locally and streams modulated
 /// events to a [`TcpReceiver`].
+///
+/// One `TcpSender` is one connection. For retry, reconnection, and
+/// retransmission, wrap it in a [`Supervisor`](crate::supervisor::Supervisor).
 pub struct TcpSender {
     program: Arc<Program>,
     handler: Arc<PartitionedHandler>,
@@ -192,6 +315,7 @@ pub struct TcpSender {
     plan_thread: Option<JoinHandle<()>>,
     seq: u64,
     plans_applied: Arc<AtomicU64>,
+    acked: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for TcpSender {
@@ -215,27 +339,52 @@ impl TcpSender {
         sender_builtins: BuiltinRegistry,
         port: u16,
     ) -> Result<Self, IrError> {
+        Self::connect_with(program, handler, sender_builtins, port, Arc::new(AtomicU64::new(0)), 0)
+    }
+
+    /// Like [`connect`](Self::connect), with caller-owned shared state: the
+    /// `acked` watermark survives across reconnects (a supervisor passes
+    /// the same counter to each successive connection) and `start_seq`
+    /// resumes the sequence numbering where the previous connection left
+    /// off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] if the connection fails.
+    pub fn connect_with(
+        program: Arc<Program>,
+        handler: Arc<PartitionedHandler>,
+        sender_builtins: BuiltinRegistry,
+        port: u16,
+        acked: Arc<AtomicU64>,
+        start_seq: u64,
+    ) -> Result<Self, IrError> {
         let stream = TcpStream::connect(("127.0.0.1", port))
             .map_err(|e| IrError::Marshal(format!("connect: {e}")))?;
-        let mut read_half = stream
-            .try_clone()
-            .map_err(|e| IrError::Marshal(format!("clone: {e}")))?;
+        let mut read_half =
+            stream.try_clone().map_err(|e| IrError::Marshal(format!("clone: {e}")))?;
         let write_half = stream;
 
-        // Plan updates arrive asynchronously; install them into the shared
-        // atomic flags as they land.
+        // Control traffic (plan updates, acks) arrives asynchronously.
+        // Plans were already installed by the receiver into the shared
+        // handler; this side only tracks the acknowledgement watermark and
+        // the applied-plan count.
         let plans_applied = Arc::new(AtomicU64::new(0));
-        let plan_handler = Arc::clone(&handler);
         let plan_counter = Arc::clone(&plans_applied);
+        let ack_watermark = Arc::clone(&acked);
         let plan_thread = std::thread::spawn(move || {
             while let Ok(frame) = Frame::read_from(&mut read_half) {
                 match frame {
                     Frame::Plan(update) => {
-                        plan_handler.plan().install(&update.active);
+                        ack_watermark.fetch_max(update.ack, Ordering::AcqRel);
                         plan_counter.fetch_add(1, Ordering::Relaxed);
                     }
+                    Frame::Ack { ack } => {
+                        ack_watermark.fetch_max(ack, Ordering::AcqRel);
+                    }
                     Frame::Shutdown => break,
-                    Frame::Event { .. } => break, // protocol violation; stop
+                    // Events and heartbeats flow sender → receiver only.
+                    Frame::Event { .. } | Frame::Heartbeat { .. } => break,
                 }
             }
         });
@@ -247,8 +396,9 @@ impl TcpSender {
             sender_builtins,
             write_half,
             plan_thread: Some(plan_thread),
-            seq: 0,
+            seq: start_seq,
             plans_applied,
+            acked,
         })
     }
 
@@ -257,7 +407,60 @@ impl TcpSender {
         self.plans_applied.load(Ordering::Relaxed)
     }
 
-    /// Publishes one event over the socket.
+    /// Highest contiguous event seq the receiver has acknowledged.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
+    }
+
+    /// Highest event seq assigned so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Runs the modulator on one event, assigning it the next sequence
+    /// number, without touching the socket. The result can be sent (and
+    /// later re-sent) with [`send_event`](Self::send_event).
+    ///
+    /// # Errors
+    ///
+    /// Propagates modulator errors.
+    pub fn modulate(
+        &mut self,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
+    ) -> Result<(ModulatedEvent, u64), IrError> {
+        self.seq += 1;
+        let mut ctx = ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
+        let args = make_event(&mut ctx)?;
+        let started = Instant::now();
+        let run = self.modulator.handle(&mut ctx, args)?;
+        let t_mod_nanos = started.elapsed().as_nanos() as u64;
+        let event =
+            ModulatedEvent { seq: self.seq, continuation: run.message, samples: run.samples };
+        Ok((event, t_mod_nanos))
+    }
+
+    /// Writes one already-modulated event to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_event(&mut self, event: &ModulatedEvent, t_mod_nanos: u64) -> Result<(), IrError> {
+        Frame::Event { event: event.clone(), t_mod_nanos }.write_to(&mut self.write_half)?;
+        self.write_half.flush().map_err(|e| IrError::Marshal(format!("flush: {e}")))
+    }
+
+    /// Sends a liveness probe carrying the highest seq sent; the receiver
+    /// answers with an `Ack` frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn heartbeat(&mut self) -> Result<(), IrError> {
+        Frame::Heartbeat { seq: self.seq }.write_to(&mut self.write_half)?;
+        self.write_half.flush().map_err(|e| IrError::Marshal(format!("flush: {e}")))
+    }
+
+    /// Publishes one event over the socket (modulate + send).
     ///
     /// # Errors
     ///
@@ -266,21 +469,8 @@ impl TcpSender {
         &mut self,
         make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError>,
     ) -> Result<(), IrError> {
-        self.seq += 1;
-        let mut ctx = ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
-        let args = make_event(&mut ctx)?;
-        let started = Instant::now();
-        let run = self.modulator.handle(&mut ctx, args)?;
-        let t_mod_nanos = started.elapsed().as_nanos() as u64;
-        let event = ModulatedEvent {
-            seq: self.seq,
-            continuation: run.message,
-            samples: run.samples,
-        };
-        Frame::Event { event, t_mod_nanos }.write_to(&mut self.write_half)?;
-        self.write_half
-            .flush()
-            .map_err(|e| IrError::Marshal(format!("flush: {e}")))
+        let (event, t_mod_nanos) = self.modulate(make_event)?;
+        self.send_event(&event, t_mod_nanos)
     }
 
     /// Sends the shutdown frame and joins the plan thread.
@@ -296,6 +486,18 @@ impl TcpSender {
             let _ = t.join();
         }
         Ok(())
+    }
+
+    /// Tears the connection down without the shutdown handshake, leaving
+    /// the receiver running (it returns to `accept`). Used by the
+    /// supervisor when it declares a connection dead.
+    pub(crate) fn abandon(mut self) {
+        let _ = self.write_half.shutdown(std::net::Shutdown::Both);
+        if let Some(t) = self.plan_thread.take() {
+            let _ = t.join();
+        }
+        // Drop runs next but the socket is already down; the extra
+        // Shutdown write in Drop fails harmlessly.
     }
 }
 
@@ -345,7 +547,10 @@ mod tests {
         b
     }
 
-    fn doc(program: &Arc<Program>, n: usize) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+    fn doc(
+        program: &Arc<Program>,
+        n: usize,
+    ) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
         let classes = &program.classes;
         move |ctx| {
             let class = classes.id("Doc").unwrap();
@@ -384,10 +589,7 @@ mod tests {
             assert_eq!(outcome.ret, Some(Value::Int(1)));
             last_bytes = outcome.wire_bytes;
         }
-        assert!(
-            last_bytes < 1000,
-            "adaptation shrank the wire to {last_bytes} bytes"
-        );
+        assert!(last_bytes < 1000, "adaptation shrank the wire to {last_bytes} bytes");
         assert!(sender.plans_applied() >= 1);
         sender.shutdown().unwrap();
         assert_eq!(receiver.join().unwrap(), 10);
@@ -418,5 +620,70 @@ mod tests {
         }
         sender.shutdown().unwrap();
         assert_eq!(receiver.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn successive_connections_are_accepted_and_deduplicated() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let receiver = TcpReceiver::bind(
+            Arc::clone(&program),
+            "index",
+            Arc::new(DataSizeModel::new()),
+            receiver_builtins(),
+            TriggerPolicy::Never,
+        )
+        .unwrap();
+        let acked = Arc::new(AtomicU64::new(0));
+
+        // First connection sends seqs 1..=3, then vanishes without the
+        // shutdown handshake.
+        let mut first = TcpSender::connect_with(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+            Arc::clone(&acked),
+            0,
+        )
+        .unwrap();
+        let mut events = Vec::new();
+        for _ in 0..3 {
+            let (event, t) = first.modulate(|_| Ok(vec![Value::Int(9)])).unwrap();
+            first.send_event(&event, t).unwrap();
+            events.push((event, t));
+        }
+        for _ in 0..3 {
+            receiver.next_outcome().unwrap();
+        }
+        first.abandon();
+
+        // Second connection re-sends 2..=3 (as a supervisor replaying an
+        // unacked window would) plus a fresh seq 4.
+        let mut second = TcpSender::connect_with(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+            Arc::clone(&acked),
+            3,
+        )
+        .unwrap();
+        for (event, t) in &events[1..] {
+            second.send_event(event, *t).unwrap();
+        }
+        second.publish(|_| Ok(vec![Value::Int(9)])).unwrap();
+        // Only the fresh event produces an outcome; duplicates are acked
+        // but not re-applied.
+        let outcome = receiver.next_outcome().unwrap();
+        assert_eq!(outcome.seq, 4);
+
+        second.heartbeat().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while second.acked() < 4 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(second.acked(), 4);
+        second.shutdown().unwrap();
+        assert_eq!(receiver.join().unwrap(), 4, "each event applied exactly once");
     }
 }

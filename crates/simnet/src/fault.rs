@@ -1,0 +1,212 @@
+//! Deterministic link fault injection: seeded drop / duplicate / reorder /
+//! corrupt probabilities plus a scheduled fault plan (e.g. "partition the
+//! link for transmissions 100–200").
+//!
+//! The injector decides the fate of each transmission *attempt* from a
+//! seeded PRNG and a monotone attempt counter, so an identical seed and
+//! attempt sequence replays the identical storm — chaos runs are exactly
+//! reproducible and comparable against an unpartitioned oracle.
+
+use std::ops::Range;
+
+use rand::prelude::*;
+
+/// Probabilities and schedule of injected link faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability a transmission is silently dropped.
+    pub drop: f64,
+    /// Probability a transmission is delivered twice.
+    pub duplicate: f64,
+    /// Probability a transmission is swapped with the one before it.
+    pub reorder: f64,
+    /// Probability a transmission's bytes are flipped in transit.
+    pub corrupt: f64,
+    /// PRNG seed for the per-attempt coin flips.
+    pub seed: u64,
+    /// Attempt-index windows during which the link is fully partitioned
+    /// (nothing crosses, regardless of the probabilities above).
+    pub partitions: Vec<Range<u64>>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Partitions the link for attempt indices in `window` (0-based,
+    /// half-open). Windows may overlap.
+    pub fn with_partition(mut self, window: Range<u64>) -> Self {
+        self.partitions.push(window);
+        self
+    }
+
+    /// Whether attempt `index` falls inside a scheduled partition.
+    pub fn partitioned_at(&self, index: u64) -> bool {
+        self.partitions.iter().any(|w| w.contains(&index))
+    }
+}
+
+/// The fate of one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// The link is down: the transmission never leaves the sender.
+    pub partitioned: bool,
+    /// The transmission is silently lost.
+    pub dropped: bool,
+    /// The transmission arrives twice.
+    pub duplicated: bool,
+    /// The transmission is swapped with its predecessor.
+    pub reordered: bool,
+    /// The transmission's bytes are damaged in transit.
+    pub corrupted: bool,
+}
+
+impl FaultDecision {
+    /// True when the transmission reaches the receiver (possibly damaged
+    /// or duplicated).
+    pub fn delivers(&self) -> bool {
+        !self.partitioned && !self.dropped
+    }
+}
+
+/// Stateful fault engine: a [`FaultPlan`] plus the seeded PRNG and the
+/// attempt counter.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    attempts: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a plan (PRNG seeded from `plan.seed`).
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector { plan, rng, attempts: 0 }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Transmission attempts decided so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Decides the fate of the next transmission attempt. The coin flips
+    /// are always drawn in the same order (drop, duplicate, reorder,
+    /// corrupt, plus one positional draw for corruption), even inside a
+    /// partition window, so schedules stay aligned across runs that differ
+    /// only in their partition windows.
+    pub fn decide(&mut self) -> FaultDecision {
+        let index = self.attempts;
+        self.attempts += 1;
+        let dropped = self.plan.drop > 0.0 && self.rng.random_bool(self.plan.drop);
+        let duplicated = self.plan.duplicate > 0.0 && self.rng.random_bool(self.plan.duplicate);
+        let reordered = self.plan.reorder > 0.0 && self.rng.random_bool(self.plan.reorder);
+        let corrupted = self.plan.corrupt > 0.0 && self.rng.random_bool(self.plan.corrupt);
+        FaultDecision {
+            partitioned: self.plan.partitioned_at(index),
+            dropped,
+            duplicated,
+            reordered,
+            corrupted,
+        }
+    }
+
+    /// Damages `bytes` in place (deterministically, from the same PRNG):
+    /// one byte is XOR-flipped. No-op on empty input.
+    pub fn corrupt_in_place(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let at = self.rng.random_range(0..bytes.len());
+        bytes[at] ^= 0x55;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_always_delivers() {
+        let mut inj = FaultInjector::new(FaultPlan::new(7));
+        for _ in 0..100 {
+            let d = inj.decide();
+            assert_eq!(d, FaultDecision::default());
+            assert!(d.delivers());
+        }
+    }
+
+    #[test]
+    fn partition_windows_cover_exactly_their_range() {
+        let plan = FaultPlan::new(0).with_partition(3..6).with_partition(10..11);
+        let mut inj = FaultInjector::new(plan);
+        let down: Vec<u64> =
+            (0..15).filter_map(|i| inj.decide().partitioned.then_some(i)).collect();
+        assert_eq!(down, vec![3, 4, 5, 10]);
+    }
+
+    #[test]
+    fn same_seed_replays_identical_decisions() {
+        let plan = FaultPlan::new(99)
+            .with_drop(0.3)
+            .with_duplicate(0.2)
+            .with_reorder(0.2)
+            .with_corrupt(0.1);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        let run_a: Vec<FaultDecision> = (0..200).map(|_| a.decide()).collect();
+        let run_b: Vec<FaultDecision> = (0..200).map(|_| b.decide()).collect();
+        assert_eq!(run_a, run_b);
+        // And the storm is not degenerate.
+        assert!(run_a.iter().any(|d| d.dropped));
+        assert!(run_a.iter().any(|d| d.duplicated));
+        assert!(run_a.iter().any(|d| d.corrupted));
+        assert!(run_a.iter().any(|d| d.delivers()));
+    }
+
+    #[test]
+    fn corruption_changes_bytes_deterministically() {
+        let mut a = FaultInjector::new(FaultPlan::new(5));
+        let mut b = FaultInjector::new(FaultPlan::new(5));
+        let clean = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut x = clean.clone();
+        let mut y = clean.clone();
+        a.corrupt_in_place(&mut x);
+        b.corrupt_in_place(&mut y);
+        assert_ne!(x, clean);
+        assert_eq!(x, y, "same seed, same damage");
+        let mut empty: Vec<u8> = vec![];
+        a.corrupt_in_place(&mut empty);
+    }
+}

@@ -22,6 +22,7 @@
 //! virtual time, so every experiment is exactly reproducible from its
 //! seed.
 
+pub mod fault;
 pub mod host;
 pub mod link;
 pub mod perturb;
@@ -29,6 +30,7 @@ pub mod pipeline;
 pub mod queue;
 pub mod time;
 
+pub use fault::{FaultDecision, FaultInjector, FaultPlan};
 pub use host::Host;
 pub use link::Link;
 pub use perturb::{PerturbConfig, PerturbationTrace};

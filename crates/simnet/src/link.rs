@@ -1,6 +1,7 @@
 //! Simulated network links with the paper's cost model
 //! `T_s(m) = α + β·S(m)` (equation 1).
 
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::time::SimTime;
 
 /// A simulated point-to-point link.
@@ -26,6 +27,7 @@ pub struct Link {
     /// Seconds per byte.
     pub beta: f64,
     busy_until: SimTime,
+    fault: Option<FaultInjector>,
 }
 
 impl Link {
@@ -41,7 +43,26 @@ impl Link {
             alpha,
             beta: 1.0 / bandwidth_bytes_per_sec,
             busy_until: SimTime::ZERO,
+            fault: None,
         }
+    }
+
+    /// Attaches a seeded [`FaultPlan`]: transports built on this link can
+    /// consult [`fault_mut`](Self::fault_mut) to decide each
+    /// transmission's fate. A plain timing-only `transfer` ignores it.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(FaultInjector::new(plan));
+        self
+    }
+
+    /// The fault injector, if a plan is attached.
+    pub fn fault_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.fault.as_mut()
+    }
+
+    /// Whether a fault plan is attached.
+    pub fn has_faults(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// An 802.11b-class wireless link (~500 KB/s effective, 5 ms setup) —
@@ -127,5 +148,19 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_rejected() {
         Link::new("bad", SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn fault_plan_rides_the_link() {
+        let mut plain = Link::new("l", SimTime::ZERO, 1000.0);
+        assert!(!plain.has_faults());
+        assert!(plain.fault_mut().is_none());
+        let mut faulty = Link::new("l", SimTime::ZERO, 1000.0)
+            .with_fault_plan(FaultPlan::new(1).with_partition(0..2));
+        assert!(faulty.has_faults());
+        let inj = faulty.fault_mut().unwrap();
+        assert!(inj.decide().partitioned);
+        assert!(inj.decide().partitioned);
+        assert!(!inj.decide().partitioned);
     }
 }

@@ -74,8 +74,9 @@ impl PerturbationTrace {
         let mut deltas: Vec<(u64, f64)> = Vec::new(); // (nanos, +/- lindex)
         for thread in 0..config.threads {
             // Derive an independent stream per thread from the same seed.
-            let mut trng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
-                .wrapping_mul(thread as u64 + 1)));
+            let mut trng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1)),
+            );
             let mut t = 0u64;
             while t < horizon.as_nanos() {
                 let plen_ms = if config.plen_ms.0 >= config.plen_ms.1 {
@@ -215,10 +216,9 @@ mod tests {
         let config = PerturbConfig::single(200.0, 0.5, 1.0);
         let trace = PerturbationTrace::generate(&config, SimTime::from_millis(120_000), 3);
         let samples = 4000;
-        let mean: f64 = (0..samples)
-            .map(|i| trace.load_at(SimTime::from_millis(i * 30)))
-            .sum::<f64>()
-            / samples as f64;
+        let mean: f64 =
+            (0..samples).map(|i| trace.load_at(SimTime::from_millis(i * 30))).sum::<f64>()
+                / samples as f64;
         assert!((mean - 0.5).abs() < 0.1, "mean load {mean} should be ~0.5");
     }
 
@@ -236,12 +236,8 @@ mod tests {
 
     #[test]
     fn multi_thread_loads_stack() {
-        let config = PerturbConfig {
-            threads: 3,
-            plen_ms: (100.0, 100.0),
-            aprob: (1.0, 1.0),
-            lindex: 0.5,
-        };
+        let config =
+            PerturbConfig { threads: 3, plen_ms: (100.0, 100.0), aprob: (1.0, 1.0), lindex: 0.5 };
         let trace = PerturbationTrace::generate(&config, SimTime::from_millis(10_000), 5);
         let load = trace.load_at(SimTime::from_millis(50));
         assert!((load - 1.5).abs() < 1e-9, "3 threads x 0.5 = {load}");

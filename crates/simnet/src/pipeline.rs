@@ -71,14 +71,8 @@ impl Pipeline {
         let (mod_start, mod_end) = self.sender.run(generated, demand.mod_work);
         let (_, arrival) = self.link.transfer(mod_end, demand.bytes);
         let (demod_start, demod_end) = self.receiver.run(arrival, demand.demod_work);
-        let timing = MessageTiming {
-            generated,
-            mod_start,
-            mod_end,
-            arrival,
-            demod_start,
-            demod_end,
-        };
+        let timing =
+            MessageTiming { generated, mod_start, mod_end, arrival, demod_start, demod_end };
         self.completions.push(timing);
         timing
     }
@@ -95,9 +89,7 @@ impl Pipeline {
         let first = self.completions.first()?;
         let last = self.completions.last()?;
         let span = last.demod_end - first.generated;
-        Some(SimTime::from_nanos(
-            span.as_nanos() / self.completions.len() as u64,
-        ))
+        Some(SimTime::from_nanos(span.as_nanos() / self.completions.len() as u64))
     }
 
     /// Delivered frames per second over the whole run.
@@ -132,10 +124,8 @@ mod tests {
     #[test]
     fn single_message_latency_adds_up() {
         let mut p = pipeline(1000.0, 1_000_000.0, 1000.0);
-        let t = p.submit(
-            SimTime::ZERO,
-            MessageDemand { mod_work: 100, bytes: 1000, demod_work: 200 },
-        );
+        let t =
+            p.submit(SimTime::ZERO, MessageDemand { mod_work: 100, bytes: 1000, demod_work: 200 });
         // 100ms mod + 1ms serialize + 1ms alpha + 200ms demod.
         assert_eq!(t.demod_end, SimTime::from_millis(302));
         assert_eq!(t.latency(), SimTime::from_millis(302));

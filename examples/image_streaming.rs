@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let pse = &session.handler().analysis().pses()[report.split_pse];
             println!(
                 "frame {i:>3} ({side}x{side}): split moved to PSE {} (edge {}), wire {} bytes",
-                report.split_pse,
-                pse.edge,
-                report.wire_bytes
+                report.split_pse, pse.edge, report.wire_bytes
             );
             last_split = report.split_pse;
         }

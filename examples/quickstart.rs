@@ -53,11 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("handler `handle` analyzed:");
     for (i, pse) in handler.analysis().pses().iter().enumerate() {
-        let vars: Vec<&str> = pse
-            .inter
-            .iter()
-            .map(|v| handler.func().var_name(*v))
-            .collect();
+        let vars: Vec<&str> = pse.inter.iter().map(|v| handler.func().var_name(*v)).collect();
         println!("  PSE {i}: edge {} ships {{{}}}", pse.edge, vars.join(", "));
     }
     println!("initial plan (statically selected): {:?}\n", handler.plan().active());

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use method_partitioning::apps::sensor::{
-    consumer_builtins, make_signal, sensor_cost_model, sensor_program, stage_builtins,
-    HostLoad, SENSOR_PROGRAM, SERIALIZE_WORK_PER_BYTE,
+    consumer_builtins, make_signal, sensor_cost_model, sensor_program, stage_builtins, HostLoad,
+    SENSOR_PROGRAM, SERIALIZE_WORK_PER_BYTE,
 };
 use method_partitioning::core::profile::TriggerPolicy;
 use method_partitioning::jecho::{SimConfig, SimSession};

@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use method_partitioning::apps::image::{
-    image_program, image_session, make_frame, ImageVersion,
-};
+use method_partitioning::apps::image::{image_program, image_session, make_frame, ImageVersion};
 use method_partitioning::core::profile::TriggerPolicy;
 use method_partitioning::core::reconfig::{runtime_weights, select_active_set};
 use method_partitioning::cost::{DataSizeModel, RuntimeCostKind};
@@ -20,12 +18,9 @@ use mpart_analysis::ENTRY;
 #[test]
 fn min_cut_selection_matches_brute_force_oracle() {
     let program = image_program().unwrap();
-    let handler = PartitionedHandler::analyze(
-        Arc::clone(&program),
-        "push",
-        Arc::new(DataSizeModel::new()),
-    )
-    .unwrap();
+    let handler =
+        PartitionedHandler::analyze(Arc::clone(&program), "push", Arc::new(DataSizeModel::new()))
+            .unwrap();
     let analysis = handler.analysis();
 
     // Try several weight assignments, including ties and extremes.
@@ -49,16 +44,9 @@ fn min_cut_selection_matches_brute_force_oracle() {
         let big = 1_000_000u64;
         let mut edges: Vec<(usize, usize, u64)> = Vec::new();
         let entry_pse = analysis.pses().iter().position(|p| p.edge.from == ENTRY);
-        edges.push((
-            source,
-            analysis.ug.start(),
-            entry_pse.map(|p| weights[p]).unwrap_or(big),
-        ));
+        edges.push((source, analysis.ug.start(), entry_pse.map(|p| weights[p]).unwrap_or(big)));
         for e in analysis.ug.edges() {
-            let cap = analysis
-                .pse_for_edge(e)
-                .map(|p| weights[p])
-                .unwrap_or(big);
+            let cap = analysis.pse_for_edge(e).map(|p| weights[p]).unwrap_or(big);
             edges.push((e.from, e.to, cap));
         }
         for s in analysis.stops.iter() {
@@ -96,10 +84,7 @@ fn image_session_adapts_within_a_few_frames() {
     // settled: adaptation lag should be small (the paper's "fine-grain,
     // low overhead adaptation").
     let phase2 = &session.reports()[10..];
-    let lag = phase2
-        .iter()
-        .position(|r| r.wire_bytes < 7_000)
-        .expect("adaptation happened");
+    let lag = phase2.iter().position(|r| r.wire_bytes < 7_000).expect("adaptation happened");
     assert!(lag <= 4, "adaptation lag {lag} frames");
 }
 
@@ -115,19 +100,24 @@ fn exec_time_weights_shift_with_speed_estimates() {
 
     let program = sensor_program().unwrap();
     let handler =
-        PartitionedHandler::analyze(Arc::clone(&program), "process", sensor_cost_model())
-            .unwrap();
+        PartitionedHandler::analyze(Arc::clone(&program), "process", sensor_cost_model()).unwrap();
     let analysis = handler.analysis();
     let n = analysis.pses().len();
 
     let feed = |speed_demod: f64| -> Vec<usize> {
         let mut unit = ProfilingUnit::new(n, 1.0);
-        // Synthetic per-edge work curve: PSE i sits at i/n of the total.
+        // Synthetic per-edge work curve: a split at node `t` has done t/N
+        // of the total work (keyed by program position, not PSE id — the
+        // entry PSE sits at position 0 with no modulator work at all).
         let total = 60_000.0;
-        let samples: Vec<PseSample> = (0..n)
-            .map(|i| PseSample {
+        let n_nodes = analysis.ug.len() as f64;
+        let samples: Vec<PseSample> = analysis
+            .pses()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PseSample {
                 pse: i,
-                mod_work: (total * i as f64 / n as f64) as u64,
+                mod_work: (total * p.edge.to as f64 / n_nodes) as u64,
                 payload_bytes: Some(1000),
                 was_split: false,
             })
@@ -143,8 +133,7 @@ fn exec_time_weights_shift_with_speed_estimates() {
             demod_work: 100,
             t_demod: Some(100.0 / speed_demod),
         });
-        let weights =
-            runtime_weights(analysis, RuntimeCostKind::ExecTime, &unit.snapshot());
+        let weights = runtime_weights(analysis, RuntimeCostKind::ExecTime, &unit.snapshot());
         select_active_set(analysis, &weights).unwrap()
     };
 
@@ -152,12 +141,8 @@ fn exec_time_weights_shift_with_speed_estimates() {
     let slow_receiver = feed(250_000.0);
     // With a 4x slower receiver the split must move later (more work on
     // the sender side): the chosen main-path PSE index grows.
-    let main_pse = |plan: &[usize]| {
-        plan.iter()
-            .map(|&p| analysis.pses()[p].edge.to)
-            .max()
-            .unwrap_or(0)
-    };
+    let main_pse =
+        |plan: &[usize]| plan.iter().map(|&p| analysis.pses()[p].edge.to).max().unwrap_or(0);
     assert!(
         main_pse(&slow_receiver) > main_pse(&balanced),
         "balanced {balanced:?} vs slow receiver {slow_receiver:?}"

@@ -41,10 +41,8 @@ fn random_source(ops: &[u8], with_branch: bool, with_loop: bool) -> String {
 
 fn analyses(src: &str) -> Vec<HandlerAnalysis> {
     let program = Arc::new(parse_program(src).expect("generated source parses"));
-    let models: Vec<Arc<dyn CostModel>> = vec![
-        Arc::new(DataSizeModel::new()),
-        Arc::new(ExecTimeModel::new()),
-    ];
+    let models: Vec<Arc<dyn CostModel>> =
+        vec![Arc::new(DataSizeModel::new()), Arc::new(ExecTimeModel::new())];
     models
         .iter()
         .map(|m| analyze(&program, "gen", m.as_ref(), Default::default()).expect("analysis"))
@@ -96,6 +94,9 @@ proptest! {
 
     /// No candidate on a path may be determinably more expensive than a
     /// sibling candidate on the same path (`MinCostEdgeSet` postcondition).
+    /// The entry candidate is exempt: it is reinstated even when dominated,
+    /// because the runtime needs the always-valid trivial plan as its
+    /// degradation fallback.
     #[test]
     fn path_candidates_are_pairwise_minimal(
         ops in proptest::collection::vec(0u8..=4, 0..8),
@@ -105,6 +106,7 @@ proptest! {
         for ha in analyses(&random_source(&ops, with_branch, with_loop)) {
             for cands in &ha.cut.path_pses {
                 for &a in cands {
+                    if ha.pses()[a].edge.is_entry() { continue; }
                     for &b in cands {
                         if a == b { continue; }
                         let ca = &ha.pses()[a].static_cost;

@@ -1,0 +1,251 @@
+//! Chaos suite: the paper's two applications driven through drop /
+//! duplicate / reorder / corrupt / partition storms on a supervised wire,
+//! asserting that everything the subscriber applies is identical to an
+//! unpartitioned oracle — and that the session degrades to the trivial
+//! entry cut during an outage and re-promotes the optimized plan after
+//! recovery.
+//!
+//! All storms are seeded; each scenario runs across several seeds and is
+//! replayed to prove determinism.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use method_partitioning::apps::image;
+use method_partitioning::apps::sensor;
+use method_partitioning::core::profile::TriggerPolicy;
+use method_partitioning::ir::interp::ExecCtx;
+use method_partitioning::ir::{IrError, Value};
+use method_partitioning::jecho::{SimConfig, SimSession};
+use method_partitioning::simnet::{FaultPlan, Host, Link, SimTime};
+
+const MESSAGES: u64 = 30;
+
+/// A storm with every fault class plus a scheduled outage.
+fn storm(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_drop(0.12)
+        .with_duplicate(0.10)
+        .with_reorder(0.10)
+        .with_corrupt(0.15)
+        .with_partition(20..36)
+}
+
+fn sensor_session(fault: Option<FaultPlan>) -> SimSession {
+    let program = sensor::sensor_program().unwrap();
+    let mut link = Link::new("lan", SimTime::from_millis(1), 1_000_000.0);
+    if let Some(plan) = fault {
+        link = link.with_fault_plan(plan);
+    }
+    SimSession::adaptive(
+        Arc::clone(&program),
+        "process",
+        sensor::sensor_cost_model(),
+        sensor::stage_builtins(),
+        sensor::consumer_builtins(),
+        SimConfig::new(
+            Host::new("producer", 760_000.0),
+            link,
+            Host::new("consumer", 281_000.0),
+            TriggerPolicy::Rate(2),
+        )
+        .with_degradation(3, 3),
+    )
+    .unwrap()
+}
+
+/// Event mix: every third message is a foreign event (filtered, returns
+/// 0), the rest are real signals (processed, returns 1) — so the per-seq
+/// result stream carries identity, not just a constant.
+fn sensor_event(
+    program: &Arc<method_partitioning::ir::Program>,
+    seq: u64,
+) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+    move |ctx| {
+        if seq.is_multiple_of(3) {
+            Ok(vec![Value::Int(seq as i64)])
+        } else {
+            sensor::make_signal(program, ctx, seq, 0xC0FFEE)
+        }
+    }
+}
+
+/// The unpartitioned oracle: same traffic over a fault-free link.
+fn sensor_oracle() -> BTreeMap<u64, Option<Value>> {
+    let program = sensor::sensor_program().unwrap();
+    let mut session = sensor_session(None);
+    let mut results = BTreeMap::new();
+    for seq in 1..=MESSAGES {
+        let report = session.deliver(sensor_event(&program, seq)).unwrap();
+        assert!(report.delivered);
+        results.insert(report.seq, report.ret);
+    }
+    results
+}
+
+fn run_sensor_storm(seed: u64) -> SimSession {
+    let program = sensor::sensor_program().unwrap();
+    let mut session = sensor_session(Some(storm(seed)));
+    for seq in 1..=MESSAGES {
+        session.deliver(sensor_event(&program, seq)).unwrap();
+    }
+    let left = session.drain(500).unwrap();
+    assert_eq!(left, 0, "seed {seed}: storm tail drained");
+    session
+}
+
+#[test]
+fn sensor_chaos_matches_oracle_across_seeds() {
+    let oracle = sensor_oracle();
+    assert_eq!(oracle.len(), MESSAGES as usize);
+    let mut corrupted = 0;
+    for seed in [1u64, 7, 42] {
+        let session = run_sensor_storm(seed);
+        assert_eq!(
+            session.applied_results(),
+            &oracle,
+            "seed {seed}: every message applied exactly once, identical to the oracle"
+        );
+        assert!(session.frames_lost() > 0, "seed {seed}: the storm actually lost frames");
+        assert!(session.retransmissions() > 0, "seed {seed}: losses forced retransmissions");
+        assert!(
+            session.duplicates_suppressed() > 0,
+            "seed {seed}: duplicate deliveries were suppressed"
+        );
+        corrupted += session.frames_corrupted();
+    }
+    assert!(corrupted > 0, "corruption was exercised and caught by the checksum");
+}
+
+#[test]
+fn sensor_outage_degrades_and_recovers() {
+    for seed in [1u64, 7, 42] {
+        let session = run_sensor_storm(seed);
+        assert!(
+            session.degradations() >= 1,
+            "seed {seed}: the partition window exhausted the failure budget"
+        );
+        assert!(session.promotions() >= 1, "seed {seed}: recovery re-promoted the optimized plan");
+        assert!(!session.is_degraded(), "seed {seed}: healthy at the end");
+        // During the outage the modulator fell back to the entry cut, so
+        // some applied messages carry the trivial split.
+        let entry = session.handler().entry_pse().unwrap();
+        assert!(
+            session.reports().iter().any(|r| r.split_pse == entry),
+            "seed {seed}: some messages shipped raw during the outage"
+        );
+    }
+}
+
+#[test]
+fn sensor_chaos_is_deterministic() {
+    let a = run_sensor_storm(7);
+    let b = run_sensor_storm(7);
+    assert_eq!(a.applied_results(), b.applied_results());
+    assert_eq!(a.frames_lost(), b.frames_lost());
+    assert_eq!(a.frames_corrupted(), b.frames_corrupted());
+    assert_eq!(a.duplicates_suppressed(), b.duplicates_suppressed());
+    assert_eq!(a.retransmissions(), b.retransmissions());
+    assert_eq!(a.degradations(), b.degradations());
+    assert_eq!(a.promotions(), b.promotions());
+}
+
+fn image_session(fault: Option<FaultPlan>) -> SimSession {
+    let program = image::image_program().unwrap();
+    let mut link = Link::new("wifi", SimTime::from_millis(5), 300_000.0);
+    if let Some(plan) = fault {
+        link = link.with_fault_plan(plan);
+    }
+    SimSession::adaptive(
+        Arc::clone(&program),
+        "push",
+        image::image_cost_model(&program),
+        image::server_builtins(&program),
+        image::client_builtins(&program),
+        SimConfig::new(
+            Host::new("server", 20_000_000.0),
+            link,
+            Host::new("client", 1_520_000.0),
+            TriggerPolicy::Rate(2),
+        )
+        .with_degradation(3, 3),
+    )
+    .unwrap()
+}
+
+/// Frames alternate between smaller and larger than the display target,
+/// with every fourth event foreign (filtered).
+fn image_event(
+    program: &Arc<method_partitioning::ir::Program>,
+    seq: u64,
+) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+    move |ctx| {
+        if seq.is_multiple_of(4) {
+            Ok(vec![Value::Int(seq as i64)])
+        } else {
+            let side = if seq.is_multiple_of(2) { 80 } else { 240 };
+            image::make_frame(program, ctx, side)
+        }
+    }
+}
+
+#[test]
+fn image_chaos_matches_oracle_across_seeds() {
+    let program = image::image_program().unwrap();
+    let mut oracle = BTreeMap::new();
+    let mut clean = image_session(None);
+    for seq in 1..=MESSAGES {
+        let report = clean.deliver(image_event(&program, seq)).unwrap();
+        oracle.insert(report.seq, report.ret);
+    }
+
+    for seed in [3u64, 11, 99] {
+        let mut session = image_session(Some(storm(seed)));
+        for seq in 1..=MESSAGES {
+            session.deliver(image_event(&program, seq)).unwrap();
+        }
+        assert_eq!(session.drain(500).unwrap(), 0, "seed {seed}");
+        assert_eq!(session.applied_results(), &oracle, "seed {seed}");
+        assert!(session.degradations() >= 1, "seed {seed}");
+        assert!(session.promotions() >= 1, "seed {seed}");
+        // The client painted exactly the valid frames, once each.
+        let painted =
+            session.receiver_ctx().trace.iter().filter(|t| t.callee == "display_image").count();
+        let valid = (1..=MESSAGES).filter(|s| s % 4 != 0).count();
+        assert_eq!(painted, valid, "seed {seed}: no frame lost or painted twice");
+    }
+}
+
+#[test]
+fn plan_update_lands_while_message_in_flight() {
+    // Epoch race: one message is held back by a one-attempt outage while
+    // adaptation keeps installing new plans; when it finally crosses, the
+    // demodulator must accept its (superseded) epoch and produce the same
+    // result as the oracle.
+    let program = sensor::sensor_program().unwrap();
+    let oracle = sensor_oracle();
+
+    let mut session = sensor_session(Some(FaultPlan::new(5).with_partition(4..6)));
+    let mut stalled = None;
+    for seq in 1..=MESSAGES {
+        let report = session.deliver(sensor_event(&program, seq)).unwrap();
+        if !report.delivered && stalled.is_none() {
+            stalled = Some((report.seq, session.handler().plan().epoch()));
+        }
+    }
+    assert_eq!(session.drain(100).unwrap(), 0);
+    let (stalled_seq, epoch_at_send) = stalled.expect("the outage stalled a message");
+    // Plans moved on while the message waited.
+    assert!(
+        session.handler().plan().epoch() > epoch_at_send,
+        "a plan update landed between send and demodulation"
+    );
+    assert!(session.retransmissions() >= 1);
+    // The old-epoch message was still demodulated, correctly.
+    assert_eq!(session.applied_results(), &oracle);
+    assert_eq!(
+        session.applied_results()[&stalled_seq],
+        oracle[&stalled_seq],
+        "the in-flight message survived the plan change"
+    );
+}

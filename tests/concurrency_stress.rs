@@ -36,7 +36,10 @@ skip:
 }
 "#;
 
-fn msg(program: &Arc<Program>, n: usize) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
+fn msg(
+    program: &Arc<Program>,
+    n: usize,
+) -> impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + '_ {
     let classes = &program.classes;
     move |ctx| {
         let class = classes.id("Msg").unwrap();
@@ -113,12 +116,9 @@ fn plan_flapping_under_concurrent_traffic_is_safe() {
 #[test]
 fn shared_handler_across_sender_threads() {
     let program = Arc::new(parse_program(SRC).unwrap());
-    let handler = PartitionedHandler::analyze(
-        Arc::clone(&program),
-        "take",
-        Arc::new(DataSizeModel::new()),
-    )
-    .unwrap();
+    let handler =
+        PartitionedHandler::analyze(Arc::clone(&program), "take", Arc::new(DataSizeModel::new()))
+            .unwrap();
     // Use the "squash at sender" plan.
     let late: Vec<usize> = (0..handler.analysis().pses().len())
         .filter(|&i| !handler.analysis().pses()[i].edge.is_entry())
@@ -138,8 +138,7 @@ fn shared_handler_across_sender_threads() {
                     let mut sender = ExecCtx::new(&program);
                     let args = msg(&program, 1000 + t * 100 + i)(&mut sender).unwrap();
                     let run = modulator.handle(&mut sender, args).unwrap();
-                    let mut receiver =
-                        ExecCtx::with_builtins(&program, keep_builtins.clone());
+                    let mut receiver = ExecCtx::with_builtins(&program, keep_builtins.clone());
                     let out = demodulator.handle(&mut receiver, &run.message).unwrap();
                     assert_eq!(out.ret, Some(Value::Int(1)));
                 }

@@ -55,9 +55,7 @@ fn run_partitioned(
     let analysis = handler.analysis();
     for (path, candidates) in analysis.paths.paths.iter().zip(&analysis.cut.path_pses) {
         let edges = mpart_analysis::convex::path_edges(analysis.ug.start(), path);
-        let covered = plan
-            .iter()
-            .any(|&p| edges.contains(&analysis.pses()[p].edge));
+        let covered = plan.iter().any(|&p| edges.contains(&analysis.pses()[p].edge));
         if !covered {
             plan.push(*candidates.first().expect("every path has a candidate"));
         }
@@ -70,11 +68,7 @@ fn run_partitioned(
     let run = handler.modulator().handle(&mut sender, args)?;
     let mut receiver = ExecCtx::with_builtins(program, builtins.clone());
     let out = handler.demodulator().handle(&mut receiver, &run.message)?;
-    let trace = receiver
-        .trace
-        .iter()
-        .map(|t| format!("{}:{}", t.callee, t.args_digest))
-        .collect();
+    let trace = receiver.trace.iter().map(|t| format!("{}:{}", t.callee, t.args_digest)).collect();
     Ok((out.ret, trace, receiver.globals))
 }
 
@@ -143,9 +137,7 @@ fn build_packet(ctx: &mut ExecCtx, program: &Program, kind: i64, body: &[i64]) -
     }
     ctx.heap.set_field(p, decl.field("kind").unwrap(), Value::Int(kind)).unwrap();
     ctx.heap.set_field(p, decl.field("body").unwrap(), Value::Ref(arr)).unwrap();
-    ctx.heap
-        .set_field(p, decl.field("tag").unwrap(), Value::str("pkt"))
-        .unwrap();
+    ctx.heap.set_field(p, decl.field("tag").unwrap(), Value::str("pkt")).unwrap();
     Value::Ref(p)
 }
 
@@ -161,10 +153,7 @@ fn every_pse_of_feature_rich_handler_is_equivalent() {
             .expect("direct");
         (
             ret,
-            ctx.trace
-                .iter()
-                .map(|t| format!("{}:{}", t.callee, t.args_digest))
-                .collect::<Vec<_>>(),
+            ctx.trace.iter().map(|t| format!("{}:{}", t.callee, t.args_digest)).collect::<Vec<_>>(),
             ctx.globals.clone(),
         )
     };
@@ -173,21 +162,16 @@ fn every_pse_of_feature_rich_handler_is_equivalent() {
         Arc::new(DataSizeModel::new()) as Arc<dyn CostModel>,
         Arc::new(ExecTimeModel::new()) as Arc<dyn CostModel>,
     ] {
-        let probe =
-            PartitionedHandler::analyze(Arc::clone(&program), "handle", Arc::clone(&model))
-                .unwrap();
+        let probe = PartitionedHandler::analyze(Arc::clone(&program), "handle", Arc::clone(&model))
+            .unwrap();
         let n = probe.analysis().pses().len();
         assert!(n >= 3, "expected several PSEs under {}", model.name());
         for pse in 0..n {
-            let (r, t, g) = run_partitioned(
-                &program,
-                &builtins,
-                "handle",
-                Arc::clone(&model),
-                pse,
-                |ctx| vec![build_packet(ctx, &program, 7, &body), Value::Int(2)],
-            )
-            .unwrap_or_else(|e| panic!("pse {pse} under {}: {e}", model.name()));
+            let (r, t, g) =
+                run_partitioned(&program, &builtins, "handle", Arc::clone(&model), pse, |ctx| {
+                    vec![build_packet(ctx, &program, 7, &body), Value::Int(2)]
+                })
+                .unwrap_or_else(|e| panic!("pse {pse} under {}: {e}", model.name()));
             assert_eq!(r, ret, "return value at pse {pse}");
             assert_eq!(t, trace, "native trace at pse {pse}");
             assert_eq!(g, globals, "globals at pse {pse}");
@@ -198,25 +182,19 @@ fn every_pse_of_feature_rich_handler_is_equivalent() {
 #[test]
 fn rejected_events_are_equivalent_too() {
     let (program, builtins) = feature_rich_program();
-    let (ret, trace, _) = run_direct(&program, &builtins, "handle", vec![
-        Value::Int(99),
-        Value::Int(2),
-    ]);
+    let (ret, trace, _) =
+        run_direct(&program, &builtins, "handle", vec![Value::Int(99), Value::Int(2)]);
     assert_eq!(ret, Some(Value::Int(-1)));
 
     let model: Arc<dyn CostModel> = Arc::new(DataSizeModel::new());
     let probe =
         PartitionedHandler::analyze(Arc::clone(&program), "handle", Arc::clone(&model)).unwrap();
     for pse in 0..probe.analysis().pses().len() {
-        let (r, t, _) = run_partitioned(
-            &program,
-            &builtins,
-            "handle",
-            Arc::clone(&model),
-            pse,
-            |_| vec![Value::Int(99), Value::Int(2)],
-        )
-        .unwrap();
+        let (r, t, _) =
+            run_partitioned(&program, &builtins, "handle", Arc::clone(&model), pse, |_| {
+                vec![Value::Int(99), Value::Int(2)]
+            })
+            .unwrap();
         assert_eq!(r, ret, "pse {pse}");
         assert_eq!(t, trace, "pse {pse}");
     }
@@ -408,17 +386,14 @@ fn inlined_handlers_partition_equivalently_with_more_pses() {
         let mut ctx = ExecCtx::with_builtins(&program, builtins.clone());
         let frame = build_frame(&mut ctx, &program);
         let ret = Interp::new(&program).run(&mut ctx, "handle", frame).unwrap();
-        let trace: Vec<String> = ctx
-            .trace
-            .iter()
-            .map(|t| format!("{}:{}", t.callee, t.args_digest))
-            .collect();
+        let trace: Vec<String> =
+            ctx.trace.iter().map(|t| format!("{}:{}", t.callee, t.args_digest)).collect();
         (ret, trace)
     };
 
     let model: Arc<dyn CostModel> = Arc::new(DataSizeModel::new());
-    let plain = PartitionedHandler::analyze(Arc::clone(&program), "handle", Arc::clone(&model))
-        .unwrap();
+    let plain =
+        PartitionedHandler::analyze(Arc::clone(&program), "handle", Arc::clone(&model)).unwrap();
     let rich =
         PartitionedHandler::analyze(Arc::clone(&expanded), "handle", Arc::clone(&model)).unwrap();
     assert!(
@@ -429,15 +404,11 @@ fn inlined_handlers_partition_equivalently_with_more_pses() {
     );
 
     for pse in 0..rich.analysis().pses().len() {
-        let (r, t, _) = run_partitioned(
-            &expanded,
-            &builtins,
-            "handle",
-            Arc::clone(&model),
-            pse,
-            |ctx| build_frame(ctx, &expanded),
-        )
-        .unwrap_or_else(|e| panic!("inlined pse {pse}: {e}"));
+        let (r, t, _) =
+            run_partitioned(&expanded, &builtins, "handle", Arc::clone(&model), pse, |ctx| {
+                build_frame(ctx, &expanded)
+            })
+            .unwrap_or_else(|e| panic!("inlined pse {pse}: {e}"));
         assert_eq!(r, ret, "return at inlined pse {pse}");
         assert_eq!(t, trace, "trace at inlined pse {pse}");
     }

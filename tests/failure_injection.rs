@@ -75,18 +75,21 @@ fn corrupted_continuation_payload_is_rejected_not_crashing() {
                 base.payload.as_bytes()[..base.payload.wire_size() / 2].to_vec(),
             ),
             mod_work: base.mod_work,
+            epoch: base.epoch,
         },
         // Garbage bytes.
         ContinuationMessage {
             pse: base.pse,
             payload: Marshalled::from_bytes(vec![0xFF; 64]),
             mod_work: base.mod_work,
+            epoch: base.epoch,
         },
         // Unknown split point.
         ContinuationMessage {
             pse: 4242,
             payload: base.payload.clone(),
             mod_work: base.mod_work,
+            epoch: base.epoch,
         },
     ];
     for (i, msg) in corruptions.iter().enumerate() {
@@ -170,11 +173,7 @@ fn plan_torn_between_updates_still_yields_correct_results() {
     let n = handler.analysis().pses().len();
     let all: Vec<usize> = (0..n).collect();
     for mask in 1u32..(1 << n.min(5)) {
-        let subset: Vec<usize> = all
-            .iter()
-            .copied()
-            .filter(|i| mask & (1 << i) != 0)
-            .collect();
+        let subset: Vec<usize> = all.iter().copied().filter(|i| mask & (1 << i) != 0).collect();
         handler.plan().install(&subset);
         if handler.plan().validate_cut(handler.analysis()).is_err() {
             continue; // a non-cut mixture is rejected by the modulator
@@ -254,17 +253,11 @@ fn adaptation_survives_a_lossy_control_channel() {
     let mut lossy = make(0.6);
     for _ in 0..20 {
         let p = Arc::clone(&program);
-        lossy
-            .deliver(move |ctx| Ok(make_item(&p, ctx, 50_000)))
-            .unwrap();
+        lossy.deliver(move |ctx| Ok(make_item(&p, ctx, 50_000))).unwrap();
     }
     assert!(lossy.plans_dropped() >= 1, "losses actually happened");
     let last = lossy.reports().last().unwrap();
-    assert!(
-        last.wire_bytes < 1000,
-        "converged despite losses: {} bytes",
-        last.wire_bytes
-    );
+    assert!(last.wire_bytes < 1000, "converged despite losses: {} bytes", last.wire_bytes);
 
     // Total loss: the initial static plan stays forever, and nothing breaks.
     let mut dead = make(1.0);
@@ -274,4 +267,84 @@ fn adaptation_survives_a_lossy_control_channel() {
     }
     assert_eq!(dead.plan_installs(), 0);
     assert_eq!(dead.reports().last().unwrap().ret, Some(Value::Int(1)));
+}
+
+#[test]
+fn duplicated_event_delivery_is_idempotent_at_the_subscriber() {
+    use method_partitioning::ir::interp::BuiltinRegistry as Builtins;
+    use method_partitioning::jecho::{TcpReceiver, TcpSender};
+
+    let (program, _, builtins) = setup();
+    let receiver = TcpReceiver::bind(
+        Arc::clone(&program),
+        "sink",
+        Arc::new(DataSizeModel::new()),
+        builtins,
+        TriggerPolicy::Never,
+    )
+    .unwrap();
+    let mut sender = TcpSender::connect(
+        Arc::clone(&program),
+        Arc::clone(receiver.handler()),
+        Builtins::new(),
+        receiver.port(),
+    )
+    .unwrap();
+
+    // One modulated event, delivered three times (an at-least-once wire
+    // under retransmission); then a fresh one.
+    let p = Arc::clone(&program);
+    let (event, t_mod) = sender.modulate(move |ctx| Ok(make_item(&p, ctx, 512))).unwrap();
+    for _ in 0..3 {
+        sender.send_event(&event, t_mod).unwrap();
+    }
+    let p = Arc::clone(&program);
+    sender.publish(move |ctx| Ok(make_item(&p, ctx, 512))).unwrap();
+
+    // The duplicates are acknowledged but not re-applied: exactly two
+    // outcomes surface, in seq order.
+    assert_eq!(receiver.next_outcome().unwrap().seq, 1);
+    assert_eq!(receiver.next_outcome().unwrap().seq, 2);
+    sender.shutdown().unwrap();
+    assert_eq!(receiver.join().unwrap(), 2, "each event applied exactly once");
+}
+
+#[test]
+fn receiver_restart_mid_stream_is_survived_by_the_supervisor() {
+    use method_partitioning::ir::interp::BuiltinRegistry as Builtins;
+    use method_partitioning::jecho::{RetryPolicy, Supervisor, TcpReceiver};
+    use std::time::Duration;
+
+    let (program, _, builtins) = setup();
+    // The receiver drops the connection after 4 events (a restarting
+    // subscriber front-end); the supervisor must notice the stalled ack
+    // watermark, redial, and replay its unacked window.
+    let receiver = TcpReceiver::bind_faulty(
+        Arc::clone(&program),
+        "sink",
+        Arc::new(DataSizeModel::new()),
+        builtins,
+        TriggerPolicy::Rate(1),
+        4,
+    )
+    .unwrap();
+    let mut supervisor = Supervisor::new(
+        Arc::clone(&program),
+        Arc::clone(receiver.handler()),
+        Builtins::new(),
+        receiver.port(),
+        RetryPolicy { stall_timeout: Duration::from_millis(100), ..RetryPolicy::default() },
+    );
+    for _ in 0..12 {
+        let p = Arc::clone(&program);
+        // Sends may land in the dying socket's buffer; the unacked window
+        // recovers them after the reconnect.
+        let _ = supervisor.publish(move |ctx| Ok(make_item(&p, ctx, 1024)));
+    }
+    supervisor.await_drain(Duration::from_secs(30)).unwrap();
+    assert!(supervisor.reconnects() >= 1, "the restart actually happened");
+    assert_eq!(supervisor.acked(), 12, "no event lost");
+    assert_eq!(supervisor.unacked(), 0);
+    supervisor.shutdown(Duration::from_secs(5)).unwrap();
+    assert_eq!(receiver.join().unwrap(), 12, "no event double-applied");
 }

@@ -19,7 +19,12 @@ enum Node {
     /// An object whose two ref fields point at earlier nodes (by index,
     /// modulo the current count) — guarantees a connected, possibly
     /// shared graph; `back` may create cycles by pointing at itself.
-    Object { value: i64, tag: String, link_a: usize, link_b: usize },
+    Object {
+        value: i64,
+        tag: String,
+        link_a: usize,
+        link_b: usize,
+    },
 }
 
 fn node_strategy() -> impl Strategy<Value = Node> {
@@ -27,9 +32,8 @@ fn node_strategy() -> impl Strategy<Value = Node> {
         proptest::collection::vec(any::<u8>(), 0..24).prop_map(Node::Bytes),
         proptest::collection::vec(any::<i64>(), 0..12).prop_map(Node::Ints),
         proptest::collection::vec(-1e9..1e9f64, 0..12).prop_map(Node::Floats),
-        (any::<i64>(), "[a-z]{0,8}", any::<usize>(), any::<usize>()).prop_map(
-            |(value, tag, link_a, link_b)| Node::Object { value, tag, link_a, link_b }
-        ),
+        (any::<i64>(), "[a-z]{0,8}", any::<usize>(), any::<usize>())
+            .prop_map(|(value, tag, link_a, link_b)| Node::Object { value, tag, link_a, link_b }),
     ]
 }
 

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel::{bounded, Sender, Receiver}`,
+//! so this shim maps that surface onto `std::sync::mpsc::sync_channel`. The
+//! one semantic difference from real crossbeam — `std` receivers are not
+//! clonable — does not matter here because every consumer is single-owner.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// The sending half of a bounded channel. Clonable.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// The channel is disconnected (send side).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// A non-blocking send failed: the buffer is full or the peer is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// The channel is empty and disconnected (receive side).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued (or the receiver is gone).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Enqueues without blocking; fails if the buffer is full.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives (or every sender is gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns immediately with a value if one is queued.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.inner.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_round_trip() {
+            let (tx, rx) = bounded(4);
+            tx.send(11).unwrap();
+            tx.clone().send(22).unwrap();
+            assert_eq!(rx.recv(), Ok(11));
+            assert_eq!(rx.recv(), Ok(22));
+        }
+
+        #[test]
+        fn try_send_reports_full() {
+            let (tx, _rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        }
+
+        #[test]
+        fn recv_reports_disconnect() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Value-generation strategies: the composable half of the proptest API.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore, SampleRange};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`]'s output.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.random_range(0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_from(rng)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_from(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning many magnitudes — a useful
+        // default domain without NaN/inf surprises.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (unit - 0.5) * 2.0e12
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates arbitrary values of `T` over its canonical domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// `Vec<T>` with a length drawn from a range ([`crate::collection::vec`]).
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mini-regex string strategy: `&'static str` patterns like "[a-z]{0,8}".
+// ---------------------------------------------------------------------------
+
+/// One repeatable unit of the pattern.
+enum Atom {
+    /// Characters a `[...]` class (or a literal) can yield.
+    Class(Vec<char>),
+    /// `.` — any printable ASCII character.
+    AnyPrintable,
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut members = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => return members,
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    members.push(esc);
+                    prev = Some(esc);
+                }
+            }
+            '-' => match (prev, chars.peek().copied()) {
+                (Some(lo), Some(hi)) if hi != ']' => {
+                    chars.next();
+                    for code in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            members.push(ch);
+                        }
+                    }
+                    prev = None;
+                }
+                _ => {
+                    members.push('-');
+                    prev = Some('-');
+                }
+            },
+            other => {
+                members.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    panic!("unterminated character class in string strategy pattern");
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad quantifier lower bound"),
+                    hi.parse().expect("bad quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "quantifier bounds out of order");
+            return (min, max);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated quantifier in string strategy pattern");
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '.' => Atom::AnyPrintable,
+            '\\' => Atom::Class(vec![chars.next().expect("dangling escape")]),
+            literal => Atom::Class(vec![literal]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push(Quantified { atom, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for q in parse_pattern(self) {
+            let reps = rng.random_range(q.min..=q.max);
+            for _ in 0..reps {
+                match &q.atom {
+                    Atom::Class(members) => {
+                        assert!(!members.is_empty(), "empty character class");
+                        out.push(members[rng.random_range(0..members.len())]);
+                    }
+                    Atom::AnyPrintable => {
+                        out.push(char::from(rng.random_range(0x20u8..0x7F)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_any_stay_in_domain() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (0u8..=5).generate(&mut r);
+            assert!(w <= 5);
+            let f = (-1.0..1.0f64).generate(&mut r);
+            assert!((-1.0..1.0).contains(&f));
+            let _: i64 = any::<i64>().generate(&mut r);
+            let _: bool = any::<bool>().generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u8>(), 2..6).generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_honours_class_and_bounds() {
+        let mut r = rng();
+        let mut saw_nonempty = false;
+        for _ in 0..100 {
+            let s = "[a-z]{0,8}".generate(&mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            saw_nonempty |= !s.is_empty();
+        }
+        assert!(saw_nonempty);
+        let lit = "ab-c".generate(&mut r);
+        assert_eq!(lit, "ab-c");
+        let fixed = "x{3}".generate(&mut r);
+        assert_eq!(fixed, "xxx");
+    }
+
+    #[test]
+    fn map_union_and_tuples_compose() {
+        let mut r = rng();
+        let s = crate::prop_oneof![(0u8..10).prop_map(|v| v as u64), (100u64..110).boxed(),];
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v < 10 || (100..110).contains(&v));
+        }
+        let t = (any::<u8>(), "[01]{2}", 0i64..5).generate(&mut r);
+        assert!(t.1.len() == 2 && t.2 < 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic case runner: seeds an RNG from the test name and drives
+//! the generated closure over the configured number of cases.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// The RNG handed to strategies. Deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from an FNV-1a hash of the test name, so every test gets its
+    /// own reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!` — draw a fresh case.
+    Reject(String),
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-test tuning. Only `cases` is configurable, matching the workspace's
+/// `ProptestConfig::with_cases(n)` call sites.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure. Rejected cases are retried with fresh inputs, up to a global
+/// budget that turns pathological `prop_assume!` filters into an error.
+pub fn run(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = config.cases.saturating_mul(16).max(1024);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "{name}: too many rejected cases ({rejected}); last assume: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {passed} failed: {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::from_name("alpha");
+        let mut b = TestRng::from_name("alpha");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("beta");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn runner_counts_only_passes() {
+        let cfg = ProptestConfig::with_cases(10);
+        let mut calls = 0;
+        run("runner_counts_only_passes", &cfg, |_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::reject("even call"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(calls, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_propagates_failures() {
+        run("runner_propagates_failures", &ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
