@@ -11,6 +11,7 @@
 use mpart::profile::TriggerPolicy;
 use mpart_apps::image::{run_image_experiment_with, ImageOptions, ImageScenario, ImageVersion};
 use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+use mpart_bench::Report;
 
 fn run(options: ImageOptions, frames: usize, seed: u64) -> (f64, u64) {
     let stats = run_image_experiment_with(
@@ -76,4 +77,14 @@ fn main() {
     }
     alpha.note("low alpha damps noise but lags scenario flips; 1.0 trusts the last sample");
     alpha.print();
+
+    let mut report = Report::new("ablation");
+    report
+        .param_u64("frames", frames as u64)
+        .param_u64("seed", seed)
+        .add_table(&sizing)
+        .add_table(&triggers)
+        .add_table(&sampling)
+        .add_table(&alpha);
+    report.finish();
 }

@@ -11,6 +11,7 @@
 
 use mpart_apps::sensor::{run_complexity_experiment, SensorVersion};
 use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+use mpart_bench::Report;
 
 fn main() {
     let messages = arg_usize("messages", 150);
@@ -39,4 +40,8 @@ fn main() {
          are tuned for one regime",
     );
     table.print();
+
+    let mut report = Report::new("extension_complexity");
+    report.param_u64("messages", messages as u64).param_u64("seed", seed).add_table(&table);
+    report.finish();
 }

@@ -6,6 +6,7 @@
 
 use mpart_apps::inlining::run_inlining_experiment;
 use mpart_bench::table::{arg_usize, f2, Table};
+use mpart_bench::Report;
 
 fn main() {
     let messages = arg_usize("messages", 150);
@@ -30,4 +31,8 @@ fn main() {
          split across the heavy helper; expansion reaches the 3/3 balance",
     );
     table.print();
+
+    let mut report = Report::new("extension_inlining");
+    report.param_u64("messages", messages as u64).add_table(&table);
+    report.finish();
 }

@@ -8,6 +8,7 @@
 
 use mpart_apps::sensor::{run_sensor_experiment, HostLoad, SensorSetup, SensorVersion};
 use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+use mpart_bench::Report;
 
 fn main() {
     let messages = arg_usize("messages", 150);
@@ -37,4 +38,8 @@ fn main() {
          across period lengths",
     );
     table.print();
+
+    let mut report = Report::new("figure8");
+    report.param_u64("messages", messages as u64).param_u64("seed", seed).add_table(&table);
+    report.finish();
 }

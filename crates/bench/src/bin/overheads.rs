@@ -8,9 +8,12 @@ use mpart::codegen::{generated_sizes, modulator_text};
 use mpart::reconfig::select_active_set;
 use mpart_apps::image::{image_cost_model, image_program};
 use mpart_apps::sensor::{sensor_cost_model, sensor_program};
-use mpart_bench::table::{f2, time_us, Table};
+use mpart_bench::table::{arg_usize, f2, time_us, Table};
+use mpart_bench::Report;
 
 fn main() {
+    let switch_iters = arg_usize("switch-iters", 5000);
+    let cut_iters = arg_usize("cut-iters", 2000);
     let image_prog = image_program().expect("image program");
     let image = mpart::PartitionedHandler::analyze(
         Arc::clone(&image_prog),
@@ -57,16 +60,18 @@ fn main() {
 
     // Adaptation actuation: installing a plan is a handful of flag writes.
     let image_active: Vec<usize> = image.plan().active();
-    let switch_us = time_us(5000, || image.plan().install(&image_active));
+    let switch_us = time_us(switch_iters, || image.plan().install(&image_active));
     let sensor_active: Vec<usize> = sensor.plan().active();
-    let sensor_switch_us = time_us(5000, || sensor.plan().install(&sensor_active));
+    let sensor_switch_us = time_us(switch_iters, || sensor.plan().install(&sensor_active));
     table.row(vec!["plan switch (us)".into(), f2(switch_us), f2(sensor_switch_us)]);
 
     // Plan re-selection: the min-cut over the Unit Graph.
     let iw = image.static_weights();
     let sw = sensor.static_weights();
-    let image_cut_us = time_us(2000, || select_active_set(image.analysis(), &iw).expect("cut"));
-    let sensor_cut_us = time_us(2000, || select_active_set(sensor.analysis(), &sw).expect("cut"));
+    let image_cut_us =
+        time_us(cut_iters, || select_active_set(image.analysis(), &iw).expect("cut"));
+    let sensor_cut_us =
+        time_us(cut_iters, || select_active_set(sensor.analysis(), &sw).expect("cut"));
     table.row(vec!["min-cut reselection (us)".into(), f2(image_cut_us), f2(sensor_cut_us)]);
 
     table.note(
@@ -74,6 +79,13 @@ fn main() {
          ~150 B instrumentation per PSE; reconfiguration overhead negligible",
     );
     table.print();
+
+    let mut report = Report::new("overheads");
+    report
+        .param_u64("switch_iters", switch_iters as u64)
+        .param_u64("cut_iters", cut_iters as u64)
+        .add_table(&table);
+    report.finish();
 
     println!("\n--- generated modulator (image handler) ---");
     print!("{}", modulator_text(&image));

@@ -3,10 +3,11 @@
 //!
 //! Columns: serialized size (bytes), serialization cost (µs), generic
 //! size-calculation cost (µs), and self-describing `sizeOf` cost (µs).
-//! Run with `--iters N` to change the timing sample count.
+//! Run with `--iters N` to change the timing sample count and
+//! `--json <path>` to also write the machine-readable report.
 
 use mpart_bench::table::{arg_usize, f2, time_us, Table};
-use mpart_bench::Table1Fixtures;
+use mpart_bench::{Report, Table1Fixtures};
 use mpart_ir::marshal::{calculated_size, marshal_values, reflective_size, serialized_size};
 
 fn main() {
@@ -53,4 +54,8 @@ fn main() {
          8 bytes so serialized sizes are ~2x the paper's",
     );
     table.print();
+
+    let mut report = Report::new("table1");
+    report.param_u64("iters", iters as u64).add_table(&table);
+    report.finish();
 }

@@ -2,10 +2,12 @@
 //! image-streaming application (display 160×160; values are average
 //! frames per second).
 //!
-//! Run with `--frames N` (default 300) and `--seed S`.
+//! Run with `--frames N` (default 300), `--seed S`, and `--json <path>`
+//! for the machine-readable report.
 
 use mpart_apps::image::{run_image_experiment, ImageScenario, ImageVersion};
 use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+use mpart_bench::Report;
 
 fn main() {
     let frames = arg_usize("frames", 300);
@@ -29,4 +31,8 @@ fn main() {
          Method Partitioning 29.72 / 12.07 / 17.65",
     );
     table.print();
+
+    let mut report = Report::new("table2");
+    report.param_u64("frames", frames as u64).param_u64("seed", seed).add_table(&table);
+    report.finish();
 }

@@ -1,10 +1,12 @@
 //! Regenerates **Table 3**: the sensor application on heterogeneous
 //! platforms without perturbation (average message processing time, ms).
 //!
-//! Run with `--messages N` (default 150) and `--seed S`.
+//! Run with `--messages N` (default 150), `--seed S`, and `--json <path>`
+//! for the machine-readable report.
 
 use mpart_apps::sensor::{run_sensor_experiment, SensorSetup, SensorVersion};
 use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+use mpart_bench::Report;
 
 fn main() {
     let messages = arg_usize("messages", 150);
@@ -26,4 +28,8 @@ fn main() {
          Divided 250.19 / 83.59; Method Partitioning 109.34 / 74.67",
     );
     table.print();
+
+    let mut report = Report::new("table3");
+    report.param_u64("messages", messages as u64).param_u64("seed", seed).add_table(&table);
+    report.finish();
 }

@@ -7,6 +7,7 @@
 
 use mpart_apps::sensor::{run_sensor_experiment, HostLoad, SensorSetup, SensorVersion};
 use mpart_bench::table::{arg_u64, arg_usize, f2, Table};
+use mpart_bench::Report;
 
 fn main() {
     let messages = arg_usize("messages", 100);
@@ -40,4 +41,12 @@ fn main() {
          1/0: 88.81 243.58 116.47 60.17",
     );
     table.print();
+
+    let mut report = Report::new("table4");
+    report
+        .param_u64("messages", messages as u64)
+        .param_u64("runs", runs as u64)
+        .param_u64("seed", base_seed)
+        .add_table(&table);
+    report.finish();
 }

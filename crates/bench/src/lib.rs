@@ -15,7 +15,12 @@
 //! Criterion microbenches (`benches/`) cover the sizing strategies, remote
 //! continuation marshalling, and min-cut reconfiguration.
 
+//! Every binary accepts `--json <path>` to additionally write its tables
+//! as a machine-readable `BENCH_*.json` report (see [`report`]).
+
 pub mod fixtures;
+pub mod report;
 pub mod table;
 
 pub use fixtures::Table1Fixtures;
+pub use report::Report;

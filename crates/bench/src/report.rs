@@ -1,0 +1,156 @@
+//! Machine-readable benchmark reports: every harness binary can mirror
+//! its printed tables into a `BENCH_<name>.json` file via `--json <path>`.
+//!
+//! The schema (documented in `EXPERIMENTS.md`) is deliberately small:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "bench": "<binary name>",
+//!   "params": { "<knob>": <value>, ... },
+//!   "tables": [
+//!     { "title": "...", "columns": ["..."], "rows": [[...]], "note": "..." }
+//!   ]
+//! }
+//! ```
+//!
+//! Cells that parse as numbers are emitted as JSON numbers, everything
+//! else as strings — so downstream tooling can consume `rows` without
+//! re-parsing the human-oriented rendering.
+
+use std::io::Write as _;
+
+use mpart_obs::Json;
+
+use crate::table::Table;
+
+/// The `schema_version` stamped into every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A machine-readable mirror of one harness run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    bench: String,
+    params: Vec<(String, Json)>,
+    tables: Vec<Json>,
+}
+
+impl Report {
+    /// Starts a report for the named benchmark binary.
+    pub fn new(bench: impl Into<String>) -> Self {
+        Report { bench: bench.into(), params: Vec::new(), tables: Vec::new() }
+    }
+
+    /// Records one run parameter (a CLI knob, seed, or iteration count).
+    pub fn param(&mut self, key: impl Into<String>, value: Json) -> &mut Self {
+        self.params.push((key.into(), value));
+        self
+    }
+
+    /// Convenience: records an unsigned-integer parameter.
+    pub fn param_u64(&mut self, key: impl Into<String>, value: u64) -> &mut Self {
+        self.param(key, Json::U64(value))
+    }
+
+    /// Mirrors a rendered [`Table`] into the report.
+    pub fn add_table(&mut self, table: &Table) -> &mut Self {
+        let columns = Json::Arr(table.headers().iter().map(|h| Json::str(h)).collect());
+        let rows = Json::Arr(
+            table
+                .rows()
+                .iter()
+                .map(|row| Json::Arr(row.iter().map(|c| cell_json(c)).collect()))
+                .collect(),
+        );
+        let mut obj = vec![
+            ("title".to_string(), Json::str(table.title())),
+            ("columns".to_string(), columns),
+            ("rows".to_string(), rows),
+        ];
+        if let Some(note) = table.footnote() {
+            obj.push(("note".to_string(), Json::str(note)));
+        }
+        self.tables.push(Json::Obj(obj));
+        self
+    }
+
+    /// The full report document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
+            ("bench".to_string(), Json::str(&self.bench)),
+            ("params".to_string(), Json::Obj(self.params.clone())),
+            ("tables".to_string(), Json::Arr(self.tables.clone())),
+        ])
+    }
+
+    /// Writes the report to `path` as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().render().as_bytes())
+    }
+
+    /// If the process was invoked with `--json <path>`, writes the report
+    /// there (panicking on I/O failure — a harness run whose requested
+    /// artifact cannot be produced should fail loudly) and reports the
+    /// path on stderr.
+    pub fn finish(&self) {
+        if let Some(path) = json_arg() {
+            self.write(&path).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// The `--json <path>` argument of the current process, if present.
+pub fn json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// A table cell as JSON: numbers stay numbers, everything else a string.
+fn cell_json(cell: &str) -> Json {
+    if let Ok(u) = cell.parse::<u64>() {
+        return Json::U64(u);
+    }
+    if let Ok(i) = cell.parse::<i64>() {
+        return Json::I64(i);
+    }
+    if let Ok(x) = cell.parse::<f64>() {
+        if x.is_finite() {
+            return Json::F64(x);
+        }
+    }
+    Json::str(cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_mirrors_table_with_typed_cells() {
+        let mut t = Table::new("demo", &["name", "count", "ratio"]);
+        t.row(vec!["alpha".into(), "42".into(), "0.50".into()]);
+        t.note("footnote");
+        let mut r = Report::new("demo-bench");
+        r.param_u64("seed", 7).add_table(&t);
+        let text = r.to_json().render();
+        assert!(text.contains("\"schema_version\": 1"), "{text}");
+        assert!(text.contains("\"bench\": \"demo-bench\""), "{text}");
+        assert!(text.contains("\"seed\": 7"), "{text}");
+        assert!(text.contains("\"alpha\",\n          42,\n          0.5"), "{text}");
+        assert!(text.contains("\"note\": \"footnote\""), "{text}");
+    }
+
+    #[test]
+    fn non_numeric_cells_stay_strings() {
+        assert_eq!(cell_json("12ms").render_compact(), "\"12ms\"");
+        assert_eq!(cell_json("-3").render_compact(), "-3");
+        assert_eq!(cell_json("1.25").render_compact(), "1.25");
+    }
+}

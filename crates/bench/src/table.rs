@@ -36,6 +36,26 @@ impl Table {
         self
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows appended so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnote, if one was set.
+    pub fn footnote(&self) -> Option<&str> {
+        self.note.as_deref()
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();

@@ -11,17 +11,28 @@
 //! mpart split <file> <fn> --pse N [args..]
 //!                                  run partitioned at PSE N and show the wire
 //! mpart trace <file> <fn> [args..] instruction-level execution trace
+//! mpart trace <file> <fn> --session [args..]
+//!                                  run a chaos session, dump the trace ring
+//! mpart stats <file> <fn> [args..] run a chaos session, dump the metrics
 //! ```
 //!
 //! Arguments are parsed as ints, floats, `true`/`false`, `null`, or
 //! strings. Native builtins referenced by the program are stubbed with
 //! no-ops that echo their invocation, so any handler can be driven from
 //! the command line.
+//!
+//! `stats` and `trace --session` drive the handler through a seeded fault
+//! storm (drops, duplicates, reordering, corruption, and a scheduled
+//! partition) on a supervised virtual-time wire, then print the handler's
+//! observability surface: the metrics registry snapshot or the trace-event
+//! ring. `--json` switches either to the machine-readable export, and
+//! `--messages`/`--seed` control the storm.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use mpart::codegen::{demodulator_text, generated_sizes, modulator_text};
+use mpart::profile::TriggerPolicy;
 use mpart::PartitionedHandler;
 use mpart_cost::{CostModel, DataSizeModel, ExecTimeModel, PowerModel};
 use mpart_ir::instr::{Instr, Rvalue};
@@ -30,6 +41,8 @@ use mpart_ir::parse::parse_program;
 use mpart_ir::pretty::program_to_string;
 use mpart_ir::stdlib::register_stdlib;
 use mpart_ir::{IrError, Program, Value};
+use mpart_jecho::{SimConfig, SimSession};
+use mpart_simnet::{FaultPlan, Host, Link, SimTime};
 
 /// A CLI failure: either a usage error or an underlying IR error.
 #[derive(Debug)]
@@ -67,7 +80,8 @@ pub const USAGE: &str = "usage:
   mpart analyze <file> <fn> [--model data-size|exec-time|power] [--inline]
   mpart codegen <file> <fn> [--model ...] [--inline]
   mpart split <file> <fn> --pse <N> [args..]
-  mpart trace <file> <fn> [args..]";
+  mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
+  mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]";
 
 /// Entry point: executes `args` (without the program name) and returns
 /// the output text.
@@ -113,7 +127,17 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
             let file = next(&mut it, "file")?;
             let func = next(&mut it, "function")?;
             let rest: Vec<String> = it.cloned().collect();
-            cmd_trace(&file, &func, &rest)
+            if has_flag(&rest, "--session") {
+                cmd_trace_session(&file, &func, &rest)
+            } else {
+                cmd_trace(&file, &func, &rest)
+            }
+        }
+        "stats" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_stats(&file, &func, &rest)
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -163,27 +187,39 @@ fn model_from(rest: &[String]) -> Result<Arc<dyn CostModel>, CliError> {
     }
 }
 
-/// Builds a context with the stdlib plus echoing stubs for every native
-/// builtin the program references.
-fn stubbed_ctx(program: &Program) -> ExecCtx {
+/// Builds a registry with the stdlib plus a stub for every native builtin
+/// the program references. Echoing stubs report each invocation on stderr;
+/// quiet stubs (used by the chaos-session commands, which invoke natives
+/// hundreds of times) just return `null`.
+fn stubbed_builtins(program: &Program, echo: bool) -> BuiltinRegistry {
     let mut registry = BuiltinRegistry::new();
     register_stdlib(&mut registry);
     for f in program.functions() {
         for instr in &f.instrs {
             if let Instr::Assign { rvalue: Rvalue::InvokeNative { callee, .. }, .. } = instr {
                 if !registry.contains(callee) {
-                    let name = callee.clone();
-                    registry.register_native(callee.clone(), 1, move |heap, args| {
-                        let digest = mpart_ir::marshal::deep_digest_many(heap, args)
-                            .unwrap_or_else(|_| "?".into());
-                        eprintln!("[native {name}] {digest}");
-                        Ok(Value::Null)
-                    });
+                    if echo {
+                        let name = callee.clone();
+                        registry.register_native(callee.clone(), 1, move |heap, args| {
+                            let digest = mpart_ir::marshal::deep_digest_many(heap, args)
+                                .unwrap_or_else(|_| "?".into());
+                            eprintln!("[native {name}] {digest}");
+                            Ok(Value::Null)
+                        });
+                    } else {
+                        registry.register_native(callee.clone(), 1, |_, _| Ok(Value::Null));
+                    }
                 }
             }
         }
     }
-    ExecCtx::with_builtins(program, registry)
+    registry
+}
+
+/// Builds a context with the stdlib plus echoing stubs for every native
+/// builtin the program references.
+fn stubbed_ctx(program: &Program) -> ExecCtx {
+    ExecCtx::with_builtins(program, stubbed_builtins(program, true))
 }
 
 fn cmd_run(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
@@ -318,6 +354,125 @@ fn cmd_split(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     let _ = writeln!(out, "demodulator work: {}", out_run.demod_work);
     let _ =
         writeln!(out, "return: {}", out_run.ret.map(|v| v.to_string()).unwrap_or("(void)".into()));
+    Ok(out)
+}
+
+/// Whether `rest` carries the given boolean flag.
+fn has_flag(rest: &[String], flag: &str) -> bool {
+    rest.iter().any(|a| a == flag)
+}
+
+/// Parses `--<flag> <N>` from `rest`, falling back to `default`.
+fn opt_u64(rest: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => rest
+            .get(i + 1)
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| CliError::Usage(format!("`{flag}` requires a number"))),
+    }
+}
+
+/// The positional event arguments left after stripping the session flags.
+fn event_args(rest: &[String]) -> Vec<Value> {
+    const WITH_VALUE: &[&str] = &["--model", "--messages", "--seed"];
+    const BARE: &[&str] = &["--session", "--json"];
+    let mut args = Vec::new();
+    let mut skip = false;
+    for a in rest {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if WITH_VALUE.contains(&a.as_str()) {
+            skip = true;
+        } else if !BARE.contains(&a.as_str()) {
+            args.push(parse_value(a));
+        }
+    }
+    args
+}
+
+/// Drives `func` through a seeded chaos storm on a supervised virtual-time
+/// wire: drops, duplicates, reordering, corruption, and a scheduled
+/// partition long enough to exhaust the degradation budget. Every message
+/// carries the same CLI-supplied arguments; natives are quiet stubs.
+fn run_chaos_session(file: &str, func: &str, rest: &[String]) -> Result<SimSession, CliError> {
+    let program = load(file)?;
+    let model = model_from(rest)?;
+    let messages = opt_u64(rest, "--messages", 30)?.max(1);
+    let seed = opt_u64(rest, "--seed", 7)?;
+    let args = event_args(rest);
+
+    // Mirrors the chaos suite's storm: every fault class plus an outage
+    // window sized to trip the failure budget and recover before the end.
+    let outage_start = messages * 2 / 3;
+    let storm = FaultPlan::new(seed)
+        .with_drop(0.12)
+        .with_duplicate(0.10)
+        .with_reorder(0.10)
+        .with_corrupt(0.15)
+        .with_partition(outage_start..outage_start + 16);
+    let link = Link::new("lan", SimTime::from_millis(1), 1_000_000.0).with_fault_plan(storm);
+    let mut session = SimSession::adaptive(
+        Arc::clone(&program),
+        func,
+        model,
+        stubbed_builtins(&program, false),
+        stubbed_builtins(&program, false),
+        SimConfig::new(
+            Host::new("sender", 760_000.0),
+            link,
+            Host::new("receiver", 281_000.0),
+            TriggerPolicy::Rate(2),
+        )
+        .with_degradation(3, 3),
+    )?;
+    for _ in 0..messages {
+        session.deliver(|_| Ok(args.clone()))?;
+    }
+    session.drain(500)?;
+    Ok(session)
+}
+
+fn cmd_stats(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let session = run_chaos_session(file, func, rest)?;
+    if has_flag(rest, "--json") {
+        return Ok(session.obs().metrics_json().render());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "chaos session over `{func}`:");
+    let _ = writeln!(
+        out,
+        "  {} delivered, {} retransmissions, {} lost, {} corrupted, {} duplicates suppressed",
+        session.applied_results().len(),
+        session.retransmissions(),
+        session.frames_lost(),
+        session.frames_corrupted(),
+        session.duplicates_suppressed(),
+    );
+    let _ = writeln!(
+        out,
+        "  {} plan installs, {} degradations, {} promotions",
+        session.plan_installs(),
+        session.degradations(),
+        session.promotions(),
+    );
+    let _ = writeln!(out, "metrics:");
+    for line in session.obs().registry().snapshot().render_text().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    Ok(out)
+}
+
+fn cmd_trace_session(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let session = run_chaos_session(file, func, rest)?;
+    if has_flag(rest, "--json") {
+        return Ok(session.obs().trace_json().render());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "trace ring of a chaos session over `{func}`:");
+    out.push_str(&session.obs().trace().render_text());
     Ok(out)
 }
 
@@ -529,6 +684,51 @@ mod tests {
         assert!(out.contains("return: -1"), "{out}");
         let lines = out.lines().filter(|l| l.trim_start().starts_with('[')).count();
         assert_eq!(lines, 3, "{out}");
+    }
+
+    #[test]
+    fn stats_runs_chaos_session_and_reports_metrics() {
+        let file = demo_file();
+        // A Pkt-shaped handler driven with plain ints takes the reject
+        // path every message; the storm still exercises the transport.
+        let out = execute(&args(&[
+            "stats",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--messages",
+            "30",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("retransmissions_total"), "{out}");
+        assert!(out.contains("degradations_total"), "{out}");
+        assert!(out.contains("plan_switch_total"), "{out}");
+        assert!(out.contains("envelope_bytes"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_is_machine_readable() {
+        let file = demo_file();
+        let out = execute(&args(&["stats", file.as_str(), "handle", "5", "3", "--json"])).unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"metrics\""), "{out}");
+        assert!(out.contains("\"retransmissions_total\""), "{out}");
+    }
+
+    #[test]
+    fn trace_session_dumps_the_ring() {
+        let file = demo_file();
+        let out =
+            execute(&args(&["trace", file.as_str(), "handle", "5", "3", "--session"])).unwrap();
+        assert!(out.contains("plan_install"), "{out}");
+        assert!(out.contains("degraded"), "{out}");
+        let json =
+            execute(&args(&["trace", file.as_str(), "handle", "5", "3", "--session", "--json"]))
+                .unwrap();
+        assert!(json.contains("\"events\""), "{json}");
     }
 
     #[test]

@@ -70,6 +70,7 @@ impl Demodulator {
         // split decisions can no longer be audited against a known plan).
         let oldest = self.handler.oldest_admissible_epoch();
         if msg.epoch < oldest {
+            self.handler.metrics().note_stale_rejected(self.handler.obs(), msg.epoch, oldest);
             return Err(IrError::StalePlan { epoch: msg.epoch, oldest });
         }
         let analysis = self.handler.analysis();
@@ -95,13 +96,11 @@ impl Demodulator {
         let interp = Interp::new(self.handler.program());
         let outcome = interp.resume_with_observer(ctx, func, pse.edge.to, env, &mut observer)?;
         match outcome {
-            Outcome::Finished(ret) => Ok(DemodRun {
-                ret,
-                demod_work: ctx.work - work_start,
-                pse: msg.pse,
-                samples,
-                profile_work,
-            }),
+            Outcome::Finished(ret) => {
+                let demod_work = ctx.work - work_start;
+                self.handler.metrics().note_demod_run(msg.pse, demod_work, profile_work);
+                Ok(DemodRun { ret, demod_work, pse: msg.pse, samples, profile_work })
+            }
             Outcome::Suspended(_) => unreachable!("demodulator observer never suspends"),
         }
     }

@@ -23,6 +23,9 @@
 //! does not re-promote prematurely.
 
 use std::sync::Arc;
+use std::time::Instant;
+
+use mpart_obs::PlanReason;
 
 use crate::partitioned::PartitionedHandler;
 use crate::PseId;
@@ -62,6 +65,16 @@ impl LinkHealth {
     /// Current state.
     pub fn state(&self) -> HealthState {
         self.state
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Consecutive successes recorded since the last failure.
+    pub fn consecutive_successes(&self) -> u32 {
+        self.consecutive_successes
     }
 
     /// Whether the path is currently degraded.
@@ -105,6 +118,9 @@ pub struct DegradationController {
     stashed: Option<Vec<PseId>>,
     degradations: u64,
     promotions: u64,
+    /// Wall-clock start of the current degraded interval, feeding the
+    /// `degraded_seconds` metric on re-promotion.
+    degraded_since: Option<Instant>,
 }
 
 impl DegradationController {
@@ -120,6 +136,7 @@ impl DegradationController {
             stashed: None,
             degradations: 0,
             promotions: 0,
+            degraded_since: None,
         }
     }
 
@@ -157,7 +174,11 @@ impl DegradationController {
         };
         self.stashed = Some(self.handler.plan().active());
         self.degradations += 1;
-        Some(self.handler.install_plan(&[entry]))
+        self.degraded_since = Some(Instant::now());
+        self.handler
+            .metrics()
+            .note_degraded(self.handler.obs(), self.health.consecutive_failures());
+        Some(self.handler.install_plan_reason(&[entry], PlanReason::Degraded))
     }
 
     /// Records a delivery success. On the transition back to Healthy the
@@ -169,7 +190,13 @@ impl DegradationController {
         }
         let stashed = self.stashed.take()?;
         self.promotions += 1;
-        Some(self.handler.install_plan(&stashed))
+        let seconds = self.degraded_since.take().map_or(0.0, |since| since.elapsed().as_secs_f64());
+        self.handler.metrics().note_promoted(
+            self.handler.obs(),
+            self.health.consecutive_successes(),
+            seconds,
+        );
+        Some(self.handler.install_plan_reason(&stashed, PlanReason::Promoted))
     }
 }
 

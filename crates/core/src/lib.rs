@@ -23,6 +23,8 @@
 //!   with a max-flow/min-cut over the Unit Graph.
 //! * [`codegen`] — renders the instrumented modulator/demodulator "classes"
 //!   as text and accounts their size overhead (§5.3).
+//! * [`obs`] — per-handler observability: pre-registered metric handles
+//!   and trace events over the shared `mpart-obs` hub.
 //! * [`health`] — link health with hysteresis and the degradation ladder:
 //!   fall back to the trivial entry cut while the link is down, re-promote
 //!   the optimized plan once it recovers.
@@ -73,6 +75,7 @@ pub mod continuation;
 pub mod demodulator;
 pub mod health;
 pub mod modulator;
+pub mod obs;
 pub mod partitioned;
 pub mod plan;
 pub mod profile;

@@ -112,7 +112,9 @@ impl Modulator {
                 let pse = &self.handler.analysis().pses()[entry];
                 let message = ContinuationMessage::pack(entry, pse, &env, &ctx.heap, 0, epoch)?;
                 let mod_work = ctx.work - work_start;
-                return Ok(ModRun { message, samples, mod_work, profile_work });
+                let run = ModRun { message, samples, mod_work, profile_work };
+                self.observe_run(&run, epoch);
+                return Ok(run);
             }
         }
 
@@ -157,13 +159,27 @@ impl Modulator {
                 let mod_work = ctx.work - work_start;
                 let message =
                     ContinuationMessage::pack(pse_id, pse, &sp.env, &ctx.heap, mod_work, epoch)?;
-                Ok(ModRun { message, samples, mod_work, profile_work })
+                let run = ModRun { message, samples, mod_work, profile_work };
+                self.observe_run(&run, epoch);
+                Ok(run)
             }
             Outcome::Finished(_) => Err(IrError::Continuation(format!(
                 "plan {:?} is not a cut: handler completed inside the sender",
                 active_of(&split)
             ))),
         }
+    }
+
+    /// Feeds one successful run into the handler's instruments.
+    fn observe_run(&self, run: &ModRun, epoch: u64) {
+        self.handler.metrics().note_mod_run(
+            self.handler.obs(),
+            run.message.pse,
+            epoch,
+            run.message.wire_size() as u64,
+            run.mod_work,
+            run.profile_work,
+        );
     }
 }
 

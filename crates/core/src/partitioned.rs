@@ -9,8 +9,11 @@ use mpart_analysis::{analyze, EdgeCostEstimator, HandlerAnalysis, StaticCost};
 use mpart_cost::CostModel;
 use mpart_ir::{IrError, Program};
 
+use mpart_obs::{pse_mask, ObsHub, PlanReason, TraceEvent};
+
 use crate::demodulator::Demodulator;
 use crate::modulator::Modulator;
+use crate::obs::HandlerMetrics;
 use crate::plan::PartitionPlan;
 use crate::reconfig::select_active_set;
 use crate::PseId;
@@ -64,6 +67,8 @@ pub struct PartitionedHandler {
     plan: PartitionPlan,
     edge_to_pse: HashMap<(usize, usize), PseId>,
     history: Mutex<PlanHistory>,
+    obs: Arc<ObsHub>,
+    metrics: HandlerMetrics,
 }
 
 impl std::fmt::Debug for PartitionedHandler {
@@ -115,6 +120,8 @@ impl PartitionedHandler {
             .map(|(i, p)| ((p.edge.from, p.edge.to), i))
             .collect();
 
+        let obs = Arc::new(ObsHub::new());
+        let metrics = HandlerMetrics::register(obs.registry(), analysis.pses().len());
         let handler = PartitionedHandler {
             program,
             func_name: func_name.to_string(),
@@ -123,11 +130,13 @@ impl PartitionedHandler {
             plan,
             edge_to_pse,
             history: Mutex::new(PlanHistory::new(DEFAULT_PLAN_RETENTION)),
+            obs,
+            metrics,
         };
         // Deployment-time initial plan from static costs alone.
         let weights = handler.static_weights();
         let initial = select_active_set(&handler.analysis, &weights)?;
-        handler.install_plan(&initial);
+        handler.install_plan_reason(&initial, PlanReason::Initial);
         handler.plan.validate_cut(&handler.analysis)?;
         Ok(Arc::new(handler))
     }
@@ -140,8 +149,17 @@ impl PartitionedHandler {
     /// reachable: direct flag installs still bump the epoch but leave no
     /// history entry, so the stale-plan horizon cannot advance past them.
     pub fn install_plan(&self, active: &[PseId]) -> u64 {
+        self.install_plan_reason(active, PlanReason::Install)
+    }
+
+    /// Like [`install_plan`](Self::install_plan), tagging the install with
+    /// the reason recorded in `plan_switch_total{reason}` and the trace
+    /// ring ([`TraceEvent::PlanInstall`]).
+    pub fn install_plan_reason(&self, active: &[PseId], reason: PlanReason) -> u64 {
         let epoch = self.plan.install(active);
         self.history.lock().expect("plan history poisoned").record(epoch, active.to_vec());
+        self.metrics.note_plan_switch(reason, epoch);
+        self.obs.record(TraceEvent::PlanInstall { epoch, active_mask: pse_mask(active), reason });
         epoch
     }
 
@@ -163,7 +181,7 @@ impl PartitionedHandler {
 
     /// The oldest plan epoch the demodulator still admits. Messages
     /// stamped below this are rejected with
-    /// [`IrError::StalePlan`](mpart_ir::IrError::StalePlan).
+    /// [`IrError::StalePlan`].
     pub fn oldest_admissible_epoch(&self) -> u64 {
         self.history.lock().expect("plan history poisoned").oldest_admissible
     }
@@ -232,6 +250,16 @@ impl PartitionedHandler {
     /// The shared partition plan (atomic flags).
     pub fn plan(&self) -> &PartitionPlan {
         &self.plan
+    }
+
+    /// The handler's observability hub (metrics registry + trace ring).
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.obs
+    }
+
+    /// Pre-registered instrument handles for this handler.
+    pub fn metrics(&self) -> &HandlerMetrics {
+        &self.metrics
     }
 
     /// PSE id of a Unit Graph edge, if that edge is a PSE.

@@ -251,6 +251,21 @@ impl ProfilingUnit {
     pub fn stats(&self) -> &[PseStats] {
         &self.stats
     }
+
+    /// Modulator halves still waiting for their demodulator profile.
+    pub fn pending_mod_profiles(&self) -> usize {
+        self.pending_mod.len()
+    }
+
+    /// Discards window state tied to the superseded plan after an external
+    /// plan switch: pending modulator halves were produced under split
+    /// decisions that no longer exist, so pairing them with post-switch
+    /// demodulator profiles would corrupt the total-work EWMA. The
+    /// long-horizon per-PSE EWMAs are workload properties, not plan
+    /// properties, and survive the reset.
+    pub fn reset_window(&mut self) {
+        self.pending_mod.clear();
+    }
 }
 
 /// When the Profiling Unit pushes feedback to the Reconfiguration Unit.

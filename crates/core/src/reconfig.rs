@@ -15,7 +15,9 @@ use mpart_analysis::{HandlerAnalysis, StaticCost, ENTRY};
 use mpart_cost::RuntimeCostKind;
 use mpart_flow::{Dinic, INF};
 use mpart_ir::IrError;
+use mpart_obs::{pse_mask, Counter, Gauge, ObsHub, TraceEvent};
 
+use crate::plan::PartitionPlan;
 use crate::profile::{
     DemodMessageProfile, ModMessageProfile, ProfileSnapshot, ProfilingUnit, TriggerPolicy,
 };
@@ -224,6 +226,22 @@ pub struct ReconfigUnit {
     last_weights: Option<Vec<u64>>,
     messages_since: u64,
     reconfigurations: u64,
+    /// Plan watched for epoch bumps the unit did not initiate (degradation
+    /// fallback, operator installs); see [`with_plan_watch`](Self::with_plan_watch).
+    watch: Option<PartitionPlan>,
+    /// The newest epoch the unit's owner has acknowledged as one of *our*
+    /// (or an expected) installs.
+    expected_epoch: u64,
+    obs: Option<ReconfigObs>,
+}
+
+/// Instruments registered by the Reconfiguration Unit on a shared hub.
+#[derive(Debug)]
+struct ReconfigObs {
+    hub: std::sync::Arc<ObsHub>,
+    reconfigurations: Counter,
+    feedback_resets: Counter,
+    cut_weight: Gauge,
 }
 
 impl ReconfigUnit {
@@ -245,6 +263,9 @@ impl ReconfigUnit {
             last_weights: None,
             messages_since: 0,
             reconfigurations: 0,
+            watch: None,
+            expected_epoch: 0,
+            obs: None,
         }
     }
 
@@ -268,6 +289,70 @@ impl ReconfigUnit {
     pub fn with_frequency_weighting(mut self, on: bool) -> Self {
         self.frequency_weighted = on;
         self
+    }
+
+    /// Registers the unit's instruments (`reconfigurations_total`,
+    /// `feedback_window_resets_total`, `reconfig_cut_weight`) on `hub` and
+    /// records every decision as a [`TraceEvent::Reconfig`].
+    pub fn with_obs(mut self, hub: std::sync::Arc<ObsHub>) -> Self {
+        let registry = hub.registry();
+        self.obs = Some(ReconfigObs {
+            reconfigurations: registry.counter("reconfigurations_total", &[]),
+            feedback_resets: registry.counter("feedback_window_resets_total", &[]),
+            cut_weight: registry.gauge("reconfig_cut_weight", &[]),
+            hub,
+        });
+        self
+    }
+
+    /// Watches `plan` for epoch bumps the unit did not initiate.
+    ///
+    /// Plans can be switched behind the unit's back — the degradation
+    /// controller installing the entry cut, an operator install. Profiled
+    /// feedback accumulated under the superseded plan (split ratios, EWMA
+    /// windows, the rate trigger's message count) then describes a plan
+    /// that no longer exists, and without a reset the very next
+    /// `maybe_reconfigure` could fire spuriously from that stale window.
+    /// With a watch installed, an unacknowledged epoch advance clears the
+    /// feedback window first (see
+    /// [`acknowledge_epoch`](Self::acknowledge_epoch)).
+    pub fn with_plan_watch(mut self, plan: PartitionPlan) -> Self {
+        self.expected_epoch = plan.epoch();
+        self.watch = Some(plan);
+        self
+    }
+
+    /// Marks `epoch` (and everything older) as an expected plan install —
+    /// one this unit produced, or one its owner deliberately applied.
+    /// Expected installs do not reset the feedback window.
+    pub fn acknowledge_epoch(&mut self, epoch: u64) {
+        self.expected_epoch = self.expected_epoch.max(epoch);
+    }
+
+    /// Detects an unacknowledged plan switch and, if one happened, resets
+    /// the feedback window so EWMA state from the superseded plan cannot
+    /// trigger an immediate spurious reconfiguration. Returns `true` when
+    /// a reset occurred.
+    fn reset_if_plan_switched(&mut self) -> bool {
+        let Some(watch) = &self.watch else {
+            return false;
+        };
+        let epoch = watch.epoch();
+        if epoch <= self.expected_epoch {
+            return false;
+        }
+        self.expected_epoch = epoch;
+        self.messages_since = 0;
+        self.profiling.reset_window();
+        // Re-baseline the diff trigger at the current weights: "change"
+        // is measured from the moment of the switch, not from the last
+        // feedback under the old plan.
+        self.last_weights = Some(self.current_weights());
+        if let Some(obs) = &self.obs {
+            obs.feedback_resets.inc();
+            obs.hub.record(TraceEvent::FeedbackReset { epoch });
+        }
+        true
     }
 
     /// Replaces the EWMA smoothing factor (default 0.5). Smaller values
@@ -317,6 +402,10 @@ impl ReconfigUnit {
     ///
     /// Propagates [`select_active_set`] failures.
     pub fn maybe_reconfigure(&mut self) -> Result<Option<PlanUpdate>, IrError> {
+        if self.reset_if_plan_switched() {
+            return Ok(None);
+        }
+        let window = self.messages_since;
         let weights = self.current_weights();
         let max_rel_change = match &self.last_weights {
             None => f64::INFINITY,
@@ -336,7 +425,24 @@ impl ReconfigUnit {
         self.last_weights = Some(weights.clone());
         let active = select_active_set(&self.analysis, &weights)?;
         self.reconfigurations += 1;
+        self.observe_decision(&active, &weights, window);
         Ok(Some(PlanUpdate { active, weights }))
+    }
+
+    /// Records one produced [`PlanUpdate`] on the registered hub.
+    fn observe_decision(&self, active: &[PseId], weights: &[u64], window: u64) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let cut_weight: f64 =
+            active.iter().filter_map(|&p| weights.get(p)).map(|&w| w as f64).sum();
+        obs.reconfigurations.inc();
+        obs.cut_weight.set(cut_weight);
+        obs.hub.record(TraceEvent::Reconfig {
+            active_mask: pse_mask(active),
+            cut_weight,
+            messages: window,
+        });
     }
 
     /// Per-PSE weights under the current statistics and options.
@@ -358,11 +464,13 @@ impl ReconfigUnit {
     ///
     /// Propagates [`select_active_set`] failures.
     pub fn force_reconfigure(&mut self) -> Result<PlanUpdate, IrError> {
+        let window = self.messages_since;
         let weights = self.current_weights();
         self.messages_since = 0;
         self.last_weights = Some(weights.clone());
         let active = select_active_set(&self.analysis, &weights)?;
         self.reconfigurations += 1;
+        self.observe_decision(&active, &weights, window);
         Ok(PlanUpdate { active, weights })
     }
 }
@@ -589,6 +697,81 @@ mod tests {
             unweighted.active.contains(&entry),
             "per-traversal weighting ships raw: {unweighted:?}"
         );
+    }
+
+    #[test]
+    fn external_plan_switch_resets_feedback_window() {
+        // Regression: feedback accumulated under a superseded plan must
+        // not trigger an immediate reconfiguration right after an epoch
+        // bump the unit did not initiate (e.g. the degradation fallback).
+        let ha = analysis();
+        let main =
+            ha.pses().iter().position(|p| !p.edge.is_entry() && !p.inter.is_empty()).unwrap();
+        let plan = crate::plan::PartitionPlan::new(ha.pses().len());
+        plan.install(&[main]);
+        let mut unit =
+            ReconfigUnit::new(Arc::clone(&ha), RuntimeCostKind::DataSize, TriggerPolicy::Rate(3))
+                .with_plan_watch(plan.clone());
+        unit.acknowledge_epoch(plan.epoch());
+        let feed = |unit: &mut ReconfigUnit| {
+            unit.record_mod(ModMessageProfile {
+                samples: vec![PseSample {
+                    pse: main,
+                    mod_work: 10,
+                    payload_bytes: Some(1000),
+                    was_split: true,
+                }],
+                split: main,
+                mod_work: 10,
+                t_mod: None,
+            });
+        };
+        // Enough messages for the rate trigger to be primed...
+        for _ in 0..3 {
+            feed(&mut unit);
+        }
+        assert!(unit.profiling().pending_mod_profiles() > 0);
+        // ...then the plan switches behind the unit's back (epoch bump).
+        let external_epoch = plan.install(&[main]);
+        assert!(external_epoch > 0);
+        // The primed window is discarded instead of firing.
+        assert!(unit.maybe_reconfigure().unwrap().is_none(), "stale window must not fire");
+        assert_eq!(unit.profiling().pending_mod_profiles(), 0, "stale mod halves dropped");
+        assert_eq!(unit.reconfigurations(), 0);
+        // Feedback gathered under the *new* plan fires normally.
+        for _ in 0..3 {
+            feed(&mut unit);
+        }
+        assert!(unit.maybe_reconfigure().unwrap().is_some(), "fresh window fires");
+        assert_eq!(unit.reconfigurations(), 1);
+        // Acknowledged installs (our own updates) do not reset the window.
+        for _ in 0..3 {
+            feed(&mut unit);
+        }
+        let own_epoch = plan.install(&[main]);
+        unit.acknowledge_epoch(own_epoch);
+        assert!(unit.maybe_reconfigure().unwrap().is_some(), "acknowledged install keeps window");
+    }
+
+    #[test]
+    fn without_plan_watch_behavior_is_unchanged() {
+        let ha = analysis();
+        let main =
+            ha.pses().iter().position(|p| !p.edge.is_entry() && !p.inter.is_empty()).unwrap();
+        let mut unit =
+            ReconfigUnit::new(Arc::clone(&ha), RuntimeCostKind::DataSize, TriggerPolicy::Rate(1));
+        unit.record_mod(ModMessageProfile {
+            samples: vec![PseSample {
+                pse: main,
+                mod_work: 10,
+                payload_bytes: Some(1000),
+                was_split: true,
+            }],
+            split: main,
+            mod_work: 10,
+            t_mod: None,
+        });
+        assert!(unit.maybe_reconfigure().unwrap().is_some());
     }
 
     #[test]

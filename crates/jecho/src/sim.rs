@@ -33,6 +33,7 @@ use mpart::{PartitionedHandler, PseId};
 use mpart_cost::CostModel;
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
+use mpart_obs::{Counter, ObsHub, PlanReason, Registry};
 use mpart_simnet::{EventQueue, Host, Link, MessageDemand, MessageTiming, Pipeline, SimTime};
 use rand::prelude::*;
 
@@ -165,6 +166,30 @@ impl SimConfig {
     }
 }
 
+/// Wire-level counters mirrored into the handler's metrics registry, so a
+/// metrics snapshot after a chaos run shows the transport's behavior next
+/// to the partitioning-layer instruments.
+#[derive(Debug, Clone)]
+struct WireMetrics {
+    retransmissions: Counter,
+    frames_lost: Counter,
+    frames_corrupted: Counter,
+    duplicates_suppressed: Counter,
+    plan_updates_dropped: Counter,
+}
+
+impl WireMetrics {
+    fn register(registry: &Registry) -> Self {
+        WireMetrics {
+            retransmissions: registry.counter("retransmissions_total", &[]),
+            frames_lost: registry.counter("frames_lost_total", &[]),
+            frames_corrupted: registry.counter("frames_corrupted_total", &[]),
+            duplicates_suppressed: registry.counter("duplicates_suppressed_total", &[]),
+            plan_updates_dropped: registry.counter("plan_updates_dropped_total", &[]),
+        }
+    }
+}
+
 /// Per-message outcome of a simulated delivery.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -219,6 +244,7 @@ pub struct SimSession {
     frames_lost: u64,
     frames_corrupted: u64,
     duplicates_suppressed: u64,
+    wire_metrics: WireMetrics,
 }
 
 impl std::fmt::Debug for SimSession {
@@ -252,7 +278,12 @@ impl SimSession {
         let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, config.trigger)
             .with_serialize_cost(config.serialize_work_per_byte)
             .with_alpha(config.ewma_alpha)
-            .with_frequency_weighting(config.frequency_weighted);
+            .with_frequency_weighting(config.frequency_weighted)
+            .with_obs(Arc::clone(handler.obs()))
+            // Watch the shared plan so installs this unit did not produce
+            // (degradation, re-promotion) reset its feedback window.
+            .with_plan_watch(handler.plan().clone());
+        let wire_metrics = WireMetrics::register(handler.obs().registry());
         let degradation = config.link.has_faults().then(|| {
             // Long outages keep frames in flight across many plan
             // generations; widen the demodulator's plan history so
@@ -298,6 +329,7 @@ impl SimSession {
             frames_lost: 0,
             frames_corrupted: 0,
             duplicates_suppressed: 0,
+            wire_metrics,
         })
     }
 
@@ -404,6 +436,23 @@ impl SimSession {
         &self.reconfig
     }
 
+    /// The session's observability hub (the handler's shared metrics
+    /// registry and trace ring — transport counters register there too).
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        self.handler.obs()
+    }
+
+    /// Installs every plan update whose feedback latency has elapsed by
+    /// `until`, acknowledging each install to the Reconfiguration Unit so
+    /// its own plans do not reset its feedback window.
+    fn apply_pending_plans(&mut self, until: SimTime) {
+        for (_, active) in self.pending_plans.drain_until(until) {
+            let epoch = self.handler.install_plan_reason(&active, PlanReason::Reconfig);
+            self.reconfig.acknowledge_epoch(epoch);
+            self.plan_installs += 1;
+        }
+    }
+
     /// Delivers one message built by `make_event` inside a fresh
     /// source-side context; returns the full report.
     ///
@@ -432,10 +481,7 @@ impl SimSession {
         // Plan updates that have reached the source by now take effect
         // (recorded in the plan history so in-flight continuations from
         // superseded generations keep demodulating).
-        for (_, active) in self.pending_plans.drain_until(gen_time) {
-            self.handler.install_plan(&active);
-            self.plan_installs += 1;
-        }
+        self.apply_pending_plans(gen_time);
 
         // Periodic profiling sampling: flip all profiling flags for
         // non-sampled messages (fixed baselines cleared them already and
@@ -490,6 +536,7 @@ impl SimSession {
                 // Control message lost in transit; the stale plan stays
                 // active until a later update gets through.
                 self.plans_dropped += 1;
+                self.wire_metrics.plan_updates_dropped.inc();
             } else {
                 // The new plan reaches the source after the feedback latency.
                 self.pending_plans.push(timing.demod_end + self.feedback_latency, update.active);
@@ -519,10 +566,7 @@ impl SimSession {
     ) -> Result<SimReport, IrError> {
         self.seq += 1;
         let gen_time = self.pipeline.sender.busy_until().max(self.pipeline.link.busy_until());
-        for (_, active) in self.pending_plans.drain_until(gen_time) {
-            self.handler.install_plan(&active);
-            self.plan_installs += 1;
-        }
+        self.apply_pending_plans(gen_time);
 
         let mut sender_ctx = ExecCtx::with_builtins(&self.program, self.sender_builtins.clone());
         sender_ctx.trace_digests = false;
@@ -577,10 +621,12 @@ impl SimSession {
             for (seq, bytes) in &self.unacked {
                 if *seq < self.seq {
                     self.retransmissions += 1;
+                    self.wire_metrics.retransmissions.inc();
                 }
                 let decision = injector.decide();
                 if !decision.delivers() {
                     self.frames_lost += 1;
+                    self.wire_metrics.frames_lost.inc();
                     failures += 1;
                     continue;
                 }
@@ -588,6 +634,7 @@ impl SimSession {
                 if decision.corrupted {
                     injector.corrupt_in_place(&mut payload);
                     self.frames_corrupted += 1;
+                    self.wire_metrics.frames_corrupted.inc();
                 }
                 wire.push((*seq, payload));
                 if decision.duplicated {
@@ -635,6 +682,7 @@ impl SimSession {
             }
             if !self.applied.insert(event.seq) {
                 self.duplicates_suppressed += 1;
+                self.wire_metrics.duplicates_suppressed.inc();
                 continue;
             }
             let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
@@ -671,6 +719,7 @@ impl SimSession {
                 if let Some(update) = self.reconfig.maybe_reconfigure()? {
                     if self.control_loss > 0.0 && self.control_rng.random_bool(self.control_loss) {
                         self.plans_dropped += 1;
+                        self.wire_metrics.plan_updates_dropped.inc();
                     } else {
                         self.pending_plans
                             .push(timing.demod_end + self.feedback_latency, update.active);
@@ -707,10 +756,7 @@ impl SimSession {
                 break;
             }
             let now = self.pipeline.sender.busy_until().max(self.pipeline.link.busy_until());
-            for (_, active) in self.pending_plans.drain_until(now) {
-                self.handler.install_plan(&active);
-                self.plan_installs += 1;
-            }
+            self.apply_pending_plans(now);
             self.pump(now)?;
         }
         Ok(self.unacked.len())

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use mpart::PartitionedHandler;
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
+use mpart_obs::Counter;
 use rand::prelude::*;
 
 use crate::envelope::ModulatedEvent;
@@ -89,6 +90,13 @@ pub struct Supervisor {
     /// Highest seq assigned so far (resumes numbering across connections).
     seq: u64,
     reconnects: u64,
+    /// `reconnects_total` on the handler's metrics registry.
+    reconnects_metric: Counter,
+    /// `retransmissions_total`: events replayed from the unacked window
+    /// onto a fresh connection.
+    replays_metric: Counter,
+    /// `heartbeats_total`: liveness probes sent while draining.
+    heartbeats_metric: Counter,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -113,6 +121,10 @@ impl Supervisor {
         policy: RetryPolicy,
     ) -> Self {
         let rng = StdRng::seed_from_u64(policy.jitter_seed);
+        let registry = handler.obs().registry();
+        let reconnects_metric = registry.counter("reconnects_total", &[]);
+        let replays_metric = registry.counter("retransmissions_total", &[]);
+        let heartbeats_metric = registry.counter("heartbeats_total", &[]);
         Supervisor {
             program,
             handler,
@@ -125,6 +137,9 @@ impl Supervisor {
             acked: Arc::new(AtomicU64::new(0)),
             seq: 0,
             reconnects: 0,
+            reconnects_metric,
+            replays_metric,
+            heartbeats_metric,
         }
     }
 
@@ -167,6 +182,7 @@ impl Supervisor {
         if let Some(old) = self.sender.take() {
             old.abandon();
             self.reconnects += 1;
+            self.reconnects_metric.inc();
         }
         let mut last_err = IrError::Marshal("no reconnect attempts allowed".into());
         for attempt in 0..self.policy.max_attempts.max(1) {
@@ -185,6 +201,7 @@ impl Supervisor {
                     self.trim_window();
                     for (event, t_mod) in &self.window {
                         sender.send_event(event, *t_mod)?;
+                        self.replays_metric.inc();
                     }
                     self.sender = Some(sender);
                     return Ok(());
@@ -254,6 +271,7 @@ impl Supervisor {
                 )));
             }
             self.ensure_connected()?;
+            self.heartbeats_metric.inc();
             let dead = self.sender.as_mut().expect("connected").heartbeat().is_err()
                 || last_progress.elapsed() > self.policy.stall_timeout;
             if dead {

@@ -30,6 +30,7 @@ use mpart::PartitionedHandler;
 use mpart_cost::CostModel;
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
+use mpart_obs::PlanReason;
 
 use crate::envelope::{Frame, ModulatedEvent, PlanEnvelope};
 use crate::local::LocalOutcome;
@@ -119,11 +120,14 @@ impl TcpReceiver {
 
         let recv_handler = Arc::clone(&handler);
         let error_counter = Arc::clone(&demod_errors);
+        let error_metric = handler.obs().registry().counter("demod_errors_total", &[]);
         let accept_thread = std::thread::spawn(move || -> Result<u64, IrError> {
             let demodulator = recv_handler.demodulator();
             let mut ctx = ExecCtx::with_builtins(&program, receiver_builtins);
             let mut reconfig =
-                ReconfigUnit::new(Arc::clone(recv_handler.analysis()), kind, trigger);
+                ReconfigUnit::new(Arc::clone(recv_handler.analysis()), kind, trigger)
+                    .with_obs(Arc::clone(recv_handler.obs()))
+                    .with_plan_watch(recv_handler.plan().clone());
             let mut revision = 0u64;
             let mut processed = 0u64;
             // Highest contiguous event seq applied; survives reconnects so
@@ -179,6 +183,7 @@ impl TcpReceiver {
                                     // skipped — retrying it would loop
                                     // forever.
                                     error_counter.fetch_add(1, Ordering::Relaxed);
+                                    error_metric.inc();
                                     last_applied = event.seq;
                                     let _ =
                                         Frame::Ack { ack: last_applied }.write_to(&mut write_half);
@@ -216,7 +221,9 @@ impl TcpReceiver {
                                 // the generation for its demodulator's
                                 // history) and tells the sender which epoch
                                 // it became.
-                                let epoch = recv_handler.install_plan(&update.active);
+                                let epoch = recv_handler
+                                    .install_plan_reason(&update.active, PlanReason::Reconfig);
+                                reconfig.acknowledge_epoch(epoch);
                                 let plan = Frame::Plan(PlanEnvelope {
                                     active: update.active,
                                     revision,
@@ -371,6 +378,7 @@ impl TcpSender {
         // the applied-plan count.
         let plans_applied = Arc::new(AtomicU64::new(0));
         let plan_counter = Arc::clone(&plans_applied);
+        let plan_metric = handler.obs().registry().counter("plan_updates_applied_total", &[]);
         let ack_watermark = Arc::clone(&acked);
         let plan_thread = std::thread::spawn(move || {
             while let Ok(frame) = Frame::read_from(&mut read_half) {
@@ -378,6 +386,7 @@ impl TcpSender {
                     Frame::Plan(update) => {
                         ack_watermark.fetch_max(update.ack, Ordering::AcqRel);
                         plan_counter.fetch_add(1, Ordering::Relaxed);
+                        plan_metric.inc();
                     }
                     Frame::Ack { ack } => {
                         ack_watermark.fetch_max(ack, Ordering::AcqRel);

@@ -1,0 +1,185 @@
+//! A minimal JSON document model and pretty-printer.
+//!
+//! The workspace vendors no serialization framework, so observability
+//! snapshots and `BENCH_*.json` reports are emitted through this small
+//! std-only writer instead. It covers exactly what the exporters need:
+//! objects with insertion-ordered keys, arrays, strings with full escape
+//! handling, and the three number shapes the registry produces.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// ```
+/// use mpart_obs::Json;
+///
+/// let doc = Json::Obj(vec![
+///     ("name".to_string(), Json::Str("envelope_bytes".to_string())),
+///     ("count".to_string(), Json::U64(3)),
+/// ]);
+/// assert_eq!(doc.render_compact(), r#"{"name":"envelope_bytes","count":3}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, bucket counts, sequence numbers).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values render as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders the document with two-space indentation and a trailing
+    /// newline, the format written to `BENCH_*.json` files.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the document on a single line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is the shortest round-tripping decimal.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                    }
+                    item.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let doc = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(doc.render_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(Json::F64(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render_compact(), "null");
+        assert_eq!(Json::F64(1.5).render_compact(), "1.5");
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let doc = Json::Obj(vec![
+            ("a".to_string(), Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("b".to_string(), Json::Obj(vec![])),
+        ]);
+        assert_eq!(doc.render(), "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}\n");
+    }
+}

@@ -1,0 +1,565 @@
+//! Lock-light metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Instruments are registered once through the [`Registry`] (which takes a
+//! mutex only at registration and snapshot time) and then updated through
+//! cloned handles backed by plain atomics — the hot path in the modulator
+//! and transport never blocks or allocates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+///
+/// Handles are cheap clones sharing one atomic cell.
+///
+/// ```
+/// use mpart_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let sent = registry.counter("continuations_sent_total", &[("pse", "2")]);
+/// sent.inc();
+/// sent.add(2);
+/// assert_eq!(sent.get(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a free-standing counter (not attached to a registry).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge initialised to zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (compare-and-swap loop; gauges are low-frequency).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.0.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over fixed, pre-declared bucket upper bounds.
+///
+/// Observations are `u64` in the instrument's natural unit (bytes, work
+/// units, microseconds). Quantiles are derived from the bucket counts and
+/// therefore report the *upper bound* of the bucket containing the
+/// requested rank — a deliberate fixed-cost approximation, like any
+/// bucketed histogram.
+///
+/// ```
+/// use mpart_obs::Histogram;
+///
+/// let bytes = Histogram::with_pow2_bounds(20);
+/// for v in [100, 200, 400] {
+///     bytes.observe(v);
+/// }
+/// assert_eq!(bytes.count(), 3);
+/// assert_eq!(bytes.sum(), 700);
+/// assert_eq!(bytes.quantile(0.5), 256); // bucket upper bound holding 200
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing; one extra overflow
+    /// bucket follows the last bound.
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds (must be
+    /// non-empty and strictly increasing). Values above the last bound
+    /// land in an implicit overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Creates a histogram with power-of-two bounds `1, 2, 4, ...,
+    /// 2^max_exp` — a good default for byte sizes and work units.
+    pub fn with_pow2_bounds(max_exp: u32) -> Histogram {
+        let bounds: Vec<u64> = (0..=max_exp).map(|e| 1u64 << e).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < value);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// observation (`q` in `[0, 1]`). Returns 0 with no observations;
+    /// observations in the overflow bucket report `u64::MAX`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Takes a point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect();
+        HistogramSnapshot { count: self.count(), sum: self.sum(), buckets }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// `(inclusive upper bound, count)` per bucket; the final entry is the
+    /// overflow bucket with bound `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Bucket-derived quantile; see [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(bound, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean observation, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A registered instrument handle of any kind.
+#[derive(Debug, Clone)]
+pub enum Instrument {
+    /// A [`Counter`].
+    Counter(Counter),
+    /// A [`Gauge`].
+    Gauge(Gauge),
+    /// A [`Histogram`].
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// The instrument registry.
+///
+/// `counter` / `gauge` / `histogram` are get-or-create: asking twice for
+/// the same name and label set returns handles sharing the same cells, so
+/// independently constructed components (modulator, transport, health
+/// tracker) can attach to one registry without coordination. The mutex is
+/// taken only at registration and snapshot time — updates through the
+/// returned handles are pure atomics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates a counter named `name` with the given labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name/labels are already registered as a different
+    /// instrument kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            other => panic!("{name} already registered as {}", kind_name(&other)),
+        }
+    }
+
+    /// Gets or creates a gauge named `name` with the given labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name/labels are already registered as a different
+    /// instrument kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("{name} already registered as {}", kind_name(&other)),
+        }
+    }
+
+    /// Gets or creates a histogram named `name` with the given labels and
+    /// bucket bounds (ignored if the instrument already exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name/labels are already registered as a different
+    /// instrument kind, or if `bounds` are invalid for a new instrument.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        match self.get_or_insert(name, labels, || Instrument::Histogram(Histogram::new(bounds))) {
+            Instrument::Histogram(h) => h,
+            other => panic!("{name} already registered as {}", kind_name(&other)),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(entry) = entries.iter().find(|e| e.name == name && e.labels == labels) {
+            return entry.instrument.clone();
+        }
+        let instrument = make();
+        entries.push(Entry { name: name.to_string(), labels, instrument: instrument.clone() });
+        instrument
+    }
+
+    /// Takes a point-in-time snapshot of every instrument, sorted by name
+    /// then labels.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut metrics: Vec<MetricSnapshot> = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: match &e.instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { metrics }
+    }
+}
+
+fn kind_name(i: &Instrument) -> &'static str {
+    match i {
+        Instrument::Counter(_) => "a counter",
+        Instrument::Gauge(_) => "a gauge",
+        Instrument::Histogram(_) => "a histogram",
+    }
+}
+
+/// One instrument's state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Instrument name, e.g. `continuations_sent_total`.
+    pub name: String,
+    /// Sorted `(key, value)` labels.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+impl MetricSnapshot {
+    /// `name{k="v",...}` identity string (no labels: just the name).
+    pub fn identity(&self) -> String {
+        let mut s = self.name.clone();
+        if !self.labels.is_empty() {
+            s.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{k}=\"{v}\""));
+            }
+            s.push('}');
+        }
+        s
+    }
+}
+
+/// A captured instrument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// All instruments, sorted by name then labels.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up one instrument by name and exact (sorted) labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        self.metrics.iter().find(|m| m.name == name && m.labels == labels).map(|m| &m.value)
+    }
+
+    /// Sums every counter series sharing `name`, regardless of labels.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match m.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Renders a human-readable one-instrument-per-line listing.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            match &m.value {
+                MetricValue::Counter(v) => out.push_str(&format!("{} {v}\n", m.identity())),
+                MetricValue::Gauge(v) => out.push_str(&format!("{} {v}\n", m.identity())),
+                MetricValue::Histogram(h) => out.push_str(&format!(
+                    "{} count={} sum={} mean={:.1} p50={} p90={} p99={}\n",
+                    m.identity(),
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                )),
+            }
+        }
+        out
+    }
+
+    /// Converts the snapshot to its documented JSON shape (see
+    /// `OBSERVABILITY.md`).
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let labels = Json::Obj(
+                    m.labels.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))).collect(),
+                );
+                let mut fields = vec![
+                    ("name".to_string(), Json::str(m.name.clone())),
+                    ("labels".to_string(), labels),
+                ];
+                match &m.value {
+                    MetricValue::Counter(v) => {
+                        fields.push(("type".to_string(), Json::str("counter")));
+                        fields.push(("value".to_string(), Json::U64(*v)));
+                    }
+                    MetricValue::Gauge(v) => {
+                        fields.push(("type".to_string(), Json::str("gauge")));
+                        fields.push(("value".to_string(), Json::F64(*v)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        fields.push(("type".to_string(), Json::str("histogram")));
+                        fields.push(("count".to_string(), Json::U64(h.count)));
+                        fields.push(("sum".to_string(), Json::U64(h.sum)));
+                        fields.push(("p50".to_string(), Json::U64(h.quantile(0.50))));
+                        fields.push(("p90".to_string(), Json::U64(h.quantile(0.90))));
+                        fields.push(("p99".to_string(), Json::U64(h.quantile(0.99))));
+                        let buckets = h
+                            .buckets
+                            .iter()
+                            .filter(|(_, count)| *count > 0)
+                            .map(|&(bound, count)| {
+                                Json::Obj(vec![
+                                    ("le".to_string(), Json::U64(bound)),
+                                    ("count".to_string(), Json::U64(count)),
+                                ])
+                            })
+                            .collect();
+                        fields.push(("buckets".to_string(), Json::Arr(buckets)));
+                    }
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![("metrics".to_string(), Json::Arr(metrics))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_get_or_create_shares_cells() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("pse", "1")]);
+        let b = r.counter("x_total", &[("pse", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // Different labels are a different series.
+        let c = r.counter("x_total", &[("pse", "2")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter("y_total", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("y_total", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("z", &[]);
+        r.gauge("z", &[]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 7, 50, 500, 5000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 5562);
+        assert_eq!(snap.buckets, vec![(10, 2), (100, 1), (1000, 1), (u64::MAX, 1)]);
+        assert_eq!(snap.quantile(0.0), 10);
+        assert_eq!(snap.quantile(0.5), 100);
+        assert_eq!(snap.quantile(0.99), u64::MAX);
+        assert_eq!(HistogramSnapshot { count: 0, sum: 0, buckets: vec![] }.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn gauge_add_accumulates() {
+        let g = Gauge::new();
+        g.add(1.5);
+        g.add(2.5);
+        assert_eq!(g.get(), 4.0);
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.counter("b_total", &[]).inc();
+        r.counter("a_total", &[]).add(3);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a_total", "b_total"]);
+        assert_eq!(snap.get("a_total", &[]), Some(&MetricValue::Counter(3)));
+        assert_eq!(snap.counter_sum("b_total"), 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! * [`flow`] — max-flow/min-cut used by the Reconfiguration Unit;
 //! * [`core`] — modulator/demodulator generation, remote continuation,
 //!   profiling, and reconfiguration;
+//! * [`obs`] — metrics registry, trace-event ring, and JSON export;
 //! * [`simnet`] — deterministic discrete-event host/network simulator;
 //! * [`jecho`] — the JECho-like distributed event channel substrate;
 //! * [`apps`] — the paper's two evaluation applications.
@@ -20,4 +21,5 @@ pub use mpart_cost as cost;
 pub use mpart_flow as flow;
 pub use mpart_ir as ir;
 pub use mpart_jecho as jecho;
+pub use mpart_obs as obs;
 pub use mpart_simnet as simnet;

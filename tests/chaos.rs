@@ -138,6 +138,40 @@ fn sensor_outage_degrades_and_recovers() {
 }
 
 #[test]
+fn trace_ring_records_degradation_cycle_in_order() {
+    use method_partitioning::obs::TraceEvent;
+    for seed in [1u64, 7, 42] {
+        let session = run_sensor_storm(seed);
+        let transitions: Vec<&'static str> = session
+            .obs()
+            .trace()
+            .snapshot()
+            .iter()
+            .filter_map(|rec| match rec.event {
+                TraceEvent::Degraded { .. } => Some("degraded"),
+                TraceEvent::Promoted { .. } => Some("promoted"),
+                _ => None,
+            })
+            .collect();
+        // Health transitions must strictly alternate, starting with the
+        // outage-induced degradation, and the ring must agree with the
+        // session's own transition counters.
+        for (i, kind) in transitions.iter().enumerate() {
+            let expected = if i % 2 == 0 { "degraded" } else { "promoted" };
+            assert_eq!(
+                *kind, expected,
+                "seed {seed}: transition {i} out of order: {transitions:?}"
+            );
+        }
+        let degraded = transitions.iter().filter(|k| **k == "degraded").count() as u64;
+        let promoted = transitions.iter().filter(|k| **k == "promoted").count() as u64;
+        assert_eq!(degraded, session.degradations(), "seed {seed}: ring vs counter");
+        assert_eq!(promoted, session.promotions(), "seed {seed}: ring vs counter");
+        assert!(degraded >= 1, "seed {seed}: the outage shows up in the trace ring");
+    }
+}
+
+#[test]
 fn sensor_chaos_is_deterministic() {
     let a = run_sensor_storm(7);
     let b = run_sensor_storm(7);
