@@ -19,8 +19,29 @@
 //!    edges and `MinCostEdgeSet` per path.
 //!
 //! [`analyze`] runs the whole pipeline and returns a [`HandlerAnalysis`].
+//! The result is pure — a function of the program text, handler name,
+//! cost model, and enumeration limits — so multi-session runtimes share
+//! one analysis per distinct handler through the content-addressed
+//! [`cache::AnalysisCache`] instead of re-running the pipeline per
+//! session (see `ARCHITECTURE.md` §"mpart-analysis" and §"Throughput
+//! layer" for where this sits in the crate map).
+//!
+//! ```
+//! use mpart_analysis::analyze;
+//! use mpart_analysis::cost::InterCountEstimator;
+//! use mpart_ir::parse::parse_program;
+//!
+//! let program = parse_program(
+//!     "fn watch(x) {\n  y = x * 3\n  native emit(y)\n  return y\n}\n",
+//! ).unwrap();
+//! let analysis =
+//!     analyze(&program, "watch", &InterCountEstimator, Default::default()).unwrap();
+//! // Every handler exposes at least the trivial entry split.
+//! assert!(analysis.pses().iter().any(|p| p.edge.is_entry()));
+//! ```
 
 pub mod bitset;
+pub mod cache;
 pub mod convex;
 pub mod cost;
 pub mod ddg;
@@ -35,6 +56,7 @@ pub mod varkinds;
 
 use mpart_ir::{IrError, Program};
 
+pub use cache::{AnalysisCache, DEFAULT_CACHE_CAPACITY};
 pub use convex::{ConvexCut, PseInfo};
 pub use cost::{EdgeCostEstimator, EstimatorCx, StaticCost};
 pub use ug::{Edge, ENTRY};

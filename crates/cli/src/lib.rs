@@ -14,6 +14,10 @@
 //! mpart trace <file> <fn> --session [args..]
 //!                                  run a chaos session, dump the trace ring
 //! mpart stats <file> <fn> [args..] run a chaos session, dump the metrics
+//! mpart serve <file> <fn> [args..] --sessions N
+//!                                  run N concurrent sessions over a shared
+//!                                  worker pool and analysis cache
+//! mpart help | --help | -h         print the usage banner
 //! ```
 //!
 //! Arguments are parsed as ints, floats, `true`/`false`, `null`, or
@@ -33,6 +37,7 @@ use std::sync::Arc;
 
 use mpart::codegen::{demodulator_text, generated_sizes, modulator_text};
 use mpart::profile::TriggerPolicy;
+use mpart::session::{SessionConfig, SessionManager};
 use mpart::PartitionedHandler;
 use mpart_cost::{CostModel, DataSizeModel, ExecTimeModel, PowerModel};
 use mpart_ir::instr::{Instr, Rvalue};
@@ -81,7 +86,9 @@ pub const USAGE: &str = "usage:
   mpart codegen <file> <fn> [--model ...] [--inline]
   mpart split <file> <fn> --pse <N> [args..]
   mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
-  mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]";
+  mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]
+  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--model ...]
+  mpart help";
 
 /// Entry point: executes `args` (without the program name) and returns
 /// the output text.
@@ -139,6 +146,13 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
             let rest: Vec<String> = it.cloned().collect();
             cmd_stats(&file, &func, &rest)
         }
+        "serve" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_serve(&file, &func, &rest)
+        }
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
@@ -375,7 +389,7 @@ fn opt_u64(rest: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
 
 /// The positional event arguments left after stripping the session flags.
 fn event_args(rest: &[String]) -> Vec<Value> {
-    const WITH_VALUE: &[&str] = &["--model", "--messages", "--seed"];
+    const WITH_VALUE: &[&str] = &["--model", "--messages", "--seed", "--sessions", "--workers"];
     const BARE: &[&str] = &["--session", "--json"];
     let mut args = Vec::new();
     let mut skip = false;
@@ -462,6 +476,68 @@ fn cmd_stats(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     for line in session.obs().registry().snapshot().render_text().lines() {
         let _ = writeln!(out, "  {line}");
     }
+    Ok(out)
+}
+
+/// Runs `--sessions` concurrent sessions of `func` over a shared worker
+/// pool: every handler is built through the manager's shared analysis
+/// cache (one miss, the rest hits), `--messages` events round-robin
+/// across the sessions, and the summary reports dispatch and cache
+/// statistics. This is the multi-session "server" face of the runtime —
+/// see `ARCHITECTURE.md` §"Throughput layer".
+fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = load(file)?;
+    let model = model_from(rest)?;
+    let sessions = opt_u64(rest, "--sessions", 4)?.max(1) as usize;
+    let workers = opt_u64(rest, "--workers", 0)? as usize;
+    let messages = opt_u64(rest, "--messages", 8)?.max(1);
+    let args = event_args(rest);
+
+    let mut config = SessionConfig::default();
+    if workers > 0 {
+        config = config.with_workers(workers);
+    }
+    let mut manager = SessionManager::new(config);
+    for _ in 0..sessions {
+        manager.open_session(
+            Arc::clone(&program),
+            func,
+            Arc::clone(&model),
+            stubbed_builtins(&program, false),
+            stubbed_builtins(&program, false),
+        )?;
+    }
+
+    let mut last: Vec<Option<mpart::session::SessionOutcome>> = vec![None; sessions];
+    for _ in 0..messages {
+        for (s, slot) in last.iter_mut().enumerate() {
+            let event = args.clone();
+            *slot = Some(manager.deliver(s, move |_| Ok(event))?);
+        }
+    }
+
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "served `{func}`: {sessions} sessions over {} workers", manager.workers());
+    let _ = writeln!(out, "  delivered {} messages ({messages} per session)", manager.processed());
+    let cache = manager.cache();
+    let _ = writeln!(
+        out,
+        "  analysis cache: {} misses, {} hits (hit rate {:.2})",
+        cache.misses(),
+        cache.hits(),
+        cache.hit_rate(),
+    );
+    for (s, outcome) in last.iter().enumerate() {
+        if let Some(o) = outcome {
+            let _ = writeln!(
+                out,
+                "  session {s}: epoch {}, last split PSE {}, last wire {} bytes",
+                o.epoch, o.split_pse, o.wire_bytes
+            );
+        }
+    }
+    manager.shutdown();
     Ok(out)
 }
 
@@ -729,6 +805,38 @@ mod tests {
             execute(&args(&["trace", file.as_str(), "handle", "5", "3", "--session", "--json"]))
                 .unwrap();
         assert!(json.contains("\"events\""), "{json}");
+    }
+
+    #[test]
+    fn help_prints_usage_without_error() {
+        for invocation in [&["help"][..], &["--help"], &["-h"]] {
+            let out = execute(&args(invocation)).unwrap();
+            assert!(out.contains("mpart serve"), "{out}");
+            assert!(out.contains("mpart stats"), "{out}");
+        }
+    }
+
+    #[test]
+    fn serve_shards_sessions_and_shares_the_analysis() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "serve",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--sessions",
+            "3",
+            "--workers",
+            "2",
+            "--messages",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 sessions over 2 workers"), "{out}");
+        assert!(out.contains("delivered 12 messages"), "{out}");
+        assert!(out.contains("1 misses, 2 hits"), "{out}");
+        assert!(out.contains("session 2:"), "{out}");
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //!   the optimized plan once it recovers.
 //! * [`partitioned`] — [`partitioned::PartitionedHandler`],
 //!   the deployment-time facade tying everything together.
+//! * [`session`] — [`session::SessionManager`]: N concurrent sessions
+//!   sharded over a fixed worker pool, sharing static analyses through the
+//!   `mpart-analysis` cache while keeping plans and epochs per-session
+//!   (see `ARCHITECTURE.md` §"Throughput layer").
 //!
 //! ## End-to-end example
 //!
@@ -80,6 +84,7 @@ pub mod partitioned;
 pub mod plan;
 pub mod profile;
 pub mod reconfig;
+pub mod session;
 
 /// Index of a Potential Split Edge within a handler's analysis results.
 pub type PseId = usize;

@@ -4,6 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
+use mpart_analysis::cache::AnalysisCache;
 use mpart_analysis::paths::EnumLimits;
 use mpart_analysis::{analyze, EdgeCostEstimator, HandlerAnalysis, StaticCost};
 use mpart_cost::CostModel;
@@ -111,6 +112,62 @@ impl PartitionedHandler {
     ) -> Result<Arc<Self>, IrError> {
         let estimator: &dyn EdgeCostEstimator = model.as_ref();
         let analysis = Arc::new(analyze(&program, func_name, estimator, limits)?);
+        Self::from_analysis(program, analysis, model)
+    }
+
+    /// Like [`analyze`](Self::analyze), but answering from `cache`: the
+    /// expensive static pipeline runs only on the first session of a
+    /// given (program, handler, model) combination; later sessions share
+    /// the immutable [`HandlerAnalysis`] by `Arc` while still getting
+    /// their own plan, epoch history, and observability hub — so
+    /// per-session reconfiguration stays independent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn analyze_cached(
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        cache: &AnalysisCache,
+    ) -> Result<Arc<Self>, IrError> {
+        Self::analyze_cached_with_limits(program, func_name, model, cache, EnumLimits::default())
+    }
+
+    /// Like [`analyze_cached`](Self::analyze_cached) with explicit
+    /// path-enumeration limits (part of the cache key).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn analyze_cached_with_limits(
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        cache: &AnalysisCache,
+        limits: EnumLimits,
+    ) -> Result<Arc<Self>, IrError> {
+        let analysis =
+            cache.get_or_analyze(&program, func_name, model.name(), model.as_ref(), limits)?;
+        Self::from_analysis(program, analysis, model)
+    }
+
+    /// Builds a handler around an already-computed (possibly shared)
+    /// analysis. The handler gets fresh runtime state — plan flags, epoch
+    /// history, metrics hub — so sessions sharing one analysis never
+    /// share plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Unresolved`] if `program` lacks the analyzed
+    /// function, and propagates initial plan selection failures.
+    pub fn from_analysis(
+        program: Arc<Program>,
+        analysis: Arc<HandlerAnalysis>,
+        model: Arc<dyn CostModel>,
+    ) -> Result<Arc<Self>, IrError> {
+        let func_name = analysis.func_name.clone();
+        program.function_or_err(&func_name)?;
         let plan = PartitionPlan::new(analysis.pses().len());
 
         let edge_to_pse = analysis
@@ -124,7 +181,7 @@ impl PartitionedHandler {
         let metrics = HandlerMetrics::register(obs.registry(), analysis.pses().len());
         let handler = PartitionedHandler {
             program,
-            func_name: func_name.to_string(),
+            func_name,
             analysis,
             model,
             plan,
@@ -339,6 +396,44 @@ mod tests {
         // Shrinking the retention evicts immediately.
         h.set_plan_retention(1);
         assert_eq!(h.oldest_admissible_epoch(), 4);
+    }
+
+    #[test]
+    fn cached_sessions_share_analysis_but_not_plans() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let cache = AnalysisCache::new(4);
+        let a = PartitionedHandler::analyze_cached(
+            Arc::clone(&program),
+            "push",
+            Arc::new(DataSizeModel::new()),
+            &cache,
+        )
+        .unwrap();
+        let b = PartitionedHandler::analyze_cached(
+            Arc::clone(&program),
+            "push",
+            Arc::new(DataSizeModel::new()),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(a.analysis(), b.analysis()), "one analysis, shared");
+        // Runtime state is per-session: installing a plan on one handler
+        // must not move the other's epoch.
+        let all: Vec<usize> = (0..a.analysis().pses().len()).collect();
+        a.install_plan(&all);
+        assert_eq!(a.plan().epoch(), 2);
+        assert_eq!(b.plan().epoch(), 1, "plans and epochs stay independent");
+        // A different model is a different cache key.
+        let c = PartitionedHandler::analyze_cached(
+            Arc::clone(&program),
+            "push",
+            Arc::new(ExecTimeModel::new()),
+            &cache,
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(a.analysis(), c.analysis()));
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -1,0 +1,634 @@
+//! Multi-session dispatch: N concurrent handler sessions sharded across a
+//! fixed worker pool.
+//!
+//! The paper's runtime serves one partitioned handler session; the
+//! [`SessionManager`] is the first step from reproduction to server (see
+//! `ARCHITECTURE.md` §"Throughput layer"). It owns a fixed set of worker
+//! threads (hand-rolled `std::thread` + `std::sync::mpsc`, no external
+//! executor) and shards sessions across them by `session_id % workers`, so
+//! one session's messages always run on one worker in submission order —
+//! per-session ordering needs no locking.
+//!
+//! Each session owns its *runtime* state — modulator/demodulator pair,
+//! [`PartitionPlan`](crate::plan::PartitionPlan) with its epoch history,
+//! [`ObsHub`], and a private Reconfiguration Unit — so plans adapt
+//! per-session. What sessions *share* is the pure static analysis: handler
+//! construction goes through an
+//! [`AnalysisCache`], and the
+//! manager mirrors the cache's hit/miss/eviction counts into gauges on its
+//! own hub (`analysis_cache_hits`, `analysis_cache_misses`,
+//! `analysis_cache_evictions`; see OBSERVABILITY.md).
+//!
+//! ```
+//! use mpart::session::{SessionConfig, SessionManager};
+//! use mpart_cost::DataSizeModel;
+//! use mpart_ir::interp::BuiltinRegistry;
+//! use mpart_ir::parse::parse_program;
+//! use mpart_ir::Value;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(parse_program(
+//!     "fn double(x) {\n  y = x * 2\n  native emit(y)\n  return y\n}\n",
+//! )?);
+//! let mut manager = SessionManager::new(SessionConfig::default().with_workers(2));
+//! let mut receiver = BuiltinRegistry::new();
+//! receiver.register_native("emit", 1, |_, _| Ok(Value::Null));
+//! let model: Arc<dyn mpart_cost::CostModel> = Arc::new(DataSizeModel::new());
+//! let a = manager.open_session(
+//!     Arc::clone(&program), "double", Arc::clone(&model),
+//!     BuiltinRegistry::new(), receiver.clone(),
+//! )?;
+//! let b = manager.open_session(
+//!     Arc::clone(&program), "double", model,
+//!     BuiltinRegistry::new(), receiver,
+//! )?;
+//! // The second session reused the first one's static analysis.
+//! assert_eq!(manager.cache().hits(), 1);
+//! let out = manager.deliver(a, |_| Ok(vec![Value::Int(21)]))?;
+//! assert_eq!(out.ret, Some(Value::Int(42)));
+//! let out = manager.deliver(b, |_| Ok(vec![Value::Int(5)]))?;
+//! assert_eq!(out.ret, Some(Value::Int(10)));
+//! assert_eq!(manager.shutdown(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mpart_analysis::cache::{AnalysisCache, DEFAULT_CACHE_CAPACITY};
+use mpart_analysis::paths::EnumLimits;
+use mpart_cost::CostModel;
+use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
+use mpart_ir::{IrError, Program, Value};
+use mpart_obs::{Counter, Gauge, ObsHub, PlanReason};
+
+use crate::demodulator::Demodulator;
+use crate::modulator::Modulator;
+use crate::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
+use crate::reconfig::ReconfigUnit;
+use crate::{PartitionedHandler, PseId};
+
+/// Identifies one open session within a [`SessionManager`].
+pub type SessionId = usize;
+
+/// Sizing and adaptation policy of a [`SessionManager`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Worker threads in the pool (sessions shard as `id % workers`).
+    pub workers: usize,
+    /// Capacity of the shared [`AnalysisCache`].
+    pub cache_capacity: usize,
+    /// Per-session reconfiguration trigger ([`TriggerPolicy::Never`]
+    /// freezes every session's initial static plan).
+    pub trigger: TriggerPolicy,
+    /// Path-enumeration limits (part of the analysis cache key).
+    pub limits: EnumLimits,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            trigger: TriggerPolicy::Never,
+            limits: EnumLimits::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Sets the worker pool size (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the analysis cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-session reconfiguration trigger.
+    pub fn with_trigger(mut self, trigger: TriggerPolicy) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Sets the path-enumeration limits.
+    pub fn with_limits(mut self, limits: EnumLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// Outcome of one in-process delivery through a session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Per-session message number (1-based).
+    pub seq: u64,
+    /// The PSE the message split at.
+    pub split_pse: PseId,
+    /// Wire size of the packed continuation.
+    pub wire_bytes: usize,
+    /// Plan epoch the message was modulated under.
+    pub epoch: u64,
+    /// Handler return value.
+    pub ret: Option<Value>,
+    /// Whether this message triggered a per-session plan reconfiguration.
+    pub reconfigured: bool,
+}
+
+type EventFn = Box<dyn FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + Send>;
+
+enum Job {
+    Open(Box<SessionState>),
+    Deliver { slot: usize, make_event: EventFn, reply: Sender<Result<SessionOutcome, IrError>> },
+    Stop,
+}
+
+/// One session's runtime state, owned by exactly one worker thread.
+struct SessionState {
+    handler: Arc<PartitionedHandler>,
+    modulator: Modulator,
+    demodulator: Demodulator,
+    reconfig: ReconfigUnit,
+    sender_builtins: BuiltinRegistry,
+    receiver_ctx: ExecCtx,
+    seq: u64,
+}
+
+impl SessionState {
+    fn deliver(&mut self, make_event: EventFn) -> Result<SessionOutcome, IrError> {
+        self.seq += 1;
+        let mut sender_ctx =
+            ExecCtx::with_builtins(self.handler.program(), self.sender_builtins.clone());
+        sender_ctx.trace_digests = false;
+        let args = make_event(&mut sender_ctx)?;
+        let run = self.modulator.handle(&mut sender_ctx, args)?;
+        let wire_bytes = run.message.wire_size();
+        let epoch = run.message.epoch;
+        let split_pse = run.message.pse;
+        let demod = self.demodulator.handle(&mut self.receiver_ctx, &run.message)?;
+
+        self.reconfig.record_mod(ModMessageProfile {
+            samples: run.samples,
+            split: split_pse,
+            mod_work: run.mod_work,
+            t_mod: None,
+        });
+        self.reconfig.record_samples(&demod.samples);
+        self.reconfig.record_demod(DemodMessageProfile {
+            pse: demod.pse,
+            demod_work: demod.demod_work,
+            t_demod: None,
+        });
+        let mut reconfigured = false;
+        if let Some(update) = self.reconfig.maybe_reconfigure()? {
+            if update.active != self.handler.plan().active() {
+                let new_epoch =
+                    self.handler.install_plan_reason(&update.active, PlanReason::Reconfig);
+                self.reconfig.acknowledge_epoch(new_epoch);
+                reconfigured = true;
+            }
+        }
+        Ok(SessionOutcome {
+            seq: self.seq,
+            split_pse,
+            wire_bytes,
+            epoch,
+            ret: demod.ret,
+            reconfigured,
+        })
+    }
+}
+
+struct WorkerHandle {
+    tx: Sender<Job>,
+    thread: Option<JoinHandle<()>>,
+}
+
+#[derive(Clone)]
+struct ManagerMetrics {
+    sessions_open: Gauge,
+    messages_total: Counter,
+    errors_total: Counter,
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+    cache_evictions: Gauge,
+}
+
+/// A deferred [`SessionOutcome`]: returned by
+/// [`SessionManager::submit`], resolved by [`wait`](Pending::wait).
+#[must_use = "a pending delivery reports errors through wait()"]
+pub struct Pending {
+    rx: Receiver<Result<SessionOutcome, IrError>>,
+}
+
+impl Pending {
+    /// Blocks until the worker finishes the delivery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler errors; returns [`IrError::Continuation`] if
+    /// the worker stopped.
+    pub fn wait(self) -> Result<SessionOutcome, IrError> {
+        self.rx.recv().map_err(|_| IrError::Continuation("session worker stopped".into()))?
+    }
+}
+
+/// Shards N concurrent handler sessions across a fixed worker pool. See
+/// the [module docs](self) for the ownership and sharing rules.
+pub struct SessionManager {
+    workers: Vec<WorkerHandle>,
+    sessions: Vec<SessionEntry>,
+    cache: Arc<AnalysisCache>,
+    config: SessionConfig,
+    obs: Arc<ObsHub>,
+    metrics: ManagerMetrics,
+    processed: Arc<AtomicU64>,
+}
+
+struct SessionEntry {
+    worker: usize,
+    slot: usize,
+    handler: Arc<PartitionedHandler>,
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("workers", &self.workers.len())
+            .field("sessions", &self.sessions.len())
+            .field("cache_hits", &self.cache.hits())
+            .finish()
+    }
+}
+
+impl SessionManager {
+    /// Spawns the worker pool (no sessions yet).
+    pub fn new(config: SessionConfig) -> Self {
+        let obs = Arc::new(ObsHub::new());
+        let registry = obs.registry();
+        let metrics = ManagerMetrics {
+            sessions_open: registry.gauge("sessions_open", &[]),
+            messages_total: registry.counter("session_messages_total", &[]),
+            errors_total: registry.counter("session_errors_total", &[]),
+            cache_hits: registry.gauge("analysis_cache_hits", &[]),
+            cache_misses: registry.gauge("analysis_cache_misses", &[]),
+            cache_evictions: registry.gauge("analysis_cache_evictions", &[]),
+        };
+        let processed = Arc::new(AtomicU64::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|_| Self::spawn_worker(metrics.clone(), Arc::clone(&processed)))
+            .collect();
+        SessionManager {
+            workers,
+            sessions: Vec::new(),
+            cache: Arc::new(AnalysisCache::new(config.cache_capacity)),
+            config,
+            obs,
+            metrics,
+            processed,
+        }
+    }
+
+    fn spawn_worker(metrics: ManagerMetrics, processed: Arc<AtomicU64>) -> WorkerHandle {
+        let (tx, rx) = channel::<Job>();
+        let thread = std::thread::spawn(move || {
+            let mut sessions: Vec<SessionState> = Vec::new();
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Open(state) => sessions.push(*state),
+                    Job::Deliver { slot, make_event, reply } => {
+                        let result = match sessions.get_mut(slot) {
+                            Some(state) => state.deliver(make_event),
+                            None => Err(IrError::Continuation(format!(
+                                "no session in worker slot {slot}"
+                            ))),
+                        };
+                        match &result {
+                            Ok(_) => {
+                                metrics.messages_total.inc();
+                                processed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => metrics.errors_total.inc(),
+                        }
+                        // A dropped reply handle is not an error: the
+                        // caller abandoned a fire-and-forget delivery.
+                        let _ = reply.send(result);
+                    }
+                    Job::Stop => break,
+                }
+            }
+        });
+        WorkerHandle { tx, thread: Some(thread) }
+    }
+
+    /// Opens a session for `func_name` under `model`, sharing the static
+    /// analysis with any earlier session of the same handler through the
+    /// manager's [`AnalysisCache`]. The session is pinned to worker
+    /// `session_id % workers` for its lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn open_session(
+        &mut self,
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+    ) -> Result<SessionId, IrError> {
+        let kind = model.kind();
+        let handler = PartitionedHandler::analyze_cached_with_limits(
+            Arc::clone(&program),
+            func_name,
+            model,
+            &self.cache,
+            self.config.limits,
+        )?;
+        let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, self.config.trigger)
+            .with_obs(Arc::clone(handler.obs()))
+            .with_plan_watch(handler.plan().clone());
+        let mut receiver_ctx = ExecCtx::with_builtins(&program, receiver_builtins);
+        receiver_ctx.trace_digests = false;
+        let state = SessionState {
+            modulator: handler.modulator(),
+            demodulator: handler.demodulator(),
+            reconfig,
+            sender_builtins,
+            receiver_ctx,
+            seq: 0,
+            handler: Arc::clone(&handler),
+        };
+
+        let id = self.sessions.len();
+        let worker = id % self.workers.len();
+        let slot = self.sessions.iter().filter(|s| s.worker == worker).count();
+        self.workers[worker]
+            .tx
+            .send(Job::Open(Box::new(state)))
+            .map_err(|_| IrError::Continuation("session worker stopped".into()))?;
+        self.sessions.push(SessionEntry { worker, slot, handler });
+        self.metrics.sessions_open.set(self.sessions.len() as f64);
+        self.refresh_cache_metrics();
+        Ok(id)
+    }
+
+    /// Enqueues one delivery on the session's worker and returns
+    /// immediately; resolve it with [`Pending::wait`]. Deliveries to the
+    /// same session run in submission order; deliveries to sessions on
+    /// different workers run concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Unresolved`] for an unknown session id and
+    /// [`IrError::Continuation`] if the worker stopped.
+    pub fn submit(
+        &self,
+        session: SessionId,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + Send + 'static,
+    ) -> Result<Pending, IrError> {
+        let entry = self
+            .sessions
+            .get(session)
+            .ok_or_else(|| IrError::Unresolved(format!("unknown session {session}")))?;
+        let (reply, rx) = channel();
+        self.workers[entry.worker]
+            .tx
+            .send(Job::Deliver { slot: entry.slot, make_event: Box::new(make_event), reply })
+            .map_err(|_| IrError::Continuation("session worker stopped".into()))?;
+        Ok(Pending { rx })
+    }
+
+    /// Delivers one message through `session`, blocking for the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit), plus handler runtime errors.
+    pub fn deliver(
+        &self,
+        session: SessionId,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + Send + 'static,
+    ) -> Result<SessionOutcome, IrError> {
+        self.submit(session, make_event)?.wait()
+    }
+
+    /// The session's analyzed handler (its plan, metrics hub, history).
+    pub fn handler(&self, session: SessionId) -> Option<&Arc<PartitionedHandler>> {
+        self.sessions.get(session).map(|s| &s.handler)
+    }
+
+    /// Open sessions.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared analysis cache.
+    pub fn cache(&self) -> &Arc<AnalysisCache> {
+        &self.cache
+    }
+
+    /// Messages processed successfully across all sessions.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// The manager's observability hub (dispatcher + cache gauges; each
+    /// session's handler keeps its own hub).
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        self.refresh_cache_metrics();
+        &self.obs
+    }
+
+    /// Re-publishes the cache's hit/miss/eviction counts as gauges.
+    pub fn refresh_cache_metrics(&self) {
+        self.metrics.cache_hits.set(self.cache.hits() as f64);
+        self.metrics.cache_misses.set(self.cache.misses() as f64);
+        self.metrics.cache_evictions.set(self.cache.evictions() as f64);
+    }
+
+    /// Stops every worker, drains their queues, and returns the total
+    /// number of messages processed.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop_workers();
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    fn stop_workers(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.tx.send(Job::Stop);
+        }
+        for worker in &mut self.workers {
+            if let Some(thread) = worker.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+    use mpart_ir::types::ElemType;
+
+    const SRC: &str = r#"
+        class Job { n: int, buff: ref }
+
+        fn compress(j) {
+            out = new Job
+            out.n = 16
+            b = new byte[16]
+            out.buff = b
+            return out
+        }
+
+        fn ingest(event) {
+            ok = event instanceof Job
+            if ok == 0 goto skip
+            j = (Job) event
+            small = call compress(j)
+            native archive(small)
+            return 1
+        skip:
+            return 0
+        }
+    "#;
+
+    fn receiver_builtins() -> BuiltinRegistry {
+        let mut b = BuiltinRegistry::new();
+        b.register_native("archive", 3, |_, _| Ok(Value::Null));
+        b
+    }
+
+    fn manager(workers: usize, trigger: TriggerPolicy) -> SessionManager {
+        SessionManager::new(SessionConfig::default().with_workers(workers).with_trigger(trigger))
+    }
+
+    fn open_n(manager: &mut SessionManager, program: &Arc<Program>, n: usize) -> Vec<SessionId> {
+        (0..n)
+            .map(|_| {
+                manager
+                    .open_session(
+                        Arc::clone(program),
+                        "ingest",
+                        Arc::new(DataSizeModel::new()),
+                        BuiltinRegistry::new(),
+                        receiver_builtins(),
+                    )
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    fn job_event(program: Arc<Program>, bytes: usize) -> EventFn {
+        Box::new(move |ctx| {
+            let classes = &program.classes;
+            let class = classes.id("Job").unwrap();
+            let decl = classes.decl(class);
+            let j = ctx.heap.alloc_object(classes, class);
+            let b = ctx.heap.alloc_array(ElemType::Byte, bytes);
+            ctx.heap.set_field(j, decl.field("n").unwrap(), Value::Int(bytes as i64))?;
+            ctx.heap.set_field(j, decl.field("buff").unwrap(), Value::Ref(b))?;
+            Ok(vec![Value::Ref(j)])
+        })
+    }
+
+    #[test]
+    fn sessions_shard_across_workers_and_share_the_analysis() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut mgr = manager(3, TriggerPolicy::Never);
+        let ids = open_n(&mut mgr, &program, 8);
+        assert_eq!(mgr.sessions(), 8);
+        assert_eq!(mgr.workers(), 3);
+        // One analysis, seven cache hits.
+        assert_eq!((mgr.cache().misses(), mgr.cache().hits()), (1, 7));
+        for &id in &ids {
+            let out = mgr.deliver(id, job_event(Arc::clone(&program), 64)).unwrap();
+            assert_eq!(out.ret, Some(Value::Int(1)));
+            assert_eq!(out.seq, 1, "each session numbers its own stream");
+        }
+        // Cache gauges are mirrored on the manager hub.
+        let snap = mgr.obs().registry().snapshot();
+        let hits = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "analysis_cache_hits")
+            .expect("cache hit gauge registered");
+        match hits.value {
+            mpart_obs::MetricValue::Gauge(v) => assert!(v > 0.0, "hit gauge populated: {v}"),
+            ref other => panic!("expected gauge, got {other:?}"),
+        }
+        assert_eq!(mgr.shutdown(), 8);
+    }
+
+    #[test]
+    fn per_session_ordering_is_preserved_under_interleaving() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut mgr = manager(2, TriggerPolicy::Never);
+        let ids = open_n(&mut mgr, &program, 4);
+        // Interleave submissions round-robin, then wait for everything.
+        let mut pending: Vec<(SessionId, u64, Pending)> = Vec::new();
+        for round in 1..=5u64 {
+            for &id in &ids {
+                let p = mgr.submit(id, job_event(Arc::clone(&program), 32)).unwrap();
+                pending.push((id, round, p));
+            }
+        }
+        for (id, round, p) in pending {
+            let out = p.wait().unwrap();
+            assert_eq!(out.seq, round, "session {id} saw its messages in order");
+        }
+        assert_eq!(mgr.processed(), 20);
+    }
+
+    #[test]
+    fn sessions_adapt_independently() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut mgr = manager(2, TriggerPolicy::Rate(1));
+        let adapting = open_n(&mut mgr, &program, 2);
+        // Drive only the first session with big payloads; it should
+        // reconfigure away from shipping the raw event while the idle
+        // session's plan stays at its initial epoch.
+        for _ in 0..12 {
+            mgr.deliver(adapting[0], job_event(Arc::clone(&program), 50_000)).unwrap();
+        }
+        let busy = mgr.handler(adapting[0]).unwrap();
+        let idle = mgr.handler(adapting[1]).unwrap();
+        assert!(busy.plan().epoch() > 1, "busy session reconfigured");
+        assert_eq!(idle.plan().epoch(), 1, "idle session untouched");
+    }
+
+    #[test]
+    fn unknown_session_and_handler_errors_are_reported() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut mgr = manager(1, TriggerPolicy::Never);
+        let ids = open_n(&mut mgr, &program, 1);
+        assert!(mgr.deliver(99, |_| Ok(vec![])).is_err());
+        // A failing event generator surfaces through the reply channel
+        // and counts as a session error, not a dead worker.
+        let err = mgr.deliver(ids[0], |_| Err(IrError::Invalid("boom".into())));
+        assert!(err.is_err());
+        let out = mgr.deliver(ids[0], job_event(Arc::clone(&program), 16)).unwrap();
+        assert_eq!(out.ret, Some(Value::Int(1)));
+    }
+}

@@ -109,6 +109,15 @@ pub enum Frame {
     },
     /// Orderly shutdown.
     Shutdown,
+    /// Several modulated events coalesced into one frame (one header, one
+    /// checksum), each with its own `t_mod_nanos`. Events keep their
+    /// per-source order inside the batch; a lost or corrupted batch frame
+    /// loses all of its events together, so retransmission and ack
+    /// semantics are unchanged — the unit of loss is the frame.
+    Batch {
+        /// `(event, t_mod_nanos)` pairs in send order.
+        events: Vec<(ModulatedEvent, u64)>,
+    },
 }
 
 const FRAME_EVENT: u8 = 0;
@@ -116,6 +125,12 @@ const FRAME_PLAN: u8 = 1;
 const FRAME_SHUTDOWN: u8 = 2;
 const FRAME_HEARTBEAT: u8 = 3;
 const FRAME_ACK: u8 = 4;
+const FRAME_BATCH: u8 = 5;
+
+/// Minimum encoded size of one event body (all fixed-width fields, empty
+/// payload, zero samples); used to reject crafted batch counts before
+/// allocating.
+const EVENT_BODY_MIN_BYTES: usize = 8 + 8 + 8 + 4 + 8 + 4 + 4;
 
 impl Frame {
     /// Encodes the frame as `[kind u8][len u32][crc u32][body]`, where the
@@ -124,22 +139,15 @@ impl Frame {
         let mut body = BytesMut::new();
         let kind = match self {
             Frame::Event { event: e, t_mod_nanos } => {
-                body.put_u64(e.seq);
-                body.put_u64(*t_mod_nanos);
-                body.put_u64(e.continuation.epoch);
-                body.put_u32(e.continuation.pse as u32);
-                body.put_u64(e.continuation.mod_work);
-                let payload = e.continuation.payload.as_bytes();
-                body.put_u32(payload.len() as u32);
-                body.put_slice(payload);
-                body.put_u32(e.samples.len() as u32);
-                for s in &e.samples {
-                    body.put_u32(s.pse as u32);
-                    body.put_u64(s.mod_work);
-                    body.put_u64(s.payload_bytes.unwrap_or(u64::MAX));
-                    body.put_u8(u8::from(s.was_split));
-                }
+                put_event(&mut body, e, *t_mod_nanos);
                 FRAME_EVENT
+            }
+            Frame::Batch { events } => {
+                body.put_u32(events.len() as u32);
+                for (e, t_mod_nanos) in events {
+                    put_event(&mut body, e, *t_mod_nanos);
+                }
+                FRAME_BATCH
             }
             Frame::Plan(p) => {
                 body.put_u64(p.revision);
@@ -194,44 +202,21 @@ impl Frame {
         };
         match kind {
             FRAME_EVENT => {
-                need(&buf, 8 + 8 + 8 + 4 + 8 + 4)?;
-                let seq = buf.get_u64();
-                let t_mod_nanos = buf.get_u64();
-                let epoch = buf.get_u64();
-                let pse = buf.get_u32() as PseId;
-                let mod_work = buf.get_u64();
-                let payload_len = buf.get_u32() as usize;
-                need(&buf, payload_len)?;
-                let payload = Marshalled::from_bytes(buf.copy_to_bytes(payload_len));
+                let (event, t_mod_nanos) = take_event(&mut buf)?;
+                Ok(Frame::Event { event, t_mod_nanos })
+            }
+            FRAME_BATCH => {
                 need(&buf, 4)?;
-                let nsamples = buf.get_u32() as usize;
-                // Each encoded sample occupies 21 bytes; reject crafted
-                // counts before allocating.
-                if nsamples.checked_mul(21).is_none_or(|b| b > buf.remaining()) {
+                let count = buf.get_u32() as usize;
+                // Reject crafted counts before allocating.
+                if count.checked_mul(EVENT_BODY_MIN_BYTES).is_none_or(|b| b > buf.remaining()) {
                     return Err(short());
                 }
-                let mut samples = Vec::with_capacity(nsamples);
-                for _ in 0..nsamples {
-                    need(&buf, 4 + 8 + 8 + 1)?;
-                    let pse = buf.get_u32() as PseId;
-                    let mod_work = buf.get_u64();
-                    let bytes = buf.get_u64();
-                    let was_split = buf.get_u8() != 0;
-                    samples.push(PseSample {
-                        pse,
-                        mod_work,
-                        payload_bytes: (bytes != u64::MAX).then_some(bytes),
-                        was_split,
-                    });
+                let mut events = Vec::with_capacity(count);
+                for _ in 0..count {
+                    events.push(take_event(&mut buf)?);
                 }
-                Ok(Frame::Event {
-                    event: ModulatedEvent {
-                        seq,
-                        continuation: ContinuationMessage { pse, payload, mod_work, epoch },
-                        samples,
-                    },
-                    t_mod_nanos,
-                })
+                Ok(Frame::Batch { events })
             }
             FRAME_PLAN => {
                 need(&buf, 8 + 8 + 8 + 4)?;
@@ -327,6 +312,76 @@ impl Frame {
     }
 }
 
+/// Appends one event body (as carried by [`Frame::Event`] and repeated
+/// inside [`Frame::Batch`]) to `body`.
+fn put_event(body: &mut BytesMut, e: &ModulatedEvent, t_mod_nanos: u64) {
+    body.put_u64(e.seq);
+    body.put_u64(t_mod_nanos);
+    body.put_u64(e.continuation.epoch);
+    body.put_u32(e.continuation.pse as u32);
+    body.put_u64(e.continuation.mod_work);
+    let payload = e.continuation.payload.as_bytes();
+    body.put_u32(payload.len() as u32);
+    body.put_slice(payload);
+    body.put_u32(e.samples.len() as u32);
+    for s in &e.samples {
+        body.put_u32(s.pse as u32);
+        body.put_u64(s.mod_work);
+        body.put_u64(s.payload_bytes.unwrap_or(u64::MAX));
+        body.put_u8(u8::from(s.was_split));
+    }
+}
+
+/// Reads one event body from `buf`, the inverse of [`put_event`].
+fn take_event(buf: &mut Bytes) -> Result<(ModulatedEvent, u64), IrError> {
+    let short = || IrError::Marshal("truncated frame".into());
+    let need = |buf: &Bytes, n: usize| -> Result<(), IrError> {
+        if buf.remaining() < n {
+            Err(IrError::Marshal("truncated frame".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 8 + 8 + 8 + 4 + 8 + 4)?;
+    let seq = buf.get_u64();
+    let t_mod_nanos = buf.get_u64();
+    let epoch = buf.get_u64();
+    let pse = buf.get_u32() as PseId;
+    let mod_work = buf.get_u64();
+    let payload_len = buf.get_u32() as usize;
+    need(buf, payload_len)?;
+    let payload = Marshalled::from_bytes(buf.copy_to_bytes(payload_len));
+    need(buf, 4)?;
+    let nsamples = buf.get_u32() as usize;
+    // Each encoded sample occupies 21 bytes; reject crafted counts before
+    // allocating.
+    if nsamples.checked_mul(21).is_none_or(|b| b > buf.remaining()) {
+        return Err(short());
+    }
+    let mut samples = Vec::with_capacity(nsamples);
+    for _ in 0..nsamples {
+        need(buf, 4 + 8 + 8 + 1)?;
+        let pse = buf.get_u32() as PseId;
+        let mod_work = buf.get_u64();
+        let bytes = buf.get_u64();
+        let was_split = buf.get_u8() != 0;
+        samples.push(PseSample {
+            pse,
+            mod_work,
+            payload_bytes: (bytes != u64::MAX).then_some(bytes),
+            was_split,
+        });
+    }
+    Ok((
+        ModulatedEvent {
+            seq,
+            continuation: ContinuationMessage { pse, payload, mod_work, epoch },
+            samples,
+        },
+        t_mod_nanos,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +461,48 @@ mod tests {
         assert!(matches!(Frame::decode_bytes(&hb).unwrap().0, Frame::Heartbeat { seq: 88 }));
         let ack = Frame::Ack { ack: 31 }.encode();
         assert!(matches!(Frame::decode_bytes(&ack).unwrap().0, Frame::Ack { ack: 31 }));
+    }
+
+    #[test]
+    fn batch_frame_round_trips_in_order() {
+        let events: Vec<(ModulatedEvent, u64)> = (0..4)
+            .map(|i| {
+                let mut e = sample_event();
+                e.seq = 100 + i;
+                (e, 1000 + i)
+            })
+            .collect();
+        let frame = Frame::Batch { events };
+        let bytes = frame.encode();
+        match Frame::decode_bytes(&bytes).unwrap().0 {
+            Frame::Batch { events } => {
+                assert_eq!(events.len(), 4);
+                for (i, (e, t)) in events.iter().enumerate() {
+                    assert_eq!(e.seq, 100 + i as u64, "per-source order preserved");
+                    assert_eq!(*t, 1000 + i as u64);
+                    assert_eq!(e.continuation.payload.as_bytes(), &[1, 2, 3, 4, 5]);
+                    assert_eq!(e.samples.len(), 2);
+                }
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        // One header + checksum for the whole batch: cheaper than four
+        // singleton frames.
+        let singleton = Frame::Event { event: sample_event(), t_mod_nanos: 7 }.encode().len();
+        assert!(bytes.len() < 4 * singleton);
+    }
+
+    #[test]
+    fn batch_count_is_validated_before_allocation() {
+        // A batch claiming u32::MAX events with an empty body must be
+        // rejected without allocating.
+        let mut body = Vec::new();
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Frame::decode(5, &body).is_err());
+        // Truncating a valid batch mid-event fails cleanly too.
+        let clean =
+            Frame::Batch { events: vec![(sample_event(), 1), (sample_event(), 2)] }.encode();
+        assert!(Frame::decode(clean[0], &clean[FRAME_HEADER_BYTES..clean.len() - 10]).is_err());
     }
 
     #[test]

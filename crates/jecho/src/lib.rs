@@ -21,6 +21,59 @@
 //! * [`supervisor::Supervisor`] — a fault-tolerant wrapper around the TCP
 //!   sender: reconnection with capped exponential backoff and jitter, and
 //!   retransmission of the unacknowledged event window.
+//!
+//! The supervised transports (TCP supervisor and the sim's faulty wire)
+//! can additionally *batch*: up to K continuation envelopes are coalesced
+//! into one checksummed frame with a flush deadline
+//! ([`supervisor::Supervisor::with_batching`],
+//! [`sim::SimConfig::with_batching`]), amortizing framing overhead while
+//! preserving per-session ordering and retransmission semantics — the
+//! frame is the unit of loss. See the repository's `ARCHITECTURE.md`
+//! ("Throughput layer") for how the transports fit into the full
+//! paper-to-code map.
+//!
+//! ## Example: a virtual-time session end to end
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mpart::profile::TriggerPolicy;
+//! use mpart_cost::DataSizeModel;
+//! use mpart_ir::interp::BuiltinRegistry;
+//! use mpart_ir::parse::parse_program;
+//! use mpart_ir::Value;
+//! use mpart_jecho::{SimConfig, SimSession};
+//! use mpart_simnet::{Host, Link, SimTime};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(parse_program(r#"
+//!     fn tally(x) {
+//!         y = x * 2
+//!         native store(y)
+//!         return y
+//!     }
+//! "#)?);
+//! let mut receiver_builtins = BuiltinRegistry::new();
+//! receiver_builtins.register_native("store", 1, |_, _| Ok(Value::Null));
+//! let config = SimConfig::new(
+//!     Host::new("source", 1_000_000.0),
+//!     Link::new("lan", SimTime::from_millis(1), 1_000_000.0),
+//!     Host::new("subscriber", 1_000_000.0),
+//!     TriggerPolicy::Never,
+//! );
+//! let mut session = SimSession::adaptive(
+//!     Arc::clone(&program),
+//!     "tally",
+//!     Arc::new(DataSizeModel::new()),
+//!     BuiltinRegistry::new(),
+//!     receiver_builtins,
+//!     config,
+//! )?;
+//! let report = session.deliver(|_| Ok(vec![Value::Int(21)]))?;
+//! assert!(report.delivered);
+//! assert_eq!(report.ret, Some(Value::Int(42)));
+//! # Ok(())
+//! # }
+//! ```
 
 pub mod channel;
 pub mod envelope;

@@ -83,6 +83,13 @@ pub struct SimConfig {
     /// Consecutive delivery successes before the optimized plan is
     /// re-promoted.
     pub promote_after: u32,
+    /// Maximum continuation envelopes coalesced into one wire frame
+    /// (supervised wire only). `1` disables batching: framing and fault
+    /// decisions are byte-for-byte identical to the unbatched wire.
+    pub batch_max: usize,
+    /// Virtual-time flush deadline for a partially-filled batch: a pending
+    /// envelope never waits longer than this for the batch to fill.
+    pub batch_deadline: SimTime,
 }
 
 impl SimConfig {
@@ -104,7 +111,22 @@ impl SimConfig {
             control_loss_seed: 0,
             degrade_after: 3,
             promote_after: 3,
+            batch_max: 1,
+            batch_deadline: SimTime::from_millis(0),
         }
+    }
+
+    /// Coalesces up to `max` continuation envelopes per wire frame
+    /// (supervised wire only), flushing a partial batch once `deadline`
+    /// of virtual time has passed since its oldest pending envelope. One
+    /// frame means one header, one checksum, and one fault decision for
+    /// the whole batch; a lost batch loses all of its events together and
+    /// they stay in the unacked window, so retransmission, ordering, and
+    /// dedup semantics are unchanged.
+    pub fn with_batching(mut self, max: usize, deadline: SimTime) -> Self {
+        self.batch_max = max.max(1);
+        self.batch_deadline = deadline;
+        self
     }
 
     /// Sets the per-byte marshalling work charged to each side's CPU.
@@ -176,6 +198,8 @@ struct WireMetrics {
     frames_corrupted: Counter,
     duplicates_suppressed: Counter,
     plan_updates_dropped: Counter,
+    batches: Counter,
+    batched_events: Counter,
 }
 
 impl WireMetrics {
@@ -186,6 +210,8 @@ impl WireMetrics {
             frames_corrupted: registry.counter("frames_corrupted_total", &[]),
             duplicates_suppressed: registry.counter("duplicates_suppressed_total", &[]),
             plan_updates_dropped: registry.counter("plan_updates_dropped_total", &[]),
+            batches: registry.counter("envelope_batches_total", &[]),
+            batched_events: registry.counter("batched_events_total", &[]),
         }
     }
 }
@@ -234,8 +260,9 @@ pub struct SimSession {
     plan_installs: u64,
     /// Supervised-wire state (present when the link carries a fault plan).
     degradation: Option<DegradationController>,
-    /// Encoded event frames awaiting acknowledgement, in seq order.
-    unacked: VecDeque<(u64, Vec<u8>)>,
+    /// Events awaiting acknowledgement, in seq order; re-encoded (and
+    /// possibly re-batched) on every transmission round.
+    unacked: VecDeque<(u64, ModulatedEvent)>,
     /// Seqs already applied at the subscriber (duplicate suppression).
     applied: HashSet<u64>,
     /// Per-seq handler results, for oracle comparison.
@@ -244,6 +271,13 @@ pub struct SimSession {
     frames_lost: u64,
     frames_corrupted: u64,
     duplicates_suppressed: u64,
+    envelope_batches: u64,
+    batched_events: u64,
+    batch_max: usize,
+    batch_deadline: SimTime,
+    /// Virtual time at which the oldest pending envelope entered the
+    /// (partial) batch; drives the flush deadline.
+    batch_pending_since: Option<SimTime>,
     wire_metrics: WireMetrics,
 }
 
@@ -273,8 +307,28 @@ impl SimSession {
         receiver_builtins: BuiltinRegistry,
         config: SimConfig,
     ) -> Result<Self, IrError> {
-        let kind = model.kind();
         let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
+        Self::adaptive_with_handler(program, handler, sender_builtins, receiver_builtins, config)
+    }
+
+    /// Creates an adaptive session over an already-built handler — the
+    /// multi-session entry point: callers that shard many sessions over a
+    /// shared `AnalysisCache` (see `SessionManager`) construct handlers
+    /// via `PartitionedHandler::analyze_cached` and hand them in here, so
+    /// the static analysis is paid once while plans, epochs, and profiling
+    /// feedback remain per-session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn adaptive_with_handler(
+        program: Arc<Program>,
+        handler: Arc<PartitionedHandler>,
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+        config: SimConfig,
+    ) -> Result<Self, IrError> {
+        let kind = handler.model().kind();
         let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, config.trigger)
             .with_serialize_cost(config.serialize_work_per_byte)
             .with_alpha(config.ewma_alpha)
@@ -329,6 +383,11 @@ impl SimSession {
             frames_lost: 0,
             frames_corrupted: 0,
             duplicates_suppressed: 0,
+            envelope_batches: 0,
+            batched_events: 0,
+            batch_max: config.batch_max.max(1),
+            batch_deadline: config.batch_deadline,
+            batch_pending_since: None,
             wire_metrics,
         })
     }
@@ -418,6 +477,17 @@ impl SimSession {
     /// Duplicate arrivals suppressed at the subscriber.
     pub fn duplicates_suppressed(&self) -> u64 {
         self.duplicates_suppressed
+    }
+
+    /// Multi-event batch frames put on the wire (supervised wire only;
+    /// singleton flushes encode as plain event frames and do not count).
+    pub fn envelope_batches(&self) -> u64 {
+        self.envelope_batches
+    }
+
+    /// Events that crossed the wire inside multi-event batch frames.
+    pub fn batched_events(&self) -> u64 {
+        self.batched_events
     }
 
     /// Frames still awaiting acknowledgement.
@@ -577,16 +647,26 @@ impl SimSession {
         let this_seq = self.seq;
         let split_pse = event.continuation.pse;
         let wire_bytes = event.wire_size();
-        let bytes = Frame::Event { event, t_mod_nanos: 0 }.encode();
-        self.unacked.push_back((this_seq, bytes));
+        self.unacked.push_back((this_seq, event));
+        if self.batch_pending_since.is_none() {
+            self.batch_pending_since = Some(gen_time);
+        }
 
-        self.pump(gen_time)?;
+        // Coalescing: hold the envelope until the window reaches the batch
+        // size or the oldest pending envelope has waited out the flush
+        // deadline. `batch_max == 1` (or a zero deadline) flushes every
+        // message — the plain unbatched wire.
+        let deadline_hit =
+            self.batch_pending_since.is_some_and(|since| gen_time >= since + self.batch_deadline);
+        if self.batch_max <= 1 || self.unacked.len() >= self.batch_max || deadline_hit {
+            self.pump(gen_time)?;
+        }
 
         if let Some(report) = self.reports.iter().rev().find(|r| r.seq == this_seq).cloned() {
             return Ok(report);
         }
         // The frame did not make it across this round; it stays in the
-        // unacked window for later pumps.
+        // unacked window for later pumps (or awaits the batch flush).
         let stalled = MessageTiming {
             generated: gen_time,
             mod_start: gen_time,
@@ -606,23 +686,45 @@ impl SimSession {
         })
     }
 
-    /// One transmission round over the unacked window: every pending frame
-    /// gets a fault decision, survivors cross the wire (possibly damaged,
+    /// One transmission round over the unacked window: pending envelopes
+    /// are coalesced into frames of up to `batch_max`, every frame gets a
+    /// fault decision, survivors cross the wire (possibly damaged,
     /// duplicated, or reordered) and are decoded, deduplicated, and
-    /// demodulated on the far side. Delivery failures and successes feed
-    /// the degradation controller.
+    /// demodulated on the far side in frame order. The frame is the unit
+    /// of loss — a dropped batch keeps all its envelopes unacked, so they
+    /// retransmit together. Delivery failures and successes feed the
+    /// degradation controller once per frame.
     fn pump(&mut self, now: SimTime) -> Result<(), IrError> {
-        // Phase 1: decide each frame's fate at the link.
-        let mut wire: Vec<(u64, Vec<u8>)> = Vec::new();
+        self.batch_pending_since = None;
+        // Phase 1: coalesce the window and decide each frame's fate at
+        // the link.
+        let mut wire: Vec<Vec<u8>> = Vec::new();
         let mut failures = 0u64;
         {
+            let batch_max = self.batch_max.max(1);
+            let window = self.unacked.make_contiguous();
             let injector =
                 self.pipeline.link.fault_mut().expect("pump only runs with a fault plan attached");
-            for (seq, bytes) in &self.unacked {
-                if *seq < self.seq {
-                    self.retransmissions += 1;
-                    self.wire_metrics.retransmissions.inc();
+            for chunk in window.chunks(batch_max) {
+                for (seq, _) in chunk {
+                    if *seq < self.seq {
+                        self.retransmissions += 1;
+                        self.wire_metrics.retransmissions.inc();
+                    }
                 }
+                // A singleton chunk encodes as a plain event frame, so the
+                // `batch_max == 1` wire is byte-identical to the unbatched
+                // one: same fault decisions, same corruption lengths.
+                let bytes = if let [(_, event)] = chunk {
+                    Frame::Event { event: event.clone(), t_mod_nanos: 0 }.encode()
+                } else {
+                    self.envelope_batches += 1;
+                    self.batched_events += chunk.len() as u64;
+                    self.wire_metrics.batches.inc();
+                    self.wire_metrics.batched_events.add(chunk.len() as u64);
+                    Frame::Batch { events: chunk.iter().map(|(_, e)| (e.clone(), 0)).collect() }
+                        .encode()
+                };
                 let decision = injector.decide();
                 if !decision.delivers() {
                     self.frames_lost += 1;
@@ -636,9 +738,9 @@ impl SimSession {
                     self.frames_corrupted += 1;
                     self.wire_metrics.frames_corrupted.inc();
                 }
-                wire.push((*seq, payload));
+                wire.push(payload);
                 if decision.duplicated {
-                    wire.push((*seq, bytes.clone()));
+                    wire.push(bytes.clone());
                 }
                 if decision.reordered && wire.len() >= 2 {
                     let n = wire.len();
@@ -654,8 +756,10 @@ impl SimSession {
             }
         }
 
-        // Phase 2: receiver side.
-        for (seq, payload) in wire {
+        // Phase 2: receiver side. Batches demodulate envelope-by-envelope
+        // in frame order, so per-session ordering, duplicate suppression,
+        // and acknowledgement are identical to the singleton path.
+        for payload in wire {
             let frame = match Frame::decode_bytes(&payload) {
                 Ok((frame, _)) => frame,
                 Err(_) => {
@@ -669,76 +773,83 @@ impl SimSession {
                     continue;
                 }
             };
-            let Frame::Event { event, .. } = frame else {
-                unreachable!("only event frames enter the unacked window")
+            let arrivals: Vec<(ModulatedEvent, u64)> = match frame {
+                Frame::Event { event, t_mod_nanos } => vec![(event, t_mod_nanos)],
+                Frame::Batch { events } => events,
+                _ => unreachable!("only event frames enter the unacked window"),
             };
-            // The frame arrived intact: acknowledge (trim the window) and
-            // count a success toward recovery.
-            self.unacked.retain(|(s, _)| *s != seq);
+            // The frame arrived intact: count one success toward recovery.
             if let Some(ctl) = self.degradation.as_mut() {
                 if ctl.record_success().is_some() {
                     self.plan_installs += 1;
                 }
             }
-            if !self.applied.insert(event.seq) {
-                self.duplicates_suppressed += 1;
-                self.wire_metrics.duplicates_suppressed.inc();
-                continue;
-            }
-            let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
-            let wire_bytes = event.wire_size();
-            let ser_work = (self.serialize_work_per_byte * wire_bytes as f64).round() as u64;
-            let mod_work_total = event.continuation.mod_work + ser_work;
-            let demod_work_total = demod.demod_work + ser_work + demod.profile_work;
-            let timing = self.pipeline.submit(
-                now,
-                MessageDemand {
-                    mod_work: mod_work_total,
-                    bytes: wire_bytes as u64,
-                    demod_work: demod_work_total,
-                },
-            );
+            for (event, _) in arrivals {
+                // Acknowledge (trim the window) before the duplicate check so
+                // a duplicated frame's second copy still clears nothing.
+                self.unacked.retain(|(s, _)| *s != event.seq);
+                if !self.applied.insert(event.seq) {
+                    self.duplicates_suppressed += 1;
+                    self.wire_metrics.duplicates_suppressed.inc();
+                    continue;
+                }
+                let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
+                let wire_bytes = event.wire_size();
+                let ser_work = (self.serialize_work_per_byte * wire_bytes as f64).round() as u64;
+                let mod_work_total = event.continuation.mod_work + ser_work;
+                let demod_work_total = demod.demod_work + ser_work + demod.profile_work;
+                let timing = self.pipeline.submit(
+                    now,
+                    MessageDemand {
+                        mod_work: mod_work_total,
+                        bytes: wire_bytes as u64,
+                        demod_work: demod_work_total,
+                    },
+                );
 
-            self.reconfig.record_mod(ModMessageProfile {
-                samples: event.samples.clone(),
-                split: event.continuation.pse,
-                mod_work: mod_work_total,
-                t_mod: Some((timing.mod_end - timing.mod_start).as_secs_f64()),
-            });
-            self.reconfig.record_samples(&demod.samples);
-            self.reconfig.record_demod(DemodMessageProfile {
-                pse: demod.pse,
-                demod_work: demod_work_total,
-                t_demod: Some((timing.demod_end - timing.demod_start).as_secs_f64()),
-            });
-            let degraded = self.degradation.as_ref().is_some_and(|c| c.is_degraded());
-            let mut reconfigured = false;
-            // While degraded the entry cut is pinned: optimized plans are
-            // only re-promoted by the recovery streak, not by feedback.
-            if !degraded {
-                if let Some(update) = self.reconfig.maybe_reconfigure()? {
-                    if self.control_loss > 0.0 && self.control_rng.random_bool(self.control_loss) {
-                        self.plans_dropped += 1;
-                        self.wire_metrics.plan_updates_dropped.inc();
-                    } else {
-                        self.pending_plans
-                            .push(timing.demod_end + self.feedback_latency, update.active);
-                        reconfigured = true;
+                self.reconfig.record_mod(ModMessageProfile {
+                    samples: event.samples.clone(),
+                    split: event.continuation.pse,
+                    mod_work: mod_work_total,
+                    t_mod: Some((timing.mod_end - timing.mod_start).as_secs_f64()),
+                });
+                self.reconfig.record_samples(&demod.samples);
+                self.reconfig.record_demod(DemodMessageProfile {
+                    pse: demod.pse,
+                    demod_work: demod_work_total,
+                    t_demod: Some((timing.demod_end - timing.demod_start).as_secs_f64()),
+                });
+                let degraded = self.degradation.as_ref().is_some_and(|c| c.is_degraded());
+                let mut reconfigured = false;
+                // While degraded the entry cut is pinned: optimized plans are
+                // only re-promoted by the recovery streak, not by feedback.
+                if !degraded {
+                    if let Some(update) = self.reconfig.maybe_reconfigure()? {
+                        if self.control_loss > 0.0
+                            && self.control_rng.random_bool(self.control_loss)
+                        {
+                            self.plans_dropped += 1;
+                            self.wire_metrics.plan_updates_dropped.inc();
+                        } else {
+                            self.pending_plans
+                                .push(timing.demod_end + self.feedback_latency, update.active);
+                            reconfigured = true;
+                        }
                     }
                 }
-            }
 
-            let report = SimReport {
-                seq: event.seq,
-                split_pse: event.continuation.pse,
-                wire_bytes,
-                timing,
-                ret: demod.ret.clone(),
-                reconfigured,
-                delivered: true,
-            };
-            self.applied_results.insert(event.seq, demod.ret);
-            self.reports.push(report);
+                let report = SimReport {
+                    seq: event.seq,
+                    split_pse: event.continuation.pse,
+                    wire_bytes,
+                    timing,
+                    ret: demod.ret.clone(),
+                    reconfigured,
+                    delivered: true,
+                };
+                self.applied_results.insert(event.seq, demod.ret);
+                self.reports.push(report);
+            }
         }
         Ok(())
     }
@@ -802,6 +913,7 @@ mod tests {
     use mpart_cost::DataSizeModel;
     use mpart_ir::parse::parse_program;
     use mpart_ir::types::ElemType;
+    use mpart_simnet::FaultPlan;
 
     const SRC: &str = r#"
         class Frame { pixels: int, buff: ref }
@@ -971,5 +1083,125 @@ mod tests {
         for (i, r) in session.reports().iter().enumerate() {
             assert_eq!(r.seq, i as u64 + 1);
         }
+    }
+
+    fn supervised_config(trigger: TriggerPolicy, plan: FaultPlan) -> SimConfig {
+        SimConfig::new(
+            Host::new("sender", 1_000_000.0),
+            Link::new("lan", SimTime::from_millis(1), 1_000_000.0).with_fault_plan(plan),
+            Host::new("receiver", 1_000_000.0),
+            trigger,
+        )
+    }
+
+    #[test]
+    fn batched_wire_coalesces_and_preserves_order() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            supervised_config(TriggerPolicy::Never, FaultPlan::new(11))
+                .with_batching(4, SimTime::from_millis(10_000)),
+        )
+        .unwrap();
+        session.run(8, frame_builder(&program, 1024)).unwrap();
+        // Two full batches of four; nothing left pending on a clean link.
+        assert_eq!(session.unacked(), 0);
+        assert_eq!(session.envelope_batches(), 2);
+        assert_eq!(session.batched_events(), 8);
+        // Envelopes demodulated in frame order, every one exactly once.
+        let seqs: Vec<u64> = session.reports().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (1..=8).collect::<Vec<_>>());
+        assert_eq!(session.applied_results().len(), 8);
+        let snap = session.obs().registry().snapshot();
+        assert_eq!(snap.counter_sum("envelope_batches_total"), 2);
+        assert_eq!(snap.counter_sum("batched_events_total"), 8);
+    }
+
+    #[test]
+    fn zero_deadline_disables_coalescing() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            supervised_config(TriggerPolicy::Never, FaultPlan::new(11))
+                .with_batching(8, SimTime::from_millis(0)),
+        )
+        .unwrap();
+        session.run(6, frame_builder(&program, 1024)).unwrap();
+        // Every envelope's deadline expires on arrival, so each flushes as
+        // a plain singleton frame.
+        assert_eq!(session.envelope_batches(), 0);
+        assert_eq!(session.applied_results().len(), 6);
+    }
+
+    #[test]
+    fn mid_batch_fault_retransmits_whole_frames_without_loss_or_duplication() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            supervised_config(TriggerPolicy::Never, FaultPlan::new(3).with_drop(0.35))
+                .with_batching(3, SimTime::from_millis(10_000)),
+        )
+        .unwrap();
+        session.run(9, frame_builder(&program, 1024)).unwrap();
+        let left = session.drain(100).unwrap();
+        assert_eq!(left, 0, "drain should clear the unacked window");
+        // A dropped batch loses all of its envelopes together; they stay
+        // unacked and retransmit as a group, so after draining every event
+        // is applied exactly once with no duplicates.
+        let applied: Vec<u64> = session.applied_results().keys().copied().collect();
+        assert_eq!(applied, (1..=9).collect::<Vec<_>>());
+        assert!(session.frames_lost() > 0, "seeded plan should drop at least one frame");
+        assert!(session.retransmissions() > 0, "lost envelopes must retransmit");
+        assert_eq!(session.duplicates_suppressed(), 0);
+        assert!(session.envelope_batches() > 0);
+    }
+
+    #[test]
+    fn k1_batching_is_identical_to_the_unbatched_wire_under_chaos() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let chaos = || FaultPlan::new(9).with_drop(0.2).with_corrupt(0.1).with_duplicate(0.1);
+        let run_one = |cfg: SimConfig| {
+            let mut s = SimSession::adaptive(
+                Arc::clone(&program),
+                "view",
+                Arc::new(DataSizeModel::new()),
+                BuiltinRegistry::new(),
+                receiver_builtins(),
+                cfg,
+            )
+            .unwrap();
+            s.run(12, frame_builder(&program, 1024)).unwrap();
+            s.drain(100).unwrap();
+            (
+                s.frames_lost(),
+                s.frames_corrupted(),
+                s.retransmissions(),
+                s.duplicates_suppressed(),
+                s.envelope_batches(),
+                s.applied_results().clone(),
+            )
+        };
+        // `batch_max == 1` always encodes singleton event frames, so the
+        // seeded fault injector sees the exact same frame sequence as the
+        // unbatched wire: identical decisions, identical outcomes.
+        let plain = run_one(supervised_config(TriggerPolicy::Never, chaos()));
+        let k1 = run_one(
+            supervised_config(TriggerPolicy::Never, chaos())
+                .with_batching(1, SimTime::from_millis(5)),
+        );
+        assert_eq!(plain, k1);
+        assert_eq!(plain.4, 0);
     }
 }

@@ -121,6 +121,8 @@ impl TcpReceiver {
         let recv_handler = Arc::clone(&handler);
         let error_counter = Arc::clone(&demod_errors);
         let error_metric = handler.obs().registry().counter("demod_errors_total", &[]);
+        let batch_metric = handler.obs().registry().counter("envelope_batches_total", &[]);
+        let batched_events_metric = handler.obs().registry().counter("batched_events_total", &[]);
         let accept_thread = std::thread::spawn(move || -> Result<u64, IrError> {
             let demodulator = recv_handler.demodulator();
             let mut ctx = ExecCtx::with_builtins(&program, receiver_builtins);
@@ -147,7 +149,7 @@ impl TcpReceiver {
                         // the next one; the supervisor retransmits.
                         Err(_) => continue 'accepting,
                     };
-                    match frame {
+                    let arrivals: Vec<(ModulatedEvent, u64)> = match frame {
                         Frame::Shutdown => break 'accepting,
                         // Plans and acks flow receiver → sender only.
                         Frame::Plan(_) | Frame::Ack { .. } => continue 'accepting,
@@ -157,99 +159,110 @@ impl TcpReceiver {
                                 continue 'accepting;
                             }
                             let _ = write_half.flush();
+                            continue;
                         }
-                        Frame::Event { event, t_mod_nanos } => {
-                            if let Some(limit) = fault_budget {
-                                if on_this_conn >= limit {
-                                    fault_budget = None;
-                                    let _ = write_half.shutdown(std::net::Shutdown::Both);
-                                    continue 'accepting;
-                                }
+                        Frame::Event { event, t_mod_nanos } => vec![(event, t_mod_nanos)],
+                        Frame::Batch { events } => {
+                            if events.len() >= 2 {
+                                batch_metric.inc();
+                                batched_events_metric.add(events.len() as u64);
                             }
-                            on_this_conn += 1;
-                            if event.seq <= last_applied {
-                                // Retransmission overlap: acknowledge but
-                                // never re-apply.
+                            events
+                        }
+                    };
+                    // A batch demodulates event-by-event in frame order, so
+                    // per-session ordering, dedup, and poison-skip behave
+                    // exactly as for singleton frames.
+                    for (event, t_mod_nanos) in arrivals {
+                        if let Some(limit) = fault_budget {
+                            if on_this_conn >= limit {
+                                fault_budget = None;
+                                let _ = write_half.shutdown(std::net::Shutdown::Both);
+                                continue 'accepting;
+                            }
+                        }
+                        on_this_conn += 1;
+                        if event.seq <= last_applied {
+                            // Retransmission overlap: acknowledge but
+                            // never re-apply.
+                            let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
+                            let _ = write_half.flush();
+                            continue;
+                        }
+                        let started = Instant::now();
+                        let demod = match demodulator.handle(&mut ctx, &event.continuation) {
+                            Ok(demod) => demod,
+                            Err(_) => {
+                                // A poison event (deterministic
+                                // failure) is acknowledged and
+                                // skipped — retrying it would loop
+                                // forever.
+                                error_counter.fetch_add(1, Ordering::Relaxed);
+                                error_metric.inc();
+                                last_applied = event.seq;
                                 let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
                                 let _ = write_half.flush();
                                 continue;
                             }
-                            let started = Instant::now();
-                            let demod = match demodulator.handle(&mut ctx, &event.continuation) {
-                                Ok(demod) => demod,
-                                Err(_) => {
-                                    // A poison event (deterministic
-                                    // failure) is acknowledged and
-                                    // skipped — retrying it would loop
-                                    // forever.
-                                    error_counter.fetch_add(1, Ordering::Relaxed);
-                                    error_metric.inc();
-                                    last_applied = event.seq;
-                                    let _ =
-                                        Frame::Ack { ack: last_applied }.write_to(&mut write_half);
-                                    let _ = write_half.flush();
-                                    continue;
-                                }
-                            };
-                            let t_demod = started.elapsed().as_secs_f64();
-                            last_applied = event.seq;
-                            processed += 1;
+                        };
+                        let t_demod = started.elapsed().as_secs_f64();
+                        last_applied = event.seq;
+                        processed += 1;
 
-                            reconfig.record_mod(ModMessageProfile {
-                                samples: event.samples.clone(),
-                                split: event.continuation.pse,
-                                mod_work: event.continuation.mod_work,
-                                t_mod: (t_mod_nanos > 0).then_some(t_mod_nanos as f64 / 1e9),
+                        reconfig.record_mod(ModMessageProfile {
+                            samples: event.samples.clone(),
+                            split: event.continuation.pse,
+                            mod_work: event.continuation.mod_work,
+                            t_mod: (t_mod_nanos > 0).then_some(t_mod_nanos as f64 / 1e9),
+                        });
+                        reconfig.record_samples(&demod.samples);
+                        reconfig.record_demod(DemodMessageProfile {
+                            pse: demod.pse,
+                            demod_work: demod.demod_work,
+                            t_demod: Some(t_demod),
+                        });
+                        let mut reconfigured = false;
+                        // A no-op update (same active set) is not
+                        // installed: pointless epoch churn would advance
+                        // the staleness horizon and reject in-flight
+                        // retransmissions for no benefit.
+                        let update = reconfig
+                            .maybe_reconfigure()?
+                            .filter(|u| u.active != recv_handler.plan().active());
+                        if let Some(update) = update {
+                            revision += 1;
+                            // The receiver installs the plan (recording
+                            // the generation for its demodulator's
+                            // history) and tells the sender which epoch
+                            // it became.
+                            let epoch = recv_handler
+                                .install_plan_reason(&update.active, PlanReason::Reconfig);
+                            reconfig.acknowledge_epoch(epoch);
+                            let plan = Frame::Plan(PlanEnvelope {
+                                active: update.active,
+                                revision,
+                                epoch,
+                                ack: last_applied,
                             });
-                            reconfig.record_samples(&demod.samples);
-                            reconfig.record_demod(DemodMessageProfile {
-                                pse: demod.pse,
-                                demod_work: demod.demod_work,
-                                t_demod: Some(t_demod),
-                            });
-                            let mut reconfigured = false;
-                            // A no-op update (same active set) is not
-                            // installed: pointless epoch churn would advance
-                            // the staleness horizon and reject in-flight
-                            // retransmissions for no benefit.
-                            let update = reconfig
-                                .maybe_reconfigure()?
-                                .filter(|u| u.active != recv_handler.plan().active());
-                            if let Some(update) = update {
-                                revision += 1;
-                                // The receiver installs the plan (recording
-                                // the generation for its demodulator's
-                                // history) and tells the sender which epoch
-                                // it became.
-                                let epoch = recv_handler
-                                    .install_plan_reason(&update.active, PlanReason::Reconfig);
-                                reconfig.acknowledge_epoch(epoch);
-                                let plan = Frame::Plan(PlanEnvelope {
-                                    active: update.active,
-                                    revision,
-                                    epoch,
-                                    ack: last_applied,
-                                });
-                                if plan.write_to(&mut write_half).is_err() {
-                                    continue 'accepting;
-                                }
-                                let _ = write_half.flush();
-                                reconfigured = true;
-                            } else {
-                                let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
-                                let _ = write_half.flush();
+                            if plan.write_to(&mut write_half).is_err() {
+                                continue 'accepting;
                             }
-                            // Non-blocking: if the consumer stops draining
-                            // outcomes, drop them instead of deadlocking the
-                            // shutdown path behind a full channel.
-                            let _ = outcome_tx.try_send(LocalOutcome {
-                                seq: event.seq,
-                                ret: demod.ret,
-                                split_pse: event.continuation.pse,
-                                wire_bytes: event.wire_size(),
-                                reconfigured,
-                            });
+                            let _ = write_half.flush();
+                            reconfigured = true;
+                        } else {
+                            let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
+                            let _ = write_half.flush();
                         }
+                        // Non-blocking: if the consumer stops draining
+                        // outcomes, drop them instead of deadlocking the
+                        // shutdown path behind a full channel.
+                        let _ = outcome_tx.try_send(LocalOutcome {
+                            seq: event.seq,
+                            ret: demod.ret,
+                            split_pse: event.continuation.pse,
+                            wire_bytes: event.wire_size(),
+                            reconfigured,
+                        });
                     }
                 }
             }
@@ -393,7 +406,7 @@ impl TcpSender {
                     }
                     Frame::Shutdown => break,
                     // Events and heartbeats flow sender → receiver only.
-                    Frame::Event { .. } | Frame::Heartbeat { .. } => break,
+                    Frame::Event { .. } | Frame::Batch { .. } | Frame::Heartbeat { .. } => break,
                 }
             }
         });
@@ -456,6 +469,26 @@ impl TcpSender {
     pub fn send_event(&mut self, event: &ModulatedEvent, t_mod_nanos: u64) -> Result<(), IrError> {
         Frame::Event { event: event.clone(), t_mod_nanos }.write_to(&mut self.write_half)?;
         self.write_half.flush().map_err(|e| IrError::Marshal(format!("flush: {e}")))
+    }
+
+    /// Coalesces already-modulated events into a single [`Frame::Batch`]
+    /// (one header, one checksum) and writes it to the socket. Events keep
+    /// their order; an empty slice is a no-op and a single event is sent
+    /// as a plain [`Frame::Event`], so framing stays byte-identical to the
+    /// unbatched path when there is nothing to coalesce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_batch(&mut self, events: &[(ModulatedEvent, u64)]) -> Result<(), IrError> {
+        match events {
+            [] => Ok(()),
+            [(event, t_mod_nanos)] => self.send_event(event, *t_mod_nanos),
+            _ => {
+                Frame::Batch { events: events.to_vec() }.write_to(&mut self.write_half)?;
+                self.write_half.flush().map_err(|e| IrError::Marshal(format!("flush: {e}")))
+            }
+        }
     }
 
     /// Sends a liveness probe carrying the highest seq sent; the receiver
@@ -629,6 +662,45 @@ mod tests {
         }
         sender.shutdown().unwrap();
         assert_eq!(receiver.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn batched_events_demodulate_in_order_with_one_frame() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let receiver = TcpReceiver::bind(
+            Arc::clone(&program),
+            "index",
+            Arc::new(DataSizeModel::new()),
+            receiver_builtins(),
+            TriggerPolicy::Never,
+        )
+        .unwrap();
+        let mut sender = TcpSender::connect(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+        )
+        .unwrap();
+        let batch: Vec<(ModulatedEvent, u64)> =
+            (0..5).map(|_| sender.modulate(doc(&program, 256)).unwrap()).collect();
+        sender.send_batch(&batch).unwrap();
+        for expected in 1..=5 {
+            let outcome = receiver.next_outcome().unwrap();
+            assert_eq!(outcome.seq, expected, "batch preserves per-session order");
+            assert_eq!(outcome.ret, Some(Value::Int(1)));
+        }
+        sender.heartbeat().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while sender.acked() < 5 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(sender.acked(), 5, "the whole batch is acknowledged");
+        let snap = receiver.handler().obs().registry().snapshot();
+        assert_eq!(snap.counter_sum("envelope_batches_total"), 1);
+        assert_eq!(snap.counter_sum("batched_events_total"), 5);
+        sender.shutdown().unwrap();
+        assert_eq!(receiver.join().unwrap(), 5);
     }
 
     #[test]

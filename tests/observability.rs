@@ -28,6 +28,7 @@ const MESSAGES: u64 = 30;
 /// This list is **append-only**: add new instruments at will, but never
 /// rename or remove an entry without a deliberate, documented break.
 const GOLDEN: &[&str] = &[
+    "batched_events_total",
     "continuations_resumed_total{pse}",
     "continuations_sent_total{pse}",
     "degradations_total",
@@ -35,6 +36,7 @@ const GOLDEN: &[&str] = &[
     "degraded_seconds",
     "demod_work_units",
     "duplicates_suppressed_total",
+    "envelope_batches_total",
     "envelope_bytes",
     "feedback_window_resets_total",
     "frames_corrupted_total",
@@ -153,6 +155,8 @@ fn registry_counters_agree_with_session_ground_truth() {
     assert_eq!(snap.counter_sum("frames_lost_total"), session.frames_lost());
     assert_eq!(snap.counter_sum("frames_corrupted_total"), session.frames_corrupted());
     assert_eq!(snap.counter_sum("duplicates_suppressed_total"), session.duplicates_suppressed());
+    assert_eq!(snap.counter_sum("envelope_batches_total"), session.envelope_batches());
+    assert_eq!(snap.counter_sum("batched_events_total"), session.batched_events());
     assert_eq!(snap.counter_sum("degradations_total"), session.degradations());
     assert_eq!(snap.counter_sum("promotions_total"), session.promotions());
     // The storm exercised the interesting paths at all.
