@@ -56,11 +56,24 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 #[derive(Debug)]
 pub struct AnalysisCache {
     capacity: usize,
-    /// `(key, analysis)` pairs, least-recently-used first.
-    entries: Mutex<Vec<(u64, Arc<HandlerAnalysis>)>>,
+    /// Cached analyses, least-recently-used first.
+    entries: Mutex<Vec<CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    second_entry_hits: AtomicU64,
+    second_entry_misses: AtomicU64,
+}
+
+/// One cached analysis. `base` hashes everything *except* the cost model
+/// (program, handler, limits): two entries sharing a `base` are the same
+/// handler re-priced under different models, which is how a runtime model
+/// switch is accounted (a "second entry", never an invalidation).
+#[derive(Debug)]
+struct CacheEntry {
+    key: u64,
+    base: u64,
+    analysis: Arc<HandlerAnalysis>,
 }
 
 impl AnalysisCache {
@@ -72,33 +85,42 @@ impl AnalysisCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            second_entry_hits: AtomicU64::new(0),
+            second_entry_misses: AtomicU64::new(0),
         }
     }
 
     /// The content hash keying one analysis: FNV-1a over the canonical
     /// pretty-printed program (whole program, not just the handler —
     /// stop-node and inlining decisions depend on callees and class
-    /// declarations), the handler name, the cost model's name, and the
-    /// enumeration limits.
+    /// declarations), the handler name, the cost model's fingerprint, and
+    /// the enumeration limits.
     pub fn content_key(
         program: &Program,
         func_name: &str,
         model_key: &str,
         limits: EnumLimits,
     ) -> u64 {
+        fnv1a(fnv1a(Self::base_key(program, func_name, limits), &[0xFE]), model_key.as_bytes())
+    }
+
+    /// The model-independent part of [`content_key`](Self::content_key):
+    /// program, handler, and limits. Entries sharing a base key are the
+    /// same handler priced under different cost models.
+    fn base_key(program: &Program, func_name: &str, limits: EnumLimits) -> u64 {
         let mut hash = fnv1a(0xCBF2_9CE4_8422_2325, program_to_string(program).as_bytes());
         hash = fnv1a(hash, &[0xFF]);
         hash = fnv1a(hash, func_name.as_bytes());
         hash = fnv1a(hash, &[0xFF]);
-        hash = fnv1a(hash, model_key.as_bytes());
         hash = fnv1a(hash, &(limits.max_paths as u64).to_le_bytes());
         fnv1a(hash, &(limits.max_len as u64).to_le_bytes())
     }
 
     /// Returns the cached analysis for this (program, handler, model,
     /// limits) combination, running [`analyze`] on a miss. `model_key`
-    /// must identify the estimator's pricing behavior (cost models expose
-    /// a stable `name()` for exactly this purpose).
+    /// must identify the estimator's *pricing behavior* — cost models
+    /// expose a stable `cache_key()` for exactly this purpose (the bare
+    /// `name()` is not enough for parameterized models).
     ///
     /// # Errors
     ///
@@ -111,8 +133,60 @@ impl AnalysisCache {
         estimator: &dyn EdgeCostEstimator,
         limits: EnumLimits,
     ) -> Result<Arc<HandlerAnalysis>, IrError> {
-        let key = Self::content_key(program, func_name, model_key, limits);
-        if let Some(found) = self.lookup(key) {
+        let base = Self::base_key(program, func_name, limits);
+        let key = fnv1a(fnv1a(base, &[0xFE]), model_key.as_bytes());
+        self.get_or_insert_with(key, base, || {
+            Ok(Arc::new(analyze(program, func_name, estimator, limits)?))
+        })
+    }
+
+    /// Returns the *re-priced* analysis of `base_analysis` under
+    /// `estimator` — the runtime model-switch path. A miss derives the
+    /// entry via [`HandlerAnalysis::repriced`] (prices only; Unit Graph,
+    /// DDG, and liveness are shared, never recomputed), so the first
+    /// switch to a given model costs one pricing pass and every later
+    /// flip is one cache probe.
+    ///
+    /// `model_key` must fingerprint the *pair* of models (the base
+    /// analysis's and the new one's `cache_key()`s): a re-priced result
+    /// is a pure function of both, and keying it on the new model alone
+    /// would collide with a from-scratch [`Self::get_or_analyze`] entry whose
+    /// PSE set can differ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-pricing failures; failures are not cached.
+    pub fn get_or_reprice(
+        &self,
+        program: &Program,
+        func_name: &str,
+        model_key: &str,
+        base_analysis: &HandlerAnalysis,
+        estimator: &dyn EdgeCostEstimator,
+        limits: EnumLimits,
+    ) -> Result<Arc<HandlerAnalysis>, IrError> {
+        let base = Self::base_key(program, func_name, limits);
+        let key = fnv1a(fnv1a(base, &[0xFD]), model_key.as_bytes());
+        self.get_or_insert_with(key, base, || {
+            Ok(Arc::new(base_analysis.repriced(program, estimator)?))
+        })
+    }
+
+    fn get_or_insert_with(
+        &self,
+        key: u64,
+        base: u64,
+        compute: impl FnOnce() -> Result<Arc<HandlerAnalysis>, IrError>,
+    ) -> Result<Arc<HandlerAnalysis>, IrError> {
+        let (found, repricing) = self.lookup(key, base);
+        if repricing {
+            if found.is_some() {
+                self.second_entry_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.second_entry_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(found) = found {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(found);
         }
@@ -121,25 +195,32 @@ impl AnalysisCache {
         // same analysis; the second insert wins and the loser's Arc stays
         // valid — correctness is unaffected because the result is pure.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let analysis = Arc::new(analyze(program, func_name, estimator, limits)?);
-        self.insert(key, Arc::clone(&analysis));
+        let analysis = compute()?;
+        self.insert(key, base, Arc::clone(&analysis));
         Ok(analysis)
     }
 
-    fn lookup(&self, key: u64) -> Option<Arc<HandlerAnalysis>> {
+    /// Finds `key`, refreshing its recency. The second return is whether
+    /// the cache holds a *different* model's entry for the same base —
+    /// i.e. whether this lookup is a re-pricing of an already-analyzed
+    /// handler.
+    fn lookup(&self, key: u64, base: u64) -> (Option<Arc<HandlerAnalysis>>, bool) {
         let mut entries = self.entries.lock().expect("analysis cache poisoned");
-        let idx = entries.iter().position(|(k, _)| *k == key)?;
+        let repricing = entries.iter().any(|e| e.base == base && e.key != key);
+        let Some(idx) = entries.iter().position(|e| e.key == key) else {
+            return (None, repricing);
+        };
         // Refresh recency: move the entry to the back.
         let entry = entries.remove(idx);
-        let found = Arc::clone(&entry.1);
+        let found = Arc::clone(&entry.analysis);
         entries.push(entry);
-        Some(found)
+        (Some(found), repricing)
     }
 
-    fn insert(&self, key: u64, analysis: Arc<HandlerAnalysis>) {
+    fn insert(&self, key: u64, base: u64, analysis: Arc<HandlerAnalysis>) {
         let mut entries = self.entries.lock().expect("analysis cache poisoned");
-        entries.retain(|(k, _)| *k != key);
-        entries.push((key, analysis));
+        entries.retain(|e| e.key != key);
+        entries.push(CacheEntry { key, base, analysis });
         while entries.len() > self.capacity {
             entries.remove(0);
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -159,6 +240,20 @@ impl AnalysisCache {
     /// Entries displaced by the capacity bound.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hits on a *second entry*: a lookup answered from the cache while a
+    /// different model's analysis of the same (program, handler, limits)
+    /// was also resident — the steady-state cost of a runtime model
+    /// switch (one probe, no recomputation).
+    pub fn second_entry_hits(&self) -> u64 {
+        self.second_entry_hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses that created a second entry: the one-time re-pricing a new
+    /// model pays for an already-analyzed handler.
+    pub fn second_entry_misses(&self) -> u64 {
+        self.second_entry_misses.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups served from the cache (0 when none happened).
@@ -263,6 +358,27 @@ mod tests {
         let misses_before = cache.misses();
         cache.get_or_analyze(&programs[1], "f", "m", &InterCountEstimator, limits).unwrap();
         assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn second_entry_counters_track_repricing() {
+        let program = parse_program(SRC_A).unwrap();
+        let cache = AnalysisCache::new(8);
+        let limits = EnumLimits::default();
+        // First model: a plain miss, not a re-pricing.
+        cache.get_or_analyze(&program, "f", "m", &InterCountEstimator, limits).unwrap();
+        assert_eq!((cache.second_entry_hits(), cache.second_entry_misses()), (0, 0));
+        // Second model over the same handler: a miss once...
+        cache.get_or_analyze(&program, "f", "other", &InterCountEstimator, limits).unwrap();
+        assert_eq!((cache.second_entry_hits(), cache.second_entry_misses()), (0, 1));
+        // ...and a hit thereafter, from either side of the switch.
+        cache.get_or_analyze(&program, "f", "other", &InterCountEstimator, limits).unwrap();
+        cache.get_or_analyze(&program, "f", "m", &InterCountEstimator, limits).unwrap();
+        assert_eq!((cache.second_entry_hits(), cache.second_entry_misses()), (2, 1));
+        // A different handler text is unrelated: no re-pricing counted.
+        let other = parse_program(SRC_B).unwrap();
+        cache.get_or_analyze(&other, "f", "m", &InterCountEstimator, limits).unwrap();
+        assert_eq!((cache.second_entry_hits(), cache.second_entry_misses()), (2, 1));
     }
 
     #[test]

@@ -94,6 +94,52 @@ impl HandlerAnalysis {
     pub fn pse_for_edge(&self, edge: Edge) -> Option<usize> {
         self.cut.pses.iter().position(|p| p.edge == edge)
     }
+
+    /// Re-prices this analysis's PSE set under a different estimator,
+    /// sharing every graph structure (Unit Graph, liveness, DDG, alias
+    /// classes, enumerated paths) — none of the static pipeline re-runs.
+    ///
+    /// The PSE list, its order, and the per-path candidate indices are
+    /// preserved exactly, so plan flags, profiling statistics, and
+    /// edge↔PSE maps built against this analysis stay valid; only each
+    /// PSE's `static_cost` is recomputed. This is the runtime
+    /// model-switch path: a fresh [`analyze`] under the new model would
+    /// prune a *different* PSE set (dominance pruning depends on the
+    /// estimator), breaking PSE-id indexing.
+    ///
+    /// Each PSE is priced on the first enumerated path containing its
+    /// edge, matching [`ConvexCut::run`]'s first-path pricing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Unresolved`] if `program` lacks the analyzed
+    /// function.
+    pub fn repriced(
+        &self,
+        program: &Program,
+        estimator: &dyn EdgeCostEstimator,
+    ) -> Result<HandlerAnalysis, IrError> {
+        let func = program.function_or_err(&self.func_name)?;
+        let cx = EstimatorCx { func, kinds: &self.kinds, aliases: &self.aliases };
+        let mut out = self.clone();
+        let mut priced = vec![false; out.cut.pses.len()];
+        for path in &self.paths.paths {
+            for (idx, edge) in convex::path_edges(self.ug.start(), path).into_iter().enumerate() {
+                let Some(p) = self.pse_for_edge(edge) else { continue };
+                if std::mem::replace(&mut priced[p], true) {
+                    continue;
+                }
+                let cost = estimator.edge_cost(&cx, path, idx, edge, &out.cut.pses[p].inter);
+                out.cut.pses[p].static_cost = match cost {
+                    StaticCost::LowerBounded { det, vars } => {
+                        StaticCost::LowerBounded { det, vars: cx.aliases.canon_set(&vars) }
+                    }
+                    other => other,
+                };
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Runs the full static-analysis pipeline on `func_name` within `program`.

@@ -87,7 +87,7 @@ pub const USAGE: &str = "usage:
   mpart split <file> <fn> --pse <N> [args..]
   mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]
-  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--model ...]
+  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--model ...] [--auto-model]
   mpart help";
 
 /// Entry point: executes `args` (without the program name) and returns
@@ -390,7 +390,7 @@ fn opt_u64(rest: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
 /// The positional event arguments left after stripping the session flags.
 fn event_args(rest: &[String]) -> Vec<Value> {
     const WITH_VALUE: &[&str] = &["--model", "--messages", "--seed", "--sessions", "--workers"];
-    const BARE: &[&str] = &["--session", "--json"];
+    const BARE: &[&str] = &["--session", "--json", "--auto-model"];
     let mut args = Vec::new();
     let mut skip = false;
     for a in rest {
@@ -493,9 +493,13 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     let messages = opt_u64(rest, "--messages", 8)?.max(1);
     let args = event_args(rest);
 
+    let auto = has_flag(rest, "--auto-model");
     let mut config = SessionConfig::default();
     if workers > 0 {
         config = config.with_workers(workers);
+    }
+    if auto {
+        config = config.with_auto_model(mpart::reconfig::ModelSelectorConfig::default());
     }
     let mut manager = SessionManager::new(config);
     for _ in 0..sessions {
@@ -528,6 +532,17 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
         cache.hits(),
         cache.hit_rate(),
     );
+    if auto {
+        let switches: u64 = (0..sessions)
+            .filter_map(|s| manager.handler(s))
+            .map(|h| h.obs().registry().snapshot().counter_sum("model_switch_total"))
+            .sum();
+        let _ = writeln!(
+            out,
+            "  model auto-selection: {switches} switches, {} re-priced cache entries",
+            cache.second_entry_misses(),
+        );
+    }
     for (s, outcome) in last.iter().enumerate() {
         if let Some(o) = outcome {
             let _ = writeln!(
@@ -837,6 +852,25 @@ mod tests {
         assert!(out.contains("delivered 12 messages"), "{out}");
         assert!(out.contains("1 misses, 2 hits"), "{out}");
         assert!(out.contains("session 2:"), "{out}");
+    }
+
+    #[test]
+    fn serve_auto_model_reports_switch_summary() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "serve",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--sessions",
+            "2",
+            "--messages",
+            "12",
+            "--auto-model",
+        ]))
+        .unwrap();
+        assert!(out.contains("model auto-selection:"), "{out}");
     }
 
     #[test]

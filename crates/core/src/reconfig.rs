@@ -11,15 +11,17 @@
 //! ([`ReconfigPlacement`]); placement only affects where the computation
 //! runs, not its result.
 
+use std::sync::Arc;
+
 use mpart_analysis::{HandlerAnalysis, StaticCost, ENTRY};
-use mpart_cost::RuntimeCostKind;
+use mpart_cost::{CompositeModel, CostModel, DataSizeModel, ExecTimeModel, RuntimeCostKind};
 use mpart_flow::{Dinic, INF};
 use mpart_ir::IrError;
-use mpart_obs::{pse_mask, Counter, Gauge, ObsHub, TraceEvent};
+use mpart_obs::{pse_mask, Counter, Gauge, ModelTag, ObsHub, TraceEvent};
 
 use crate::plan::PartitionPlan;
 use crate::profile::{
-    DemodMessageProfile, ModMessageProfile, ProfileSnapshot, ProfilingUnit, TriggerPolicy,
+    DemodMessageProfile, Ewma, ModMessageProfile, ProfileSnapshot, ProfilingUnit, TriggerPolicy,
 };
 use crate::PseId;
 
@@ -355,6 +357,41 @@ impl ReconfigUnit {
         true
     }
 
+    /// Swaps the unit onto a re-priced analysis under a new cost-model
+    /// `kind` — the Reconfiguration-Unit half of a runtime model switch
+    /// (the handler half is `PartitionedHandler::reprice`).
+    ///
+    /// The feedback window resets exactly as for an external plan switch
+    /// ([`with_plan_watch`](Self::with_plan_watch)): EWMA state and the
+    /// rate trigger's message count were gathered under the *old*
+    /// pricing, and letting them stand would let stale feedback fire an
+    /// immediate spurious re-selection (or, symmetrically, an immediate
+    /// re-switch back — model flapping). The diff trigger re-baselines at
+    /// the current weights *as priced by the new model*, so "change" is
+    /// measured from the moment of the switch.
+    pub fn switch_model(&mut self, analysis: Arc<HandlerAnalysis>, kind: RuntimeCostKind) {
+        debug_assert_eq!(
+            analysis.pses().len(),
+            self.analysis.pses().len(),
+            "a re-priced analysis keeps the PSE set"
+        );
+        self.analysis = analysis;
+        self.kind = kind;
+        self.messages_since = 0;
+        self.profiling.reset_window();
+        self.last_weights = Some(self.current_weights());
+        if let Some(obs) = &self.obs {
+            obs.feedback_resets.inc();
+            let epoch = self.watch.as_ref().map(|p| p.epoch()).unwrap_or(self.expected_epoch);
+            obs.hub.record(TraceEvent::FeedbackReset { epoch });
+        }
+    }
+
+    /// The cost-model kind currently steering weight computation.
+    pub fn kind(&self) -> RuntimeCostKind {
+        self.kind
+    }
+
     /// Replaces the EWMA smoothing factor (default 0.5). Smaller values
     /// damp noisy profiles; larger values adapt faster.
     pub fn with_alpha(mut self, alpha: f64) -> Self {
@@ -472,6 +509,241 @@ impl ReconfigUnit {
         self.reconfigurations += 1;
         self.observe_decision(&active, &weights, window);
         Ok(PlanUpdate { active, weights })
+    }
+}
+
+/// A runtime cost-model operating point the [`ModelSelector`] can choose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelChoice {
+    /// Pure [`DataSizeModel`]: the workload is communication-bound.
+    DataSize,
+    /// Pure [`ExecTimeModel`]: the workload is compute-bound.
+    ExecTime,
+    /// A [`CompositeModel`] blend for the middle band, with weights
+    /// quantized to quarter steps (see
+    /// [`ModelSelector::observe`]) so retuning produces a small, bounded
+    /// family of cache entries instead of one per EWMA wiggle.
+    Composite {
+        /// Weight of the data-size component (in `[0.25, 0.75]`).
+        data_weight: f64,
+        /// Weight of the exec-time component (`1 − data_weight`).
+        exec_weight: f64,
+    },
+}
+
+impl ModelChoice {
+    /// Short stable label, used as the `from`/`to` label value of the
+    /// `model_switch_total` counter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelChoice::DataSize => "data-size",
+            ModelChoice::ExecTime => "exec-time",
+            ModelChoice::Composite { .. } => "composite",
+        }
+    }
+
+    /// The trace-event tag for this choice.
+    pub fn tag(&self) -> ModelTag {
+        match self {
+            ModelChoice::DataSize => ModelTag::DataSize,
+            ModelChoice::ExecTime => ModelTag::ExecTime,
+            ModelChoice::Composite { .. } => ModelTag::Composite,
+        }
+    }
+
+    /// How profiled statistics translate into weights under this choice
+    /// (composites follow their dominant component, like
+    /// [`CompositeModel::kind`]).
+    pub fn kind(&self) -> RuntimeCostKind {
+        match *self {
+            ModelChoice::DataSize => RuntimeCostKind::DataSize,
+            ModelChoice::ExecTime => RuntimeCostKind::ExecTime,
+            ModelChoice::Composite { data_weight, exec_weight } => {
+                if data_weight >= exec_weight {
+                    RuntimeCostKind::DataSize
+                } else {
+                    RuntimeCostKind::ExecTime
+                }
+            }
+        }
+    }
+
+    /// Builds the concrete cost model for this choice.
+    pub fn instantiate(&self) -> Arc<dyn CostModel> {
+        match *self {
+            ModelChoice::DataSize => Arc::new(DataSizeModel::new()),
+            ModelChoice::ExecTime => Arc::new(ExecTimeModel::new()),
+            ModelChoice::Composite { data_weight, exec_weight } => Arc::new(CompositeModel::new(
+                Arc::new(DataSizeModel::new()),
+                data_weight,
+                Arc::new(ExecTimeModel::new()),
+                exec_weight,
+            )),
+        }
+    }
+}
+
+/// Tuning for a [`ModelSelector`].
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSelectorConfig {
+    /// Work units one wire byte is considered equivalent to, normalizing
+    /// the envelope-byte EWMA against the work-unit EWMA. Calibrate to
+    /// the deployment's link: a slow radio justifies a larger value.
+    pub work_per_byte: f64,
+    /// Ratio one signal must exceed the other by before the selector
+    /// leaves the composite middle band for a pure model (must be > 1;
+    /// the gap between `1/hysteresis` and `hysteresis` is the flap
+    /// guard's dead zone).
+    pub hysteresis: f64,
+    /// Consecutive evaluations a new choice must persist before the
+    /// selector commits to it (debounces single-message spikes).
+    pub dwell: u64,
+    /// Messages observed before the selector renders any opinion (EWMAs
+    /// need samples to mean anything).
+    pub min_messages: u64,
+    /// Smoothing factor of the selector's own envelope-byte EWMA.
+    pub alpha: f64,
+}
+
+impl Default for ModelSelectorConfig {
+    fn default() -> Self {
+        ModelSelectorConfig {
+            work_per_byte: 1.0,
+            hysteresis: 2.0,
+            dwell: 3,
+            min_messages: 8,
+            alpha: 0.3,
+        }
+    }
+}
+
+impl ModelSelectorConfig {
+    /// Sets the byte→work normalization factor.
+    pub fn with_work_per_byte(mut self, v: f64) -> Self {
+        self.work_per_byte = v;
+        self
+    }
+
+    /// Sets the hysteresis ratio (values ≤ 1 are clamped to just above).
+    pub fn with_hysteresis(mut self, v: f64) -> Self {
+        self.hysteresis = v.max(1.0 + 1e-9);
+        self
+    }
+
+    /// Sets the dwell count (minimum 1).
+    pub fn with_dwell(mut self, v: u64) -> Self {
+        self.dwell = v.max(1);
+        self
+    }
+
+    /// Sets the warm-up message count.
+    pub fn with_min_messages(mut self, v: u64) -> Self {
+        self.min_messages = v;
+        self
+    }
+}
+
+/// Watches the feedback signals the Runtime Profiling Unit already
+/// gathers — smoothed envelope bytes per message against smoothed total
+/// work units per message — and decides when the live cost model no
+/// longer matches the workload.
+///
+/// The paper fixes the cost model at deployment time (§2.6: the model is
+/// "the only application-level knowledge" the system needs); this
+/// selector closes the remaining loop. A workload whose messages are
+/// expensive to ship but cheap to process should be priced by
+/// [`DataSizeModel`]; one that is cheap to ship but expensive to process
+/// by [`ExecTimeModel`]; the band between them by a [`CompositeModel`]
+/// blend. Crossing between regimes requires beating the hysteresis ratio
+/// and then surviving `dwell` consecutive evaluations, so a single
+/// outlier message can never flip the model.
+///
+/// The selector only *decides*; the owner performs the switch
+/// (`PartitionedHandler::reprice` + [`ReconfigUnit::switch_model`] +
+/// plan re-selection). See `SessionState::deliver` for the wired-up
+/// path.
+#[derive(Debug, Clone)]
+pub struct ModelSelector {
+    config: ModelSelectorConfig,
+    bytes: Ewma,
+    observed: u64,
+    current: ModelChoice,
+    candidate: Option<ModelChoice>,
+    streak: u64,
+    switches: u64,
+}
+
+impl ModelSelector {
+    /// Creates a selector that considers `initial` the live choice.
+    pub fn new(initial: ModelChoice, config: ModelSelectorConfig) -> Self {
+        ModelSelector {
+            bytes: Ewma::new(config.alpha.clamp(1e-6, 1.0)),
+            config,
+            observed: 0,
+            current: initial,
+            candidate: None,
+            streak: 0,
+            switches: 0,
+        }
+    }
+
+    /// The choice the selector currently considers live.
+    pub fn current(&self) -> ModelChoice {
+        self.current
+    }
+
+    /// Committed switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Feeds one delivered message's wire size plus the profiling
+    /// snapshot, returning `Some(choice)` when the selector commits to a
+    /// different model (the caller then performs the switch).
+    pub fn observe(&mut self, wire_bytes: u64, snapshot: &ProfileSnapshot) -> Option<ModelChoice> {
+        self.bytes.update(wire_bytes as f64);
+        self.observed += 1;
+        if self.observed < self.config.min_messages {
+            return None;
+        }
+        let work = snapshot.total_work?;
+        let comms = self.bytes.value()? * self.config.work_per_byte;
+        let hysteresis = self.config.hysteresis.max(1.0 + 1e-9);
+        let choice = if work > comms * hysteresis {
+            ModelChoice::ExecTime
+        } else if comms > work * hysteresis {
+            ModelChoice::DataSize
+        } else {
+            let total = comms + work;
+            if total <= 0.0 {
+                return None;
+            }
+            // Quantize to quarter steps inside [0.25, 0.75]: retuning
+            // yields at most three distinct composites (and so at most
+            // three cache entries), not one per EWMA wiggle.
+            let data_weight = ((comms / total) * 4.0).round().clamp(1.0, 3.0) / 4.0;
+            ModelChoice::Composite { data_weight, exec_weight: 1.0 - data_weight }
+        };
+        if choice == self.current {
+            self.candidate = None;
+            self.streak = 0;
+            return None;
+        }
+        match self.candidate {
+            Some(c) if c == choice => self.streak += 1,
+            _ => {
+                self.candidate = Some(choice);
+                self.streak = 1;
+            }
+        }
+        if self.streak < self.config.dwell.max(1) {
+            return None;
+        }
+        self.current = choice;
+        self.candidate = None;
+        self.streak = 0;
+        self.switches += 1;
+        Some(choice)
     }
 }
 
@@ -780,5 +1052,160 @@ mod tests {
         let unit = ReconfigUnit::new(ha, RuntimeCostKind::DataSize, TriggerPolicy::Rate(1))
             .with_placement(ReconfigPlacement::ThirdParty);
         assert_eq!(unit.placement(), ReconfigPlacement::ThirdParty);
+    }
+
+    fn snap(total_work: f64) -> ProfileSnapshot {
+        ProfileSnapshot {
+            size: vec![],
+            mod_work: vec![],
+            traversals: vec![],
+            total_work: Some(total_work),
+            speed_mod: None,
+            speed_demod: None,
+            messages: 0,
+        }
+    }
+
+    #[test]
+    fn selector_switches_to_exec_time_for_compute_bound_workloads() {
+        let config = ModelSelectorConfig::default().with_min_messages(4).with_dwell(2);
+        let mut sel = ModelSelector::new(ModelChoice::DataSize, config);
+        // Warm-up: no opinion regardless of how lopsided the signal is.
+        for _ in 0..3 {
+            assert_eq!(sel.observe(10, &snap(10_000.0)), None);
+        }
+        // First post-warm-up evaluation starts the dwell streak...
+        assert_eq!(sel.observe(10, &snap(10_000.0)), None);
+        // ...and the second commits.
+        assert_eq!(sel.observe(10, &snap(10_000.0)), Some(ModelChoice::ExecTime));
+        assert_eq!(sel.current(), ModelChoice::ExecTime);
+        assert_eq!(sel.switches(), 1);
+        // Steady state: no further proposals while the signal holds.
+        assert_eq!(sel.observe(10, &snap(10_000.0)), None);
+        assert_eq!(sel.switches(), 1);
+    }
+
+    #[test]
+    fn selector_switches_to_data_size_for_comms_bound_workloads() {
+        let config = ModelSelectorConfig::default().with_min_messages(1).with_dwell(1);
+        let mut sel = ModelSelector::new(ModelChoice::ExecTime, config);
+        assert_eq!(sel.observe(50_000, &snap(5.0)), Some(ModelChoice::DataSize));
+    }
+
+    #[test]
+    fn selector_middle_band_retunes_quantized_composite() {
+        let config = ModelSelectorConfig::default().with_min_messages(1).with_dwell(1);
+        let mut sel = ModelSelector::new(ModelChoice::DataSize, config);
+        // comms == work: dead zone -> an even composite blend.
+        let got = sel.observe(100, &snap(100.0)).expect("middle band switches");
+        let ModelChoice::Composite { data_weight, exec_weight } = got else {
+            panic!("expected composite, got {got:?}");
+        };
+        assert_eq!(data_weight, 0.5);
+        assert_eq!(exec_weight, 0.5);
+        // Weights quantize to quarter steps: every reachable composite is
+        // one of three, so model retuning cannot mint unbounded cache
+        // entries.
+        for bytes in [40u64, 70, 100, 160, 400] {
+            let mut s = ModelSelector::new(ModelChoice::ExecTime, config);
+            if let Some(ModelChoice::Composite { data_weight, .. }) = s.observe(bytes, &snap(100.0))
+            {
+                assert!(
+                    [0.25, 0.5, 0.75].contains(&data_weight),
+                    "unquantized weight {data_weight}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selector_dwell_guards_against_flapping() {
+        // Regression (model-switch flap guard): a single outlier message
+        // must never flip the model, and an interrupted streak restarts.
+        let config = ModelSelectorConfig::default().with_min_messages(1).with_dwell(3);
+        let mut sel = ModelSelector::new(ModelChoice::DataSize, config);
+        let compute = snap(100_000.0);
+        let comms = snap(1.0);
+        // Two compute-bound spikes: streak at 2, still DataSize.
+        assert_eq!(sel.observe(1, &compute), None);
+        assert_eq!(sel.observe(1, &compute), None);
+        // One comms-bound message agrees with the current model: the
+        // candidate streak resets entirely.
+        assert_eq!(sel.observe(100_000, &comms), None);
+        // Two more compute-bound spikes still do not commit (streak 2/3)...
+        assert_eq!(sel.observe(1, &compute), None);
+        assert_eq!(sel.observe(1, &compute), None);
+        // ...only the third consecutive one does.
+        assert_eq!(sel.observe(1, &compute), Some(ModelChoice::ExecTime));
+        assert_eq!(sel.switches(), 1);
+    }
+
+    #[test]
+    fn selector_needs_profiled_work_before_deciding() {
+        let config = ModelSelectorConfig::default().with_min_messages(1).with_dwell(1);
+        let mut sel = ModelSelector::new(ModelChoice::DataSize, config);
+        let mut no_work = snap(0.0);
+        no_work.total_work = None;
+        assert_eq!(sel.observe(100_000, &no_work), None, "no work signal, no opinion");
+        assert_eq!(sel.switches(), 0);
+    }
+
+    #[test]
+    fn model_choice_dominant_kind_and_labels() {
+        assert_eq!(ModelChoice::DataSize.kind(), RuntimeCostKind::DataSize);
+        assert_eq!(ModelChoice::ExecTime.kind(), RuntimeCostKind::ExecTime);
+        let comp = ModelChoice::Composite { data_weight: 0.25, exec_weight: 0.75 };
+        assert_eq!(comp.kind(), RuntimeCostKind::ExecTime);
+        assert_eq!(comp.label(), "composite");
+        assert_eq!(comp.tag().as_str(), "composite");
+        assert_eq!(ModelChoice::DataSize.instantiate().name(), "data-size");
+        // The instantiated composite folds its exact weights into the
+        // cache key, so two retunings never share a cache entry.
+        let a = ModelChoice::Composite { data_weight: 0.25, exec_weight: 0.75 }.instantiate();
+        let b = ModelChoice::Composite { data_weight: 0.5, exec_weight: 0.5 }.instantiate();
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn switch_model_resets_feedback_window() {
+        // Regression (mirrors `external_plan_switch_resets_feedback_window`):
+        // a model switch invalidates the EWMA window gathered under the old
+        // pricing; letting it stand would fire an immediate spurious
+        // re-selection — or flap straight back to the old model.
+        let ha = analysis();
+        let main =
+            ha.pses().iter().position(|p| !p.edge.is_entry() && !p.inter.is_empty()).unwrap();
+        let mut unit =
+            ReconfigUnit::new(Arc::clone(&ha), RuntimeCostKind::DataSize, TriggerPolicy::Rate(3));
+        let feed = |unit: &mut ReconfigUnit| {
+            unit.record_mod(ModMessageProfile {
+                samples: vec![PseSample {
+                    pse: main,
+                    mod_work: 10,
+                    payload_bytes: Some(1000),
+                    was_split: true,
+                }],
+                split: main,
+                mod_work: 10,
+                t_mod: None,
+            });
+        };
+        // Prime the rate trigger under the old model...
+        for _ in 0..3 {
+            feed(&mut unit);
+        }
+        assert!(unit.profiling().pending_mod_profiles() > 0);
+        // ...then switch models. The primed window is discarded.
+        unit.switch_model(Arc::clone(&ha), RuntimeCostKind::ExecTime);
+        assert_eq!(unit.kind(), RuntimeCostKind::ExecTime);
+        assert_eq!(unit.profiling().pending_mod_profiles(), 0, "stale mod halves dropped");
+        assert!(unit.maybe_reconfigure().unwrap().is_none(), "stale window must not fire");
+        assert_eq!(unit.reconfigurations(), 0);
+        // Feedback gathered under the new model fires normally.
+        for _ in 0..3 {
+            feed(&mut unit);
+        }
+        assert!(unit.maybe_reconfigure().unwrap().is_some(), "fresh window fires");
+        assert_eq!(unit.reconfigurations(), 1);
     }
 }

@@ -61,15 +61,15 @@ use std::thread::JoinHandle;
 
 use mpart_analysis::cache::{AnalysisCache, DEFAULT_CACHE_CAPACITY};
 use mpart_analysis::paths::EnumLimits;
-use mpart_cost::CostModel;
+use mpart_cost::{CostModel, RuntimeCostKind};
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
-use mpart_obs::{Counter, Gauge, ObsHub, PlanReason};
+use mpart_obs::{Counter, Gauge, ObsHub, PlanReason, TraceEvent};
 
 use crate::demodulator::Demodulator;
 use crate::modulator::Modulator;
 use crate::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
-use crate::reconfig::ReconfigUnit;
+use crate::reconfig::{ModelChoice, ModelSelector, ModelSelectorConfig, ReconfigUnit};
 use crate::{PartitionedHandler, PseId};
 
 /// Identifies one open session within a [`SessionManager`].
@@ -87,6 +87,12 @@ pub struct SessionConfig {
     pub trigger: TriggerPolicy,
     /// Path-enumeration limits (part of the analysis cache key).
     pub limits: EnumLimits,
+    /// When set, every session runs a [`ModelSelector`] that watches the
+    /// envelope-byte EWMA against the profiled work signal and switches
+    /// the live cost model when the workload's regime changes. A switch
+    /// re-prices the PSE set through the shared [`AnalysisCache`] as a
+    /// *second* cache entry (no re-analysis) and re-selects the plan.
+    pub auto_model: Option<ModelSelectorConfig>,
 }
 
 impl Default for SessionConfig {
@@ -96,6 +102,7 @@ impl Default for SessionConfig {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             trigger: TriggerPolicy::Never,
             limits: EnumLimits::default(),
+            auto_model: None,
         }
     }
 }
@@ -124,6 +131,13 @@ impl SessionConfig {
         self.limits = limits;
         self
     }
+
+    /// Enables per-session cost-model auto-selection (see
+    /// [`ModelSelector`]).
+    pub fn with_auto_model(mut self, config: ModelSelectorConfig) -> Self {
+        self.auto_model = Some(config);
+        self
+    }
 }
 
 /// Outcome of one in-process delivery through a session.
@@ -141,6 +155,13 @@ pub struct SessionOutcome {
     pub ret: Option<Value>,
     /// Whether this message triggered a per-session plan reconfiguration.
     pub reconfigured: bool,
+    /// Whether this message committed a cost-model switch
+    /// ([`SessionConfig::with_auto_model`]).
+    pub model_switched: bool,
+    /// Modulator-side work units spent on this message.
+    pub mod_work: u64,
+    /// Demodulator-side work units spent on this message.
+    pub demod_work: u64,
 }
 
 type EventFn = Box<dyn FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + Send>;
@@ -160,6 +181,17 @@ struct SessionState {
     sender_builtins: BuiltinRegistry,
     receiver_ctx: ExecCtx,
     seq: u64,
+    auto: Option<AutoModel>,
+}
+
+/// Per-session cost-model auto-selection state
+/// ([`SessionConfig::with_auto_model`]).
+struct AutoModel {
+    selector: ModelSelector,
+    /// The manager's shared cache; re-priced analyses become second
+    /// entries here, so sibling sessions switching the same way hit.
+    cache: Arc<AnalysisCache>,
+    limits: EnumLimits,
 }
 
 impl SessionState {
@@ -188,12 +220,45 @@ impl SessionState {
             t_demod: None,
         });
         let mut reconfigured = false;
-        if let Some(update) = self.reconfig.maybe_reconfigure()? {
-            if update.active != self.handler.plan().active() {
-                let new_epoch =
-                    self.handler.install_plan_reason(&update.active, PlanReason::Reconfig);
-                self.reconfig.acknowledge_epoch(new_epoch);
-                reconfigured = true;
+        let mut model_switched = false;
+        if let Some(auto) = self.auto.as_mut() {
+            let from = auto.selector.current();
+            let snapshot = self.reconfig.profiling().snapshot();
+            if let Some(choice) = auto.selector.observe(wire_bytes as u64, &snapshot) {
+                // Commit the switch: re-price the PSE set through the
+                // shared cache (a second entry keyed by the model pair —
+                // no re-analysis), swap the Reconfiguration Unit onto the
+                // re-priced analysis, and re-select the plan under the
+                // new pricing.
+                let analysis =
+                    self.handler.reprice(choice.instantiate(), &auto.cache, auto.limits)?;
+                self.reconfig.switch_model(analysis, choice.kind());
+                let update = self.reconfig.force_reconfigure()?;
+                if update.active != self.handler.plan().active() {
+                    let new_epoch =
+                        self.handler.install_plan_reason(&update.active, PlanReason::Reconfig);
+                    self.reconfig.acknowledge_epoch(new_epoch);
+                    reconfigured = true;
+                }
+                let obs = self.handler.obs();
+                obs.registry()
+                    .counter(
+                        "model_switch_total",
+                        &[("from", from.label()), ("to", choice.label())],
+                    )
+                    .inc();
+                obs.record(TraceEvent::ModelSwitch { from: from.tag(), to: choice.tag() });
+                model_switched = true;
+            }
+        }
+        if !model_switched {
+            if let Some(update) = self.reconfig.maybe_reconfigure()? {
+                if update.active != self.handler.plan().active() {
+                    let new_epoch =
+                        self.handler.install_plan_reason(&update.active, PlanReason::Reconfig);
+                    self.reconfig.acknowledge_epoch(new_epoch);
+                    reconfigured = true;
+                }
             }
         }
         Ok(SessionOutcome {
@@ -203,6 +268,9 @@ impl SessionState {
             epoch,
             ret: demod.ret,
             reconfigured,
+            model_switched,
+            mod_work: run.mod_work,
+            demod_work: demod.demod_work,
         })
     }
 }
@@ -220,6 +288,8 @@ struct ManagerMetrics {
     cache_hits: Gauge,
     cache_misses: Gauge,
     cache_evictions: Gauge,
+    cache_second_entry_hits: Gauge,
+    cache_second_entry_misses: Gauge,
 }
 
 /// A deferred [`SessionOutcome`]: returned by
@@ -281,6 +351,8 @@ impl SessionManager {
             cache_hits: registry.gauge("analysis_cache_hits", &[]),
             cache_misses: registry.gauge("analysis_cache_misses", &[]),
             cache_evictions: registry.gauge("analysis_cache_evictions", &[]),
+            cache_second_entry_hits: registry.gauge("analysis_cache_second_entry_hits", &[]),
+            cache_second_entry_misses: registry.gauge("analysis_cache_second_entry_misses", &[]),
         };
         let processed = Arc::new(AtomicU64::new(0));
         let workers = (0..config.workers.max(1))
@@ -356,6 +428,19 @@ impl SessionManager {
         let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, self.config.trigger)
             .with_obs(Arc::clone(handler.obs()))
             .with_plan_watch(handler.plan().clone());
+        let auto = self.config.auto_model.map(|selector_config| {
+            // The deployment model seeds the selector's notion of "live":
+            // the first committed switch is measured against it.
+            let initial = match kind {
+                RuntimeCostKind::DataSize => ModelChoice::DataSize,
+                RuntimeCostKind::ExecTime => ModelChoice::ExecTime,
+            };
+            AutoModel {
+                selector: ModelSelector::new(initial, selector_config),
+                cache: Arc::clone(&self.cache),
+                limits: self.config.limits,
+            }
+        });
         let mut receiver_ctx = ExecCtx::with_builtins(&program, receiver_builtins);
         receiver_ctx.trace_digests = false;
         let state = SessionState {
@@ -366,6 +451,7 @@ impl SessionManager {
             receiver_ctx,
             seq: 0,
             handler: Arc::clone(&handler),
+            auto,
         };
 
         let id = self.sessions.len();
@@ -457,6 +543,8 @@ impl SessionManager {
         self.metrics.cache_hits.set(self.cache.hits() as f64);
         self.metrics.cache_misses.set(self.cache.misses() as f64);
         self.metrics.cache_evictions.set(self.cache.evictions() as f64);
+        self.metrics.cache_second_entry_hits.set(self.cache.second_entry_hits() as f64);
+        self.metrics.cache_second_entry_misses.set(self.cache.second_entry_misses() as f64);
     }
 
     /// Stops every worker, drains their queues, and returns the total
@@ -616,6 +704,61 @@ mod tests {
         let idle = mgr.handler(adapting[1]).unwrap();
         assert!(busy.plan().epoch() > 1, "busy session reconfigured");
         assert_eq!(idle.plan().epoch(), 1, "idle session untouched");
+    }
+
+    #[test]
+    fn auto_model_session_switches_and_reprices_through_the_cache() {
+        use crate::reconfig::ModelSelectorConfig;
+        let program = Arc::new(parse_program(SRC).unwrap());
+        // Tiny work-per-byte: the handler's profiled work dwarfs the
+        // normalized wire signal, so the selector should leave the
+        // deployment-time data-size model for exec-time.
+        let selector = ModelSelectorConfig::default()
+            .with_work_per_byte(0.001)
+            .with_min_messages(4)
+            .with_dwell(2);
+        let mut mgr = SessionManager::new(
+            SessionConfig::default()
+                .with_workers(1)
+                .with_trigger(TriggerPolicy::Never)
+                .with_auto_model(selector),
+        );
+        let id = mgr
+            .open_session(
+                Arc::clone(&program),
+                "ingest",
+                Arc::new(DataSizeModel::new()),
+                BuiltinRegistry::new(),
+                receiver_builtins(),
+            )
+            .unwrap();
+        let mut switched_at = None;
+        for i in 0..12u64 {
+            let out = mgr.deliver(id, job_event(Arc::clone(&program), 16)).unwrap();
+            if out.model_switched && switched_at.is_none() {
+                switched_at = Some(i);
+            }
+            assert!(out.mod_work + out.demod_work > 0, "work profile populated");
+        }
+        assert!(switched_at.is_some(), "compute-bound workload switches the model");
+        let handler = mgr.handler(id).unwrap();
+        assert_eq!(handler.model().name(), "exec-time");
+        // The switch is visible as a labeled counter on the session hub...
+        let snap = handler.obs().registry().snapshot();
+        assert_eq!(snap.counter_sum("model_switch_total"), 1);
+        assert!(snap
+            .get("model_switch_total", &[("from", "data-size"), ("to", "exec-time")])
+            .is_some());
+        // ...and as exactly one second cache entry: the re-pricing missed
+        // once and never re-ran the analysis pipeline.
+        assert_eq!(mgr.cache().second_entry_misses(), 1);
+        // Both entries share one from-scratch analysis: the overall miss
+        // count is the initial analyze plus the (cheap) re-pricing miss.
+        assert_eq!(mgr.cache().misses(), 2);
+        mgr.refresh_cache_metrics();
+        let msnap = mgr.obs().registry().snapshot();
+        assert!(msnap.get("analysis_cache_second_entry_misses", &[]).is_some());
+        mgr.shutdown();
     }
 
     #[test]

@@ -120,6 +120,20 @@ impl CostModel for CompositeModel {
         &self.name
     }
 
+    fn cache_key(&self) -> String {
+        // The display name rounds weights to two decimals, so composites
+        // tuned apart by less than 0.01 — exactly what runtime retuning
+        // produces — would alias. Fold the exact bit patterns and the
+        // components' own keys instead.
+        format!(
+            "composite({}*{:016x}+{}*{:016x})",
+            self.first.cache_key(),
+            self.first_weight.to_bits(),
+            self.second.cache_key(),
+            self.second_weight.to_bits()
+        )
+    }
+
     fn kind(&self) -> RuntimeCostKind {
         if self.first_weight >= self.second_weight {
             self.first.kind()
@@ -194,6 +208,25 @@ mod tests {
         let m = CompositeModel::new(Arc::clone(&ds), 0.5, Arc::new(DataSizeModel::new()), 0.5);
         let blended = m.measure_payload(&heap, &program.classes, &[Value::Ref(arr)]);
         assert_eq!(blended, base, "0.5+0.5 of the same model is the model");
+    }
+
+    #[test]
+    fn cache_key_distinguishes_weights_the_name_rounds_away() {
+        let make = |w1: f64, w2: f64| {
+            CompositeModel::new(
+                Arc::new(DataSizeModel::new()),
+                w1,
+                Arc::new(ExecTimeModel::new()),
+                w2,
+            )
+        };
+        // Closer than the name's two-decimal rounding can tell apart.
+        let a = make(0.500, 0.500);
+        let b = make(0.501, 0.499);
+        assert_eq!(a.name(), b.name(), "display names collide by design");
+        assert_ne!(a.cache_key(), b.cache_key(), "cache keys must not");
+        // Identical parameters agree.
+        assert_eq!(a.cache_key(), make(0.500, 0.500).cache_key());
     }
 
     #[test]

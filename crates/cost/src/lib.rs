@@ -61,6 +61,18 @@ pub trait CostModel: EdgeCostEstimator + Send + Sync {
     /// Human-readable model name (e.g. `"data-size"`).
     fn name(&self) -> &str;
 
+    /// A fingerprint of the model's *pricing behavior*, used to key
+    /// analysis caches: two models whose `cache_key` matches must assign
+    /// identical static costs to every edge. Parameterless models can use
+    /// the default ([`name`](CostModel::name)); parameterized models
+    /// (composite weights, energy ratios, α/β link constants) must fold
+    /// every parameter that influences [`EdgeCostEstimator::edge_cost`]
+    /// into the key — the bare name would alias differently-tuned
+    /// instances onto one cache entry and serve stale prices.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
+
     /// How profiled statistics translate into reconfiguration weights.
     fn kind(&self) -> RuntimeCostKind;
 
@@ -92,5 +104,11 @@ mod tests {
         let et = ExecTimeModel::new();
         assert_eq!(et.name(), "exec-time");
         assert_eq!(et.kind(), RuntimeCostKind::ExecTime);
+    }
+
+    #[test]
+    fn parameterless_models_key_on_their_name() {
+        assert_eq!(DataSizeModel::new().cache_key(), "data-size");
+        assert_eq!(ExecTimeModel::new().cache_key(), "exec-time");
     }
 }

@@ -99,6 +99,16 @@ impl CostModel for PowerModel {
         "power"
     }
 
+    fn cache_key(&self) -> String {
+        // Both ratios shape `edge_cost`, so they must distinguish cache
+        // entries even though the display name is fixed.
+        format!(
+            "power({:016x},{:016x})",
+            self.cpu_nj_per_work.to_bits(),
+            self.radio_nj_per_byte.to_bits()
+        )
+    }
+
     fn kind(&self) -> RuntimeCostKind {
         // Runtime weights combine profiled sizes like the data-size model;
         // the radio factor dominates, so reusing the size statistics is
@@ -151,6 +161,14 @@ mod tests {
     fn energy_combines_cpu_and_radio() {
         let m = PowerModel::with_ratios(2.0, 10.0);
         assert_eq!(m.energy(100, 50), 200.0 + 500.0);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_energy_ratios() {
+        let a = PowerModel::with_ratios(1.0, 20.0);
+        let b = PowerModel::with_ratios(1.0, 30.0);
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.cache_key(), b.cache_key());
     }
 
     #[test]

@@ -118,6 +118,16 @@ pub enum Frame {
         /// `(event, t_mod_nanos)` pairs in send order.
         events: Vec<(ModulatedEvent, u64)>,
     },
+    /// Acknowledgement piggy-backed on [`Frame::Batch`] member boundaries,
+    /// receiver → sender: one watermark per demodulated batch member,
+    /// coalesced into a single frame instead of one [`Frame::Ack`] per
+    /// member. The sender folds the watermarks with `max`, so the effect
+    /// on the retransmission window is identical to the per-member acks
+    /// it replaces — the wire just carries one header and checksum.
+    BatchAck {
+        /// Highest-contiguous-`seq` watermarks, in demodulation order.
+        watermarks: Vec<u64>,
+    },
 }
 
 const FRAME_EVENT: u8 = 0;
@@ -126,6 +136,7 @@ const FRAME_SHUTDOWN: u8 = 2;
 const FRAME_HEARTBEAT: u8 = 3;
 const FRAME_ACK: u8 = 4;
 const FRAME_BATCH: u8 = 5;
+const FRAME_BATCH_ACK: u8 = 6;
 
 /// Minimum encoded size of one event body (all fixed-width fields, empty
 /// payload, zero samples); used to reject crafted batch counts before
@@ -166,6 +177,13 @@ impl Frame {
             Frame::Ack { ack } => {
                 body.put_u64(*ack);
                 FRAME_ACK
+            }
+            Frame::BatchAck { watermarks } => {
+                body.put_u32(watermarks.len() as u32);
+                for &w in watermarks {
+                    body.put_u64(w);
+                }
+                FRAME_BATCH_ACK
             }
             Frame::Shutdown => FRAME_SHUTDOWN,
         };
@@ -237,6 +255,15 @@ impl Frame {
             FRAME_ACK => {
                 need(&buf, 8)?;
                 Ok(Frame::Ack { ack: buf.get_u64() })
+            }
+            FRAME_BATCH_ACK => {
+                need(&buf, 4)?;
+                let n = buf.get_u32() as usize;
+                if n.checked_mul(8).is_none_or(|b| b > buf.remaining()) {
+                    return Err(short());
+                }
+                let watermarks = (0..n).map(|_| buf.get_u64()).collect();
+                Ok(Frame::BatchAck { watermarks })
             }
             FRAME_SHUTDOWN => Ok(Frame::Shutdown),
             other => Err(IrError::Marshal(format!("unknown frame type {other}"))),
@@ -490,6 +517,40 @@ mod tests {
         // singleton frames.
         let singleton = Frame::Event { event: sample_event(), t_mod_nanos: 7 }.encode().len();
         assert!(bytes.len() < 4 * singleton);
+    }
+
+    #[test]
+    fn batch_ack_round_trips_and_is_cheaper_than_member_acks() {
+        let frame = Frame::BatchAck { watermarks: vec![100, 101, 103] };
+        let bytes = frame.encode();
+        match Frame::decode_bytes(&bytes).unwrap().0 {
+            Frame::BatchAck { watermarks } => {
+                assert_eq!(watermarks, vec![100, 101, 103], "demod order preserved");
+            }
+            other => panic!("expected batch ack, got {other:?}"),
+        }
+        // One header + checksum for three watermarks: cheaper than three
+        // standalone acks.
+        let singleton = Frame::Ack { ack: 100 }.encode().len();
+        assert!(bytes.len() < 3 * singleton);
+        // Degenerate empty ack still round-trips.
+        let empty = Frame::BatchAck { watermarks: vec![] }.encode();
+        match Frame::decode_bytes(&empty).unwrap().0 {
+            Frame::BatchAck { watermarks } => assert!(watermarks.is_empty()),
+            other => panic!("expected batch ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_ack_count_is_validated_before_allocation() {
+        // A batch ack claiming u32::MAX watermarks with an empty body must
+        // be rejected without allocating.
+        let mut body = Vec::new();
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Frame::decode(6, &body).is_err());
+        // Truncating a valid batch ack mid-watermark fails cleanly too.
+        let clean = Frame::BatchAck { watermarks: vec![1, 2, 3] }.encode();
+        assert!(Frame::decode(clean[0], &clean[FRAME_HEADER_BYTES..clean.len() - 4]).is_err());
     }
 
     #[test]

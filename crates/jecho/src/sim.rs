@@ -200,6 +200,7 @@ struct WireMetrics {
     plan_updates_dropped: Counter,
     batches: Counter,
     batched_events: Counter,
+    batch_member_acks: Counter,
 }
 
 impl WireMetrics {
@@ -212,6 +213,7 @@ impl WireMetrics {
             plan_updates_dropped: registry.counter("plan_updates_dropped_total", &[]),
             batches: registry.counter("envelope_batches_total", &[]),
             batched_events: registry.counter("batched_events_total", &[]),
+            batch_member_acks: registry.counter("batch_member_acks_total", &[]),
         }
     }
 }
@@ -273,6 +275,7 @@ pub struct SimSession {
     duplicates_suppressed: u64,
     envelope_batches: u64,
     batched_events: u64,
+    batch_member_acks: u64,
     batch_max: usize,
     batch_deadline: SimTime,
     /// Virtual time at which the oldest pending envelope entered the
@@ -385,6 +388,7 @@ impl SimSession {
             duplicates_suppressed: 0,
             envelope_batches: 0,
             batched_events: 0,
+            batch_member_acks: 0,
             batch_max: config.batch_max.max(1),
             batch_deadline: config.batch_deadline,
             batch_pending_since: None,
@@ -488,6 +492,12 @@ impl SimSession {
     /// Events that crossed the wire inside multi-event batch frames.
     pub fn batched_events(&self) -> u64 {
         self.batched_events
+    }
+
+    /// Batch members acknowledged at their member boundary — i.e.
+    /// standalone ack frames the batch-ack piggyback saved.
+    pub fn batch_member_acks(&self) -> u64 {
+        self.batch_member_acks
     }
 
     /// Frames still awaiting acknowledgement.
@@ -773,6 +783,7 @@ impl SimSession {
                     continue;
                 }
             };
+            let batched = matches!(frame, Frame::Batch { .. });
             let arrivals: Vec<(ModulatedEvent, u64)> = match frame {
                 Frame::Event { event, t_mod_nanos } => vec![(event, t_mod_nanos)],
                 Frame::Batch { events } => events,
@@ -787,7 +798,15 @@ impl SimSession {
             for (event, _) in arrivals {
                 // Acknowledge (trim the window) before the duplicate check so
                 // a duplicated frame's second copy still clears nothing.
+                // Batch members are acknowledged at their member boundary —
+                // one watermark each, piggy-backed on the frame (the TCP
+                // transport's `Frame::BatchAck`); the counter tracks how
+                // many standalone ack frames the piggyback saved.
                 self.unacked.retain(|(s, _)| *s != event.seq);
+                if batched {
+                    self.batch_member_acks += 1;
+                    self.wire_metrics.batch_member_acks.inc();
+                }
                 if !self.applied.insert(event.seq) {
                     self.duplicates_suppressed += 1;
                     self.wire_metrics.duplicates_suppressed.inc();
@@ -1112,6 +1131,9 @@ mod tests {
         assert_eq!(session.unacked(), 0);
         assert_eq!(session.envelope_batches(), 2);
         assert_eq!(session.batched_events(), 8);
+        // Every batch member was acked at its member boundary, not with
+        // a standalone frame per event.
+        assert_eq!(session.batch_member_acks(), 8);
         // Envelopes demodulated in frame order, every one exactly once.
         let seqs: Vec<u64> = session.reports().iter().map(|r| r.seq).collect();
         assert_eq!(seqs, (1..=8).collect::<Vec<_>>());
@@ -1119,6 +1141,7 @@ mod tests {
         let snap = session.obs().registry().snapshot();
         assert_eq!(snap.counter_sum("envelope_batches_total"), 2);
         assert_eq!(snap.counter_sum("batched_events_total"), 8);
+        assert_eq!(snap.counter_sum("batch_member_acks_total"), 8);
     }
 
     #[test]

@@ -149,10 +149,13 @@ impl TcpReceiver {
                         // the next one; the supervisor retransmits.
                         Err(_) => continue 'accepting,
                     };
+                    let batched = matches!(frame, Frame::Batch { .. });
                     let arrivals: Vec<(ModulatedEvent, u64)> = match frame {
                         Frame::Shutdown => break 'accepting,
                         // Plans and acks flow receiver → sender only.
-                        Frame::Plan(_) | Frame::Ack { .. } => continue 'accepting,
+                        Frame::Plan(_) | Frame::Ack { .. } | Frame::BatchAck { .. } => {
+                            continue 'accepting
+                        }
                         Frame::Heartbeat { .. } => {
                             if (Frame::Ack { ack: last_applied }).write_to(&mut write_half).is_err()
                             {
@@ -172,7 +175,13 @@ impl TcpReceiver {
                     };
                     // A batch demodulates event-by-event in frame order, so
                     // per-session ordering, dedup, and poison-skip behave
-                    // exactly as for singleton frames.
+                    // exactly as for singleton frames. Its acks, however,
+                    // are piggy-backed on the member boundaries: one
+                    // watermark per member, coalesced into a single
+                    // BatchAck frame after the loop, instead of one Ack
+                    // frame per member. Singleton Event frames keep their
+                    // immediate Ack, so the K=1 wire is byte-identical.
+                    let mut watermarks: Vec<u64> = Vec::new();
                     for (event, t_mod_nanos) in arrivals {
                         if let Some(limit) = fault_budget {
                             if on_this_conn >= limit {
@@ -185,8 +194,12 @@ impl TcpReceiver {
                         if event.seq <= last_applied {
                             // Retransmission overlap: acknowledge but
                             // never re-apply.
-                            let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
-                            let _ = write_half.flush();
+                            if batched {
+                                watermarks.push(last_applied);
+                            } else {
+                                let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
+                                let _ = write_half.flush();
+                            }
                             continue;
                         }
                         let started = Instant::now();
@@ -200,8 +213,13 @@ impl TcpReceiver {
                                 error_counter.fetch_add(1, Ordering::Relaxed);
                                 error_metric.inc();
                                 last_applied = event.seq;
-                                let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
-                                let _ = write_half.flush();
+                                if batched {
+                                    watermarks.push(last_applied);
+                                } else {
+                                    let _ =
+                                        Frame::Ack { ack: last_applied }.write_to(&mut write_half);
+                                    let _ = write_half.flush();
+                                }
                                 continue;
                             }
                         };
@@ -249,6 +267,15 @@ impl TcpReceiver {
                             }
                             let _ = write_half.flush();
                             reconfigured = true;
+                            if batched {
+                                // The plan frame already carried the
+                                // watermark; keep the per-member invariant
+                                // anyway (the sender folds with max, so a
+                                // duplicate watermark is free).
+                                watermarks.push(last_applied);
+                            }
+                        } else if batched {
+                            watermarks.push(last_applied);
                         } else {
                             let _ = Frame::Ack { ack: last_applied }.write_to(&mut write_half);
                             let _ = write_half.flush();
@@ -263,6 +290,12 @@ impl TcpReceiver {
                             wire_bytes: event.wire_size(),
                             reconfigured,
                         });
+                    }
+                    if !watermarks.is_empty() {
+                        if (Frame::BatchAck { watermarks }).write_to(&mut write_half).is_err() {
+                            continue 'accepting;
+                        }
+                        let _ = write_half.flush();
                     }
                 }
             }
@@ -403,6 +436,11 @@ impl TcpSender {
                     }
                     Frame::Ack { ack } => {
                         ack_watermark.fetch_max(ack, Ordering::AcqRel);
+                    }
+                    Frame::BatchAck { watermarks } => {
+                        for ack in watermarks {
+                            ack_watermark.fetch_max(ack, Ordering::AcqRel);
+                        }
                     }
                     Frame::Shutdown => break,
                     // Events and heartbeats flow sender → receiver only.

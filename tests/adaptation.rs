@@ -164,3 +164,239 @@ fn never_trigger_freezes_the_plan() {
     assert_eq!(session.plan_installs(), 0);
     let _ = TriggerPolicy::Never; // referenced for documentation purposes
 }
+
+// ---------------------------------------------------------------------------
+// Cost-model auto-selection: cache-safe re-pricing and convergence.
+// ---------------------------------------------------------------------------
+
+/// A staged handler for the model-switch tests: `decode` inflates the
+/// frame 4× (the intermediate is the biggest thing in flight), two
+/// `grind` stages burn `32 × rounds` work units each, and the `display`
+/// native pins the tail to the receiver. Splittable before, between, and
+/// after the pure stages.
+const SHIFT_SRC: &str = r#"
+    class Frame { n: int, rounds: int, buff: ref }
+
+    fn show(event) {
+        ok = event instanceof Frame
+        if ok == 0 goto skip
+        f = (Frame) event
+        m = f.n
+        r = f.rounds
+        big = call decode(f, m)
+        d1 = call grind1(big, r)
+        d2 = call grind2(d1, r)
+        native display(big)
+        return d2
+    skip:
+        return 0
+    }
+"#;
+
+fn shift_arg_int(args: &[method_partitioning::ir::Value], idx: usize) -> i64 {
+    match args.get(idx) {
+        Some(method_partitioning::ir::Value::Int(v)) => *v,
+        _ => 0,
+    }
+}
+
+fn shift_builtins() -> method_partitioning::ir::interp::BuiltinRegistry {
+    use method_partitioning::ir::types::ElemType;
+    use method_partitioning::ir::Value;
+    let mut b = method_partitioning::ir::interp::BuiltinRegistry::new();
+    b.register_pure(
+        "decode",
+        |_, args| 16 + shift_arg_int(args, 1).max(0) as u64 / 64,
+        |heap, args| {
+            let inflated = (shift_arg_int(args, 1).max(0) as usize) * 4;
+            Ok(Value::Ref(heap.alloc_array(ElemType::Byte, inflated)))
+        },
+    );
+    for stage in ["grind1", "grind2"] {
+        b.register_pure(
+            stage,
+            |_, args| 32 * shift_arg_int(args, 1).max(0) as u64,
+            |_, args| Ok(Value::Int(shift_arg_int(args, 1))),
+        );
+    }
+    b.register_native("display", 4, |_, _| Ok(Value::Null));
+    b
+}
+
+/// One of the model operating points the selector can instantiate.
+fn shift_model(idx: usize, weight: f64) -> Arc<dyn method_partitioning::cost::CostModel> {
+    use method_partitioning::cost::{CompositeModel, ExecTimeModel};
+    match idx {
+        0 => Arc::new(DataSizeModel::new()),
+        1 => Arc::new(ExecTimeModel::new()),
+        _ => Arc::new(CompositeModel::new(
+            Arc::new(DataSizeModel::new()),
+            weight,
+            Arc::new(ExecTimeModel::new()),
+            1.0 - weight,
+        )),
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+    /// For any (base, new) model pair, the cached re-pricing path must
+    /// keep the base PSE set (same edges, same INTER sets, same order —
+    /// plan flags and profiling indices stay valid) while assigning each
+    /// PSE exactly the price a fresh `analyze` under the new model gives
+    /// that edge. The second probe must be answered from the cache.
+    #[test]
+    fn repriced_cache_entries_match_fresh_analysis(
+        base_idx in 0usize..3,
+        new_idx in 0usize..3,
+        base_weight in 0.05f64..0.95,
+        new_weight in 0.05f64..0.95,
+    ) {
+        use method_partitioning::analysis::{analyze, AnalysisCache};
+        use method_partitioning::ir::parse::parse_program;
+        use proptest::prelude::*;
+
+        let base_model = shift_model(base_idx, base_weight);
+        let new_model = shift_model(new_idx, new_weight);
+        prop_assume!(base_model.cache_key() != new_model.cache_key());
+
+        let program = parse_program(SHIFT_SRC).unwrap();
+        let limits = Default::default();
+
+        // Mirror the live flow: the deployment-time analysis enters the
+        // cache first, then the switch re-prices it as a second entry.
+        let cache = AnalysisCache::new(8);
+        let base = cache
+            .get_or_analyze(&program, "show", &base_model.cache_key(), base_model.as_ref(), limits)
+            .unwrap();
+        let pair_key = format!("{}>{}", base_model.cache_key(), new_model.cache_key());
+        let cached = cache
+            .get_or_reprice(&program, "show", &pair_key, &base, new_model.as_ref(), limits)
+            .unwrap();
+
+        // Re-pricing preserved the PSE set wholesale.
+        prop_assert_eq!(cached.pses().len(), base.pses().len());
+        for (b, c) in base.pses().iter().zip(cached.pses().iter()) {
+            prop_assert_eq!(b.edge, c.edge);
+            prop_assert_eq!(&b.inter, &c.inter);
+        }
+
+        // Where the fresh analysis keeps the same candidate edge, the
+        // cached price equals the fresh price (the fresh PSE set may
+        // differ: dominance pruning is estimator-dependent).
+        let fresh = analyze(&program, "show", new_model.as_ref(), limits).unwrap();
+        for c in cached.pses() {
+            if let Some(f) = fresh.pses().iter().find(|f| f.edge == c.edge) {
+                prop_assert_eq!(
+                    &c.static_cost, &f.static_cost,
+                    "edge {:?} under {}", c.edge, new_model.cache_key()
+                );
+            }
+        }
+
+        // Steady state: the same switch is one cache probe, nothing more.
+        let again = cache
+            .get_or_reprice(&program, "show", &pair_key, &base, new_model.as_ref(), limits)
+            .unwrap();
+        prop_assert!(Arc::ptr_eq(&cached, &again));
+        prop_assert_eq!(cache.second_entry_misses(), 1);
+        prop_assert_eq!(cache.second_entry_hits(), 1);
+    }
+}
+
+/// End-to-end convergence: a session deployed with the data-size model
+/// must hold it through a comms-bound phase, switch to exec-time within
+/// the hysteresis budget once the workload turns compute-bound, and pay
+/// the re-pricing miss exactly once — the same transition later is a
+/// second-entry *hit*, and no switch ever re-runs the analysis pipeline.
+#[test]
+fn shifting_workload_converges_within_the_hysteresis_budget() {
+    use method_partitioning::core::reconfig::ModelSelectorConfig;
+    use method_partitioning::core::session::{SessionConfig, SessionManager};
+    use method_partitioning::ir::parse::parse_program;
+    use method_partitioning::ir::types::ElemType;
+    use method_partitioning::ir::{Program, Value};
+
+    let program = Arc::new(parse_program(SHIFT_SRC).unwrap());
+    // A narrow middle band (hysteresis 1.5) plus dwell 3: the EWMAs cross
+    // the composite region in fewer evaluations than the dwell during a
+    // phase flip, so the transitions here commit straight to a pure model.
+    let selector = ModelSelectorConfig::default()
+        .with_work_per_byte(0.05)
+        .with_min_messages(4)
+        .with_hysteresis(1.5)
+        .with_dwell(3);
+    let mut mgr = SessionManager::new(
+        SessionConfig::default()
+            .with_workers(1)
+            .with_trigger(TriggerPolicy::Rate(4))
+            .with_auto_model(selector),
+    );
+    let id = mgr
+        .open_session(
+            Arc::clone(&program),
+            "show",
+            Arc::new(DataSizeModel::new()),
+            shift_builtins(),
+            shift_builtins(),
+        )
+        .unwrap();
+
+    let frame = |program: &Arc<Program>, bytes: usize, rounds: i64| {
+        let program = Arc::clone(program);
+        move |ctx: &mut method_partitioning::ir::interp::ExecCtx| {
+            let classes = &program.classes;
+            let class = classes.id("Frame").unwrap();
+            let decl = classes.decl(class);
+            let f = ctx.heap.alloc_object(classes, class);
+            let b = ctx.heap.alloc_array(ElemType::Byte, bytes);
+            ctx.heap.set_field(f, decl.field("n").unwrap(), Value::Int(bytes as i64))?;
+            ctx.heap.set_field(f, decl.field("rounds").unwrap(), Value::Int(rounds))?;
+            ctx.heap.set_field(f, decl.field("buff").unwrap(), Value::Ref(b))?;
+            Ok(vec![Value::Ref(f)])
+        }
+    };
+    let run_phase = |bytes: usize, rounds: i64, messages: usize| -> Option<usize> {
+        let mut switched_at = None;
+        for i in 0..messages {
+            let out = mgr.deliver(id, frame(&program, bytes, rounds)).unwrap();
+            if out.model_switched && switched_at.is_none() {
+                switched_at = Some(i);
+            }
+        }
+        switched_at
+    };
+
+    // Phase A: comms-bound. The deployment model already matches — the
+    // selector must not move.
+    assert_eq!(run_phase(12_000, 0, 12), None, "comms-bound phase keeps data-size");
+
+    // Phase B: compute-bound. Budget: the warm selector needs the work
+    // EWMA to cross hysteresis (a handful of messages at alpha 0.5) and
+    // the choice to survive `dwell` evaluations.
+    let lag = run_phase(64, 100, 12).expect("compute-bound phase switches the model");
+    assert!(lag <= 8, "switch within the hysteresis budget, not after {lag} messages");
+    assert_eq!(mgr.cache().second_entry_misses(), 1, "first switch re-prices once");
+
+    // Phase C: comms-bound again. Flipping back to the deployment model
+    // reuses the handler's own analysis — no cache traffic at all.
+    assert!(run_phase(12_000, 0, 40).is_some(), "workload flip switches back");
+    assert_eq!(mgr.cache().second_entry_misses(), 1);
+    assert_eq!(mgr.cache().second_entry_hits(), 0, "flip-back needs no cache probe");
+
+    // Phase D: compute-bound again. The repeated transition is answered
+    // from the cache: a second-entry hit, still only one re-pricing ever.
+    assert!(run_phase(64, 100, 40).is_some(), "second compute phase switches again");
+    assert_eq!(mgr.cache().second_entry_hits(), 1, "repeat switch hits the second entry");
+    assert_eq!(mgr.cache().second_entry_misses(), 1);
+    // The whole run performed exactly one from-scratch analysis and one
+    // re-pricing: UG/DDG/liveness were never recomputed.
+    assert_eq!(mgr.cache().misses(), 2);
+
+    let handler = mgr.handler(id).unwrap();
+    assert_eq!(handler.model().name(), "exec-time");
+    let switches = handler.obs().registry().snapshot().counter_sum("model_switch_total");
+    assert_eq!(switches, 3, "A->B, C flip-back, D re-switch");
+    mgr.shutdown();
+}

@@ -28,6 +28,7 @@ const MESSAGES: u64 = 30;
 /// This list is **append-only**: add new instruments at will, but never
 /// rename or remove an entry without a deliberate, documented break.
 const GOLDEN: &[&str] = &[
+    "batch_member_acks_total",
     "batched_events_total",
     "continuations_resumed_total{pse}",
     "continuations_sent_total{pse}",
