@@ -17,6 +17,9 @@
 //! mpart serve <file> <fn> [args..] --sessions N
 //!                                  run N concurrent sessions over a shared
 //!                                  worker pool and analysis cache
+//! mpart deadletter <file> <fn> [args..] --poison SEQ
+//!                                  run a chaos session with a poisoned
+//!                                  envelope and dump the quarantine ring
 //! mpart help | --help | -h         print the usage banner
 //! ```
 //!
@@ -87,7 +90,8 @@ pub const USAGE: &str = "usage:
   mpart split <file> <fn> --pse <N> [args..]
   mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]
-  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--model ...] [--auto-model]
+  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--queue <N>] [--journal <path>] [--model ...] [--auto-model]
+  mpart deadletter <file> <fn> [args..] [--messages <N>] [--seed <N>] [--poison <SEQ>] [--json]
   mpart help";
 
 /// Entry point: executes `args` (without the program name) and returns
@@ -151,6 +155,12 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
             let func = next(&mut it, "function")?;
             let rest: Vec<String> = it.cloned().collect();
             cmd_serve(&file, &func, &rest)
+        }
+        "deadletter" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_deadletter(&file, &func, &rest)
         }
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
@@ -387,9 +397,31 @@ fn opt_u64(rest: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
     }
 }
 
+/// Parses `--<flag> <value>` from `rest`; `None` when the flag is absent.
+fn opt_str(rest: &[String], flag: &str) -> Result<Option<String>, CliError> {
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => rest
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| CliError::Usage(format!("`{flag}` requires a value"))),
+    }
+}
+
 /// The positional event arguments left after stripping the session flags.
 fn event_args(rest: &[String]) -> Vec<Value> {
-    const WITH_VALUE: &[&str] = &["--model", "--messages", "--seed", "--sessions", "--workers"];
+    const WITH_VALUE: &[&str] = &[
+        "--model",
+        "--messages",
+        "--seed",
+        "--sessions",
+        "--workers",
+        "--queue",
+        "--journal",
+        "--poison",
+    ];
     const BARE: &[&str] = &["--session", "--json", "--auto-model"];
     let mut args = Vec::new();
     let mut skip = false;
@@ -421,12 +453,19 @@ fn run_chaos_session(file: &str, func: &str, rest: &[String]) -> Result<SimSessi
     // Mirrors the chaos suite's storm: every fault class plus an outage
     // window sized to trip the failure budget and recover before the end.
     let outage_start = messages * 2 / 3;
-    let storm = FaultPlan::new(seed)
+    let mut storm = FaultPlan::new(seed)
         .with_drop(0.12)
         .with_duplicate(0.10)
         .with_reorder(0.10)
         .with_corrupt(0.15)
         .with_partition(outage_start..outage_start + 16);
+    // `--poison <SEQ>` marks one envelope as deterministically panicking
+    // on every demodulation attempt; it can only leave the retransmission
+    // window through quarantine (see `mpart deadletter`).
+    let poison = opt_u64(rest, "--poison", 0)?;
+    if poison > 0 {
+        storm = storm.with_poison(poison);
+    }
     let link = Link::new("lan", SimTime::from_millis(1), 1_000_000.0).with_fault_plan(storm);
     let mut session = SimSession::adaptive(
         Arc::clone(&program),
@@ -488,7 +527,20 @@ fn cmd_stats(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
 fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
     let program = load(file)?;
     let model = model_from(rest)?;
-    let sessions = opt_u64(rest, "--sessions", 4)?.max(1) as usize;
+    // Invalid configurations are rejected up front with a one-line usage
+    // error instead of being silently clamped or panicking deep in the
+    // worker pool.
+    let sessions = opt_u64(rest, "--sessions", 4)?;
+    if sessions == 0 {
+        return Err(CliError::Usage("`--sessions` must be at least 1".into()));
+    }
+    let sessions = sessions as usize;
+    let queue = opt_u64(rest, "--queue", 0)?;
+    if has_flag(rest, "--queue") && queue == 0 {
+        return Err(CliError::Usage(
+            "`--queue` must be at least 1 (zero-capacity queues shed every delivery)".into(),
+        ));
+    }
     let workers = opt_u64(rest, "--workers", 0)? as usize;
     let messages = opt_u64(rest, "--messages", 8)?.max(1);
     let args = event_args(rest);
@@ -497,6 +549,13 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     let mut config = SessionConfig::default();
     if workers > 0 {
         config = config.with_workers(workers);
+    }
+    if queue > 0 {
+        config = config.with_ingress_capacity(queue as usize);
+    }
+    if let Some(path) = opt_str(rest, "--journal")? {
+        let journal = mpart::journal::SessionJournal::at_path(&path)?;
+        config = config.with_journal(Arc::new(journal));
     }
     if auto {
         config = config.with_auto_model(mpart::reconfig::ModelSelectorConfig::default());
@@ -553,6 +612,74 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
         }
     }
     manager.shutdown();
+    Ok(out)
+}
+
+/// Runs a chaos session with one deterministically poisoned envelope and
+/// dumps the dead-letter ring: the quarantined sequence numbers, their
+/// failure class, and how many retries each burned before the ack
+/// watermark was allowed past them. Defaults `--poison` to the middle of
+/// the message window so the command demonstrates quarantine out of the
+/// box; `--poison <SEQ>` picks the envelope explicitly.
+fn cmd_deadletter(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let mut rest = rest.to_vec();
+    if !has_flag(&rest, "--poison") {
+        let messages = opt_u64(&rest, "--messages", 30)?.max(1);
+        rest.push("--poison".into());
+        rest.push(((messages / 2).max(1)).to_string());
+    }
+    // The poisoned envelope panics by design on every retry; silence the
+    // default hook so the quarantine report is not drowned in backtraces.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let session = run_chaos_session(file, func, &rest);
+    std::panic::set_hook(previous_hook);
+    let session = session?;
+    let letters = session.dead_letters();
+    if has_flag(&rest, "--json") {
+        let entries: Vec<mpart_obs::Json> = letters
+            .iter()
+            .map(|l| {
+                mpart_obs::Json::Obj(vec![
+                    ("seq".into(), mpart_obs::Json::U64(l.seq)),
+                    ("kind".into(), mpart_obs::Json::str(l.kind.label())),
+                    ("failures".into(), mpart_obs::Json::U64(u64::from(l.failures))),
+                    ("error".into(), mpart_obs::Json::str(&l.error)),
+                ])
+            })
+            .collect();
+        let doc = mpart_obs::Json::Obj(vec![
+            ("dead_letters".into(), mpart_obs::Json::Arr(entries)),
+            ("quarantined".into(), mpart_obs::Json::U64(session.quarantined())),
+            ("handler_panics".into(), mpart_obs::Json::U64(session.handler_panics())),
+            ("sheds".into(), mpart_obs::Json::U64(session.sheds())),
+            ("deadline_timeouts".into(), mpart_obs::Json::U64(session.deadline_timeouts())),
+        ]);
+        return Ok(doc.render());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "dead-letter ring of a chaos session over `{func}`:");
+    if letters.is_empty() {
+        let _ = writeln!(out, "  (empty — no envelope exhausted its retry budget)");
+    }
+    for l in &letters {
+        let _ = writeln!(
+            out,
+            "  seq {} [{}] after {} failures: {}",
+            l.seq,
+            l.kind.label(),
+            l.failures,
+            l.error,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {} quarantined, {} handler panics, {} sheds, {} deadline timeouts",
+        session.quarantined(),
+        session.handler_panics(),
+        session.sheds(),
+        session.deadline_timeouts(),
+    );
     Ok(out)
 }
 
@@ -871,6 +998,94 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("model auto-selection:"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_zero_sessions_with_a_usage_error() {
+        let file = demo_file();
+        let err = execute(&args(&["serve", file.as_str(), "handle", "5", "3", "--sessions", "0"]))
+            .unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("--sessions"), "{m}"),
+            other => panic!("expected a usage error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_zero_capacity_queues_with_a_usage_error() {
+        let file = demo_file();
+        let err = execute(&args(&["serve", file.as_str(), "handle", "5", "3", "--queue", "0"]))
+            .unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("--queue"), "{m}"),
+            other => panic!("expected a usage error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn serve_journal_flag_writes_a_recovery_log() {
+        let file = demo_file();
+        let journal = tempfile_path::write("");
+        let out = execute(&args(&[
+            "serve",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--sessions",
+            "2",
+            "--messages",
+            "2",
+            "--journal",
+            journal.as_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 sessions"), "{out}");
+        let log = std::fs::read_to_string(journal.as_str()).unwrap();
+        assert!(log.contains("open"), "journal records session opens:\n{log}");
+    }
+
+    #[test]
+    fn deadletter_quarantines_the_poisoned_envelope() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "deadletter",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--messages",
+            "12",
+            "--poison",
+            "6",
+        ]))
+        .unwrap();
+        assert!(out.contains("seq 6 [panic]"), "{out}");
+        assert!(out.contains("1 quarantined"), "{out}");
+        let json = execute(&args(&[
+            "deadletter",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--messages",
+            "12",
+            "--poison",
+            "6",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"dead_letters\""), "{json}");
+        assert!(json.contains("\"seq\": 6"), "{json}");
+    }
+
+    #[test]
+    fn deadletter_defaults_poison_to_mid_window() {
+        let file = demo_file();
+        let out =
+            execute(&args(&["deadletter", file.as_str(), "handle", "5", "3", "--messages", "10"]))
+                .unwrap();
+        assert!(out.contains("seq 5 [panic]"), "{out}");
     }
 
     #[test]

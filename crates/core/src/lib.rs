@@ -34,6 +34,12 @@
 //!   sharded over a fixed worker pool, sharing static analyses through the
 //!   `mpart-analysis` cache while keeping plans and epochs per-session
 //!   (see `ARCHITECTURE.md` §"Throughput layer").
+//! * [`failure`] — the session failure domain: `catch_unwind` panic
+//!   isolation, per-envelope retry budgets, and the bounded dead-letter
+//!   ring for poison-envelope quarantine.
+//! * [`journal`] — append-only session journal (plan epochs, model, ack
+//!   watermark, profiling flags; no payloads) for crash-safe recovery
+//!   through the analysis cache with zero re-analysis.
 //!
 //! ## End-to-end example
 //!
@@ -77,7 +83,9 @@
 pub mod codegen;
 pub mod continuation;
 pub mod demodulator;
+pub mod failure;
 pub mod health;
+pub mod journal;
 pub mod modulator;
 pub mod obs;
 pub mod partitioned;

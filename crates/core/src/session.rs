@@ -54,10 +54,12 @@
 //! # }
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use mpart_analysis::cache::{AnalysisCache, DEFAULT_CACHE_CAPACITY};
 use mpart_analysis::paths::EnumLimits;
@@ -67,7 +69,11 @@ use mpart_ir::{IrError, Program, Value};
 use mpart_obs::{Counter, Gauge, ObsHub, PlanReason, TraceEvent};
 
 use crate::demodulator::Demodulator;
+use crate::failure::{self, DeadLetter, DeadLetterRing, FailureConfig, FailureKind};
+use crate::health::DegradationController;
+use crate::journal::{JournalRecord, SessionJournal, SessionSnapshot};
 use crate::modulator::Modulator;
+use crate::plan::PartitionPlan;
 use crate::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
 use crate::reconfig::{ModelChoice, ModelSelector, ModelSelectorConfig, ReconfigUnit};
 use crate::{PartitionedHandler, PseId};
@@ -93,6 +99,24 @@ pub struct SessionConfig {
     /// re-prices the PSE set through the shared [`AnalysisCache`] as a
     /// *second* cache entry (no re-analysis) and re-selects the plan.
     pub auto_model: Option<ModelSelectorConfig>,
+    /// Failure-domain tuning: retry budget and dead-letter ring capacity
+    /// (see [`crate::failure`]).
+    pub failure: FailureConfig,
+    /// Capacity of each worker's bounded ingress queue (min 1). A full
+    /// queue *sheds*: [`DeliveryClass::Profiling`] deliveries are dropped
+    /// oldest-first, [`DeliveryClass::Continuation`] deliveries are
+    /// rejected with [`IrError::Overloaded`].
+    pub ingress_capacity: usize,
+    /// Consecutive handler panics before a session falls back to the
+    /// entry cut (min 1).
+    pub degrade_after: u32,
+    /// Consecutive successes before a degraded session re-promotes its
+    /// stashed plan (min 1).
+    pub promote_after: u32,
+    /// When set, session control state — opens, plan/model commits, ack
+    /// watermarks, profiling flags; never payloads — is checkpointed to
+    /// the journal for crash-safe recovery (see [`crate::journal`]).
+    pub journal: Option<Arc<SessionJournal>>,
 }
 
 impl Default for SessionConfig {
@@ -103,6 +127,11 @@ impl Default for SessionConfig {
             trigger: TriggerPolicy::Never,
             limits: EnumLimits::default(),
             auto_model: None,
+            failure: FailureConfig::default(),
+            ingress_capacity: 1024,
+            degrade_after: 3,
+            promote_after: 3,
+            journal: None,
         }
     }
 }
@@ -138,6 +167,44 @@ impl SessionConfig {
         self.auto_model = Some(config);
         self
     }
+
+    /// Sets the failure-domain tuning (retry budget, dead-letter
+    /// capacity).
+    pub fn with_failure(mut self, failure: FailureConfig) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// Sets the per-worker ingress queue capacity (min 1).
+    pub fn with_ingress_capacity(mut self, capacity: usize) -> Self {
+        self.ingress_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the panic-degradation hysteresis thresholds (each min 1).
+    pub fn with_degradation(mut self, degrade_after: u32, promote_after: u32) -> Self {
+        self.degrade_after = degrade_after.max(1);
+        self.promote_after = promote_after.max(1);
+        self
+    }
+
+    /// Attaches a session journal for crash-safe recovery.
+    pub fn with_journal(mut self, journal: Arc<SessionJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+}
+
+/// Shed class of a delivery under backpressure: continuations carry
+/// application state and are *rejected* with an error the caller can
+/// retry; profiling-only traffic is telemetry and is *dropped*
+/// oldest-first (the freshest sample wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryClass {
+    /// An application continuation; rejected when the queue is full.
+    Continuation,
+    /// Profiling-only traffic; sheds oldest-first when the queue is full.
+    Profiling,
 }
 
 /// Outcome of one in-process delivery through a session.
@@ -168,8 +235,87 @@ type EventFn = Box<dyn FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + Sen
 
 enum Job {
     Open(Box<SessionState>),
-    Deliver { slot: usize, make_event: EventFn, reply: Sender<Result<SessionOutcome, IrError>> },
+    Deliver {
+        slot: usize,
+        class: DeliveryClass,
+        make_event: EventFn,
+        reply: Sender<Result<SessionOutcome, IrError>>,
+    },
     Stop,
+}
+
+/// How a delivery entered (or failed to enter) a shard's ingress queue.
+enum Ingress {
+    /// Enqueued without shedding.
+    Enqueued,
+    /// Enqueued after dropping the oldest profiling-class delivery.
+    ShedOldest,
+}
+
+/// A bounded per-worker ingress queue with the shed policy. Control jobs
+/// (open/stop) always enqueue; deliveries respect the capacity.
+struct ShardQueue {
+    capacity: usize,
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> Self {
+        ShardQueue {
+            capacity: capacity.max(1),
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push_control(&self, job: Job) {
+        self.jobs.lock().expect("shard queue poisoned").push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Enqueues a delivery, shedding under backpressure. Returns the job
+    /// back (`Err`) when it must be rejected; a shed *older* delivery has
+    /// its waiter failed with [`IrError::Overloaded`] through its reply
+    /// channel.
+    fn push_deliver(&self, job: Job) -> Result<Ingress, Job> {
+        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        if jobs.len() < self.capacity {
+            jobs.push_back(job);
+            self.ready.notify_one();
+            return Ok(Ingress::Enqueued);
+        }
+        let class = match &job {
+            Job::Deliver { class, .. } => *class,
+            _ => unreachable!("push_deliver only accepts Job::Deliver"),
+        };
+        if class == DeliveryClass::Profiling {
+            let oldest = jobs
+                .iter()
+                .position(|j| matches!(j, Job::Deliver { class: DeliveryClass::Profiling, .. }));
+            if let Some(at) = oldest {
+                if let Some(Job::Deliver { reply, .. }) = jobs.remove(at) {
+                    let _ = reply.send(Err(IrError::Overloaded(
+                        "profiling delivery shed oldest-first under backpressure".into(),
+                    )));
+                }
+                jobs.push_back(job);
+                self.ready.notify_one();
+                return Ok(Ingress::ShedOldest);
+            }
+        }
+        Err(job)
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return job;
+            }
+            jobs = self.ready.wait(jobs).expect("shard queue poisoned");
+        }
+    }
 }
 
 /// One session's runtime state, owned by exactly one worker thread.
@@ -182,6 +328,15 @@ struct SessionState {
     receiver_ctx: ExecCtx,
     seq: u64,
     auto: Option<AutoModel>,
+    /// Entry-cut fallback driven by consecutive handler panics.
+    degradation: DegradationController,
+    /// Quarantined envelopes, shared with the manager for inspection.
+    deadletter: Arc<DeadLetterRing>,
+    /// `(journal, journaled session id)` when checkpointing is on.
+    journal: Option<(Arc<SessionJournal>, u64)>,
+    panics_modulator: Counter,
+    panics_demodulator: Counter,
+    quarantined_total: Counter,
 }
 
 /// Per-session cost-model auto-selection state
@@ -194,18 +349,116 @@ struct AutoModel {
     limits: EnumLimits,
 }
 
+/// Folds the plan's profiling flags into the journal's 64-bit mask
+/// (PSEs past bit 63 are dropped, mirroring the trace-ring encoding).
+fn profiled_mask(plan: &PartitionPlan) -> u64 {
+    (0..plan.len().min(64)).filter(|&p| plan.is_profiled(p)).fold(0, |m, p| m | (1u64 << p))
+}
+
 impl SessionState {
+    /// One delivery under the failure domain: handler invocations run
+    /// isolated ([`failure::isolate`]); a failed envelope dead-letters
+    /// immediately (in-process deliveries are one-shot — there is no
+    /// retransmission buffer to retry from), panics feed the degradation
+    /// hysteresis, and successes checkpoint the ack watermark.
     fn deliver(&mut self, make_event: EventFn) -> Result<SessionOutcome, IrError> {
         self.seq += 1;
+        let seq = self.seq;
+        let result = self.deliver_inner(make_event);
+        match &result {
+            Ok(_) => {
+                if self.degradation.record_success().is_some() {
+                    self.checkpoint_plan();
+                }
+                self.journal_append(JournalRecord::Ack {
+                    session: self.journal.as_ref().map(|(_, id)| *id).unwrap_or(0),
+                    watermark: seq,
+                });
+            }
+            Err(e) => {
+                let kind = match e {
+                    IrError::HandlerPanic(_) => FailureKind::Panic,
+                    IrError::Deadline(_) => FailureKind::Deadline,
+                    _ => FailureKind::Decode,
+                };
+                self.deadletter.push(DeadLetter { seq, kind, failures: 1, error: e.to_string() });
+                self.quarantined_total.inc();
+                self.handler.obs().record(TraceEvent::Quarantined { seq, failures: 1 });
+                if matches!(e, IrError::HandlerPanic(_))
+                    && self.degradation.record_failure().is_some()
+                {
+                    self.checkpoint_plan();
+                }
+            }
+        }
+        result
+    }
+
+    fn journal_append(&self, record: JournalRecord) {
+        if let Some((journal, _)) = &self.journal {
+            // The in-memory copy always lands; a transiently unwritable
+            // disk degrades durability, not correctness.
+            let _ = journal.append(record);
+        }
+    }
+
+    /// Checkpoints the current plan epoch + active set + profiling flags.
+    fn checkpoint_plan(&self) {
+        if let Some((journal, id)) = &self.journal {
+            let plan = self.handler.plan();
+            let _ = journal.append(JournalRecord::PlanCommit {
+                session: *id,
+                epoch: plan.epoch(),
+                active: plan.active(),
+                reason: "commit".into(),
+            });
+            let _ =
+                journal.append(JournalRecord::Flags { session: *id, mask: profiled_mask(plan) });
+        }
+    }
+
+    fn journal_model(&self, label: &str) {
+        if let Some((journal, id)) = &self.journal {
+            let _ = journal
+                .append(JournalRecord::ModelCommit { session: *id, model: label.to_string() });
+        }
+    }
+
+    fn deliver_inner(&mut self, make_event: EventFn) -> Result<SessionOutcome, IrError> {
         let mut sender_ctx =
             ExecCtx::with_builtins(self.handler.program(), self.sender_builtins.clone());
         sender_ctx.trace_digests = false;
         let args = make_event(&mut sender_ctx)?;
-        let run = self.modulator.handle(&mut sender_ctx, args)?;
+        let run = {
+            let modulator = &self.modulator;
+            match failure::isolate(|| modulator.handle(&mut sender_ctx, args)) {
+                Ok(run) => run,
+                Err(e) => {
+                    if matches!(e, IrError::HandlerPanic(_)) {
+                        self.panics_modulator.inc();
+                        self.handler.obs().record(TraceEvent::HandlerPanic { seq: self.seq });
+                    }
+                    return Err(e);
+                }
+            }
+        };
         let wire_bytes = run.message.wire_size();
         let epoch = run.message.epoch;
         let split_pse = run.message.pse;
-        let demod = self.demodulator.handle(&mut self.receiver_ctx, &run.message)?;
+        let demod = {
+            let demodulator = &self.demodulator;
+            let receiver_ctx = &mut self.receiver_ctx;
+            match failure::isolate(|| demodulator.handle(receiver_ctx, &run.message)) {
+                Ok(demod) => demod,
+                Err(e) => {
+                    if matches!(e, IrError::HandlerPanic(_)) {
+                        self.panics_demodulator.inc();
+                        self.handler.obs().record(TraceEvent::HandlerPanic { seq: self.seq });
+                    }
+                    return Err(e);
+                }
+            }
+        };
 
         self.reconfig.record_mod(ModMessageProfile {
             samples: run.samples,
@@ -248,6 +501,10 @@ impl SessionState {
                     )
                     .inc();
                 obs.record(TraceEvent::ModelSwitch { from: from.tag(), to: choice.tag() });
+                self.journal_model(choice.label());
+                if reconfigured {
+                    self.checkpoint_plan();
+                }
                 model_switched = true;
             }
         }
@@ -258,6 +515,7 @@ impl SessionState {
                         self.handler.install_plan_reason(&update.active, PlanReason::Reconfig);
                     self.reconfig.acknowledge_epoch(new_epoch);
                     reconfigured = true;
+                    self.checkpoint_plan();
                 }
             }
         }
@@ -276,7 +534,7 @@ impl SessionState {
 }
 
 struct WorkerHandle {
-    tx: Sender<Job>,
+    queue: Arc<ShardQueue>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -285,6 +543,9 @@ struct ManagerMetrics {
     sessions_open: Gauge,
     messages_total: Counter,
     errors_total: Counter,
+    shed_oldest: Counter,
+    shed_reject: Counter,
+    sessions_recovered: Gauge,
     cache_hits: Gauge,
     cache_misses: Gauge,
     cache_evictions: Gauge,
@@ -309,6 +570,27 @@ impl Pending {
     pub fn wait(self) -> Result<SessionOutcome, IrError> {
         self.rx.recv().map_err(|_| IrError::Continuation("session worker stopped".into()))?
     }
+
+    /// Blocks at most `budget` for the delivery; a stalled worker yields
+    /// [`IrError::Deadline`] instead of hanging the caller. The delivery
+    /// itself is not cancelled — the caller decides whether to back off
+    /// and retry or give up.
+    ///
+    /// # Errors
+    ///
+    /// Handler errors, [`IrError::Deadline`] on timeout, and
+    /// [`IrError::Continuation`] if the worker stopped.
+    pub fn wait_deadline(self, budget: Duration) -> Result<SessionOutcome, IrError> {
+        match self.rx.recv_timeout(budget) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                Err(IrError::Deadline(format!("delivery exceeded its {budget:?} budget")))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(IrError::Continuation("session worker stopped".into()))
+            }
+        }
+    }
 }
 
 /// Shards N concurrent handler sessions across a fixed worker pool. See
@@ -321,12 +603,14 @@ pub struct SessionManager {
     obs: Arc<ObsHub>,
     metrics: ManagerMetrics,
     processed: Arc<AtomicU64>,
+    recovered: u64,
 }
 
 struct SessionEntry {
     worker: usize,
     slot: usize,
     handler: Arc<PartitionedHandler>,
+    deadletter: Arc<DeadLetterRing>,
 }
 
 impl std::fmt::Debug for SessionManager {
@@ -342,12 +626,25 @@ impl std::fmt::Debug for SessionManager {
 impl SessionManager {
     /// Spawns the worker pool (no sessions yet).
     pub fn new(config: SessionConfig) -> Self {
+        let cache = Arc::new(AnalysisCache::new(config.cache_capacity));
+        Self::with_shared_cache(config, cache)
+    }
+
+    /// Spawns the worker pool around an *existing* analysis cache. This
+    /// is the crash-recovery path: a restarted manager reuses the warm
+    /// cache so [`restore_session`](Self::restore_session) re-opens every
+    /// journaled session with zero static re-analysis (every open is a
+    /// cache hit, visible on the cache gauges).
+    pub fn with_shared_cache(config: SessionConfig, cache: Arc<AnalysisCache>) -> Self {
         let obs = Arc::new(ObsHub::new());
         let registry = obs.registry();
         let metrics = ManagerMetrics {
             sessions_open: registry.gauge("sessions_open", &[]),
             messages_total: registry.counter("session_messages_total", &[]),
             errors_total: registry.counter("session_errors_total", &[]),
+            shed_oldest: registry.counter("shed_total", &[("reason", "oldest_drop")]),
+            shed_reject: registry.counter("shed_total", &[("reason", "queue_full")]),
+            sessions_recovered: registry.gauge("sessions_recovered", &[]),
             cache_hits: registry.gauge("analysis_cache_hits", &[]),
             cache_misses: registry.gauge("analysis_cache_misses", &[]),
             cache_evictions: registry.gauge("analysis_cache_evictions", &[]),
@@ -356,29 +653,41 @@ impl SessionManager {
         };
         let processed = Arc::new(AtomicU64::new(0));
         let workers = (0..config.workers.max(1))
-            .map(|_| Self::spawn_worker(metrics.clone(), Arc::clone(&processed)))
+            .map(|_| {
+                Self::spawn_worker(metrics.clone(), Arc::clone(&processed), config.ingress_capacity)
+            })
             .collect();
         SessionManager {
             workers,
             sessions: Vec::new(),
-            cache: Arc::new(AnalysisCache::new(config.cache_capacity)),
+            cache,
             config,
             obs,
             metrics,
             processed,
+            recovered: 0,
         }
     }
 
-    fn spawn_worker(metrics: ManagerMetrics, processed: Arc<AtomicU64>) -> WorkerHandle {
-        let (tx, rx) = channel::<Job>();
+    fn spawn_worker(
+        metrics: ManagerMetrics,
+        processed: Arc<AtomicU64>,
+        ingress_capacity: usize,
+    ) -> WorkerHandle {
+        let queue = Arc::new(ShardQueue::new(ingress_capacity));
+        let worker_queue = Arc::clone(&queue);
         let thread = std::thread::spawn(move || {
             let mut sessions: Vec<SessionState> = Vec::new();
-            while let Ok(job) = rx.recv() {
-                match job {
+            loop {
+                match worker_queue.pop() {
                     Job::Open(state) => sessions.push(*state),
-                    Job::Deliver { slot, make_event, reply } => {
+                    Job::Deliver { slot, class: _, make_event, reply } => {
+                        // Worker-level backstop: `SessionState::deliver`
+                        // already isolates the handler halves, but a
+                        // panic anywhere else in the delivery path must
+                        // fail the envelope, never the worker.
                         let result = match sessions.get_mut(slot) {
-                            Some(state) => state.deliver(make_event),
+                            Some(state) => failure::isolate(|| state.deliver(make_event)),
                             None => Err(IrError::Continuation(format!(
                                 "no session in worker slot {slot}"
                             ))),
@@ -398,7 +707,7 @@ impl SessionManager {
                 }
             }
         });
-        WorkerHandle { tx, thread: Some(thread) }
+        WorkerHandle { queue, thread: Some(thread) }
     }
 
     /// Opens a session for `func_name` under `model`, sharing the static
@@ -417,7 +726,53 @@ impl SessionManager {
         sender_builtins: BuiltinRegistry,
         receiver_builtins: BuiltinRegistry,
     ) -> Result<SessionId, IrError> {
+        self.open_session_inner(program, func_name, model, sender_builtins, receiver_builtins, None)
+    }
+
+    /// Re-opens a session from a journal [`SessionSnapshot`]: the static
+    /// analysis comes from the shared cache (a hit when the manager was
+    /// built with [`with_shared_cache`](Self::with_shared_cache) — zero
+    /// re-analysis), the journaled active set and profiling flags are
+    /// reinstalled, and sequence numbering resumes from the journaled ack
+    /// watermark. The caller supplies the deployment-time program, model,
+    /// and builtins — they are code, not state, and are not journaled.
+    ///
+    /// Plan *epochs* restart monotone in the new process; the restored
+    /// active set and watermark are what in-flight retransmission needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn restore_session(
+        &mut self,
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+        snapshot: &SessionSnapshot,
+    ) -> Result<SessionId, IrError> {
+        self.open_session_inner(
+            program,
+            func_name,
+            model,
+            sender_builtins,
+            receiver_builtins,
+            Some(snapshot),
+        )
+    }
+
+    fn open_session_inner(
+        &mut self,
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+        restore: Option<&SessionSnapshot>,
+    ) -> Result<SessionId, IrError> {
         let kind = model.kind();
+        let model_name = model.name().to_string();
         let handler = PartitionedHandler::analyze_cached_with_limits(
             Arc::clone(&program),
             func_name,
@@ -425,6 +780,14 @@ impl SessionManager {
             &self.cache,
             self.config.limits,
         )?;
+        if let Some(snap) = restore {
+            if snap.active != handler.plan().active() {
+                handler.install_plan_reason(&snap.active, PlanReason::Install);
+            }
+            for pse in 0..handler.plan().len().min(64) {
+                handler.plan().set_profiled(pse, snap.flags & (1u64 << pse) != 0);
+            }
+        }
         let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, self.config.trigger)
             .with_obs(Arc::clone(handler.obs()))
             .with_plan_watch(handler.plan().clone());
@@ -443,25 +806,69 @@ impl SessionManager {
         });
         let mut receiver_ctx = ExecCtx::with_builtins(&program, receiver_builtins);
         receiver_ctx.trace_digests = false;
+
+        let id = self.sessions.len();
+        let registry = handler.obs().registry();
+        let panics_modulator = registry.counter("handler_panics_total", &[("side", "modulator")]);
+        let panics_demodulator =
+            registry.counter("handler_panics_total", &[("side", "demodulator")]);
+        let quarantined_total = registry.counter("quarantined_total", &[]);
+        let deadletter = Arc::new(DeadLetterRing::new(self.config.failure.deadletter_capacity));
+        let degradation = DegradationController::new(
+            Arc::clone(&handler),
+            self.config.degrade_after,
+            self.config.promote_after,
+        );
+        let journal = self.config.journal.as_ref().map(|j| (Arc::clone(j), id as u64));
+        if let Some((journal, jid)) = &journal {
+            let _ = journal.append(JournalRecord::Open {
+                session: *jid,
+                func: func_name.to_string(),
+                model: model_name,
+            });
+            let plan = handler.plan();
+            let _ = journal.append(JournalRecord::PlanCommit {
+                session: *jid,
+                epoch: plan.epoch(),
+                active: plan.active(),
+                reason: "initial".into(),
+            });
+            if let Some(snap) = restore {
+                let _ =
+                    journal.append(JournalRecord::Ack { session: *jid, watermark: snap.watermark });
+                let _ = journal.append(JournalRecord::Flags { session: *jid, mask: snap.flags });
+            }
+        }
+        let seq = restore.map(|s| s.watermark).unwrap_or(0);
+        if let Some(snap) = restore {
+            handler.obs().record(TraceEvent::Recovered {
+                epoch: handler.plan().epoch(),
+                watermark: snap.watermark,
+            });
+            self.recovered += 1;
+            self.metrics.sessions_recovered.set(self.recovered as f64);
+        }
         let state = SessionState {
             modulator: handler.modulator(),
             demodulator: handler.demodulator(),
             reconfig,
             sender_builtins,
             receiver_ctx,
-            seq: 0,
+            seq,
             handler: Arc::clone(&handler),
             auto,
+            degradation,
+            deadletter: Arc::clone(&deadletter),
+            journal,
+            panics_modulator,
+            panics_demodulator,
+            quarantined_total,
         };
 
-        let id = self.sessions.len();
         let worker = id % self.workers.len();
         let slot = self.sessions.iter().filter(|s| s.worker == worker).count();
-        self.workers[worker]
-            .tx
-            .send(Job::Open(Box::new(state)))
-            .map_err(|_| IrError::Continuation("session worker stopped".into()))?;
-        self.sessions.push(SessionEntry { worker, slot, handler });
+        self.workers[worker].queue.push_control(Job::Open(Box::new(state)));
+        self.sessions.push(SessionEntry { worker, slot, handler, deadletter });
         self.metrics.sessions_open.set(self.sessions.len() as f64);
         self.refresh_cache_metrics();
         Ok(id)
@@ -481,15 +888,48 @@ impl SessionManager {
         session: SessionId,
         make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + Send + 'static,
     ) -> Result<Pending, IrError> {
+        self.submit_classed(session, DeliveryClass::Continuation, make_event)
+    }
+
+    /// [`submit`](Self::submit) with an explicit shed class: under
+    /// backpressure (a full ingress queue) a
+    /// [`DeliveryClass::Continuation`] delivery is rejected with
+    /// [`IrError::Overloaded`], while a [`DeliveryClass::Profiling`]
+    /// delivery displaces the oldest queued profiling delivery (whose
+    /// waiter then observes [`IrError::Overloaded`]). Every shed
+    /// increments `shed_total{reason}` on the manager hub.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown session id and
+    /// [`IrError::Overloaded`] when the delivery is rejected.
+    pub fn submit_classed(
+        &self,
+        session: SessionId,
+        class: DeliveryClass,
+        make_event: impl FnOnce(&mut ExecCtx) -> Result<Vec<Value>, IrError> + Send + 'static,
+    ) -> Result<Pending, IrError> {
         let entry = self
             .sessions
             .get(session)
             .ok_or_else(|| IrError::Unresolved(format!("unknown session {session}")))?;
         let (reply, rx) = channel();
-        self.workers[entry.worker]
-            .tx
-            .send(Job::Deliver { slot: entry.slot, make_event: Box::new(make_event), reply })
-            .map_err(|_| IrError::Continuation("session worker stopped".into()))?;
+        let job = Job::Deliver { slot: entry.slot, class, make_event: Box::new(make_event), reply };
+        match self.workers[entry.worker].queue.push_deliver(job) {
+            Ok(Ingress::Enqueued) => {}
+            Ok(Ingress::ShedOldest) => {
+                self.metrics.shed_oldest.inc();
+                self.obs.record(TraceEvent::Shed { count: 1 });
+            }
+            Err(_rejected) => {
+                self.metrics.shed_reject.inc();
+                self.obs.record(TraceEvent::Shed { count: 1 });
+                return Err(IrError::Overloaded(format!(
+                    "session {session}: ingress queue full ({} jobs)",
+                    self.config.ingress_capacity
+                )));
+            }
+        }
         Ok(Pending { rx })
     }
 
@@ -509,6 +949,22 @@ impl SessionManager {
     /// The session's analyzed handler (its plan, metrics hub, history).
     pub fn handler(&self, session: SessionId) -> Option<&Arc<PartitionedHandler>> {
         self.sessions.get(session).map(|s| &s.handler)
+    }
+
+    /// The session's dead-letter ring: quarantined envelopes, oldest
+    /// first (`mpart deadletter` renders this).
+    pub fn dead_letters(&self, session: SessionId) -> Option<Vec<DeadLetter>> {
+        self.sessions.get(session).map(|s| s.deadletter.snapshot())
+    }
+
+    /// Deliveries shed at ingress queues (both policies combined).
+    pub fn sheds(&self) -> u64 {
+        self.metrics.shed_oldest.get() + self.metrics.shed_reject.get()
+    }
+
+    /// Sessions rebuilt from a journal snapshot in this process.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
     }
 
     /// Open sessions.
@@ -556,7 +1012,7 @@ impl SessionManager {
 
     fn stop_workers(&mut self) {
         for worker in &self.workers {
-            let _ = worker.tx.send(Job::Stop);
+            worker.queue.push_control(Job::Stop);
         }
         for worker in &mut self.workers {
             if let Some(thread) = worker.thread.take() {
@@ -759,6 +1215,203 @@ mod tests {
         let msnap = mgr.obs().registry().snapshot();
         assert!(msnap.get("analysis_cache_second_entry_misses", &[]).is_some());
         mgr.shutdown();
+    }
+
+    /// A handler whose receiver-side native panics on a magic value —
+    /// the injected-fault stand-in for a buggy customization.
+    const BOOM_SRC: &str = r#"
+        fn boom(event) {
+            native sink(event)
+            return event
+        }
+    "#;
+
+    fn boom_builtins() -> BuiltinRegistry {
+        let mut b = BuiltinRegistry::new();
+        b.register_native("sink", 1, |_, args| {
+            if args.first() == Some(&Value::Int(13)) {
+                panic!("injected sink panic");
+            }
+            Ok(Value::Null)
+        });
+        b
+    }
+
+    #[test]
+    fn handler_panic_fails_only_the_envelope_and_degrades() {
+        let program = Arc::new(parse_program(BOOM_SRC).unwrap());
+        let mut mgr =
+            SessionManager::new(SessionConfig::default().with_workers(1).with_degradation(2, 2));
+        let id = mgr
+            .open_session(
+                Arc::clone(&program),
+                "boom",
+                Arc::new(DataSizeModel::new()),
+                BuiltinRegistry::new(),
+                boom_builtins(),
+            )
+            .unwrap();
+        for v in 1..=3i64 {
+            assert!(mgr.deliver(id, move |_| Ok(vec![Value::Int(v)])).is_ok());
+        }
+        // Two consecutive panics: each fails only its own envelope and the
+        // second crosses the degradation threshold.
+        for _ in 0..2 {
+            let err = mgr.deliver(id, |_| Ok(vec![Value::Int(13)])).unwrap_err();
+            assert!(matches!(err, IrError::HandlerPanic(_)), "caught, not crashed: {err}");
+        }
+        // The worker survived: the session keeps serving (entry cut).
+        for v in 20..=22i64 {
+            assert!(mgr.deliver(id, move |_| Ok(vec![Value::Int(v)])).is_ok());
+        }
+        let handler = mgr.handler(id).unwrap();
+        let snap = handler.obs().registry().snapshot();
+        assert_eq!(
+            snap.get("handler_panics_total", &[("side", "demodulator")]),
+            Some(&mpart_obs::MetricValue::Counter(2)),
+        );
+        assert_eq!(snap.counter_sum("degradations_total"), 1, "hysteresis degraded once");
+        assert_eq!(snap.counter_sum("promotions_total"), 1, "successes re-promoted");
+        // Both failed envelopes dead-lettered; nothing else did.
+        let letters = mgr.dead_letters(id).unwrap();
+        assert_eq!(letters.len(), 2);
+        assert!(letters.iter().all(|l| l.kind == crate::failure::FailureKind::Panic));
+        assert_eq!(letters.iter().map(|l| l.seq).collect::<Vec<_>>(), vec![4, 5]);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn backpressure_sheds_profiling_oldest_first_and_rejects_continuations() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut mgr =
+            SessionManager::new(SessionConfig::default().with_workers(1).with_ingress_capacity(2));
+        let ids = open_n(&mut mgr, &program, 1);
+        let id = ids[0];
+        // Park the worker on a slow delivery so the queue backs up. The
+        // started-channel makes the schedule deterministic: the burst below
+        // only begins once the worker has popped the slow job.
+        let (started_tx, started_rx) = channel::<()>();
+        let slow = mgr
+            .submit(id, {
+                let program = Arc::clone(&program);
+                move |ctx| {
+                    let _ = started_tx.send(());
+                    std::thread::sleep(Duration::from_millis(300));
+                    job_event(program, 16)(ctx)
+                }
+            })
+            .unwrap();
+        started_rx.recv().unwrap();
+        // Fill the queue with two profiling deliveries, then displace them
+        // both: oldest-first, freshest samples win.
+        let mut profiling = Vec::new();
+        for _ in 0..4 {
+            profiling.push(
+                mgr.submit_classed(id, DeliveryClass::Profiling, {
+                    let program = Arc::clone(&program);
+                    move |ctx| job_event(program, 16)(ctx)
+                })
+                .unwrap(),
+            );
+        }
+        // A continuation arriving at the still-full queue is rejected.
+        let rejected = mgr.submit(id, {
+            let program = Arc::clone(&program);
+            move |ctx| job_event(program, 16)(ctx)
+        });
+        match rejected {
+            Err(IrError::Overloaded(_)) => {}
+            Err(other) => panic!("expected Overloaded, got {other}"),
+            Ok(_) => panic!("expected rejection, continuation was accepted"),
+        }
+        assert_eq!(mgr.sheds(), 3, "two oldest-drops plus one rejection");
+        // The displaced waiters observe the shed; the surviving two drain.
+        let outcomes: Vec<_> = profiling.into_iter().map(Pending::wait).collect();
+        assert_eq!(outcomes.iter().filter(|o| matches!(o, Err(IrError::Overloaded(_)))).count(), 2);
+        assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 2);
+        assert!(slow.wait().is_ok());
+        let snap = mgr.obs().registry().snapshot();
+        assert_eq!(
+            snap.get("shed_total", &[("reason", "oldest_drop")]),
+            Some(&mpart_obs::MetricValue::Counter(2)),
+        );
+        assert_eq!(
+            snap.get("shed_total", &[("reason", "queue_full")]),
+            Some(&mpart_obs::MetricValue::Counter(1)),
+        );
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn wait_deadline_times_out_a_stalled_delivery() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut mgr = SessionManager::new(SessionConfig::default().with_workers(1));
+        let ids = open_n(&mut mgr, &program, 1);
+        let pending = mgr
+            .submit(ids[0], {
+                let program = Arc::clone(&program);
+                move |ctx| {
+                    std::thread::sleep(Duration::from_millis(200));
+                    job_event(program, 16)(ctx)
+                }
+            })
+            .unwrap();
+        let err = pending.wait_deadline(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, IrError::Deadline(_)), "{err}");
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn journal_recovery_restores_sessions_with_zero_reanalysis() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let journal = Arc::new(SessionJournal::in_memory());
+        let config = SessionConfig::default()
+            .with_workers(1)
+            .with_trigger(TriggerPolicy::Rate(1))
+            .with_journal(Arc::clone(&journal));
+        let mut mgr = SessionManager::new(config.clone());
+        let ids = open_n(&mut mgr, &program, 2);
+        for _ in 0..10 {
+            mgr.deliver(ids[0], job_event(Arc::clone(&program), 50_000)).unwrap();
+        }
+        mgr.deliver(ids[1], job_event(Arc::clone(&program), 16)).unwrap();
+        let busy_active = mgr.handler(ids[0]).unwrap().plan().active();
+        assert!(mgr.handler(ids[0]).unwrap().plan().epoch() > 1, "busy session reconfigured");
+        let cache = Arc::clone(mgr.cache());
+        mgr.shutdown();
+
+        // "Restart": a fresh manager over the same cache replays the
+        // journal. Every restore is a cache hit — zero re-analysis.
+        let snapshots = journal.replay().unwrap();
+        assert_eq!(snapshots[&0].watermark, 10);
+        assert_eq!(snapshots[&0].active, busy_active, "journal captured the live cut");
+        let misses_before = cache.misses();
+        let hits_before = cache.hits();
+        let mut restarted = SessionManager::with_shared_cache(config, cache);
+        for snapshot in snapshots.values() {
+            restarted
+                .restore_session(
+                    Arc::clone(&program),
+                    "ingest",
+                    Arc::new(DataSizeModel::new()),
+                    BuiltinRegistry::new(),
+                    receiver_builtins(),
+                    snapshot,
+                )
+                .unwrap();
+        }
+        assert_eq!(restarted.cache().misses(), misses_before, "zero re-analysis on recovery");
+        assert_eq!(restarted.cache().hits(), hits_before + 2);
+        assert_eq!(restarted.recovered(), 2);
+        assert_eq!(
+            restarted.handler(0).unwrap().plan().active(),
+            busy_active,
+            "journaled active set reinstalled"
+        );
+        // Sequence numbering resumes past the journaled watermark.
+        let out = restarted.deliver(0, job_event(Arc::clone(&program), 16)).unwrap();
+        assert_eq!(out.seq, 11);
+        restarted.shutdown();
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub enum IrError {
     /// A program-level validation failure (duplicate function, bad jump
     /// target, ...).
     Invalid(String),
+    /// A modulator or demodulator invocation panicked and was caught at
+    /// the failure-domain boundary. Carries the panic payload rendered
+    /// as text. The panic fails only the envelope being processed.
+    HandlerPanic(String),
+    /// A delivery was rejected or shed because an ingress queue was at
+    /// capacity (load shedding under backpressure).
+    Overloaded(String),
+    /// A delivery's deadline budget expired while waiting on a stalled
+    /// modulator/demodulator.
+    Deadline(String),
+    /// An envelope exhausted its retry budget and was moved to the
+    /// dead-letter ring. Carries `(seq, failures)`.
+    Quarantined { seq: u64, failures: u32 },
 }
 
 impl fmt::Display for IrError {
@@ -61,6 +74,12 @@ impl fmt::Display for IrError {
             }
             IrError::Marshal(msg) => write!(f, "marshal error: {msg}"),
             IrError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+            IrError::HandlerPanic(msg) => write!(f, "handler panic: {msg}"),
+            IrError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            IrError::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
+            IrError::Quarantined { seq, failures } => {
+                write!(f, "envelope {seq} quarantined after {failures} failures")
+            }
         }
     }
 }

@@ -144,9 +144,53 @@ const FRAME_BATCH_ACK: u8 = 6;
 const EVENT_BODY_MIN_BYTES: usize = 8 + 8 + 8 + 4 + 8 + 4 + 4;
 
 impl Frame {
+    /// Fallible encoding: like [`encode`](Self::encode) but an oversize
+    /// body comes back as [`IrError::Marshal`] instead of panicking —
+    /// write paths surface it through the session failure domain (the
+    /// envelope dead-letters; the connection survives).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] when the body exceeds
+    /// [`MAX_FRAME_SIZE`].
+    pub fn try_encode(&self) -> Result<Vec<u8>, IrError> {
+        let (kind, body) = self.encode_body();
+        if body.len() > MAX_FRAME_SIZE {
+            return Err(IrError::Marshal(format!(
+                "frame body exceeds MAX_FRAME_SIZE: {} > {MAX_FRAME_SIZE}",
+                body.len()
+            )));
+        }
+        Ok(Self::seal(kind, &body))
+    }
+
     /// Encodes the frame as `[kind u8][len u32][crc u32][body]`, where the
     /// checksum covers the kind, the length, and the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the body exceeds [`MAX_FRAME_SIZE`]; transports that
+    /// must survive oversize envelopes use [`try_encode`](Self::try_encode).
     pub fn encode(&self) -> Vec<u8> {
+        let (kind, body) = self.encode_body();
+        assert!(body.len() <= MAX_FRAME_SIZE, "frame body exceeds MAX_FRAME_SIZE");
+        Self::seal(kind, &body)
+    }
+
+    /// Prefixes `body` with the `[kind][len][crc]` header.
+    fn seal(kind: u8, body: &[u8]) -> Vec<u8> {
+        let len = (body.len() as u32).to_be_bytes();
+        let crc = crc32(&[&[kind], &len, body]).to_be_bytes();
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+        out.push(kind);
+        out.extend_from_slice(&len);
+        out.extend_from_slice(&crc);
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Renders the frame's body bytes and kind tag.
+    fn encode_body(&self) -> (u8, BytesMut) {
         let mut body = BytesMut::new();
         let kind = match self {
             Frame::Event { event: e, t_mod_nanos } => {
@@ -187,15 +231,7 @@ impl Frame {
             }
             Frame::Shutdown => FRAME_SHUTDOWN,
         };
-        assert!(body.len() <= MAX_FRAME_SIZE, "frame body exceeds MAX_FRAME_SIZE");
-        let len = (body.len() as u32).to_be_bytes();
-        let crc = crc32(&[&[kind], &len, &body]).to_be_bytes();
-        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
-        out.push(kind);
-        out.extend_from_slice(&len);
-        out.extend_from_slice(&crc);
-        out.extend_from_slice(&body);
-        out
+        (kind, body)
     }
 
     /// Decodes a frame from `kind` and an already-checksummed `body` (the

@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use mpart::demodulator::Demodulator;
+use mpart::failure::{self, DeadLetter, DeadLetterRing, FailureConfig, FailureKind, RetryBudget};
 use mpart::health::DegradationController;
 use mpart::modulator::Modulator;
 use mpart::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
@@ -33,7 +34,7 @@ use mpart::{PartitionedHandler, PseId};
 use mpart_cost::CostModel;
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
-use mpart_obs::{Counter, ObsHub, PlanReason, Registry};
+use mpart_obs::{Counter, ObsHub, PlanReason, Registry, TraceEvent};
 use mpart_simnet::{EventQueue, Host, Link, MessageDemand, MessageTiming, Pipeline, SimTime};
 use rand::prelude::*;
 
@@ -90,6 +91,11 @@ pub struct SimConfig {
     /// Virtual-time flush deadline for a partially-filled batch: a pending
     /// envelope never waits longer than this for the batch to fill.
     pub batch_deadline: SimTime,
+    /// Failure-domain tuning (supervised wire only): how many failures —
+    /// injected panic, poison, or demodulator error — an envelope may
+    /// accumulate before it is quarantined to the dead-letter ring, and
+    /// how many letters that ring retains.
+    pub failure: FailureConfig,
 }
 
 impl SimConfig {
@@ -113,6 +119,7 @@ impl SimConfig {
             promote_after: 3,
             batch_max: 1,
             batch_deadline: SimTime::from_millis(0),
+            failure: FailureConfig::default(),
         }
     }
 
@@ -186,6 +193,13 @@ impl SimConfig {
         self.promote_after = promote_after.max(1);
         self
     }
+
+    /// Sets the failure-domain tuning (retry budget before quarantine,
+    /// dead-letter ring capacity).
+    pub fn with_failure(mut self, failure: FailureConfig) -> Self {
+        self.failure = failure;
+        self
+    }
 }
 
 /// Wire-level counters mirrored into the handler's metrics registry, so a
@@ -201,6 +215,10 @@ struct WireMetrics {
     batches: Counter,
     batched_events: Counter,
     batch_member_acks: Counter,
+    handler_panics: Counter,
+    quarantined: Counter,
+    shed: Counter,
+    deadline_timeouts: Counter,
 }
 
 impl WireMetrics {
@@ -214,6 +232,10 @@ impl WireMetrics {
             batches: registry.counter("envelope_batches_total", &[]),
             batched_events: registry.counter("batched_events_total", &[]),
             batch_member_acks: registry.counter("batch_member_acks_total", &[]),
+            handler_panics: registry.counter("handler_panics_total", &[("side", "demodulator")]),
+            quarantined: registry.counter("quarantined_total", &[]),
+            shed: registry.counter("shed_total", &[("reason", "overload")]),
+            deadline_timeouts: registry.counter("deadline_timeouts_total", &[]),
         }
     }
 }
@@ -267,6 +289,25 @@ pub struct SimSession {
     unacked: VecDeque<(u64, ModulatedEvent)>,
     /// Seqs already applied at the subscriber (duplicate suppression).
     applied: HashSet<u64>,
+    /// Seqs quarantined to the dead-letter ring; retransmitted copies are
+    /// acked-and-ignored so the watermark stays advanced past them.
+    quarantined_seqs: HashSet<u64>,
+    /// Per-envelope failure accounting toward quarantine.
+    retry: RetryBudget,
+    /// Quarantined-envelope metadata for `mpart deadletter` inspection.
+    deadletter: DeadLetterRing,
+    /// Envelope sequence numbers whose demodulation deterministically
+    /// panics (from the fault plan's poison list).
+    poison_seqs: Vec<u64>,
+    handler_panics: u64,
+    sheds: u64,
+    deadline_timeouts: u64,
+    /// Remaining drain rounds to skip before retrying after a stall
+    /// (deadline-timeout backoff).
+    stall_cooldown: u64,
+    /// Next backoff length in rounds; doubles per stalled pump, capped,
+    /// and resets once a pump completes without stalls.
+    stall_backoff: u64,
     /// Per-seq handler results, for oracle comparison.
     applied_results: BTreeMap<u64, Option<Value>>,
     retransmissions: u64,
@@ -329,7 +370,7 @@ impl SimSession {
         handler: Arc<PartitionedHandler>,
         sender_builtins: BuiltinRegistry,
         receiver_builtins: BuiltinRegistry,
-        config: SimConfig,
+        mut config: SimConfig,
     ) -> Result<Self, IrError> {
         let kind = handler.model().kind();
         let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, config.trigger)
@@ -341,6 +382,8 @@ impl SimSession {
             // (degradation, re-promotion) reset its feedback window.
             .with_plan_watch(handler.plan().clone());
         let wire_metrics = WireMetrics::register(handler.obs().registry());
+        let poison_seqs =
+            config.link.fault_mut().map(|inj| inj.plan().poison_seqs.clone()).unwrap_or_default();
         let degradation = config.link.has_faults().then(|| {
             // Long outages keep frames in flight across many plan
             // generations; widen the demodulator's plan history so
@@ -381,6 +424,15 @@ impl SimSession {
             degradation,
             unacked: VecDeque::new(),
             applied: HashSet::new(),
+            quarantined_seqs: HashSet::new(),
+            retry: RetryBudget::new(config.failure.retry_budget),
+            deadletter: DeadLetterRing::new(config.failure.deadletter_capacity),
+            poison_seqs,
+            handler_panics: 0,
+            sheds: 0,
+            deadline_timeouts: 0,
+            stall_cooldown: 0,
+            stall_backoff: 1,
             applied_results: BTreeMap::new(),
             retransmissions: 0,
             frames_lost: 0,
@@ -503,6 +555,35 @@ impl SimSession {
     /// Frames still awaiting acknowledgement.
     pub fn unacked(&self) -> usize {
         self.unacked.len()
+    }
+
+    /// Demodulator panics caught by the isolation boundary (injected or
+    /// poison; supervised wire only).
+    pub fn handler_panics(&self) -> u64 {
+        self.handler_panics
+    }
+
+    /// Envelopes quarantined to the dead-letter ring after exhausting
+    /// their retry budget.
+    pub fn quarantined(&self) -> u64 {
+        self.deadletter.quarantined()
+    }
+
+    /// The quarantined envelopes currently retained, oldest first.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.deadletter.snapshot()
+    }
+
+    /// Frames shed at the receiver's ingress under injected overload
+    /// (never acked; they retransmit).
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Envelope deadline budgets expired on injected demodulator stalls;
+    /// each timeout backs the retry cadence off exponentially.
+    pub fn deadline_timeouts(&self) -> u64 {
+        self.deadline_timeouts
     }
 
     /// Per-seq handler results applied at the subscriber, in seq order
@@ -707,9 +788,12 @@ impl SimSession {
     fn pump(&mut self, now: SimTime) -> Result<(), IrError> {
         self.batch_pending_since = None;
         // Phase 1: coalesce the window and decide each frame's fate at
-        // the link.
-        let mut wire: Vec<Vec<u8>> = Vec::new();
+        // the link. Each surviving payload carries its injected-panic flag
+        // into the receiver phase; stalls and overloads resolve here (the
+        // frame never reaches the receiver and stays unacked).
+        let mut wire: Vec<(Vec<u8>, bool)> = Vec::new();
         let mut failures = 0u64;
+        let mut stalled_this_pump = false;
         {
             let batch_max = self.batch_max.max(1);
             let window = self.unacked.make_contiguous();
@@ -742,21 +826,49 @@ impl SimSession {
                     failures += 1;
                     continue;
                 }
+                if decision.stalled {
+                    // The demodulator stalls on this frame: its deadline
+                    // budget expires, the frame stays unacked, and the
+                    // retry cadence backs off exponentially.
+                    self.deadline_timeouts += 1;
+                    self.wire_metrics.deadline_timeouts.inc();
+                    stalled_this_pump = true;
+                    failures += 1;
+                    continue;
+                }
+                if decision.overloaded {
+                    // The receiver's ingress sheds the frame under
+                    // overload; never acked, so it retransmits later.
+                    self.sheds += 1;
+                    self.wire_metrics.shed.inc();
+                    self.handler.obs().record(TraceEvent::Shed { count: 1 });
+                    failures += 1;
+                    continue;
+                }
                 let mut payload = bytes.clone();
                 if decision.corrupted {
                     injector.corrupt_in_place(&mut payload);
                     self.frames_corrupted += 1;
                     self.wire_metrics.frames_corrupted.inc();
                 }
-                wire.push(payload);
+                wire.push((payload, decision.handler_panic));
                 if decision.duplicated {
-                    wire.push(bytes.clone());
+                    // The duplicate copy is a clean retransmission of the
+                    // same bytes; the panic injection applies only to the
+                    // first arrival's demodulation attempt.
+                    wire.push((bytes.clone(), false));
                 }
                 if decision.reordered && wire.len() >= 2 {
                     let n = wire.len();
                     wire.swap(n - 1, n - 2);
                 }
             }
+        }
+        if stalled_this_pump {
+            self.stall_cooldown = self.stall_backoff;
+            self.stall_backoff = (self.stall_backoff * 2).min(64);
+        } else {
+            self.stall_backoff = 1;
         }
         if let Some(ctl) = self.degradation.as_mut() {
             for _ in 0..failures {
@@ -768,8 +880,11 @@ impl SimSession {
 
         // Phase 2: receiver side. Batches demodulate envelope-by-envelope
         // in frame order, so per-session ordering, duplicate suppression,
-        // and acknowledgement are identical to the singleton path.
-        for payload in wire {
+        // and acknowledgement are identical to the singleton path. Every
+        // demodulation runs inside the panic-isolation boundary; an
+        // envelope that keeps failing is quarantined so the ack watermark
+        // advances past it instead of livelocking the window.
+        for (payload, inject_panic) in wire {
             let frame = match Frame::decode_bytes(&payload) {
                 Ok((frame, _)) => frame,
                 Err(_) => {
@@ -789,30 +904,79 @@ impl SimSession {
                 Frame::Batch { events } => events,
                 _ => unreachable!("only event frames enter the unacked window"),
             };
-            // The frame arrived intact: count one success toward recovery.
-            if let Some(ctl) = self.degradation.as_mut() {
-                if ctl.record_success().is_some() {
-                    self.plan_installs += 1;
-                }
-            }
+            let mut frame_failures = 0u32;
             for (event, _) in arrivals {
-                // Acknowledge (trim the window) before the duplicate check so
-                // a duplicated frame's second copy still clears nothing.
-                // Batch members are acknowledged at their member boundary —
-                // one watermark each, piggy-backed on the frame (the TCP
-                // transport's `Frame::BatchAck`); the counter tracks how
-                // many standalone ack frames the piggyback saved.
+                // A seq already applied (duplicate) or already quarantined
+                // still acknowledges — trimming the window — so a late
+                // retransmitted copy clears nothing and a poison envelope
+                // stays behind the watermark.
+                if self.applied.contains(&event.seq) || self.quarantined_seqs.contains(&event.seq) {
+                    self.unacked.retain(|(s, _)| *s != event.seq);
+                    if self.applied.contains(&event.seq) {
+                        self.duplicates_suppressed += 1;
+                        self.wire_metrics.duplicates_suppressed.inc();
+                    }
+                    continue;
+                }
+                // Demodulate inside the isolation boundary: an injected (or
+                // poison) panic fails only this envelope, never the wire.
+                let poisoned = self.poison_seqs.contains(&event.seq);
+                let demodulator = &self.demodulator;
+                let receiver_ctx = &mut self.receiver_ctx;
+                let outcome = failure::isolate(|| {
+                    if inject_panic || poisoned {
+                        panic!("injected demodulator panic (seq {})", event.seq);
+                    }
+                    demodulator.handle(receiver_ctx, &event.continuation)
+                });
+                let demod = match outcome {
+                    Ok(demod) => demod,
+                    Err(err) => {
+                        frame_failures += 1;
+                        let kind = if matches!(err, IrError::HandlerPanic(_)) {
+                            self.handler_panics += 1;
+                            self.wire_metrics.handler_panics.inc();
+                            self.handler.obs().record(TraceEvent::HandlerPanic { seq: event.seq });
+                            FailureKind::Panic
+                        } else {
+                            FailureKind::Decode
+                        };
+                        let count = self.retry.record(event.seq);
+                        if self.retry.exhausted(count) {
+                            // Quarantine: acknowledge past the poison
+                            // envelope so retransmission stops retrying it.
+                            self.unacked.retain(|(s, _)| *s != event.seq);
+                            self.quarantined_seqs.insert(event.seq);
+                            self.deadletter.push(DeadLetter {
+                                seq: event.seq,
+                                kind,
+                                failures: count,
+                                error: err.to_string(),
+                            });
+                            self.wire_metrics.quarantined.inc();
+                            self.handler.obs().record(TraceEvent::Quarantined {
+                                seq: event.seq,
+                                failures: count,
+                            });
+                            self.retry.clear(event.seq);
+                        }
+                        // Not quarantined yet: the envelope stays unacked
+                        // and retransmits on a later round.
+                        continue;
+                    }
+                };
+                // Acknowledge (trim the window) on success. Batch members
+                // are acknowledged at their member boundary — one watermark
+                // each, piggy-backed on the frame (the TCP transport's
+                // `Frame::BatchAck`); the counter tracks how many
+                // standalone ack frames the piggyback saved.
                 self.unacked.retain(|(s, _)| *s != event.seq);
                 if batched {
                     self.batch_member_acks += 1;
                     self.wire_metrics.batch_member_acks.inc();
                 }
-                if !self.applied.insert(event.seq) {
-                    self.duplicates_suppressed += 1;
-                    self.wire_metrics.duplicates_suppressed.inc();
-                    continue;
-                }
-                let demod = self.demodulator.handle(&mut self.receiver_ctx, &event.continuation)?;
+                self.applied.insert(event.seq);
+                self.retry.clear(event.seq);
                 let wire_bytes = event.wire_size();
                 let ser_work = (self.serialize_work_per_byte * wire_bytes as f64).round() as u64;
                 let mod_work_total = event.continuation.mod_work + ser_work;
@@ -869,6 +1033,22 @@ impl SimSession {
                 self.applied_results.insert(event.seq, demod.ret);
                 self.reports.push(report);
             }
+            // Hysteresis feedback, once per frame: an intact frame whose
+            // events all applied counts one success toward re-promotion;
+            // each failed envelope counts one failure toward degradation.
+            if let Some(ctl) = self.degradation.as_mut() {
+                if frame_failures == 0 {
+                    if ctl.record_success().is_some() {
+                        self.plan_installs += 1;
+                    }
+                } else {
+                    for _ in 0..frame_failures {
+                        if ctl.record_failure().is_some() {
+                            self.plan_installs += 1;
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -884,6 +1064,13 @@ impl SimSession {
         for _ in 0..max_rounds {
             if self.unacked.is_empty() {
                 break;
+            }
+            // Deadline-timeout backoff: after a stalled pump, retry rounds
+            // are skipped exponentially (1, 2, 4, ... capped) before the
+            // window is retried — deterministic, no RNG involved.
+            if self.stall_cooldown > 0 {
+                self.stall_cooldown -= 1;
+                continue;
             }
             let now = self.pipeline.sender.busy_until().max(self.pipeline.link.busy_until());
             self.apply_pending_plans(now);
@@ -1189,6 +1376,94 @@ mod tests {
         assert!(session.retransmissions() > 0, "lost envelopes must retransmit");
         assert_eq!(session.duplicates_suppressed(), 0);
         assert!(session.envelope_batches() > 0);
+    }
+
+    #[test]
+    fn poison_envelope_quarantines_and_watermark_advances() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            supervised_config(TriggerPolicy::Never, FaultPlan::new(5).with_poison(4))
+                .with_failure(FailureConfig::default().with_retry_budget(3))
+                .with_degradation(2, 2),
+        )
+        .unwrap();
+        session.run(8, frame_builder(&program, 1024)).unwrap();
+        let left = session.drain(50).unwrap();
+        // The poison envelope left the window through quarantine, not
+        // delivery: the watermark advanced past it and nothing livelocks.
+        assert_eq!(left, 0, "window cleared despite the poison envelope");
+        assert_eq!(session.quarantined(), 1);
+        let letters = session.dead_letters();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].seq, 4);
+        assert_eq!(letters[0].kind, FailureKind::Panic);
+        assert_eq!(letters[0].failures, 3, "budget exhausted before quarantine");
+        assert_eq!(session.handler_panics(), 3);
+        // Exactly-once accounting: every other envelope applied once, the
+        // poison envelope never applied.
+        let applied: Vec<u64> = session.applied_results().keys().copied().collect();
+        assert_eq!(applied, vec![1, 2, 3, 5, 6, 7, 8]);
+        // The repeated panic walked the degradation ladder; the successes
+        // afterwards re-promoted the optimized plan.
+        assert!(session.degradations() >= 1, "panics degraded the session");
+        let snap = session.obs().registry().snapshot();
+        assert_eq!(snap.counter_sum("quarantined_total"), 1);
+        assert_eq!(snap.counter_sum("handler_panics_total"), 3);
+    }
+
+    #[test]
+    fn stalls_expire_deadlines_and_back_off_before_retry() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            supervised_config(TriggerPolicy::Never, FaultPlan::new(23).with_stall(0.4)),
+        )
+        .unwrap();
+        session.run(10, frame_builder(&program, 1024)).unwrap();
+        session.drain(200).unwrap();
+        assert_eq!(session.unacked(), 0);
+        assert!(session.deadline_timeouts() > 0, "seeded stalls must expire deadlines");
+        // Stalled frames were withheld, not lost: every event still
+        // applied exactly once after backoff and retry.
+        let applied: Vec<u64> = session.applied_results().keys().copied().collect();
+        assert_eq!(applied, (1..=10).collect::<Vec<_>>());
+        let snap = session.obs().registry().snapshot();
+        assert_eq!(snap.counter_sum("deadline_timeouts_total"), session.deadline_timeouts());
+    }
+
+    #[test]
+    fn overload_sheds_at_ingress_and_retransmits() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut session = SimSession::adaptive(
+            Arc::clone(&program),
+            "view",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+            supervised_config(TriggerPolicy::Never, FaultPlan::new(23).with_overload(0.4)),
+        )
+        .unwrap();
+        session.run(10, frame_builder(&program, 1024)).unwrap();
+        session.drain(100).unwrap();
+        assert_eq!(session.unacked(), 0);
+        assert!(session.sheds() > 0, "seeded overload must shed at least one frame");
+        assert!(session.retransmissions() > 0, "shed frames retransmit");
+        let applied: Vec<u64> = session.applied_results().keys().copied().collect();
+        assert_eq!(applied, (1..=10).collect::<Vec<_>>());
+        let snap = session.obs().registry().snapshot();
+        assert_eq!(
+            snap.get("shed_total", &[("reason", "overload")]),
+            Some(&mpart_obs::MetricValue::Counter(session.sheds())),
+        );
     }
 
     #[test]

@@ -24,13 +24,14 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver};
+use mpart::failure::{self, DeadLetter, DeadLetterRing, FailureKind};
 use mpart::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
 use mpart::reconfig::ReconfigUnit;
 use mpart::PartitionedHandler;
 use mpart_cost::CostModel;
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
-use mpart_obs::PlanReason;
+use mpart_obs::{PlanReason, TraceEvent};
 
 use crate::envelope::{Frame, ModulatedEvent, PlanEnvelope};
 use crate::local::LocalOutcome;
@@ -42,6 +43,7 @@ pub struct TcpReceiver {
     accept_thread: Option<JoinHandle<Result<u64, IrError>>>,
     outcomes: Receiver<LocalOutcome>,
     demod_errors: Arc<AtomicU64>,
+    deadletter: Arc<DeadLetterRing>,
 }
 
 impl std::fmt::Debug for TcpReceiver {
@@ -123,6 +125,11 @@ impl TcpReceiver {
         let error_metric = handler.obs().registry().counter("demod_errors_total", &[]);
         let batch_metric = handler.obs().registry().counter("envelope_batches_total", &[]);
         let batched_events_metric = handler.obs().registry().counter("batched_events_total", &[]);
+        let panic_metric =
+            handler.obs().registry().counter("handler_panics_total", &[("side", "demodulator")]);
+        let quarantined_metric = handler.obs().registry().counter("quarantined_total", &[]);
+        let deadletter = Arc::new(DeadLetterRing::new(32));
+        let recv_deadletter = Arc::clone(&deadletter);
         let accept_thread = std::thread::spawn(move || -> Result<u64, IrError> {
             let demodulator = recv_handler.demodulator();
             let mut ctx = ExecCtx::with_builtins(&program, receiver_builtins);
@@ -203,15 +210,44 @@ impl TcpReceiver {
                             continue;
                         }
                         let started = Instant::now();
-                        let demod = match demodulator.handle(&mut ctx, &event.continuation) {
+                        // The demodulator runs inside the panic-isolation
+                        // boundary: a panicking handler fails only this
+                        // envelope, never the accept loop.
+                        let outcome = {
+                            let ctx = &mut ctx;
+                            failure::isolate(|| demodulator.handle(ctx, &event.continuation))
+                        };
+                        let demod = match outcome {
                             Ok(demod) => demod,
-                            Err(_) => {
-                                // A poison event (deterministic
-                                // failure) is acknowledged and
-                                // skipped — retrying it would loop
-                                // forever.
+                            Err(err) => {
+                                // A poison event (deterministic failure) is
+                                // quarantined — acknowledged and skipped —
+                                // on its first failure: this wire's retry
+                                // story is the supervisor's reconnect
+                                // backoff, and a deterministic poison would
+                                // loop forever if retried here.
+                                let kind = if matches!(err, IrError::HandlerPanic(_)) {
+                                    panic_metric.inc();
+                                    recv_handler
+                                        .obs()
+                                        .record(TraceEvent::HandlerPanic { seq: event.seq });
+                                    FailureKind::Panic
+                                } else {
+                                    FailureKind::Decode
+                                };
                                 error_counter.fetch_add(1, Ordering::Relaxed);
                                 error_metric.inc();
+                                recv_deadletter.push(DeadLetter {
+                                    seq: event.seq,
+                                    kind,
+                                    failures: 1,
+                                    error: err.to_string(),
+                                });
+                                quarantined_metric.inc();
+                                recv_handler.obs().record(TraceEvent::Quarantined {
+                                    seq: event.seq,
+                                    failures: 1,
+                                });
                                 last_applied = event.seq;
                                 if batched {
                                     watermarks.push(last_applied);
@@ -308,6 +344,7 @@ impl TcpReceiver {
             accept_thread: Some(accept_thread),
             outcomes,
             demod_errors,
+            deadletter,
         })
     }
 
@@ -326,6 +363,12 @@ impl TcpReceiver {
     /// never applied).
     pub fn demod_errors(&self) -> u64 {
         self.demod_errors.load(Ordering::Relaxed)
+    }
+
+    /// The quarantined (acknowledged-and-skipped) envelopes currently
+    /// retained in the dead-letter ring, oldest first.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.deadletter.snapshot()
     }
 
     /// Waits for the next processed outcome.
@@ -739,6 +782,124 @@ mod tests {
         assert_eq!(snap.counter_sum("batched_events_total"), 5);
         sender.shutdown().unwrap();
         assert_eq!(receiver.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn mid_batch_reconnect_recovers_batch_acks_without_duplication() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        // The receiver kills the first connection after two events — i.e.
+        // in the middle of the five-event batch, before the coalesced
+        // BatchAck for the partial prefix was ever written.
+        let receiver = TcpReceiver::bind_faulty(
+            Arc::clone(&program),
+            "index",
+            Arc::new(DataSizeModel::new()),
+            receiver_builtins(),
+            TriggerPolicy::Never,
+            2,
+        )
+        .unwrap();
+        let acked = Arc::new(AtomicU64::new(0));
+        let mut first = TcpSender::connect_with(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+            Arc::clone(&acked),
+            0,
+        )
+        .unwrap();
+        let batch: Vec<(ModulatedEvent, u64)> =
+            (0..5).map(|_| first.modulate(doc(&program, 256)).unwrap()).collect();
+        first.send_batch(&batch).unwrap();
+        // The first two members apply before the connection dies; their
+        // piggy-backed acks die with it.
+        for expected in 1..=2 {
+            assert_eq!(receiver.next_outcome().unwrap().seq, expected);
+        }
+        first.abandon();
+        assert_eq!(acked.load(Ordering::Acquire), 0, "mid-batch acks were lost with the link");
+
+        // A supervisor-style reconnect replays the whole unacked batch.
+        // The applied prefix must dedup (acked, not re-applied) and the
+        // tail must apply; the fresh BatchAck covers every member.
+        let mut second = TcpSender::connect_with(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+            Arc::clone(&acked),
+            5,
+        )
+        .unwrap();
+        second.send_batch(&batch).unwrap();
+        second.publish(doc(&program, 256)).unwrap();
+        for expected in 3..=6 {
+            assert_eq!(receiver.next_outcome().unwrap().seq, expected);
+        }
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while second.acked() < 6 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(second.acked(), 6, "replayed batch and fresh event fully acknowledged");
+        assert_eq!(receiver.demod_errors(), 0);
+        second.shutdown().unwrap();
+        assert_eq!(receiver.join().unwrap(), 6, "each batch member applied exactly once");
+    }
+
+    #[test]
+    fn panicking_demodulator_is_quarantined_not_fatal() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        // A receiver-side native that panics on the third event: the
+        // isolation boundary must fail only that envelope, dead-letter it,
+        // and keep the accept loop serving.
+        let mut builtins = BuiltinRegistry::new();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen_native = Arc::clone(&seen);
+        builtins.register_native("store", 3, move |_, _| {
+            if seen_native.fetch_add(1, Ordering::Relaxed) + 1 == 3 {
+                panic!("injected store panic");
+            }
+            Ok(Value::Null)
+        });
+        let receiver = TcpReceiver::bind(
+            Arc::clone(&program),
+            "index",
+            Arc::new(DataSizeModel::new()),
+            builtins,
+            TriggerPolicy::Never,
+        )
+        .unwrap();
+        let mut sender = TcpSender::connect(
+            Arc::clone(&program),
+            Arc::clone(receiver.handler()),
+            BuiltinRegistry::new(),
+            receiver.port(),
+        )
+        .unwrap();
+        for _ in 0..5 {
+            sender.publish(doc(&program, 256)).unwrap();
+        }
+        // Four outcomes: the panicked envelope was quarantined, the rest
+        // applied in order.
+        let applied: Vec<u64> = (0..4).map(|_| receiver.next_outcome().unwrap().seq).collect();
+        assert_eq!(applied, vec![1, 2, 4, 5]);
+        sender.heartbeat().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while sender.acked() < 5 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(sender.acked(), 5, "the watermark advanced past the quarantined envelope");
+        assert_eq!(receiver.demod_errors(), 1);
+        let letters = receiver.dead_letters();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].seq, 3);
+        assert_eq!(letters[0].kind, mpart::failure::FailureKind::Panic);
+        let snap = receiver.handler().obs().registry().snapshot();
+        assert_eq!(snap.counter_sum("handler_panics_total"), 1);
+        assert_eq!(snap.counter_sum("quarantined_total"), 1);
+        sender.shutdown().unwrap();
+        assert_eq!(receiver.join().unwrap(), 4);
     }
 
     #[test]

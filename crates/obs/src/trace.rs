@@ -138,6 +138,33 @@ pub enum TraceEvent {
         /// The model now live.
         to: ModelTag,
     },
+    /// A modulator/demodulator invocation panicked and was caught at the
+    /// failure-domain boundary; only the envelope failed.
+    HandlerPanic {
+        /// Sequence number of the envelope whose handling panicked.
+        seq: u64,
+    },
+    /// An envelope exhausted its retry budget and moved to the
+    /// dead-letter ring; the ack watermark advances past it.
+    Quarantined {
+        /// Sequence number of the quarantined envelope.
+        seq: u64,
+        /// Failures accumulated before quarantine.
+        failures: u32,
+    },
+    /// Load shedding dropped or rejected deliveries at an ingress queue.
+    Shed {
+        /// Deliveries shed by this event.
+        count: u64,
+    },
+    /// A session was rebuilt from the journal + analysis cache after a
+    /// restart.
+    Recovered {
+        /// Plan epoch after reinstalling the journaled active set.
+        epoch: u64,
+        /// Ack watermark sequence numbering resumed from.
+        watermark: u64,
+    },
 }
 
 impl TraceEvent {
@@ -152,6 +179,10 @@ impl TraceEvent {
             TraceEvent::StaleRejected { .. } => "stale_rejected",
             TraceEvent::FeedbackReset { .. } => "feedback_reset",
             TraceEvent::ModelSwitch { .. } => "model_switch",
+            TraceEvent::HandlerPanic { .. } => "handler_panic",
+            TraceEvent::Quarantined { .. } => "quarantined",
+            TraceEvent::Shed { .. } => "shed",
+            TraceEvent::Recovered { .. } => "recovered",
         }
     }
 
@@ -187,6 +218,20 @@ impl TraceEvent {
             TraceEvent::ModelSwitch { from, to } => vec![
                 ("from".to_string(), Json::str(from.as_str())),
                 ("to".to_string(), Json::str(to.as_str())),
+            ],
+            TraceEvent::HandlerPanic { seq } => {
+                vec![("seq".to_string(), Json::U64(seq))]
+            }
+            TraceEvent::Quarantined { seq, failures } => vec![
+                ("seq".to_string(), Json::U64(seq)),
+                ("failures".to_string(), Json::U64(failures as u64)),
+            ],
+            TraceEvent::Shed { count } => {
+                vec![("count".to_string(), Json::U64(count))]
+            }
+            TraceEvent::Recovered { epoch, watermark } => vec![
+                ("epoch".to_string(), Json::U64(epoch)),
+                ("watermark".to_string(), Json::U64(watermark)),
             ],
         }
     }

@@ -22,11 +22,24 @@ pub struct FaultPlan {
     pub reorder: f64,
     /// Probability a transmission's bytes are flipped in transit.
     pub corrupt: f64,
+    /// Probability the receiving handler *panics* while demodulating the
+    /// transmission (exercises `catch_unwind` panic isolation).
+    pub handler_panic: f64,
+    /// Probability the demodulator stalls on the transmission: it is
+    /// withheld this round and charged against the deadline budget.
+    pub stall: f64,
+    /// Probability the receiver's ingress sheds the transmission under
+    /// overload (not acked; retransmitted later).
+    pub overload: f64,
     /// PRNG seed for the per-attempt coin flips.
     pub seed: u64,
     /// Attempt-index windows during which the link is fully partitioned
     /// (nothing crosses, regardless of the probabilities above).
     pub partitions: Vec<Range<u64>>,
+    /// Envelope sequence numbers whose demodulation deterministically
+    /// panics on *every* attempt — poison envelopes that can only leave
+    /// the retransmission window through quarantine.
+    pub poison_seqs: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -59,6 +72,24 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the injected handler-panic probability.
+    pub fn with_handler_panic(mut self, p: f64) -> Self {
+        self.handler_panic = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the demodulator-stall probability.
+    pub fn with_stall(mut self, p: f64) -> Self {
+        self.stall = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the receiver-overload (ingress shed) probability.
+    pub fn with_overload(mut self, p: f64) -> Self {
+        self.overload = p.clamp(0.0, 1.0);
+        self
+    }
+
     /// Partitions the link for attempt indices in `window` (0-based,
     /// half-open). Windows may overlap.
     pub fn with_partition(mut self, window: Range<u64>) -> Self {
@@ -66,9 +97,21 @@ impl FaultPlan {
         self
     }
 
+    /// Marks envelope `seq` as poison: every demodulation attempt panics,
+    /// deterministically, independent of the PRNG.
+    pub fn with_poison(mut self, seq: u64) -> Self {
+        self.poison_seqs.push(seq);
+        self
+    }
+
     /// Whether attempt `index` falls inside a scheduled partition.
     pub fn partitioned_at(&self, index: u64) -> bool {
         self.partitions.iter().any(|w| w.contains(&index))
+    }
+
+    /// Whether envelope `seq` is scheduled as poison.
+    pub fn poisoned(&self, seq: u64) -> bool {
+        self.poison_seqs.contains(&seq)
     }
 }
 
@@ -85,6 +128,12 @@ pub struct FaultDecision {
     pub reordered: bool,
     /// The transmission's bytes are damaged in transit.
     pub corrupted: bool,
+    /// The receiving handler panics while demodulating it.
+    pub handler_panic: bool,
+    /// The demodulator stalls: withheld this round, deadline charged.
+    pub stalled: bool,
+    /// The receiver's ingress sheds it under overload.
+    pub overloaded: bool,
 }
 
 impl FaultDecision {
@@ -123,9 +172,12 @@ impl FaultInjector {
 
     /// Decides the fate of the next transmission attempt. The coin flips
     /// are always drawn in the same order (drop, duplicate, reorder,
-    /// corrupt, plus one positional draw for corruption), even inside a
-    /// partition window, so schedules stay aligned across runs that differ
-    /// only in their partition windows.
+    /// corrupt, handler-panic, stall, overload, plus one positional draw
+    /// for corruption), even inside a partition window, so schedules stay
+    /// aligned across runs that differ only in their partition windows.
+    /// Zero-probability faults draw no coin at all, so plans that never
+    /// enable the newer fault kinds replay the exact schedules older
+    /// plans produced.
     pub fn decide(&mut self) -> FaultDecision {
         let index = self.attempts;
         self.attempts += 1;
@@ -133,12 +185,19 @@ impl FaultInjector {
         let duplicated = self.plan.duplicate > 0.0 && self.rng.random_bool(self.plan.duplicate);
         let reordered = self.plan.reorder > 0.0 && self.rng.random_bool(self.plan.reorder);
         let corrupted = self.plan.corrupt > 0.0 && self.rng.random_bool(self.plan.corrupt);
+        let handler_panic =
+            self.plan.handler_panic > 0.0 && self.rng.random_bool(self.plan.handler_panic);
+        let stalled = self.plan.stall > 0.0 && self.rng.random_bool(self.plan.stall);
+        let overloaded = self.plan.overload > 0.0 && self.rng.random_bool(self.plan.overload);
         FaultDecision {
             partitioned: self.plan.partitioned_at(index),
             dropped,
             duplicated,
             reordered,
             corrupted,
+            handler_panic,
+            stalled,
+            overloaded,
         }
     }
 
@@ -193,6 +252,41 @@ mod tests {
         assert!(run_a.iter().any(|d| d.duplicated));
         assert!(run_a.iter().any(|d| d.corrupted));
         assert!(run_a.iter().any(|d| d.delivers()));
+    }
+
+    #[test]
+    fn new_fault_kinds_draw_coins_only_when_enabled() {
+        // A plan that never enables the newer kinds must replay the exact
+        // schedule an old-style plan produced: the new coins draw nothing
+        // from the PRNG when their probability is zero.
+        let old_style = FaultPlan::new(99).with_drop(0.3).with_duplicate(0.2).with_corrupt(0.1);
+        let mut a = FaultInjector::new(old_style.clone());
+        let mut b = FaultInjector::new(old_style);
+        let run_a: Vec<FaultDecision> = (0..200).map(|_| a.decide()).collect();
+        let run_b: Vec<FaultDecision> = (0..200).map(|_| b.decide()).collect();
+        assert_eq!(run_a, run_b);
+        assert!(run_a.iter().all(|d| !d.handler_panic && !d.stalled && !d.overloaded));
+
+        let stormy = FaultPlan::new(99).with_handler_panic(0.3).with_stall(0.3).with_overload(0.3);
+        let mut inj = FaultInjector::new(stormy);
+        let run: Vec<FaultDecision> = (0..200).map(|_| inj.decide()).collect();
+        assert!(run.iter().any(|d| d.handler_panic));
+        assert!(run.iter().any(|d| d.stalled));
+        assert!(run.iter().any(|d| d.overloaded));
+    }
+
+    #[test]
+    fn poison_seqs_are_deterministic_and_rng_free() {
+        let plan = FaultPlan::new(4).with_poison(13).with_poison(21);
+        assert!(plan.poisoned(13) && plan.poisoned(21));
+        assert!(!plan.poisoned(14));
+        // Poison membership never touches the PRNG: decisions with and
+        // without poison seqs are identical.
+        let mut with = FaultInjector::new(plan);
+        let mut without = FaultInjector::new(FaultPlan::new(4));
+        for _ in 0..50 {
+            assert_eq!(with.decide(), without.decide());
+        }
     }
 
     #[test]

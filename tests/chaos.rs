@@ -8,11 +8,12 @@
 //! All storms are seeded; each scenario runs across several seeds and is
 //! replayed to prove determinism.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use method_partitioning::apps::image;
 use method_partitioning::apps::sensor;
+use method_partitioning::core::failure::FailureConfig;
 use method_partitioning::core::profile::TriggerPolicy;
 use method_partitioning::ir::interp::ExecCtx;
 use method_partitioning::ir::{IrError, Value};
@@ -20,6 +21,21 @@ use method_partitioning::jecho::{SimConfig, SimSession};
 use method_partitioning::simnet::{FaultPlan, Host, Link, SimTime};
 
 const MESSAGES: u64 = 30;
+
+/// The seed matrix: the baked-in seeds plus `MPART_CHAOS_SEED` from the
+/// environment — the CI chaos-matrix job sweeps that variable so every
+/// scenario here replays under eight fixed seeds without recompiling.
+fn seed_matrix(base: &[u64]) -> Vec<u64> {
+    let mut seeds = base.to_vec();
+    if let Some(seed) =
+        std::env::var("MPART_CHAOS_SEED").ok().and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        if !seeds.contains(&seed) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
 
 /// A storm with every fault class plus a scheduled outage.
 fn storm(seed: u64) -> FaultPlan {
@@ -32,6 +48,10 @@ fn storm(seed: u64) -> FaultPlan {
 }
 
 fn sensor_session(fault: Option<FaultPlan>) -> SimSession {
+    sensor_session_with(fault, FailureConfig::default())
+}
+
+fn sensor_session_with(fault: Option<FaultPlan>, failure: FailureConfig) -> SimSession {
     let program = sensor::sensor_program().unwrap();
     let mut link = Link::new("lan", SimTime::from_millis(1), 1_000_000.0);
     if let Some(plan) = fault {
@@ -49,7 +69,8 @@ fn sensor_session(fault: Option<FaultPlan>) -> SimSession {
             Host::new("consumer", 281_000.0),
             TriggerPolicy::Rate(2),
         )
-        .with_degradation(3, 3),
+        .with_degradation(3, 3)
+        .with_failure(failure),
     )
     .unwrap()
 }
@@ -99,7 +120,7 @@ fn sensor_chaos_matches_oracle_across_seeds() {
     let oracle = sensor_oracle();
     assert_eq!(oracle.len(), MESSAGES as usize);
     let mut corrupted = 0;
-    for seed in [1u64, 7, 42] {
+    for seed in seed_matrix(&[1, 7, 42]) {
         let session = run_sensor_storm(seed);
         assert_eq!(
             session.applied_results(),
@@ -119,7 +140,7 @@ fn sensor_chaos_matches_oracle_across_seeds() {
 
 #[test]
 fn sensor_outage_degrades_and_recovers() {
-    for seed in [1u64, 7, 42] {
+    for seed in seed_matrix(&[1, 7, 42]) {
         let session = run_sensor_storm(seed);
         assert!(
             session.degradations() >= 1,
@@ -140,7 +161,7 @@ fn sensor_outage_degrades_and_recovers() {
 #[test]
 fn trace_ring_records_degradation_cycle_in_order() {
     use method_partitioning::obs::TraceEvent;
-    for seed in [1u64, 7, 42] {
+    for seed in seed_matrix(&[1, 7, 42]) {
         let session = run_sensor_storm(seed);
         let transitions: Vec<&'static str> = session
             .obs()
@@ -233,7 +254,7 @@ fn image_chaos_matches_oracle_across_seeds() {
         oracle.insert(report.seq, report.ret);
     }
 
-    for seed in [3u64, 11, 99] {
+    for seed in seed_matrix(&[3, 11, 99]) {
         let mut session = image_session(Some(storm(seed)));
         for seq in 1..=MESSAGES {
             session.deliver(image_event(&program, seq)).unwrap();
@@ -282,4 +303,94 @@ fn plan_update_lands_while_message_in_flight() {
         oracle[&stalled_seq],
         "the in-flight message survived the plan change"
     );
+}
+
+#[test]
+fn poisoned_envelope_is_quarantined_while_the_session_keeps_serving() {
+    // The failure-domain acceptance scenario: one envelope panics the
+    // demodulator on *every* delivery attempt. The session must keep
+    // serving on the degraded entry cut, the poison must exhaust its
+    // retry budget and move to the dead-letter ring, and the ack
+    // watermark must advance past it — no other message lost or
+    // duplicated.
+    let program = sensor::sensor_program().unwrap();
+    let oracle = sensor_oracle();
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let mut session = sensor_session_with(
+            Some(storm(seed).with_poison(13)),
+            FailureConfig::default().with_retry_budget(12),
+        );
+        for seq in 1..=MESSAGES {
+            session.deliver(sensor_event(&program, seq)).unwrap();
+        }
+        assert_eq!(
+            session.drain(500).unwrap(),
+            0,
+            "seed {seed}: the watermark advanced past the quarantined envelope"
+        );
+        let letters = session.dead_letters();
+        assert_eq!(letters.len(), 1, "seed {seed}: only the poisoned envelope was quarantined");
+        assert_eq!(letters[0].seq, 13, "seed {seed}");
+        assert_eq!(session.quarantined(), 1, "seed {seed}");
+        assert!(
+            session.handler_panics() >= u64::from(letters[0].failures),
+            "seed {seed}: every quarantine failure was an isolated panic"
+        );
+        // Everything else matches the fault-free oracle exactly once.
+        let mut expected = oracle.clone();
+        expected.remove(&13);
+        assert_eq!(session.applied_results(), &expected, "seed {seed}");
+        assert!(
+            session.degradations() >= 1,
+            "seed {seed}: repeated panics degraded the session to the entry cut"
+        );
+        // The session kept serving throughout: raw entry-cut shipments
+        // appear among the applied reports (degraded-mode service), and
+        // nothing is stuck in the retransmit window.
+        let entry = session.handler().entry_pse().unwrap();
+        assert!(
+            session.reports().iter().any(|r| r.split_pse == entry),
+            "seed {seed}: degraded-mode messages were still served on the entry cut"
+        );
+        assert_eq!(session.unacked(), 0, "seed {seed}: nothing stuck in the retransmit window");
+    }
+}
+
+#[test]
+fn chaos_with_random_handler_panics_keeps_exactly_once_accounting() {
+    // Exactly-once accounting under randomized handler panics: every
+    // delivered envelope ends in exactly one of two places — the applied
+    // results (acked) or the dead-letter ring (quarantined). Never both,
+    // never neither.
+    let program = sensor::sensor_program().unwrap();
+    let oracle = sensor_oracle();
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let mut session = sensor_session_with(
+            Some(storm(seed).with_handler_panic(0.25)),
+            FailureConfig::default().with_retry_budget(2),
+        );
+        for seq in 1..=MESSAGES {
+            session.deliver(sensor_event(&program, seq)).unwrap();
+        }
+        assert_eq!(session.drain(500).unwrap(), 0, "seed {seed}: tail drained");
+        let applied: BTreeSet<u64> = session.applied_results().keys().copied().collect();
+        let quarantined: BTreeSet<u64> = session.dead_letters().iter().map(|l| l.seq).collect();
+        assert!(
+            applied.is_disjoint(&quarantined),
+            "seed {seed}: no envelope both acked and dead-lettered"
+        );
+        let mut union = applied.clone();
+        union.extend(quarantined.iter().copied());
+        let all: BTreeSet<u64> = (1..=MESSAGES).collect();
+        assert_eq!(union, all, "seed {seed}: every envelope resolved exactly once");
+        assert_eq!(
+            session.quarantined() as usize,
+            quarantined.len(),
+            "seed {seed}: ring count agrees with the quarantined set"
+        );
+        // What *was* applied is byte-identical to the fault-free oracle.
+        for (seq, ret) in session.applied_results() {
+            assert_eq!(ret, &oracle[seq], "seed {seed}: applied result {seq} matches the oracle");
+        }
+    }
 }

@@ -348,3 +348,150 @@ fn receiver_restart_mid_stream_is_survived_by_the_supervisor() {
     supervisor.shutdown(Duration::from_secs(5)).unwrap();
     assert_eq!(receiver.join().unwrap(), 12, "no event double-applied");
 }
+
+#[test]
+fn panicking_native_fails_only_its_envelope_on_the_session_manager() {
+    use method_partitioning::core::failure::FailureKind;
+    use method_partitioning::core::session::{SessionConfig, SessionManager};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let (program, _, _) = setup();
+    // A receiver-side native that panics on its second execution: one
+    // poisoned envelope among healthy traffic.
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut builtins = BuiltinRegistry::new();
+    let seen = Arc::clone(&calls);
+    builtins.register_native("store", 1, move |_, _| {
+        if seen.fetch_add(1, Ordering::SeqCst) + 1 == 2 {
+            panic!("injected native panic");
+        }
+        Ok(Value::Null)
+    });
+
+    let mut mgr =
+        SessionManager::new(SessionConfig::default().with_workers(1).with_degradation(3, 3));
+    let id = mgr
+        .open_session(
+            Arc::clone(&program),
+            "sink",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            builtins,
+        )
+        .unwrap();
+
+    let mut failures = Vec::new();
+    for n in 1..=5u64 {
+        let p = Arc::clone(&program);
+        match mgr.deliver(id, move |ctx| Ok(make_item(&p, ctx, 64))) {
+            Ok(out) => assert_eq!(out.ret, Some(Value::Int(1)), "envelope {n} applied"),
+            Err(e) => {
+                assert!(matches!(e, IrError::HandlerPanic(_)), "isolated, not fatal: {e}");
+                failures.push(n);
+            }
+        }
+    }
+    // Exactly the poisoned envelope failed; the worker survived and kept
+    // serving the other four.
+    assert_eq!(failures, vec![2], "only the panicking envelope failed");
+    let letters = mgr.dead_letters(id).unwrap();
+    assert_eq!(letters.len(), 1);
+    assert_eq!(letters[0].seq, 2);
+    assert_eq!(letters[0].kind, FailureKind::Panic);
+    let snap = mgr.handler(id).unwrap().obs().registry().snapshot();
+    assert_eq!(
+        snap.get("handler_panics_total", &[("side", "demodulator")],),
+        Some(&method_partitioning::obs::MetricValue::Counter(1)),
+    );
+    assert_eq!(snap.counter_sum("quarantined_total"), 1);
+    mgr.shutdown();
+}
+
+#[test]
+fn kill_and_restart_recovers_sessions_from_journal_with_zero_reanalysis() {
+    use method_partitioning::core::journal::SessionJournal;
+    use method_partitioning::core::session::{SessionConfig, SessionManager};
+    use method_partitioning::obs::MetricValue;
+
+    let (program, _, builtins) = setup();
+    let path = std::env::temp_dir()
+        .join(format!("mpart-failure-injection-recovery-{}.journal", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    let _ = std::fs::remove_file(&path);
+
+    // Incumbent process: three journaled sessions, one busy enough to
+    // reconfigure, all checkpointing plan commits and ack watermarks.
+    let journal = Arc::new(SessionJournal::at_path(&path_str).unwrap());
+    let config = SessionConfig::default()
+        .with_workers(2)
+        .with_trigger(TriggerPolicy::Rate(1))
+        .with_journal(Arc::clone(&journal));
+    let mut incumbent = SessionManager::new(config.clone());
+    let ids: Vec<_> = (0..3)
+        .map(|_| {
+            incumbent
+                .open_session(
+                    Arc::clone(&program),
+                    "sink",
+                    Arc::new(DataSizeModel::new()),
+                    BuiltinRegistry::new(),
+                    builtins.clone(),
+                )
+                .unwrap()
+        })
+        .collect();
+    for _ in 0..8 {
+        let p = Arc::clone(&program);
+        incumbent.deliver(ids[0], move |ctx| Ok(make_item(&p, ctx, 50_000))).unwrap();
+    }
+    let p = Arc::clone(&program);
+    incumbent.deliver(ids[1], move |ctx| Ok(make_item(&p, ctx, 64))).unwrap();
+    let busy_active = incumbent.handler(ids[0]).unwrap().plan().active();
+    let cache = Arc::clone(incumbent.cache());
+    // "Kill": the manager goes away; only the journal file and the warm
+    // analysis cache survive the crash.
+    incumbent.shutdown();
+
+    // Restart: replay the journal into a manager over the shared cache.
+    let journal = Arc::new(SessionJournal::at_path(&path_str).unwrap());
+    let snapshots = journal.replay().unwrap();
+    assert_eq!(snapshots.len(), 3, "every session was journaled");
+    assert_eq!(snapshots[&0].watermark, 8);
+    assert_eq!(snapshots[&0].active, busy_active, "the journal captured the live cut");
+    let misses_before = cache.misses();
+    let mut restarted = SessionManager::with_shared_cache(config, cache);
+    for snapshot in snapshots.values() {
+        restarted
+            .restore_session(
+                Arc::clone(&program),
+                &snapshot.func,
+                Arc::new(DataSizeModel::new()),
+                BuiltinRegistry::new(),
+                builtins.clone(),
+                snapshot,
+            )
+            .unwrap();
+    }
+    // Zero re-analysis: the cache-miss gauge is unchanged across the
+    // restart (every restore was a cache hit).
+    assert_eq!(restarted.cache().misses(), misses_before);
+    let snap = restarted.obs().registry().snapshot();
+    assert_eq!(
+        snap.get("analysis_cache_misses", &[]),
+        Some(&MetricValue::Gauge(misses_before as f64)),
+        "cache-miss gauge unchanged after recovery"
+    );
+    assert_eq!(snap.get("sessions_recovered", &[]), Some(&MetricValue::Gauge(3.0)));
+    assert_eq!(restarted.recovered(), 3);
+    assert_eq!(
+        restarted.handler(0).unwrap().plan().active(),
+        busy_active,
+        "the journaled plan was reinstalled without re-analysis"
+    );
+    // Sequence numbering resumes past the journaled watermark.
+    let p = Arc::clone(&program);
+    let out = restarted.deliver(0, move |ctx| Ok(make_item(&p, ctx, 64))).unwrap();
+    assert_eq!(out.seq, 9, "no acked message re-delivered, none skipped");
+    restarted.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

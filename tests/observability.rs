@@ -32,6 +32,7 @@ const GOLDEN: &[&str] = &[
     "batched_events_total",
     "continuations_resumed_total{pse}",
     "continuations_sent_total{pse}",
+    "deadline_timeouts_total",
     "degradations_total",
     "degraded",
     "degraded_seconds",
@@ -42,15 +43,18 @@ const GOLDEN: &[&str] = &[
     "feedback_window_resets_total",
     "frames_corrupted_total",
     "frames_lost_total",
+    "handler_panics_total{side}",
     "mod_work_units",
     "plan_epoch",
     "plan_switch_total{reason}",
     "plan_updates_dropped_total",
     "profile_work_units_total",
     "promotions_total",
+    "quarantined_total",
     "reconfig_cut_weight",
     "reconfigurations_total",
     "retransmissions_total",
+    "shed_total{reason}",
     "stale_plan_rejected_total",
 ];
 
