@@ -1,0 +1,257 @@
+//! Node-failure failover benchmark: goodput and time-to-recover.
+//!
+//! A [`Router`] hashes a fleet of sessions across an in-process
+//! [`LocalNode`] cluster sharing one journal and analysis cache — the
+//! deterministic endpoint, so the numbers measure the failover machinery
+//! (journal drain, migration, re-delivery) rather than socket noise.
+//! Three cells:
+//!
+//! - **steady** — no faults; the routed-delivery baseline;
+//! - **kill one node** — node 0 crashes halfway through the run. The
+//!   first delivery to a session it hosted trips the health gate and
+//!   fails over *inline*: the shared journal is drained once and every
+//!   affected session restored on a survivor with its ack watermark
+//!   intact. That delivery is the **time-to-recover** column;
+//! - **kill + rejoin** — the crashed node revives at ¾ of the run and,
+//!   after the hysteresis streak of clean heartbeats, its home sessions
+//!   migrate back.
+//!
+//! Asserted invariants (the bench fails loudly, not quietly): migration
+//! performs **zero re-analysis** (cache-miss gauge is flat across the
+//! failover), numbering stays **exactly-once** (every session ends at
+//! `seq == rounds` — nothing re-applied, nothing skipped), and the
+//! migration counters account for precisely the sessions the dead node
+//! hosted.
+//!
+//! Knobs: `--nodes <N>`, `--sessions <S>`, `--messages <M>` rounds,
+//! `--smoke` (short run for CI), `--json <path>` for the
+//! machine-readable `BENCH_failover.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mpart::journal::SessionJournal;
+use mpart::router::{LocalNode, Router, RouterConfig, SessionSpec};
+use mpart::session::SessionConfig;
+use mpart_analysis::cache::AnalysisCache;
+use mpart_bench::table::{arg_usize, f2, Table};
+use mpart_bench::Report;
+use mpart_cost::DataSizeModel;
+use mpart_ir::interp::BuiltinRegistry;
+use mpart_ir::parse::parse_program;
+use mpart_ir::{Program, Value};
+
+const SRC: &str = r#"
+    fn handle(x, scale) {
+        a = x * scale
+        b = a + 7
+        c = b * b
+        native emit(c)
+        return c
+    }
+"#;
+
+fn receiver_builtins() -> BuiltinRegistry {
+    let mut b = BuiltinRegistry::new();
+    b.register_native("emit", 1, |_, _| Ok(Value::Null));
+    b
+}
+
+fn spec(program: &Arc<Program>) -> SessionSpec {
+    SessionSpec {
+        program: Arc::clone(program),
+        func: "handle".into(),
+        model: Arc::new(DataSizeModel::new()),
+        sender_builtins: BuiltinRegistry::new(),
+        receiver_builtins: receiver_builtins(),
+    }
+}
+
+struct Cell {
+    label: &'static str,
+    elapsed_ms: f64,
+    goodput: f64,
+    failovers: u64,
+    migrated: u64,
+    recover_micros: Option<u128>,
+    failover_misses: u64,
+    node0_up: bool,
+}
+
+/// One routed run: `messages` rounds across `sessions` sessions on
+/// `nodes` nodes, heartbeating every round. `kill` crashes node 0 at the
+/// halfway round; `rejoin` revives it at the ¾ round.
+fn run_cell(
+    label: &'static str,
+    program: &Arc<Program>,
+    nodes_n: usize,
+    sessions: usize,
+    messages: usize,
+    kill: bool,
+    rejoin: bool,
+) -> Cell {
+    let journal = Arc::new(SessionJournal::in_memory());
+    let cache = Arc::new(AnalysisCache::new(64));
+    let config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    let nodes: Vec<LocalNode> = (0..nodes_n)
+        .map(|i| LocalNode::new(format!("node-{i}"), config.clone(), Arc::clone(&cache)))
+        .collect();
+    let mut router = Router::new(RouterConfig::default(), journal, Arc::clone(&cache));
+    for node in &nodes {
+        router.add_node(Box::new(node.clone()));
+    }
+    let gids: Vec<u64> =
+        (0..sessions).map(|_| router.open_session(spec(program)).expect("open")).collect();
+    let args = vec![Value::Int(21), Value::Int(3)];
+
+    let kill_round = messages / 2;
+    let rejoin_round = messages * 3 / 4;
+    let mut victims: Vec<u64> = Vec::new();
+    let mut recover_micros: Option<u128> = None;
+    let mut failover_misses = 0u64;
+
+    let start = Instant::now();
+    for round in 0..messages {
+        if kill && round == kill_round {
+            victims = gids.iter().copied().filter(|g| router.placement(*g) == Some(0)).collect();
+            nodes[0].kill();
+            failover_misses = cache.misses();
+        }
+        if rejoin && round == rejoin_round {
+            nodes[0].revive();
+        }
+        for gid in &gids {
+            // The first delivery to a session the dead node hosted is
+            // the recovery path: health trip + journal drain + migration
+            // + re-delivery, timed end to end.
+            if recover_micros.is_none() && victims.contains(gid) {
+                let t = Instant::now();
+                router.deliver(*gid, args.clone()).expect("failover deliver");
+                recover_micros = Some(t.elapsed().as_micros());
+            } else {
+                router.deliver(*gid, args.clone()).expect("deliver");
+            }
+        }
+        router.heartbeat().expect("heartbeat");
+    }
+    if rejoin {
+        // Short smoke runs may end inside the hysteresis window; finish
+        // the clean-beat streak so the rejoin migration is part of the
+        // cell regardless of the round budget.
+        for _ in 0..3 {
+            router.heartbeat().expect("rejoin heartbeat");
+        }
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    if kill {
+        failover_misses = cache.misses() - failover_misses;
+    }
+
+    // Exactly-once across the crash: every session ends exactly at
+    // `seq == messages + 1` on its final (accounted) delivery below —
+    // check via one probe delivery per session.
+    for gid in &gids {
+        let out = router.deliver(*gid, args.clone()).expect("probe");
+        assert_eq!(
+            out.seq,
+            messages as u64 + 1,
+            "{label}: session {gid} numbering survived migration exactly-once"
+        );
+    }
+
+    let snapshot = router.obs().registry().snapshot();
+    Cell {
+        label,
+        elapsed_ms,
+        goodput: (sessions * messages) as f64 / (elapsed_ms / 1e3),
+        failovers: snapshot.counter_sum("node_failovers_total"),
+        migrated: snapshot.counter_sum("sessions_migrated_total"),
+        recover_micros,
+        failover_misses,
+        node0_up: router.node_is_up(0),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let nodes = arg_usize("nodes", 3).max(2);
+    let sessions = arg_usize("sessions", if smoke { 6 } else { 24 });
+    let messages = arg_usize("messages", if smoke { 8 } else { 40 });
+
+    let program = Arc::new(parse_program(SRC).expect("bench program"));
+    let cells = [
+        run_cell("steady", &program, nodes, sessions, messages, false, false),
+        run_cell("kill one node", &program, nodes, sessions, messages, true, false),
+        run_cell("kill + rejoin", &program, nodes, sessions, messages, true, true),
+    ];
+
+    let steady = &cells[0];
+    let killed = &cells[1];
+    let rejoined = &cells[2];
+    let homed = sessions.div_ceil(nodes) as u64; // sessions hashed to node 0
+    assert_eq!(steady.failovers, 0, "steady cell sees no failovers");
+    assert_eq!(killed.failovers, 1, "one crash, one failover");
+    assert_eq!(killed.migrated, homed, "every session the dead node hosted migrated");
+    assert_eq!(killed.failover_misses, 0, "failover migration performs zero re-analysis");
+    assert_eq!(rejoined.failover_misses, 0, "rejoin migration performs zero re-analysis");
+    assert!(!killed.node0_up, "without a revive the dead node stays down");
+    assert!(rejoined.node0_up, "the revived node rejoined after its hysteresis streak");
+    assert_eq!(rejoined.migrated, 2 * homed, "rejoin migrates the displaced home sessions back");
+
+    let mut table = Table::new(
+        "Kill-a-node failover: goodput and time-to-recover on a routed cluster",
+        &[
+            "cell",
+            "nodes",
+            "sessions",
+            "rounds",
+            "elapsed ms",
+            "msgs/sec",
+            "failovers",
+            "migrated",
+            "recover us",
+            "failover analysis misses",
+        ],
+    );
+    for cell in &cells {
+        table.row(vec![
+            cell.label.to_string(),
+            nodes.to_string(),
+            sessions.to_string(),
+            messages.to_string(),
+            f2(cell.elapsed_ms),
+            f2(cell.goodput),
+            cell.failovers.to_string(),
+            cell.migrated.to_string(),
+            cell.recover_micros.map_or("-".to_string(), |us| us.to_string()),
+            cell.failover_misses.to_string(),
+        ]);
+    }
+    table.note(
+        "time-to-recover is the first post-crash delivery to a session the \
+         dead node hosted: health trip, one journal drain, migration of \
+         every affected session (cache hits only), and the re-delivery",
+    );
+    table.print();
+
+    println!(
+        "kill-one-node: recovered in {} us, {} sessions migrated, 0 re-analyses \
+         (steady {:.0} msgs/sec vs killed {:.0} msgs/sec)",
+        killed.recover_micros.unwrap_or(0),
+        killed.migrated,
+        steady.goodput,
+        killed.goodput,
+    );
+
+    let mut report = Report::new("failover");
+    report
+        .param_u64("nodes", nodes as u64)
+        .param_u64("sessions", sessions as u64)
+        .param_u64("messages", messages as u64)
+        .param_u64("smoke", u64::from(smoke))
+        .param_u64("time_to_recover_micros", killed.recover_micros.unwrap_or(0) as u64)
+        .param_u64("sessions_migrated", killed.migrated)
+        .param_u64("failover_analysis_misses", killed.failover_misses)
+        .add_table(&table);
+    report.finish();
+}

@@ -21,13 +21,21 @@
 //! harness; the virtual-time pipeline inside each session is unrelated to
 //! the throughput measured here).
 //!
+//! `--tcp` swaps the simulated wire for **real loopback sockets**: each
+//! session is a [`TcpReceiver`] on an ephemeral port and a supervised
+//! [`Supervisor`] sender with envelope batching at the same K, both wire
+//! halves built from one cached analysis
+//! ([`TcpReceiver::bind_with_handler`]). Same sweep, same exactly-once
+//! assertion — the cells then measure framing, checksums, and kernel
+//! round-trips instead of the virtual-time pipeline.
+//!
 //! Knobs: `--messages <M>` per session, `--depth <D>` diamond branches,
-//! `--smoke` (tiny sweep for CI), `--json <path>` for the
-//! machine-readable `BENCH_throughput.json`.
+//! `--tcp` (real sockets), `--smoke` (tiny sweep for CI), `--json <path>`
+//! for the machine-readable `BENCH_throughput.json`.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mpart::profile::TriggerPolicy;
 use mpart::PartitionedHandler;
@@ -38,7 +46,7 @@ use mpart_cost::DataSizeModel;
 use mpart_ir::interp::BuiltinRegistry;
 use mpart_ir::parse::parse_program;
 use mpart_ir::{Program, Value};
-use mpart_jecho::{SimConfig, SimSession};
+use mpart_jecho::{RetryPolicy, SimConfig, SimSession, Supervisor, TcpReceiver};
 use mpart_simnet::{FaultPlan, Host, Link, SimTime};
 
 /// A handler with `depth` sequential diamond branches ahead of the
@@ -130,8 +138,64 @@ fn run_cell(program: &Arc<Program>, sessions: usize, batch: usize, messages: usi
     }
 }
 
+/// One `--tcp` sweep cell: N sequential sessions, each a real
+/// loopback-socket pair (receiver thread + supervised sender) with
+/// envelope batching at K, all handlers built through one shared cache.
+fn run_cell_tcp(program: &Arc<Program>, sessions: usize, batch: usize, messages: usize) -> Cell {
+    let cache = AnalysisCache::new(DEFAULT_CACHE_CAPACITY);
+    let start = Instant::now();
+    let mut delivered = 0u64;
+    let mut envelope_batches = 0u64;
+    let mut batched_events = 0u64;
+    for _ in 0..sessions {
+        let handler = PartitionedHandler::analyze_cached(
+            Arc::clone(program),
+            "churn",
+            Arc::new(DataSizeModel::new()),
+            &cache,
+        )
+        .expect("analysis");
+        let receiver = TcpReceiver::bind_with_handler(
+            Arc::clone(program),
+            Arc::clone(&handler),
+            receiver_builtins(),
+            TriggerPolicy::Never,
+        )
+        .expect("bind");
+        let mut supervisor = Supervisor::new(
+            Arc::clone(program),
+            Arc::clone(&handler),
+            BuiltinRegistry::new(),
+            receiver.port(),
+            RetryPolicy::default(),
+        )
+        .with_batching(batch, Duration::from_millis(50));
+        for seq in 0..messages {
+            supervisor.publish(move |_| Ok(vec![Value::Int(seq as i64)])).expect("publish");
+        }
+        supervisor.shutdown(Duration::from_secs(30)).expect("drain");
+        let snap = handler.obs().registry().snapshot();
+        envelope_batches += snap.counter_sum("envelope_batches_total");
+        batched_events += snap.counter_sum("batched_events_total");
+        delivered += receiver.join().expect("join");
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(delivered, (sessions * messages) as u64, "every message applied exactly once");
+    Cell {
+        sessions,
+        batch,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        msgs_per_sec: delivered as f64 / elapsed.as_secs_f64(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        envelope_batches,
+        batched_events,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let tcp = std::env::args().any(|a| a == "--tcp");
     let messages = arg_usize("messages", if smoke { 8 } else { 32 });
     let depth = arg_usize("depth", 14);
     let session_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
@@ -140,7 +204,11 @@ fn main() {
     let program = Arc::new(parse_program(&synthetic_source(depth)).expect("synthetic program"));
 
     let mut table = Table::new(
-        "Throughput sweep: sessions x batch size (branchy handler, supervised sim wire)",
+        if tcp {
+            "Throughput sweep: sessions x batch size (branchy handler, loopback TCP wire)"
+        } else {
+            "Throughput sweep: sessions x batch size (branchy handler, supervised sim wire)"
+        },
         &[
             "sessions",
             "batch K",
@@ -157,7 +225,11 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for &batch in batch_sizes {
         for &sessions in session_counts {
-            cells.push(run_cell(&program, sessions, batch, messages));
+            cells.push(if tcp {
+                run_cell_tcp(&program, sessions, batch, messages)
+            } else {
+                run_cell(&program, sessions, batch, messages)
+            });
         }
     }
 
@@ -190,6 +262,7 @@ fn main() {
         .param_u64("messages_per_session", messages as u64)
         .param_u64("depth", depth as u64)
         .param_u64("smoke", u64::from(smoke))
+        .param_u64("tcp", u64::from(tcp))
         .add_table(&table);
     report.finish();
 }

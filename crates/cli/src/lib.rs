@@ -17,6 +17,13 @@
 //! mpart serve <file> <fn> [args..] --sessions N
 //!                                  run N concurrent sessions over a shared
 //!                                  worker pool and analysis cache
+//! mpart route <file> <fn> [args..] --nodes N
+//!                                  route sessions across N loopback-TCP
+//!                                  cluster nodes; --kill K crashes node K
+//!                                  mid-run and shows the failover
+//! mpart stats <file> <fn> [args..] --cluster
+//!                                  run a node-kill drill on an in-process
+//!                                  cluster, dump the aggregated metrics
 //! mpart deadletter <file> <fn> [args..] --poison SEQ
 //!                                  run a chaos session with a poisoned
 //!                                  envelope and dump the quarantine ring
@@ -39,9 +46,12 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use mpart::codegen::{demodulator_text, generated_sizes, modulator_text};
+use mpart::journal::SessionJournal;
 use mpart::profile::TriggerPolicy;
+use mpart::router::{LocalNode, Router, RouterConfig, SessionSpec};
 use mpart::session::{SessionConfig, SessionManager};
 use mpart::PartitionedHandler;
+use mpart_analysis::cache::AnalysisCache;
 use mpart_cost::{CostModel, DataSizeModel, ExecTimeModel, PowerModel};
 use mpart_ir::instr::{Instr, Rvalue};
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx, Interp};
@@ -49,7 +59,8 @@ use mpart_ir::parse::parse_program;
 use mpart_ir::pretty::program_to_string;
 use mpart_ir::stdlib::register_stdlib;
 use mpart_ir::{IrError, Program, Value};
-use mpart_jecho::{SimConfig, SimSession};
+use mpart_jecho::node::{NodeServer, TcpNode};
+use mpart_jecho::{RetryPolicy, SimConfig, SimSession};
 use mpart_simnet::{FaultPlan, Host, Link, SimTime};
 
 /// A CLI failure: either a usage error or an underlying IR error.
@@ -90,7 +101,9 @@ pub const USAGE: &str = "usage:
   mpart split <file> <fn> --pse <N> [args..]
   mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]
+  mpart stats <file> <fn> [args..] --cluster [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--json]
   mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--queue <N>] [--journal <path>] [--model ...] [--auto-model]
+  mpart route <file> <fn> [args..] [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--ports <p1,p2,..>] [--model ...]
   mpart deadletter <file> <fn> [args..] [--messages <N>] [--seed <N>] [--poison <SEQ>] [--json]
   mpart help";
 
@@ -155,6 +168,12 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
             let func = next(&mut it, "function")?;
             let rest: Vec<String> = it.cloned().collect();
             cmd_serve(&file, &func, &rest)
+        }
+        "route" => {
+            let file = next(&mut it, "file")?;
+            let func = next(&mut it, "function")?;
+            let rest: Vec<String> = it.cloned().collect();
+            cmd_route(&file, &func, &rest)
         }
         "deadletter" => {
             let file = next(&mut it, "file")?;
@@ -421,8 +440,11 @@ fn event_args(rest: &[String]) -> Vec<Value> {
         "--queue",
         "--journal",
         "--poison",
+        "--nodes",
+        "--kill",
+        "--ports",
     ];
-    const BARE: &[&str] = &["--session", "--json", "--auto-model"];
+    const BARE: &[&str] = &["--session", "--json", "--auto-model", "--cluster"];
     let mut args = Vec::new();
     let mut skip = false;
     for a in rest {
@@ -489,6 +511,9 @@ fn run_chaos_session(file: &str, func: &str, rest: &[String]) -> Result<SimSessi
 }
 
 fn cmd_stats(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    if has_flag(rest, "--cluster") {
+        return cmd_stats_cluster(file, func, rest);
+    }
     let session = run_chaos_session(file, func, rest)?;
     if has_flag(rest, "--json") {
         return Ok(session.obs().metrics_json().render());
@@ -612,6 +637,274 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
         }
     }
     manager.shutdown();
+    Ok(out)
+}
+
+/// Cluster sizing shared by `mpart route` and `mpart stats --cluster`,
+/// validated up front with one-line usage errors (exit 2), mirroring
+/// `mpart serve`.
+struct ClusterOpts {
+    nodes: usize,
+    sessions: usize,
+    messages: u64,
+    kill: Option<usize>,
+}
+
+fn cluster_opts(rest: &[String]) -> Result<ClusterOpts, CliError> {
+    let nodes = opt_u64(rest, "--nodes", 2)?;
+    if nodes == 0 {
+        return Err(CliError::Usage("`--nodes` must be at least 1".into()));
+    }
+    let sessions = opt_u64(rest, "--sessions", 4)?;
+    if sessions == 0 {
+        return Err(CliError::Usage("`--sessions` must be at least 1".into()));
+    }
+    let messages = opt_u64(rest, "--messages", 8)?.max(1);
+    let kill = match has_flag(rest, "--kill") {
+        false => None,
+        true => {
+            let k = opt_u64(rest, "--kill", 0)?;
+            if k >= nodes {
+                return Err(CliError::Usage(format!(
+                    "`--kill {k}` is out of range (cluster has {nodes} nodes, numbered from 0)"
+                )));
+            }
+            if nodes == 1 {
+                return Err(CliError::Usage(
+                    "`--kill` with a single node leaves no survivors to migrate to".into(),
+                ));
+            }
+            Some(k as usize)
+        }
+    };
+    Ok(ClusterOpts { nodes: nodes as usize, sessions: sessions as usize, messages, kill })
+}
+
+/// Parses `--ports p1,p2,..`: one non-zero port per node, no duplicates.
+fn parse_ports(spec: &str, nodes: usize) -> Result<Vec<u16>, CliError> {
+    let mut ports: Vec<u16> = Vec::new();
+    for token in spec.split(',') {
+        let port = token
+            .trim()
+            .parse::<u16>()
+            .map_err(|_| CliError::Usage(format!("`--ports` entry `{token}` is not a port")))?;
+        if port == 0 {
+            return Err(CliError::Usage("`--ports` entries must be non-zero".into()));
+        }
+        if ports.contains(&port) {
+            return Err(CliError::Usage(format!("`--ports` lists port {port} twice")));
+        }
+        ports.push(port);
+    }
+    if ports.len() != nodes {
+        return Err(CliError::Usage(format!(
+            "`--ports` names {} ports for {nodes} nodes",
+            ports.len()
+        )));
+    }
+    Ok(ports)
+}
+
+/// Opens `sessions` routed sessions, drives `messages` rounds of the same
+/// event through each, heartbeats every round, and crashes node
+/// `opts.kill` halfway through via `kill` — the router's inline failover
+/// and the dead node's heartbeat misses both show up in the summary.
+fn drive_cluster(
+    router: &mut Router,
+    spec: &SessionSpec,
+    opts: &ClusterOpts,
+    kill: Option<usize>,
+    args: &[Value],
+    crash: &mut dyn FnMut(usize),
+) -> Result<Vec<(u64, mpart::session::SessionOutcome)>, CliError> {
+    let mut gids = Vec::with_capacity(opts.sessions);
+    for _ in 0..opts.sessions {
+        gids.push(router.open_session(spec.clone())?);
+    }
+    let kill_round = opts.messages / 2;
+    let mut last = Vec::new();
+    for round in 0..opts.messages {
+        if round == kill_round {
+            if let Some(k) = kill {
+                crash(k);
+            }
+        }
+        last.clear();
+        for gid in &gids {
+            last.push((*gid, router.deliver(*gid, args.to_vec())?));
+        }
+        router.heartbeat()?;
+    }
+    Ok(last)
+}
+
+/// Routes sessions across `--nodes` in-process cluster nodes on real
+/// loopback TCP: each node is a [`NodeServer`] (a `SessionManager` behind
+/// a line protocol) sharing one journal and analysis cache, and the
+/// router dials them as [`TcpNode`] endpoints with supervised backoff.
+/// `--kill K` crashes node K halfway through the run; the affected
+/// sessions migrate to survivors from the journal with their ack
+/// watermarks intact and zero re-analysis. See `DESIGN.md` §"Multi-host
+/// routing & failover".
+fn cmd_route(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = load(file)?;
+    let model = model_from(rest)?;
+    let opts = cluster_opts(rest)?;
+    let ports: Option<Vec<u16>> = match opt_str(rest, "--ports")? {
+        Some(spec) => Some(parse_ports(&spec, opts.nodes)?),
+        None => None,
+    };
+    let args = event_args(rest);
+
+    let journal = Arc::new(SessionJournal::in_memory());
+    let cache = Arc::new(AnalysisCache::new(64));
+    let config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    let mut servers = Vec::with_capacity(opts.nodes);
+    for i in 0..opts.nodes {
+        let port = ports.as_ref().map_or(0, |p| p[i]);
+        servers.push(
+            NodeServer::spawn_on(
+                format!("node-{i}"),
+                port,
+                Arc::clone(&program),
+                config.clone(),
+                Arc::clone(&cache),
+                stubbed_builtins(&program, false),
+                stubbed_builtins(&program, false),
+            )
+            .map_err(CliError::Ir)?,
+        );
+    }
+    let mut router = Router::new(RouterConfig::default(), journal, cache);
+    for server in &servers {
+        router.add_node(Box::new(TcpNode::new(
+            server.name().to_string(),
+            server.port(),
+            RetryPolicy::default(),
+        )));
+    }
+    let spec = SessionSpec {
+        program: Arc::clone(&program),
+        func: func.into(),
+        model,
+        sender_builtins: stubbed_builtins(&program, false),
+        receiver_builtins: stubbed_builtins(&program, false),
+    };
+    let last =
+        drive_cluster(&mut router, &spec, &opts, opts.kill, &args, &mut |k| servers[k].kill())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "routed `{func}`: {} sessions over {} nodes", opts.sessions, opts.nodes);
+    for (i, server) in servers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  node {i} [{} @127.0.0.1:{}] {}{}",
+            server.name(),
+            server.port(),
+            if router.node_is_up(i) { "up" } else { "down" },
+            if opts.kill == Some(i) {
+                format!(" (killed at round {})", opts.messages / 2)
+            } else {
+                String::new()
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  delivered {} messages ({} rounds x {} sessions)",
+        opts.messages * opts.sessions as u64,
+        opts.messages,
+        opts.sessions,
+    );
+    let snapshot = router.obs().registry().snapshot();
+    let _ = writeln!(
+        out,
+        "  failovers {}, sessions migrated {}, route errors {}, heartbeat misses {}",
+        snapshot.counter_sum("node_failovers_total"),
+        snapshot.counter_sum("sessions_migrated_total"),
+        snapshot.counter_sum("route_errors_total"),
+        snapshot.counter_sum("node_heartbeat_misses_total"),
+    );
+    let cache = router.cache();
+    let _ = writeln!(
+        out,
+        "  analysis cache: {} misses, {} hits (hit rate {:.2})",
+        cache.misses(),
+        cache.hits(),
+        cache.hit_rate(),
+    );
+    for (gid, outcome) in &last {
+        let _ = writeln!(
+            out,
+            "  session {gid}: node {}, epoch {}, seq {}, last wire {} bytes",
+            router.placement(*gid).expect("routed session has a placement"),
+            outcome.epoch,
+            outcome.seq,
+            outcome.wire_bytes,
+        );
+    }
+    for server in servers {
+        server.shutdown();
+    }
+    Ok(out)
+}
+
+/// `mpart stats --cluster`: drives a node-kill drill on an in-process
+/// [`LocalNode`] cluster and prints the *aggregated* observability
+/// surface — the router's own counters and gauges plus every node's
+/// metrics with a `node="i"` label injected. Kills node 0 halfway by
+/// default (when the cluster has a survivor); `--kill K` picks the
+/// victim.
+fn cmd_stats_cluster(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
+    let program = load(file)?;
+    let model = model_from(rest)?;
+    let opts = cluster_opts(rest)?;
+    let kill = opts.kill.or(if opts.nodes >= 2 { Some(0) } else { None });
+    let args = event_args(rest);
+
+    let journal = Arc::new(SessionJournal::in_memory());
+    let cache = Arc::new(AnalysisCache::new(64));
+    let config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    let nodes: Vec<LocalNode> = (0..opts.nodes)
+        .map(|i| LocalNode::new(format!("node-{i}"), config.clone(), Arc::clone(&cache)))
+        .collect();
+    let mut router = Router::new(RouterConfig::default(), journal, cache);
+    for node in &nodes {
+        router.add_node(Box::new(node.clone()));
+    }
+    let spec = SessionSpec {
+        program: Arc::clone(&program),
+        func: func.into(),
+        model,
+        sender_builtins: stubbed_builtins(&program, false),
+        receiver_builtins: stubbed_builtins(&program, false),
+    };
+    drive_cluster(&mut router, &spec, &opts, kill, &args, &mut |k| nodes[k].kill())?;
+
+    let stats = router.cluster_stats();
+    if has_flag(rest, "--json") {
+        let doc = mpart_obs::Json::Obj(vec![(
+            "cluster".into(),
+            mpart_obs::Json::Obj(
+                stats.into_iter().map(|(k, v)| (k, mpart_obs::Json::F64(v))).collect(),
+            ),
+        )]);
+        return Ok(doc.render());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cluster drill over `{func}`: {} sessions, {} nodes{}",
+        opts.sessions,
+        opts.nodes,
+        match kill {
+            Some(k) => format!(", node {k} killed at round {}", opts.messages / 2),
+            None => String::new(),
+        },
+    );
+    for (identity, value) in stats {
+        let _ = writeln!(out, "  {identity} {value}");
+    }
     Ok(out)
 }
 
@@ -1043,6 +1336,98 @@ mod tests {
         assert!(out.contains("2 sessions"), "{out}");
         let log = std::fs::read_to_string(journal.as_str()).unwrap();
         assert!(log.contains("open"), "journal records session opens:\n{log}");
+    }
+
+    #[test]
+    fn route_fails_over_when_a_node_is_killed() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "route",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--nodes",
+            "2",
+            "--sessions",
+            "3",
+            "--messages",
+            "6",
+            "--kill",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 sessions over 2 nodes"), "{out}");
+        assert!(out.contains("node 0 [node-0 @127.0.0.1:"), "{out}");
+        assert!(out.contains("down (killed at round 3)"), "{out}");
+        assert!(out.contains("failovers 1, sessions migrated 2"), "{out}");
+        // One analysis for the whole cluster: migration is re-instantiation
+        // from the shared cache, never re-analysis.
+        assert!(out.contains("analysis cache: 1 misses"), "{out}");
+        // Exactly-once numbering across the crash: 6 rounds -> seq 6.
+        assert!(out.contains("seq 6"), "{out}");
+    }
+
+    #[test]
+    fn route_rejects_bad_cluster_shapes_with_usage_errors() {
+        let file = demo_file();
+        for bad in [
+            &["route", file.as_str(), "handle", "--nodes", "0"][..],
+            &["route", file.as_str(), "handle", "--sessions", "0"],
+            &["route", file.as_str(), "handle", "--nodes", "2", "--kill", "2"],
+            &["route", file.as_str(), "handle", "--nodes", "1", "--kill", "0"],
+            &["route", file.as_str(), "handle", "--nodes", "2", "--ports", "7001,7001"],
+            &["route", file.as_str(), "handle", "--nodes", "2", "--ports", "7001"],
+            &["route", file.as_str(), "handle", "--nodes", "2", "--ports", "7001,zero"],
+            &["route", file.as_str(), "handle", "--nodes", "2", "--ports", "7001,0"],
+        ] {
+            match execute(&args(bad)) {
+                Err(CliError::Usage(m)) => {
+                    assert!(!m.contains('\n'), "one-line usage error: {m}")
+                }
+                other => panic!("expected a usage error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_cluster_aggregates_per_node_metrics() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "stats",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--cluster",
+            "--nodes",
+            "2",
+            "--sessions",
+            "2",
+            "--messages",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("node 0 killed at round 2"), "{out}");
+        assert!(out.contains("node_failovers_total 1"), "{out}");
+        assert!(out.contains("sessions_migrated_total 1"), "{out}");
+        // Per-node metrics carry the injected node label instead of
+        // silently summing across nodes.
+        assert!(out.contains("node=\"1\""), "{out}");
+        let json = execute(&args(&[
+            "stats",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--cluster",
+            "--nodes",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"cluster\""), "{json}");
+        assert!(json.contains("node_up"), "{json}");
     }
 
     #[test]

@@ -40,6 +40,11 @@
 //! * [`journal`] — append-only session journal (plan epochs, model, ack
 //!   watermark, profiling flags; no payloads) for crash-safe recovery
 //!   through the analysis cache with zero re-analysis.
+//! * [`router`] — [`router::Router`]: multi-host session routing; hashes
+//!   sessions onto nodes, tracks node health (heartbeat misses +
+//!   error-rate EWMA with hysteresis), and on node death drains the
+//!   shared journal to migrate sessions onto survivors — kill-a-node
+//!   recovery with zero re-analysis and preserved ack watermarks.
 //!
 //! ## End-to-end example
 //!
@@ -92,6 +97,7 @@ pub mod partitioned;
 pub mod plan;
 pub mod profile;
 pub mod reconfig;
+pub mod router;
 pub mod session;
 
 /// Index of a Potential Split Edge within a handler's analysis results.

@@ -1,0 +1,1013 @@
+//! Multi-host session routing with node-failure failover.
+//!
+//! The [`session::SessionManager`](crate::session::SessionManager) shards
+//! sessions over worker *threads*; this module shards them over *nodes* —
+//! independent failure domains, each wrapping its own manager — and
+//! promotes the failure domain from "envelope" (dead-letter quarantine)
+//! and "process" (journal recovery) to "node". The design follows the
+//! retraction idea of the partitioning literature: a placement is a
+//! runtime property, re-decided when the host underneath it dies.
+//!
+//! * [`Router`] hashes cluster-global session ids onto a set of
+//!   [`NodeEndpoint`]s (`home = gid % nodes`) and owns the failover state
+//!   machine.
+//! * [`NodeHealth`] tracks each node with heartbeat-miss hysteresis plus
+//!   an error-rate EWMA, mirroring the per-link
+//!   [`LinkHealth`](crate::health::LinkHealth) ladder one level up.
+//! * On node death the router drains the affected sessions from the
+//!   shared [`SessionJournal`] and re-opens them on surviving nodes via
+//!   the restore path. Because every node shares one
+//!   [`AnalysisCache`], a kill-one-node failover re-analyzes **nothing**
+//!   (every restore is a cache hit), and the journaled ack watermark
+//!   resumes sequence numbering so no envelope is double-applied.
+//! * On rejoin (a down node answering `rejoin_streak` consecutive
+//!   heartbeats) the router migrates the node's *home* sessions back —
+//!   hysteresis keeps a flapping node from thrashing sessions.
+//!
+//! Two endpoint flavors exist: [`LocalNode`] (an in-process manager with
+//! a kill switch — deterministic, used by chaos tests and the failover
+//! bench) and the loopback-TCP node client in the `mpart-jecho` crate
+//! (used by `mpart route`).
+//!
+//! A session retracted from a node that later proves alive (e.g. a
+//! heartbeat partition rather than a crash) leaves an orphaned copy
+//! behind; the router never delivers to it again, so exactly-once
+//! application holds, but its worker slot is not reclaimed until the node
+//! restarts. Reclaiming live slots needs a session-close protocol, which
+//! this layer does not yet have.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use mpart_analysis::cache::AnalysisCache;
+use mpart_cost::CostModel;
+use mpart_ir::interp::BuiltinRegistry;
+use mpart_ir::{IrError, Program, Value};
+use mpart_obs::{Counter, Gauge, MetricValue, ObsHub, TraceEvent};
+
+use crate::journal::{SessionJournal, SessionSnapshot};
+use crate::session::{SessionConfig, SessionManager, SessionOutcome};
+
+/// Cluster-global session id (stable across migrations; also the id the
+/// shared journal records the session under).
+pub type GlobalSessionId = u64;
+
+/// Everything a node needs to *instantiate* a session: the code side.
+/// State (plan epoch, active set, watermark, flags) lives in the journal;
+/// the spec is deployment configuration and crosses migrations by clone.
+#[derive(Clone)]
+pub struct SessionSpec {
+    /// The deployed program.
+    pub program: Arc<Program>,
+    /// Handler function name.
+    pub func: String,
+    /// Pricing model sessions open under.
+    pub model: Arc<dyn CostModel>,
+    /// Sender-side builtin registry.
+    pub sender_builtins: BuiltinRegistry,
+    /// Receiver-side builtin registry.
+    pub receiver_builtins: BuiltinRegistry,
+}
+
+impl std::fmt::Debug for SessionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionSpec")
+            .field("func", &self.func)
+            .field("model", &self.model.name())
+            .finish()
+    }
+}
+
+/// Why a node operation failed — the distinction the failover state
+/// machine runs on.
+#[derive(Debug)]
+pub enum NodeError {
+    /// The node itself is unreachable or dead (connection refused, socket
+    /// error, manager gone). Counts against [`NodeHealth`] and can trip a
+    /// failover.
+    Transport(String),
+    /// The node is alive but the session-level operation failed (handler
+    /// error, analysis failure). Propagated to the caller; the node stays
+    /// healthy.
+    Handler(IrError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Transport(msg) => write!(f, "transport: {msg}"),
+            NodeError::Handler(e) => write!(f, "handler: {e}"),
+        }
+    }
+}
+
+/// One host in the cluster, as the router sees it.
+///
+/// Implementations must be cheap to probe: `heartbeat` is called on every
+/// router heartbeat tick for every node, up or down.
+pub trait NodeEndpoint: Send {
+    /// Stable human-readable node name (addresses, diagnostics).
+    fn name(&self) -> String;
+
+    /// Opens a fresh session journaled under cluster-global id `gid`;
+    /// returns the node-local session id deliveries address.
+    fn open(&mut self, gid: GlobalSessionId, spec: &SessionSpec) -> Result<usize, NodeError>;
+
+    /// Re-opens a journaled session from `snapshot` (the migration path);
+    /// returns the node-local session id.
+    fn restore(
+        &mut self,
+        gid: GlobalSessionId,
+        spec: &SessionSpec,
+        snapshot: &SessionSnapshot,
+    ) -> Result<usize, NodeError>;
+
+    /// Delivers one event (scalar arguments) through local session
+    /// `local`.
+    fn deliver(&mut self, local: usize, args: Vec<Value>) -> Result<SessionOutcome, NodeError>;
+
+    /// Liveness probe; `false` counts as a heartbeat miss.
+    fn heartbeat(&mut self) -> bool;
+
+    /// The node's observability surface flattened to `(identity, value)`
+    /// pairs — counters and gauges by their `name{labels}` identity,
+    /// histograms as `identity_count` / `identity_sum`. Empty when the
+    /// node is unreachable.
+    fn metrics(&mut self) -> Vec<(String, f64)>;
+}
+
+/// Hysteresis thresholds for [`NodeHealth`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeHealthConfig {
+    /// Consecutive heartbeat misses before a node is declared dead.
+    pub miss_budget: u32,
+    /// Consecutive heartbeats a dead node must answer before rejoining.
+    pub rejoin_streak: u32,
+    /// EWMA smoothing factor for the delivery error rate (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+    /// Error-rate EWMA at or above which a transport error kills the
+    /// node. With the default α = 0.5 a single hard transport error
+    /// trips immediately (0.5 ≥ 0.5) — connection refused *is* death —
+    /// while raising the threshold tolerates sporadic transport noise.
+    pub error_threshold: f64,
+}
+
+impl Default for NodeHealthConfig {
+    fn default() -> Self {
+        NodeHealthConfig { miss_budget: 3, rejoin_streak: 3, ewma_alpha: 0.5, error_threshold: 0.5 }
+    }
+}
+
+/// Per-node health: heartbeat-miss hysteresis plus an error-rate EWMA,
+/// the node-level analogue of [`LinkHealth`](crate::health::LinkHealth).
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    config: NodeHealthConfig,
+    up: bool,
+    consecutive_misses: u32,
+    consecutive_beats: u32,
+    error_ewma: f64,
+}
+
+impl NodeHealth {
+    /// A healthy tracker with the given thresholds.
+    pub fn new(config: NodeHealthConfig) -> Self {
+        NodeHealth {
+            config,
+            up: true,
+            consecutive_misses: 0,
+            consecutive_beats: 0,
+            error_ewma: 0.0,
+        }
+    }
+
+    /// Whether the node is currently considered alive.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Smoothed delivery error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_ewma
+    }
+
+    /// Records a successful delivery: decays the error EWMA and clears
+    /// the miss streak.
+    pub fn record_success(&mut self) {
+        self.consecutive_misses = 0;
+        self.error_ewma *= 1.0 - self.config.ewma_alpha;
+    }
+
+    /// Records a transport-level delivery error; returns `true` on the
+    /// up → down transition (error EWMA crossed the threshold).
+    pub fn record_error(&mut self) -> bool {
+        self.error_ewma = self.config.ewma_alpha + (1.0 - self.config.ewma_alpha) * self.error_ewma;
+        if self.up && self.error_ewma >= self.config.error_threshold {
+            self.force_down();
+            return true;
+        }
+        false
+    }
+
+    /// Records a heartbeat miss; returns `true` on the up → down
+    /// transition (miss budget exhausted).
+    pub fn record_miss(&mut self) -> bool {
+        self.consecutive_beats = 0;
+        self.consecutive_misses = self.consecutive_misses.saturating_add(1);
+        if self.up && self.consecutive_misses >= self.config.miss_budget.max(1) {
+            self.force_down();
+            return true;
+        }
+        false
+    }
+
+    /// Records an answered heartbeat; returns `true` on the down → up
+    /// transition (rejoin streak reached).
+    pub fn record_beat(&mut self) -> bool {
+        self.consecutive_misses = 0;
+        if self.up {
+            return false;
+        }
+        self.consecutive_beats = self.consecutive_beats.saturating_add(1);
+        if self.consecutive_beats >= self.config.rejoin_streak.max(1) {
+            self.up = true;
+            self.consecutive_beats = 0;
+            self.error_ewma = 0.0;
+            return true;
+        }
+        false
+    }
+
+    /// Marks the node dead unconditionally (idempotent).
+    pub fn force_down(&mut self) {
+        self.up = false;
+        self.consecutive_beats = 0;
+        self.consecutive_misses = 0;
+    }
+}
+
+/// Router policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterConfig {
+    /// Node health thresholds.
+    pub health: NodeHealthConfig,
+}
+
+struct NodeSlot {
+    endpoint: Box<dyn NodeEndpoint>,
+    health: NodeHealth,
+    up_gauge: Gauge,
+    misses: Counter,
+}
+
+struct Placement {
+    /// Hash-preferred node (`gid % nodes`); rejoin migrates back here.
+    home: usize,
+    /// Node currently hosting the session.
+    node: usize,
+    /// Node-local session id on `node`.
+    local: usize,
+    /// Code side, for re-instantiation on migration.
+    spec: SessionSpec,
+}
+
+struct RouterMetrics {
+    node_failovers: Counter,
+    sessions_migrated: Counter,
+    route_errors: Counter,
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+}
+
+/// Hashes sessions onto nodes and migrates them off dead ones. See the
+/// [module docs](self) for the failure model.
+pub struct Router {
+    nodes: Vec<NodeSlot>,
+    placements: BTreeMap<GlobalSessionId, Placement>,
+    next_gid: GlobalSessionId,
+    journal: Arc<SessionJournal>,
+    cache: Arc<AnalysisCache>,
+    obs: Arc<ObsHub>,
+    metrics: RouterMetrics,
+    config: RouterConfig,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("nodes", &self.nodes.len())
+            .field("sessions", &self.placements.len())
+            .finish()
+    }
+}
+
+impl Router {
+    /// An empty router over the shared `journal` (the migration
+    /// authority) and `cache` (what makes migration analysis-free). Every
+    /// node added later must share both.
+    pub fn new(
+        config: RouterConfig,
+        journal: Arc<SessionJournal>,
+        cache: Arc<AnalysisCache>,
+    ) -> Self {
+        let obs = Arc::new(ObsHub::new());
+        let registry = obs.registry();
+        let metrics = RouterMetrics {
+            node_failovers: registry.counter("node_failovers_total", &[]),
+            sessions_migrated: registry.counter("sessions_migrated_total", &[]),
+            route_errors: registry.counter("route_errors_total", &[]),
+            cache_hits: registry.gauge("cluster_analysis_cache_hits", &[]),
+            cache_misses: registry.gauge("cluster_analysis_cache_misses", &[]),
+        };
+        Router {
+            nodes: Vec::new(),
+            placements: BTreeMap::new(),
+            next_gid: 0,
+            journal,
+            cache,
+            obs,
+            metrics,
+            config,
+        }
+    }
+
+    /// Registers a node; returns its index. Nodes are added before
+    /// sessions are opened — the hash ring does not resize live.
+    pub fn add_node(&mut self, endpoint: Box<dyn NodeEndpoint>) -> usize {
+        let index = self.nodes.len();
+        let label = index.to_string();
+        let registry = self.obs.registry();
+        let up_gauge = registry.gauge("node_up", &[("node", &label)]);
+        up_gauge.set(1.0);
+        let misses = registry.counter("node_heartbeat_misses_total", &[("node", &label)]);
+        self.nodes.push(NodeSlot {
+            endpoint,
+            health: NodeHealth::new(self.config.health),
+            up_gauge,
+            misses,
+        });
+        index
+    }
+
+    /// Registered nodes (up or down).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Routed sessions.
+    pub fn sessions(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether node `node` is currently considered alive.
+    pub fn node_is_up(&self, node: usize) -> bool {
+        self.nodes.get(node).is_some_and(|slot| slot.health.is_up())
+    }
+
+    /// The node currently hosting session `gid`.
+    pub fn placement(&self, gid: GlobalSessionId) -> Option<usize> {
+        self.placements.get(&gid).map(|p| p.node)
+    }
+
+    /// The router's observability hub (failover counters, `node_up`
+    /// gauges, `node_failover`/`node_rejoin` trace events).
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        self.metrics.cache_hits.set(self.cache.hits() as f64);
+        self.metrics.cache_misses.set(self.cache.misses() as f64);
+        &self.obs
+    }
+
+    /// The shared journal.
+    pub fn journal(&self) -> &Arc<SessionJournal> {
+        &self.journal
+    }
+
+    /// The shared analysis cache.
+    pub fn cache(&self) -> &Arc<AnalysisCache> {
+        &self.cache
+    }
+
+    /// Opens a session on its home node (`gid % nodes`), falling forward
+    /// around the ring if the home node is down.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Continuation`] when no node is up, transport failures,
+    /// and analysis errors from the node.
+    pub fn open_session(&mut self, spec: SessionSpec) -> Result<GlobalSessionId, IrError> {
+        if self.nodes.is_empty() {
+            return Err(IrError::Continuation("router has no nodes".into()));
+        }
+        let gid = self.next_gid;
+        let home = (gid % self.nodes.len() as u64) as usize;
+        let target = self.pick_up_node(home)?;
+        let local = self.nodes[target]
+            .endpoint
+            .open(gid, &spec)
+            .map_err(|e| node_ir_error(target, "open", &e))?;
+        self.next_gid += 1;
+        self.placements.insert(gid, Placement { home, node: target, local, spec });
+        Ok(gid)
+    }
+
+    /// Delivers one event to session `gid`, wherever it currently lives.
+    /// A transport failure that trips the hosting node's health triggers
+    /// failover *inline*: the affected sessions (this one included) are
+    /// drained from the journal, restored on survivors, and the delivery
+    /// is retried on the new placement.
+    ///
+    /// # Errors
+    ///
+    /// Handler-level errors from the session; [`IrError::Continuation`]
+    /// when the cluster has no surviving node to migrate to.
+    pub fn deliver(
+        &mut self,
+        gid: GlobalSessionId,
+        args: Vec<Value>,
+    ) -> Result<SessionOutcome, IrError> {
+        // One attempt per node plus one: a failover mid-loop re-routes to
+        // a survivor, which may itself die and fail over again.
+        for _ in 0..=self.nodes.len() {
+            let placement = self
+                .placements
+                .get(&gid)
+                .ok_or_else(|| IrError::Unresolved(format!("unknown routed session {gid}")))?;
+            let (node, local) = (placement.node, placement.local);
+            if !self.nodes[node].health.is_up() {
+                self.fail_node(node)?;
+                continue;
+            }
+            match self.nodes[node].endpoint.deliver(local, args.clone()) {
+                Ok(outcome) => {
+                    self.nodes[node].health.record_success();
+                    return Ok(outcome);
+                }
+                Err(NodeError::Handler(e)) => {
+                    self.nodes[node].health.record_success();
+                    return Err(e);
+                }
+                Err(NodeError::Transport(msg)) => {
+                    self.metrics.route_errors.inc();
+                    if self.nodes[node].health.record_error() {
+                        self.fail_node(node)?;
+                        continue;
+                    }
+                    return Err(IrError::Continuation(format!("node {node}: {msg}")));
+                }
+            }
+        }
+        Err(IrError::Continuation(format!("session {gid}: no healthy placement")))
+    }
+
+    /// One heartbeat tick: probes every node, charges misses against the
+    /// miss budget (failing nodes over it), and credits beats toward the
+    /// rejoin streak (rebalancing home sessions back on the transition).
+    ///
+    /// # Errors
+    ///
+    /// Migration failures (journal drain or restore on the target node).
+    pub fn heartbeat(&mut self) -> Result<(), IrError> {
+        for node in 0..self.nodes.len() {
+            let beat = self.nodes[node].endpoint.heartbeat();
+            let slot = &mut self.nodes[node];
+            if beat {
+                if slot.health.record_beat() {
+                    self.rejoin_node(node)?;
+                }
+            } else {
+                slot.misses.inc();
+                if slot.health.record_miss() {
+                    self.fail_node(node)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// First up node at or after `home` on the ring.
+    fn pick_up_node(&self, home: usize) -> Result<usize, IrError> {
+        let n = self.nodes.len();
+        (0..n)
+            .map(|k| (home + k) % n)
+            .find(|&i| self.nodes[i].health.is_up())
+            .ok_or_else(|| IrError::Continuation("no surviving nodes".into()))
+    }
+
+    /// Declares `node` dead and migrates every session it hosts onto
+    /// survivors: drain the shared journal once, then restore each
+    /// affected session (cache hit — zero re-analysis) with its journaled
+    /// watermark, so numbering resumes exactly where the dead node acked.
+    fn fail_node(&mut self, node: usize) -> Result<(), IrError> {
+        self.nodes[node].health.force_down();
+        self.nodes[node].up_gauge.set(0.0);
+        let affected: Vec<GlobalSessionId> =
+            self.placements.iter().filter(|(_, p)| p.node == node).map(|(gid, _)| *gid).collect();
+        if affected.is_empty() {
+            // Repeated declaration (e.g. miss budget after an inline
+            // failover already drained it): nothing left to migrate.
+            return Ok(());
+        }
+        self.metrics.node_failovers.inc();
+        let snapshots = self.journal.replay()?;
+        let mut migrated = 0u32;
+        for gid in affected {
+            migrated += self.migrate(gid, None, &snapshots)?;
+        }
+        self.metrics.sessions_migrated.add(migrated as u64);
+        self.obs.record(TraceEvent::NodeFailover { node: node as u32, sessions: migrated });
+        Ok(())
+    }
+
+    /// Rejoin transition: bring `node` back up and migrate its *home*
+    /// sessions (those hashed to it but displaced by an earlier failover)
+    /// back onto it.
+    fn rejoin_node(&mut self, node: usize) -> Result<(), IrError> {
+        self.nodes[node].up_gauge.set(1.0);
+        let coming_home: Vec<GlobalSessionId> = self
+            .placements
+            .iter()
+            .filter(|(_, p)| p.home == node && p.node != node)
+            .map(|(gid, _)| *gid)
+            .collect();
+        let mut migrated = 0u32;
+        if !coming_home.is_empty() {
+            let snapshots = self.journal.replay()?;
+            for gid in coming_home {
+                migrated += self.migrate(gid, Some(node), &snapshots)?;
+            }
+            self.metrics.sessions_migrated.add(migrated as u64);
+        }
+        self.obs.record(TraceEvent::NodeRejoin { node: node as u32, sessions: migrated });
+        Ok(())
+    }
+
+    /// Moves one session to `target` (or its ring-preferred survivor),
+    /// restoring journaled state when the journal has any. A target that
+    /// proves dead during the restore is marked down and the next
+    /// survivor tried — a cascading failure drains the whole ring before
+    /// giving up.
+    fn migrate(
+        &mut self,
+        gid: GlobalSessionId,
+        target: Option<usize>,
+        snapshots: &BTreeMap<u64, SessionSnapshot>,
+    ) -> Result<u32, IrError> {
+        let home = self.placements[&gid].home;
+        let mut target = match target {
+            Some(t) => t,
+            None => self.pick_up_node(home)?,
+        };
+        loop {
+            let spec = self.placements[&gid].spec.clone();
+            let result = match snapshots.get(&gid) {
+                Some(snapshot) => self.nodes[target].endpoint.restore(gid, &spec, snapshot),
+                None => self.nodes[target].endpoint.open(gid, &spec),
+            };
+            match result {
+                Ok(local) => {
+                    let placement = self.placements.get_mut(&gid).expect("placement exists");
+                    placement.node = target;
+                    placement.local = local;
+                    return Ok(1);
+                }
+                Err(NodeError::Transport(_)) => {
+                    self.nodes[target].health.force_down();
+                    self.nodes[target].up_gauge.set(0.0);
+                    target = self.pick_up_node(home)?;
+                }
+                Err(e @ NodeError::Handler(_)) => return Err(node_ir_error(target, "migrate", &e)),
+            }
+        }
+    }
+
+    /// The whole cluster on one surface: the router hub's counters and
+    /// gauges under their own identities, plus every node's metrics with
+    /// a `node="i"` label injected (so per-node gauges never collide or
+    /// silently sum across nodes). Sorted by identity.
+    pub fn cluster_stats(&mut self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = Vec::new();
+        for metric in self.obs().registry().snapshot().metrics {
+            let identity = metric.identity();
+            match metric.value {
+                MetricValue::Counter(v) => out.push((identity, v as f64)),
+                MetricValue::Gauge(v) => out.push((identity, v)),
+                MetricValue::Histogram(h) => {
+                    out.push((format!("{identity}_count"), h.count as f64));
+                    out.push((format!("{identity}_sum"), h.sum as f64));
+                }
+            }
+        }
+        for (index, slot) in self.nodes.iter_mut().enumerate() {
+            for (identity, value) in slot.endpoint.metrics() {
+                out.push((inject_node_label(&identity, index), value));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Rewrites `name{labels}` to carry a `node="i"` label.
+fn inject_node_label(identity: &str, node: usize) -> String {
+    match identity.find('{') {
+        Some(at) => {
+            let (name, rest) = identity.split_at(at + 1);
+            format!("{name}node=\"{node}\",{rest}")
+        }
+        None => format!("{identity}{{node=\"{node}\"}}"),
+    }
+}
+
+fn node_ir_error(node: usize, what: &str, error: &NodeError) -> IrError {
+    match error {
+        NodeError::Transport(msg) => {
+            IrError::Continuation(format!("node {node} {what}: transport: {msg}"))
+        }
+        NodeError::Handler(e) => e.clone(),
+    }
+}
+
+/// An in-process node: a [`SessionManager`] behind a kill switch.
+///
+/// `LocalNode` is the deterministic endpoint — no sockets, no timing —
+/// used by node-level chaos tests and the `failover` bench. [`kill`]
+/// drops the manager (sessions and their un-journaled in-memory state are
+/// gone, exactly like a host crash); [`revive`] builds a fresh, empty
+/// manager around the same shared cache, ready for the router's rejoin
+/// migration. Clones share the same node.
+///
+/// [`kill`]: LocalNode::kill
+/// [`revive`]: LocalNode::revive
+#[derive(Clone)]
+pub struct LocalNode {
+    inner: Arc<Mutex<LocalNodeInner>>,
+}
+
+struct LocalNodeInner {
+    name: String,
+    config: SessionConfig,
+    cache: Arc<AnalysisCache>,
+    manager: Option<SessionManager>,
+}
+
+impl std::fmt::Debug for LocalNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("local node poisoned");
+        f.debug_struct("LocalNode")
+            .field("name", &inner.name)
+            .field("alive", &inner.manager.is_some())
+            .finish()
+    }
+}
+
+impl LocalNode {
+    /// A live node named `name`. `config` should carry the cluster's
+    /// shared journal ([`SessionConfig::with_journal`]) and `cache` must
+    /// be the cluster-shared analysis cache — both survive [`kill`].
+    ///
+    /// [`kill`]: LocalNode::kill
+    pub fn new(name: impl Into<String>, config: SessionConfig, cache: Arc<AnalysisCache>) -> Self {
+        let manager = SessionManager::with_shared_cache(config.clone(), Arc::clone(&cache));
+        LocalNode {
+            inner: Arc::new(Mutex::new(LocalNodeInner {
+                name: name.into(),
+                config,
+                cache,
+                manager: Some(manager),
+            })),
+        }
+    }
+
+    /// Crashes the node: the manager is shut down and dropped. Deliveries
+    /// and heartbeats fail until [`revive`](LocalNode::revive).
+    pub fn kill(&self) {
+        let mut inner = self.inner.lock().expect("local node poisoned");
+        if let Some(manager) = inner.manager.take() {
+            manager.shutdown();
+        }
+    }
+
+    /// Restarts the node with a fresh, empty manager over the shared
+    /// cache (the host rebooted; the process state did not survive).
+    pub fn revive(&self) {
+        let mut inner = self.inner.lock().expect("local node poisoned");
+        if inner.manager.is_none() {
+            inner.manager = Some(SessionManager::with_shared_cache(
+                inner.config.clone(),
+                Arc::clone(&inner.cache),
+            ));
+        }
+    }
+
+    /// Whether the node currently has a live manager.
+    pub fn is_alive(&self) -> bool {
+        self.inner.lock().expect("local node poisoned").manager.is_some()
+    }
+
+    /// Open sessions on the live manager (0 when dead). Orphaned copies
+    /// left by retraction count until the next [`kill`](LocalNode::kill).
+    pub fn sessions(&self) -> usize {
+        let inner = self.inner.lock().expect("local node poisoned");
+        inner.manager.as_ref().map_or(0, |m| m.sessions())
+    }
+}
+
+impl NodeEndpoint for LocalNode {
+    fn name(&self) -> String {
+        self.inner.lock().expect("local node poisoned").name.clone()
+    }
+
+    fn open(&mut self, gid: GlobalSessionId, spec: &SessionSpec) -> Result<usize, NodeError> {
+        let mut inner = self.inner.lock().expect("local node poisoned");
+        let manager = inner.manager.as_mut().ok_or_else(down)?;
+        manager
+            .open_session_as(
+                Arc::clone(&spec.program),
+                &spec.func,
+                Arc::clone(&spec.model),
+                spec.sender_builtins.clone(),
+                spec.receiver_builtins.clone(),
+                gid,
+            )
+            .map_err(NodeError::Handler)
+    }
+
+    fn restore(
+        &mut self,
+        gid: GlobalSessionId,
+        spec: &SessionSpec,
+        snapshot: &SessionSnapshot,
+    ) -> Result<usize, NodeError> {
+        let mut inner = self.inner.lock().expect("local node poisoned");
+        let manager = inner.manager.as_mut().ok_or_else(down)?;
+        manager
+            .restore_session_as(
+                Arc::clone(&spec.program),
+                &spec.func,
+                Arc::clone(&spec.model),
+                spec.sender_builtins.clone(),
+                spec.receiver_builtins.clone(),
+                snapshot,
+                gid,
+            )
+            .map_err(NodeError::Handler)
+    }
+
+    fn deliver(&mut self, local: usize, args: Vec<Value>) -> Result<SessionOutcome, NodeError> {
+        let inner = self.inner.lock().expect("local node poisoned");
+        let manager = inner.manager.as_ref().ok_or_else(down)?;
+        manager.deliver(local, move |_| Ok(args)).map_err(NodeError::Handler)
+    }
+
+    fn heartbeat(&mut self) -> bool {
+        self.is_alive()
+    }
+
+    fn metrics(&mut self) -> Vec<(String, f64)> {
+        let inner = self.inner.lock().expect("local node poisoned");
+        let Some(manager) = inner.manager.as_ref() else {
+            return Vec::new();
+        };
+        let mut merged: BTreeMap<String, f64> = BTreeMap::new();
+        let mut absorb = |snapshot: mpart_obs::Snapshot| {
+            for metric in snapshot.metrics {
+                let identity = metric.identity();
+                match metric.value {
+                    MetricValue::Counter(v) => *merged.entry(identity).or_default() += v as f64,
+                    MetricValue::Gauge(v) => *merged.entry(identity).or_default() += v,
+                    MetricValue::Histogram(h) => {
+                        *merged.entry(format!("{identity}_count")).or_default() += h.count as f64;
+                        *merged.entry(format!("{identity}_sum")).or_default() += h.sum as f64;
+                    }
+                }
+            }
+        };
+        absorb(manager.obs().registry().snapshot());
+        for session in 0..manager.sessions() {
+            if let Some(handler) = manager.handler(session) {
+                absorb(handler.obs().registry().snapshot());
+            }
+        }
+        merged.into_iter().collect()
+    }
+}
+
+fn down() -> NodeError {
+    NodeError::Transport("node is down".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpart_cost::DataSizeModel;
+    use mpart_ir::parse::parse_program;
+
+    const SRC: &str = "fn double(x) {\n  y = x * 2\n  native emit(y)\n  return y\n}\n";
+
+    fn spec() -> SessionSpec {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let mut receiver = BuiltinRegistry::new();
+        receiver.register_native("emit", 1, |_, _| Ok(Value::Null));
+        SessionSpec {
+            program,
+            func: "double".into(),
+            model: Arc::new(DataSizeModel::new()),
+            sender_builtins: BuiltinRegistry::new(),
+            receiver_builtins: receiver,
+        }
+    }
+
+    fn cluster(nodes: usize) -> (Router, Vec<LocalNode>) {
+        let journal = Arc::new(SessionJournal::in_memory());
+        let cache = Arc::new(AnalysisCache::new(64));
+        let mut router =
+            Router::new(RouterConfig::default(), Arc::clone(&journal), Arc::clone(&cache));
+        let locals: Vec<LocalNode> = (0..nodes)
+            .map(|i| {
+                let config =
+                    SessionConfig::default().with_workers(1).with_journal(Arc::clone(&journal));
+                LocalNode::new(format!("node-{i}"), config, Arc::clone(&cache))
+            })
+            .collect();
+        for node in &locals {
+            router.add_node(Box::new(node.clone()));
+        }
+        (router, locals)
+    }
+
+    #[test]
+    fn node_health_hysteresis_on_misses_and_rejoin() {
+        let mut h = NodeHealth::new(NodeHealthConfig {
+            miss_budget: 3,
+            rejoin_streak: 2,
+            ..NodeHealthConfig::default()
+        });
+        assert!(h.is_up());
+        // Misses interleaved with beats never accumulate.
+        for _ in 0..5 {
+            assert!(!h.record_miss());
+            assert!(!h.record_miss());
+            assert!(!h.record_beat());
+        }
+        assert!(h.is_up());
+        // Three straight misses kill the node, exactly once.
+        assert!(!h.record_miss());
+        assert!(!h.record_miss());
+        assert!(h.record_miss());
+        assert!(!h.record_miss(), "already down");
+        // One beat is not enough to rejoin; two are.
+        assert!(!h.record_beat());
+        assert!(h.record_beat());
+        assert!(h.is_up());
+    }
+
+    #[test]
+    fn node_health_error_ewma_trips_and_decays() {
+        // Defaults: α = 0.5, threshold = 0.5 — first hard error trips.
+        let mut h = NodeHealth::new(NodeHealthConfig::default());
+        assert!(h.record_error(), "hard transport error kills the node");
+        assert!(!h.is_up());
+
+        // A higher threshold tolerates isolated errors between successes.
+        let mut h = NodeHealth::new(NodeHealthConfig {
+            error_threshold: 0.9,
+            ..NodeHealthConfig::default()
+        });
+        for _ in 0..10 {
+            assert!(!h.record_error());
+            h.record_success();
+        }
+        assert!(h.is_up());
+        assert!(h.error_rate() < 0.9);
+        // Sustained errors still cross eventually.
+        assert!((0..8).any(|_| h.record_error()));
+        assert!(!h.is_up());
+    }
+
+    #[test]
+    fn sessions_hash_onto_home_nodes() {
+        let (mut router, _locals) = cluster(3);
+        for expect_home in [0usize, 1, 2, 0, 1, 2] {
+            let gid = router.open_session(spec()).unwrap();
+            assert_eq!(router.placement(gid), Some(expect_home));
+        }
+        assert_eq!(router.sessions(), 6);
+    }
+
+    #[test]
+    fn kill_one_node_migrates_with_zero_reanalysis_and_watermark() {
+        let (mut router, locals) = cluster(2);
+        let gids: Vec<u64> = (0..4).map(|_| router.open_session(spec()).unwrap()).collect();
+        // Warm up every session; the cache saw exactly one analysis.
+        for (i, &gid) in gids.iter().enumerate() {
+            for _ in 0..(i + 1) {
+                router.deliver(gid, vec![Value::Int(3)]).unwrap();
+            }
+        }
+        let misses_before = router.cache().misses();
+        assert_eq!(misses_before, 1, "one analysis serves the whole cluster");
+
+        locals[0].kill();
+        // Sessions homed on node 0 (gids 0, 2) fail over inline on the
+        // next delivery; survivors keep their seq streak.
+        let out = router.deliver(gids[0], vec![Value::Int(5)]).unwrap();
+        assert_eq!(out.ret, Some(Value::Int(10)));
+        assert_eq!(out.seq, 2, "watermark preserved: session 0 had 1 ack");
+        assert_eq!(router.placement(gids[0]), Some(1));
+        assert_eq!(router.placement(gids[2]), Some(1), "all node-0 sessions drained together");
+        assert_eq!(router.cache().misses(), misses_before, "zero re-analysis on failover");
+
+        let out = router.deliver(gids[2], vec![Value::Int(7)]).unwrap();
+        assert_eq!(out.seq, 4, "session 2 resumes after its 3 journaled acks");
+
+        let snapshot = router.obs().registry().snapshot();
+        assert_eq!(snapshot.counter_sum("node_failovers_total"), 1);
+        assert_eq!(snapshot.counter_sum("sessions_migrated_total"), 2);
+        assert_eq!(snapshot.get("node_up", &[("node", "0")]), Some(&MetricValue::Gauge(0.0)));
+        let kinds: Vec<&str> =
+            router.obs().trace().snapshot().iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"node_failover"), "{kinds:?}");
+    }
+
+    #[test]
+    fn rejoin_rebalances_home_sessions_with_hysteresis() {
+        let (mut router, locals) = cluster(2);
+        let gids: Vec<u64> = (0..4).map(|_| router.open_session(spec()).unwrap()).collect();
+        for &gid in &gids {
+            router.deliver(gid, vec![Value::Int(1)]).unwrap();
+        }
+        locals[0].kill();
+        router.deliver(gids[0], vec![Value::Int(1)]).unwrap();
+        assert!(!router.node_is_up(0));
+
+        // The node comes back, but hysteresis holds until the streak.
+        locals[0].revive();
+        router.heartbeat().unwrap();
+        assert!(!router.node_is_up(0), "one beat is not a rejoin");
+        router.heartbeat().unwrap();
+        router.heartbeat().unwrap();
+        assert!(router.node_is_up(0), "streak of 3 rejoins");
+        assert_eq!(router.placement(gids[0]), Some(0), "home sessions migrated back");
+        assert_eq!(router.placement(gids[2]), Some(0));
+        assert_eq!(router.placement(gids[1]), Some(1), "node-1 homes never moved");
+
+        // Seq continuity across kill, failover, and rejoin: session 0 saw
+        // 2 deliveries; the third lands back home at seq 3.
+        let out = router.deliver(gids[0], vec![Value::Int(2)]).unwrap();
+        assert_eq!(out.seq, 3);
+        let kinds: Vec<&str> =
+            router.obs().trace().snapshot().iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"node_rejoin"), "{kinds:?}");
+        let snapshot = router.obs().registry().snapshot();
+        assert_eq!(
+            snapshot.counter_sum("sessions_migrated_total"),
+            4,
+            "2 out on failover + 2 back on rejoin"
+        );
+    }
+
+    #[test]
+    fn no_surviving_nodes_is_an_error_not_a_hang() {
+        let (mut router, locals) = cluster(2);
+        let gid = router.open_session(spec()).unwrap();
+        router.deliver(gid, vec![Value::Int(1)]).unwrap();
+        locals[0].kill();
+        locals[1].kill();
+        let err = router.deliver(gid, vec![Value::Int(1)]).unwrap_err();
+        assert!(format!("{err}").contains("no surviving nodes"), "{err}");
+    }
+
+    #[test]
+    fn cluster_stats_aggregates_router_and_node_surfaces() {
+        let (mut router, _locals) = cluster(2);
+        let gid = router.open_session(spec()).unwrap();
+        router.deliver(gid, vec![Value::Int(1)]).unwrap();
+        let stats = router.cluster_stats();
+        let names: Vec<&str> = stats.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"node_failovers_total"), "{names:?}");
+        assert!(names.contains(&"node_up{node=\"0\"}"), "{names:?}");
+        assert!(
+            names.contains(&"session_messages_total{node=\"0\"}"),
+            "node metrics carry the node label: {names:?}"
+        );
+        let total: f64 = stats
+            .iter()
+            .filter(|(n, _)| n.starts_with("session_messages_total{"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, 1.0);
+        // Identities stay sorted for a stable text surface.
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn inject_node_label_handles_both_shapes() {
+        assert_eq!(inject_node_label("x_total", 2), "x_total{node=\"2\"}");
+        assert_eq!(
+            inject_node_label("shed_total{reason=\"queue_full\"}", 0),
+            "shed_total{node=\"0\",reason=\"queue_full\"}"
+        );
+    }
+}

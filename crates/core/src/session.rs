@@ -10,7 +10,7 @@
 //! per-session ordering needs no locking.
 //!
 //! Each session owns its *runtime* state — modulator/demodulator pair,
-//! [`PartitionPlan`](crate::plan::PartitionPlan) with its epoch history,
+//! [`PartitionPlan`] with its epoch history,
 //! [`ObsHub`], and a private Reconfiguration Unit — so plans adapt
 //! per-session. What sessions *share* is the pure static analysis: handler
 //! construction goes through an
@@ -726,7 +726,45 @@ impl SessionManager {
         sender_builtins: BuiltinRegistry,
         receiver_builtins: BuiltinRegistry,
     ) -> Result<SessionId, IrError> {
-        self.open_session_inner(program, func_name, model, sender_builtins, receiver_builtins, None)
+        self.open_session_inner(
+            program,
+            func_name,
+            model,
+            sender_builtins,
+            receiver_builtins,
+            None,
+            None,
+        )
+    }
+
+    /// [`open_session`](Self::open_session) journaled under an explicit
+    /// id instead of the manager-local session index. A multi-node router
+    /// shares one journal across several managers whose local indices all
+    /// start at 0; journaling under the router's cluster-global id keeps
+    /// the shared journal collision-free and lets a failover drain *one*
+    /// session's records regardless of which node last hosted it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn open_session_as(
+        &mut self,
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+        journal_id: u64,
+    ) -> Result<SessionId, IrError> {
+        self.open_session_inner(
+            program,
+            func_name,
+            model,
+            sender_builtins,
+            receiver_builtins,
+            None,
+            Some(journal_id),
+        )
     }
 
     /// Re-opens a session from a journal [`SessionSnapshot`]: the static
@@ -759,9 +797,41 @@ impl SessionManager {
             sender_builtins,
             receiver_builtins,
             Some(snapshot),
+            None,
         )
     }
 
+    /// [`restore_session`](Self::restore_session) journaled under an
+    /// explicit id (see [`open_session_as`](Self::open_session_as)): the
+    /// migration path a router takes when it re-homes a dead node's
+    /// session onto a survivor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_session_as(
+        &mut self,
+        program: Arc<Program>,
+        func_name: &str,
+        model: Arc<dyn CostModel>,
+        sender_builtins: BuiltinRegistry,
+        receiver_builtins: BuiltinRegistry,
+        snapshot: &SessionSnapshot,
+        journal_id: u64,
+    ) -> Result<SessionId, IrError> {
+        self.open_session_inner(
+            program,
+            func_name,
+            model,
+            sender_builtins,
+            receiver_builtins,
+            Some(snapshot),
+            Some(journal_id),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn open_session_inner(
         &mut self,
         program: Arc<Program>,
@@ -770,6 +840,7 @@ impl SessionManager {
         sender_builtins: BuiltinRegistry,
         receiver_builtins: BuiltinRegistry,
         restore: Option<&SessionSnapshot>,
+        journal_id: Option<u64>,
     ) -> Result<SessionId, IrError> {
         let kind = model.kind();
         let model_name = model.name().to_string();
@@ -819,7 +890,8 @@ impl SessionManager {
             self.config.degrade_after,
             self.config.promote_after,
         );
-        let journal = self.config.journal.as_ref().map(|j| (Arc::clone(j), id as u64));
+        let journal =
+            self.config.journal.as_ref().map(|j| (Arc::clone(j), journal_id.unwrap_or(id as u64)));
         if let Some((journal, jid)) = &journal {
             let _ = journal.append(JournalRecord::Open {
                 session: *jid,

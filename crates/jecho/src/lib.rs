@@ -20,7 +20,11 @@
 //!   continuations and plan updates cross as checksummed frames;
 //! * [`supervisor::Supervisor`] — a fault-tolerant wrapper around the TCP
 //!   sender: reconnection with capped exponential backoff and jitter, and
-//!   retransmission of the unacknowledged event window.
+//!   retransmission of the unacknowledged event window;
+//! * [`node::NodeServer`] / [`node::TcpNode`] — loopback-TCP cluster
+//!   nodes for the multi-host router (`mpart route`): a session manager
+//!   behind a line protocol, and the client endpoint the router dials
+//!   with the supervisor's backoff and per-instance jitter spread.
 //!
 //! The supervised transports (TCP supervisor and the sim's faulty wire)
 //! can additionally *batch*: up to K continuation envelopes are coalesced
@@ -78,6 +82,7 @@
 pub mod channel;
 pub mod envelope;
 pub mod local;
+pub mod node;
 pub mod proxy;
 pub mod sim;
 pub mod supervisor;

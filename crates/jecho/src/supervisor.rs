@@ -60,9 +60,27 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Derives a per-instance policy by mixing `nonce` into the jitter
+    /// seed (splitmix64 finalizer). N supervisors built from one shared
+    /// policy — the thundering-herd case: N sessions all retrying the
+    /// same dead node — would otherwise draw *identical* jitter streams
+    /// and redial in lockstep. [`Supervisor::new`] applies this with a
+    /// process-unique nonce automatically; runs stay reproducible for a
+    /// fixed seed and construction order because the nonce is a counter,
+    /// not a clock.
+    pub fn spread(mut self, nonce: u64) -> RetryPolicy {
+        let mut z = self.jitter_seed ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.jitter_seed = z ^ (z >> 31);
+        self
+    }
+
     /// The backoff delay before attempt `attempt` (0-based): `base ·
-    /// 2^attempt` capped at `max_delay`, plus up to 50% jitter.
-    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+    /// 2^attempt` capped at `max_delay`, plus up to 50% jitter. Shared
+    /// with the node client (`crate::node`), which redials with the same
+    /// curve.
+    pub(crate) fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
         let exp = self
             .base_delay
             .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
@@ -135,6 +153,11 @@ impl Supervisor {
         port: u16,
         policy: RetryPolicy,
     ) -> Self {
+        // Each supervisor jitters from its own stream (see
+        // `RetryPolicy::spread`): without this, every session sharing the
+        // default policy would back off in lockstep after a node death.
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let policy = policy.spread(INSTANCE.fetch_add(1, Ordering::Relaxed));
         let rng = StdRng::seed_from_u64(policy.jitter_seed);
         let registry = handler.obs().registry();
         let reconnects_metric = registry.counter("reconnects_total", &[]);
@@ -194,6 +217,12 @@ impl Supervisor {
     /// Highest seq assigned so far.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// The per-instance jitter seed actually in effect (the configured
+    /// seed mixed with this supervisor's instance nonce).
+    pub fn jitter_seed(&self) -> u64 {
+        self.policy.jitter_seed
     }
 
     fn trim_window(&mut self) {
@@ -410,6 +439,47 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(1);
         let replay: Vec<Duration> = (0..8).map(|a| policy.delay(a, &mut rng2)).collect();
         assert_eq!(delays, replay);
+    }
+
+    #[test]
+    fn reconnect_jitter_is_spread_across_instances() {
+        // Two policies spread with different nonces draw different delay
+        // sequences — N sessions retrying one dead node don't redial in
+        // lockstep.
+        let policy = RetryPolicy::default();
+        let a = policy.clone().spread(0);
+        let b = policy.clone().spread(1);
+        assert_ne!(a.jitter_seed, b.jitter_seed);
+        let mut rng_a = StdRng::seed_from_u64(a.jitter_seed);
+        let mut rng_b = StdRng::seed_from_u64(b.jitter_seed);
+        let delays_a: Vec<Duration> = (0..6).map(|i| a.delay(i, &mut rng_a)).collect();
+        let delays_b: Vec<Duration> = (0..6).map(|i| b.delay(i, &mut rng_b)).collect();
+        assert_ne!(delays_a, delays_b, "retry schedules are spread, not lockstep");
+        // The spread itself is deterministic: same seed + nonce, same
+        // stream — chaos runs stay reproducible.
+        assert_eq!(a.jitter_seed, policy.clone().spread(0).jitter_seed);
+
+        // Supervisors pick distinct nonces automatically even when built
+        // from one shared policy.
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let handler = mpart::PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "tally",
+            Arc::new(DataSizeModel::new()),
+        )
+        .unwrap();
+        let make = |h: &Arc<mpart::PartitionedHandler>| {
+            Supervisor::new(
+                Arc::clone(&program),
+                Arc::clone(h),
+                mpart_ir::interp::BuiltinRegistry::new(),
+                1,
+                RetryPolicy::default(),
+            )
+        };
+        let s1 = make(&handler);
+        let s2 = make(&handler);
+        assert_ne!(s1.jitter_seed(), s2.jitter_seed());
     }
 
     #[test]

@@ -73,7 +73,8 @@ impl TcpReceiver {
         receiver_builtins: BuiltinRegistry,
         trigger: TriggerPolicy,
     ) -> Result<Self, IrError> {
-        Self::bind_inner(program, handler_fn, model, receiver_builtins, trigger, None)
+        let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
+        Self::bind_inner(program, handler, receiver_builtins, trigger, None)
     }
 
     /// Like [`bind`](Self::bind), but forcibly drops the first connection
@@ -93,26 +94,34 @@ impl TcpReceiver {
         trigger: TriggerPolicy,
         disconnect_after: u64,
     ) -> Result<Self, IrError> {
-        Self::bind_inner(
-            program,
-            handler_fn,
-            model,
-            receiver_builtins,
-            trigger,
-            Some(disconnect_after),
-        )
+        let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
+        Self::bind_inner(program, handler, receiver_builtins, trigger, Some(disconnect_after))
+    }
+
+    /// Like [`bind`](Self::bind) with a pre-analyzed handler — the path
+    /// for sharing one cached analysis across both wire halves and across
+    /// sessions (the throughput bench's `--tcp` sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] when the socket cannot be bound.
+    pub fn bind_with_handler(
+        program: Arc<Program>,
+        handler: Arc<PartitionedHandler>,
+        receiver_builtins: BuiltinRegistry,
+        trigger: TriggerPolicy,
+    ) -> Result<Self, IrError> {
+        Self::bind_inner(program, handler, receiver_builtins, trigger, None)
     }
 
     fn bind_inner(
         program: Arc<Program>,
-        handler_fn: &str,
-        model: Arc<dyn CostModel>,
+        handler: Arc<PartitionedHandler>,
         receiver_builtins: BuiltinRegistry,
         trigger: TriggerPolicy,
         disconnect_after: Option<u64>,
     ) -> Result<Self, IrError> {
-        let kind = model.kind();
-        let handler = PartitionedHandler::analyze(Arc::clone(&program), handler_fn, model)?;
+        let kind = handler.model().kind();
         let listener =
             TcpListener::bind("127.0.0.1:0").map_err(|e| IrError::Marshal(format!("bind: {e}")))?;
         let port =

@@ -165,6 +165,22 @@ pub enum TraceEvent {
         /// Ack watermark sequence numbering resumed from.
         watermark: u64,
     },
+    /// A cluster node was declared dead and its sessions were migrated to
+    /// surviving nodes (journal drain + cache-hit restore).
+    NodeFailover {
+        /// Index of the failed node.
+        node: u32,
+        /// Sessions migrated off the node by this failover.
+        sessions: u32,
+    },
+    /// A previously failed node passed its rejoin hysteresis and took its
+    /// home sessions back.
+    NodeRejoin {
+        /// Index of the rejoined node.
+        node: u32,
+        /// Sessions migrated back onto the node.
+        sessions: u32,
+    },
 }
 
 impl TraceEvent {
@@ -183,6 +199,8 @@ impl TraceEvent {
             TraceEvent::Quarantined { .. } => "quarantined",
             TraceEvent::Shed { .. } => "shed",
             TraceEvent::Recovered { .. } => "recovered",
+            TraceEvent::NodeFailover { .. } => "node_failover",
+            TraceEvent::NodeRejoin { .. } => "node_rejoin",
         }
     }
 
@@ -232,6 +250,14 @@ impl TraceEvent {
             TraceEvent::Recovered { epoch, watermark } => vec![
                 ("epoch".to_string(), Json::U64(epoch)),
                 ("watermark".to_string(), Json::U64(watermark)),
+            ],
+            TraceEvent::NodeFailover { node, sessions } => vec![
+                ("node".to_string(), Json::U64(node as u64)),
+                ("sessions".to_string(), Json::U64(sessions as u64)),
+            ],
+            TraceEvent::NodeRejoin { node, sessions } => vec![
+                ("node".to_string(), Json::U64(node as u64)),
+                ("sessions".to_string(), Json::U64(sessions as u64)),
             ],
         }
     }

@@ -212,6 +212,83 @@ impl FaultInjector {
     }
 }
 
+/// Scheduled node-level faults for a routed cluster: "kill node `k`
+/// before delivery round `i`", "revive it before round `j`". Where
+/// [`FaultPlan`] injects *link* faults per transmission attempt, a
+/// `NodeFaultPlan` injects *host* faults per delivery round — the driver
+/// (chaos tests, the `failover` bench, `mpart route --kill`) applies
+/// [`kills_at`](NodeFaultPlan::kills_at) /
+/// [`revives_at`](NodeFaultPlan::revives_at) before each round. The
+/// schedule is plain data, so identical plans replay identical storms.
+#[derive(Debug, Clone, Default)]
+pub struct NodeFaultPlan {
+    /// `(round, node)` pairs: kill `node` before delivery round `round`.
+    pub kills: Vec<(u64, usize)>,
+    /// `(round, node)` pairs: revive `node` before delivery round
+    /// `round`.
+    pub revives: Vec<(u64, usize)>,
+}
+
+impl NodeFaultPlan {
+    /// An empty (fault-free) schedule.
+    pub fn new() -> Self {
+        NodeFaultPlan::default()
+    }
+
+    /// Schedules `node` to die before round `round`.
+    pub fn with_kill(mut self, round: u64, node: usize) -> Self {
+        self.kills.push((round, node));
+        self
+    }
+
+    /// Schedules `node` to come back before round `round`.
+    pub fn with_revive(mut self, round: u64, node: usize) -> Self {
+        self.revives.push((round, node));
+        self
+    }
+
+    /// Appends a seeded flapping schedule for `node`: `cycles`
+    /// kill/revive pairs starting at round `start`, spaced a jittered
+    /// `period` apart (each boundary shifted by up to ±`period/4` drawn
+    /// from the seeded PRNG). Same seed, same flaps.
+    pub fn with_flapping(
+        mut self,
+        seed: u64,
+        node: usize,
+        start: u64,
+        period: u64,
+        cycles: usize,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let period = period.max(2);
+        let jitter = (period / 4).max(1);
+        let mut at = start;
+        for _ in 0..cycles {
+            let down = at + rng.random_range(0..jitter);
+            let up = down + period / 2 + rng.random_range(0..jitter);
+            self.kills.push((down, node));
+            self.revives.push((up, node));
+            at = up + period / 2;
+        }
+        self
+    }
+
+    /// Nodes scheduled to die before round `round`.
+    pub fn kills_at(&self, round: u64) -> Vec<usize> {
+        self.kills.iter().filter(|(r, _)| *r == round).map(|(_, n)| *n).collect()
+    }
+
+    /// Nodes scheduled to revive before round `round`.
+    pub fn revives_at(&self, round: u64) -> Vec<usize> {
+        self.revives.iter().filter(|(r, _)| *r == round).map(|(_, n)| *n).collect()
+    }
+
+    /// Last round any scheduled fault fires at (0 for an empty plan).
+    pub fn horizon(&self) -> u64 {
+        self.kills.iter().chain(self.revives.iter()).map(|(r, _)| *r).max().unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +364,29 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(with.decide(), without.decide());
         }
+    }
+
+    #[test]
+    fn node_fault_plan_schedules_and_replays() {
+        let plan = NodeFaultPlan::new().with_kill(5, 0).with_revive(9, 0).with_kill(5, 2);
+        assert_eq!(plan.kills_at(5), vec![0, 2]);
+        assert_eq!(plan.kills_at(6), Vec::<usize>::new());
+        assert_eq!(plan.revives_at(9), vec![0]);
+        assert_eq!(plan.horizon(), 9);
+
+        // Flapping is seeded: identical seeds produce identical flaps,
+        // kills and revives alternate, and rounds are monotone.
+        let a = NodeFaultPlan::new().with_flapping(42, 1, 10, 8, 3);
+        let b = NodeFaultPlan::new().with_flapping(42, 1, 10, 8, 3);
+        assert_eq!(a.kills, b.kills);
+        assert_eq!(a.revives, b.revives);
+        assert_eq!(a.kills.len(), 3);
+        assert_eq!(a.revives.len(), 3);
+        for (kill, revive) in a.kills.iter().zip(a.revives.iter()) {
+            assert!(kill.0 < revive.0, "down before up: {:?} {:?}", kill, revive);
+        }
+        let different = NodeFaultPlan::new().with_flapping(43, 1, 10, 8, 3);
+        assert_ne!(a.kills, different.kills, "seed changes the schedule");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod pipeline;
 pub mod queue;
 pub mod time;
 
-pub use fault::{FaultDecision, FaultInjector, FaultPlan};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, NodeFaultPlan};
 pub use host::Host;
 pub use link::Link;
 pub use perturb::{PerturbConfig, PerturbationTrace};

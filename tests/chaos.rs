@@ -394,3 +394,231 @@ fn chaos_with_random_handler_panics_keeps_exactly_once_accounting() {
         }
     }
 }
+
+// --------------------------------------------------------------------
+// Node-kill chaos: the multi-host routing layer under host faults.
+// Sessions hash across an in-process LocalNode cluster sharing one
+// journal and analysis cache; a NodeFaultPlan kills and revives nodes
+// between delivery rounds. The invariants are the tentpole's acceptance
+// bar: exactly-once numbering and per-message identity across every
+// migration, and zero static re-analysis (asserted on the cache-miss
+// gauge).
+// --------------------------------------------------------------------
+
+use method_partitioning::analysis::AnalysisCache;
+use method_partitioning::core::journal::SessionJournal;
+use method_partitioning::core::router::{LocalNode, Router, RouterConfig, SessionSpec};
+use method_partitioning::core::session::SessionConfig;
+use method_partitioning::cost::DataSizeModel;
+use method_partitioning::ir::interp::BuiltinRegistry;
+use method_partitioning::ir::parse::parse_program;
+use method_partitioning::simnet::NodeFaultPlan;
+
+const ROUTE_SRC: &str = r#"
+    fn route_handle(x, salt) {
+        a = x * 3
+        b = a + salt
+        native emit(b)
+        return b
+    }
+"#;
+
+/// A routed cluster: `nodes_n` LocalNodes over one shared journal and
+/// cache, `sessions` sessions hashed across them.
+fn route_cluster(
+    nodes_n: usize,
+    sessions: usize,
+) -> (Vec<LocalNode>, Router, Vec<u64>, Arc<AnalysisCache>) {
+    let program = Arc::new(parse_program(ROUTE_SRC).unwrap());
+    let journal = Arc::new(SessionJournal::in_memory());
+    let cache = Arc::new(AnalysisCache::new(16));
+    let config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    let nodes: Vec<LocalNode> = (0..nodes_n)
+        .map(|i| LocalNode::new(format!("n{i}"), config.clone(), Arc::clone(&cache)))
+        .collect();
+    let mut router = Router::new(RouterConfig::default(), journal, Arc::clone(&cache));
+    for node in &nodes {
+        router.add_node(Box::new(node.clone()));
+    }
+    let mut receiver_builtins = BuiltinRegistry::new();
+    receiver_builtins.register_native("emit", 1, |_, _| Ok(Value::Null));
+    let gids: Vec<u64> = (0..sessions)
+        .map(|_| {
+            router
+                .open_session(SessionSpec {
+                    program: Arc::clone(&program),
+                    func: "route_handle".into(),
+                    model: Arc::new(DataSizeModel::new()),
+                    sender_builtins: BuiltinRegistry::new(),
+                    receiver_builtins: receiver_builtins.clone(),
+                })
+                .unwrap()
+        })
+        .collect();
+    (nodes, router, gids, cache)
+}
+
+/// Drives `rounds` rounds, applying the node fault plan before each and
+/// heartbeating after each; returns the `(seq, ret)` stream per session.
+fn drive_routed(
+    router: &mut Router,
+    nodes: &[LocalNode],
+    gids: &[u64],
+    plan: &NodeFaultPlan,
+    rounds: u64,
+) -> BTreeMap<u64, Vec<(u64, i64)>> {
+    let mut seen: BTreeMap<u64, Vec<(u64, i64)>> = BTreeMap::new();
+    for round in 0..rounds {
+        for node in plan.kills_at(round) {
+            nodes[node].kill();
+        }
+        for node in plan.revives_at(round) {
+            nodes[node].revive();
+        }
+        for gid in gids {
+            let out = router
+                .deliver(*gid, vec![Value::Int(round as i64), Value::Int(*gid as i64)])
+                .unwrap();
+            let ret = match out.ret {
+                Some(Value::Int(v)) => v,
+                other => panic!("scalar handler returned {other:?}"),
+            };
+            seen.entry(*gid).or_default().push((out.seq, ret));
+        }
+        router.heartbeat().unwrap();
+    }
+    seen
+}
+
+/// Exactly-once across migrations: per session, sequence numbers are the
+/// contiguous 1..=rounds (nothing re-applied past an ack watermark,
+/// nothing skipped) and every return value carries the round identity.
+fn assert_exactly_once(
+    seen: &BTreeMap<u64, Vec<(u64, i64)>>,
+    gids: &[u64],
+    rounds: u64,
+    tag: &str,
+) {
+    for gid in gids {
+        let stream = &seen[gid];
+        let seqs: Vec<u64> = stream.iter().map(|(s, _)| *s).collect();
+        let expected: Vec<u64> = (1..=rounds).collect();
+        assert_eq!(seqs, expected, "{tag}: session {gid} numbering is contiguous exactly-once");
+        for (round, (_, ret)) in stream.iter().enumerate() {
+            assert_eq!(
+                *ret,
+                3 * round as i64 + *gid as i64,
+                "{tag}: session {gid} round {round} result identity"
+            );
+        }
+    }
+}
+
+#[test]
+fn routed_cluster_survives_a_node_kill_with_exactly_once_migration() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let (nodes, mut router, gids, cache) = route_cluster(3, 6);
+        let victim = (seed % 3) as usize;
+        let kill_round = 3 + seed % 4;
+        let rounds = 12;
+        let homed = gids.iter().filter(|g| (**g % 3) as usize == victim).count() as u64;
+        let misses_after_open = cache.misses();
+
+        let plan = NodeFaultPlan::new().with_kill(kill_round, victim);
+        let seen = drive_routed(&mut router, &nodes, &gids, &plan, rounds);
+
+        assert_exactly_once(&seen, &gids, rounds, &format!("seed {seed}"));
+        assert_eq!(
+            cache.misses(),
+            misses_after_open,
+            "seed {seed}: failover migration performed zero re-analysis"
+        );
+        let snapshot = router.obs().registry().snapshot();
+        assert_eq!(
+            snapshot.counter_sum("node_failovers_total"),
+            1,
+            "seed {seed}: one crash, one failover"
+        );
+        assert_eq!(
+            snapshot.counter_sum("sessions_migrated_total"),
+            homed,
+            "seed {seed}: exactly the dead node's sessions migrated"
+        );
+        assert!(!router.node_is_up(victim), "seed {seed}: no revive, node stays down");
+        for gid in &gids {
+            assert_ne!(
+                router.placement(*gid),
+                Some(victim),
+                "seed {seed}: nothing is still placed on the dead node"
+            );
+        }
+    }
+}
+
+#[test]
+fn killed_node_rejoins_and_takes_its_home_sessions_back() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let (nodes, mut router, gids, cache) = route_cluster(3, 6);
+        let victim = (seed % 3) as usize;
+        let rounds = 14;
+        let homed = gids.iter().filter(|g| (**g % 3) as usize == victim).count() as u64;
+        let misses_after_open = cache.misses();
+
+        // Revive at round 7; the hysteresis streak (3 clean beats) makes
+        // the rejoin migration land around round 9, inside the run.
+        let plan = NodeFaultPlan::new().with_kill(4, victim).with_revive(7, victim);
+        let seen = drive_routed(&mut router, &nodes, &gids, &plan, rounds);
+
+        assert_exactly_once(&seen, &gids, rounds, &format!("seed {seed}"));
+        assert_eq!(cache.misses(), misses_after_open, "seed {seed}: zero re-analysis both ways");
+        assert!(router.node_is_up(victim), "seed {seed}: the node rejoined");
+        let snapshot = router.obs().registry().snapshot();
+        assert_eq!(
+            snapshot.counter_sum("sessions_migrated_total"),
+            2 * homed,
+            "seed {seed}: every displaced session migrated out and back home"
+        );
+        for gid in &gids {
+            if (*gid % 3) as usize == victim {
+                assert_eq!(
+                    router.placement(*gid),
+                    Some(victim),
+                    "seed {seed}: rejoin rebalanced session {gid} back to its home node"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flapping_node_never_breaks_exactly_once() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let (nodes, mut router, gids, cache) = route_cluster(3, 6);
+        let victim = (seed % 3) as usize;
+        let plan = NodeFaultPlan::new().with_flapping(seed, victim, 2, 6, 3);
+        let rounds = plan.horizon() + 6;
+        let misses_after_open = cache.misses();
+
+        let seen = drive_routed(&mut router, &nodes, &gids, &plan, rounds);
+
+        assert_exactly_once(&seen, &gids, rounds, &format!("seed {seed}"));
+        assert_eq!(
+            cache.misses(),
+            misses_after_open,
+            "seed {seed}: repeated migrations still perform zero re-analysis"
+        );
+        let snapshot = router.obs().registry().snapshot();
+        assert!(
+            snapshot.counter_sum("node_failovers_total") >= 1,
+            "seed {seed}: the flapping node tripped at least one failover"
+        );
+        assert!(
+            snapshot.counter_sum("sessions_migrated_total") >= homed_count(&gids, victim),
+            "seed {seed}: at least one full evacuation happened"
+        );
+    }
+}
+
+fn homed_count(gids: &[u64], node: usize) -> u64 {
+    gids.iter().filter(|g| (**g % 3) as usize == node).count() as u64
+}
