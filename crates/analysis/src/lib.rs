@@ -54,6 +54,9 @@ pub mod ug;
 pub mod union_find;
 pub mod varkinds;
 
+use std::collections::HashSet;
+
+use mpart_ir::instr::Pc;
 use mpart_ir::{IrError, Program};
 
 pub use cache::{AnalysisCache, DEFAULT_CACHE_CAPACITY};
@@ -93,6 +96,37 @@ impl HandlerAnalysis {
     /// Index of the PSE covering `edge`, if any.
     pub fn pse_for_edge(&self, edge: Edge) -> Option<usize> {
         self.cut.pses.iter().position(|p| p.edge == edge)
+    }
+
+    /// Derives bytecode-compilation hints from the static pipeline (see
+    /// [`ExecHints`]): the watched edge set from the PSE list and stop
+    /// nodes, and superinstruction fusion candidates from the DDG.
+    pub fn exec_hints(&self) -> ExecHints {
+        let mut observed = HashSet::new();
+        // Non-entry PSE edges: where the modulator may split and both
+        // sides run profiling code. The synthetic entry edge has no
+        // runtime counterpart (entry splits never start execution).
+        for pse in self.pses() {
+            if !pse.edge.is_entry() {
+                observed.insert((pse.edge.from, pse.edge.to));
+            }
+        }
+        // Edges into stop nodes: the modulator must detect the plan
+        // violation *before* a stop node executes on the sender.
+        for stop in self.stops.iter() {
+            for &p in self.ug.preds(stop) {
+                observed.insert((p, stop));
+            }
+        }
+        // A def consumed by the textually next instruction is the
+        // load/op/store chain shape worth fusing.
+        let mut fuse_at = HashSet::new();
+        for dep in self.ddg.edges() {
+            if dep.uses == dep.def + 1 {
+                fuse_at.insert(dep.def);
+            }
+        }
+        ExecHints { observed, fuse_at }
     }
 
     /// Re-prices this analysis's PSE set under a different estimator,
@@ -140,6 +174,29 @@ impl HandlerAnalysis {
         }
         Ok(out)
     }
+}
+
+/// Bytecode-compilation hints derived from a [`HandlerAnalysis`]
+/// (consumed by `mpart_ir::compile` via the partitioned runtime).
+///
+/// `observed` is the *watched set*: every Unit Graph edge where the
+/// modulator/demodulator observers can act — non-entry PSE edges (split
+/// and profiling points) plus edges into stop nodes (sender-side plan
+/// violation detection). The compiled engine skips edge observation
+/// everywhere else, which is what makes the dispatch loop fast; the
+/// engines stay observationally equivalent *because* this set covers all
+/// acting edges.
+///
+/// `fuse_at` lists instruction indices whose defined value is consumed by
+/// the immediately following instruction (a DDG `def → def+1` edge) — the
+/// superinstruction candidates. The compiler re-checks structural
+/// legality (leaders, watched interior edges) before fusing.
+#[derive(Debug, Clone, Default)]
+pub struct ExecHints {
+    /// Watched `(from, to)` control-flow edges.
+    pub observed: HashSet<(Pc, Pc)>,
+    /// Fusion start candidates: `pc` whose def feeds `pc + 1`.
+    pub fuse_at: HashSet<Pc>,
 }
 
 /// Runs the full static-analysis pipeline on `func_name` within `program`.

@@ -49,7 +49,7 @@ use mpart::codegen::{demodulator_text, generated_sizes, modulator_text};
 use mpart::journal::SessionJournal;
 use mpart::profile::TriggerPolicy;
 use mpart::router::{LocalNode, Router, RouterConfig, SessionSpec};
-use mpart::session::{SessionConfig, SessionManager};
+use mpart::session::{EngineChoice, SessionConfig, SessionManager};
 use mpart::PartitionedHandler;
 use mpart_analysis::cache::AnalysisCache;
 use mpart_cost::{CostModel, DataSizeModel, ExecTimeModel, PowerModel};
@@ -102,7 +102,7 @@ pub const USAGE: &str = "usage:
   mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] --cluster [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--json]
-  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--queue <N>] [--journal <path>] [--model ...] [--auto-model]
+  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--queue <N>] [--journal <path>] [--model ...] [--auto-model] [--engine interp|compiled|auto]
   mpart route <file> <fn> [args..] [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--ports <p1,p2,..>] [--model ...]
   mpart deadletter <file> <fn> [args..] [--messages <N>] [--seed <N>] [--poison <SEQ>] [--json]
   mpart help";
@@ -443,6 +443,7 @@ fn event_args(rest: &[String]) -> Vec<Value> {
         "--nodes",
         "--kill",
         "--ports",
+        "--engine",
     ];
     const BARE: &[&str] = &["--session", "--json", "--auto-model", "--cluster"];
     let mut args = Vec::new();
@@ -585,6 +586,13 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     if auto {
         config = config.with_auto_model(mpart::reconfig::ModelSelectorConfig::default());
     }
+    let engine = match opt_str(rest, "--engine")? {
+        Some(s) => s.parse::<EngineChoice>().map_err(|_| {
+            CliError::Usage("`--engine` must be one of interp|compiled|auto".into())
+        })?,
+        None => EngineChoice::default(),
+    };
+    config = config.with_engine(engine);
     let mut manager = SessionManager::new(config);
     for _ in 0..sessions {
         manager.open_session(
@@ -607,6 +615,9 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     let mut out = String::new();
     let _ =
         writeln!(out, "served `{func}`: {sessions} sessions over {} workers", manager.workers());
+    if let Some(h) = manager.handler(0) {
+        let _ = writeln!(out, "  engine: requested {engine}, running `{}`", h.engine().name());
+    }
     let _ = writeln!(out, "  delivered {} messages ({messages} per session)", manager.processed());
     let cache = manager.cache();
     let _ = writeln!(
@@ -1291,6 +1302,54 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("model auto-selection:"), "{out}");
+    }
+
+    #[test]
+    fn serve_engine_flag_selects_and_reports_the_engine() {
+        let file = demo_file();
+        for (flag, expect) in [("interp", "running `interp`"), ("compiled", "running `compiled`")] {
+            let out = execute(&args(&[
+                "serve",
+                file.as_str(),
+                "handle",
+                "5",
+                "3",
+                "--sessions",
+                "1",
+                "--messages",
+                "2",
+                "--engine",
+                flag,
+            ]))
+            .unwrap();
+            assert!(out.contains(&format!("requested {flag}")), "{out}");
+            assert!(out.contains(expect), "{out}");
+        }
+        // The default is auto, which compiles the demo handler.
+        let out = execute(&args(&[
+            "serve",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--sessions",
+            "1",
+            "--messages",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("requested auto, running `compiled`"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_unknown_engine_with_a_usage_error() {
+        let file = demo_file();
+        let err = execute(&args(&["serve", file.as_str(), "handle", "5", "3", "--engine", "jit"]))
+            .unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("--engine"), "{m}"),
+            other => panic!("expected a usage error, got {other}"),
+        }
     }
 
     #[test]

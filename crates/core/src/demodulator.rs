@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use mpart_ir::heap::Heap;
-use mpart_ir::interp::{EdgeAction, EdgeObserver, ExecCtx, Interp, Outcome};
+use mpart_ir::interp::{EdgeAction, EdgeObserver, ExecCtx, Outcome};
 use mpart_ir::{IrError, Value};
 
 use crate::continuation::ContinuationMessage;
@@ -93,8 +93,11 @@ impl Demodulator {
             mod_work: msg.mod_work,
             profile_work: &mut profile_work,
         };
-        let interp = Interp::new(self.handler.program());
-        let outcome = interp.resume_with_observer(ctx, func, pse.edge.to, env, &mut observer)?;
+        // Resume through the handler's selected engine; PSE targets are
+        // compilation leaders, so a compiled body resumes in bytecode.
+        let engine = self.handler.engine();
+        self.handler.metrics().note_engine_dispatch(engine.name());
+        let outcome = engine.resume_observed(ctx, func, pse.edge.to, env, &mut observer)?;
         match outcome {
             Outcome::Finished(ret) => {
                 let demod_work = ctx.work - work_start;

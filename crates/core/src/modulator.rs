@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use mpart_ir::heap::Heap;
-use mpart_ir::interp::{EdgeAction, EdgeObserver, ExecCtx, Interp, Outcome};
+use mpart_ir::interp::{EdgeAction, EdgeObserver, ExecCtx, Outcome};
 use mpart_ir::{IrError, Value};
 
 use crate::continuation::ContinuationMessage;
@@ -139,8 +139,12 @@ impl Modulator {
             split: &split,
             profiled: &profiled,
         };
-        let interp = Interp::new(self.handler.program());
-        let outcome = interp.run_with_observer(ctx, func, args, &mut observer)?;
+        // Dispatch through the handler's selected engine: the interpreter
+        // is the reference; the bytecode engine observes exactly the same
+        // edges (its watched set covers every PSE and stop in-edge).
+        let engine = self.handler.engine();
+        self.handler.metrics().note_engine_dispatch(engine.name());
+        let outcome = engine.run_observed(ctx, func, args, &mut observer)?;
         let split_at = observer.split_at;
         let violation = observer.violation;
 

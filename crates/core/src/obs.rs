@@ -52,6 +52,15 @@ pub struct HandlerMetrics {
     degraded_seconds: Gauge,
     /// `degraded` — 1 while the entry-cut fallback is forced, else 0.
     degraded: Gauge,
+    /// `engine_dispatch_total{engine}` — modulator runs and demodulator
+    /// resumes executed by each engine (`[interp, compiled]`).
+    engine_dispatch: [Counter; 2],
+    /// `compiled_bodies_total` — bodies accepted by the bytecode compiler
+    /// across engine builds.
+    compiled_bodies: Counter,
+    /// `compile_fallbacks_total` — bodies the compiler declined to the
+    /// interpreter fallback across engine builds.
+    compile_fallbacks: Counter,
     /// Last split PSE seen by [`note_split`](Self::note_split)
     /// ([`NO_SPLIT`] before the first message).
     last_split: AtomicU64,
@@ -82,6 +91,12 @@ impl HandlerMetrics {
             promotions: registry.counter("promotions_total", &[]),
             degraded_seconds: registry.gauge("degraded_seconds", &[]),
             degraded: registry.gauge("degraded", &[]),
+            engine_dispatch: [
+                registry.counter("engine_dispatch_total", &[("engine", "interp")]),
+                registry.counter("engine_dispatch_total", &[("engine", "compiled")]),
+            ],
+            compiled_bodies: registry.counter("compiled_bodies_total", &[]),
+            compile_fallbacks: registry.counter("compile_fallbacks_total", &[]),
             last_split: AtomicU64::new(NO_SPLIT),
         }
     }
@@ -143,6 +158,19 @@ impl HandlerMetrics {
         self.degraded.set(0.0);
         self.degraded_seconds.add(seconds);
         hub.record(TraceEvent::Promoted { consecutive_successes });
+    }
+
+    /// Records one engine dispatch (a modulator run or a demodulator
+    /// resume) under the engine's stable name (`interp`/`compiled`).
+    pub fn note_engine_dispatch(&self, engine: &str) {
+        self.engine_dispatch[usize::from(engine == "compiled")].inc();
+    }
+
+    /// Records one bytecode-engine build: bodies the compiler accepted
+    /// and bodies it declined to the interpreter fallback.
+    pub fn note_engine_build(&self, bodies: u64, declined: u64) {
+        self.compiled_bodies.add(bodies);
+        self.compile_fallbacks.add(declined);
     }
 
     fn note_split(&self, hub: &ObsHub, pse: PseId, epoch: u64) {

@@ -1,13 +1,15 @@
 //! The deployment-time facade: analyze a handler once, then hand out the
 //! modulator (to ship to senders) and demodulator (kept by the receiver).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 
 use mpart_analysis::cache::AnalysisCache;
 use mpart_analysis::paths::EnumLimits;
 use mpart_analysis::{analyze, EdgeCostEstimator, HandlerAnalysis, StaticCost};
 use mpart_cost::CostModel;
+use mpart_ir::compile::{CompileHints, CompileOptions, Observed};
+use mpart_ir::engine::{CompiledEngine, Engine, EngineChoice, InterpEngine};
 use mpart_ir::{IrError, Program};
 
 use mpart_obs::{pse_mask, ObsHub, PlanReason, TraceEvent};
@@ -80,12 +82,18 @@ pub struct PartitionedHandler {
     history: Mutex<PlanHistory>,
     obs: Arc<ObsHub>,
     metrics: HandlerMetrics,
+    /// The live execution engine behind the modulator/demodulator hot
+    /// paths. Defaults to the reference interpreter; swapped by
+    /// [`select_engine`](Self::select_engine) (reads are wait-free in
+    /// practice — writes happen only on a selection).
+    engine: RwLock<Arc<dyn Engine>>,
 }
 
 impl std::fmt::Debug for PartitionedHandler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PartitionedHandler")
             .field("func", &self.func_name)
+            .field("engine", &self.engine().name())
             .field("model", &self.model().name())
             .field("pses", &self.analysis.pses().len())
             .field("active", &self.plan.active())
@@ -195,6 +203,7 @@ impl PartitionedHandler {
         let obs = Arc::new(ObsHub::new());
         let metrics = HandlerMetrics::register(obs.registry(), analysis.pses().len());
         let base_model_key = model.cache_key();
+        let engine: Arc<dyn Engine> = Arc::new(InterpEngine::new(Arc::clone(&program)));
         let handler = PartitionedHandler {
             program,
             func_name,
@@ -206,6 +215,7 @@ impl PartitionedHandler {
             history: Mutex::new(PlanHistory::new(DEFAULT_PLAN_RETENTION)),
             obs,
             metrics,
+            engine: RwLock::new(engine),
         };
         // Deployment-time initial plan from static costs alone.
         let weights = handler.static_weights();
@@ -364,6 +374,80 @@ impl PartitionedHandler {
         };
         *self.model.write().expect("model lock poisoned") = model;
         Ok(analysis)
+    }
+
+    /// The live execution engine (the reference interpreter until the
+    /// first [`select_engine`](Self::select_engine)).
+    pub fn engine(&self) -> Arc<dyn Engine> {
+        Arc::clone(&self.engine.read().expect("engine lock poisoned"))
+    }
+
+    /// Installs the execution engine for `choice` and returns the name of
+    /// the engine actually installed (`"interp"` or `"compiled"`).
+    ///
+    /// `Compiled` and `Auto` run the bytecode compile pass over the whole
+    /// program under hints derived from this handler's analysis: the
+    /// handler body watches exactly its non-entry PSE edges and the edges
+    /// into stop nodes (where the modulator/demodulator observers act),
+    /// and fuses superinstructions only across unwatched edges; helper
+    /// bodies reached through `call` never fire observers and compile with
+    /// nothing watched. Declined bodies always run on the interpreter
+    /// (compile-or-fallback) — under `Auto`, a declined *handler* body
+    /// keeps the pure interpreter engine installed so the per-frame
+    /// fallback indirection is never paid on the hot path.
+    ///
+    /// Counted in `compiled_bodies_total` / `compile_fallbacks_total` and
+    /// traced as [`TraceEvent::EngineSelected`].
+    pub fn select_engine(&self, choice: EngineChoice) -> &'static str {
+        let (installed, bodies, declined): (Arc<dyn Engine>, u32, u32) = match choice {
+            EngineChoice::Interp => (Arc::new(InterpEngine::new(Arc::clone(&self.program))), 0, 0),
+            EngineChoice::Compiled | EngineChoice::Auto => {
+                let hints = self.compile_hints();
+                let engine = CompiledEngine::compile(Arc::clone(&self.program), &hints);
+                let bodies = engine.compiled_bodies() as u32;
+                let declined = engine.declined().len() as u32;
+                self.metrics.note_engine_build(u64::from(bodies), u64::from(declined));
+                let installed: Arc<dyn Engine> =
+                    if choice == EngineChoice::Auto && !engine.is_compiled(&self.func_name) {
+                        Arc::new(InterpEngine::new(Arc::clone(&self.program)))
+                    } else {
+                        Arc::new(engine)
+                    };
+                (installed, bodies, declined)
+            }
+        };
+        let name = installed.name();
+        self.obs.record(TraceEvent::EngineSelected {
+            compiled: name == "compiled",
+            bodies,
+            declined,
+        });
+        *self.engine.write().expect("engine lock poisoned") = installed;
+        name
+    }
+
+    /// Compile hints for this handler: the analysis' watched-edge set for
+    /// the handler body, unrestricted fusion everywhere else.
+    fn compile_hints(&self) -> CompileHints {
+        let exec = self.analysis.exec_hints();
+        // Helper bodies reached through `call` never fire edge observers.
+        let mut hints = CompileHints {
+            default: CompileOptions {
+                observed: Observed::Edges(HashSet::new()),
+                fuse: true,
+                fuse_at: None,
+            },
+            ..CompileHints::default()
+        };
+        hints.per_fn.insert(
+            self.func_name.clone(),
+            CompileOptions {
+                observed: Observed::Edges(exec.observed),
+                fuse: true,
+                fuse_at: Some(exec.fuse_at),
+            },
+        );
+        hints
     }
 
     /// The shared partition plan (atomic flags).
@@ -530,6 +614,51 @@ mod tests {
         let again = h.reprice(Arc::new(ExecTimeModel::new()), &cache, limits).unwrap();
         assert!(Arc::ptr_eq(&again, &repriced), "later flips share the cached entry");
         assert_eq!((cache.second_entry_hits(), cache.second_entry_misses()), (1, 1));
+    }
+
+    #[test]
+    fn engine_defaults_to_interp_and_selection_installs() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let h =
+            PartitionedHandler::analyze(program, "push", Arc::new(DataSizeModel::new())).unwrap();
+        assert_eq!(h.engine().name(), "interp");
+        assert_eq!(h.select_engine(EngineChoice::Compiled), "compiled");
+        assert_eq!(h.engine().name(), "compiled");
+        assert_eq!(h.select_engine(EngineChoice::Interp), "interp");
+        // `push` compiles, so Auto lands on the bytecode engine.
+        assert_eq!(h.select_engine(EngineChoice::Auto), "compiled");
+        let kinds: Vec<&str> = h.obs().trace().snapshot().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "engine_selected").count(), 3);
+    }
+
+    #[test]
+    fn modulation_agrees_across_engines() {
+        let mut runs = Vec::new();
+        for choice in [EngineChoice::Interp, EngineChoice::Compiled] {
+            let program = Arc::new(parse_program(SRC).unwrap());
+            let h = PartitionedHandler::analyze(
+                Arc::clone(&program),
+                "push",
+                Arc::new(DataSizeModel::new()),
+            )
+            .unwrap();
+            // Split late so the prefix actually executes on each engine.
+            let late: Vec<usize> = h
+                .analysis()
+                .pses()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.edge.is_entry())
+                .map(|(i, _)| i)
+                .collect();
+            h.install_plan(&late);
+            h.select_engine(choice);
+            let m = h.modulator();
+            let mut ctx = mpart_ir::interp::ExecCtx::new(&program);
+            let run = m.handle(&mut ctx, vec![mpart_ir::Value::Int(7)]).unwrap();
+            runs.push((run.message.pse, run.message.wire_size(), run.mod_work, ctx.steps));
+        }
+        assert_eq!(runs[0], runs[1], "engines must modulate identically");
     }
 
     #[test]

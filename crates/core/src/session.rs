@@ -66,6 +66,8 @@ use mpart_analysis::paths::EnumLimits;
 use mpart_cost::{CostModel, RuntimeCostKind};
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
+
+pub use mpart_ir::engine::EngineChoice;
 use mpart_obs::{Counter, Gauge, ObsHub, PlanReason, TraceEvent};
 
 use crate::demodulator::Demodulator;
@@ -117,6 +119,11 @@ pub struct SessionConfig {
     /// watermarks, profiling flags; never payloads — is checkpointed to
     /// the journal for crash-safe recovery (see [`crate::journal`]).
     pub journal: Option<Arc<SessionJournal>>,
+    /// Which execution engine sessions run their handlers on. The default
+    /// [`EngineChoice::Auto`] compiles each handler to register bytecode
+    /// at session open and falls back to the reference interpreter when
+    /// the handler body declines compilation.
+    pub engine: EngineChoice,
 }
 
 impl Default for SessionConfig {
@@ -132,6 +139,7 @@ impl Default for SessionConfig {
             degrade_after: 3,
             promote_after: 3,
             journal: None,
+            engine: EngineChoice::default(),
         }
     }
 }
@@ -191,6 +199,13 @@ impl SessionConfig {
     /// Attaches a session journal for crash-safe recovery.
     pub fn with_journal(mut self, journal: Arc<SessionJournal>) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Selects the execution engine for session handlers (default
+    /// [`EngineChoice::Auto`]).
+    pub fn with_engine(mut self, engine: EngineChoice) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -859,6 +874,7 @@ impl SessionManager {
                 handler.plan().set_profiled(pse, snap.flags & (1u64 << pse) != 0);
             }
         }
+        handler.select_engine(self.config.engine);
         let reconfig = ReconfigUnit::new(Arc::clone(handler.analysis()), kind, self.config.trigger)
             .with_obs(Arc::clone(handler.obs()))
             .with_plan_watch(handler.plan().clone());

@@ -1,0 +1,1359 @@
+//! Register-bytecode compilation of IR function bodies.
+//!
+//! The tree-walking interpreter in [`interp`](crate::interp) is the
+//! *reference semantics* of the IR: it fires the edge-observation hook on
+//! every control-flow edge, which is what the modulator/demodulator need —
+//! but it pays enum-walking, operand boxing, and a virtual observer call per
+//! instruction. This module flattens a [`Function`] body into a dense array
+//! of register [`Op`]s once, so the per-envelope hot path becomes a tight
+//! dispatch loop:
+//!
+//! * **registers** are the function's local slots — the runtime environment
+//!   stays a `Vec<Value>` with the *exact* layout the interpreter uses, so
+//!   suspension snapshots ([`SuspendPoint`]) and continuation packing are
+//!   byte-identical across engines;
+//! * **jump targets are pre-resolved** from instruction indices to op
+//!   indices in a patch pass, so taken branches cost one array index;
+//! * **constants are pre-interned** into a per-function pool of
+//!   materialized [`Value`]s (no `Const::to_value` per use);
+//! * **superinstructions** ([`Op::Bin2`], [`Op::BinJmp`], [`Op::LoadBin`])
+//!   fuse the load/op/store pairs that dominate handler loops. A pair is
+//!   fused only when the interior edge is unobserved and its second half is
+//!   not a jump target, so fusion is invisible to observers; fused ops still
+//!   meter work and steps per original instruction, keeping
+//!   [`IrError::StepLimit`] traps at the identical instruction.
+//!
+//! # Compile-or-fallback contract
+//!
+//! [`compile_function`] *declines* (returns [`CompileError`]) rather than
+//! miscompiles: empty bodies, frames too large for 16-bit registers, and
+//! out-of-range branch targets fall back to the interpreter, which
+//! reproduces the reference behavior (including the reference runtime
+//! errors). A declined body never fails an envelope. Assignments with no
+//! dedicated opcode lower to [`Op::Slow`], which delegates that single
+//! instruction to the interpreter's own rvalue/store evaluators — the
+//! long tail is correct by construction.
+//!
+//! Observation points are supplied at compile time via [`Observed`]:
+//! [`Observed::All`] (the default) keeps every edge observable and disables
+//! fusion — bytecode under `All` is edge-for-edge indistinguishable from
+//! the interpreter. [`Observed::Edges`] lists the *watched set* (in the
+//! runtime: active-plan PSE edges plus edges into stop nodes), letting the
+//! dispatch loop skip the observer everywhere else.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mpart_ir::compile::{CompileHints, CompiledProgram};
+//! use mpart_ir::engine::{CompiledEngine, Engine};
+//! use mpart_ir::interp::ExecCtx;
+//! use mpart_ir::parse::parse_program;
+//! use mpart_ir::value::Value;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Arc::new(parse_program(
+//!     "fn sum_to(n) {\n    i = 0\n    total = 0\nhead:\n    if i > n goto done\n    \
+//!      total = total + i\n    i = i + 1\n    goto head\ndone:\n    return total\n}\n",
+//! )?);
+//! // Compile every body (declined bodies would fall back to the interpreter).
+//! let compiled = CompiledProgram::compile(&program, &CompileHints::default());
+//! assert_eq!(compiled.compiled_bodies(), 1);
+//! assert!(compiled.declined().is_empty());
+//!
+//! let engine = CompiledEngine::compile(Arc::clone(&program), &CompileHints::default());
+//! let mut ctx = ExecCtx::new(&program);
+//! assert_eq!(engine.run(&mut ctx, "sum_to", vec![Value::Int(10)])?, Some(Value::Int(55)));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::func::{Function, Program};
+use crate::instr::{BinOp, Const, GlobalId, Instr, Operand, Pc, Place, Rvalue, UnOp, Var};
+use crate::interp::{
+    binop, EdgeAction, EdgeObserver, ExecCtx, Interp, Outcome, SuspendPoint, TraceEvent,
+};
+use crate::types::{ClassId, ElemType, FieldId};
+use crate::value::Value;
+use crate::IrError;
+
+/// A register: a 16-bit index into the function's local-slot environment.
+pub type Reg = u16;
+
+/// `pc_map` entry for instructions absorbed into the preceding
+/// superinstruction (no op of their own starts there).
+pub const FUSED: u32 = u32::MAX;
+
+/// A pre-resolved operand: a register or an index into the constant pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Src {
+    /// Read a local slot.
+    Reg(Reg),
+    /// Read the interned constant pool.
+    Const(u16),
+}
+
+/// Where a call result is stored (mirrors [`Place`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallDst {
+    /// A local slot.
+    Reg(Reg),
+    /// An object field store.
+    Field(Reg, FieldId),
+    /// An array element store.
+    Elem(Reg, Src),
+    /// A global store.
+    Global(GlobalId),
+}
+
+/// A call target resolved at compile time.
+///
+/// IR functions resolve to a program index; builtin names stay symbolic
+/// because the registry lives in the per-host [`ExecCtx`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Callee {
+    /// An IR function, by program index.
+    Fn(u32),
+    /// A pure builtin, resolved in the executing context's registry.
+    Pure(Arc<str>),
+    /// A native builtin (stop-node semantics; traced).
+    Native(Arc<str>),
+}
+
+/// One bytecode operation.
+///
+/// Every variant meters work exactly like the corresponding interpreter
+/// arm; superinstructions meter each original instruction separately.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// No operation.
+    Nop,
+    /// Return, optionally with a value.
+    Ret(Option<Src>),
+    /// Unconditional jump to op index.
+    Jmp {
+        /// Target op index (patched from the original `Pc`).
+        t: u32,
+    },
+    /// Conditional branch: jump when `a op b` is truthy.
+    Br {
+        /// Comparison operator.
+        op: BinOp,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Target op index when taken.
+        t: u32,
+        /// Target `Pc` when taken (for edge observation).
+        t_pc: u32,
+        /// Whether the taken edge is watched.
+        obs_taken: bool,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Src,
+    },
+    /// `dst = op src`.
+    Un {
+        /// Unary operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Src,
+    },
+    /// `dst = a op b`.
+    Bin {
+        /// Binary operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst = obj instanceof class`.
+    InstanceOf {
+        /// Destination register.
+        dst: Reg,
+        /// Tested reference.
+        obj: Reg,
+        /// Class tested against.
+        class: ClassId,
+    },
+    /// `dst = (class) obj` — checked cast.
+    Cast {
+        /// Destination register.
+        dst: Reg,
+        /// Cast reference.
+        obj: Reg,
+        /// Target class.
+        class: ClassId,
+    },
+    /// `dst = new class`.
+    New {
+        /// Destination register.
+        dst: Reg,
+        /// Allocated class.
+        class: ClassId,
+    },
+    /// `dst = new elem[len]`.
+    NewArr {
+        /// Destination register.
+        dst: Reg,
+        /// Element type.
+        elem: ElemType,
+        /// Dynamic length operand.
+        len: Src,
+    },
+    /// `dst = obj.field`.
+    FieldGet {
+        /// Destination register.
+        dst: Reg,
+        /// Base reference register.
+        obj: Reg,
+        /// Field.
+        field: FieldId,
+    },
+    /// `obj.field = src`.
+    FieldSet {
+        /// Base reference register.
+        obj: Reg,
+        /// Field.
+        field: FieldId,
+        /// Stored operand.
+        src: Src,
+    },
+    /// `dst = arr[idx]`.
+    ArrGet {
+        /// Destination register.
+        dst: Reg,
+        /// Array reference register.
+        arr: Reg,
+        /// Index operand.
+        idx: Src,
+    },
+    /// `arr[idx] = src`.
+    ArrSet {
+        /// Array reference register.
+        arr: Reg,
+        /// Index operand.
+        idx: Src,
+        /// Stored operand.
+        src: Src,
+    },
+    /// `dst = len arr`.
+    ArrLen {
+        /// Destination register.
+        dst: Reg,
+        /// Array reference register.
+        arr: Reg,
+    },
+    /// `dst = global::g`.
+    GlobalGet {
+        /// Destination register.
+        dst: Reg,
+        /// Global id.
+        global: GlobalId,
+    },
+    /// `global::g = src`.
+    GlobalSet {
+        /// Global id.
+        global: GlobalId,
+        /// Stored operand.
+        src: Src,
+    },
+    /// Invoke an IR function or builtin and store the result.
+    Call {
+        /// Result destination.
+        dst: CallDst,
+        /// Pre-resolved callee.
+        callee: Callee,
+        /// Argument operands, in order.
+        args: Box<[Src]>,
+    },
+    /// Generic assignment executed by the interpreter's own evaluators —
+    /// the correctness backstop for shapes with no dedicated opcode.
+    Slow {
+        /// Original instruction index.
+        pc: u32,
+    },
+    /// Sentinel appended when the last instruction can fall through;
+    /// raises the interpreter's off-the-end error.
+    OffEnd,
+    /// Superinstruction: two consecutive binary ops.
+    Bin2 {
+        /// First operation.
+        op1: BinOp,
+        /// First destination.
+        dst1: Reg,
+        /// First left operand.
+        a1: Src,
+        /// First right operand.
+        b1: Src,
+        /// Second operation.
+        op2: BinOp,
+        /// Second destination.
+        dst2: Reg,
+        /// Second left operand.
+        a2: Src,
+        /// Second right operand.
+        b2: Src,
+    },
+    /// Superinstruction: binary op followed by an unconditional jump
+    /// (the back-edge shape at the bottom of counted loops).
+    BinJmp {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Jump target op index.
+        t: u32,
+    },
+    /// Superinstruction: array load feeding a binary op.
+    LoadBin {
+        /// Register receiving the loaded element.
+        tmp: Reg,
+        /// Array reference register.
+        arr: Reg,
+        /// Index operand.
+        idx: Src,
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+}
+
+/// Per-op control-flow metadata, kept parallel to the op array so the hot
+/// enum stays small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMeta {
+    /// Original `Pc` of the (last fused) instruction — the `from` side of
+    /// the outgoing edge reported to observers.
+    pub from_pc: u32,
+    /// Original `Pc` of the fall-through successor (the jump target for
+    /// [`Op::Jmp`]/[`Op::BinJmp`]).
+    pub next_pc: u32,
+    /// Whether the fall-through edge is watched (taken-branch edges carry
+    /// their own flag in [`Op::Br`]).
+    pub observe: bool,
+}
+
+/// Why the compiler declined a body (the function falls back to the
+/// interpreter; execution behavior is unchanged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The body has no instructions.
+    EmptyBody,
+    /// The frame needs more local slots than 16-bit registers address.
+    TooManyLocals(usize),
+    /// The constant pool overflowed its 16-bit index space.
+    TooManyConsts(usize),
+    /// The body has more instructions than the op index space.
+    CodeTooLarge(usize),
+    /// A branch targets an instruction outside the body.
+    BranchTargetOutOfRange {
+        /// Branching instruction.
+        pc: Pc,
+        /// Out-of-range target.
+        target: Pc,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyBody => write!(f, "empty body"),
+            CompileError::TooManyLocals(n) => write!(f, "{n} locals exceed register space"),
+            CompileError::TooManyConsts(n) => write!(f, "{n} constants exceed pool space"),
+            CompileError::CodeTooLarge(n) => write!(f, "{n} instructions exceed op index space"),
+            CompileError::BranchTargetOutOfRange { pc, target } => {
+                write!(f, "branch at pc {pc} targets out-of-range pc {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Which control-flow edges the dispatch loop must report to the
+/// [`EdgeObserver`].
+#[derive(Debug, Clone, Default)]
+pub enum Observed {
+    /// Observe every edge, exactly like the interpreter. Disables fusion.
+    #[default]
+    All,
+    /// Observe only the listed `(from, to)` edges — in the partitioned
+    /// runtime, the active plan's PSE edges plus edges into stop nodes.
+    Edges(HashSet<(Pc, Pc)>),
+}
+
+impl Observed {
+    fn watched(&self, from: Pc, to: Pc) -> bool {
+        match self {
+            Observed::All => true,
+            Observed::Edges(set) => set.contains(&(from, to)),
+        }
+    }
+}
+
+/// Per-function compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Edges the dispatch loop must report (see [`Observed`]).
+    pub observed: Observed,
+    /// Whether superinstruction fusion is enabled at all.
+    pub fuse: bool,
+    /// When set, only fuse pairs *starting* at these instruction indices
+    /// (analysis-provided def-use hints); the compiler still re-checks
+    /// structural legality. `None` fuses every legal pair.
+    pub fuse_at: Option<HashSet<Pc>>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { observed: Observed::All, fuse: true, fuse_at: None }
+    }
+}
+
+/// Per-program compilation options: a default plus per-function overrides
+/// (the partitioned runtime gives the handler its watched set and fusion
+/// hints, and inner functions a fully-unobserved fast configuration).
+#[derive(Debug, Clone, Default)]
+pub struct CompileHints {
+    /// Options for functions without an override.
+    pub default: CompileOptions,
+    /// Per-function overrides, by function name.
+    pub per_fn: HashMap<String, CompileOptions>,
+}
+
+/// A compiled function body.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Flattened ops, in original instruction order.
+    pub ops: Vec<Op>,
+    /// Control-flow metadata parallel to `ops`.
+    pub meta: Vec<OpMeta>,
+    /// Interned constant pool, pre-materialized as runtime values.
+    pub consts: Vec<Value>,
+    /// Instruction index → op index ([`FUSED`] for absorbed instructions).
+    pub pc_map: Vec<u32>,
+    /// Number of superinstructions emitted.
+    pub fused: usize,
+}
+
+/// All compiled bodies of a program, plus the decline list.
+///
+/// `fns` is indexed in program function order; a `None` body means the
+/// compiler declined and the interpreter executes that function.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledProgram {
+    fns: Vec<Option<Arc<CompiledFunction>>>,
+    by_name: HashMap<String, u32>,
+    declined: Vec<(String, CompileError)>,
+}
+
+impl CompiledProgram {
+    /// Compiles every function body of `program`, recording declines
+    /// instead of failing.
+    pub fn compile(program: &Program, hints: &CompileHints) -> Self {
+        let mut fns = Vec::new();
+        let mut by_name = HashMap::new();
+        let mut declined = Vec::new();
+        for (i, func) in program.functions().enumerate() {
+            by_name.insert(func.name.clone(), i as u32);
+            let opts = hints.per_fn.get(&func.name).unwrap_or(&hints.default);
+            match compile_function(program, func, opts) {
+                Ok(code) => fns.push(Some(Arc::new(code))),
+                Err(e) => {
+                    declined.push((func.name.clone(), e));
+                    fns.push(None);
+                }
+            }
+        }
+        CompiledProgram { fns, by_name, declined }
+    }
+
+    /// Program index of `name`, if the function exists (compiled or not).
+    pub fn index_of(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The compiled body at program index `i`, if the compiler accepted it.
+    pub fn body(&self, i: u32) -> Option<&Arc<CompiledFunction>> {
+        self.fns.get(i as usize).and_then(|b| b.as_ref())
+    }
+
+    /// Compiled body for `name`, if present.
+    pub fn body_of(&self, name: &str) -> Option<&Arc<CompiledFunction>> {
+        self.index_of(name).and_then(|i| self.body(i))
+    }
+
+    /// Number of bodies the compiler accepted.
+    pub fn compiled_bodies(&self) -> usize {
+        self.fns.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Functions the compiler declined, with the reason.
+    pub fn declined(&self) -> &[(String, CompileError)] {
+        &self.declined
+    }
+}
+
+fn reg(v: Var) -> Result<Reg, CompileError> {
+    if v.0 > u16::MAX as u32 {
+        return Err(CompileError::TooManyLocals(v.index() + 1));
+    }
+    Ok(v.0 as Reg)
+}
+
+fn intern(consts: &mut Vec<Value>, c: &Const) -> Result<u16, CompileError> {
+    let v = c.to_value();
+    if let Some(i) = consts.iter().position(|x| x == &v) {
+        return Ok(i as u16);
+    }
+    if consts.len() > u16::MAX as usize {
+        return Err(CompileError::TooManyConsts(consts.len() + 1));
+    }
+    consts.push(v);
+    Ok((consts.len() - 1) as u16)
+}
+
+fn src(consts: &mut Vec<Value>, op: &Operand) -> Result<Src, CompileError> {
+    match op {
+        Operand::Var(v) => Ok(Src::Reg(reg(*v)?)),
+        Operand::Const(c) => Ok(Src::Const(intern(consts, c)?)),
+    }
+}
+
+struct FnCompiler<'a> {
+    func: &'a Function,
+    opts: &'a CompileOptions,
+    fn_index: HashMap<&'a str, u32>,
+    consts: Vec<Value>,
+    leader: Vec<bool>,
+}
+
+/// Compiles one function body; returns the reason on decline.
+///
+/// Declining is always safe: the caller runs the function on the
+/// interpreter instead, which reproduces the reference behavior —
+/// including reference runtime errors such as a branch to an
+/// out-of-range target.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing why the body was declined.
+pub fn compile_function(
+    program: &Program,
+    func: &Function,
+    opts: &CompileOptions,
+) -> Result<CompiledFunction, CompileError> {
+    let n = func.instrs.len();
+    if n == 0 {
+        return Err(CompileError::EmptyBody);
+    }
+    if n >= FUSED as usize {
+        return Err(CompileError::CodeTooLarge(n));
+    }
+    if func.locals > u16::MAX as usize + 1 {
+        return Err(CompileError::TooManyLocals(func.locals));
+    }
+
+    // Leaders: instructions that must start an op of their own — the entry,
+    // every branch target, and the `to` side of every watched edge (so
+    // resumption entry points always exist in `pc_map`).
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for (pc, instr) in func.instrs.iter().enumerate() {
+        if let Instr::Goto { target } | Instr::If { target, .. } = instr {
+            if *target >= n {
+                return Err(CompileError::BranchTargetOutOfRange { pc, target: *target });
+            }
+            leader[*target] = true;
+        }
+    }
+    if let Observed::Edges(set) = &opts.observed {
+        for &(_, to) in set {
+            if to < n {
+                leader[to] = true;
+            }
+        }
+    }
+
+    let mut c = FnCompiler {
+        func,
+        opts,
+        fn_index: program
+            .functions()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i as u32))
+            .collect(),
+        consts: Vec::new(),
+        leader,
+    };
+    // Fusion is only meaningful when some edges are unobserved: under
+    // `Observed::All` every interior edge must fire the observer, which is
+    // exactly what single-instruction ops do.
+    let fuse_ok = opts.fuse && matches!(opts.observed, Observed::Edges(_));
+
+    let mut ops: Vec<Op> = Vec::with_capacity(n + 1);
+    let mut meta: Vec<OpMeta> = Vec::with_capacity(n + 1);
+    let mut pc_map = vec![FUSED; n];
+    let mut fused = 0usize;
+    let mut pc = 0;
+    while pc < n {
+        pc_map[pc] = ops.len() as u32;
+        let hint_ok = c.opts.fuse_at.as_ref().map(|set| set.contains(&pc)).unwrap_or(true);
+        if fuse_ok
+            && hint_ok
+            && pc + 1 < n
+            && !c.leader[pc + 1]
+            && !c.opts.observed.watched(pc, pc + 1)
+        {
+            if let Some((op, m)) = c.try_fuse(pc)? {
+                ops.push(op);
+                meta.push(m);
+                fused += 1;
+                pc += 2;
+                continue;
+            }
+        }
+        let (op, m) = c.lower(pc)?;
+        ops.push(op);
+        meta.push(m);
+        pc += 1;
+    }
+    // If the last instruction can fall through, fall into an explicit
+    // off-the-end sentinel that raises the interpreter's error.
+    if !matches!(func.instrs[n - 1], Instr::Goto { .. } | Instr::Return { .. }) {
+        ops.push(Op::OffEnd);
+        meta.push(OpMeta { from_pc: (n - 1) as u32, next_pc: n as u32, observe: false });
+    }
+
+    // Patch pass: branch targets currently hold instruction indices; every
+    // target is a leader, so `pc_map` has a real op index for it.
+    for op in &mut ops {
+        match op {
+            Op::Jmp { t } | Op::Br { t, .. } | Op::BinJmp { t, .. } => *t = pc_map[*t as usize],
+            _ => {}
+        }
+    }
+
+    Ok(CompiledFunction { ops, meta, consts: c.consts, pc_map, fused })
+}
+
+impl<'a> FnCompiler<'a> {
+    /// `OpMeta` for a single instruction at `pc` whose fall-through
+    /// successor is `next` (observation flags disabled for the
+    /// nonexistent off-the-end edge).
+    fn meta_to(&self, pc: Pc, next: Pc) -> OpMeta {
+        let exists = next < self.func.instrs.len();
+        OpMeta {
+            from_pc: pc as u32,
+            next_pc: next as u32,
+            observe: exists && self.opts.observed.watched(pc, next),
+        }
+    }
+
+    fn try_fuse(&mut self, pc: Pc) -> Result<Option<(Op, OpMeta)>, CompileError> {
+        use Instr::*;
+        let (a, b) = (&self.func.instrs[pc], &self.func.instrs[pc + 1]);
+        let fused = match (a, b) {
+            (
+                Assign { place: Place::Var(d1), rvalue: Rvalue::Binary(op1, x1, y1) },
+                Assign { place: Place::Var(d2), rvalue: Rvalue::Binary(op2, x2, y2) },
+            ) => Some((
+                Op::Bin2 {
+                    op1: *op1,
+                    dst1: reg(*d1)?,
+                    a1: src(&mut self.consts, x1)?,
+                    b1: src(&mut self.consts, y1)?,
+                    op2: *op2,
+                    dst2: reg(*d2)?,
+                    a2: src(&mut self.consts, x2)?,
+                    b2: src(&mut self.consts, y2)?,
+                },
+                self.meta_to(pc + 1, pc + 2),
+            )),
+            (
+                Assign { place: Place::Var(d), rvalue: Rvalue::Binary(op, x, y) },
+                Goto { target },
+            ) => Some((
+                Op::BinJmp {
+                    op: *op,
+                    dst: reg(*d)?,
+                    a: src(&mut self.consts, x)?,
+                    b: src(&mut self.consts, y)?,
+                    t: *target as u32,
+                },
+                self.meta_to(pc + 1, *target),
+            )),
+            (
+                Assign { place: Place::Var(t), rvalue: Rvalue::ArrayGet(arr, idx) },
+                Assign { place: Place::Var(d), rvalue: Rvalue::Binary(op, x, y) },
+            ) => Some((
+                Op::LoadBin {
+                    tmp: reg(*t)?,
+                    arr: reg(*arr)?,
+                    idx: src(&mut self.consts, idx)?,
+                    op: *op,
+                    dst: reg(*d)?,
+                    a: src(&mut self.consts, x)?,
+                    b: src(&mut self.consts, y)?,
+                },
+                self.meta_to(pc + 1, pc + 2),
+            )),
+            _ => None,
+        };
+        Ok(fused)
+    }
+
+    fn lower(&mut self, pc: Pc) -> Result<(Op, OpMeta), CompileError> {
+        let op = match &self.func.instrs[pc] {
+            Instr::Nop => Op::Nop,
+            Instr::Return { value } => {
+                let s = match value {
+                    Some(v) => Some(src(&mut self.consts, v)?),
+                    None => None,
+                };
+                return Ok((Op::Ret(s), self.meta_to(pc, pc + 1)));
+            }
+            Instr::Goto { target } => {
+                return Ok((Op::Jmp { t: *target as u32 }, self.meta_to(pc, *target)));
+            }
+            Instr::If { cond, target } => {
+                return Ok((
+                    Op::Br {
+                        op: cond.op,
+                        a: src(&mut self.consts, &cond.lhs)?,
+                        b: src(&mut self.consts, &cond.rhs)?,
+                        t: *target as u32,
+                        t_pc: *target as u32,
+                        obs_taken: self.opts.observed.watched(pc, *target),
+                    },
+                    self.meta_to(pc, pc + 1),
+                ));
+            }
+            Instr::Assign { place, rvalue } => self.lower_assign(pc, place, rvalue)?,
+        };
+        Ok((op, self.meta_to(pc, pc + 1)))
+    }
+
+    fn lower_assign(&mut self, pc: Pc, place: &Place, rvalue: &Rvalue) -> Result<Op, CompileError> {
+        // Calls store through any place shape; everything else gets a
+        // dedicated opcode only for register destinations.
+        if let Rvalue::Invoke { callee, args } | Rvalue::InvokeNative { callee, args } = rvalue {
+            let native = matches!(rvalue, Rvalue::InvokeNative { .. });
+            let dst = match place {
+                Place::Var(v) => CallDst::Reg(reg(*v)?),
+                Place::Field(b, f) => CallDst::Field(reg(*b)?, *f),
+                Place::ArrayElem(b, i) => CallDst::Elem(reg(*b)?, src(&mut self.consts, i)?),
+                Place::Global(g) => CallDst::Global(*g),
+            };
+            let callee = if native {
+                Callee::Native(callee.as_str().into())
+            } else {
+                match self.fn_index.get(callee.as_str()) {
+                    Some(i) => Callee::Fn(*i),
+                    None => Callee::Pure(callee.as_str().into()),
+                }
+            };
+            let args = args
+                .iter()
+                .map(|a| src(&mut self.consts, a))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_boxed_slice();
+            return Ok(Op::Call { dst, callee, args });
+        }
+        let op = match (place, rvalue) {
+            (Place::Var(d), Rvalue::Use(x)) => {
+                Op::Mov { dst: reg(*d)?, src: src(&mut self.consts, x)? }
+            }
+            (Place::Var(d), Rvalue::Unary(op, x)) => {
+                Op::Un { op: *op, dst: reg(*d)?, src: src(&mut self.consts, x)? }
+            }
+            (Place::Var(d), Rvalue::Binary(op, x, y)) => Op::Bin {
+                op: *op,
+                dst: reg(*d)?,
+                a: src(&mut self.consts, x)?,
+                b: src(&mut self.consts, y)?,
+            },
+            (Place::Var(d), Rvalue::InstanceOf(v, class)) => {
+                Op::InstanceOf { dst: reg(*d)?, obj: reg(*v)?, class: *class }
+            }
+            (Place::Var(d), Rvalue::Cast(class, v)) => {
+                Op::Cast { dst: reg(*d)?, obj: reg(*v)?, class: *class }
+            }
+            (Place::Var(d), Rvalue::New(class)) => Op::New { dst: reg(*d)?, class: *class },
+            (Place::Var(d), Rvalue::NewArray(elem, len)) => {
+                Op::NewArr { dst: reg(*d)?, elem: *elem, len: src(&mut self.consts, len)? }
+            }
+            (Place::Var(d), Rvalue::FieldGet(v, field)) => {
+                Op::FieldGet { dst: reg(*d)?, obj: reg(*v)?, field: *field }
+            }
+            (Place::Var(d), Rvalue::ArrayGet(v, idx)) => {
+                Op::ArrGet { dst: reg(*d)?, arr: reg(*v)?, idx: src(&mut self.consts, idx)? }
+            }
+            (Place::Var(d), Rvalue::ArrayLen(v)) => Op::ArrLen { dst: reg(*d)?, arr: reg(*v)? },
+            (Place::Var(d), Rvalue::GlobalGet(g)) => Op::GlobalGet { dst: reg(*d)?, global: *g },
+            (Place::Field(b, f), Rvalue::Use(x)) => {
+                Op::FieldSet { obj: reg(*b)?, field: *f, src: src(&mut self.consts, x)? }
+            }
+            (Place::ArrayElem(b, i), Rvalue::Use(x)) => Op::ArrSet {
+                arr: reg(*b)?,
+                idx: src(&mut self.consts, i)?,
+                src: src(&mut self.consts, x)?,
+            },
+            (Place::Global(g), Rvalue::Use(x)) => {
+                Op::GlobalSet { global: *g, src: src(&mut self.consts, x)? }
+            }
+            // Rare shapes (e.g. `a.f = b + c`) delegate to the
+            // interpreter's evaluators for that one instruction.
+            _ => Op::Slow { pc: pc as u32 },
+        };
+        Ok(op)
+    }
+}
+
+#[inline]
+fn val<'a>(env: &'a [Value], consts: &'a [Value], s: Src) -> &'a Value {
+    match s {
+        Src::Reg(r) => &env[r as usize],
+        Src::Const(c) => &consts[c as usize],
+    }
+}
+
+/// Binary op with an allocation-free integer fast lane; all other operand
+/// kinds delegate to the interpreter's [`binop`] for identical semantics.
+#[inline]
+fn bin_fast(op: BinOp, a: &Value, b: &Value) -> Result<Value, IrError> {
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        let (x, y) = (*x, *y);
+        return Ok(match op {
+            BinOp::Add => Value::Int(x.wrapping_add(y)),
+            BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+            BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+            BinOp::Div => {
+                if y == 0 {
+                    return Err(IrError::DivideByZero);
+                }
+                Value::Int(x.wrapping_div(y))
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return Err(IrError::DivideByZero);
+                }
+                Value::Int(x.wrapping_rem(y))
+            }
+            BinOp::Eq => Value::Bool(x == y),
+            BinOp::Ne => Value::Bool(x != y),
+            BinOp::Lt => Value::Bool(x < y),
+            BinOp::Le => Value::Bool(x <= y),
+            BinOp::Gt => Value::Bool(x > y),
+            BinOp::Ge => Value::Bool(x >= y),
+            BinOp::And => Value::Int(x & y),
+            BinOp::Or => Value::Int(x | y),
+        });
+    }
+    binop(op, a.clone(), b.clone())
+}
+
+/// The dispatch-loop VM. Borrowed per execution; owns the (tiny) program
+/// function table so calls resolve by index.
+pub(crate) struct Vm<'p> {
+    program: &'p Program,
+    cp: &'p CompiledProgram,
+    ftab: Vec<&'p Function>,
+    interp: Interp<'p>,
+    fallbacks: &'p AtomicU64,
+}
+
+impl<'p> Vm<'p> {
+    pub(crate) fn new(
+        program: &'p Program,
+        cp: &'p CompiledProgram,
+        fallbacks: &'p AtomicU64,
+    ) -> Self {
+        Vm {
+            program,
+            cp,
+            ftab: program.functions().collect(),
+            interp: Interp::new(program),
+            fallbacks,
+        }
+    }
+
+    /// Calls program function `idx`, compiled if its body was accepted,
+    /// on the interpreter otherwise (at the same call depth).
+    pub(crate) fn call_fn(
+        &self,
+        ctx: &mut ExecCtx,
+        idx: u32,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, IrError> {
+        let func = self.ftab[idx as usize];
+        match self.cp.body(idx) {
+            Some(code) => {
+                if args.len() != func.params {
+                    return Err(IrError::Type(format!(
+                        "function `{}` expects {} args, got {}",
+                        func.name,
+                        func.params,
+                        args.len()
+                    )));
+                }
+                let mut env = vec![Value::Null; func.locals];
+                for (i, a) in args.into_iter().enumerate() {
+                    env[i] = a;
+                }
+                match self.exec(ctx, code, func, env, 0, None, depth)? {
+                    Outcome::Finished(v) => Ok(v),
+                    Outcome::Suspended(_) => unreachable!("suspension without observer"),
+                }
+            }
+            None => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.interp.call(ctx, func, args, depth)
+            }
+        }
+    }
+
+    fn store_call_dst(
+        &self,
+        ctx: &mut ExecCtx,
+        env: &mut [Value],
+        dst: &CallDst,
+        consts: &[Value],
+        value: Value,
+    ) -> Result<(), IrError> {
+        match dst {
+            CallDst::Reg(r) => {
+                env[*r as usize] = value;
+                Ok(())
+            }
+            CallDst::Field(b, f) => {
+                ctx.work += ctx.costs.mem;
+                let r = env[*b as usize].as_ref("field store")?;
+                ctx.heap.set_field(r, *f, value)
+            }
+            CallDst::Elem(b, i) => {
+                ctx.work += ctx.costs.mem;
+                let r = env[*b as usize].as_ref("array store")?;
+                let i = val(env, consts, *i).as_int("array index")?;
+                ctx.heap.array_set(r, i, value)
+            }
+            CallDst::Global(g) => {
+                ctx.work += ctx.costs.mem;
+                ctx.globals[g.index()] = value;
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes `code` from op index `entry_op`.
+    ///
+    /// Work charging, step metering, trap points, and edge observation all
+    /// mirror [`Interp::exec_frame`] instruction for instruction; see the
+    /// module docs for the contract.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec(
+        &self,
+        ctx: &mut ExecCtx,
+        code: &CompiledFunction,
+        func: &Function,
+        mut env: Vec<Value>,
+        entry_op: usize,
+        mut observer: Option<&mut dyn EdgeObserver>,
+        depth: usize,
+    ) -> Result<Outcome, IrError> {
+        if depth > 64 {
+            return Err(IrError::Type(format!("call depth exceeded at `{}`", func.name)));
+        }
+        let consts = &code.consts;
+        let mut ip = entry_op;
+        loop {
+            let op = &code.ops[ip];
+            if matches!(op, Op::OffEnd) {
+                return Err(IrError::Invalid(format!(
+                    "control fell off the end of `{}`",
+                    func.name
+                )));
+            }
+            ctx.steps += 1;
+            if ctx.steps > ctx.step_limit {
+                return Err(IrError::StepLimit(ctx.step_limit));
+            }
+            let m = code.meta[ip];
+            let mut next_ip = ip + 1;
+            let mut to_pc = m.next_pc as usize;
+            let mut observe = m.observe;
+            match op {
+                Op::Nop => ctx.work += ctx.costs.simple,
+                Op::Ret(s) => {
+                    ctx.work += ctx.costs.simple;
+                    let v = s.map(|s| val(&env, consts, s).clone());
+                    return Ok(Outcome::Finished(v));
+                }
+                Op::Jmp { t } => {
+                    ctx.work += ctx.costs.branch;
+                    next_ip = *t as usize;
+                }
+                Op::Br { op, a, b, t, t_pc, obs_taken } => {
+                    ctx.work += ctx.costs.branch;
+                    if bin_fast(*op, val(&env, consts, *a), val(&env, consts, *b))?.truthy() {
+                        next_ip = *t as usize;
+                        to_pc = *t_pc as usize;
+                        observe = *obs_taken;
+                    }
+                }
+                Op::Mov { dst, src } => {
+                    ctx.work += ctx.costs.simple;
+                    env[*dst as usize] = val(&env, consts, *src).clone();
+                }
+                Op::Un { op, dst, src } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = match (op, val(&env, consts, *src)) {
+                        (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
+                        (UnOp::Neg, Value::Float(x)) => Value::Float(-x),
+                        (UnOp::Neg, other) => {
+                            return Err(IrError::Type(format!(
+                                "cannot negate {}",
+                                other.kind_name()
+                            )))
+                        }
+                        (UnOp::Not, v) => Value::Bool(!v.truthy()),
+                    };
+                    env[*dst as usize] = v;
+                }
+                Op::Bin { op, dst, a, b } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = bin_fast(*op, val(&env, consts, *a), val(&env, consts, *b))?;
+                    env[*dst as usize] = v;
+                }
+                Op::InstanceOf { dst, obj, class } => {
+                    ctx.work += ctx.costs.simple;
+                    let is = match &env[*obj as usize] {
+                        Value::Ref(r) => ctx.heap.class_of(*r)? == Some(*class),
+                        _ => false,
+                    };
+                    env[*dst as usize] = Value::Bool(is);
+                }
+                Op::Cast { dst, obj, class } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = env[*obj as usize].clone();
+                    match &v {
+                        Value::Null => {}
+                        Value::Ref(r) => {
+                            if ctx.heap.class_of(*r)? != Some(*class) {
+                                return Err(IrError::Type(format!(
+                                    "cannot cast {r} to {}",
+                                    self.program.classes.decl(*class).name
+                                )));
+                            }
+                        }
+                        other => {
+                            return Err(IrError::Type(format!(
+                                "cannot cast {} to a class type",
+                                other.kind_name()
+                            )))
+                        }
+                    }
+                    env[*dst as usize] = v;
+                }
+                Op::New { dst, class } => {
+                    ctx.work += ctx.costs.alloc;
+                    env[*dst as usize] =
+                        Value::Ref(ctx.heap.alloc_object(&self.program.classes, *class));
+                }
+                Op::NewArr { dst, elem, len } => {
+                    let len = val(&env, consts, *len).as_int("array length")?;
+                    if len < 0 {
+                        return Err(IrError::Type(format!("negative array length {len}")));
+                    }
+                    ctx.work += ctx.costs.alloc + ctx.costs.alloc_per_elem * len as u64;
+                    env[*dst as usize] = Value::Ref(ctx.heap.alloc_array(*elem, len as usize));
+                }
+                Op::FieldGet { dst, obj, field } => {
+                    ctx.work += ctx.costs.mem;
+                    let r = env[*obj as usize].as_ref("field load")?;
+                    env[*dst as usize] = ctx.heap.field(r, *field)?;
+                }
+                Op::FieldSet { obj, field, src } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = val(&env, consts, *src).clone();
+                    ctx.work += ctx.costs.mem;
+                    let r = env[*obj as usize].as_ref("field store")?;
+                    ctx.heap.set_field(r, *field, v)?;
+                }
+                Op::ArrGet { dst, arr, idx } => {
+                    ctx.work += ctx.costs.mem;
+                    let r = env[*arr as usize].as_ref("array load")?;
+                    let i = val(&env, consts, *idx).as_int("array index")?;
+                    env[*dst as usize] = ctx.heap.array_get(r, i)?;
+                }
+                Op::ArrSet { arr, idx, src } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = val(&env, consts, *src).clone();
+                    ctx.work += ctx.costs.mem;
+                    let r = env[*arr as usize].as_ref("array store")?;
+                    let i = val(&env, consts, *idx).as_int("array index")?;
+                    ctx.heap.array_set(r, i, v)?;
+                }
+                Op::ArrLen { dst, arr } => {
+                    ctx.work += ctx.costs.mem;
+                    let r = env[*arr as usize].as_ref("array length")?;
+                    env[*dst as usize] = Value::Int(ctx.heap.array_len(r)? as i64);
+                }
+                Op::GlobalGet { dst, global } => {
+                    ctx.work += ctx.costs.mem;
+                    env[*dst as usize] = ctx.globals[global.index()].clone();
+                }
+                Op::GlobalSet { global, src } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = val(&env, consts, *src).clone();
+                    ctx.work += ctx.costs.mem;
+                    ctx.globals[global.index()] = v;
+                }
+                Op::Call { dst, callee, args } => {
+                    ctx.work += ctx.costs.invoke;
+                    let argv: Vec<Value> =
+                        args.iter().map(|s| val(&env, consts, *s).clone()).collect();
+                    let v = match callee {
+                        Callee::Fn(idx) => {
+                            self.call_fn(ctx, *idx, argv, depth + 1)?.unwrap_or(Value::Null)
+                        }
+                        Callee::Pure(name) => {
+                            let entry =
+                                ctx.builtins.get(name).cloned().ok_or_else(|| {
+                                    IrError::Unresolved(format!("callee `{name}`"))
+                                })?;
+                            if entry.native {
+                                return Err(IrError::Type(format!(
+                                    "`{name}` is native; use a native invocation"
+                                )));
+                            }
+                            ctx.work += (entry.cost)(&ctx.heap, &argv);
+                            (entry.func)(&mut ctx.heap, &argv)?
+                        }
+                        Callee::Native(name) => {
+                            let entry =
+                                ctx.builtins.get(name).cloned().ok_or_else(|| {
+                                    IrError::Unresolved(format!("native `{name}`"))
+                                })?;
+                            ctx.work += (entry.cost)(&ctx.heap, &argv);
+                            let digest = if ctx.trace_digests {
+                                crate::marshal::deep_digest_many(&ctx.heap, &argv)?
+                            } else {
+                                String::new()
+                            };
+                            ctx.trace
+                                .push(TraceEvent { callee: name.to_string(), args_digest: digest });
+                            (entry.func)(&mut ctx.heap, &argv)?
+                        }
+                    };
+                    self.store_call_dst(ctx, &mut env, dst, consts, v)?;
+                }
+                Op::Slow { pc } => {
+                    let Instr::Assign { place, rvalue } = &func.instrs[*pc as usize] else {
+                        unreachable!("Slow lowers only assignments")
+                    };
+                    let v = self.interp.rvalue(ctx, func, &env, rvalue, depth)?;
+                    self.interp.store(ctx, &mut env, place, v)?;
+                }
+                Op::OffEnd => unreachable!("checked at loop head"),
+                Op::Bin2 { op1, dst1, a1, b1, op2, dst2, a2, b2 } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = bin_fast(*op1, val(&env, consts, *a1), val(&env, consts, *b1))?;
+                    env[*dst1 as usize] = v;
+                    ctx.steps += 1;
+                    if ctx.steps > ctx.step_limit {
+                        return Err(IrError::StepLimit(ctx.step_limit));
+                    }
+                    ctx.work += ctx.costs.simple;
+                    let v = bin_fast(*op2, val(&env, consts, *a2), val(&env, consts, *b2))?;
+                    env[*dst2 as usize] = v;
+                }
+                Op::BinJmp { op, dst, a, b, t } => {
+                    ctx.work += ctx.costs.simple;
+                    let v = bin_fast(*op, val(&env, consts, *a), val(&env, consts, *b))?;
+                    env[*dst as usize] = v;
+                    ctx.steps += 1;
+                    if ctx.steps > ctx.step_limit {
+                        return Err(IrError::StepLimit(ctx.step_limit));
+                    }
+                    ctx.work += ctx.costs.branch;
+                    next_ip = *t as usize;
+                }
+                Op::LoadBin { tmp, arr, idx, op, dst, a, b } => {
+                    ctx.work += ctx.costs.mem;
+                    let r = env[*arr as usize].as_ref("array load")?;
+                    let i = val(&env, consts, *idx).as_int("array index")?;
+                    env[*tmp as usize] = ctx.heap.array_get(r, i)?;
+                    ctx.steps += 1;
+                    if ctx.steps > ctx.step_limit {
+                        return Err(IrError::StepLimit(ctx.step_limit));
+                    }
+                    ctx.work += ctx.costs.simple;
+                    let v = bin_fast(*op, val(&env, consts, *a), val(&env, consts, *b))?;
+                    env[*dst as usize] = v;
+                }
+            }
+            if observe {
+                if let Some(obs) = observer.as_deref_mut() {
+                    match obs.on_edge(m.from_pc as usize, to_pc, &env, &ctx.heap, ctx.work) {
+                        EdgeAction::Continue => {}
+                        EdgeAction::Suspend => {
+                            return Ok(Outcome::Suspended(SuspendPoint {
+                                from: m.from_pc as usize,
+                                to: to_pc,
+                                env,
+                            }))
+                        }
+                    }
+                }
+            }
+            ip = next_ip;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn opts_edges(edges: &[(Pc, Pc)]) -> CompileOptions {
+        CompileOptions {
+            observed: Observed::Edges(edges.iter().copied().collect()),
+            fuse: true,
+            fuse_at: None,
+        }
+    }
+
+    const LOOP_SRC: &str = "fn sum_to(n) {\n    i = 0\n    total = 0\nhead:\n    if i > n goto done\n    total = total + i\n    i = i + 1\n    goto head\ndone:\n    return total\n}\n";
+
+    #[test]
+    fn empty_body_is_declined() {
+        // Programs refuse empty bodies at construction; hand the compiler
+        // a detached one to exercise the decline path.
+        let p = Program::new();
+        let f = Function {
+            name: "empty".into(),
+            params: 0,
+            locals: 0,
+            instrs: vec![],
+            var_names: vec![],
+        };
+        let err = compile_function(&p, &f, &CompileOptions::default()).unwrap_err();
+        assert_eq!(err, CompileError::EmptyBody);
+    }
+
+    #[test]
+    fn loop_fuses_under_unobserved_edges() {
+        let p = parse_program(LOOP_SRC).unwrap();
+        let f = p.function("sum_to").unwrap();
+        // No watched edges: the add/increment/goto tail of the loop body
+        // must fuse (total = total + i is a branch target; i = i + 1 and
+        // goto head fuse into one BinJmp).
+        let code = compile_function(&p, f, &opts_edges(&[])).unwrap();
+        assert!(code.fused >= 1, "expected fusion, got ops {:?}", code.ops);
+        // Greedy pairing fuses (total+=i, i+=1) into a Bin2; had the adds
+        // not paired, the (i+=1, goto) back edge would fuse as BinJmp.
+        assert!(code.ops.iter().any(|o| matches!(o, Op::Bin2 { .. } | Op::BinJmp { .. })));
+        // Fused-away instructions have no op of their own.
+        assert!(code.pc_map.contains(&FUSED));
+    }
+
+    #[test]
+    fn observed_all_disables_fusion_and_observes_every_edge() {
+        let p = parse_program(LOOP_SRC).unwrap();
+        let f = p.function("sum_to").unwrap();
+        let code = compile_function(&p, f, &CompileOptions::default()).unwrap();
+        assert_eq!(code.fused, 0);
+        assert_eq!(code.ops.len(), f.instrs.len()); // no OffEnd: ends in return
+        for (i, m) in code.meta.iter().enumerate() {
+            // Every existing fall-through edge is observed.
+            if !matches!(code.ops[i], Op::Ret(_)) && (m.next_pc as usize) < f.instrs.len() {
+                assert!(m.observe, "op {i} not observed");
+            }
+        }
+    }
+
+    #[test]
+    fn watched_edge_blocks_fusion_and_is_a_leader() {
+        let p = parse_program(LOOP_SRC).unwrap();
+        let f = p.function("sum_to").unwrap();
+        // Watch the edge between `total = total + i` (3) and `i = i + 1`
+        // (4): instruction 4 must be a leader and the pair must not fuse.
+        let code = compile_function(&p, f, &opts_edges(&[(3, 4)])).unwrap();
+        assert_ne!(code.pc_map[4], FUSED);
+        let op4 = &code.ops[code.pc_map[4] as usize];
+        assert!(
+            matches!(op4, Op::Bin { .. } | Op::BinJmp { .. }),
+            "instruction 4 must start its own op, got {op4:?}"
+        );
+        // The meta for instruction 3's op observes the watched edge.
+        let m3 = code.meta[code.pc_map[3] as usize];
+        assert!(m3.observe && m3.next_pc == 4);
+    }
+
+    #[test]
+    fn constants_are_interned_once() {
+        let src = "fn f(x) {\n    a = x + 7\n    b = a * 7\n    c = b - 7\n    return c\n}\n";
+        let p = parse_program(src).unwrap();
+        let code =
+            compile_function(&p, p.function("f").unwrap(), &CompileOptions::default()).unwrap();
+        assert_eq!(code.consts.iter().filter(|v| **v == Value::Int(7)).count(), 1);
+    }
+
+    #[test]
+    fn branch_targets_are_patched_to_op_indices() {
+        let p = parse_program(LOOP_SRC).unwrap();
+        let f = p.function("sum_to").unwrap();
+        let code = compile_function(&p, f, &opts_edges(&[])).unwrap();
+        for op in &code.ops {
+            match op {
+                Op::Jmp { t } | Op::Br { t, .. } | Op::BinJmp { t, .. } => {
+                    assert!((*t as usize) < code.ops.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fuse_hints_restrict_fusion_starts() {
+        let src = "fn f(x) {\n    a = x + 1\n    b = a + 2\n    c = b + 3\n    d = c + 4\n    return d\n}\n";
+        let p = parse_program(src).unwrap();
+        let f = p.function("f").unwrap();
+        let unrestricted = compile_function(&p, f, &opts_edges(&[])).unwrap();
+        assert_eq!(unrestricted.fused, 2); // (0,1) and (2,3)
+        let mut opts = opts_edges(&[]);
+        opts.fuse_at = Some([2usize].into_iter().collect());
+        let hinted = compile_function(&p, f, &opts).unwrap();
+        assert_eq!(hinted.fused, 1);
+        assert_eq!(hinted.pc_map[3], FUSED);
+        assert_ne!(hinted.pc_map[1], FUSED);
+    }
+}

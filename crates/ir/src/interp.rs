@@ -36,10 +36,10 @@ pub type BuiltinFn = Arc<dyn Fn(&mut Heap, &[Value]) -> Result<Value, IrError> +
 pub type BuiltinCostFn = Arc<dyn Fn(&Heap, &[Value]) -> u64 + Send + Sync>;
 
 #[derive(Clone)]
-struct BuiltinEntry {
-    func: BuiltinFn,
-    cost: BuiltinCostFn,
-    native: bool,
+pub(crate) struct BuiltinEntry {
+    pub(crate) func: BuiltinFn,
+    pub(crate) cost: BuiltinCostFn,
+    pub(crate) native: bool,
 }
 
 /// Registry of Rust-implemented builtins available to IR programs.
@@ -122,7 +122,7 @@ impl BuiltinRegistry {
         self.map.contains_key(name)
     }
 
-    fn get(&self, name: &str) -> Option<&BuiltinEntry> {
+    pub(crate) fn get(&self, name: &str) -> Option<&BuiltinEntry> {
         self.map.get(name)
     }
 }
@@ -377,7 +377,7 @@ impl<'p> Interp<'p> {
         self.exec_frame(ctx, func, env, entry, Some(observer), 0)
     }
 
-    fn call(
+    pub(crate) fn call(
         &self,
         ctx: &mut ExecCtx,
         func: &Function,
@@ -473,7 +473,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn operand(&self, env: &[Value], op: &Operand) -> Value {
+    pub(crate) fn operand(&self, env: &[Value], op: &Operand) -> Value {
         match op {
             Operand::Var(v) => env[v.index()].clone(),
             Operand::Const(c) => c.to_value(),
@@ -486,7 +486,7 @@ impl<'p> Interp<'p> {
         Ok(binop(cond.op, lhs, rhs)?.truthy())
     }
 
-    fn store(
+    pub(crate) fn store(
         &self,
         ctx: &mut ExecCtx,
         env: &mut [Value],
@@ -517,7 +517,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn rvalue(
+    pub(crate) fn rvalue(
         &self,
         ctx: &mut ExecCtx,
         _func: &Function,
@@ -647,7 +647,7 @@ impl<'p> Interp<'p> {
     }
 }
 
-fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, IrError> {
+pub(crate) fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, IrError> {
     use Value::*;
     // Numeric promotion: if either side is a float, compute in floats.
     let numeric = |a: &Value, b: &Value| {

@@ -29,6 +29,12 @@
 //! * [`interp`] — the interpreter, with work-unit accounting, a native
 //!   builtin registry, and the edge-observation hook used to implement
 //!   remote continuation;
+//! * [`compile`] — the register-bytecode compile pass and dispatch-loop
+//!   VM: pre-resolved jumps, interned constants, superinstructions;
+//! * [`engine`] — the [`Engine`](engine::Engine) trait putting the
+//!   interpreter (reference semantics) and the bytecode VM (fast path)
+//!   behind one execution contract, plus the `interp`/`compiled`/`auto`
+//!   selector;
 //! * [`marshal`] — custom deep serialization of heap subgraphs (continuation
 //!   messages) and the object sizing machinery evaluated in Table 1 of the
 //!   paper;
@@ -59,6 +65,8 @@
 //! ```
 
 pub mod builder;
+pub mod compile;
+pub mod engine;
 pub mod error;
 pub mod func;
 pub mod heap;

@@ -181,6 +181,18 @@ pub enum TraceEvent {
         /// Sessions migrated back onto the node.
         sessions: u32,
     },
+    /// An execution engine was installed for a handler (at session open,
+    /// or on an explicit re-selection).
+    EngineSelected {
+        /// True when the bytecode engine was installed; false for the
+        /// reference interpreter.
+        compiled: bool,
+        /// Bodies the bytecode compiler accepted (0 when the interpreter
+        /// was selected without compiling).
+        bodies: u32,
+        /// Bodies the compiler declined to the interpreter fallback.
+        declined: u32,
+    },
 }
 
 impl TraceEvent {
@@ -201,6 +213,7 @@ impl TraceEvent {
             TraceEvent::Recovered { .. } => "recovered",
             TraceEvent::NodeFailover { .. } => "node_failover",
             TraceEvent::NodeRejoin { .. } => "node_rejoin",
+            TraceEvent::EngineSelected { .. } => "engine_selected",
         }
     }
 
@@ -258,6 +271,11 @@ impl TraceEvent {
             TraceEvent::NodeRejoin { node, sessions } => vec![
                 ("node".to_string(), Json::U64(node as u64)),
                 ("sessions".to_string(), Json::U64(sessions as u64)),
+            ],
+            TraceEvent::EngineSelected { compiled, bodies, declined } => vec![
+                ("engine".to_string(), Json::str(if compiled { "compiled" } else { "interp" })),
+                ("bodies".to_string(), Json::U64(bodies as u64)),
+                ("declined".to_string(), Json::U64(declined as u64)),
             ],
         }
     }

@@ -1,0 +1,292 @@
+//! Differential tests for the two-engine execution contract: for any
+//! handler, the compiled register-bytecode engine must be
+//! **observationally indistinguishable** from the reference tree-walking
+//! interpreter — same results, same traps (error value AND trap point in
+//! steps/work), and same continuation cut-points through the full
+//! modulator → continuation → demodulator pipeline.
+//!
+//! Exercised three ways: a proptest sweep over random handler programs at
+//! the engine level (Observed::All, so the bytecode engine fires the
+//! observer on every edge exactly like the interpreter), a proptest sweep
+//! at the partitioned level over every PSE of each generated handler, and
+//! a deterministic seed-matrix replay wired into the CI chaos matrix via
+//! `MPART_CHAOS_SEED`.
+
+use std::sync::Arc;
+
+use method_partitioning::core::partitioned::PartitionedHandler;
+use method_partitioning::cost::{CostModel, DataSizeModel};
+use method_partitioning::ir::compile::CompileHints;
+use method_partitioning::ir::engine::{CompiledEngine, Engine, EngineChoice, InterpEngine};
+use method_partitioning::ir::interp::{
+    BuiltinRegistry, EdgeAction, EdgeObserver, ExecCtx, Outcome,
+};
+use method_partitioning::ir::parse::parse_program;
+use method_partitioning::ir::{IrError, Program, Value};
+use proptest::prelude::*;
+
+/// The seed matrix: baked-in seeds plus `MPART_CHAOS_SEED` from the
+/// environment, mirroring tests/chaos.rs so the CI chaos-matrix job
+/// replays the differential property under its eight fixed seeds.
+fn seed_matrix(base: &[u64]) -> Vec<u64> {
+    let mut seeds = base.to_vec();
+    if let Some(seed) =
+        std::env::var("MPART_CHAOS_SEED").ok().and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        if !seeds.contains(&seed) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+/// Renders a small random handler: arithmetic/array chain, an optional
+/// guard branch, an optional bounded loop, and an optional division whose
+/// divisor hits zero for one specific input (the trap case).
+fn random_handler(ops: &[u8], with_branch: bool, with_loop: bool, div_at: Option<i64>) -> String {
+    let mut body = String::new();
+    body.push_str("    acc = x\n    arr = new int[4]\n    arr[0] = x\n");
+    if with_branch {
+        body.push_str("    if x < 0 goto neg\n");
+    }
+    if let Some(k) = div_at {
+        // Traps with DivideByZero exactly when x == k; both engines must
+        // raise it at the same step count.
+        body.push_str(&format!("    d = x - {k}\n    acc = acc / d\n"));
+    }
+    if with_loop {
+        body.push_str("    i = 0\nhead:\n    if i >= 5 goto after\n");
+        body.push_str("    acc = acc + i\n    i = i + 1\n    goto head\nafter:\n");
+    }
+    for (i, op) in ops.iter().enumerate() {
+        match op % 6 {
+            0 => body.push_str(&format!("    acc = acc + {}\n", i + 1)),
+            1 => body.push_str(&format!("    acc = acc * {}\n", (i % 3) + 2)),
+            2 => body.push_str(&format!("    arr[{}] = acc\n", i % 4)),
+            3 => body.push_str(&format!("    t{i} = arr[{}]\n    acc = acc + t{i}\n", i % 4)),
+            4 => body.push_str(&format!("    acc = acc - {}\n", i * 2)),
+            _ => body.push_str(&format!("    u{i} = acc < {}\n    acc = acc + u{i}\n", i)),
+        }
+    }
+    body.push_str("    native emit(acc, arr)\n    return acc\n");
+    if with_branch {
+        body.push_str("neg:\n    native emit_err(x)\n    return 0\n");
+    }
+    format!("fn gen(x) {{\n{body}}}\n")
+}
+
+fn gen_builtins() -> BuiltinRegistry {
+    let mut builtins = BuiltinRegistry::new();
+    builtins.register_native("emit", 1, |_, _| Ok(Value::Null));
+    builtins.register_native("emit_err", 1, |_, _| Ok(Value::Null));
+    builtins
+}
+
+/// Records every observed edge with the work counter at observation time.
+#[derive(Default)]
+struct EdgeLog(Vec<(usize, usize, u64)>);
+
+impl EdgeObserver for EdgeLog {
+    fn on_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        _: &[Value],
+        _: &mpart_ir::heap::Heap,
+        work: u64,
+    ) -> EdgeAction {
+        self.0.push((from, to, work));
+        EdgeAction::Continue
+    }
+}
+
+/// Everything one engine run exposes: result-or-trap, step and work
+/// counters at exit, globals, native trace, and the full edge log.
+type EngineRun =
+    (Result<Option<Value>, IrError>, u64, u64, Vec<Value>, Vec<String>, Vec<(usize, usize, u64)>);
+
+fn run_engine(engine: &dyn Engine, program: &Arc<Program>, input: i64) -> EngineRun {
+    let mut ctx = ExecCtx::with_builtins(program, gen_builtins());
+    let func = program.function("gen").expect("generated handler exists");
+    let mut log = EdgeLog::default();
+    let res =
+        engine.run_observed(&mut ctx, func, vec![Value::Int(input)], &mut log).map(|o| match o {
+            Outcome::Finished(v) => v,
+            Outcome::Suspended(_) => unreachable!("the logging observer never suspends"),
+        });
+    let trace = ctx.trace.iter().map(|t| format!("{}:{}", t.callee, t.args_digest)).collect();
+    (res, ctx.steps, ctx.work, ctx.globals, trace, log.0)
+}
+
+/// Asserts the two engines are indistinguishable for one handler+input.
+fn assert_engines_agree(src: &str, input: i64) {
+    let program = Arc::new(parse_program(src).expect("generated program parses"));
+    let interp = InterpEngine::new(Arc::clone(&program));
+    let compiled = CompiledEngine::compile(Arc::clone(&program), &CompileHints::default());
+    assert!(compiled.is_compiled("gen"), "generated handlers always compile:\n{src}");
+    let a = run_engine(&interp, &program, input);
+    let b = run_engine(&compiled, &program, input);
+    assert_eq!(a.0, b.0, "result/trap for input {input} of:\n{src}");
+    assert_eq!(a.1, b.1, "steps at exit for input {input} of:\n{src}");
+    assert_eq!(a.2, b.2, "work at exit for input {input} of:\n{src}");
+    assert_eq!(a.3, b.3, "globals for input {input} of:\n{src}");
+    assert_eq!(a.4, b.4, "native trace for input {input} of:\n{src}");
+    assert_eq!(a.5, b.5, "edge log for input {input} of:\n{src}");
+}
+
+/// Observable outcome of a partitioned run, including the cut-point: the
+/// PSE the message split at, its wire size, and the sender-side work.
+type Partitioned = (Option<Value>, Vec<String>, Vec<Value>, usize, usize, u64);
+
+/// Runs modulator → continuation → demodulator under `choice`, splitting
+/// at `main_pse` (plus first candidates of uncovered paths, as in
+/// tests/equivalence.rs).
+fn run_partitioned(
+    program: &Arc<Program>,
+    main_pse: usize,
+    choice: EngineChoice,
+    input: i64,
+) -> Result<Partitioned, IrError> {
+    let model: Arc<dyn CostModel> = Arc::new(DataSizeModel::new());
+    let handler = PartitionedHandler::analyze(Arc::clone(program), "gen", model)?;
+    handler.select_engine(choice);
+    let mut plan: Vec<usize> = vec![main_pse];
+    let analysis = handler.analysis();
+    for (path, candidates) in analysis.paths.paths.iter().zip(&analysis.cut.path_pses) {
+        let edges = mpart_analysis::convex::path_edges(analysis.ug.start(), path);
+        let covered = plan.iter().any(|&p| edges.contains(&analysis.pses()[p].edge));
+        if !covered {
+            plan.push(*candidates.first().expect("every path has a candidate"));
+        }
+    }
+    handler.plan().install(&plan);
+    handler.plan().validate_cut(handler.analysis())?;
+
+    let mut sender = ExecCtx::with_builtins(program, gen_builtins());
+    let run = handler.modulator().handle(&mut sender, vec![Value::Int(input)])?;
+    let mut receiver = ExecCtx::with_builtins(program, gen_builtins());
+    let out = handler.demodulator().handle(&mut receiver, &run.message)?;
+    let trace = receiver.trace.iter().map(|t| format!("{}:{}", t.callee, t.args_digest)).collect();
+    Ok((out.ret, trace, receiver.globals, run.message.pse, run.message.wire_size(), run.mod_work))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Engine-level sweep: under Observed::All the bytecode VM must match
+    /// the interpreter edge-for-edge, step-for-step — including the
+    /// DivideByZero trap case (`input == div_at`).
+    #[test]
+    fn random_handlers_run_identically_on_both_engines(
+        ops in proptest::collection::vec(0u8..=5, 1..10),
+        with_branch in any::<bool>(),
+        with_loop in any::<bool>(),
+        div_on in any::<bool>(),
+        div_k in -3i64..4,
+        input in -50i64..50,
+    ) {
+        let div_at = if div_on { Some(div_k) } else { None };
+        let src = random_handler(&ops, with_branch, with_loop, div_at);
+        assert_engines_agree(&src, input);
+        if let Some(k) = div_at {
+            // Force the trap case regardless of what `input` drew.
+            assert_engines_agree(&src, k);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partitioned-level sweep: for every PSE of each generated handler,
+    /// both engines pick the same cut-point, pack the same continuation,
+    /// and demodulate to the same observable outcome.
+    #[test]
+    fn every_pse_cuts_identically_across_engines(
+        ops in proptest::collection::vec(0u8..=5, 1..8),
+        with_branch in any::<bool>(),
+        with_loop in any::<bool>(),
+        input in -50i64..50,
+    ) {
+        let src = random_handler(&ops, with_branch, with_loop, None);
+        let program = Arc::new(parse_program(&src).expect("parses"));
+        let probe = PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "gen",
+            Arc::new(DataSizeModel::new()) as Arc<dyn CostModel>,
+        )
+        .unwrap();
+        for pse in 0..probe.analysis().pses().len() {
+            let a = run_partitioned(&program, pse, EngineChoice::Interp, input)
+                .unwrap_or_else(|e| panic!("interp pse {pse}: {e}\n{src}"));
+            let b = run_partitioned(&program, pse, EngineChoice::Compiled, input)
+                .unwrap_or_else(|e| panic!("compiled pse {pse}: {e}\n{src}"));
+            prop_assert_eq!(&a, &b, "pse {} of:\n{}", pse, src);
+        }
+    }
+}
+
+/// Deterministic replay keyed on the chaos seed matrix: each seed derives
+/// a handler shape and an input set (always including the division trap),
+/// and both engines must agree at the engine level and at every PSE.
+#[test]
+fn seeded_differential_matrix_agrees_across_engines() {
+    for seed in seed_matrix(&[2, 5, 13, 23, 31, 47, 73, 101]) {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed | 1);
+        let mut next = move || {
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            s >> 33
+        };
+        let ops: Vec<u8> = (0..(3 + (next() % 7) as usize)).map(|_| (next() % 6) as u8).collect();
+        let with_branch = next() % 2 == 0;
+        let with_loop = next() % 2 == 0;
+        let div_at = (next() % 5) as i64 - 2;
+        let src = random_handler(&ops, with_branch, with_loop, Some(div_at));
+        for input in [div_at, div_at + 1, -9, 0, 17] {
+            assert_engines_agree(&src, input);
+        }
+
+        let no_trap = random_handler(&ops, with_branch, with_loop, None);
+        let program = Arc::new(parse_program(&no_trap).unwrap());
+        let probe = PartitionedHandler::analyze(
+            Arc::clone(&program),
+            "gen",
+            Arc::new(DataSizeModel::new()) as Arc<dyn CostModel>,
+        )
+        .unwrap();
+        for pse in 0..probe.analysis().pses().len() {
+            let a = run_partitioned(&program, pse, EngineChoice::Interp, 17)
+                .unwrap_or_else(|e| panic!("seed {seed} interp pse {pse}: {e}"));
+            let b = run_partitioned(&program, pse, EngineChoice::Compiled, 17)
+                .unwrap_or_else(|e| panic!("seed {seed} compiled pse {pse}: {e}"));
+            assert_eq!(a, b, "seed {seed}, pse {pse} of:\n{no_trap}");
+        }
+    }
+}
+
+/// Auto keeps the envelope alive when the handler body declines: a body
+/// past the compiler's local-slot budget still partitions correctly on
+/// the interpreter, with the decline counted, never an error.
+#[test]
+fn declined_handler_degrades_gracefully_under_auto() {
+    let src = random_handler(&[0, 1, 3], true, true, None);
+    let program = Arc::new(parse_program(&src).unwrap());
+    let handler = PartitionedHandler::analyze(
+        Arc::clone(&program),
+        "gen",
+        Arc::new(DataSizeModel::new()) as Arc<dyn CostModel>,
+    )
+    .unwrap();
+    // This small body compiles, so Auto selects the bytecode engine...
+    assert_eq!(handler.select_engine(EngineChoice::Auto), "compiled");
+    // ...and a full envelope still round-trips.
+    let mut sender = ExecCtx::with_builtins(&program, gen_builtins());
+    let run = handler.modulator().handle(&mut sender, vec![Value::Int(6)]).unwrap();
+    let mut receiver = ExecCtx::with_builtins(&program, gen_builtins());
+    let out = handler.demodulator().handle(&mut receiver, &run.message).unwrap();
+    let direct = {
+        let mut ctx = ExecCtx::with_builtins(&program, gen_builtins());
+        InterpEngine::new(Arc::clone(&program)).run(&mut ctx, "gen", vec![Value::Int(6)]).unwrap()
+    };
+    assert_eq!(out.ret, direct);
+}

@@ -30,6 +30,8 @@ const MESSAGES: u64 = 30;
 const GOLDEN: &[&str] = &[
     "batch_member_acks_total",
     "batched_events_total",
+    "compile_fallbacks_total",
+    "compiled_bodies_total",
     "continuations_resumed_total{pse}",
     "continuations_sent_total{pse}",
     "deadline_timeouts_total",
@@ -38,6 +40,7 @@ const GOLDEN: &[&str] = &[
     "degraded_seconds",
     "demod_work_units",
     "duplicates_suppressed_total",
+    "engine_dispatch_total{engine}",
     "envelope_batches_total",
     "envelope_bytes",
     "feedback_window_resets_total",
