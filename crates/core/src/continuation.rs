@@ -5,6 +5,14 @@
 //! unique ID for the PSE into a continuation message" (§2.4). The message
 //! is self-contained: the demodulator needs only the shared handler
 //! analysis to restore state and jump to the right instruction.
+//!
+//! Packing is the *only* serialization point: `pack` marshals the `INTER`
+//! live set once into an immutable, refcounted buffer
+//! ([`Marshalled`]), and every downstream holder — the wire envelope, a
+//! retransmission window, the simulated link — shares that buffer via
+//! [`Marshalled::shared_bytes`] instead of copying it. Frame encoders
+//! splice it into the byte stream as a borrowed scatter-gather segment
+//! (see `EncodedFrame` in the jecho crate and WIRE.md in the repo root).
 
 use mpart_analysis::PseInfo;
 use mpart_ir::heap::Heap;
@@ -41,6 +49,11 @@ pub struct ContinuationMessage {
 impl ContinuationMessage {
     /// Packs the live variables of `pse` out of the modulator's
     /// environment and heap.
+    ///
+    /// The returned message owns the payload's only serialization: the
+    /// marshalled bytes are frozen here and never copied again on the
+    /// send path (clones of this message, and the frames encoded from it,
+    /// share the buffer by refcount).
     ///
     /// # Errors
     ///

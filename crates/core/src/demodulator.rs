@@ -3,6 +3,15 @@
 //! "Upon receiving a continuation message, the demodulator side of the
 //! continuation code restores the values of live variables, jumps to the
 //! appropriate PSE, and continues processing" (§2.4).
+//!
+//! On the receive side the payload arrives as a sub-slice of the decoded
+//! frame body (transports hand it over as a shared [`Marshalled`] view,
+//! no per-field copy); unmarshalling here materializes heap objects from
+//! it once, after the frame's CRC has already been verified. The
+//! zero-copy *encode* contract (WIRE.md) is sender-side only — nothing
+//! in this module holds wire buffers past `handle`'s return.
+//!
+//! [`Marshalled`]: mpart_ir::marshal::Marshalled
 
 use std::sync::Arc;
 

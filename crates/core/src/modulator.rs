@@ -7,6 +7,12 @@
 //! *active* Potential Split Edge, runs the per-PSE profiling code on the
 //! way (when the PSE's profiling flag is set), and packs a
 //! [`ContinuationMessage`] at the split.
+//!
+//! The pack is the hot path's one serialization: the `INTER` live set is
+//! marshalled into a single immutable buffer that transports then borrow
+//! by refcount all the way to the socket (zero-copy frame encoding;
+//! WIRE.md). Everything the modulator returns in a [`ModRun`] is
+//! therefore cheap to clone and to retransmit.
 
 use std::sync::Arc;
 

@@ -70,6 +70,18 @@ impl Marshalled {
         &self.bytes
     }
 
+    /// A refcounted handle to the payload allocation: cloning the inner
+    /// [`Bytes`] bumps a refcount instead of copying. The buffer is
+    /// immutable for its whole life (built once by [`marshal_values`],
+    /// frozen, never written again), so holders — encoded frames sitting
+    /// in a retransmission window, the simulated wire, a supervisor's
+    /// unacked queue — may keep the handle for as long as they like
+    /// without snapshotting. This is the marshal-layer half of the
+    /// zero-copy encode contract (see WIRE.md in the repo root).
+    pub fn shared_bytes(&self) -> Bytes {
+        self.bytes.clone()
+    }
+
     /// Wraps raw bytes received from a transport.
     pub fn from_bytes(bytes: impl Into<Bytes>) -> Self {
         Marshalled { bytes: bytes.into() }

@@ -11,6 +11,21 @@
 //! allocation), and the frame set includes heartbeats and acknowledgements
 //! so a [`Supervisor`](crate::supervisor::Supervisor) can detect dead
 //! peers and retransmit the unacknowledged window.
+//!
+//! Encoding is zero-copy for large continuation payloads: a frame renders
+//! to an [`EncodedFrame`] — an ordered list of wire segments where small
+//! fields inline into one contiguous buffer and payloads of at least
+//! [`ZERO_COPY_MIN_BYTES`] ride as refcounted borrows of the packed
+//! [`Marshalled`] buffer. Byte-stream transports write the segments with
+//! one vectored syscall ([`EncodedFrame::write_to`]); the simulated wire
+//! flattens them deterministically ([`EncodedFrame::to_vec`]). Either way
+//! the byte stream is bit-identical to the single-buffer reference
+//! encoder ([`Frame::encode_via_copy`]), so decode, CRC framing,
+//! retransmission, and chaos determinism are all unchanged. The complete
+//! byte layout and the borrowed-buffer ownership rules live in `WIRE.md`.
+
+use std::io::IoSlice;
+use std::ops::Range;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mpart::continuation::ContinuationMessage;
@@ -30,8 +45,85 @@ pub const MAX_FRAME_SIZE: usize = 64 * 1024 * 1024;
 /// Bytes of framing ahead of the body: `[kind u8][len u32][crc u32]`.
 pub const FRAME_HEADER_BYTES: usize = 9;
 
+/// Payloads of at least this many bytes are carried as borrowed refcounted
+/// [`Bytes`] segments in an [`EncodedFrame`]; smaller payloads are copied
+/// into the frame's inline buffer. The threshold trades one extra wire
+/// segment (a longer iovec, a touch more per-segment bookkeeping) against
+/// a memcpy of the payload: around 1 KiB the memcpy starts to dominate.
+pub const ZERO_COPY_MIN_BYTES: usize = 1024;
+
+/// Slicing-by-8 lookup tables for [`crc32`]. `CRC_TABLES[0]` is the
+/// classic byte-at-a-time table; table `j` advances a byte through `j`
+/// additional zero bytes, letting the hot loop fold 8 input bytes per
+/// iteration.
+static CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[j - 1][i];
+            tables[j][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    tables
+}
+
 /// CRC32 (IEEE 802.3, reflected) over a sequence of byte slices.
+///
+/// Table-driven (slicing-by-8); produces values identical to the bitwise
+/// [`crc32_reference`], which pins it in tests. Streaming across slice
+/// boundaries: `crc32(&[a, b]) == crc32(&[ab])`.
 pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        crc = crc32_update(crc, part);
+    }
+    !crc
+}
+
+fn crc32_update(mut crc: u32, mut bytes: &[u8]) -> u32 {
+    while let [b0, b1, b2, b3, b4, b5, b6, b7, rest @ ..] = bytes {
+        let lo = u32::from_le_bytes([*b0, *b1, *b2, *b3]) ^ crc;
+        let hi = u32::from_le_bytes([*b4, *b5, *b6, *b7]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+        bytes = rest;
+    }
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Bit-at-a-time CRC32 — the implementation [`crc32`] replaced. Kept as
+/// the oracle that pins the table-driven version (identical output on all
+/// inputs) and as the checksum of the legacy single-buffer encoder
+/// [`Frame::encode_via_copy`], so the `marshal` bench baseline measures
+/// exactly the pre-zero-copy hot path.
+pub fn crc32_reference(parts: &[&[u8]]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for part in parts {
         for &byte in *part {
@@ -43,6 +135,263 @@ pub fn crc32(parts: &[&[u8]]) -> u32 {
         }
     }
     !crc
+}
+
+/// Writes every byte of `bufs` to `writer` using vectored I/O.
+///
+/// One `write_vectored` call per loop iteration; partial writes advance
+/// through the buffer list (an `IoSlice` mid-buffer offset included),
+/// `Interrupted` retries, and a zero-length write is reported as
+/// [`std::io::ErrorKind::WriteZero`]. Shared by [`EncodedFrame::write_to`]
+/// and the node control protocol's request writer.
+pub fn write_all_vectored(writer: &mut impl std::io::Write, bufs: &[&[u8]]) -> std::io::Result<()> {
+    let mut seg = 0usize;
+    let mut offset = 0usize;
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(bufs.len());
+    // Skip leading empty buffers (writers may treat an all-empty iovec as
+    // a zero-length write, which we must not confuse with WriteZero).
+    while seg < bufs.len() && bufs[seg].is_empty() {
+        seg += 1;
+    }
+    while seg < bufs.len() {
+        slices.clear();
+        slices.push(IoSlice::new(&bufs[seg][offset..]));
+        slices.extend(bufs[seg + 1..].iter().filter(|b| !b.is_empty()).map(|b| IoSlice::new(b)));
+        let mut n = match writer.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while seg < bufs.len() {
+            let remaining = bufs[seg].len() - offset;
+            if n < remaining {
+                offset += n;
+                break;
+            }
+            n -= remaining;
+            offset = 0;
+            seg += 1;
+        }
+    }
+    Ok(())
+}
+
+/// The wire form of one [`Frame`]: an ordered list of byte segments whose
+/// concatenation is exactly the frame's encoding (`[kind][len][crc][body]`).
+///
+/// Segment 0 always begins with the frame header; small fields are packed
+/// into shared inline segments while payloads of at least
+/// [`ZERO_COPY_MIN_BYTES`] are refcounted borrows of the sender's
+/// [`Marshalled`] buffer — no copy is made, and the borrow keeps the
+/// allocation alive for as long as the `EncodedFrame` does (retransmission
+/// windows hold `EncodedFrame`s safely; see WIRE.md §ownership).
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    segments: Vec<Bytes>,
+    len: usize,
+    copied_payload: u64,
+    borrowed_payload: u64,
+}
+
+impl EncodedFrame {
+    /// Total encoded size in bytes (header + body).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the frame encodes to zero bytes (never, in practice: the
+    /// header alone is [`FRAME_HEADER_BYTES`]).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wire segments, in transmission order.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// Payload bytes that were memcpy'd into the inline segment (below
+    /// the [`ZERO_COPY_MIN_BYTES`] threshold). Feeds
+    /// `marshal_copied_bytes_total`.
+    pub fn copied_payload_bytes(&self) -> u64 {
+        self.copied_payload
+    }
+
+    /// Payload bytes carried as refcounted borrows (at or above the
+    /// threshold). Feeds `marshal_borrowed_bytes_total`.
+    pub fn borrowed_payload_bytes(&self) -> u64 {
+        self.borrowed_payload
+    }
+
+    /// Flattens the segments into one contiguous buffer. Deterministic —
+    /// the simulated wire uses this so fault injection (corruption offsets,
+    /// drop decisions on encoded length) behaves identically to the
+    /// pre-zero-copy encoder.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for seg in &self.segments {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
+
+    /// Writes all segments to `writer` with one gathered
+    /// (`write_vectored`) syscall in the common case; partial writes are
+    /// resumed mid-segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] on I/O failures.
+    pub fn write_to(&self, writer: &mut impl std::io::Write) -> Result<(), IrError> {
+        let bufs: Vec<&[u8]> = self.segments.iter().map(|s| s.as_ref()).collect();
+        write_all_vectored(writer, &bufs).map_err(|e| IrError::Marshal(format!("frame write: {e}")))
+    }
+}
+
+/// Accumulates one frame as interleaved inline bytes and borrowed payload
+/// segments, then seals the header (length + CRC) over the whole sequence.
+///
+/// All inline bytes land in a single `BytesMut` (with a header placeholder
+/// at the front); borrowed payloads split the inline run, so the final
+/// segment list preserves wire order while inline segments are cheap
+/// sub-slices of one allocation.
+struct FrameBuilder {
+    inline: BytesMut,
+    parts: Vec<BodyPart>,
+    run_start: usize,
+    copied_payload: u64,
+    borrowed_payload: u64,
+}
+
+enum BodyPart {
+    /// A run of inline bytes, as a range of the builder's `inline` buffer.
+    Inline(Range<usize>),
+    /// A refcounted borrow of a payload buffer.
+    Borrowed(Bytes),
+}
+
+impl FrameBuilder {
+    fn new() -> Self {
+        let mut inline = BytesMut::with_capacity(256);
+        inline.resize(FRAME_HEADER_BYTES, 0);
+        FrameBuilder {
+            inline,
+            parts: Vec::new(),
+            run_start: FRAME_HEADER_BYTES,
+            copied_payload: 0,
+            borrowed_payload: 0,
+        }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.inline.put_u8(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inline.put_u32(v);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inline.put_u64(v);
+    }
+
+    /// Appends a continuation payload: inlined below
+    /// [`ZERO_COPY_MIN_BYTES`], borrowed (refcount bump, no copy) at or
+    /// above it.
+    fn put_payload(&mut self, payload: &Marshalled) {
+        let bytes = payload.shared_bytes();
+        if bytes.len() < ZERO_COPY_MIN_BYTES {
+            self.copied_payload += bytes.len() as u64;
+            self.inline.put_slice(&bytes);
+        } else {
+            self.borrowed_payload += bytes.len() as u64;
+            self.close_run();
+            self.parts.push(BodyPart::Borrowed(bytes));
+        }
+    }
+
+    /// Closes the current inline run, if non-empty, into `parts`.
+    fn close_run(&mut self) {
+        if self.inline.len() > self.run_start {
+            self.parts.push(BodyPart::Inline(self.run_start..self.inline.len()));
+        }
+        self.run_start = self.inline.len();
+    }
+
+    /// Seals the header and produces the segment list.
+    fn finish(mut self, kind: u8) -> Result<EncodedFrame, IrError> {
+        self.close_run();
+        let inline_body = self.inline.len() - FRAME_HEADER_BYTES;
+        let borrowed: usize = self
+            .parts
+            .iter()
+            .map(|p| match p {
+                BodyPart::Borrowed(b) => b.len(),
+                BodyPart::Inline(_) => 0,
+            })
+            .sum();
+        let body_len = inline_body + borrowed;
+        if body_len > MAX_FRAME_SIZE {
+            return Err(IrError::Marshal(format!(
+                "frame body exceeds MAX_FRAME_SIZE: {body_len} > {MAX_FRAME_SIZE}"
+            )));
+        }
+        let len_be = (body_len as u32).to_be_bytes();
+        // CRC covers [kind][len][body] in wire order; the body parts are
+        // streamed through the running CRC without flattening.
+        let mut crc = 0xFFFF_FFFFu32;
+        crc = crc32_update(crc, &[kind]);
+        crc = crc32_update(crc, &len_be);
+        for part in &self.parts {
+            crc = crc32_update(
+                crc,
+                match part {
+                    BodyPart::Inline(r) => &self.inline[r.clone()],
+                    BodyPart::Borrowed(b) => b,
+                },
+            );
+        }
+        let crc_be = (!crc).to_be_bytes();
+        self.inline[0] = kind;
+        self.inline[1..5].copy_from_slice(&len_be);
+        self.inline[5..9].copy_from_slice(&crc_be);
+        let frozen = self.inline.freeze();
+        // Assemble wire-order segments, merging each inline run into the
+        // preceding one when nothing borrowed came between them (runs are
+        // consecutive ranges of the same buffer, so merging is just range
+        // extension). Segment 0 therefore always starts with the header.
+        let mut segments = Vec::with_capacity(self.parts.len() + 1);
+        let mut open: Option<Range<usize>> = Some(0..FRAME_HEADER_BYTES);
+        for part in self.parts {
+            match part {
+                BodyPart::Inline(r) => match open.as_mut() {
+                    Some(range) => range.end = r.end,
+                    None => open = Some(r),
+                },
+                BodyPart::Borrowed(b) => {
+                    if let Some(range) = open.take() {
+                        segments.push(frozen.slice(range));
+                    }
+                    segments.push(b);
+                }
+            }
+        }
+        if let Some(range) = open {
+            segments.push(frozen.slice(range));
+        }
+        Ok(EncodedFrame {
+            segments,
+            len: FRAME_HEADER_BYTES + body_len,
+            copied_payload: self.copied_payload,
+            borrowed_payload: self.borrowed_payload,
+        })
+    }
 }
 
 /// A modulated event on the wire: the remote continuation plus the
@@ -144,53 +493,116 @@ const FRAME_BATCH_ACK: u8 = 6;
 const EVENT_BODY_MIN_BYTES: usize = 8 + 8 + 8 + 4 + 8 + 4 + 4;
 
 impl Frame {
-    /// Fallible encoding: like [`encode`](Self::encode) but an oversize
-    /// body comes back as [`IrError::Marshal`] instead of panicking —
-    /// write paths surface it through the session failure domain (the
-    /// envelope dead-letters; the connection survives).
+    /// Encodes the frame into scatter-gather wire segments without copying
+    /// payloads at or above [`ZERO_COPY_MIN_BYTES`]. The segments
+    /// concatenate to exactly the bytes [`encode`](Self::encode) would
+    /// produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Marshal`] when the body exceeds
+    /// [`MAX_FRAME_SIZE`] — write paths surface it through the session
+    /// failure domain (the envelope dead-letters; the connection
+    /// survives).
+    pub fn try_encode_frame(&self) -> Result<EncodedFrame, IrError> {
+        let mut b = FrameBuilder::new();
+        let kind = match self {
+            Frame::Event { event: e, t_mod_nanos } => {
+                put_event_parts(&mut b, e, *t_mod_nanos);
+                FRAME_EVENT
+            }
+            Frame::Batch { events } => {
+                b.put_u32(events.len() as u32);
+                for (e, t_mod_nanos) in events {
+                    put_event_parts(&mut b, e, *t_mod_nanos);
+                }
+                FRAME_BATCH
+            }
+            Frame::Plan(p) => {
+                b.put_u64(p.revision);
+                b.put_u64(p.epoch);
+                b.put_u64(p.ack);
+                b.put_u32(p.active.len() as u32);
+                for &pse in &p.active {
+                    b.put_u32(pse as u32);
+                }
+                FRAME_PLAN
+            }
+            Frame::Heartbeat { seq } => {
+                b.put_u64(*seq);
+                FRAME_HEARTBEAT
+            }
+            Frame::Ack { ack } => {
+                b.put_u64(*ack);
+                FRAME_ACK
+            }
+            Frame::BatchAck { watermarks } => {
+                b.put_u32(watermarks.len() as u32);
+                for &w in watermarks {
+                    b.put_u64(w);
+                }
+                FRAME_BATCH_ACK
+            }
+            Frame::Shutdown => FRAME_SHUTDOWN,
+        };
+        b.finish(kind)
+    }
+
+    /// Infallible [`try_encode_frame`](Self::try_encode_frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the body exceeds [`MAX_FRAME_SIZE`]; transports that
+    /// must survive oversize envelopes use the fallible variant.
+    pub fn encode_frame(&self) -> EncodedFrame {
+        self.try_encode_frame().expect("frame body exceeds MAX_FRAME_SIZE")
+    }
+
+    /// Fallible contiguous encoding: [`try_encode_frame`](Self::try_encode_frame)
+    /// flattened into one buffer.
     ///
     /// # Errors
     ///
     /// Returns [`IrError::Marshal`] when the body exceeds
     /// [`MAX_FRAME_SIZE`].
     pub fn try_encode(&self) -> Result<Vec<u8>, IrError> {
-        let (kind, body) = self.encode_body();
-        if body.len() > MAX_FRAME_SIZE {
-            return Err(IrError::Marshal(format!(
-                "frame body exceeds MAX_FRAME_SIZE: {} > {MAX_FRAME_SIZE}",
-                body.len()
-            )));
-        }
-        Ok(Self::seal(kind, &body))
+        Ok(self.try_encode_frame()?.to_vec())
     }
 
     /// Encodes the frame as `[kind u8][len u32][crc u32][body]`, where the
-    /// checksum covers the kind, the length, and the body.
+    /// checksum covers the kind, the length, and the body. Delegates to
+    /// [`try_encode`](Self::try_encode).
     ///
     /// # Panics
     ///
     /// Panics when the body exceeds [`MAX_FRAME_SIZE`]; transports that
     /// must survive oversize envelopes use [`try_encode`](Self::try_encode).
     pub fn encode(&self) -> Vec<u8> {
-        let (kind, body) = self.encode_body();
-        assert!(body.len() <= MAX_FRAME_SIZE, "frame body exceeds MAX_FRAME_SIZE");
-        Self::seal(kind, &body)
+        self.try_encode().expect("frame body exceeds MAX_FRAME_SIZE")
     }
 
-    /// Prefixes `body` with the `[kind][len][crc]` header.
-    fn seal(kind: u8, body: &[u8]) -> Vec<u8> {
+    /// The pre-zero-copy encoder, preserved verbatim: renders the body
+    /// into one fresh buffer, then copies it again behind a header sealed
+    /// with the bitwise [`crc32_reference`]. Byte-identity oracle for
+    /// [`try_encode_frame`](Self::try_encode_frame) (proptests assert
+    /// equality per frame kind) and the "before" baseline of the `marshal`
+    /// bench. Not called on any runtime path.
+    pub fn encode_via_copy(&self) -> Vec<u8> {
+        let (kind, body) = self.encode_body_via_copy();
+        assert!(body.len() <= MAX_FRAME_SIZE, "frame body exceeds MAX_FRAME_SIZE");
         let len = (body.len() as u32).to_be_bytes();
-        let crc = crc32(&[&[kind], &len, body]).to_be_bytes();
+        let crc = crc32_reference(&[&[kind], &len, &body]).to_be_bytes();
         let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
         out.push(kind);
         out.extend_from_slice(&len);
         out.extend_from_slice(&crc);
-        out.extend_from_slice(body);
+        out.extend_from_slice(&body);
         out
     }
 
-    /// Renders the frame's body bytes and kind tag.
-    fn encode_body(&self) -> (u8, BytesMut) {
+    /// Renders the frame's body bytes and kind tag by copying (the legacy
+    /// path kept for [`encode_via_copy`](Self::encode_via_copy)).
+    fn encode_body_via_copy(&self) -> (u8, BytesMut) {
         let mut body = BytesMut::new();
         let kind = match self {
             Frame::Event { event: e, t_mod_nanos } => {
@@ -365,18 +777,40 @@ impl Frame {
         Frame::decode(kind, &body)
     }
 
-    /// Writes the frame to a byte stream.
+    /// Writes the frame to a byte stream with one gathered vectored write
+    /// (no payload flattening).
     ///
     /// # Errors
     ///
-    /// Returns [`IrError::Marshal`] on I/O failures.
+    /// Returns [`IrError::Marshal`] on oversize bodies or I/O failures.
     pub fn write_to(&self, writer: &mut impl std::io::Write) -> Result<(), IrError> {
-        writer.write_all(&self.encode()).map_err(|e| IrError::Marshal(format!("frame write: {e}")))
+        self.try_encode_frame()?.write_to(writer)
     }
 }
 
 /// Appends one event body (as carried by [`Frame::Event`] and repeated
-/// inside [`Frame::Batch`]) to `body`.
+/// inside [`Frame::Batch`]) to the builder, borrowing the continuation
+/// payload when it clears the zero-copy threshold. Field order must stay
+/// in lockstep with [`put_event`] and [`take_event`].
+fn put_event_parts(b: &mut FrameBuilder, e: &ModulatedEvent, t_mod_nanos: u64) {
+    b.put_u64(e.seq);
+    b.put_u64(t_mod_nanos);
+    b.put_u64(e.continuation.epoch);
+    b.put_u32(e.continuation.pse as u32);
+    b.put_u64(e.continuation.mod_work);
+    b.put_u32(e.continuation.payload.wire_size() as u32);
+    b.put_payload(&e.continuation.payload);
+    b.put_u32(e.samples.len() as u32);
+    for s in &e.samples {
+        b.put_u32(s.pse as u32);
+        b.put_u64(s.mod_work);
+        b.put_u64(s.payload_bytes.unwrap_or(u64::MAX));
+        b.put_u8(u8::from(s.was_split));
+    }
+}
+
+/// Copying twin of [`put_event_parts`], used only by the legacy
+/// [`Frame::encode_via_copy`] reference path.
 fn put_event(body: &mut BytesMut, e: &ModulatedEvent, t_mod_nanos: u64) {
     body.put_u64(e.seq);
     body.put_u64(t_mod_nanos);
@@ -686,5 +1120,175 @@ mod tests {
         // The canonical IEEE check value for "123456789".
         assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
         assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926, "split input agrees");
+        assert_eq!(crc32_reference(&[b"123456789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn table_crc_agrees_with_bitwise_reference() {
+        let mut rng = StdRng::seed_from_u64(0xC2C_32);
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 255, 1024, 4097] {
+            let data: Vec<u8> = (0..len).map(|_| rng.random_range(0u64..256) as u8).collect();
+            assert_eq!(crc32(&[&data]), crc32_reference(&[&data]), "len {len}");
+            // Streaming across arbitrary split points agrees too.
+            if len > 1 {
+                let at = rng.random_range(1..len);
+                assert_eq!(crc32(&[&data[..at], &data[at..]]), crc32(&[&data]), "split at {at}");
+            }
+        }
+    }
+
+    fn event_with_payload(len: usize) -> ModulatedEvent {
+        let payload: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        ModulatedEvent {
+            seq: 7,
+            continuation: ContinuationMessage {
+                pse: 2,
+                payload: Marshalled::from_bytes(payload),
+                mod_work: 11,
+                epoch: 4,
+            },
+            samples: vec![PseSample {
+                pse: 2,
+                mod_work: 11,
+                payload_bytes: Some(len as u64),
+                was_split: true,
+            }],
+        }
+    }
+
+    fn all_kinds() -> Vec<Frame> {
+        vec![
+            Frame::Event { event: sample_event(), t_mod_nanos: 1_500_000 },
+            Frame::Event { event: event_with_payload(ZERO_COPY_MIN_BYTES - 1), t_mod_nanos: 3 },
+            Frame::Event { event: event_with_payload(ZERO_COPY_MIN_BYTES), t_mod_nanos: 3 },
+            Frame::Event { event: event_with_payload(64 * 1024), t_mod_nanos: 3 },
+            Frame::Plan(PlanEnvelope { active: vec![1, 4, 9], revision: 7, epoch: 12, ack: 40 }),
+            Frame::Heartbeat { seq: 88 },
+            Frame::Ack { ack: 31 },
+            Frame::Shutdown,
+            Frame::Batch { events: vec![] },
+            Frame::Batch {
+                events: vec![
+                    (sample_event(), 1),
+                    (event_with_payload(8 * 1024), 2),
+                    (event_with_payload(16), 3),
+                    (event_with_payload(2 * ZERO_COPY_MIN_BYTES), 4),
+                ],
+            },
+            Frame::BatchAck { watermarks: vec![100, 101, 103] },
+            Frame::BatchAck { watermarks: vec![] },
+        ]
+    }
+
+    #[test]
+    fn scatter_gather_encoding_is_bit_identical_to_copy_encoder() {
+        for frame in all_kinds() {
+            let legacy = frame.encode_via_copy();
+            let enc = frame.encode_frame();
+            assert_eq!(enc.to_vec(), legacy, "segment flatten differs: {frame:?}");
+            assert_eq!(enc.len(), legacy.len(), "length accounting differs");
+            assert_eq!(frame.encode(), legacy, "encode() delegation differs");
+            assert_eq!(frame.try_encode().unwrap(), legacy, "try_encode() differs");
+            let mut streamed = Vec::new();
+            enc.write_to(&mut streamed).unwrap();
+            assert_eq!(streamed, legacy, "vectored write differs");
+            // And it still decodes.
+            let (_, consumed) = Frame::decode_bytes(&legacy).unwrap();
+            assert_eq!(consumed, legacy.len());
+        }
+    }
+
+    #[test]
+    fn large_payloads_are_borrowed_not_copied() {
+        let event = event_with_payload(64 * 1024);
+        let payload_ptr = event.continuation.payload.as_bytes().as_ptr();
+        let enc = Frame::Event { event, t_mod_nanos: 1 }.encode_frame();
+        assert_eq!(enc.borrowed_payload_bytes(), 64 * 1024);
+        assert_eq!(enc.copied_payload_bytes(), 0);
+        // The borrowed segment aliases the marshalled buffer: same
+        // allocation, not a copy.
+        let borrowed =
+            enc.segments().iter().find(|s| s.len() == 64 * 1024).expect("borrowed segment");
+        assert!(std::ptr::eq(borrowed.as_ref().as_ptr(), payload_ptr), "payload was copied");
+        // Below the threshold everything inlines into one segment.
+        let small = Frame::Event { event: event_with_payload(100), t_mod_nanos: 1 }.encode_frame();
+        assert_eq!(small.segments().len(), 1, "small frames stay contiguous");
+        assert_eq!(small.copied_payload_bytes(), 100);
+        assert_eq!(small.borrowed_payload_bytes(), 0);
+    }
+
+    #[test]
+    fn batch_gathers_member_segments_into_one_frame() {
+        let frame = Frame::Batch {
+            events: vec![
+                (event_with_payload(4 * 1024), 1),
+                (event_with_payload(10), 2),
+                (event_with_payload(8 * 1024), 3),
+            ],
+        };
+        let enc = frame.encode_frame();
+        // Header+count+member1-fields | payload1 | member1-samples+member2+
+        // member3-fields | payload3 | member3-samples: 5 segments, 2 borrowed.
+        assert_eq!(enc.segments().len(), 5);
+        assert_eq!(enc.borrowed_payload_bytes(), 12 * 1024);
+        assert_eq!(enc.copied_payload_bytes(), 10);
+        assert_eq!(enc.to_vec(), frame.encode_via_copy());
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, exercising the
+    /// partial-write resume path of [`write_all_vectored`].
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl std::io::Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut n = 0;
+            for buf in bufs {
+                if n == self.cap {
+                    break;
+                }
+                let take = buf.len().min(self.cap - n);
+                self.out.extend_from_slice(&buf[..take]);
+                n += take;
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        for cap in [1usize, 3, 9, 100, 1 << 20] {
+            for frame in all_kinds() {
+                let mut w = Dribble { out: Vec::new(), cap };
+                frame.encode_frame().write_to(&mut w).unwrap();
+                assert_eq!(w.out, frame.encode_via_copy(), "cap {cap}");
+            }
+        }
+        // Raw helper: empty buffers are skipped, not mistaken for WriteZero.
+        let mut w = Dribble { out: Vec::new(), cap: 2 };
+        write_all_vectored(&mut w, &[b"", b"ab", b"", b"cde", b""]).unwrap();
+        assert_eq!(w.out, b"abcde");
+    }
+
+    #[test]
+    fn encoded_frame_outlives_the_source_event() {
+        // A retransmission window holds EncodedFrames after the event (and
+        // its Marshalled payload handle) is gone; the refcounted borrow
+        // keeps the allocation alive.
+        let frame = Frame::Event { event: event_with_payload(32 * 1024), t_mod_nanos: 9 };
+        let expected = frame.encode_via_copy();
+        let enc = frame.encode_frame();
+        drop(frame);
+        assert_eq!(enc.to_vec(), expected);
     }
 }

@@ -89,7 +89,7 @@ pub mod supervisor;
 pub mod tcp;
 
 pub use channel::{DeliveryReport, EventChannel, SubscriberId};
-pub use envelope::{ModulatedEvent, PlanEnvelope};
+pub use envelope::{EncodedFrame, Frame, ModulatedEvent, PlanEnvelope};
 pub use local::LocalPair;
 pub use proxy::{ProxyConfig, ProxyReport, ProxySession};
 pub use sim::{SimConfig, SimReport, SimSession};

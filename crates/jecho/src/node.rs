@@ -518,8 +518,11 @@ impl TcpNode {
             self.conn.as_mut().ok_or_else(|| NodeError::Transport("not connected".into()))?;
         let failed = |e: std::io::Error| NodeError::Transport(format!("io: {e}"));
         let result = (|| {
-            conn.writer.write_all(request.as_bytes()).map_err(failed)?;
-            conn.writer.write_all(b"\n").map_err(failed)?;
+            // Request and terminator in one gathered write: one syscall,
+            // and no flush-between-halves window where a peer could see a
+            // newline-less partial line.
+            crate::envelope::write_all_vectored(&mut conn.writer, &[request.as_bytes(), b"\n"])
+                .map_err(failed)?;
             let mut line = String::new();
             let n = conn.reader.read_line(&mut line).map_err(failed)?;
             if n == 0 {

@@ -219,6 +219,8 @@ struct WireMetrics {
     quarantined: Counter,
     shed: Counter,
     deadline_timeouts: Counter,
+    marshal_copied: Counter,
+    marshal_borrowed: Counter,
 }
 
 impl WireMetrics {
@@ -236,6 +238,8 @@ impl WireMetrics {
             quarantined: registry.counter("quarantined_total", &[]),
             shed: registry.counter("shed_total", &[("reason", "overload")]),
             deadline_timeouts: registry.counter("deadline_timeouts_total", &[]),
+            marshal_copied: registry.counter("marshal_copied_bytes_total", &[]),
+            marshal_borrowed: registry.counter("marshal_borrowed_bytes_total", &[]),
         }
     }
 }
@@ -809,16 +813,23 @@ impl SimSession {
                 // A singleton chunk encodes as a plain event frame, so the
                 // `batch_max == 1` wire is byte-identical to the unbatched
                 // one: same fault decisions, same corruption lengths.
-                let bytes = if let [(_, event)] = chunk {
-                    Frame::Event { event: event.clone(), t_mod_nanos: 0 }.encode()
+                let enc = if let [(_, event)] = chunk {
+                    Frame::Event { event: event.clone(), t_mod_nanos: 0 }.encode_frame()
                 } else {
                     self.envelope_batches += 1;
                     self.batched_events += chunk.len() as u64;
                     self.wire_metrics.batches.inc();
                     self.wire_metrics.batched_events.add(chunk.len() as u64);
                     Frame::Batch { events: chunk.iter().map(|(_, e)| (e.clone(), 0)).collect() }
-                        .encode()
+                        .encode_frame()
                 };
+                self.wire_metrics.marshal_copied.add(enc.copied_payload_bytes());
+                self.wire_metrics.marshal_borrowed.add(enc.borrowed_payload_bytes());
+                // The simulated link needs owned contiguous bytes (fault
+                // injection corrupts in place); the flatten is
+                // deterministic, so fault decisions and corruption offsets
+                // are unchanged from the single-buffer encoder.
+                let bytes = enc.to_vec();
                 let decision = injector.decide();
                 if !decision.delivers() {
                     self.frames_lost += 1;

@@ -15,6 +15,15 @@
 //! continuation envelopes per wire frame with a flush deadline,
 //! amortizing the frame header, checksum, and syscall over the batch
 //! while keeping ordering, acknowledgement, and replay semantics intact.
+//!
+//! Sends are zero-copy end to end: the sender encodes each frame into
+//! scatter-gather segments (large continuation payloads stay refcounted
+//! borrows of the marshalled buffer — see
+//! [`EncodedFrame`](crate::envelope::EncodedFrame) and WIRE.md) and a
+//! batch flush gathers *all* member segments into a single vectored
+//! write. The window holds [`ModulatedEvent`]s, whose payload handles are
+//! refcounts into the same immutable buffers, so replaying the window
+//! after a reconnect re-encodes without copying payload bytes either.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -31,7 +31,7 @@ use mpart::PartitionedHandler;
 use mpart_cost::CostModel;
 use mpart_ir::interp::{BuiltinRegistry, ExecCtx};
 use mpart_ir::{IrError, Program, Value};
-use mpart_obs::{PlanReason, TraceEvent};
+use mpart_obs::{Counter, PlanReason, TraceEvent};
 
 use crate::envelope::{Frame, ModulatedEvent, PlanEnvelope};
 use crate::local::LocalOutcome;
@@ -421,6 +421,8 @@ pub struct TcpSender {
     seq: u64,
     plans_applied: Arc<AtomicU64>,
     acked: Arc<AtomicU64>,
+    marshal_copied: Counter,
+    marshal_borrowed: Counter,
 }
 
 impl std::fmt::Debug for TcpSender {
@@ -501,6 +503,9 @@ impl TcpSender {
             }
         });
 
+        let marshal_copied = handler.obs().registry().counter("marshal_copied_bytes_total", &[]);
+        let marshal_borrowed =
+            handler.obs().registry().counter("marshal_borrowed_bytes_total", &[]);
         Ok(TcpSender {
             modulator: handler.modulator(),
             handler,
@@ -511,6 +516,8 @@ impl TcpSender {
             seq: start_seq,
             plans_applied,
             acked,
+            marshal_copied,
+            marshal_borrowed,
         })
     }
 
@@ -551,21 +558,34 @@ impl TcpSender {
         Ok((event, t_mod_nanos))
     }
 
-    /// Writes one already-modulated event to the socket.
+    /// Encodes a frame into zero-copy segments, records the marshal
+    /// copy/borrow counters, and gathers the segments onto the socket with
+    /// one vectored write.
+    fn send_frame(&mut self, frame: &Frame) -> Result<(), IrError> {
+        let enc = frame.try_encode_frame()?;
+        self.marshal_copied.add(enc.copied_payload_bytes());
+        self.marshal_borrowed.add(enc.borrowed_payload_bytes());
+        enc.write_to(&mut self.write_half)?;
+        self.write_half.flush().map_err(|e| IrError::Marshal(format!("flush: {e}")))
+    }
+
+    /// Writes one already-modulated event to the socket. Large
+    /// continuation payloads are written straight from the marshalled
+    /// buffer (vectored I/O, no intermediate copy).
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn send_event(&mut self, event: &ModulatedEvent, t_mod_nanos: u64) -> Result<(), IrError> {
-        Frame::Event { event: event.clone(), t_mod_nanos }.write_to(&mut self.write_half)?;
-        self.write_half.flush().map_err(|e| IrError::Marshal(format!("flush: {e}")))
+        self.send_frame(&Frame::Event { event: event.clone(), t_mod_nanos })
     }
 
     /// Coalesces already-modulated events into a single [`Frame::Batch`]
-    /// (one header, one checksum) and writes it to the socket. Events keep
-    /// their order; an empty slice is a no-op and a single event is sent
-    /// as a plain [`Frame::Event`], so framing stays byte-identical to the
-    /// unbatched path when there is nothing to coalesce.
+    /// (one header, one checksum, one gathered writev over all member
+    /// segments) and writes it to the socket. Events keep their order; an
+    /// empty slice is a no-op and a single event is sent as a plain
+    /// [`Frame::Event`], so framing stays byte-identical to the unbatched
+    /// path when there is nothing to coalesce.
     ///
     /// # Errors
     ///
@@ -574,10 +594,7 @@ impl TcpSender {
         match events {
             [] => Ok(()),
             [(event, t_mod_nanos)] => self.send_event(event, *t_mod_nanos),
-            _ => {
-                Frame::Batch { events: events.to_vec() }.write_to(&mut self.write_half)?;
-                self.write_half.flush().map_err(|e| IrError::Marshal(format!("flush: {e}")))
-            }
+            _ => self.send_frame(&Frame::Batch { events: events.to_vec() }),
         }
     }
 

@@ -1,0 +1,176 @@
+//! Intra-repo markdown link checker for the top-level docs.
+//!
+//! The docs cross-reference each other heavily (README → DESIGN →
+//! ARCHITECTURE → OBSERVABILITY → WIRE → EXPERIMENTS) and link into the
+//! source tree; a renamed file or section silently strands those links.
+//! This test walks every `[text](target)` link in the checked docs and
+//! fails on:
+//!
+//! - relative targets that do not exist on disk,
+//! - `#anchor` fragments that match no heading in the target document
+//!   (GitHub slug rules: lowercase, punctuation stripped, spaces to
+//!   hyphens, `-N` suffixes for duplicates).
+//!
+//! External links (`http://`, `https://`, `mailto:`) are out of scope.
+//! CI runs this in the docs job, next to rustdoc.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Top-level documents whose outgoing links are verified. Link *targets*
+/// may be any file in the repo.
+const DOCS: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "ARCHITECTURE.md",
+    "OBSERVABILITY.md",
+    "EXPERIMENTS.md",
+    "WIRE.md",
+    "ROADMAP.md",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `(line_number, target)` for every inline markdown link,
+/// skipping fenced code blocks (``` ... ```) where link syntax is code,
+/// not reference.
+fn extract_links(text: &str) -> Vec<(usize, String)> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find the `](` that closes a link text and opens its target.
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                // The target runs to the matching `)` (no nesting in our
+                // docs; titles like `(... "title")` are not used).
+                if let Some(rel_end) = line[start..].find(')') {
+                    let target = line[start..start + rel_end].trim();
+                    if !target.is_empty() {
+                        links.push((lineno + 1, target.to_string()));
+                    }
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub-style anchor slugs for every heading in a markdown document,
+/// including the `-N` suffixes appended to duplicates.
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let heading = line.trim_start_matches('#').trim();
+        let mut base = String::new();
+        for c in heading.chars() {
+            match c {
+                'A'..='Z' => base.push(c.to_ascii_lowercase()),
+                'a'..='z' | '0'..='9' | '_' | '-' => base.push(c),
+                ' ' => base.push('-'),
+                // Punctuation (including `·`, `§`, backticks, colons)
+                // is dropped, as GitHub does.
+                _ => {}
+            }
+        }
+        let n = counts.entry(base.clone()).or_insert(0);
+        let slug = if *n == 0 { base.clone() } else { format!("{base}-{n}") };
+        *n += 1;
+        slugs.push(slug);
+    }
+    slugs
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = repo_root();
+    let mut slug_cache: HashMap<PathBuf, Vec<String>> = HashMap::new();
+    let mut broken = Vec::new();
+
+    for doc in DOCS {
+        let doc_path = root.join(doc);
+        let text = match std::fs::read_to_string(&doc_path) {
+            Ok(t) => t,
+            Err(_) => {
+                broken.push(format!("{doc}: checked document is missing"));
+                continue;
+            }
+        };
+        slug_cache.entry(doc_path.clone()).or_insert_with(|| heading_slugs(&text));
+
+        for (lineno, target) in extract_links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a.to_string())),
+                None => (target.as_str(), None),
+            };
+            // Resolve the file half: empty means "this document".
+            let resolved: PathBuf =
+                if file_part.is_empty() { doc_path.clone() } else { root.join(file_part) };
+            if !resolved.exists() {
+                broken.push(format!("{doc}:{lineno}: target `{target}` does not exist"));
+                continue;
+            }
+            // Anchors only make sense into markdown documents.
+            if let Some(anchor) = anchor {
+                if resolved.extension().and_then(|e| e.to_str()) != Some("md") {
+                    continue;
+                }
+                let slugs = slug_cache.entry(resolved.clone()).or_insert_with(|| {
+                    std::fs::read_to_string(&resolved)
+                        .map(|t| heading_slugs(&t))
+                        .unwrap_or_default()
+                });
+                if !slugs.iter().any(|s| s == &anchor) {
+                    broken.push(format!(
+                        "{doc}:{lineno}: anchor `#{anchor}` not found in {}",
+                        resolved.strip_prefix(&root).unwrap_or(&resolved).display()
+                    ));
+                }
+            }
+        }
+    }
+
+    assert!(broken.is_empty(), "broken intra-repo markdown links:\n  {}", broken.join("\n  "));
+}
+
+#[test]
+fn link_extractor_handles_the_syntax_we_use() {
+    let text = "see [a](X.md) and [b](Y.md#sec-1), skip [c](https://x)\n\
+                ```\n[not a link](Z.md)\n```\n\
+                [tail](W.md)";
+    let links = extract_links(text);
+    let targets: Vec<&str> = links.iter().map(|(_, t)| t.as_str()).collect();
+    assert_eq!(targets, vec!["X.md", "Y.md#sec-1", "https://x", "W.md"]);
+
+    let slugs = heading_slugs("# Big Title!\n## §3 · Wire format\n## Wire format\ntext");
+    assert!(slugs.contains(&"big-title".to_string()), "{slugs:?}");
+    assert!(slugs.contains(&"3--wire-format".to_string()), "{slugs:?}");
+}

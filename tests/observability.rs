@@ -47,6 +47,8 @@ const GOLDEN: &[&str] = &[
     "frames_corrupted_total",
     "frames_lost_total",
     "handler_panics_total{side}",
+    "marshal_borrowed_bytes_total",
+    "marshal_copied_bytes_total",
     "mod_work_units",
     "plan_epoch",
     "plan_switch_total{reason}",

@@ -41,6 +41,29 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
+
+    /// A sub-view of the remaining bytes, sharing the same allocation
+    /// (refcount bump, no copy). The range is relative to the current
+    /// view, matching `bytes` 1.x semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(begin <= end, "slice range inverted: {begin} > {end}");
+        assert!(end <= self.len(), "slice past end of buffer: {} > {}", end, self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + begin, end: self.start + end }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -109,6 +132,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Resizes the buffer in place, filling any new bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
     /// Converts the accumulated bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -119,6 +147,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
