@@ -172,6 +172,87 @@ fn run_cell(
     }
 }
 
+struct DrainCell {
+    elapsed_ms: f64,
+    goodput: f64,
+    drained: u32,
+    drain_micros: u128,
+    drain_misses: u64,
+    journal_before: usize,
+    journal_after: usize,
+    node0_empty: bool,
+}
+
+/// The elastic scale-down cell: node 0 is *drained* (not crashed) at the
+/// halfway round — every hosted session migrates away restore-only, the
+/// journal compacts to the live set, and the node leaves the ring. The
+/// drain call itself is timed end to end.
+fn run_drain_cell(
+    program: &Arc<Program>,
+    nodes_n: usize,
+    sessions: usize,
+    messages: usize,
+) -> DrainCell {
+    let journal = Arc::new(SessionJournal::in_memory());
+    let cache = Arc::new(AnalysisCache::new(64));
+    let config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    let nodes: Vec<LocalNode> = (0..nodes_n)
+        .map(|i| LocalNode::new(format!("node-{i}"), config.clone(), Arc::clone(&cache)))
+        .collect();
+    let mut router = Router::new(RouterConfig::default(), Arc::clone(&journal), Arc::clone(&cache));
+    for node in &nodes {
+        router.add_node(Box::new(node.clone()));
+    }
+    let gids: Vec<u64> =
+        (0..sessions).map(|_| router.open_session(spec(program)).expect("open")).collect();
+    let args = vec![Value::Int(21), Value::Int(3)];
+
+    let drain_round = messages / 2;
+    let mut drained = 0u32;
+    let mut drain_micros = 0u128;
+    let mut drain_misses = 0u64;
+    let mut journal_before = 0usize;
+    let mut journal_after = 0usize;
+
+    let start = Instant::now();
+    for round in 0..messages {
+        if round == drain_round {
+            journal_before = journal.len();
+            let misses = cache.misses();
+            let t = Instant::now();
+            drained = router.drain_node(0).expect("drain");
+            drain_micros = t.elapsed().as_micros();
+            drain_misses = cache.misses() - misses;
+            journal_after = journal.len();
+        }
+        for gid in &gids {
+            router.deliver(*gid, args.clone()).expect("deliver");
+        }
+        router.heartbeat().expect("heartbeat");
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    for gid in &gids {
+        let out = router.deliver(*gid, args.clone()).expect("probe");
+        assert_eq!(
+            out.seq,
+            messages as u64 + 1,
+            "drain: session {gid} numbering survived the drain exactly-once"
+        );
+    }
+
+    DrainCell {
+        elapsed_ms,
+        goodput: (sessions * messages) as f64 / (elapsed_ms / 1e3),
+        drained,
+        drain_micros,
+        drain_misses,
+        journal_before,
+        journal_after,
+        node0_empty: nodes[0].sessions() == 0 && !router.node_is_up(0),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let nodes = arg_usize("nodes", 3).max(2);
@@ -185,6 +266,8 @@ fn main() {
         run_cell("kill + rejoin", &program, nodes, sessions, messages, true, true),
     ];
 
+    let drain = run_drain_cell(&program, nodes, sessions, messages);
+
     let steady = &cells[0];
     let killed = &cells[1];
     let rejoined = &cells[2];
@@ -197,6 +280,15 @@ fn main() {
     assert!(!killed.node0_up, "without a revive the dead node stays down");
     assert!(rejoined.node0_up, "the revived node rejoined after its hysteresis streak");
     assert_eq!(rejoined.migrated, 2 * homed, "rejoin migrates the displaced home sessions back");
+    assert_eq!(u64::from(drain.drained), homed, "drain moved every session node 0 hosted");
+    assert_eq!(drain.drain_misses, 0, "drain migration performs zero re-analysis");
+    assert!(drain.node0_empty, "the drained node emptied and left the ring");
+    assert!(
+        drain.journal_after < drain.journal_before,
+        "drain compacted the journal ({} -> {})",
+        drain.journal_before,
+        drain.journal_after
+    );
 
     let mut table = Table::new(
         "Kill-a-node failover: goodput and time-to-recover on a routed cluster",
@@ -227,10 +319,24 @@ fn main() {
             cell.failover_misses.to_string(),
         ]);
     }
+    table.row(vec![
+        "drain node 0".to_string(),
+        nodes.to_string(),
+        sessions.to_string(),
+        messages.to_string(),
+        f2(drain.elapsed_ms),
+        f2(drain.goodput),
+        "0".to_string(),
+        drain.drained.to_string(),
+        drain.drain_micros.to_string(),
+        drain.drain_misses.to_string(),
+    ]);
     table.note(
         "time-to-recover is the first post-crash delivery to a session the \
          dead node hosted: health trip, one journal drain, migration of \
-         every affected session (cache hits only), and the re-delivery",
+         every affected session (cache hits only), and the re-delivery; \
+         the drain row times Router::drain_node itself (restore-only \
+         migration of every hosted session plus journal compaction)",
     );
     table.print();
 
@@ -252,6 +358,10 @@ fn main() {
         .param_u64("time_to_recover_micros", killed.recover_micros.unwrap_or(0) as u64)
         .param_u64("sessions_migrated", killed.migrated)
         .param_u64("failover_analysis_misses", killed.failover_misses)
+        .param_u64("drained_sessions", u64::from(drain.drained))
+        .param_u64("drain_micros", drain.drain_micros as u64)
+        .param_u64("drain_analysis_misses", drain.drain_misses)
+        .param_u64("journal_records_after_drain", drain.journal_after as u64)
         .add_table(&table);
     report.finish();
 }

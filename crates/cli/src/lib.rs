@@ -20,7 +20,9 @@
 //! mpart route <file> <fn> [args..] --nodes N
 //!                                  route sessions across N loopback-TCP
 //!                                  cluster nodes; --kill K crashes node K
-//!                                  mid-run and shows the failover
+//!                                  mid-run and shows the failover;
+//!                                  --drain D scales node D down after the
+//!                                  run and removes it from the ring
 //! mpart stats <file> <fn> [args..] --cluster
 //!                                  run a node-kill drill on an in-process
 //!                                  cluster, dump the aggregated metrics
@@ -101,9 +103,9 @@ pub const USAGE: &str = "usage:
   mpart split <file> <fn> --pse <N> [args..]
   mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]
-  mpart stats <file> <fn> [args..] --cluster [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--json]
+  mpart stats <file> <fn> [args..] --cluster [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--drain <NODE>] [--json]
   mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--queue <N>] [--journal <path>] [--model ...] [--auto-model] [--engine interp|compiled|auto]
-  mpart route <file> <fn> [args..] [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--ports <p1,p2,..>] [--model ...]
+  mpart route <file> <fn> [args..] [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--drain <NODE>] [--ports <p1,p2,..>] [--model ...]
   mpart deadletter <file> <fn> [args..] [--messages <N>] [--seed <N>] [--poison <SEQ>] [--json]
   mpart help";
 
@@ -442,6 +444,7 @@ fn event_args(rest: &[String]) -> Vec<Value> {
         "--poison",
         "--nodes",
         "--kill",
+        "--drain",
         "--ports",
         "--engine",
     ];
@@ -659,6 +662,7 @@ struct ClusterOpts {
     sessions: usize,
     messages: u64,
     kill: Option<usize>,
+    drain: Option<usize>,
 }
 
 fn cluster_opts(rest: &[String]) -> Result<ClusterOpts, CliError> {
@@ -688,7 +692,24 @@ fn cluster_opts(rest: &[String]) -> Result<ClusterOpts, CliError> {
             Some(k as usize)
         }
     };
-    Ok(ClusterOpts { nodes: nodes as usize, sessions: sessions as usize, messages, kill })
+    let drain = match has_flag(rest, "--drain") {
+        false => None,
+        true => {
+            let d = opt_u64(rest, "--drain", 0)?;
+            if d >= nodes {
+                return Err(CliError::Usage(format!(
+                    "`--drain {d}` is out of range (cluster has {nodes} nodes, numbered from 0)"
+                )));
+            }
+            if nodes == 1 {
+                return Err(CliError::Usage(
+                    "`--drain` with a single node leaves no survivors to migrate to".into(),
+                ));
+            }
+            Some(d as usize)
+        }
+    };
+    Ok(ClusterOpts { nodes: nodes as usize, sessions: sessions as usize, messages, kill, drain })
 }
 
 /// Parses `--ports p1,p2,..`: one non-zero port per node, no duplicates.
@@ -755,8 +776,10 @@ fn drive_cluster(
 /// router dials them as [`TcpNode`] endpoints with supervised backoff.
 /// `--kill K` crashes node K halfway through the run; the affected
 /// sessions migrate to survivors from the journal with their ack
-/// watermarks intact and zero re-analysis. See `DESIGN.md` §"Multi-host
-/// routing & failover".
+/// watermarks intact and zero re-analysis. `--drain D` scales node D
+/// down after the run: every hosted session migrates away, the shared
+/// journal compacts to the live set, and the node leaves the ring. See
+/// `DESIGN.md` §"Multi-host routing & failover".
 fn cmd_route(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
     let program = load(file)?;
     let model = model_from(rest)?;
@@ -803,13 +826,17 @@ fn cmd_route(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     };
     let last =
         drive_cluster(&mut router, &spec, &opts, opts.kill, &args, &mut |k| servers[k].kill())?;
+    let drained = match opts.drain {
+        Some(d) => Some((d, router.drain_node(d)?)),
+        None => None,
+    };
 
     let mut out = String::new();
     let _ = writeln!(out, "routed `{func}`: {} sessions over {} nodes", opts.sessions, opts.nodes);
     for (i, server) in servers.iter().enumerate() {
         let _ = writeln!(
             out,
-            "  node {i} [{} @127.0.0.1:{}] {}{}",
+            "  node {i} [{} @127.0.0.1:{}] {}{}{}",
             server.name(),
             server.port(),
             if router.node_is_up(i) { "up" } else { "down" },
@@ -818,6 +845,14 @@ fn cmd_route(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
             } else {
                 String::new()
             },
+            if opts.drain == Some(i) { " (drained, off the ring)" } else { "" },
+        );
+    }
+    if let Some((node, moved)) = drained {
+        let _ = writeln!(
+            out,
+            "  drained node {node}: {moved} sessions migrated away, journal compacted to {} records",
+            router.journal().len(),
         );
     }
     let _ = writeln!(
@@ -863,9 +898,13 @@ fn cmd_route(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
 /// `mpart stats --cluster`: drives a node-kill drill on an in-process
 /// [`LocalNode`] cluster and prints the *aggregated* observability
 /// surface — the router's own counters and gauges plus every node's
-/// metrics with a `node="i"` label injected. Kills node 0 halfway by
-/// default (when the cluster has a survivor); `--kill K` picks the
-/// victim.
+/// metrics with a `node="i"` label injected, led by a per-node summary
+/// of the placement-authoritative session counts (what the router will
+/// actually deliver to) next to the pending-orphan column, so a
+/// survived-node failover's stranded copies are never double-counted as
+/// live sessions. Kills node 0 halfway by default (when the cluster has
+/// a survivor); `--kill K` picks the victim; `--drain D` scales node D
+/// down after the drill.
 fn cmd_stats_cluster(file: &str, func: &str, rest: &[String]) -> Result<String, CliError> {
     let program = load(file)?;
     let model = model_from(rest)?;
@@ -891,6 +930,9 @@ fn cmd_stats_cluster(file: &str, func: &str, rest: &[String]) -> Result<String, 
         receiver_builtins: stubbed_builtins(&program, false),
     };
     drive_cluster(&mut router, &spec, &opts, kill, &args, &mut |k| nodes[k].kill())?;
+    if let Some(d) = opts.drain {
+        router.drain_node(d)?;
+    }
 
     let stats = router.cluster_stats();
     if has_flag(rest, "--json") {
@@ -905,14 +947,43 @@ fn cmd_stats_cluster(file: &str, func: &str, rest: &[String]) -> Result<String, 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "cluster drill over `{func}`: {} sessions, {} nodes{}",
+        "cluster drill over `{func}`: {} sessions, {} nodes{}{}",
         opts.sessions,
         opts.nodes,
         match kill {
             Some(k) => format!(", node {k} killed at round {}", opts.messages / 2),
             None => String::new(),
         },
+        match opts.drain {
+            Some(d) => format!(", node {d} drained after the run"),
+            None => String::new(),
+        },
     );
+    // Placement-authoritative per-node counts with the orphan column:
+    // `placed` is what the router will deliver to; `orphaned` copies are
+    // stranded slots pending reclamation, never counted as live.
+    let row = |name: &str, node: usize| {
+        stats
+            .iter()
+            .find(|(n, _)| *n == format!("{name}{{node=\"{node}\"}}"))
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let _ = writeln!(out, "  node  placed  orphaned  state");
+    for i in 0..opts.nodes {
+        let state = if opts.drain == Some(i) {
+            "drained"
+        } else if router.node_is_up(i) {
+            "up"
+        } else {
+            "down"
+        };
+        let _ = writeln!(
+            out,
+            "  {i:<4}  {:<6}  {:<8}  {state}",
+            row("router_placed_sessions", i),
+            row("router_orphan_sessions", i),
+        );
+    }
     for (identity, value) in stats {
         let _ = writeln!(out, "  {identity} {value}");
     }
@@ -1435,6 +1506,8 @@ mod tests {
             &["route", file.as_str(), "handle", "--sessions", "0"],
             &["route", file.as_str(), "handle", "--nodes", "2", "--kill", "2"],
             &["route", file.as_str(), "handle", "--nodes", "1", "--kill", "0"],
+            &["route", file.as_str(), "handle", "--nodes", "2", "--drain", "2"],
+            &["route", file.as_str(), "handle", "--nodes", "1", "--drain", "0"],
             &["route", file.as_str(), "handle", "--nodes", "2", "--ports", "7001,7001"],
             &["route", file.as_str(), "handle", "--nodes", "2", "--ports", "7001"],
             &["route", file.as_str(), "handle", "--nodes", "2", "--ports", "7001,zero"],
@@ -1447,6 +1520,32 @@ mod tests {
                 other => panic!("expected a usage error for {bad:?}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn route_drains_a_node_off_the_ring() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "route",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--nodes",
+            "2",
+            "--sessions",
+            "3",
+            "--messages",
+            "4",
+            "--drain",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("down (drained, off the ring)"), "{out}");
+        assert!(out.contains("drained node 0: 2 sessions migrated away"), "{out}");
+        assert!(out.contains("journal compacted to"), "{out}");
+        // Restore-only scale-down: still one analysis for the cluster.
+        assert!(out.contains("analysis cache: 1 misses"), "{out}");
     }
 
     #[test]
@@ -1470,6 +1569,13 @@ mod tests {
         assert!(out.contains("node 0 killed at round 2"), "{out}");
         assert!(out.contains("node_failovers_total 1"), "{out}");
         assert!(out.contains("sessions_migrated_total 1"), "{out}");
+        // The per-node summary leads with the placement-authoritative
+        // counts and the orphan column: the killed node places nothing,
+        // the survivor holds both sessions, nothing is double-counted.
+        assert!(out.contains("node  placed  orphaned  state"), "{out}");
+        assert!(out.contains("0     0       1         down"), "{out}");
+        assert!(out.contains("1     2       0         up"), "{out}");
+        assert!(out.contains("router_placed_sessions{node=\"1\"} 2"), "{out}");
         // Per-node metrics carry the injected node label instead of
         // silently summing across nodes.
         assert!(out.contains("node=\"1\""), "{out}");

@@ -47,6 +47,9 @@ pub enum JournalRecord {
     Ack { session: u64, watermark: u64 },
     /// Profiling flags changed: `(session, PSE bitmask)`.
     Flags { session: u64, mask: u64 },
+    /// The session closed for good: replay drops every earlier record
+    /// for it, so a restart can never resurrect a closed session.
+    Close { session: u64 },
 }
 
 impl JournalRecord {
@@ -72,6 +75,7 @@ impl JournalRecord {
             JournalRecord::ModelCommit { session, model } => format!("model {session} {model}"),
             JournalRecord::Ack { session, watermark } => format!("ack {session} {watermark}"),
             JournalRecord::Flags { session, mask } => format!("flags {session} {mask}"),
+            JournalRecord::Close { session } => format!("close {session}"),
         }
     }
 
@@ -128,6 +132,7 @@ impl JournalRecord {
                     .parse()
                     .map_err(|_| bad("bad mask"))?,
             },
+            "close" => JournalRecord::Close { session },
             other => return Err(bad(&format!("unknown record kind {other:?}"))),
         };
         Ok(record)
@@ -257,9 +262,69 @@ impl SessionJournal {
                 JournalRecord::Flags { session, mask } => {
                     sessions.entry(session).or_default().flags = mask;
                 }
+                JournalRecord::Close { session } => {
+                    sessions.remove(&session);
+                }
             }
         }
         Ok(sessions)
+    }
+
+    /// Rewrites the log to the folded live set: every closed or
+    /// migrated-away session's records vanish, and each live session
+    /// folds to at most four lines (`open`/`plan`/`ack`/`flags` — the
+    /// exact snapshot [`SessionJournal::replay`] would produce, with
+    /// default-valued `ack 0` / `flags 0` lines elided). The backing
+    /// file, when present, is rewritten atomically-enough for a single
+    /// writer (truncate + write). Returns the number of lines dropped.
+    pub fn compact(&self) -> Result<usize, IrError> {
+        let sessions = self.replay()?;
+        let mut compacted = Vec::with_capacity(sessions.len() * 4);
+        for (session, snap) in &sessions {
+            compacted.push(
+                JournalRecord::Open {
+                    session: *session,
+                    func: snap.func.clone(),
+                    model: snap.model.clone(),
+                }
+                .render(),
+            );
+            compacted.push(
+                JournalRecord::PlanCommit {
+                    session: *session,
+                    epoch: snap.epoch,
+                    active: snap.active.clone(),
+                    reason: if snap.reason.is_empty() {
+                        "compact".into()
+                    } else {
+                        snap.reason.clone()
+                    },
+                }
+                .render(),
+            );
+            if snap.watermark > 0 {
+                compacted.push(
+                    JournalRecord::Ack { session: *session, watermark: snap.watermark }.render(),
+                );
+            }
+            if snap.flags > 0 {
+                compacted
+                    .push(JournalRecord::Flags { session: *session, mask: snap.flags }.render());
+            }
+        }
+        let mut lines = self.lines.lock().expect("journal poisoned");
+        let dropped = lines.len().saturating_sub(compacted.len());
+        *lines = compacted;
+        if let Some(path) = &self.path {
+            let mut text = String::new();
+            for line in lines.iter() {
+                text.push_str(line);
+                text.push('\n');
+            }
+            std::fs::write(path, text)
+                .map_err(|e| IrError::Invalid(format!("journal {}: {e}", path.display())))?;
+        }
+        Ok(dropped)
     }
 }
 
@@ -327,6 +392,58 @@ mod tests {
         assert_eq!(s0.watermark, 9);
         assert_eq!(s0.flags, 0b10100);
         assert_eq!(sessions[&1].active, Vec::<PseId>::new());
+    }
+
+    #[test]
+    fn close_record_drops_the_session_on_replay() {
+        let journal = SessionJournal::in_memory();
+        for record in sample_records() {
+            journal.append(record).unwrap();
+        }
+        journal.append(JournalRecord::Close { session: 0 }).unwrap();
+        let sessions = journal.replay().unwrap();
+        assert!(!sessions.contains_key(&0), "closed session must not replay");
+        assert!(sessions.contains_key(&1), "live session unaffected");
+        let line = JournalRecord::Close { session: 7 }.render();
+        assert_eq!(JournalRecord::parse(&line).unwrap(), JournalRecord::Close { session: 7 });
+    }
+
+    #[test]
+    fn compact_shrinks_to_the_live_set() {
+        let journal = SessionJournal::in_memory();
+        for record in sample_records() {
+            journal.append(record).unwrap();
+        }
+        journal.append(JournalRecord::Close { session: 0 }).unwrap();
+        let before = journal.replay().unwrap();
+        let dropped = journal.compact().unwrap();
+        assert!(dropped > 0, "compaction must drop the closed session's tail");
+        assert_eq!(journal.len(), 2, "session 1 never acked: open + plan only");
+        assert_eq!(journal.replay().unwrap(), before, "compaction preserves the fold");
+    }
+
+    #[test]
+    fn file_backed_compaction_rewrites_the_log() {
+        let path = std::env::temp_dir().join(format!(
+            "mpart-journal-compact-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = SessionJournal::at_path(&path).unwrap();
+            for record in sample_records() {
+                journal.append(record).unwrap();
+            }
+            journal.append(JournalRecord::Close { session: 1 }).unwrap();
+            journal.compact().unwrap();
+        }
+        let reopened = SessionJournal::at_path(&path).unwrap();
+        assert_eq!(reopened.len(), 4);
+        let sessions = reopened.replay().unwrap();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[&0].watermark, 9);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -29,12 +29,21 @@
 //! bench) and the loopback-TCP node client in the `mpart-jecho` crate
 //! (used by `mpart route`).
 //!
-//! A session retracted from a node that later proves alive (e.g. a
-//! heartbeat partition rather than a crash) leaves an orphaned copy
-//! behind; the router never delivers to it again, so exactly-once
-//! application holds, but its worker slot is not reclaimed until the node
-//! restarts. Reclaiming live slots needs a session-close protocol, which
-//! this layer does not yet have.
+//! Retraction is a first-class lifecycle phase. A session retracted from
+//! a node that later proves alive (a heartbeat partition rather than a
+//! crash) leaves an orphaned copy behind; the router never delivers to it
+//! again — exactly-once holds — and additionally *reclaims* the orphan's
+//! worker slot: every migration records the old `(node, local)` copy, and
+//! the heartbeat tick evicts it as soon as the node answers again
+//! (`orphans_reclaimed_total`). Reclamation is fenced by the placement
+//! epoch: an orphan record is dropped, never evicted, when a live
+//! placement occupies the same slot under a newer epoch, so a stale
+//! record can never tear down a current copy — and the worker-side
+//! tombstone left by an evict rejects any late delivery outright. The
+//! same close/evict protocol powers [`Router::close_session`] (retire a
+//! session cluster-wide, journal compaction included) and
+//! [`Router::drain_node`] (migrate everything off a live node and remove
+//! it from the ring — elastic scale-down, `mpart route --drain`).
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -125,6 +134,15 @@ pub trait NodeEndpoint: Send {
     /// Delivers one event (scalar arguments) through local session
     /// `local`.
     fn deliver(&mut self, local: usize, args: Vec<Value>) -> Result<SessionOutcome, NodeError>;
+
+    /// Closes local session `local` for good (journals the close so
+    /// replay drops it); returns its final ack watermark.
+    fn close(&mut self, local: usize) -> Result<u64, NodeError>;
+
+    /// Tears down local session `local` without retiring its journal
+    /// tail — the migration/orphan-reclaim path; returns its final ack
+    /// watermark.
+    fn evict(&mut self, local: usize) -> Result<u64, NodeError>;
 
     /// Liveness probe; `false` counts as a heartbeat miss.
     fn heartbeat(&mut self) -> bool;
@@ -258,6 +276,9 @@ struct NodeSlot {
     health: NodeHealth,
     up_gauge: Gauge,
     misses: Counter,
+    /// Drained out of the ring ([`Router::drain_node`]): never picked as
+    /// a migration target, never heartbeated, never rejoined.
+    removed: bool,
 }
 
 struct Placement {
@@ -267,16 +288,61 @@ struct Placement {
     node: usize,
     /// Node-local session id on `node`.
     local: usize,
+    /// Placement epoch, bumped on every migration — the fencing token
+    /// orphan reclamation checks before touching a slot.
+    epoch: u64,
     /// Code side, for re-instantiation on migration.
     spec: SessionSpec,
+}
+
+/// A session copy left behind by a migration, awaiting reclamation on a
+/// node that may yet prove alive.
+struct OrphanCopy {
+    gid: GlobalSessionId,
+    node: usize,
+    local: usize,
+    /// Placement epoch at orphaning time; a live placement on the same
+    /// slot always carries a newer epoch, which fences the evict.
+    epoch: u64,
+}
+
+/// Why the router tore a session copy down — the label on
+/// `sessions_closed_total{reason}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// Explicit [`Router::close_session`]: retired cluster-wide.
+    Close,
+    /// Migration cleanup: the old copy retracted right after a restore
+    /// was acked elsewhere (rejoin rebalance, live migrations).
+    Evict,
+    /// [`Router::drain_node`] scale-down.
+    Drain,
+    /// Heartbeat-tick reclamation of an orphan on a survived node.
+    Orphan,
 }
 
 struct RouterMetrics {
     node_failovers: Counter,
     sessions_migrated: Counter,
     route_errors: Counter,
+    orphans_reclaimed: Counter,
+    closed_close: Counter,
+    closed_evict: Counter,
+    closed_drain: Counter,
+    closed_orphan: Counter,
     cache_hits: Gauge,
     cache_misses: Gauge,
+}
+
+impl RouterMetrics {
+    fn closed(&self, reason: CloseReason) -> &Counter {
+        match reason {
+            CloseReason::Close => &self.closed_close,
+            CloseReason::Evict => &self.closed_evict,
+            CloseReason::Drain => &self.closed_drain,
+            CloseReason::Orphan => &self.closed_orphan,
+        }
+    }
 }
 
 /// Hashes sessions onto nodes and migrates them off dead ones. See the
@@ -284,6 +350,7 @@ struct RouterMetrics {
 pub struct Router {
     nodes: Vec<NodeSlot>,
     placements: BTreeMap<GlobalSessionId, Placement>,
+    orphans: Vec<OrphanCopy>,
     next_gid: GlobalSessionId,
     journal: Arc<SessionJournal>,
     cache: Arc<AnalysisCache>,
@@ -316,12 +383,18 @@ impl Router {
             node_failovers: registry.counter("node_failovers_total", &[]),
             sessions_migrated: registry.counter("sessions_migrated_total", &[]),
             route_errors: registry.counter("route_errors_total", &[]),
+            orphans_reclaimed: registry.counter("orphans_reclaimed_total", &[]),
+            closed_close: registry.counter("sessions_closed_total", &[("reason", "close")]),
+            closed_evict: registry.counter("sessions_closed_total", &[("reason", "evict")]),
+            closed_drain: registry.counter("sessions_closed_total", &[("reason", "drain")]),
+            closed_orphan: registry.counter("sessions_closed_total", &[("reason", "orphan")]),
             cache_hits: registry.gauge("cluster_analysis_cache_hits", &[]),
             cache_misses: registry.gauge("cluster_analysis_cache_misses", &[]),
         };
         Router {
             nodes: Vec::new(),
             placements: BTreeMap::new(),
+            orphans: Vec::new(),
             next_gid: 0,
             journal,
             cache,
@@ -345,6 +418,7 @@ impl Router {
             health: NodeHealth::new(self.config.health),
             up_gauge,
             misses,
+            removed: false,
         });
         index
     }
@@ -359,9 +433,15 @@ impl Router {
         self.placements.len()
     }
 
-    /// Whether node `node` is currently considered alive.
+    /// Whether node `node` is currently considered alive (a drained node
+    /// is out of the ring and reads as down).
     pub fn node_is_up(&self, node: usize) -> bool {
-        self.nodes.get(node).is_some_and(|slot| slot.health.is_up())
+        self.nodes.get(node).is_some_and(|slot| slot.health.is_up() && !slot.removed)
+    }
+
+    /// Orphaned session copies awaiting reclamation.
+    pub fn orphans(&self) -> usize {
+        self.orphans.len()
     }
 
     /// The node currently hosting session `gid`.
@@ -406,7 +486,7 @@ impl Router {
             .open(gid, &spec)
             .map_err(|e| node_ir_error(target, "open", &e))?;
         self.next_gid += 1;
-        self.placements.insert(gid, Placement { home, node: target, local, spec });
+        self.placements.insert(gid, Placement { home, node: target, local, epoch: 0, spec });
         Ok(gid)
     }
 
@@ -468,6 +548,9 @@ impl Router {
     /// Migration failures (journal drain or restore on the target node).
     pub fn heartbeat(&mut self) -> Result<(), IrError> {
         for node in 0..self.nodes.len() {
+            if self.nodes[node].removed {
+                continue;
+            }
             let beat = self.nodes[node].endpoint.heartbeat();
             let slot = &mut self.nodes[node];
             if beat {
@@ -481,15 +564,17 @@ impl Router {
                 }
             }
         }
+        self.reconcile_orphans();
         Ok(())
     }
 
-    /// First up node at or after `home` on the ring.
+    /// First up node at or after `home` on the ring (drained nodes are
+    /// off the ring).
     fn pick_up_node(&self, home: usize) -> Result<usize, IrError> {
         let n = self.nodes.len();
         (0..n)
             .map(|k| (home + k) % n)
-            .find(|&i| self.nodes[i].health.is_up())
+            .find(|&i| self.nodes[i].health.is_up() && !self.nodes[i].removed)
             .ok_or_else(|| IrError::Continuation("no surviving nodes".into()))
     }
 
@@ -511,7 +596,7 @@ impl Router {
         let snapshots = self.journal.replay()?;
         let mut migrated = 0u32;
         for gid in affected {
-            migrated += self.migrate(gid, None, &snapshots)?;
+            migrated += self.migrate(gid, None, &snapshots, CloseReason::Evict)?;
         }
         self.metrics.sessions_migrated.add(migrated as u64);
         self.obs.record(TraceEvent::NodeFailover { node: node as u32, sessions: migrated });
@@ -520,7 +605,9 @@ impl Router {
 
     /// Rejoin transition: bring `node` back up and migrate its *home*
     /// sessions (those hashed to it but displaced by an earlier failover)
-    /// back onto it.
+    /// back onto it. A session closed during the outage no longer has a
+    /// placement (the session table is placement-authoritative), so it is
+    /// never restored — see [`close_session`](Self::close_session).
     fn rejoin_node(&mut self, node: usize) -> Result<(), IrError> {
         self.nodes[node].up_gauge.set(1.0);
         let coming_home: Vec<GlobalSessionId> = self
@@ -533,7 +620,7 @@ impl Router {
         if !coming_home.is_empty() {
             let snapshots = self.journal.replay()?;
             for gid in coming_home {
-                migrated += self.migrate(gid, Some(node), &snapshots)?;
+                migrated += self.migrate(gid, Some(node), &snapshots, CloseReason::Evict)?;
             }
             self.metrics.sessions_migrated.add(migrated as u64);
         }
@@ -546,13 +633,25 @@ impl Router {
     /// proves dead during the restore is marked down and the next
     /// survivor tried — a cascading failure drains the whole ring before
     /// giving up.
+    ///
+    /// Only after the restore is acked is the old copy retracted: evicted
+    /// immediately when its node is up (the rejoin-rebalance and drain
+    /// paths), or recorded as an orphan for heartbeat-tick reclamation
+    /// when it is not (the node may yet prove to have survived a
+    /// partition). A session closed concurrently (no placement left) is
+    /// skipped, not resurrected.
     fn migrate(
         &mut self,
         gid: GlobalSessionId,
         target: Option<usize>,
         snapshots: &BTreeMap<u64, SessionSnapshot>,
+        reason: CloseReason,
     ) -> Result<u32, IrError> {
-        let home = self.placements[&gid].home;
+        let Some(placement) = self.placements.get(&gid) else {
+            return Ok(0);
+        };
+        let home = placement.home;
+        let old = (placement.node, placement.local, placement.epoch);
         let mut target = match target {
             Some(t) => t,
             None => self.pick_up_node(home)?,
@@ -568,6 +667,8 @@ impl Router {
                     let placement = self.placements.get_mut(&gid).expect("placement exists");
                     placement.node = target;
                     placement.local = local;
+                    placement.epoch += 1;
+                    self.retract_copy(gid, old.0, old.1, old.2, reason);
                     return Ok(1);
                 }
                 Err(NodeError::Transport(_)) => {
@@ -580,10 +681,165 @@ impl Router {
         }
     }
 
+    /// Retracts the pre-migration copy of `gid` at `(node, local)`:
+    /// evicted now when the node is reachable, recorded for the heartbeat
+    /// tick to reclaim otherwise.
+    fn retract_copy(
+        &mut self,
+        gid: GlobalSessionId,
+        node: usize,
+        local: usize,
+        epoch: u64,
+        reason: CloseReason,
+    ) {
+        if self.nodes[node].health.is_up() {
+            match self.nodes[node].endpoint.evict(local) {
+                Ok(watermark) => {
+                    self.metrics.closed(reason).inc();
+                    self.obs.record(TraceEvent::SessionClosed { session: gid, watermark });
+                    return;
+                }
+                Err(NodeError::Handler(_)) => {
+                    // The copy is already gone (fresh manager after a
+                    // reboot, or closed earlier) — nothing to reclaim.
+                    return;
+                }
+                Err(NodeError::Transport(_)) => {
+                    // Unreachable after all; fall through to the orphan
+                    // list without touching health — a cleanup call must
+                    // not cascade into another failover.
+                }
+            }
+        }
+        self.orphans.push(OrphanCopy { gid, node, local, epoch });
+    }
+
+    /// Heartbeat-tick reconciliation: for every recorded orphan whose
+    /// node answers again, evict the leftover copy and reclaim its worker
+    /// slot. The placement epoch is the fence — a record whose slot is
+    /// now occupied by a live placement (necessarily under a newer epoch)
+    /// is dropped, never evicted, so reclamation can never tear down a
+    /// current copy. A `Handler` error means the node was rebuilt and the
+    /// copy died with it; the record is dropped as settled.
+    fn reconcile_orphans(&mut self) {
+        if self.orphans.is_empty() {
+            return;
+        }
+        let orphans = std::mem::take(&mut self.orphans);
+        for orphan in orphans {
+            // A live placement on the same slot always carries a newer
+            // epoch (every migration bumps it); either way the slot is
+            // current, not orphaned — drop the record untouched.
+            let fenced =
+                self.placements.values().any(|p| p.node == orphan.node && p.local == orphan.local);
+            if fenced {
+                debug_assert!(self.placements.values().all(|p| {
+                    p.node != orphan.node || p.local != orphan.local || p.epoch != orphan.epoch
+                }));
+                continue;
+            }
+            if !self.nodes[orphan.node].health.is_up() || self.nodes[orphan.node].removed {
+                self.orphans.push(orphan);
+                continue;
+            }
+            match self.nodes[orphan.node].endpoint.evict(orphan.local) {
+                Ok(watermark) => {
+                    self.metrics.orphans_reclaimed.inc();
+                    self.metrics.closed(CloseReason::Orphan).inc();
+                    self.obs.record(TraceEvent::SessionClosed { session: orphan.gid, watermark });
+                }
+                Err(NodeError::Handler(_)) => {}
+                Err(NodeError::Transport(_)) => self.orphans.push(orphan),
+            }
+        }
+    }
+
+    /// Closes session `gid` cluster-wide: tears down the live copy (or,
+    /// when its node is unreachable, records the copy for heartbeat-tick
+    /// reclamation), retires the journal tail with a close record,
+    /// compacts the journal, and removes the placement — after which no
+    /// rejoin or failover will ever restore it. Returns the final ack
+    /// watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown session; journal I/O
+    /// failures.
+    pub fn close_session(&mut self, gid: GlobalSessionId) -> Result<u64, IrError> {
+        let placement = self
+            .placements
+            .get(&gid)
+            .ok_or_else(|| IrError::Unresolved(format!("unknown routed session {gid}")))?;
+        let (node, local, epoch) = (placement.node, placement.local, placement.epoch);
+        let watermark = if self.node_is_up(node) {
+            match self.nodes[node].endpoint.close(local) {
+                // The node's worker journals the close record itself.
+                Ok(watermark) => watermark,
+                Err(e) => return Err(node_ir_error(node, "close", &e)),
+            }
+        } else {
+            // The hosting node is unreachable: retire the session in the
+            // journal directly and leave the stranded copy to the orphan
+            // reconciler (fenced from ever processing a late delivery by
+            // its worker tombstone once evicted, and by the removed
+            // placement meanwhile).
+            let watermark = self.journal.replay()?.get(&gid).map_or(0, |s| s.watermark);
+            self.journal.append(crate::journal::JournalRecord::Close { session: gid })?;
+            self.orphans.push(OrphanCopy { gid, node, local, epoch });
+            watermark
+        };
+        self.placements.remove(&gid);
+        self.metrics.closed(CloseReason::Close).inc();
+        self.obs.record(TraceEvent::SessionClosed { session: gid, watermark });
+        self.journal.compact()?;
+        Ok(watermark)
+    }
+
+    /// Elastic scale-down: migrates every session `node` hosts onto the
+    /// rest of the ring (journal-drain + cache-hit restores — zero
+    /// re-analysis), evicts the drained copies, removes the node from the
+    /// ring for good (never heartbeated, never rejoined, never a
+    /// migration target), and compacts the shared journal down to the
+    /// live set. Returns the number of sessions migrated away.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown node,
+    /// [`IrError::Continuation`] when no other node is up to take the
+    /// sessions, and migration failures.
+    pub fn drain_node(&mut self, node: usize) -> Result<u32, IrError> {
+        if node >= self.nodes.len() {
+            return Err(IrError::Unresolved(format!("unknown node {node}")));
+        }
+        if self.nodes[node].removed {
+            return Err(IrError::Unresolved(format!("node {node} already drained")));
+        }
+        // Off the ring first, so migrations cannot pick it as a target.
+        self.nodes[node].removed = true;
+        let hosted: Vec<GlobalSessionId> =
+            self.placements.iter().filter(|(_, p)| p.node == node).map(|(gid, _)| *gid).collect();
+        let mut migrated = 0u32;
+        if !hosted.is_empty() {
+            let snapshots = self.journal.replay()?;
+            for gid in hosted {
+                migrated += self.migrate(gid, None, &snapshots, CloseReason::Drain)?;
+            }
+            self.metrics.sessions_migrated.add(migrated as u64);
+        }
+        self.nodes[node].up_gauge.set(0.0);
+        self.journal.compact()?;
+        Ok(migrated)
+    }
+
     /// The whole cluster on one surface: the router hub's counters and
     /// gauges under their own identities, plus every node's metrics with
     /// a `node="i"` label injected (so per-node gauges never collide or
-    /// silently sum across nodes). Sorted by identity.
+    /// silently sum across nodes), plus the placement-authoritative
+    /// per-node session counts (`router_placed_sessions{node}` — what the
+    /// router will actually deliver to, immune to the double counting a
+    /// node-reported `sessions_open` suffers while an orphaned copy
+    /// lingers) and the pending-orphan counts
+    /// (`router_orphan_sessions{node}`). Sorted by identity.
     pub fn cluster_stats(&mut self) -> Vec<(String, f64)> {
         let mut out: Vec<(String, f64)> = Vec::new();
         for metric in self.obs().registry().snapshot().metrics {
@@ -596,6 +852,12 @@ impl Router {
                     out.push((format!("{identity}_sum"), h.sum as f64));
                 }
             }
+        }
+        for index in 0..self.nodes.len() {
+            let placed = self.placements.values().filter(|p| p.node == index).count();
+            let orphaned = self.orphans.iter().filter(|o| o.node == index).count();
+            out.push((inject_node_label("router_placed_sessions", index), placed as f64));
+            out.push((inject_node_label("router_orphan_sessions", index), orphaned as f64));
         }
         for (index, slot) in self.nodes.iter_mut().enumerate() {
             for (identity, value) in slot.endpoint.metrics() {
@@ -648,6 +910,9 @@ struct LocalNodeInner {
     config: SessionConfig,
     cache: Arc<AnalysisCache>,
     manager: Option<SessionManager>,
+    /// Heartbeat partition: the node is alive (sessions keep their
+    /// state) but unreachable from the router until [`LocalNode::heal`].
+    partitioned: bool,
 }
 
 impl std::fmt::Debug for LocalNode {
@@ -674,8 +939,23 @@ impl LocalNode {
                 config,
                 cache,
                 manager: Some(manager),
+                partitioned: false,
             })),
         }
+    }
+
+    /// Partitions the node away from the router: heartbeats and every
+    /// endpoint operation fail as transport errors, but the manager (and
+    /// all session state, orphaned copies included) stays alive — the
+    /// "node survived, router thinks it died" half of the failure matrix.
+    pub fn partition(&self) {
+        self.inner.lock().expect("local node poisoned").partitioned = true;
+    }
+
+    /// Heals a [`partition`](LocalNode::partition): the node answers
+    /// again with its state intact.
+    pub fn heal(&self) {
+        self.inner.lock().expect("local node poisoned").partitioned = false;
     }
 
     /// Crashes the node: the manager is shut down and dropped. Deliveries
@@ -704,11 +984,11 @@ impl LocalNode {
         self.inner.lock().expect("local node poisoned").manager.is_some()
     }
 
-    /// Open sessions on the live manager (0 when dead). Orphaned copies
-    /// left by retraction count until the next [`kill`](LocalNode::kill).
+    /// Live sessions on the manager (0 when dead): worker slots actually
+    /// held, so a reclaimed orphan or drained copy no longer counts.
     pub fn sessions(&self) -> usize {
         let inner = self.inner.lock().expect("local node poisoned");
-        inner.manager.as_ref().map_or(0, |m| m.sessions())
+        inner.manager.as_ref().map_or(0, |m| m.live_sessions())
     }
 }
 
@@ -719,6 +999,9 @@ impl NodeEndpoint for LocalNode {
 
     fn open(&mut self, gid: GlobalSessionId, spec: &SessionSpec) -> Result<usize, NodeError> {
         let mut inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Err(partitioned());
+        }
         let manager = inner.manager.as_mut().ok_or_else(down)?;
         manager
             .open_session_as(
@@ -739,6 +1022,9 @@ impl NodeEndpoint for LocalNode {
         snapshot: &SessionSnapshot,
     ) -> Result<usize, NodeError> {
         let mut inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Err(partitioned());
+        }
         let manager = inner.manager.as_mut().ok_or_else(down)?;
         manager
             .restore_session_as(
@@ -755,16 +1041,41 @@ impl NodeEndpoint for LocalNode {
 
     fn deliver(&mut self, local: usize, args: Vec<Value>) -> Result<SessionOutcome, NodeError> {
         let inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Err(partitioned());
+        }
         let manager = inner.manager.as_ref().ok_or_else(down)?;
         manager.deliver(local, move |_| Ok(args)).map_err(NodeError::Handler)
     }
 
+    fn close(&mut self, local: usize) -> Result<u64, NodeError> {
+        let mut inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Err(partitioned());
+        }
+        let manager = inner.manager.as_mut().ok_or_else(down)?;
+        manager.close_session(local).map_err(NodeError::Handler)
+    }
+
+    fn evict(&mut self, local: usize) -> Result<u64, NodeError> {
+        let mut inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Err(partitioned());
+        }
+        let manager = inner.manager.as_mut().ok_or_else(down)?;
+        manager.evict_session(local).map_err(NodeError::Handler)
+    }
+
     fn heartbeat(&mut self) -> bool {
-        self.is_alive()
+        let inner = self.inner.lock().expect("local node poisoned");
+        inner.manager.is_some() && !inner.partitioned
     }
 
     fn metrics(&mut self) -> Vec<(String, f64)> {
         let inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Vec::new();
+        }
         let Some(manager) = inner.manager.as_ref() else {
             return Vec::new();
         };
@@ -794,6 +1105,10 @@ impl NodeEndpoint for LocalNode {
 
 fn down() -> NodeError {
     NodeError::Transport("node is down".into())
+}
+
+fn partitioned() -> NodeError {
+    NodeError::Transport("node is partitioned".into())
 }
 
 #[cfg(test)]
@@ -964,6 +1279,183 @@ mod tests {
             4,
             "2 out on failover + 2 back on rejoin"
         );
+    }
+
+    #[test]
+    fn survived_node_failover_reclaims_orphan_slots() {
+        let (mut router, locals) = cluster(2);
+        let gids: Vec<u64> = (0..4).map(|_| router.open_session(spec()).unwrap()).collect();
+        for &gid in &gids {
+            router.deliver(gid, vec![Value::Int(1)]).unwrap();
+        }
+        assert_eq!((locals[0].sessions(), locals[1].sessions()), (2, 2));
+
+        // Heartbeat partition: node 0 stays alive but stops answering;
+        // the miss budget declares it dead and its sessions migrate.
+        locals[0].partition();
+        for _ in 0..3 {
+            router.heartbeat().unwrap();
+        }
+        assert!(!router.node_is_up(0));
+        assert_eq!(router.placement(gids[0]), Some(1));
+        assert_eq!(locals[0].sessions(), 2, "orphaned copies still hold their slots");
+        assert_eq!(router.orphans(), 2);
+
+        // The partition heals: the rejoin streak brings the node back,
+        // home sessions migrate back (evicting the survivor's copies),
+        // and the same tick reclaims the orphans.
+        locals[0].heal();
+        for _ in 0..3 {
+            router.heartbeat().unwrap();
+        }
+        assert!(router.node_is_up(0));
+        assert_eq!(router.orphans(), 0, "every orphan reclaimed");
+        assert_eq!(
+            (locals[0].sessions(), locals[1].sessions()),
+            (2, 2),
+            "worker slots back to baseline on both nodes"
+        );
+        let snapshot = router.obs().registry().snapshot();
+        assert_eq!(snapshot.counter_sum("orphans_reclaimed_total"), 2);
+        assert_eq!(
+            snapshot.get("sessions_closed_total", &[("reason", "orphan")]),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(
+            snapshot.get("sessions_closed_total", &[("reason", "evict")]),
+            Some(&MetricValue::Counter(2)),
+            "rejoin rebalance evicted the survivor's copies"
+        );
+        // Exactly-once continuity: every session saw exactly 1 delivery.
+        for &gid in &gids {
+            let out = router.deliver(gid, vec![Value::Int(2)]).unwrap();
+            assert_eq!(out.seq, 2, "session {gid} numbered continuously");
+        }
+        let kinds: Vec<&str> =
+            router.obs().trace().snapshot().iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"session_closed"), "{kinds:?}");
+    }
+
+    #[test]
+    fn drain_node_empties_it_and_removes_it_from_the_ring() {
+        let (mut router, locals) = cluster(3);
+        let gids: Vec<u64> = (0..6).map(|_| router.open_session(spec()).unwrap()).collect();
+        for round in [1i64, 2] {
+            for &gid in &gids {
+                router.deliver(gid, vec![Value::Int(round)]).unwrap();
+            }
+        }
+        let misses_before = router.cache().misses();
+        let journal_before = router.journal().len();
+
+        let drained = router.drain_node(0).unwrap();
+        assert_eq!(drained, 2, "node 0 homed gids 0 and 3");
+        assert_eq!(locals[0].sessions(), 0, "drained node emptied");
+        assert!(!router.node_is_up(0), "drained node is off the ring");
+        assert_eq!(router.cache().misses(), misses_before, "zero re-analysis on drain");
+        assert!(
+            router.journal().len() < journal_before,
+            "journal compacted: {} -> {}",
+            journal_before,
+            router.journal().len()
+        );
+        assert_eq!(router.journal().len(), 3 * 6, "live set folds to open/plan/ack per session");
+
+        // The drained node never rejoins, even though it is alive.
+        for _ in 0..5 {
+            router.heartbeat().unwrap();
+        }
+        assert!(!router.node_is_up(0));
+        assert_eq!(locals[0].sessions(), 0);
+        // Traffic continues exactly-once on the remaining nodes.
+        for &gid in &gids {
+            let out = router.deliver(gid, vec![Value::Int(3)]).unwrap();
+            assert_eq!(out.seq, 3);
+            assert_ne!(router.placement(gid), Some(0));
+        }
+        // Out-of-range and double drains are errors.
+        assert!(router.drain_node(9).is_err());
+        assert!(router.drain_node(0).is_err());
+    }
+
+    #[test]
+    fn close_session_retires_cluster_wide_and_compacts() {
+        let (mut router, locals) = cluster(2);
+        let gids: Vec<u64> = (0..4).map(|_| router.open_session(spec()).unwrap()).collect();
+        for &gid in &gids {
+            router.deliver(gid, vec![Value::Int(1)]).unwrap();
+            router.deliver(gid, vec![Value::Int(2)]).unwrap();
+        }
+        let watermark = router.close_session(gids[1]).unwrap();
+        assert_eq!(watermark, 2, "final ack watermark returned");
+        assert_eq!(router.sessions(), 3);
+        assert_eq!(router.placement(gids[1]), None);
+        assert!(!router.journal().replay().unwrap().contains_key(&gids[1]));
+        assert_eq!(locals[1].sessions(), 1, "the copy's worker slot was reclaimed");
+        let err = router.deliver(gids[1], vec![Value::Int(3)]).unwrap_err();
+        assert!(matches!(err, IrError::Unresolved(_)), "{err:?}");
+        assert!(router.close_session(gids[1]).is_err(), "double close rejected");
+    }
+
+    #[test]
+    fn session_closed_during_outage_never_comes_back() {
+        let (mut router, locals) = cluster(2);
+        let gids: Vec<u64> = (0..4).map(|_| router.open_session(spec()).unwrap()).collect();
+        for &gid in &gids {
+            router.deliver(gid, vec![Value::Int(1)]).unwrap();
+        }
+        // Node 0 partitions away; its sessions fail over to node 1.
+        locals[0].partition();
+        for _ in 0..3 {
+            router.heartbeat().unwrap();
+        }
+        assert_eq!(router.placement(gids[0]), Some(1));
+
+        // The client closes gid 0 while its home node is unreachable.
+        let watermark = router.close_session(gids[0]).unwrap();
+        assert_eq!(watermark, 1);
+        assert!(!router.journal().replay().unwrap().contains_key(&gids[0]));
+
+        // The partition heals and the node rejoins: the closed session
+        // must NOT be re-migrated home — the session table (placements)
+        // is authoritative, and its journal records are gone.
+        locals[0].heal();
+        for _ in 0..4 {
+            router.heartbeat().unwrap();
+        }
+        assert!(router.node_is_up(0));
+        assert_eq!(router.placement(gids[0]), None, "closed session stayed closed");
+        assert_eq!(router.placement(gids[2]), Some(0), "its sibling did come home");
+        assert_eq!(locals[0].sessions(), 1, "only the sibling holds a slot on node 0");
+        assert_eq!(router.orphans(), 0, "the stranded copy was reclaimed after heal");
+        let err = router.deliver(gids[0], vec![Value::Int(9)]).unwrap_err();
+        assert!(matches!(err, IrError::Unresolved(_)), "{err:?}");
+        // Everyone else is exactly-once throughout.
+        for &gid in &[gids[1], gids[2], gids[3]] {
+            let out = router.deliver(gid, vec![Value::Int(2)]).unwrap();
+            assert_eq!(out.seq, 2);
+        }
+    }
+
+    #[test]
+    fn cluster_stats_reports_placement_authoritative_counts() {
+        let (mut router, locals) = cluster(2);
+        let gids: Vec<u64> = (0..4).map(|_| router.open_session(spec()).unwrap()).collect();
+        for &gid in &gids {
+            router.deliver(gid, vec![Value::Int(1)]).unwrap();
+        }
+        // Mid-partition (before reclamation) the node's own counts would
+        // double-count the orphaned copies; the placement rows don't.
+        locals[0].partition();
+        for _ in 0..3 {
+            router.heartbeat().unwrap();
+        }
+        let stats = router.cluster_stats();
+        let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v).expect(name);
+        assert_eq!(get("router_placed_sessions{node=\"0\"}"), 0.0);
+        assert_eq!(get("router_placed_sessions{node=\"1\"}"), 4.0);
+        assert_eq!(get("router_orphan_sessions{node=\"0\"}"), 2.0);
+        assert_eq!(get("router_orphan_sessions{node=\"1\"}"), 0.0);
     }
 
     #[test]

@@ -256,6 +256,15 @@ enum Job {
         make_event: EventFn,
         reply: Sender<Result<SessionOutcome, IrError>>,
     },
+    /// Tear down the session in `slot`, replying with its final ack
+    /// watermark. `retire` additionally journals a [`JournalRecord::Close`]
+    /// so replay drops the session for good; an evict (migration cleanup)
+    /// leaves the journal tail for the new host to drain.
+    Close {
+        slot: usize,
+        retire: bool,
+        reply: Sender<Result<u64, IrError>>,
+    },
     Stop,
 }
 
@@ -556,6 +565,9 @@ struct WorkerHandle {
 #[derive(Clone)]
 struct ManagerMetrics {
     sessions_open: Gauge,
+    worker_slots_active: Gauge,
+    closed_close: Counter,
+    closed_evict: Counter,
     messages_total: Counter,
     errors_total: Counter,
     shed_oldest: Counter,
@@ -626,6 +638,12 @@ struct SessionEntry {
     slot: usize,
     handler: Arc<PartitionedHandler>,
     deadletter: Arc<DeadLetterRing>,
+    /// Journal id this session checkpoints under (the manager-local id
+    /// unless opened `_as` a cluster-global id).
+    journal_id: u64,
+    /// Closed sessions keep their entry (slots are positional) but
+    /// refuse deliveries and vanish from the live accessors.
+    closed: bool,
 }
 
 impl std::fmt::Debug for SessionManager {
@@ -655,6 +673,9 @@ impl SessionManager {
         let registry = obs.registry();
         let metrics = ManagerMetrics {
             sessions_open: registry.gauge("sessions_open", &[]),
+            worker_slots_active: registry.gauge("worker_slots_active", &[]),
+            closed_close: registry.counter("sessions_closed_total", &[("reason", "close")]),
+            closed_evict: registry.counter("sessions_closed_total", &[("reason", "evict")]),
             messages_total: registry.counter("session_messages_total", &[]),
             errors_total: registry.counter("session_errors_total", &[]),
             shed_oldest: registry.counter("shed_total", &[("reason", "oldest_drop")]),
@@ -692,17 +713,24 @@ impl SessionManager {
         let queue = Arc::new(ShardQueue::new(ingress_capacity));
         let worker_queue = Arc::clone(&queue);
         let thread = std::thread::spawn(move || {
-            let mut sessions: Vec<SessionState> = Vec::new();
+            // Slots are positional and never reused: a closed session
+            // leaves a `None` tombstone so later slots keep their index,
+            // and the tombstone itself is the fence — a late delivery to
+            // a closed slot errors instead of reaching stale state.
+            let mut sessions: Vec<Option<SessionState>> = Vec::new();
             loop {
                 match worker_queue.pop() {
-                    Job::Open(state) => sessions.push(*state),
+                    Job::Open(state) => sessions.push(Some(*state)),
                     Job::Deliver { slot, class: _, make_event, reply } => {
                         // Worker-level backstop: `SessionState::deliver`
                         // already isolates the handler halves, but a
                         // panic anywhere else in the delivery path must
                         // fail the envelope, never the worker.
                         let result = match sessions.get_mut(slot) {
-                            Some(state) => failure::isolate(|| state.deliver(make_event)),
+                            Some(Some(state)) => failure::isolate(|| state.deliver(make_event)),
+                            Some(None) => {
+                                Err(IrError::Continuation(format!("worker slot {slot} is closed")))
+                            }
                             None => Err(IrError::Continuation(format!(
                                 "no session in worker slot {slot}"
                             ))),
@@ -716,6 +744,23 @@ impl SessionManager {
                         }
                         // A dropped reply handle is not an error: the
                         // caller abandoned a fire-and-forget delivery.
+                        let _ = reply.send(result);
+                    }
+                    Job::Close { slot, retire, reply } => {
+                        let result = match sessions.get_mut(slot).and_then(Option::take) {
+                            Some(state) => {
+                                if retire {
+                                    if let Some((journal, jid)) = &state.journal {
+                                        let _ =
+                                            journal.append(JournalRecord::Close { session: *jid });
+                                    }
+                                }
+                                Ok(state.seq)
+                            }
+                            None => Err(IrError::Unresolved(format!(
+                                "worker slot {slot} is already closed"
+                            ))),
+                        };
                         let _ = reply.send(result);
                     }
                     Job::Stop => break,
@@ -954,12 +999,83 @@ impl SessionManager {
         };
 
         let worker = id % self.workers.len();
+        // Counts closed entries too: worker-side slots are positional
+        // tombstones, so the next slot index is "entries ever assigned
+        // to this worker", not the live count.
         let slot = self.sessions.iter().filter(|s| s.worker == worker).count();
         self.workers[worker].queue.push_control(Job::Open(Box::new(state)));
-        self.sessions.push(SessionEntry { worker, slot, handler, deadletter });
-        self.metrics.sessions_open.set(self.sessions.len() as f64);
+        self.sessions.push(SessionEntry {
+            worker,
+            slot,
+            handler,
+            deadletter,
+            journal_id: journal_id.unwrap_or(id as u64),
+            closed: false,
+        });
+        self.set_live_gauges();
         self.refresh_cache_metrics();
         Ok(id)
+    }
+
+    /// Closes `session` for good: tears down its worker slot, rejects
+    /// anything still in (or later entering) its ingress path, drops its
+    /// dead-letter ring from inspection, and journals a
+    /// [`JournalRecord::Close`] so replay can never resurrect it. Runs
+    /// behind any deliveries already queued (FIFO per worker), so the
+    /// returned final ack watermark is exact.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown or already-closed session.
+    pub fn close_session(&mut self, session: SessionId) -> Result<u64, IrError> {
+        self.close_session_inner(session, true)
+    }
+
+    /// [`close_session`](Self::close_session) without retiring the
+    /// journal tail: the local copy is torn down but the session's
+    /// journaled state survives for whichever node hosts it next. This is
+    /// the migration/orphan-reclaim path a router takes to retract a
+    /// copy it has re-homed elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown or already-closed session.
+    pub fn evict_session(&mut self, session: SessionId) -> Result<u64, IrError> {
+        self.close_session_inner(session, false)
+    }
+
+    fn close_session_inner(&mut self, session: SessionId, retire: bool) -> Result<u64, IrError> {
+        let entry = self
+            .sessions
+            .get(session)
+            .ok_or_else(|| IrError::Unresolved(format!("unknown session {session}")))?;
+        if entry.closed {
+            return Err(IrError::Unresolved(format!("session {session} is closed")));
+        }
+        let (reply, rx) = channel();
+        self.workers[entry.worker].queue.push_control(Job::Close {
+            slot: entry.slot,
+            retire,
+            reply,
+        });
+        let watermark =
+            rx.recv().map_err(|_| IrError::Continuation("session worker stopped".into()))??;
+        let journal_id = entry.journal_id;
+        self.sessions[session].closed = true;
+        if retire {
+            self.metrics.closed_close.inc();
+        } else {
+            self.metrics.closed_evict.inc();
+        }
+        self.set_live_gauges();
+        self.obs.record(TraceEvent::SessionClosed { session: journal_id, watermark });
+        Ok(watermark)
+    }
+
+    fn set_live_gauges(&self) {
+        let live = self.live_sessions() as f64;
+        self.metrics.sessions_open.set(live);
+        self.metrics.worker_slots_active.set(live);
     }
 
     /// Enqueues one delivery on the session's worker and returns
@@ -1001,6 +1117,9 @@ impl SessionManager {
             .sessions
             .get(session)
             .ok_or_else(|| IrError::Unresolved(format!("unknown session {session}")))?;
+        if entry.closed {
+            return Err(IrError::Unresolved(format!("session {session} is closed")));
+        }
         let (reply, rx) = channel();
         let job = Job::Deliver { slot: entry.slot, class, make_event: Box::new(make_event), reply };
         match self.workers[entry.worker].queue.push_deliver(job) {
@@ -1035,14 +1154,16 @@ impl SessionManager {
     }
 
     /// The session's analyzed handler (its plan, metrics hub, history).
+    /// `None` for unknown *and* closed sessions — a closed copy's state
+    /// is gone and must not be inspected or aggregated.
     pub fn handler(&self, session: SessionId) -> Option<&Arc<PartitionedHandler>> {
-        self.sessions.get(session).map(|s| &s.handler)
+        self.sessions.get(session).filter(|s| !s.closed).map(|s| &s.handler)
     }
 
     /// The session's dead-letter ring: quarantined envelopes, oldest
-    /// first (`mpart deadletter` renders this).
+    /// first (`mpart deadletter` renders this). `None` once closed.
     pub fn dead_letters(&self, session: SessionId) -> Option<Vec<DeadLetter>> {
-        self.sessions.get(session).map(|s| s.deadletter.snapshot())
+        self.sessions.get(session).filter(|s| !s.closed).map(|s| s.deadletter.snapshot())
     }
 
     /// Deliveries shed at ingress queues (both policies combined).
@@ -1055,9 +1176,17 @@ impl SessionManager {
         self.recovered
     }
 
-    /// Open sessions.
+    /// Session slots ever opened, closed ones included — the valid id
+    /// range for the per-session accessors. See
+    /// [`live_sessions`](Self::live_sessions) for the live count.
     pub fn sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Sessions still open (worker slots actually held) — the value of
+    /// the `worker_slots_active` gauge.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| !s.closed).count()
     }
 
     /// Worker threads in the pool.
@@ -1211,6 +1340,79 @@ mod tests {
             ref other => panic!("expected gauge, got {other:?}"),
         }
         assert_eq!(mgr.shutdown(), 8);
+    }
+
+    #[test]
+    fn close_session_reclaims_the_slot_and_fences_late_deliveries() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let journal = Arc::new(SessionJournal::in_memory());
+        let mut mgr = SessionManager::new(
+            SessionConfig::default()
+                .with_workers(2)
+                .with_trigger(TriggerPolicy::Never)
+                .with_journal(Arc::clone(&journal)),
+        );
+        let ids = open_n(&mut mgr, &program, 4);
+        for &id in &ids {
+            mgr.deliver(id, job_event(Arc::clone(&program), 32)).unwrap();
+        }
+        assert_eq!(mgr.live_sessions(), 4);
+
+        // Close one session mid-pool: the final watermark is its seq.
+        let watermark = mgr.close_session(ids[1]).unwrap();
+        assert_eq!(watermark, 1, "close reports the final ack watermark");
+        assert_eq!(mgr.live_sessions(), 3);
+        assert_eq!(mgr.sessions(), 4, "slots are positional, never reused");
+        assert!(mgr.handler(ids[1]).is_none(), "closed session not inspectable");
+        assert!(mgr.dead_letters(ids[1]).is_none());
+
+        // Late deliveries are fenced at both layers.
+        let err = mgr.deliver(ids[1], job_event(Arc::clone(&program), 32)).unwrap_err();
+        assert!(matches!(err, IrError::Unresolved(_)), "late delivery fenced: {err:?}");
+        let err = mgr.close_session(ids[1]).unwrap_err();
+        assert!(matches!(err, IrError::Unresolved(_)), "double close rejected: {err:?}");
+
+        // The other sessions' slots are untouched — including a later
+        // slot on the same worker as the closed one.
+        for &id in &[ids[0], ids[2], ids[3]] {
+            let out = mgr.deliver(id, job_event(Arc::clone(&program), 32)).unwrap();
+            assert_eq!(out.seq, 2, "session {id} keeps its stream");
+        }
+
+        // Close journals a Close record; replay drops the session.
+        assert!(!journal.replay().unwrap().contains_key(&(ids[1] as u64)));
+
+        // Evict tears down locally but keeps the journal tail.
+        let watermark = mgr.evict_session(ids[2]).unwrap();
+        assert_eq!(watermark, 2);
+        assert!(journal.replay().unwrap().contains_key(&(ids[2] as u64)));
+        assert_eq!(mgr.live_sessions(), 2);
+
+        // Gauges and counters track the live set.
+        let snap = mgr.obs().registry().snapshot();
+        let value = |name: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.identity() == name)
+                .map(|m| match m.value {
+                    mpart_obs::MetricValue::Counter(v) => v as f64,
+                    mpart_obs::MetricValue::Gauge(v) => v,
+                    ref other => panic!("unexpected metric value {other:?}"),
+                })
+                .unwrap_or_else(|| panic!("{name} registered"))
+        };
+        assert_eq!(value("worker_slots_active"), 2.0);
+        assert_eq!(value("sessions_open"), 2.0);
+        assert_eq!(value("sessions_closed_total{reason=\"close\"}"), 1.0);
+        assert_eq!(value("sessions_closed_total{reason=\"evict\"}"), 1.0);
+        let trace = mgr.obs().trace().snapshot();
+        assert!(
+            trace.iter().any(|r| matches!(
+                r.event,
+                TraceEvent::SessionClosed { session, watermark: 1 } if session == ids[1] as u64
+            )),
+            "close recorded a session_closed trace event"
+        );
     }
 
     #[test]

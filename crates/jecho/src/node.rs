@@ -11,6 +11,8 @@
 //! open <gid> <func> <model>                         -> ok <local>
 //! restore <gid> <func> <model> <epoch> <wm> <flags> <active> -> ok <local>
 //! deliver <local> <arg>...                          -> ok <outcome...>
+//! close <local>                                     -> ok <watermark>
+//! evict <local>                                     -> ok <watermark>
 //! heartbeat                                         -> ok beat
 //! stats                                             -> ok <ident=value>...
 //! ```
@@ -372,6 +374,21 @@ fn handle_request(shared: &ServerShared, line: &str) -> Result<String, IrError> 
             shared.processed.fetch_add(1, Ordering::Relaxed);
             Ok(render_outcome(&outcome))
         }
+        "close" | "evict" => {
+            let [local] = rest[..] else { return Err(malformed(cmd)) };
+            let local: usize = local.parse().map_err(|_| malformed(cmd))?;
+            let mut guard = shared.manager.lock().expect("node poisoned");
+            let manager = guard.as_mut().ok_or_else(node_down)?;
+            // `close` retires the session (journaled tombstone); `evict`
+            // tears down the local copy only, leaving the journal tail
+            // for the session's next host.
+            let watermark = if cmd == "close" {
+                manager.close_session(local)?
+            } else {
+                manager.evict_session(local)?
+            };
+            Ok(watermark.to_string())
+        }
         "stats" => {
             let guard = shared.manager.lock().expect("node poisoned");
             let manager = guard.as_ref().ok_or_else(node_down)?;
@@ -610,6 +627,21 @@ impl NodeEndpoint for TcpNode {
         parse_outcome(&body).map_err(|e| NodeError::Transport(format!("{e}")))
     }
 
+    fn close(&mut self, local: usize) -> Result<u64, NodeError> {
+        self.ensure_connected()?;
+        // Like `deliver`: no resend on transport failure — the node may
+        // have already torn the slot down before the response was lost,
+        // and a retry would surface a confusing "already closed" error.
+        let body = self.exchange(&format!("close {local}"))?;
+        body.trim().parse().map_err(|_| NodeError::Transport(format!("bad watermark `{body}`")))
+    }
+
+    fn evict(&mut self, local: usize) -> Result<u64, NodeError> {
+        self.ensure_connected()?;
+        let body = self.exchange(&format!("evict {local}"))?;
+        body.trim().parse().map_err(|_| NodeError::Transport(format!("bad watermark `{body}`")))
+    }
+
     fn heartbeat(&mut self) -> bool {
         if self.conn.is_none() && Self::dial(self.port).map(|c| self.conn = Some(c)).is_err() {
             return false;
@@ -753,6 +785,65 @@ mod tests {
             "{stats:?}"
         );
 
+        for server in servers {
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn close_and_drain_cross_the_wire() {
+        let program = Arc::new(parse_program(SRC).unwrap());
+        let journal = Arc::new(SessionJournal::in_memory());
+        let cache = Arc::new(AnalysisCache::new(64));
+        let servers: Vec<NodeServer> = (0..2)
+            .map(|i| {
+                let config =
+                    SessionConfig::default().with_workers(1).with_journal(Arc::clone(&journal));
+                NodeServer::spawn(
+                    format!("node-{i}"),
+                    Arc::clone(&program),
+                    config,
+                    Arc::clone(&cache),
+                    BuiltinRegistry::new(),
+                    receiver_builtins(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut router =
+            Router::new(RouterConfig::default(), Arc::clone(&journal), Arc::clone(&cache));
+        for server in &servers {
+            router.add_node(Box::new(TcpNode::new(server.name(), server.port(), fast_policy())));
+        }
+        let spec = SessionSpec {
+            program: Arc::clone(&program),
+            func: "double".into(),
+            model: Arc::new(DataSizeModel::new()),
+            sender_builtins: BuiltinRegistry::new(),
+            receiver_builtins: receiver_builtins(),
+        };
+        let gids: Vec<u64> = (0..4).map(|_| router.open_session(spec.clone()).unwrap()).collect();
+        for &gid in &gids {
+            router.deliver(gid, vec![Value::Int(21)]).unwrap();
+        }
+
+        // Close retires the session cluster-wide: the final watermark
+        // crosses the wire and a late delivery is refused.
+        let watermark = router.close_session(gids[0]).unwrap();
+        assert_eq!(watermark, 1, "final ack watermark crossed the TCP protocol");
+        assert!(router.deliver(gids[0], vec![Value::Int(1)]).is_err());
+        assert_eq!(router.placement(gids[0]), None);
+
+        // Drain empties node 0 over TCP with zero re-analysis.
+        let misses = cache.misses();
+        let moved = router.drain_node(0).unwrap();
+        assert!(moved >= 1, "node 0 hosted at least one live session");
+        assert_eq!(cache.misses(), misses, "drain is restore-only: no re-analysis");
+        assert!(!router.node_is_up(0), "drained node left the ring");
+        for &gid in &gids[1..] {
+            assert_eq!(router.placement(gid), Some(1));
+            router.deliver(gid, vec![Value::Int(2)]).unwrap();
+        }
         for server in servers {
             server.shutdown();
         }

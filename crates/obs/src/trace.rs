@@ -181,6 +181,15 @@ pub enum TraceEvent {
         /// Sessions migrated back onto the node.
         sessions: u32,
     },
+    /// A session copy was torn down: an explicit close, a drained node,
+    /// or an orphaned slot reclaimed after a survived-node failover.
+    SessionClosed {
+        /// Cluster-global session id (or manager-local id for
+        /// single-node closes).
+        session: u64,
+        /// Final ack watermark the copy reported at teardown.
+        watermark: u64,
+    },
     /// An execution engine was installed for a handler (at session open,
     /// or on an explicit re-selection).
     EngineSelected {
@@ -213,6 +222,7 @@ impl TraceEvent {
             TraceEvent::Recovered { .. } => "recovered",
             TraceEvent::NodeFailover { .. } => "node_failover",
             TraceEvent::NodeRejoin { .. } => "node_rejoin",
+            TraceEvent::SessionClosed { .. } => "session_closed",
             TraceEvent::EngineSelected { .. } => "engine_selected",
         }
     }
@@ -271,6 +281,10 @@ impl TraceEvent {
             TraceEvent::NodeRejoin { node, sessions } => vec![
                 ("node".to_string(), Json::U64(node as u64)),
                 ("sessions".to_string(), Json::U64(sessions as u64)),
+            ],
+            TraceEvent::SessionClosed { session, watermark } => vec![
+                ("session".to_string(), Json::U64(session)),
+                ("watermark".to_string(), Json::U64(watermark)),
             ],
             TraceEvent::EngineSelected { compiled, bodies, declined } => vec![
                 ("engine".to_string(), Json::str(if compiled { "compiled" } else { "interp" })),

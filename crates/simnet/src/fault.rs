@@ -227,6 +227,13 @@ pub struct NodeFaultPlan {
     /// `(round, node)` pairs: revive `node` before delivery round
     /// `round`.
     pub revives: Vec<(u64, usize)>,
+    /// `(round, node)` pairs: partition `node` before delivery round
+    /// `round` — heartbeat loss while the host (and its session state)
+    /// stays alive, the survived-node failover shape.
+    pub partitions: Vec<(u64, usize)>,
+    /// `(round, node)` pairs: heal `node`'s partition before round
+    /// `round`.
+    pub heals: Vec<(u64, usize)>,
 }
 
 impl NodeFaultPlan {
@@ -244,6 +251,17 @@ impl NodeFaultPlan {
     /// Schedules `node` to come back before round `round`.
     pub fn with_revive(mut self, round: u64, node: usize) -> Self {
         self.revives.push((round, node));
+        self
+    }
+
+    /// Schedules a heartbeat partition for `node`: unreachable from
+    /// round `from` up to (not including) round `to`, then healed.
+    /// Unlike [`with_kill`](NodeFaultPlan::with_kill) the host keeps its
+    /// session state — on heal the router finds an *orphaned* copy to
+    /// reclaim, not a rebooted blank.
+    pub fn with_partition(mut self, from: u64, to: u64, node: usize) -> Self {
+        self.partitions.push((from, node));
+        self.heals.push((to.max(from), node));
         self
     }
 
@@ -283,9 +301,27 @@ impl NodeFaultPlan {
         self.revives.iter().filter(|(r, _)| *r == round).map(|(_, n)| *n).collect()
     }
 
+    /// Nodes scheduled to partition before round `round`.
+    pub fn partitions_at(&self, round: u64) -> Vec<usize> {
+        self.partitions.iter().filter(|(r, _)| *r == round).map(|(_, n)| *n).collect()
+    }
+
+    /// Nodes whose partitions are scheduled to heal before round
+    /// `round`.
+    pub fn heals_at(&self, round: u64) -> Vec<usize> {
+        self.heals.iter().filter(|(r, _)| *r == round).map(|(_, n)| *n).collect()
+    }
+
     /// Last round any scheduled fault fires at (0 for an empty plan).
     pub fn horizon(&self) -> u64 {
-        self.kills.iter().chain(self.revives.iter()).map(|(r, _)| *r).max().unwrap_or(0)
+        self.kills
+            .iter()
+            .chain(self.revives.iter())
+            .chain(self.partitions.iter())
+            .chain(self.heals.iter())
+            .map(|(r, _)| *r)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -373,6 +409,14 @@ mod tests {
         assert_eq!(plan.kills_at(6), Vec::<usize>::new());
         assert_eq!(plan.revives_at(9), vec![0]);
         assert_eq!(plan.horizon(), 9);
+
+        // Partitions schedule both the cut and the heal, and push the
+        // horizon past the last revive.
+        let plan = plan.with_partition(4, 12, 1);
+        assert_eq!(plan.partitions_at(4), vec![1]);
+        assert_eq!(plan.partitions_at(5), Vec::<usize>::new());
+        assert_eq!(plan.heals_at(12), vec![1]);
+        assert_eq!(plan.horizon(), 12);
 
         // Flapping is seeded: identical seeds produce identical flaps,
         // kills and revives alternate, and rounds are monotone.

@@ -516,22 +516,32 @@ fn route_cluster(
     (nodes, router, gids, cache)
 }
 
-/// Drives `rounds` rounds, applying the node fault plan before each and
-/// heartbeating after each; returns the `(seq, ret)` stream per session.
+/// Drives rounds `start..start + rounds`, applying the node fault plan
+/// before each and heartbeating after each; returns the `(seq, ret)`
+/// stream per session. `start` lets a caller interleave out-of-band
+/// control actions (a drain, a close) between two driven stretches while
+/// keeping round identities absolute.
 fn drive_routed(
     router: &mut Router,
     nodes: &[LocalNode],
     gids: &[u64],
     plan: &NodeFaultPlan,
+    start: u64,
     rounds: u64,
 ) -> BTreeMap<u64, Vec<(u64, i64)>> {
     let mut seen: BTreeMap<u64, Vec<(u64, i64)>> = BTreeMap::new();
-    for round in 0..rounds {
+    for round in start..start + rounds {
         for node in plan.kills_at(round) {
             nodes[node].kill();
         }
         for node in plan.revives_at(round) {
             nodes[node].revive();
+        }
+        for node in plan.partitions_at(round) {
+            nodes[node].partition();
+        }
+        for node in plan.heals_at(round) {
+            nodes[node].heal();
         }
         for gid in gids {
             let out = router
@@ -583,7 +593,7 @@ fn routed_cluster_survives_a_node_kill_with_exactly_once_migration() {
         let misses_after_open = cache.misses();
 
         let plan = NodeFaultPlan::new().with_kill(kill_round, victim);
-        let seen = drive_routed(&mut router, &nodes, &gids, &plan, rounds);
+        let seen = drive_routed(&mut router, &nodes, &gids, &plan, 0, rounds);
 
         assert_exactly_once(&seen, &gids, rounds, &format!("seed {seed}"));
         assert_eq!(
@@ -625,7 +635,7 @@ fn killed_node_rejoins_and_takes_its_home_sessions_back() {
         // Revive at round 7; the hysteresis streak (3 clean beats) makes
         // the rejoin migration land around round 9, inside the run.
         let plan = NodeFaultPlan::new().with_kill(4, victim).with_revive(7, victim);
-        let seen = drive_routed(&mut router, &nodes, &gids, &plan, rounds);
+        let seen = drive_routed(&mut router, &nodes, &gids, &plan, 0, rounds);
 
         assert_exactly_once(&seen, &gids, rounds, &format!("seed {seed}"));
         assert_eq!(cache.misses(), misses_after_open, "seed {seed}: zero re-analysis both ways");
@@ -657,7 +667,7 @@ fn flapping_node_never_breaks_exactly_once() {
         let rounds = plan.horizon() + 6;
         let misses_after_open = cache.misses();
 
-        let seen = drive_routed(&mut router, &nodes, &gids, &plan, rounds);
+        let seen = drive_routed(&mut router, &nodes, &gids, &plan, 0, rounds);
 
         assert_exactly_once(&seen, &gids, rounds, &format!("seed {seed}"));
         assert_eq!(
@@ -679,4 +689,157 @@ fn flapping_node_never_breaks_exactly_once() {
 
 fn homed_count(gids: &[u64], node: usize) -> u64 {
     gids.iter().filter(|g| (**g % 3) as usize == node).count() as u64
+}
+
+/// The survived-node failover drill: a heartbeat partition (node alive,
+/// unreachable) trips failover and strands orphaned copies on the
+/// partitioned host; the heal + rejoin tick must reclaim every orphan so
+/// `worker_slots_active` returns to baseline — the leak this PR closes.
+#[test]
+fn partitioned_node_failover_reclaims_every_orphan_slot() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let (nodes, mut router, gids, cache) = route_cluster(3, 6);
+        let victim = (seed % 3) as usize;
+        let rounds = 16;
+        let misses_after_open = cache.misses();
+        let baseline: Vec<usize> = nodes.iter().map(|n| n.sessions()).collect();
+
+        // Cut at round 3, heal at round 8: the three-miss budget declares
+        // the node dead mid-window, the rejoin streak lands inside the
+        // run.
+        let plan = NodeFaultPlan::new().with_partition(3, 8, victim);
+        let seen = drive_routed(&mut router, &nodes, &gids, &plan, 0, rounds);
+
+        assert_exactly_once(&seen, &gids, rounds, &format!("seed {seed}"));
+        assert_eq!(
+            cache.misses(),
+            misses_after_open,
+            "seed {seed}: orphan reclamation performed zero re-analysis"
+        );
+        assert_eq!(router.orphans(), 0, "seed {seed}: no orphan record left pending");
+        let snapshot = router.obs().registry().snapshot();
+        assert!(
+            snapshot.counter_sum("orphans_reclaimed_total") >= 1,
+            "seed {seed}: the stranded copies were reclaimed, not forgotten"
+        );
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(
+                node.sessions(),
+                baseline[i],
+                "seed {seed}: node {i} worker slots back to baseline — zero leaked"
+            );
+        }
+        let active: f64 = router
+            .cluster_stats()
+            .iter()
+            .filter(|(n, _)| n.starts_with("worker_slots_active{node="))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(
+            active as usize,
+            gids.len(),
+            "seed {seed}: worker_slots_active gauge agrees across the cluster"
+        );
+    }
+}
+
+/// Elastic scale-down mid-run: drain a node between two driven
+/// stretches. The drain must empty the node with zero re-analysis,
+/// compact the shared journal down to the live set, and leave the
+/// exactly-once numbering unbroken across the migration.
+#[test]
+fn drained_node_empties_mid_run_without_breaking_exactly_once() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let (nodes, mut router, gids, cache) = route_cluster(3, 6);
+        let victim = (seed % 3) as usize;
+        let quiet = NodeFaultPlan::new();
+        let mut seen = drive_routed(&mut router, &nodes, &gids, &quiet, 0, 4);
+
+        let misses_before = cache.misses();
+        let journal_before = router.journal().len();
+        let moved = router.drain_node(victim).unwrap();
+        assert_eq!(
+            u64::from(moved),
+            homed_count(&gids, victim),
+            "seed {seed}: every hosted session moved"
+        );
+        assert_eq!(nodes[victim].sessions(), 0, "seed {seed}: the drained node is empty");
+        assert!(!router.node_is_up(victim), "seed {seed}: the drained node left the ring");
+        assert_eq!(cache.misses(), misses_before, "seed {seed}: drain performed zero re-analysis");
+        assert!(
+            router.journal().len() < journal_before,
+            "seed {seed}: drain compacted the journal ({} -> {})",
+            journal_before,
+            router.journal().len()
+        );
+
+        let tail = drive_routed(&mut router, &nodes, &gids, &quiet, 4, 4);
+        for (gid, stream) in tail {
+            seen.entry(gid).or_default().extend(stream);
+        }
+        assert_exactly_once(&seen, &gids, 8, &format!("seed {seed}"));
+        for gid in &gids {
+            assert_ne!(
+                router.placement(*gid),
+                Some(victim),
+                "seed {seed}: nothing is placed on the drained node"
+            );
+        }
+    }
+}
+
+/// The close-during-partition race: a session is closed while its home
+/// node is unreachable. When the partition heals, the rejoin rebalance
+/// must NOT re-migrate the closed session home, and the orphaned copy on
+/// the healed node must still be reclaimed.
+#[test]
+fn close_during_partition_never_resurrects_the_session() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let (nodes, mut router, gids, _cache) = route_cluster(3, 6);
+        let victim = (seed % 3) as usize;
+        let closed = *gids.iter().find(|g| (**g % 3) as usize == victim).unwrap();
+        for &gid in &gids {
+            router.deliver(gid, vec![Value::Int(0), Value::Int(gid as i64)]).unwrap();
+        }
+
+        nodes[victim].partition();
+        for _ in 0..3 {
+            router.heartbeat().unwrap();
+        }
+        assert!(!router.node_is_up(victim), "seed {seed}: the partition tripped failover");
+
+        // Close while the home node is unreachable.
+        let watermark = router.close_session(closed).unwrap();
+        assert_eq!(watermark, 1, "seed {seed}: the final ack watermark survived the outage");
+        assert_eq!(router.placement(closed), None);
+
+        nodes[victim].heal();
+        for _ in 0..4 {
+            router.heartbeat().unwrap();
+        }
+        assert!(router.node_is_up(victim), "seed {seed}: the node rejoined");
+        assert_eq!(
+            router.placement(closed),
+            None,
+            "seed {seed}: rejoin did not resurrect the closed session"
+        );
+        assert!(
+            router.deliver(closed, vec![Value::Int(1), Value::Int(closed as i64)]).is_err(),
+            "seed {seed}: the closed session refuses deliveries"
+        );
+        assert_eq!(router.orphans(), 0, "seed {seed}: the healed node's orphans were reclaimed");
+
+        // The survivors keep serving with unbroken numbering, and no
+        // worker slot anywhere still belongs to the closed session.
+        for &gid in gids.iter().filter(|g| **g != closed) {
+            let out = router.deliver(gid, vec![Value::Int(1), Value::Int(gid as i64)]).unwrap();
+            assert_eq!(out.seq, 2, "seed {seed}: session {gid} numbered continuously");
+        }
+        let total: usize = nodes.iter().map(|n| n.sessions()).sum();
+        assert_eq!(
+            total,
+            gids.len() - 1,
+            "seed {seed}: exactly the closed session's slot was released cluster-wide"
+        );
+    }
 }

@@ -23,7 +23,13 @@ const MESSAGES: u64 = 30;
 /// handler). See OBSERVABILITY.md for the full catalog including the
 /// TCP-transport-only instruments (`reconnects_total`,
 /// `heartbeats_total`, `demod_errors_total`,
-/// `plan_updates_applied_total`), which need a real socket to register.
+/// `plan_updates_applied_total`), which need a real socket to register,
+/// and the session-lifecycle instruments that live on the
+/// `SessionManager` and `Router` hubs rather than a sim session's
+/// (`worker_slots_active`, `sessions_closed_total{reason}`,
+/// `orphans_reclaimed_total`, `router_placed_sessions{node}`,
+/// `router_orphan_sessions{node}`), covered by the router and chaos
+/// drill suites.
 ///
 /// This list is **append-only**: add new instruments at will, but never
 /// rename or remove an entry without a deliberate, documented break.
