@@ -1,0 +1,340 @@
+//! Transactional reconfiguration benchmark: two-phase install overhead
+//! and guard-breach rollback latency (DESIGN.md §16).
+//!
+//! Three cells drive the same single-worker session through repeated
+//! plan switches between two valid cuts:
+//!
+//! - **unguarded** — prepare + commit with no [`mpart::reconfig::PlanGuard`] armed; the
+//!   two-phase machinery alone. The prepare/commit columns are the raw
+//!   per-switch control-plane overhead;
+//! - **steady guarded** — a guard watches a `--canary <K>` envelope
+//!   window after every commit; all deliveries succeed, so every switch
+//!   promotes cleanly. Comparing goodput against the unguarded cell
+//!   prices the guard's per-envelope observation;
+//! - **guard breach** — one switch, then a trap envelope inside the
+//!   canary window. The guard sees the error rate breach the threshold
+//!   and rolls back *inline*: that delivery is the **time-to-rollback**
+//!   column (restore of the retained prior epoch included).
+//!
+//! Asserted invariants (the bench fails loudly, not quietly): steady
+//! cells see **zero rollbacks** and end on the plan they committed; the
+//! breach cell rolls back to the exact pre-switch active set, quarantines
+//! the breaching cut (an immediate re-prepare is refused), and loses **no
+//! envelopes** — sequence numbers stay contiguous through
+//! prepare → commit → rollback and the final ack watermark counts every
+//! successful delivery on both sides of the breach.
+//!
+//! Knobs: `--switches <N>`, `--canary <K>`, `--warmup <W>` deliveries
+//! between switches, `--smoke` (short run for CI), `--json <path>` for
+//! the machine-readable `BENCH_rollback.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpart::profile::TriggerPolicy;
+use mpart::reconfig::GuardConfig;
+use mpart::session::{PrepareOutcome, SessionConfig, SessionManager};
+use mpart::PartitionedHandler;
+use mpart_bench::table::{arg_usize, f2, Table};
+use mpart_bench::Report;
+use mpart_cost::DataSizeModel;
+use mpart_ir::interp::BuiltinRegistry;
+use mpart_ir::parse::parse_program;
+use mpart_ir::{Program, Value};
+
+/// A linear handler with several splittable edges, so the bench can
+/// ping-pong between two distinct valid singleton cuts.
+const SRC: &str = r#"
+    fn guarded(x) {
+        a = x * 3
+        b = a + 7
+        c = b * 2
+        native emit(c)
+        return c
+    }
+"#;
+
+const PREPARE_BUDGET: Duration = Duration::from_secs(2);
+
+fn receiver_builtins() -> BuiltinRegistry {
+    let mut b = BuiltinRegistry::new();
+    b.register_native("emit", 1, |_, _| Ok(Value::Null));
+    b
+}
+
+fn open_session(program: &Arc<Program>, guard: Option<GuardConfig>) -> (SessionManager, usize) {
+    // Explicit switches only — the trigger never fires on its own, so
+    // every epoch in the run is one the bench committed itself.
+    let mut config = SessionConfig::default().with_workers(1).with_trigger(TriggerPolicy::Never);
+    if let Some(g) = guard {
+        config = config.with_guard(g);
+    }
+    let mut mgr = SessionManager::new(config);
+    let id = mgr
+        .open_session(
+            Arc::clone(program),
+            "guarded",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver_builtins(),
+        )
+        .expect("analysis");
+    (mgr, id)
+}
+
+/// All valid singleton cuts of the handler, in PSE order.
+fn valid_cuts(handler: &PartitionedHandler) -> Vec<Vec<usize>> {
+    let n = handler.analysis().pses().len();
+    (0..n).map(|p| vec![p]).filter(|c| handler.validate_candidate(c).is_ok()).collect()
+}
+
+fn deliver_ok(mgr: &SessionManager, id: usize, seq: &mut u64) {
+    *seq += 1;
+    let out = mgr.deliver(id, move |_| Ok(vec![Value::Int(21)])).expect("deliver");
+    assert_eq!(out.seq, *seq, "sequence numbering stayed contiguous");
+}
+
+struct SteadyCell {
+    label: &'static str,
+    elapsed_ms: f64,
+    goodput: f64,
+    switches: usize,
+    prepare_micros_per_switch: u64,
+    commit_micros_per_switch: u64,
+    rollbacks: u64,
+    watermark: u64,
+}
+
+/// `switches` two-phase switches between alternating cuts, each followed
+/// by `warmup` clean deliveries (enough to close a `canary`-envelope
+/// watch window when a guard is armed, so every switch promotes).
+fn run_steady(
+    label: &'static str,
+    program: &Arc<Program>,
+    guard: Option<GuardConfig>,
+    canary: u64,
+    switches: usize,
+    warmup: usize,
+) -> SteadyCell {
+    let (mut mgr, id) = open_session(program, guard);
+    let handler = Arc::clone(mgr.handler(id).expect("session"));
+    let cuts = valid_cuts(&handler);
+    assert!(cuts.len() >= 2, "bench handler has at least two valid singleton cuts");
+
+    let rounds = warmup + (canary as usize).max(warmup);
+    let mut seq = 0u64;
+    let mut prepare_micros = 0u128;
+    let mut commit_micros = 0u128;
+
+    let start = Instant::now();
+    // Baseline window before the first switch feeds the guard its
+    // pre-switch error/latency reference.
+    for _ in 0..rounds {
+        deliver_ok(&mgr, id, &mut seq);
+    }
+    for _ in 0..switches {
+        let target =
+            cuts.iter().find(|c| !handler.plan().active_eq(c)).expect("alternate cut").clone();
+        let t = Instant::now();
+        let outcome = mgr.prepare_plan(id, &target, PREPARE_BUDGET).expect("prepare");
+        prepare_micros += t.elapsed().as_micros();
+        assert!(matches!(outcome, PrepareOutcome::Ready), "{label}: prepare accepted the cut");
+        let t = Instant::now();
+        let epoch = mgr.commit_plan(id, &target).expect("commit");
+        commit_micros += t.elapsed().as_micros();
+        assert!(epoch > 0, "{label}: commit bumped the epoch");
+        // Enough clean deliveries to close the canary window.
+        for _ in 0..rounds {
+            deliver_ok(&mgr, id, &mut seq);
+        }
+        assert!(
+            handler.plan().active_eq(&target),
+            "{label}: a clean canary window promoted the committed plan"
+        );
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let rollbacks = handler.obs().registry().snapshot().counter_sum("plan_rollbacks_total");
+    let watermark = mgr.close_session(id).expect("close");
+    mgr.shutdown();
+    assert_eq!(rollbacks, 0, "{label}: no rollback in a breach-free run");
+    assert_eq!(watermark, seq, "{label}: every delivery acked — the watermark is contiguous");
+
+    SteadyCell {
+        label,
+        elapsed_ms,
+        goodput: seq as f64 / (elapsed_ms / 1e3),
+        switches,
+        prepare_micros_per_switch: (prepare_micros / switches as u128) as u64,
+        commit_micros_per_switch: (commit_micros / switches as u128) as u64,
+        rollbacks,
+        watermark,
+    }
+}
+
+struct BreachCell {
+    elapsed_ms: f64,
+    goodput: f64,
+    prepare_micros: u64,
+    commit_micros: u64,
+    time_to_rollback_micros: u64,
+    rollbacks: u64,
+    watermark: u64,
+}
+
+/// One switch, one trap inside the canary window: times the inline
+/// rollback and checks the transactional invariants end to end.
+fn run_breach(program: &Arc<Program>, canary: u64, warmup: usize) -> BreachCell {
+    let guard = GuardConfig { canary, breach_pct: 25.0, quarantine_decay: 32 };
+    let (mut mgr, id) = open_session(program, Some(guard));
+    let handler = Arc::clone(mgr.handler(id).expect("session"));
+    let cuts = valid_cuts(&handler);
+
+    let mut seq = 0u64;
+    let start = Instant::now();
+    for _ in 0..warmup {
+        deliver_ok(&mgr, id, &mut seq);
+    }
+    let before = handler.plan().active();
+    let alt = cuts.iter().find(|c| !handler.plan().active_eq(c)).expect("alternate cut").clone();
+
+    let t = Instant::now();
+    let outcome = mgr.prepare_plan(id, &alt, PREPARE_BUDGET).expect("prepare");
+    let prepare_micros = t.elapsed().as_micros() as u64;
+    assert!(matches!(outcome, PrepareOutcome::Ready), "breach: prepare accepted the cut");
+    let t = Instant::now();
+    mgr.commit_plan(id, &alt).expect("commit");
+    let commit_micros = t.elapsed().as_micros() as u64;
+
+    // The trap envelope breaches the guard (error rate jumps from the
+    // clean baseline) and the rollback runs inline in this delivery:
+    // restore of the retained prior epoch, quarantine of the breaching
+    // cut, trace event, counters. The trap still consumes a sequence
+    // number — errors are dead-lettered, not lost.
+    seq += 1;
+    let t = Instant::now();
+    let err = mgr.deliver(id, |_| Ok(vec![Value::str("not a number")]));
+    let time_to_rollback_micros = t.elapsed().as_micros() as u64;
+    assert!(err.is_err(), "breach: the trap envelope surfaced its handler error");
+
+    assert!(
+        handler.plan().active_eq(&before),
+        "breach: rollback restored the pre-switch plan {before:?}, got {:?}",
+        handler.plan().active()
+    );
+    assert!(
+        matches!(mgr.prepare_plan(id, &alt, PREPARE_BUDGET), Ok(PrepareOutcome::Quarantined)),
+        "breach: the rolled-back cut is quarantined against an immediate re-prepare"
+    );
+    // Service continues on the restored plan with contiguous numbering.
+    for _ in 0..warmup {
+        deliver_ok(&mgr, id, &mut seq);
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let snapshot = handler.obs().registry().snapshot();
+    let rollbacks = snapshot.counter_sum("plan_rollbacks_total");
+    let watermark = mgr.close_session(id).expect("close");
+    mgr.shutdown();
+    assert_eq!(rollbacks, 1, "breach: exactly one guard rollback");
+    // The trap consumed a sequence number (dead-lettered, not lost), so
+    // the final watermark is contiguous through the whole run.
+    assert_eq!(watermark, seq, "breach: zero envelope loss across the rollback");
+
+    BreachCell {
+        elapsed_ms,
+        goodput: seq as f64 / (elapsed_ms / 1e3),
+        prepare_micros,
+        commit_micros,
+        time_to_rollback_micros,
+        rollbacks,
+        watermark,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let switches = arg_usize("switches", if smoke { 4 } else { 16 });
+    let canary = arg_usize("canary", if smoke { 4 } else { 8 }) as u64;
+    let warmup = arg_usize("warmup", if smoke { 4 } else { 12 });
+
+    let program = Arc::new(parse_program(SRC).expect("bench program"));
+    let guard = GuardConfig { canary, breach_pct: 25.0, quarantine_decay: 32 };
+    let unguarded = run_steady("unguarded", &program, None, canary, switches, warmup);
+    let steady = run_steady("steady guarded", &program, Some(guard), canary, switches, warmup);
+    let breach = run_breach(&program, canary, warmup);
+
+    let mut table = Table::new(
+        "Transactional reconfiguration: two-phase overhead and rollback latency",
+        &[
+            "cell",
+            "switches",
+            "canary",
+            "elapsed ms",
+            "msgs/sec",
+            "prepare us/switch",
+            "commit us/switch",
+            "rollback us",
+            "rollbacks",
+            "watermark",
+        ],
+    );
+    for cell in [&unguarded, &steady] {
+        table.row(vec![
+            cell.label.to_string(),
+            cell.switches.to_string(),
+            canary.to_string(),
+            f2(cell.elapsed_ms),
+            f2(cell.goodput),
+            cell.prepare_micros_per_switch.to_string(),
+            cell.commit_micros_per_switch.to_string(),
+            "-".to_string(),
+            cell.rollbacks.to_string(),
+            cell.watermark.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "guard breach".to_string(),
+        "1".to_string(),
+        canary.to_string(),
+        f2(breach.elapsed_ms),
+        f2(breach.goodput),
+        breach.prepare_micros.to_string(),
+        breach.commit_micros.to_string(),
+        breach.time_to_rollback_micros.to_string(),
+        breach.rollbacks.to_string(),
+        breach.watermark.to_string(),
+    ]);
+    table.note(
+        "rollback us is the trap delivery that breaches the guard, timed \
+         end to end: handler error, guard verdict, restore of the retained \
+         prior epoch, and quarantine of the breaching cut — all inline; \
+         prepare/commit columns are the two-phase control-plane overhead \
+         per switch",
+    );
+    table.print();
+
+    println!(
+        "guard breach rolled back in {} us ({} us prepare + {} us commit per switch; \
+         steady guarded {:.0} msgs/sec vs unguarded {:.0} msgs/sec)",
+        breach.time_to_rollback_micros,
+        steady.prepare_micros_per_switch,
+        steady.commit_micros_per_switch,
+        steady.goodput,
+        unguarded.goodput,
+    );
+
+    let mut report = Report::new("rollback");
+    report
+        .param_u64("switches", switches as u64)
+        .param_u64("canary", canary)
+        .param_u64("warmup", warmup as u64)
+        .param_u64("smoke", u64::from(smoke))
+        .param_u64("prepare_micros_per_switch", steady.prepare_micros_per_switch)
+        .param_u64("commit_micros_per_switch", steady.commit_micros_per_switch)
+        .param_u64("time_to_rollback_micros", breach.time_to_rollback_micros)
+        .param_u64("rollbacks", breach.rollbacks)
+        .param_u64("breach_watermark", breach.watermark)
+        .add_table(&table);
+    report.finish();
+}

@@ -54,7 +54,7 @@ impl Report {
 
     /// Mirrors a rendered [`Table`] into the report.
     pub fn add_table(&mut self, table: &Table) -> &mut Self {
-        let columns = Json::Arr(table.headers().iter().map(|h| Json::str(h)).collect());
+        let columns = Json::Arr(table.headers().iter().map(Json::str).collect());
         let rows = Json::Arr(
             table
                 .rows()

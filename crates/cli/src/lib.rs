@@ -104,8 +104,8 @@ pub const USAGE: &str = "usage:
   mpart trace <file> <fn> [args..] [--session] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] [--model ...] [--messages <N>] [--seed <N>] [--json]
   mpart stats <file> <fn> [args..] --cluster [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--drain <NODE>] [--json]
-  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--queue <N>] [--journal <path>] [--model ...] [--auto-model] [--engine interp|compiled|auto]
-  mpart route <file> <fn> [args..] [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--drain <NODE>] [--ports <p1,p2,..>] [--model ...]
+  mpart serve <file> <fn> [args..] [--sessions <N>] [--workers <N>] [--messages <N>] [--queue <N>] [--journal <path>] [--model ...] [--auto-model] [--engine interp|compiled|auto] [--canary <K>] [--guard <pct>]
+  mpart route <file> <fn> [args..] [--nodes <N>] [--sessions <N>] [--messages <N>] [--kill <NODE>] [--drain <NODE>] [--ports <p1,p2,..>] [--model ...] [--canary <K>] [--guard <pct>]
   mpart deadletter <file> <fn> [args..] [--messages <N>] [--seed <N>] [--poison <SEQ>] [--json]
   mpart help";
 
@@ -418,6 +418,44 @@ fn opt_u64(rest: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
     }
 }
 
+/// Parses `--canary <K>` / `--guard <pct>` into a plan-guard config:
+/// `K` canary envelopes watched after every plan commit, rolled back on
+/// a `pct`-percent regression over the pre-switch baseline. `None` when
+/// neither flag is given (switches stay unguarded, the pre-§16
+/// behavior); invalid values are one-line usage errors (exit 2).
+fn guard_opts(rest: &[String]) -> Result<Option<mpart::reconfig::GuardConfig>, CliError> {
+    let has_canary = has_flag(rest, "--canary");
+    let has_guard = has_flag(rest, "--guard");
+    if !has_canary && !has_guard {
+        return Ok(None);
+    }
+    let mut config = mpart::reconfig::GuardConfig::default();
+    if has_canary {
+        let k = opt_u64(rest, "--canary", 0)?;
+        if k == 0 {
+            return Err(CliError::Usage(
+                "`--canary` must watch at least 1 envelope (omit the flag to disable the guard)"
+                    .into(),
+            ));
+        }
+        config.canary = k;
+    }
+    if has_guard {
+        let i = rest.iter().position(|a| a == "--guard").expect("checked by has_flag");
+        let pct = rest
+            .get(i + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .ok_or_else(|| CliError::Usage("`--guard` requires a number".into()))?;
+        if !(pct > 0.0 && pct <= 100.0) {
+            return Err(CliError::Usage(format!(
+                "`--guard {pct}` is out of range (breach threshold must be in (0, 100] percent)"
+            )));
+        }
+        config.breach_pct = pct;
+    }
+    Ok(Some(config))
+}
+
 /// Parses `--<flag> <value>` from `rest`; `None` when the flag is absent.
 fn opt_str(rest: &[String], flag: &str) -> Result<Option<String>, CliError> {
     match rest.iter().position(|a| a == flag) {
@@ -447,6 +485,8 @@ fn event_args(rest: &[String]) -> Vec<Value> {
         "--drain",
         "--ports",
         "--engine",
+        "--canary",
+        "--guard",
     ];
     const BARE: &[&str] = &["--session", "--json", "--auto-model", "--cluster"];
     let mut args = Vec::new();
@@ -589,6 +629,10 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
     if auto {
         config = config.with_auto_model(mpart::reconfig::ModelSelectorConfig::default());
     }
+    let guard = guard_opts(rest)?;
+    if let Some(g) = guard {
+        config = config.with_guard(g);
+    }
     let engine = match opt_str(rest, "--engine")? {
         Some(s) => s.parse::<EngineChoice>().map_err(|_| {
             CliError::Usage("`--engine` must be one of interp|compiled|auto".into())
@@ -620,6 +664,17 @@ fn cmd_serve(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
         writeln!(out, "served `{func}`: {sessions} sessions over {} workers", manager.workers());
     if let Some(h) = manager.handler(0) {
         let _ = writeln!(out, "  engine: requested {engine}, running `{}`", h.engine().name());
+    }
+    if let Some(g) = guard {
+        let rollbacks: u64 = (0..sessions)
+            .filter_map(|s| manager.handler(s))
+            .map(|h| h.obs().registry().snapshot().counter_sum("plan_rollbacks_total"))
+            .sum();
+        let _ = writeln!(
+            out,
+            "  plan guard: {}-envelope canary, {}% breach threshold, {rollbacks} rollbacks",
+            g.canary, g.breach_pct,
+        );
     }
     let _ = writeln!(out, "  delivered {} messages ({messages} per session)", manager.processed());
     let cache = manager.cache();
@@ -792,7 +847,12 @@ fn cmd_route(file: &str, func: &str, rest: &[String]) -> Result<String, CliError
 
     let journal = Arc::new(SessionJournal::in_memory());
     let cache = Arc::new(AnalysisCache::new(64));
-    let config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    let mut config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    if let Some(g) = guard_opts(rest)? {
+        // Every node runs the same guard config, so a mid-canary session
+        // that migrates on failover resumes its window at the new host.
+        config = config.with_guard(g);
+    }
     let mut servers = Vec::with_capacity(opts.nodes);
     for i in 0..opts.nodes {
         let port = ports.as_ref().map_or(0, |p| p[i]);
@@ -1443,6 +1503,50 @@ mod tests {
             CliError::Usage(m) => assert!(m.contains("--queue"), "{m}"),
             other => panic!("expected a usage error, got {other}"),
         }
+    }
+
+    #[test]
+    fn serve_and_route_reject_bad_guard_flags_with_usage_errors() {
+        let file = demo_file();
+        for bad in [
+            &["serve", file.as_str(), "handle", "5", "3", "--canary", "0"][..],
+            &["serve", file.as_str(), "handle", "5", "3", "--guard", "0"],
+            &["serve", file.as_str(), "handle", "5", "3", "--guard", "-5"],
+            &["serve", file.as_str(), "handle", "5", "3", "--guard", "150"],
+            &["serve", file.as_str(), "handle", "5", "3", "--guard", "lots"],
+            &["route", file.as_str(), "handle", "5", "3", "--canary", "0"],
+            &["route", file.as_str(), "handle", "5", "3", "--guard", "101"],
+        ] {
+            match execute(&args(bad)) {
+                Err(CliError::Usage(m)) => {
+                    assert!(!m.contains('\n'), "one-line usage error: {m}");
+                    assert!(m.contains("--canary") || m.contains("--guard"), "{m}");
+                }
+                other => panic!("expected a usage error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serve_guard_flags_arm_the_plan_guard() {
+        let file = demo_file();
+        let out = execute(&args(&[
+            "serve",
+            file.as_str(),
+            "handle",
+            "5",
+            "3",
+            "--sessions",
+            "1",
+            "--messages",
+            "3",
+            "--canary",
+            "4",
+            "--guard",
+            "50",
+        ]))
+        .unwrap();
+        assert!(out.contains("plan guard: 4-envelope canary, 50% breach threshold"), "{out}");
     }
 
     #[test]

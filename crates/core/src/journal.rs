@@ -47,9 +47,33 @@ pub enum JournalRecord {
     Ack { session: u64, watermark: u64 },
     /// Profiling flags changed: `(session, PSE bitmask)`.
     Flags { session: u64, mask: u64 },
+    /// A canary window opened, progressed, or ended: `(session,
+    /// prior_epoch, epoch, remaining, prior active set)`. `remaining == 0`
+    /// means the window closed (promoted or rolled back) — replay clears
+    /// the guard; a positive `remaining` means a restart must resume the
+    /// canary with that many envelopes left to watch.
+    Guard { session: u64, prior_epoch: u64, epoch: u64, remaining: u64, prior_active: Vec<PseId> },
+    /// A quarantine entry changed: `(session, remaining ttl, active
+    /// set)`. `ttl == 0` removes the entry on replay.
+    Quarantine { session: u64, ttl: u32, active: Vec<PseId> },
     /// The session closed for good: replay drops every earlier record
     /// for it, so a restart can never resurrect a closed session.
     Close { session: u64 },
+}
+
+/// Renders an active set as `2,5` (or `-` when empty).
+fn render_set(active: &[PseId]) -> String {
+    let mut set = String::new();
+    for (i, pse) in active.iter().enumerate() {
+        if i > 0 {
+            set.push(',');
+        }
+        let _ = write!(set, "{pse}");
+    }
+    if set.is_empty() {
+        set.push('-');
+    }
+    set
 }
 
 impl JournalRecord {
@@ -60,21 +84,20 @@ impl JournalRecord {
                 format!("open {session} {func} {model}")
             }
             JournalRecord::PlanCommit { session, epoch, active, reason } => {
-                let mut set = String::new();
-                for (i, pse) in active.iter().enumerate() {
-                    if i > 0 {
-                        set.push(',');
-                    }
-                    let _ = write!(set, "{pse}");
-                }
-                if set.is_empty() {
-                    set.push('-');
-                }
-                format!("plan {session} {epoch} {set} {reason}")
+                format!("plan {session} {epoch} {} {reason}", render_set(active))
             }
             JournalRecord::ModelCommit { session, model } => format!("model {session} {model}"),
             JournalRecord::Ack { session, watermark } => format!("ack {session} {watermark}"),
             JournalRecord::Flags { session, mask } => format!("flags {session} {mask}"),
+            JournalRecord::Guard { session, prior_epoch, epoch, remaining, prior_active } => {
+                format!(
+                    "guard {session} {prior_epoch} {epoch} {remaining} {}",
+                    render_set(prior_active)
+                )
+            }
+            JournalRecord::Quarantine { session, ttl, active } => {
+                format!("quar {session} {ttl} {}", render_set(active))
+            }
             JournalRecord::Close { session } => format!("close {session}"),
         }
     }
@@ -102,13 +125,7 @@ impl JournalRecord {
                     .parse()
                     .map_err(|_| bad("bad epoch"))?;
                 let set = parts.next().ok_or_else(|| bad("missing active set"))?;
-                let active = if set == "-" {
-                    vec![]
-                } else {
-                    set.split(',')
-                        .map(|p| p.parse::<PseId>().map_err(|_| bad("bad pse id")))
-                        .collect::<Result<Vec<_>, _>>()?
-                };
+                let active = parse_set(set).map_err(&bad)?;
                 let reason = parts.next().ok_or_else(|| bad("missing reason"))?.to_string();
                 JournalRecord::PlanCommit { session, epoch, active, reason }
             }
@@ -132,11 +149,62 @@ impl JournalRecord {
                     .parse()
                     .map_err(|_| bad("bad mask"))?,
             },
+            "guard" => {
+                let prior_epoch = parts
+                    .next()
+                    .ok_or_else(|| bad("missing prior epoch"))?
+                    .parse()
+                    .map_err(|_| bad("bad prior epoch"))?;
+                let epoch = parts
+                    .next()
+                    .ok_or_else(|| bad("missing epoch"))?
+                    .parse()
+                    .map_err(|_| bad("bad epoch"))?;
+                let remaining = parts
+                    .next()
+                    .ok_or_else(|| bad("missing remaining"))?
+                    .parse()
+                    .map_err(|_| bad("bad remaining"))?;
+                let set = parts.next().ok_or_else(|| bad("missing prior active set"))?;
+                let prior_active = parse_set(set).map_err(&bad)?;
+                JournalRecord::Guard { session, prior_epoch, epoch, remaining, prior_active }
+            }
+            "quar" => {
+                let ttl = parts
+                    .next()
+                    .ok_or_else(|| bad("missing ttl"))?
+                    .parse()
+                    .map_err(|_| bad("bad ttl"))?;
+                let set = parts.next().ok_or_else(|| bad("missing active set"))?;
+                let active = parse_set(set).map_err(&bad)?;
+                JournalRecord::Quarantine { session, ttl, active }
+            }
             "close" => JournalRecord::Close { session },
             other => return Err(bad(&format!("unknown record kind {other:?}"))),
         };
         Ok(record)
     }
+}
+
+/// Parses a `2,5` / `-` active-set field.
+fn parse_set(set: &str) -> Result<Vec<PseId>, &'static str> {
+    if set == "-" {
+        return Ok(vec![]);
+    }
+    set.split(',').map(|p| p.parse::<PseId>().map_err(|_| "bad pse id")).collect()
+}
+
+/// A mid-flight canary window recovered from the journal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GuardSnapshot {
+    /// Epoch that was serving before the watched commit.
+    pub prior_epoch: u64,
+    /// The watched plan's epoch.
+    pub epoch: u64,
+    /// Envelopes left in the canary window.
+    pub remaining: u64,
+    /// Active set to reinstall on rollback.
+    pub prior_active: Vec<PseId>,
 }
 
 /// The folded recovery state of one journaled session.
@@ -156,6 +224,10 @@ pub struct SessionSnapshot {
     pub watermark: u64,
     /// Profiling-flag bitmask last recorded.
     pub flags: u64,
+    /// Canary window still open at the time of the crash, if any.
+    pub guard: Option<GuardSnapshot>,
+    /// Quarantined active sets with their remaining ttl.
+    pub quarantined: Vec<(Vec<PseId>, u32)>,
 }
 
 /// The append-only session journal. In-memory always; file-backed when
@@ -262,6 +334,22 @@ impl SessionJournal {
                 JournalRecord::Flags { session, mask } => {
                     sessions.entry(session).or_default().flags = mask;
                 }
+                JournalRecord::Guard { session, prior_epoch, epoch, remaining, prior_active } => {
+                    let snap: &mut SessionSnapshot = sessions.entry(session).or_default();
+                    snap.guard = (remaining > 0).then_some(GuardSnapshot {
+                        prior_epoch,
+                        epoch,
+                        remaining,
+                        prior_active,
+                    });
+                }
+                JournalRecord::Quarantine { session, ttl, active } => {
+                    let snap: &mut SessionSnapshot = sessions.entry(session).or_default();
+                    snap.quarantined.retain(|(set, _)| *set != active);
+                    if ttl > 0 {
+                        snap.quarantined.push((active, ttl));
+                    }
+                }
                 JournalRecord::Close { session } => {
                     sessions.remove(&session);
                 }
@@ -272,9 +360,11 @@ impl SessionJournal {
 
     /// Rewrites the log to the folded live set: every closed or
     /// migrated-away session's records vanish, and each live session
-    /// folds to at most four lines (`open`/`plan`/`ack`/`flags` — the
-    /// exact snapshot [`SessionJournal::replay`] would produce, with
-    /// default-valued `ack 0` / `flags 0` lines elided). The backing
+    /// folds to a handful of lines (`open`/`plan`/`ack`/`flags`, plus a
+    /// `guard` line for an open canary window and one `quar` line per
+    /// quarantine entry — the exact snapshot [`SessionJournal::replay`]
+    /// would produce, with default-valued `ack 0` / `flags 0` lines and
+    /// closed guards elided). The backing
     /// file, when present, is rewritten atomically-enough for a single
     /// writer (truncate + write). Returns the number of lines dropped.
     pub fn compact(&self) -> Result<usize, IrError> {
@@ -310,6 +400,28 @@ impl SessionJournal {
             if snap.flags > 0 {
                 compacted
                     .push(JournalRecord::Flags { session: *session, mask: snap.flags }.render());
+            }
+            if let Some(guard) = &snap.guard {
+                compacted.push(
+                    JournalRecord::Guard {
+                        session: *session,
+                        prior_epoch: guard.prior_epoch,
+                        epoch: guard.epoch,
+                        remaining: guard.remaining,
+                        prior_active: guard.prior_active.clone(),
+                    }
+                    .render(),
+                );
+            }
+            for (active, ttl) in &snap.quarantined {
+                compacted.push(
+                    JournalRecord::Quarantine {
+                        session: *session,
+                        ttl: *ttl,
+                        active: active.clone(),
+                    }
+                    .render(),
+                );
             }
         }
         let mut lines = self.lines.lock().expect("journal poisoned");
@@ -363,7 +475,24 @@ mod tests {
 
     #[test]
     fn records_render_and_parse_round_trip() {
-        for record in sample_records() {
+        let mut records = sample_records();
+        records.push(JournalRecord::Guard {
+            session: 0,
+            prior_epoch: 2,
+            epoch: 3,
+            remaining: 5,
+            prior_active: vec![2, 5],
+        });
+        records.push(JournalRecord::Guard {
+            session: 0,
+            prior_epoch: 2,
+            epoch: 3,
+            remaining: 0,
+            prior_active: vec![],
+        });
+        records.push(JournalRecord::Quarantine { session: 0, ttl: 7, active: vec![1, 4] });
+        records.push(JournalRecord::Quarantine { session: 0, ttl: 0, active: vec![1, 4] });
+        for record in records {
             let line = record.render();
             assert_eq!(JournalRecord::parse(&line).unwrap(), record, "round trip {line:?}");
         }
@@ -371,9 +500,71 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_lines() {
-        for bad in ["", "open", "open x f m", "plan 0 1", "plan 0 x - r", "wat 0 1"] {
+        for bad in [
+            "",
+            "open",
+            "open x f m",
+            "plan 0 1",
+            "plan 0 x - r",
+            "wat 0 1",
+            "guard 0 1 2",
+            "guard 0 1 2 x -",
+            "quar 0",
+            "quar 0 x 1",
+        ] {
             assert!(JournalRecord::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn guard_and_quarantine_fold_last_write_wins() {
+        let journal = SessionJournal::in_memory();
+        for record in sample_records() {
+            journal.append(record).unwrap();
+        }
+        journal
+            .append(JournalRecord::Guard {
+                session: 0,
+                prior_epoch: 2,
+                epoch: 3,
+                remaining: 8,
+                prior_active: vec![4],
+            })
+            .unwrap();
+        journal.append(JournalRecord::Quarantine { session: 0, ttl: 3, active: vec![1] }).unwrap();
+        journal.append(JournalRecord::Quarantine { session: 0, ttl: 9, active: vec![1] }).unwrap();
+        journal
+            .append(JournalRecord::Quarantine { session: 0, ttl: 2, active: vec![0, 2] })
+            .unwrap();
+        let sessions = journal.replay().unwrap();
+        let s0 = &sessions[&0];
+        assert_eq!(
+            s0.guard,
+            Some(GuardSnapshot { prior_epoch: 2, epoch: 3, remaining: 8, prior_active: vec![4] })
+        );
+        assert_eq!(s0.quarantined, vec![(vec![1], 9), (vec![0, 2], 2)]);
+        assert!(sessions[&1].guard.is_none());
+
+        // Compaction keeps open guards and live quarantine entries.
+        journal.compact().unwrap();
+        let folded = journal.replay().unwrap();
+        assert_eq!(folded[&0].guard, sessions[&0].guard);
+        assert_eq!(folded[&0].quarantined, sessions[&0].quarantined);
+
+        // A zero-remaining guard and a zero-ttl quarantine clear on replay.
+        journal
+            .append(JournalRecord::Guard {
+                session: 0,
+                prior_epoch: 2,
+                epoch: 3,
+                remaining: 0,
+                prior_active: vec![],
+            })
+            .unwrap();
+        journal.append(JournalRecord::Quarantine { session: 0, ttl: 0, active: vec![1] }).unwrap();
+        let cleared = journal.replay().unwrap();
+        assert!(cleared[&0].guard.is_none());
+        assert_eq!(cleared[&0].quarantined, vec![(vec![0, 2], 2)]);
     }
 
     #[test]

@@ -38,7 +38,15 @@ pub struct HandlerMetrics {
     /// conditional profiling probes (both sides).
     profile_work_total: Counter,
     /// `plan_switch_total{reason}` — installs by [`PlanReason`].
-    plan_switch: [Counter; 5],
+    plan_switch: [Counter; 6],
+    /// `plan_prepares_total{outcome}` — two-phase install prepare steps
+    /// by outcome (`[ready, rejected, quarantined, timeout]`).
+    plan_prepares: [Counter; 4],
+    /// `plan_rollbacks_total{reason}` — canary rollbacks (guard breach).
+    plan_rollbacks: Counter,
+    /// `plans_quarantined` — active sets currently on the decaying
+    /// quarantine blacklist.
+    plans_quarantined: Gauge,
     /// `plan_epoch` — the current plan generation.
     plan_epoch: Gauge,
     /// `stale_plan_rejected_total` — continuations refused because their
@@ -85,6 +93,10 @@ impl HandlerMetrics {
             demod_work: registry.histogram("demod_work_units", &[], &work_bounds),
             profile_work_total: registry.counter("profile_work_units_total", &[]),
             plan_switch,
+            plan_prepares: ["ready", "rejected", "quarantined", "timeout"]
+                .map(|o| registry.counter("plan_prepares_total", &[("outcome", o)])),
+            plan_rollbacks: registry.counter("plan_rollbacks_total", &[("reason", "guard")]),
+            plans_quarantined: registry.gauge("plans_quarantined", &[]),
             plan_epoch: registry.gauge("plan_epoch", &[]),
             stale_rejected: registry.counter("stale_plan_rejected_total", &[]),
             degradations: registry.counter("degradations_total", &[]),
@@ -136,6 +148,28 @@ impl HandlerMetrics {
     pub fn note_plan_switch(&self, reason: PlanReason, epoch: u64) {
         self.plan_switch[reason_index(reason)].inc();
         self.plan_epoch.set(epoch as f64);
+    }
+
+    /// Records one two-phase prepare step by its outcome label
+    /// (`ready`/`rejected`/`quarantined`/`timeout`).
+    pub fn note_prepare(&self, outcome: &str) {
+        let index = match outcome {
+            "ready" => 0,
+            "rejected" => 1,
+            "quarantined" => 2,
+            _ => 3,
+        };
+        self.plan_prepares[index].inc();
+    }
+
+    /// Records one guard-breach rollback.
+    pub fn note_rollback(&self) {
+        self.plan_rollbacks.inc();
+    }
+
+    /// Publishes the current quarantine-blacklist size.
+    pub fn note_quarantine_size(&self, entries: usize) {
+        self.plans_quarantined.set(entries as f64);
     }
 
     /// Records a stale-epoch rejection.

@@ -282,6 +282,30 @@ impl PartitionedHandler {
             .map(|(_, active)| active.clone())
     }
 
+    /// Validates a candidate active set without touching the serving
+    /// plan: it must be non-empty, name only known PSEs, and form a cut
+    /// of every target path. This is the endpoint-side check of the
+    /// two-phase `Prepare` step (DESIGN.md §16) — a candidate rejected
+    /// here never reaches [`install_plan`](Self::install_plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Continuation`] describing the first violation.
+    pub fn validate_candidate(&self, active: &[PseId]) -> Result<(), IrError> {
+        if active.is_empty() {
+            return Err(IrError::Continuation("candidate plan names no PSEs".into()));
+        }
+        let n = self.analysis.pses().len();
+        if let Some(&bad) = active.iter().find(|&&p| p >= n) {
+            return Err(IrError::Continuation(format!(
+                "candidate plan names unknown pse {bad} (handler has {n})"
+            )));
+        }
+        let staged = PartitionPlan::new(n);
+        staged.install(active);
+        staged.validate_cut(&self.analysis)
+    }
+
     /// Per-PSE weights derived from static costs (deterministic parts of
     /// lower bounds; used before any profiling data exists).
     pub fn static_weights(&self) -> Vec<u64> {

@@ -118,6 +118,22 @@ impl PartitionPlan {
         (0..self.split.len()).filter(|&i| self.is_split(i)).collect()
     }
 
+    /// Whether `active` names exactly the currently-split PSEs (order and
+    /// duplicates ignored). Lets callers skip no-op installs without
+    /// allocating through [`active`](Self::active) comparisons.
+    pub fn active_eq(&self, active: &[PseId]) -> bool {
+        let count = (0..self.split.len()).filter(|&i| self.is_split(i)).count();
+        let mut named = 0usize;
+        for i in 0..self.split.len() {
+            let listed = active.contains(&i);
+            if listed != self.is_split(i) {
+                return false;
+            }
+            named += usize::from(listed);
+        }
+        named == count && active.iter().all(|&p| p < self.split.len())
+    }
+
     /// Validates that the active set forms a *cut*: every target path of
     /// `analysis` crosses at least one active PSE edge. A plan that is not
     /// a cut would let the modulator run into a stop node.
@@ -184,6 +200,17 @@ mod tests {
         let clone = plan.clone();
         plan.install(&[0]);
         assert_eq!(clone.epoch(), 3, "clones share the epoch counter");
+    }
+
+    #[test]
+    fn active_eq_ignores_order_and_duplicates() {
+        let plan = PartitionPlan::new(4);
+        plan.install(&[0, 2]);
+        assert!(plan.active_eq(&[2, 0]));
+        assert!(plan.active_eq(&[0, 2, 2]));
+        assert!(!plan.active_eq(&[0]));
+        assert!(!plan.active_eq(&[0, 2, 3]));
+        assert!(!plan.active_eq(&[0, 2, 9]), "out-of-range id never matches");
     }
 
     #[test]

@@ -512,6 +512,307 @@ impl ReconfigUnit {
     }
 }
 
+/// Tunables for the post-commit canary window (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Envelopes the guard watches after a commit before promoting.
+    pub canary: u64,
+    /// Allowed regression over the pre-switch baseline, in percent: an
+    /// error-rate rise of more than `breach_pct / 100` absolute, or a mean
+    /// per-envelope work growth beyond `1 + breach_pct / 100` relative,
+    /// rolls the plan back.
+    pub breach_pct: f64,
+    /// Reconfiguration evaluations a quarantined active set stays on the
+    /// blacklist before it may be re-picked.
+    pub quarantine_decay: u32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig { canary: 16, breach_pct: 25.0, quarantine_decay: 32 }
+    }
+}
+
+/// Error/work accumulators over a stretch of envelopes, comparable
+/// between the pre-switch baseline and the canary window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Envelopes observed.
+    pub envelopes: u64,
+    /// Envelopes that erred (handler trap, validation failure).
+    pub errors: u64,
+    /// Total work units (latency proxy) across observed envelopes.
+    pub work: u64,
+}
+
+impl GuardStats {
+    fn record(&mut self, ok: bool, work: u64) {
+        self.envelopes += 1;
+        self.errors += u64::from(!ok);
+        self.work = self.work.saturating_add(work);
+    }
+
+    /// Fraction of observed envelopes that erred (0 when empty).
+    pub fn error_rate(&self) -> f64 {
+        if self.envelopes == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.envelopes as f64
+        }
+    }
+
+    /// Mean work units per envelope (0 when empty).
+    pub fn mean_work(&self) -> f64 {
+        if self.envelopes == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.envelopes as f64
+        }
+    }
+}
+
+/// What the guard concluded from one observed envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardVerdict {
+    /// No canary in progress; the envelope fed the baseline.
+    Idle,
+    /// Canary in progress, no breach yet; `remaining` more envelopes
+    /// until promotion.
+    Watching {
+        /// Envelopes left in the window.
+        remaining: u64,
+    },
+    /// The canary window completed without a breach: the plan is trusted
+    /// and its window statistics become the new baseline.
+    Promoted {
+        /// The promoted plan's epoch.
+        epoch: u64,
+    },
+    /// The guard breached: the owner must reinstall the prior plan and
+    /// quarantine the offender.
+    Rollback {
+        /// Epoch serving before the breaching commit.
+        prior_epoch: u64,
+        /// Active set serving before the breaching commit (the rollback
+        /// target when plan retention no longer holds `prior_epoch`).
+        prior_active: Vec<PseId>,
+        /// The breaching plan's epoch.
+        from_epoch: u64,
+        /// The breaching active set (to quarantine).
+        active: Vec<PseId>,
+        /// Envelopes observed before the breach fired.
+        observed: u64,
+    },
+}
+
+/// One in-flight canary window.
+#[derive(Debug, Clone)]
+struct CanaryWindow {
+    prior_epoch: u64,
+    prior_active: Vec<PseId>,
+    epoch: u64,
+    active: Vec<PseId>,
+    remaining: u64,
+    window: GuardStats,
+    baseline: GuardStats,
+}
+
+/// Watches the first K envelopes after a plan commit and compares their
+/// error rate and mean work against the pre-switch baseline; a breach
+/// demands rollback (tentpole part 2). Outside a canary the guard simply
+/// accumulates the serving plan's baseline.
+#[derive(Debug)]
+pub struct PlanGuard {
+    config: GuardConfig,
+    baseline: GuardStats,
+    canary: Option<CanaryWindow>,
+}
+
+impl PlanGuard {
+    /// Creates an idle guard.
+    pub fn new(config: GuardConfig) -> Self {
+        PlanGuard { config, baseline: GuardStats::default(), canary: None }
+    }
+
+    /// The guard's tunables.
+    pub fn config(&self) -> GuardConfig {
+        self.config
+    }
+
+    /// Whether a canary window is in progress.
+    pub fn in_canary(&self) -> bool {
+        self.canary.is_some()
+    }
+
+    /// The in-flight window as `(prior_epoch, prior_active, epoch,
+    /// remaining)` for journaling, or `None` when idle.
+    pub fn canary_state(&self) -> Option<(u64, &[PseId], u64, u64)> {
+        self.canary
+            .as_ref()
+            .map(|c| (c.prior_epoch, c.prior_active.as_slice(), c.epoch, c.remaining))
+    }
+
+    /// Opens a canary window for the commit of `epoch`/`active`, retaining
+    /// `prior_epoch`/`prior_active` as the rollback target. The current
+    /// baseline is snapshotted for comparison; a window already in
+    /// progress is replaced.
+    pub fn begin_canary(
+        &mut self,
+        prior_epoch: u64,
+        prior_active: Vec<PseId>,
+        epoch: u64,
+        active: Vec<PseId>,
+    ) {
+        self.canary = Some(CanaryWindow {
+            prior_epoch,
+            prior_active,
+            epoch,
+            active,
+            remaining: self.config.canary.max(1),
+            window: GuardStats::default(),
+            baseline: self.baseline,
+        });
+    }
+
+    /// Reopens a journaled canary window after restart/migration. The
+    /// pre-crash baseline is gone, so the resumed window compares against
+    /// an empty baseline (strictest interpretation: any regression
+    /// breaches).
+    pub fn resume_canary(
+        &mut self,
+        prior_epoch: u64,
+        prior_active: Vec<PseId>,
+        epoch: u64,
+        remaining: u64,
+        active: Vec<PseId>,
+    ) {
+        self.canary = Some(CanaryWindow {
+            prior_epoch,
+            prior_active,
+            epoch,
+            active,
+            remaining: remaining.max(1),
+            window: GuardStats::default(),
+            baseline: self.baseline,
+        });
+    }
+
+    /// Feeds one envelope outcome (`ok`, its work units) and returns the
+    /// guard's verdict. On [`GuardVerdict::Rollback`] the window is closed
+    /// and the baseline keeps describing the prior plan; on
+    /// [`GuardVerdict::Promoted`] the window statistics replace the
+    /// baseline.
+    pub fn observe(&mut self, ok: bool, work: u64) -> GuardVerdict {
+        let Some(canary) = &mut self.canary else {
+            self.baseline.record(ok, work);
+            return GuardVerdict::Idle;
+        };
+        canary.window.record(ok, work);
+        canary.remaining = canary.remaining.saturating_sub(1);
+        let margin = self.config.breach_pct / 100.0;
+        let error_breach = canary.window.errors > 0
+            && canary.window.error_rate() > canary.baseline.error_rate() + margin;
+        // Mean work needs a few samples before it is meaningful, and a
+        // comparison target at all.
+        let work_samples = self.config.canary.clamp(1, 4);
+        let work_breach = canary.baseline.envelopes > 0
+            && canary.window.envelopes >= work_samples
+            && canary.window.mean_work() > canary.baseline.mean_work() * (1.0 + margin);
+        if error_breach || work_breach {
+            let canary = self.canary.take().expect("canary in progress");
+            return GuardVerdict::Rollback {
+                prior_epoch: canary.prior_epoch,
+                prior_active: canary.prior_active,
+                from_epoch: canary.epoch,
+                active: canary.active,
+                observed: canary.window.envelopes,
+            };
+        }
+        if canary.remaining == 0 {
+            let canary = self.canary.take().expect("canary in progress");
+            self.baseline = canary.window;
+            return GuardVerdict::Promoted { epoch: canary.epoch };
+        }
+        GuardVerdict::Watching { remaining: canary.remaining }
+    }
+}
+
+/// A decaying blacklist of active sets that breached their canary: the
+/// owner consults it before applying a [`PlanUpdate`] so the selector
+/// cannot immediately re-pick a just-rolled-back plan. Entries expire
+/// after a fixed number of [`decay`](Self::decay) calls (one per
+/// reconfiguration evaluation that produced an update).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineList {
+    entries: Vec<(Vec<PseId>, u32)>,
+}
+
+impl QuarantineList {
+    /// An empty list.
+    pub fn new() -> Self {
+        QuarantineList::default()
+    }
+
+    /// Rebuilds a list from journaled `(active, ttl)` entries.
+    pub fn restore(entries: Vec<(Vec<PseId>, u32)>) -> Self {
+        let mut list = QuarantineList::new();
+        for (active, ttl) in entries {
+            list.quarantine(&active, ttl);
+        }
+        list
+    }
+
+    /// Blacklists `active` for `ttl` decay steps (refreshes the ttl if
+    /// already present). A zero ttl is ignored.
+    pub fn quarantine(&mut self, active: &[PseId], ttl: u32) {
+        if ttl == 0 {
+            return;
+        }
+        let key = normalized(active);
+        match self.entries.iter_mut().find(|(set, _)| *set == key) {
+            Some((_, existing)) => *existing = (*existing).max(ttl),
+            None => self.entries.push((key, ttl)),
+        }
+    }
+
+    /// Whether `active` is currently blacklisted.
+    pub fn contains(&self, active: &[PseId]) -> bool {
+        let key = normalized(active);
+        self.entries.iter().any(|(set, _)| *set == key)
+    }
+
+    /// Ages every entry by one step, dropping the expired.
+    pub fn decay(&mut self) {
+        for (_, ttl) in &mut self.entries {
+            *ttl -= 1;
+        }
+        self.entries.retain(|(_, ttl)| *ttl > 0);
+    }
+
+    /// Current entries as `(active, remaining-ttl)` for journaling.
+    pub fn entries(&self) -> &[(Vec<PseId>, u32)] {
+        &self.entries
+    }
+
+    /// Number of blacklisted sets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the blacklist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Active sets compare as sorted id lists regardless of input order.
+fn normalized(active: &[PseId]) -> Vec<PseId> {
+    let mut key = active.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
 /// A runtime cost-model operating point the [`ModelSelector`] can choose.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ModelChoice {
@@ -1207,5 +1508,101 @@ mod tests {
         }
         assert!(unit.maybe_reconfigure().unwrap().is_some(), "fresh window fires");
         assert_eq!(unit.reconfigurations(), 1);
+    }
+
+    #[test]
+    fn guard_promotes_after_clean_canary() {
+        let mut guard = PlanGuard::new(GuardConfig { canary: 3, ..GuardConfig::default() });
+        // Baseline under the old plan.
+        for _ in 0..8 {
+            assert_eq!(guard.observe(true, 10), GuardVerdict::Idle);
+        }
+        guard.begin_canary(1, vec![0], 2, vec![1]);
+        assert!(guard.in_canary());
+        assert_eq!(guard.observe(true, 10), GuardVerdict::Watching { remaining: 2 });
+        assert_eq!(guard.observe(true, 11), GuardVerdict::Watching { remaining: 1 });
+        assert_eq!(guard.observe(true, 10), GuardVerdict::Promoted { epoch: 2 });
+        assert!(!guard.in_canary());
+        // Promotion replaced the baseline with the window statistics.
+        assert_eq!(guard.observe(true, 10), GuardVerdict::Idle);
+    }
+
+    #[test]
+    fn guard_rolls_back_on_error_breach() {
+        let mut guard =
+            PlanGuard::new(GuardConfig { canary: 8, breach_pct: 25.0, ..GuardConfig::default() });
+        for _ in 0..10 {
+            guard.observe(true, 10); // clean baseline: 0% errors
+        }
+        guard.begin_canary(3, vec![0, 2], 4, vec![1]);
+        assert_eq!(guard.observe(true, 10), GuardVerdict::Watching { remaining: 7 });
+        // One error over two envelopes → 50% > 0% + 25% margin.
+        let verdict = guard.observe(false, 10);
+        assert_eq!(
+            verdict,
+            GuardVerdict::Rollback {
+                prior_epoch: 3,
+                prior_active: vec![0, 2],
+                from_epoch: 4,
+                active: vec![1],
+                observed: 2,
+            }
+        );
+        assert!(!guard.in_canary());
+    }
+
+    #[test]
+    fn guard_rolls_back_on_work_breach() {
+        let mut guard =
+            PlanGuard::new(GuardConfig { canary: 8, breach_pct: 25.0, ..GuardConfig::default() });
+        for _ in 0..10 {
+            guard.observe(true, 100);
+        }
+        guard.begin_canary(1, vec![0], 2, vec![1]);
+        // Work breach waits for min(canary, 4) samples, then compares
+        // mean work: 200 > 100 * 1.25.
+        for _ in 0..3 {
+            assert!(matches!(guard.observe(true, 200), GuardVerdict::Watching { .. }));
+        }
+        assert!(matches!(guard.observe(true, 200), GuardVerdict::Rollback { .. }));
+    }
+
+    #[test]
+    fn guard_without_baseline_skips_work_breach() {
+        // A resumed canary after restart has no baseline; elevated work
+        // alone must not breach (nothing to compare against), but errors
+        // still do.
+        let mut guard = PlanGuard::new(GuardConfig { canary: 4, ..GuardConfig::default() });
+        guard.resume_canary(1, vec![0], 2, 4, vec![1]);
+        for _ in 0..3 {
+            assert!(matches!(guard.observe(true, 1_000_000), GuardVerdict::Watching { .. }));
+        }
+        assert!(matches!(guard.observe(true, 1_000_000), GuardVerdict::Promoted { epoch: 2 }));
+        guard.resume_canary(1, vec![0], 2, 4, vec![1]);
+        assert!(matches!(guard.observe(false, 10), GuardVerdict::Rollback { .. }));
+    }
+
+    #[test]
+    fn quarantine_suppresses_until_decay() {
+        let mut list = QuarantineList::new();
+        list.quarantine(&[2, 0], 2);
+        // Order-insensitive membership.
+        assert!(list.contains(&[0, 2]));
+        assert!(!list.contains(&[0]));
+        assert_eq!(list.len(), 1);
+        list.decay();
+        assert!(list.contains(&[0, 2]), "survives one step of a two-step ttl");
+        list.decay();
+        assert!(!list.contains(&[0, 2]), "expired after ttl decay steps");
+        assert!(list.is_empty());
+        // Zero ttl is a no-op; refresh takes the max ttl.
+        list.quarantine(&[1], 0);
+        assert!(list.is_empty());
+        list.quarantine(&[1], 1);
+        list.quarantine(&[1], 5);
+        list.decay();
+        assert!(list.contains(&[1]), "refresh extended the ttl");
+        let restored = QuarantineList::restore(list.entries().to_vec());
+        assert!(restored.contains(&[1]));
     }
 }

@@ -47,6 +47,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use mpart_analysis::cache::AnalysisCache;
 use mpart_cost::CostModel;
@@ -55,7 +56,8 @@ use mpart_ir::{IrError, Program, Value};
 use mpart_obs::{Counter, Gauge, MetricValue, ObsHub, TraceEvent};
 
 use crate::journal::{SessionJournal, SessionSnapshot};
-use crate::session::{SessionConfig, SessionManager, SessionOutcome};
+use crate::session::{PrepareOutcome, SessionConfig, SessionManager, SessionOutcome};
+use crate::PseId;
 
 /// Cluster-global session id (stable across migrations; also the id the
 /// shared journal records the session under).
@@ -143,6 +145,21 @@ pub trait NodeEndpoint: Send {
     /// tail — the migration/orphan-reclaim path; returns its final ack
     /// watermark.
     fn evict(&mut self, local: usize) -> Result<u64, NodeError>;
+
+    /// Two-phase install, step 1: asks the endpoint to validate `active`
+    /// as a candidate plan for local session `local`, waiting at most
+    /// `budget`. The serving plan is untouched whatever the outcome.
+    fn prepare_plan(
+        &mut self,
+        local: usize,
+        active: &[PseId],
+        budget: Duration,
+    ) -> Result<PrepareOutcome, NodeError>;
+
+    /// Two-phase install, step 2: installs a prepared candidate on local
+    /// session `local` (opening its canary window when the node runs a
+    /// plan guard); returns the new plan epoch.
+    fn commit_plan(&mut self, local: usize, active: &[PseId]) -> Result<u64, NodeError>;
 
     /// Liveness probe; `false` counts as a heartbeat miss.
     fn heartbeat(&mut self) -> bool;
@@ -537,6 +554,57 @@ impl Router {
             }
         }
         Err(IrError::Continuation(format!("session {gid}: no healthy placement")))
+    }
+
+    /// Transactionally re-partitions routed session `gid` (DESIGN.md
+    /// §16): `Prepare` on the hosting node validates the candidate within
+    /// `budget`, and only a [`PrepareOutcome::Ready`] endpoint receives
+    /// the `Commit` (which opens the canary window on the session's
+    /// worker). Every other path — rejection, quarantine, prepare timeout,
+    /// transport failure — returns an error and leaves the old plan
+    /// serving untouched; a prepare failure never triggers failover.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown session,
+    /// [`IrError::Invalid`] for a rejected or quarantined candidate,
+    /// [`IrError::Deadline`] when prepare timed out, transport errors
+    /// from either step.
+    pub fn reconfigure_session(
+        &mut self,
+        gid: GlobalSessionId,
+        active: &[PseId],
+        budget: Duration,
+    ) -> Result<u64, IrError> {
+        let placement = self
+            .placements
+            .get(&gid)
+            .ok_or_else(|| IrError::Unresolved(format!("unknown routed session {gid}")))?;
+        let (node, local) = (placement.node, placement.local);
+        if !self.nodes[node].health.is_up() {
+            return Err(IrError::Continuation(format!(
+                "session {gid}: hosting node {node} is down"
+            )));
+        }
+        let outcome = self.nodes[node]
+            .endpoint
+            .prepare_plan(local, active, budget)
+            .map_err(|e| node_ir_error(node, "prepare", &e))?;
+        match outcome {
+            PrepareOutcome::Ready => {}
+            PrepareOutcome::Rejected(msg) => {
+                return Err(IrError::Invalid(format!("plan prepare rejected: {msg}")));
+            }
+            PrepareOutcome::Quarantined => {
+                return Err(IrError::Invalid(format!(
+                    "plan prepare rejected: {active:?} is quarantined"
+                )));
+            }
+        }
+        self.nodes[node]
+            .endpoint
+            .commit_plan(local, active)
+            .map_err(|e| node_ir_error(node, "commit", &e))
     }
 
     /// One heartbeat tick: probes every node, charges misses against the
@@ -1064,6 +1132,29 @@ impl NodeEndpoint for LocalNode {
         }
         let manager = inner.manager.as_mut().ok_or_else(down)?;
         manager.evict_session(local).map_err(NodeError::Handler)
+    }
+
+    fn prepare_plan(
+        &mut self,
+        local: usize,
+        active: &[PseId],
+        budget: Duration,
+    ) -> Result<PrepareOutcome, NodeError> {
+        let inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Err(partitioned());
+        }
+        let manager = inner.manager.as_ref().ok_or_else(down)?;
+        manager.prepare_plan(local, active, budget).map_err(NodeError::Handler)
+    }
+
+    fn commit_plan(&mut self, local: usize, active: &[PseId]) -> Result<u64, NodeError> {
+        let inner = self.inner.lock().expect("local node poisoned");
+        if inner.partitioned {
+            return Err(partitioned());
+        }
+        let manager = inner.manager.as_ref().ok_or_else(down)?;
+        manager.commit_plan(local, active).map_err(NodeError::Handler)
     }
 
     fn heartbeat(&mut self) -> bool {

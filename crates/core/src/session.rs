@@ -77,8 +77,12 @@ use crate::journal::{JournalRecord, SessionJournal, SessionSnapshot};
 use crate::modulator::Modulator;
 use crate::plan::PartitionPlan;
 use crate::profile::{DemodMessageProfile, ModMessageProfile, TriggerPolicy};
-use crate::reconfig::{ModelChoice, ModelSelector, ModelSelectorConfig, ReconfigUnit};
+use crate::reconfig::{
+    GuardConfig, GuardVerdict, ModelChoice, ModelSelector, ModelSelectorConfig, PlanGuard,
+    QuarantineList, ReconfigUnit,
+};
 use crate::{PartitionedHandler, PseId};
+use mpart_obs::pse_mask;
 
 /// Identifies one open session within a [`SessionManager`].
 pub type SessionId = usize;
@@ -124,6 +128,12 @@ pub struct SessionConfig {
     /// at session open and falls back to the reference interpreter when
     /// the handler body declines compilation.
     pub engine: EngineChoice,
+    /// When set, every plan switch runs under a [`PlanGuard`] canary
+    /// window: the first `canary` envelopes after a commit are compared
+    /// against the pre-switch baseline, a breach rolls back to the
+    /// retained prior plan, and the offender is quarantined (DESIGN.md
+    /// §16). `None` (the default) installs switches directly, as before.
+    pub guard: Option<GuardConfig>,
 }
 
 impl Default for SessionConfig {
@@ -140,6 +150,7 @@ impl Default for SessionConfig {
             promote_after: 3,
             journal: None,
             engine: EngineChoice::default(),
+            guard: None,
         }
     }
 }
@@ -208,6 +219,13 @@ impl SessionConfig {
         self.engine = engine;
         self
     }
+
+    /// Enables canary-guarded plan switches with rollback and quarantine
+    /// (see [`GuardConfig`]).
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = Some(guard);
+        self
+    }
 }
 
 /// Shed class of a delivery under backpressure: continuations carry
@@ -265,7 +283,44 @@ enum Job {
         retire: bool,
         reply: Sender<Result<u64, IrError>>,
     },
+    /// A two-phase plan-lifecycle step (prepare or commit), executed on
+    /// the owning worker so it serializes behind in-flight deliveries.
+    Plan {
+        slot: usize,
+        action: PlanAction,
+        reply: Sender<Result<PlanResponse, IrError>>,
+    },
     Stop,
+}
+
+/// The plan-lifecycle step carried by [`Job::Plan`].
+enum PlanAction {
+    /// Validate the candidate without touching the serving plan.
+    Prepare(Vec<PseId>),
+    /// Install the candidate and open its canary window.
+    Commit(Vec<PseId>),
+}
+
+/// The worker's answer to a [`Job::Plan`].
+enum PlanResponse {
+    Prepared(PrepareOutcome),
+    Committed(u64),
+}
+
+/// What the endpoint concluded about a candidate plan during the
+/// two-phase `Prepare` step (DESIGN.md §16). Only
+/// [`PrepareOutcome::Ready`] may be followed by a commit; every other
+/// outcome leaves the old plan serving untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepareOutcome {
+    /// The candidate validated: analysis present, the set is a cut, and
+    /// it is not quarantined.
+    Ready,
+    /// The candidate failed validation (reason attached).
+    Rejected(String),
+    /// The candidate is on the quarantine blacklist after a recent
+    /// guard-breach rollback.
+    Quarantined,
 }
 
 /// How a delivery entered (or failed to enter) a shard's ingress queue.
@@ -358,6 +413,10 @@ struct SessionState {
     deadletter: Arc<DeadLetterRing>,
     /// `(journal, journaled session id)` when checkpointing is on.
     journal: Option<(Arc<SessionJournal>, u64)>,
+    /// Canary guard over plan switches ([`SessionConfig::with_guard`]).
+    guard: Option<PlanGuard>,
+    /// Decaying blacklist of rolled-back active sets.
+    quarantine: QuarantineList,
     panics_modulator: Counter,
     panics_demodulator: Counter,
     quarantined_total: Counter,
@@ -389,6 +448,16 @@ impl SessionState {
         self.seq += 1;
         let seq = self.seq;
         let result = self.deliver_inner(make_event);
+        // Feed the plan guard. The envelope that itself performed a
+        // switch ran (mostly) under the old plan, so it does not count
+        // toward the new plan's canary window.
+        match &result {
+            Ok(outcome) if !outcome.reconfigured && !outcome.model_switched => {
+                self.observe_guard(true, outcome.mod_work + outcome.demod_work);
+            }
+            Ok(_) => {}
+            Err(_) => self.observe_guard(false, 0),
+        }
         match &result {
             Ok(_) => {
                 if self.degradation.record_success().is_some() {
@@ -446,6 +515,195 @@ impl SessionState {
             let _ = journal
                 .append(JournalRecord::ModelCommit { session: *id, model: label.to_string() });
         }
+    }
+
+    fn journal_id(&self) -> u64 {
+        self.journal.as_ref().map(|(_, id)| *id).unwrap_or(0)
+    }
+
+    /// Checkpoints the guard's canary window (or its absence) so a
+    /// restart resumes mid-canary with the right envelope count left.
+    fn journal_guard_state(&self) {
+        let Some(guard) = &self.guard else {
+            return;
+        };
+        let session = self.journal_id();
+        match guard.canary_state() {
+            Some((prior_epoch, prior_active, epoch, remaining)) => {
+                self.journal_append(JournalRecord::Guard {
+                    session,
+                    prior_epoch,
+                    epoch,
+                    remaining,
+                    prior_active: prior_active.to_vec(),
+                });
+            }
+            None => self.journal_append(JournalRecord::Guard {
+                session,
+                prior_epoch: 0,
+                epoch: 0,
+                remaining: 0,
+                prior_active: vec![],
+            }),
+        }
+    }
+
+    /// Endpoint-side `Prepare`: validates a candidate active set without
+    /// touching the serving plan. Counted on
+    /// `plan_prepares_total{outcome}`.
+    fn prepare_plan(&mut self, active: &[PseId]) -> PrepareOutcome {
+        let metrics = self.handler.metrics();
+        if self.quarantine.contains(active) {
+            metrics.note_prepare("quarantined");
+            return PrepareOutcome::Quarantined;
+        }
+        match self.handler.validate_candidate(active) {
+            Ok(()) => {
+                metrics.note_prepare("ready");
+                PrepareOutcome::Ready
+            }
+            Err(e) => {
+                metrics.note_prepare("rejected");
+                PrepareOutcome::Rejected(e.to_string())
+            }
+        }
+    }
+
+    /// `Commit`: installs a prepared candidate under
+    /// [`PlanReason::Install`] and opens its canary window. Re-validates
+    /// defensively — a commit that races a rollback's quarantine entry
+    /// must not land.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Invalid`] for a quarantined candidate, validation
+    /// errors from [`PartitionedHandler::validate_candidate`].
+    fn commit_plan(&mut self, active: &[PseId]) -> Result<u64, IrError> {
+        if self.quarantine.contains(active) {
+            self.handler.metrics().note_prepare("quarantined");
+            return Err(IrError::Invalid(format!("plan {active:?} is quarantined")));
+        }
+        self.handler.validate_candidate(active)?;
+        let plan = self.handler.plan();
+        if plan.active_eq(active) {
+            return Ok(plan.epoch());
+        }
+        let prior_epoch = plan.epoch();
+        let prior_active = plan.active();
+        let epoch = self.handler.install_plan_reason(active, PlanReason::Install);
+        self.reconfig.acknowledge_epoch(epoch);
+        self.checkpoint_plan();
+        if let Some(guard) = &mut self.guard {
+            guard.begin_canary(prior_epoch, prior_active, epoch, active.to_vec());
+        }
+        self.journal_guard_state();
+        Ok(epoch)
+    }
+
+    /// The single chokepoint for reconfiguration-driven plan switches
+    /// (auto-model and feedback paths): runs the local prepare checks
+    /// (quarantine, cut validation), suppresses switches while a canary
+    /// window is still being judged, installs, and opens the canary.
+    /// Returns whether a switch happened.
+    fn try_switch_plan(&mut self, active: &[PseId], reason: PlanReason) -> bool {
+        // One candidate evaluation ages the quarantine blacklist a step.
+        self.decay_quarantine();
+        if self.guard.as_ref().is_some_and(|g| g.in_canary()) {
+            return false;
+        }
+        if self.handler.plan().active_eq(active) {
+            return false;
+        }
+        let metrics = self.handler.metrics();
+        if self.quarantine.contains(active) {
+            metrics.note_prepare("quarantined");
+            return false;
+        }
+        if self.handler.validate_candidate(active).is_err() {
+            metrics.note_prepare("rejected");
+            return false;
+        }
+        metrics.note_prepare("ready");
+        let prior_epoch = self.handler.plan().epoch();
+        let prior_active = self.handler.plan().active();
+        let epoch = self.handler.install_plan_reason(active, reason);
+        self.reconfig.acknowledge_epoch(epoch);
+        if let Some(guard) = &mut self.guard {
+            guard.begin_canary(prior_epoch, prior_active, epoch, active.to_vec());
+            self.journal_guard_state();
+        }
+        true
+    }
+
+    /// Ages the quarantine blacklist one step, journaling expiries.
+    fn decay_quarantine(&mut self) {
+        if self.quarantine.is_empty() {
+            return;
+        }
+        let before: Vec<Vec<PseId>> =
+            self.quarantine.entries().iter().map(|(set, _)| set.clone()).collect();
+        self.quarantine.decay();
+        let session = self.journal_id();
+        for set in before {
+            if !self.quarantine.contains(&set) {
+                self.journal_append(JournalRecord::Quarantine { session, ttl: 0, active: set });
+            }
+        }
+        self.handler.metrics().note_quarantine_size(self.quarantine.len());
+    }
+
+    /// Feeds one envelope outcome to the guard and acts on the verdict:
+    /// promotion clears the journaled window, a breach rolls the plan
+    /// back and quarantines the offender.
+    fn observe_guard(&mut self, ok: bool, work: u64) {
+        let Some(guard) = &mut self.guard else {
+            return;
+        };
+        let in_canary = guard.in_canary();
+        match guard.observe(ok, work) {
+            GuardVerdict::Idle => {}
+            GuardVerdict::Watching { .. } => self.journal_guard_state(),
+            GuardVerdict::Promoted { .. } => {
+                if in_canary {
+                    self.journal_guard_state();
+                }
+            }
+            GuardVerdict::Rollback { prior_epoch, prior_active, from_epoch, active, observed } => {
+                self.rollback(prior_epoch, prior_active, from_epoch, active, observed);
+            }
+        }
+    }
+
+    /// Guard-breach rollback: reinstall the retained prior generation
+    /// (falling back to the journal-carried active set when the epoch
+    /// fell out of plan retention), quarantine the offender, and
+    /// checkpoint everything.
+    fn rollback(
+        &mut self,
+        prior_epoch: u64,
+        prior_active: Vec<PseId>,
+        from_epoch: u64,
+        active: Vec<PseId>,
+        observed: u64,
+    ) {
+        let target = self.handler.plan_of_epoch(prior_epoch).unwrap_or(prior_active);
+        let to_epoch = self.handler.install_plan_reason(&target, PlanReason::Rollback);
+        self.reconfig.acknowledge_epoch(to_epoch);
+        let ttl = self.guard.as_ref().map(|g| g.config().quarantine_decay).unwrap_or(0);
+        self.quarantine.quarantine(&active, ttl);
+        let metrics = self.handler.metrics();
+        metrics.note_rollback();
+        metrics.note_quarantine_size(self.quarantine.len());
+        self.handler.obs().record(TraceEvent::PlanRollback {
+            from_epoch,
+            to_epoch,
+            quarantined_mask: pse_mask(&active),
+            observed,
+        });
+        let session = self.journal_id();
+        self.journal_guard_state();
+        self.journal_append(JournalRecord::Quarantine { session, ttl, active });
+        self.checkpoint_plan();
     }
 
     fn deliver_inner(&mut self, make_event: EventFn) -> Result<SessionOutcome, IrError> {
@@ -511,12 +769,7 @@ impl SessionState {
                     self.handler.reprice(choice.instantiate(), &auto.cache, auto.limits)?;
                 self.reconfig.switch_model(analysis, choice.kind());
                 let update = self.reconfig.force_reconfigure()?;
-                if update.active != self.handler.plan().active() {
-                    let new_epoch =
-                        self.handler.install_plan_reason(&update.active, PlanReason::Reconfig);
-                    self.reconfig.acknowledge_epoch(new_epoch);
-                    reconfigured = true;
-                }
+                reconfigured = self.try_switch_plan(&update.active, PlanReason::Reconfig);
                 let obs = self.handler.obs();
                 obs.registry()
                     .counter(
@@ -534,11 +787,8 @@ impl SessionState {
         }
         if !model_switched {
             if let Some(update) = self.reconfig.maybe_reconfigure()? {
-                if update.active != self.handler.plan().active() {
-                    let new_epoch =
-                        self.handler.install_plan_reason(&update.active, PlanReason::Reconfig);
-                    self.reconfig.acknowledge_epoch(new_epoch);
-                    reconfigured = true;
+                reconfigured = self.try_switch_plan(&update.active, PlanReason::Reconfig);
+                if reconfigured {
                     self.checkpoint_plan();
                 }
             }
@@ -763,6 +1013,25 @@ impl SessionManager {
                         };
                         let _ = reply.send(result);
                     }
+                    Job::Plan { slot, action, reply } => {
+                        let result = match sessions.get_mut(slot) {
+                            Some(Some(state)) => match action {
+                                PlanAction::Prepare(active) => {
+                                    Ok(PlanResponse::Prepared(state.prepare_plan(&active)))
+                                }
+                                PlanAction::Commit(active) => {
+                                    state.commit_plan(&active).map(PlanResponse::Committed)
+                                }
+                            },
+                            Some(None) => {
+                                Err(IrError::Continuation(format!("worker slot {slot} is closed")))
+                            }
+                            None => Err(IrError::Continuation(format!(
+                                "no session in worker slot {slot}"
+                            ))),
+                        };
+                        let _ = reply.send(result);
+                    }
                     Job::Stop => break,
                 }
             }
@@ -970,6 +1239,22 @@ impl SessionManager {
                 let _ =
                     journal.append(JournalRecord::Ack { session: *jid, watermark: snap.watermark });
                 let _ = journal.append(JournalRecord::Flags { session: *jid, mask: snap.flags });
+                if let Some(gs) = &snap.guard {
+                    let _ = journal.append(JournalRecord::Guard {
+                        session: *jid,
+                        prior_epoch: gs.prior_epoch,
+                        epoch: gs.epoch,
+                        remaining: gs.remaining,
+                        prior_active: gs.prior_active.clone(),
+                    });
+                }
+                for (active, ttl) in &snap.quarantined {
+                    let _ = journal.append(JournalRecord::Quarantine {
+                        session: *jid,
+                        ttl: *ttl,
+                        active: active.clone(),
+                    });
+                }
             }
         }
         let seq = restore.map(|s| s.watermark).unwrap_or(0);
@@ -980,6 +1265,25 @@ impl SessionManager {
             });
             self.recovered += 1;
             self.metrics.sessions_recovered.set(self.recovered as f64);
+        }
+        let mut guard = self.config.guard.map(PlanGuard::new);
+        let mut quarantine = QuarantineList::new();
+        if let Some(snap) = restore {
+            quarantine = QuarantineList::restore(snap.quarantined.clone());
+            handler.metrics().note_quarantine_size(quarantine.len());
+            if let (Some(g), Some(gs)) = (guard.as_mut(), &snap.guard) {
+                // Plan epochs restart in the new process: the watched
+                // epoch is whatever the restore-install produced, and a
+                // breach falls back to the journal-carried prior active
+                // set (the old epochs no longer exist in plan retention).
+                g.resume_canary(
+                    gs.prior_epoch,
+                    gs.prior_active.clone(),
+                    handler.plan().epoch(),
+                    gs.remaining,
+                    snap.active.clone(),
+                );
+            }
         }
         let state = SessionState {
             modulator: handler.modulator(),
@@ -993,6 +1297,8 @@ impl SessionManager {
             degradation,
             deadletter: Arc::clone(&deadletter),
             journal,
+            guard,
+            quarantine,
             panics_modulator,
             panics_demodulator,
             quarantined_total,
@@ -1138,6 +1444,86 @@ impl SessionManager {
             }
         }
         Ok(Pending { rx })
+    }
+
+    /// Two-phase install, step 1: asks the session's worker to validate
+    /// `active` as a candidate plan, waiting at most `budget`. The step
+    /// serializes behind in-flight deliveries (FIFO per worker), so the
+    /// deadline genuinely bounds a busy or wedged endpoint; on timeout
+    /// the candidate is counted as `plan_prepares_total{outcome=timeout}`
+    /// and the serving plan is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown/closed session,
+    /// [`IrError::Deadline`] on timeout, [`IrError::Continuation`] if the
+    /// worker stopped.
+    pub fn prepare_plan(
+        &self,
+        session: SessionId,
+        active: &[PseId],
+        budget: Duration,
+    ) -> Result<PrepareOutcome, IrError> {
+        let entry = self.live_entry(session)?;
+        let (reply, rx) = channel();
+        self.workers[entry.worker].queue.push_control(Job::Plan {
+            slot: entry.slot,
+            action: PlanAction::Prepare(active.to_vec()),
+            reply,
+        });
+        match rx.recv_timeout(budget) {
+            Ok(Ok(PlanResponse::Prepared(outcome))) => Ok(outcome),
+            Ok(Ok(PlanResponse::Committed(_))) => {
+                Err(IrError::Invalid("mismatched plan response".into()))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(RecvTimeoutError::Timeout) => {
+                entry.handler.metrics().note_prepare("timeout");
+                Err(IrError::Deadline(format!("plan prepare exceeded its {budget:?} budget")))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(IrError::Continuation("session worker stopped".into()))
+            }
+        }
+    }
+
+    /// Two-phase install, step 2: installs a prepared candidate on the
+    /// session's worker and opens its canary window (when the manager
+    /// was configured [`SessionConfig::with_guard`]). Returns the new
+    /// plan epoch (or the current one for a no-op commit).
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Unresolved`] for an unknown/closed session, validation
+    /// or quarantine failures from the worker, [`IrError::Continuation`]
+    /// if the worker stopped.
+    pub fn commit_plan(&self, session: SessionId, active: &[PseId]) -> Result<u64, IrError> {
+        let entry = self.live_entry(session)?;
+        let (reply, rx) = channel();
+        self.workers[entry.worker].queue.push_control(Job::Plan {
+            slot: entry.slot,
+            action: PlanAction::Commit(active.to_vec()),
+            reply,
+        });
+        match rx.recv() {
+            Ok(Ok(PlanResponse::Committed(epoch))) => Ok(epoch),
+            Ok(Ok(PlanResponse::Prepared(_))) => {
+                Err(IrError::Invalid("mismatched plan response".into()))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(IrError::Continuation("session worker stopped".into())),
+        }
+    }
+
+    fn live_entry(&self, session: SessionId) -> Result<&SessionEntry, IrError> {
+        let entry = self
+            .sessions
+            .get(session)
+            .ok_or_else(|| IrError::Unresolved(format!("unknown session {session}")))?;
+        if entry.closed {
+            return Err(IrError::Unresolved(format!("session {session} is closed")));
+        }
+        Ok(entry)
     }
 
     /// Delivers one message through `session`, blocking for the outcome.

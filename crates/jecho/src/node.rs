@@ -9,8 +9,10 @@
 //!
 //! ```text
 //! open <gid> <func> <model>                         -> ok <local>
-//! restore <gid> <func> <model> <epoch> <wm> <flags> <active> -> ok <local>
+//! restore <gid> <func> <model> <epoch> <wm> <flags> <active> <guard> <quar> -> ok <local>
 //! deliver <local> <arg>...                          -> ok <outcome...>
+//! prepare <local> <budget_ms> <active>              -> ok ready | ok rejected <msg> | ok quarantined
+//! commit <local> <active>                           -> ok <epoch>
 //! close <local>                                     -> ok <watermark>
 //! evict <local>                                     -> ok <watermark>
 //! heartbeat                                         -> ok beat
@@ -43,9 +45,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use mpart::journal::SessionSnapshot;
+use mpart::journal::{GuardSnapshot, SessionSnapshot};
 use mpart::router::{GlobalSessionId, NodeEndpoint, NodeError, SessionSpec};
-use mpart::session::{SessionConfig, SessionManager, SessionOutcome};
+use mpart::session::{PrepareOutcome, SessionConfig, SessionManager, SessionOutcome};
+use mpart::PseId;
 use mpart_analysis::cache::AnalysisCache;
 use mpart_cost::{CostModel, DataSizeModel, ExecTimeModel, PowerModel};
 use mpart_ir::interp::BuiltinRegistry;
@@ -329,7 +332,7 @@ fn handle_request(shared: &ServerShared, line: &str) -> Result<String, IrError> 
             Ok(local.to_string())
         }
         "restore" => {
-            let [gid, func, model, epoch, watermark, flags, active] = rest[..] else {
+            let [gid, func, model, epoch, watermark, flags, active, guard, quar] = rest[..] else {
                 return Err(malformed("restore"));
             };
             let gid: u64 = gid.parse().map_err(|_| malformed("restore"))?;
@@ -337,17 +340,12 @@ fn handle_request(shared: &ServerShared, line: &str) -> Result<String, IrError> 
                 func: func.to_string(),
                 model: model.to_string(),
                 epoch: epoch.parse().map_err(|_| malformed("restore"))?,
-                active: if active == "-" {
-                    Vec::new()
-                } else {
-                    active
-                        .split(',')
-                        .map(|p| p.parse().map_err(|_| malformed("restore")))
-                        .collect::<Result<_, _>>()?
-                },
+                active: parse_active_set(active).map_err(|()| malformed("restore"))?,
                 reason: "migrate".into(),
                 watermark: watermark.parse().map_err(|_| malformed("restore"))?,
                 flags: flags.parse().map_err(|_| malformed("restore"))?,
+                guard: parse_guard_wire(guard).map_err(|()| malformed("restore"))?,
+                quarantined: parse_quarantine_wire(quar).map_err(|()| malformed("restore"))?,
             };
             let model = model_by_name(model)?;
             let mut guard = shared.manager.lock().expect("node poisoned");
@@ -373,6 +371,28 @@ fn handle_request(shared: &ServerShared, line: &str) -> Result<String, IrError> 
             let outcome = manager.deliver(local, move |_| Ok(args))?;
             shared.processed.fetch_add(1, Ordering::Relaxed);
             Ok(render_outcome(&outcome))
+        }
+        "prepare" => {
+            let [local, budget_ms, active] = rest[..] else { return Err(malformed("prepare")) };
+            let local: usize = local.parse().map_err(|_| malformed("prepare"))?;
+            let budget_ms: u64 = budget_ms.parse().map_err(|_| malformed("prepare"))?;
+            let active = parse_active_set(active).map_err(|()| malformed("prepare"))?;
+            let guard = shared.manager.lock().expect("node poisoned");
+            let manager = guard.as_ref().ok_or_else(node_down)?;
+            match manager.prepare_plan(local, &active, Duration::from_millis(budget_ms))? {
+                PrepareOutcome::Ready => Ok("ready".into()),
+                PrepareOutcome::Rejected(msg) => Ok(format!("rejected {msg}")),
+                PrepareOutcome::Quarantined => Ok("quarantined".into()),
+            }
+        }
+        "commit" => {
+            let [local, active] = rest[..] else { return Err(malformed("commit")) };
+            let local: usize = local.parse().map_err(|_| malformed("commit"))?;
+            let active = parse_active_set(active).map_err(|()| malformed("commit"))?;
+            let guard = shared.manager.lock().expect("node poisoned");
+            let manager = guard.as_ref().ok_or_else(node_down)?;
+            let epoch = manager.commit_plan(local, &active)?;
+            Ok(epoch.to_string())
         }
         "close" | "evict" => {
             let [local] = rest[..] else { return Err(malformed(cmd)) };
@@ -422,6 +442,79 @@ fn node_down() -> IrError {
     IrError::Continuation("node is down".into())
 }
 
+/// Renders an active-PSE set for the wire: comma-joined, `-` when empty.
+fn render_active_set(active: &[PseId]) -> String {
+    if active.is_empty() {
+        "-".into()
+    } else {
+        active.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn parse_active_set(set: &str) -> Result<Vec<PseId>, ()> {
+    if set == "-" {
+        return Ok(Vec::new());
+    }
+    set.split(',').map(|p| p.parse().map_err(|_| ())).collect()
+}
+
+/// Renders an open canary window for the migration wire:
+/// `prior_epoch:epoch:remaining:set`, or `-` when no canary is open.
+fn render_guard_wire(guard: Option<&GuardSnapshot>) -> String {
+    match guard {
+        None => "-".into(),
+        Some(g) => format!(
+            "{}:{}:{}:{}",
+            g.prior_epoch,
+            g.epoch,
+            g.remaining,
+            render_active_set(&g.prior_active)
+        ),
+    }
+}
+
+fn parse_guard_wire(token: &str) -> Result<Option<GuardSnapshot>, ()> {
+    if token == "-" {
+        return Ok(None);
+    }
+    let mut fields = token.split(':');
+    let mut num = || fields.next().ok_or(())?.parse::<u64>().map_err(|_| ());
+    let prior_epoch = num()?;
+    let epoch = num()?;
+    let remaining = num()?;
+    let prior_active = parse_active_set(fields.next().ok_or(())?)?;
+    if fields.next().is_some() {
+        return Err(());
+    }
+    Ok(Some(GuardSnapshot { prior_epoch, epoch, remaining, prior_active }))
+}
+
+/// Renders quarantine entries for the migration wire: `;`-joined
+/// `ttl:set` pairs, or `-` when the blacklist is empty.
+fn render_quarantine_wire(entries: &[(Vec<PseId>, u32)]) -> String {
+    if entries.is_empty() {
+        return "-".into();
+    }
+    entries
+        .iter()
+        .map(|(set, ttl)| format!("{ttl}:{}", render_active_set(set)))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn parse_quarantine_wire(token: &str) -> Result<Vec<(Vec<PseId>, u32)>, ()> {
+    if token == "-" {
+        return Ok(Vec::new());
+    }
+    token
+        .split(';')
+        .map(|entry| {
+            let (ttl, set) = entry.split_once(':').ok_or(())?;
+            Ok((parse_active_set(set)?, ttl.parse().map_err(|_| ())?))
+        })
+        .collect()
+}
+
 fn render_outcome(outcome: &SessionOutcome) -> String {
     format!(
         "{} {} {} {} {} {} {} {} {}",
@@ -467,7 +560,12 @@ pub struct TcpNode {
     policy: RetryPolicy,
     rng: StdRng,
     conn: Option<NodeConn>,
+    call_budget: Duration,
 }
+
+/// Default per-call response deadline: analysis on `open` can be slow,
+/// but a dead-silent node must not hang the router forever.
+const DEFAULT_CALL_BUDGET: Duration = Duration::from_secs(10);
 
 struct NodeConn {
     writer: TcpStream,
@@ -491,15 +589,29 @@ impl TcpNode {
         static INSTANCE: AtomicU64 = AtomicU64::new(0);
         let policy = policy.spread(INSTANCE.fetch_add(1, Ordering::Relaxed));
         let rng = StdRng::seed_from_u64(policy.jitter_seed);
-        TcpNode { name: name.into(), port, policy, rng, conn: None }
+        TcpNode {
+            name: name.into(),
+            port,
+            policy,
+            rng,
+            conn: None,
+            call_budget: DEFAULT_CALL_BUDGET,
+        }
+    }
+
+    /// Overrides the per-call response deadline. Every exchange arms the
+    /// socket read timeout with this budget, so a remote that hangs
+    /// mid-request surfaces as [`NodeError::Transport`] instead of
+    /// wedging the router thread.
+    #[must_use]
+    pub fn with_call_budget(mut self, budget: Duration) -> Self {
+        self.call_budget = budget.max(Duration::from_millis(1));
+        self
     }
 
     fn dial(port: u16) -> Result<NodeConn, NodeError> {
         let stream = TcpStream::connect(("127.0.0.1", port))
             .map_err(|e| NodeError::Transport(format!("connect: {e}")))?;
-        // Analysis on open can be slow; a dead-silent node should not
-        // hang the router forever either.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let reader = BufReader::new(
             stream.try_clone().map_err(|e| NodeError::Transport(format!("clone: {e}")))?,
         );
@@ -531,10 +643,15 @@ impl TcpNode {
     /// drops the connection — the *caller* decides whether a resend is
     /// safe (it is not for `deliver`).
     fn exchange(&mut self, request: &str) -> Result<String, NodeError> {
+        let budget = self.call_budget;
         let conn =
             self.conn.as_mut().ok_or_else(|| NodeError::Transport("not connected".into()))?;
         let failed = |e: std::io::Error| NodeError::Transport(format!("io: {e}"));
         let result = (|| {
+            // Armed per call, not at dial time: callers with their own
+            // deadline (prepare) tighten it without re-dialing. The
+            // timeout is a socket option, so the reader clone shares it.
+            conn.writer.set_read_timeout(Some(budget)).map_err(failed)?;
             // Request and terminator in one gathered write: one syscall,
             // and no flush-between-halves window where a peer could see a
             // newline-less partial line.
@@ -597,18 +714,16 @@ impl NodeEndpoint for TcpNode {
         spec: &SessionSpec,
         snapshot: &SessionSnapshot,
     ) -> Result<usize, NodeError> {
-        let active = if snapshot.active.is_empty() {
-            "-".to_string()
-        } else {
-            snapshot.active.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
-        };
         let request = format!(
-            "restore {gid} {} {} {} {} {} {active}",
+            "restore {gid} {} {} {} {} {} {} {} {}",
             spec.func,
             spec.model.name(),
             snapshot.epoch,
             snapshot.watermark,
             snapshot.flags,
+            render_active_set(&snapshot.active),
+            render_guard_wire(snapshot.guard.as_ref()),
+            render_quarantine_wire(&snapshot.quarantined),
         );
         let body = self.exchange_reconnecting(&request)?;
         body.trim().parse().map_err(|_| NodeError::Transport(format!("bad local id `{body}`")))
@@ -640,6 +755,40 @@ impl NodeEndpoint for TcpNode {
         self.ensure_connected()?;
         let body = self.exchange(&format!("evict {local}"))?;
         body.trim().parse().map_err(|_| NodeError::Transport(format!("bad watermark `{body}`")))
+    }
+
+    fn prepare_plan(
+        &mut self,
+        local: usize,
+        active: &[PseId],
+        budget: Duration,
+    ) -> Result<PrepareOutcome, NodeError> {
+        let request =
+            format!("prepare {local} {} {}", budget.as_millis(), render_active_set(active));
+        // Prepare never touches the serving plan, so a resend after a
+        // reconnect is safe. The client-side deadline covers the server's
+        // validation budget plus wire slack; a remote that hangs past it
+        // surfaces as a transport error and the old plan keeps serving.
+        let saved = self.call_budget;
+        self.call_budget = budget.saturating_add(Duration::from_millis(250));
+        let result = self.exchange_reconnecting(&request);
+        self.call_budget = saved;
+        let body = result?;
+        match body.trim().split_once(' ') {
+            _ if body.trim() == "ready" => Ok(PrepareOutcome::Ready),
+            _ if body.trim() == "quarantined" => Ok(PrepareOutcome::Quarantined),
+            Some(("rejected", msg)) => Ok(PrepareOutcome::Rejected(msg.to_string())),
+            _ => Err(NodeError::Transport(format!("bad prepare outcome `{body}`"))),
+        }
+    }
+
+    fn commit_plan(&mut self, local: usize, active: &[PseId]) -> Result<u64, NodeError> {
+        self.ensure_connected()?;
+        // Like `deliver`: no resend on transport failure — the node may
+        // have installed the plan (and opened its canary window) before
+        // the response was lost, and a resend would restart the canary.
+        let body = self.exchange(&format!("commit {local} {}", render_active_set(active)))?;
+        body.trim().parse().map_err(|_| NodeError::Transport(format!("bad epoch `{body}`")))
     }
 
     fn heartbeat(&mut self) -> bool {

@@ -607,6 +607,23 @@ impl SimSession {
         self.handler.obs()
     }
 
+    /// Two-phase gate for simulator plan updates: a candidate is
+    /// prepared (validated against the handler's analysis) before it is
+    /// queued; a rejected candidate never reaches `pending_plans`, so
+    /// the serving plan is untouched.
+    fn prepare_candidate(&mut self, active: &[PseId]) -> bool {
+        match self.handler.validate_candidate(active) {
+            Ok(()) => {
+                self.handler.metrics().note_prepare("ready");
+                true
+            }
+            Err(_) => {
+                self.handler.metrics().note_prepare("rejected");
+                false
+            }
+        }
+    }
+
     /// Installs every plan update whose feedback latency has elapsed by
     /// `until`, acknowledging each install to the Reconfiguration Unit so
     /// its own plans do not reset its feedback window.
@@ -702,7 +719,7 @@ impl SimSession {
                 // active until a later update gets through.
                 self.plans_dropped += 1;
                 self.wire_metrics.plan_updates_dropped.inc();
-            } else {
+            } else if self.prepare_candidate(&update.active) {
                 // The new plan reaches the source after the feedback latency.
                 self.pending_plans.push(timing.demod_end + self.feedback_latency, update.active);
                 reconfigured = true;
@@ -1024,7 +1041,7 @@ impl SimSession {
                         {
                             self.plans_dropped += 1;
                             self.wire_metrics.plan_updates_dropped.inc();
-                        } else {
+                        } else if self.prepare_candidate(&update.active) {
                             self.pending_plans
                                 .push(timing.demod_end + self.feedback_latency, update.active);
                             reconfigured = true;

@@ -291,7 +291,21 @@ impl TcpReceiver {
                         // retransmissions for no benefit.
                         let update = reconfig
                             .maybe_reconfigure()?
-                            .filter(|u| u.active != recv_handler.plan().active());
+                            .filter(|u| u.active != recv_handler.plan().active())
+                            // Two-phase gate: validate the candidate
+                            // before install — a rejected candidate never
+                            // replaces the serving plan or reaches the
+                            // sender as a plan frame.
+                            .filter(|u| match recv_handler.validate_candidate(&u.active) {
+                                Ok(()) => {
+                                    recv_handler.metrics().note_prepare("ready");
+                                    true
+                                }
+                                Err(_) => {
+                                    recv_handler.metrics().note_prepare("rejected");
+                                    false
+                                }
+                            });
                         if let Some(update) = update {
                             revision += 1;
                             // The receiver installs the plan (recording

@@ -25,6 +25,9 @@ pub enum PlanReason {
     Degraded,
     /// The degradation controller re-promoted the stashed optimized plan.
     Promoted,
+    /// The plan guard breached during its canary window and the retained
+    /// prior generation was reinstalled.
+    Rollback,
 }
 
 impl PlanReason {
@@ -36,17 +39,19 @@ impl PlanReason {
             PlanReason::Reconfig => "reconfig",
             PlanReason::Degraded => "degraded",
             PlanReason::Promoted => "promoted",
+            PlanReason::Rollback => "rollback",
         }
     }
 
     /// All reasons, for pre-registering labelled counters.
-    pub fn all() -> [PlanReason; 5] {
+    pub fn all() -> [PlanReason; 6] {
         [
             PlanReason::Initial,
             PlanReason::Install,
             PlanReason::Reconfig,
             PlanReason::Degraded,
             PlanReason::Promoted,
+            PlanReason::Rollback,
         ]
     }
 }
@@ -190,6 +195,19 @@ pub enum TraceEvent {
         /// Final ack watermark the copy reported at teardown.
         watermark: u64,
     },
+    /// The plan guard breached during a canary window: the committed plan
+    /// was retracted and the retained prior generation reinstalled (the
+    /// offending active set is quarantined against immediate re-pick).
+    PlanRollback {
+        /// Epoch of the plan that breached the guard.
+        from_epoch: u64,
+        /// Epoch the reinstalled prior plan became.
+        to_epoch: u64,
+        /// Bitmask of the quarantined (breaching) active set.
+        quarantined_mask: u64,
+        /// Canary envelopes observed before the breach.
+        observed: u64,
+    },
     /// An execution engine was installed for a handler (at session open,
     /// or on an explicit re-selection).
     EngineSelected {
@@ -223,6 +241,7 @@ impl TraceEvent {
             TraceEvent::NodeFailover { .. } => "node_failover",
             TraceEvent::NodeRejoin { .. } => "node_rejoin",
             TraceEvent::SessionClosed { .. } => "session_closed",
+            TraceEvent::PlanRollback { .. } => "plan_rollback",
             TraceEvent::EngineSelected { .. } => "engine_selected",
         }
     }
@@ -285,6 +304,12 @@ impl TraceEvent {
             TraceEvent::SessionClosed { session, watermark } => vec![
                 ("session".to_string(), Json::U64(session)),
                 ("watermark".to_string(), Json::U64(watermark)),
+            ],
+            TraceEvent::PlanRollback { from_epoch, to_epoch, quarantined_mask, observed } => vec![
+                ("from_epoch".to_string(), Json::U64(from_epoch)),
+                ("to_epoch".to_string(), Json::U64(to_epoch)),
+                ("quarantined".to_string(), mask_json(quarantined_mask)),
+                ("observed".to_string(), Json::U64(observed)),
             ],
             TraceEvent::EngineSelected { compiled, bodies, declined } => vec![
                 ("engine".to_string(), Json::str(if compiled { "compiled" } else { "interp" })),

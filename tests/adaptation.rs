@@ -400,3 +400,170 @@ fn shifting_workload_converges_within_the_hysteresis_budget() {
     assert_eq!(switches, 3, "A->B, C flip-back, D re-switch");
     mgr.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Transactional reconfiguration: rollback equivalence (DESIGN.md §16).
+// ---------------------------------------------------------------------------
+
+/// A linear handler with several splittable edges: enough distinct valid
+/// singleton plans that the guard tests can always find an alternate cut
+/// to commit and then roll back.
+const GUARD_SRC: &str = r#"
+    fn guarded(x) {
+        a = x * 3
+        b = a + 7
+        native emit(b)
+        return b
+    }
+"#;
+
+/// Baked-in seeds plus `MPART_CHAOS_SEED` (the CI chaos-matrix variable),
+/// mirroring the chaos suite's matrix helper.
+fn guard_seeds() -> Vec<u64> {
+    let mut seeds = vec![3, 11, 29];
+    if let Some(seed) =
+        std::env::var("MPART_CHAOS_SEED").ok().and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        if !seeds.contains(&seed) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// A session whose plan switch breached the guard and rolled back
+    /// must be behaviorally identical to one that never switched at all:
+    /// same per-seq results, same traps at the same seqs, and the same
+    /// final ack watermark — a rollback is transactional, not lossy.
+    #[test]
+    fn rolled_back_session_is_identical_to_a_never_switched_one(
+        canary in 1u64..6,
+        warmup in 2usize..6,
+        traps in 1usize..4,
+        tail in 1usize..6,
+    ) {
+        use std::time::Duration;
+        use method_partitioning::core::reconfig::GuardConfig;
+        use method_partitioning::core::session::{
+            PrepareOutcome, SessionConfig, SessionManager,
+        };
+        use method_partitioning::ir::interp::BuiltinRegistry;
+        use method_partitioning::ir::parse::parse_program;
+        use method_partitioning::ir::Value;
+        use proptest::prelude::*;
+
+        for seed in guard_seeds() {
+            let program = Arc::new(parse_program(GUARD_SRC).unwrap());
+            let mut receiver = BuiltinRegistry::new();
+            receiver.register_native("emit", 1, |_, _| Ok(Value::Null));
+            let open = |config: SessionConfig| {
+                let mut mgr = SessionManager::new(config);
+                let id = mgr
+                    .open_session(
+                        Arc::clone(&program),
+                        "guarded",
+                        Arc::new(DataSizeModel::new()),
+                        BuiltinRegistry::new(),
+                        receiver.clone(),
+                    )
+                    .unwrap();
+                (mgr, id)
+            };
+            // Explicit switches only: the trigger never fires on its own,
+            // so the guarded/control sessions differ exactly by the one
+            // committed (and rolled-back) plan.
+            let base = SessionConfig::default()
+                .with_workers(1)
+                .with_trigger(TriggerPolicy::Never);
+            let guard =
+                GuardConfig { canary, breach_pct: 25.0, quarantine_decay: 8 };
+            let (mut guarded, gid) = open(base.clone().with_guard(guard));
+            let (mut control, cid) = open(base);
+
+            // The delivery script both sessions replay verbatim: `warmup`
+            // seed-derived ints, `traps` type-error envelopes (a string
+            // where the handler multiplies), then `tail` more ints.
+            let mut script: Vec<Value> = Vec::new();
+            for i in 0..warmup {
+                script.push(Value::Int(((seed as i64) * 31 + i as i64) % 97));
+            }
+            for _ in 0..traps {
+                script.push(Value::str("not a number"));
+            }
+            for i in 0..tail {
+                script.push(Value::Int(((seed as i64) * 17 + i as i64) % 89));
+            }
+
+            let deliver_at = |mgr: &SessionManager, id: usize, at: usize| {
+                let event = script[at].clone();
+                mgr.deliver(id, move |_| Ok(vec![event]))
+                    .map(|o| (o.seq, o.ret))
+                    .map_err(|e| e.to_string())
+            };
+
+            // Warmup feeds the guard its pre-switch baseline on both.
+            for at in 0..warmup {
+                prop_assert_eq!(
+                    deliver_at(&guarded, gid, at),
+                    deliver_at(&control, cid, at),
+                    "seed {}: warmup envelope {} diverged", seed, at
+                );
+            }
+
+            // Two-phase switch to an alternate valid cut — guarded only.
+            let handler = Arc::clone(guarded.handler(gid).unwrap());
+            let before = handler.plan().active();
+            let n = handler.analysis().pses().len();
+            let alt = (0..n)
+                .map(|p| vec![p])
+                .find(|c| {
+                    handler.validate_candidate(c).is_ok() && !handler.plan().active_eq(c)
+                })
+                .expect("GUARD_SRC has an alternate valid cut");
+            prop_assert!(matches!(
+                guarded.prepare_plan(gid, &alt, Duration::from_secs(2)),
+                Ok(PrepareOutcome::Ready)
+            ));
+            let epoch = guarded.commit_plan(gid, &alt).unwrap();
+            prop_assert!(epoch > 0, "commit bumped the epoch");
+
+            // The traps breach the guard inside the canary window (error
+            // rate jumps from 0 to 1) and the tail runs on the restored
+            // plan; the control just replays the same script.
+            for at in warmup..script.len() {
+                prop_assert_eq!(
+                    deliver_at(&guarded, gid, at),
+                    deliver_at(&control, cid, at),
+                    "seed {}: post-commit envelope {} diverged", seed, at
+                );
+            }
+
+            // The breach rolled the guarded session back to the
+            // pre-switch plan and quarantined the breaching set.
+            prop_assert!(
+                handler.plan().active_eq(&before),
+                "seed {seed}: rollback restored {before:?}, got {:?}",
+                handler.plan().active()
+            );
+            let snapshot = handler.obs().registry().snapshot();
+            prop_assert_eq!(snapshot.counter_sum("plan_rollbacks_total"), 1);
+            prop_assert!(matches!(
+                guarded.prepare_plan(gid, &alt, Duration::from_secs(2)),
+                Ok(PrepareOutcome::Quarantined)
+            ));
+
+            // Ack watermarks are identical and contiguous: traps consumed
+            // a seq but never acked, on both sides equally.
+            let expected = (warmup + traps + tail) as u64;
+            let guarded_mark = guarded.close_session(gid).unwrap();
+            let control_mark = control.close_session(cid).unwrap();
+            prop_assert_eq!(guarded_mark, control_mark);
+            prop_assert_eq!(guarded_mark, expected);
+            guarded.shutdown();
+            control.shutdown();
+        }
+    }
+}

@@ -487,10 +487,23 @@ fn route_cluster(
     nodes_n: usize,
     sessions: usize,
 ) -> (Vec<LocalNode>, Router, Vec<u64>, Arc<AnalysisCache>) {
+    route_cluster_with(nodes_n, sessions, None)
+}
+
+/// [`route_cluster`] with an optional plan guard armed on every node —
+/// the §16 transactional-reconfiguration drills.
+fn route_cluster_with(
+    nodes_n: usize,
+    sessions: usize,
+    guard: Option<method_partitioning::core::reconfig::GuardConfig>,
+) -> (Vec<LocalNode>, Router, Vec<u64>, Arc<AnalysisCache>) {
     let program = Arc::new(parse_program(ROUTE_SRC).unwrap());
     let journal = Arc::new(SessionJournal::in_memory());
     let cache = Arc::new(AnalysisCache::new(16));
-    let config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    let mut config = SessionConfig::default().with_journal(Arc::clone(&journal));
+    if let Some(g) = guard {
+        config = config.with_guard(g);
+    }
     let nodes: Vec<LocalNode> = (0..nodes_n)
         .map(|i| LocalNode::new(format!("n{i}"), config.clone(), Arc::clone(&cache)))
         .collect();
@@ -841,5 +854,282 @@ fn close_during_partition_never_resurrects_the_session() {
             gids.len() - 1,
             "seed {seed}: exactly the closed session's slot was released cluster-wide"
         );
+    }
+}
+
+// --------------------------------------------------------------------
+// Transactional reconfiguration drills (DESIGN.md §16): prepare
+// timeouts, guard-breach rollbacks, and mid-canary node death.
+// --------------------------------------------------------------------
+
+use std::time::Duration;
+
+use method_partitioning::core::reconfig::GuardConfig;
+use method_partitioning::core::session::SessionManager;
+use mpart::PartitionedHandler;
+
+/// A reference analysis of the routed handler: the cluster nodes all run
+/// the same deployment, so enumerating alternate valid cuts here is
+/// enumerating theirs.
+fn alternate_cut(program: &Arc<method_partitioning::ir::Program>) -> Vec<usize> {
+    let handler = PartitionedHandler::analyze(
+        Arc::clone(program),
+        "route_handle",
+        Arc::new(DataSizeModel::new()),
+    )
+    .unwrap();
+    let n = handler.analysis().pses().len();
+    (0..n)
+        .map(|p| vec![p])
+        .find(|c| handler.validate_candidate(c).is_ok() && !handler.plan().active_eq(c))
+        .expect("ROUTE_SRC has an alternate valid cut")
+}
+
+/// A prepare that cannot finish inside its budget times out without
+/// touching the serving plan: the worker is pinned by a slow in-flight
+/// delivery, the Plan job queues behind it (FIFO), and the manager's
+/// deadline fires. Service resumes on the old plan as if nothing
+/// happened, and the timeout is counted.
+#[test]
+fn prepare_timeout_leaves_the_serving_plan_untouched() {
+    let src = r#"
+        fn slow(x) {
+            y = x * 2
+            native nap(y)
+            return y
+        }
+    "#;
+    let program = Arc::new(parse_program(src).unwrap());
+    let mut receiver = BuiltinRegistry::new();
+    receiver.register_native("nap", 1, |_, args| {
+        if matches!(args.first(), Some(Value::Int(v)) if *v < 0) {
+            std::thread::sleep(Duration::from_millis(400));
+        }
+        Ok(Value::Null)
+    });
+    let mut mgr = SessionManager::new(
+        SessionConfig::default().with_workers(1).with_guard(GuardConfig::default()),
+    );
+    let id = mgr
+        .open_session(
+            Arc::clone(&program),
+            "slow",
+            Arc::new(DataSizeModel::new()),
+            BuiltinRegistry::new(),
+            receiver,
+        )
+        .unwrap();
+    mgr.deliver(id, |_| Ok(vec![Value::Int(3)])).unwrap();
+    let handler = Arc::clone(mgr.handler(id).unwrap());
+    let before = handler.plan().active();
+    let epoch_before = handler.plan().epoch();
+
+    // Pin the worker: a negative frame naps 400ms inside the handler.
+    let pending = mgr.submit(id, |_| Ok(vec![Value::Int(-1)])).unwrap();
+    let n = handler.analysis().pses().len();
+    let alt = (0..n)
+        .map(|p| vec![p])
+        .find(|c| handler.validate_candidate(c).is_ok() && !handler.plan().active_eq(c))
+        .expect("slow handler has an alternate valid cut");
+    let err = mgr.prepare_plan(id, &alt, Duration::from_millis(40)).unwrap_err();
+    assert!(
+        matches!(err, method_partitioning::ir::IrError::Deadline(_)),
+        "a wedged prepare surfaces as a deadline, got {err}"
+    );
+    pending.wait().unwrap();
+
+    // The old plan never stopped serving and was never replaced.
+    assert_eq!(handler.plan().active(), before);
+    assert_eq!(handler.plan().epoch(), epoch_before);
+    let out = mgr.deliver(id, |_| Ok(vec![Value::Int(5)])).unwrap();
+    assert_eq!(out.ret, Some(Value::Int(10)));
+    let snapshot = handler.obs().registry().snapshot();
+    assert_eq!(
+        snapshot
+            .metrics
+            .iter()
+            .find(|m| m.identity() == "plan_prepares_total{outcome=\"timeout\"}")
+            .map(|m| match m.value {
+                method_partitioning::obs::MetricValue::Counter(v) => v,
+                _ => 0,
+            }),
+        Some(1),
+        "the timeout was counted"
+    );
+    assert_eq!(snapshot.counter_sum("plan_rollbacks_total"), 0);
+    mgr.shutdown();
+}
+
+/// Satellite: a dead-silent remote during prepare surfaces as a
+/// transport error inside the per-call deadline — never a wedge. The
+/// "node" here is a raw listener that accepts and then says nothing.
+#[test]
+fn hung_remote_prepare_fails_fast_as_transport() {
+    use method_partitioning::core::router::{NodeEndpoint, NodeError};
+    use method_partitioning::jecho::node::TcpNode;
+    use method_partitioning::jecho::RetryPolicy;
+
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let port = listener.local_addr().unwrap().port();
+    let hold = std::thread::spawn(move || {
+        // Accept and hold the sockets open without ever responding.
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream);
+            if held.len() >= 4 {
+                break;
+            }
+        }
+        held
+    });
+    let policy = RetryPolicy {
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(5),
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let mut node = TcpNode::new("mute", port, policy);
+    let started = std::time::Instant::now();
+    let err = node.prepare_plan(0, &[1], Duration::from_millis(80)).unwrap_err();
+    assert!(matches!(err, NodeError::Transport(_)), "hung remote: {err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the per-call deadline bounded the hang: {:?}",
+        started.elapsed()
+    );
+    drop(node);
+    let _ = std::net::TcpStream::connect(("127.0.0.1", port));
+    let _ = std::net::TcpStream::connect(("127.0.0.1", port));
+    let _ = hold.join();
+}
+
+/// The §16 acceptance drill: a guard-breaching plan commits, trips the
+/// canary, rolls back automatically, and lands in quarantine — with zero
+/// envelope loss and contiguous ack watermarks across
+/// prepare → commit → rollback, per the exactly-once oracle.
+#[test]
+fn guard_breach_rolls_back_and_quarantines_across_the_cluster() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let guard = GuardConfig { canary: 6, breach_pct: 25.0, quarantine_decay: 16 };
+        let (_nodes, mut router, gids, _cache) = route_cluster_with(3, 6, Some(guard));
+        let program = Arc::new(parse_program(ROUTE_SRC).unwrap());
+        let alt = alternate_cut(&program);
+        let victim = gids[(seed % gids.len() as u64) as usize];
+
+        let plan = NodeFaultPlan::new();
+        let nodes: Vec<LocalNode> = Vec::new();
+        let first = drive_routed(&mut router, &nodes, &gids, &plan, 0, 6);
+
+        // Two-phase switch on the victim session: prepared, committed,
+        // canary open.
+        let epoch = router.reconfigure_session(victim, &alt, Duration::from_secs(2)).unwrap();
+        assert!(epoch > 0, "seed {seed}: commit bumped the epoch");
+
+        // One breaching envelope: a string where the handler multiplies.
+        let trap = router
+            .deliver(victim, vec![Value::str("boom"), Value::Int(victim as i64)])
+            .unwrap_err();
+        assert!(format!("{trap}").contains('*'), "seed {seed}: the trap crossed: {trap}");
+
+        // The guard rolled the plan back and quarantined the set: an
+        // immediate re-commit of the same cut is refused at prepare.
+        let again = router.reconfigure_session(victim, &alt, Duration::from_secs(2)).unwrap_err();
+        assert!(
+            format!("{again}").contains("quarantined"),
+            "seed {seed}: the breaching set is blacklisted: {again}"
+        );
+
+        // Service continues uninterrupted for everyone.
+        let second = drive_routed(&mut router, &nodes, &gids, &plan, 6, 6);
+
+        // Exactly-once across the whole episode: the victim's successful
+        // seqs are contiguous except for the one dead-lettered trap (seq
+        // 7 consumed, never acked, never lost — it is quarantined); every
+        // other session is untouched.
+        for gid in &gids {
+            let mut stream = first[gid].clone();
+            stream.extend(second[gid].iter().copied());
+            let seqs: Vec<u64> = stream.iter().map(|(s, _)| *s).collect();
+            let expected: Vec<u64> =
+                if *gid == victim { (1..=6).chain(8..=13).collect() } else { (1..=12).collect() };
+            assert_eq!(seqs, expected, "seed {seed}: session {gid} numbering");
+            for (i, (_, ret)) in stream.iter().enumerate() {
+                let round = i;
+                assert_eq!(
+                    *ret,
+                    3 * round as i64 + *gid as i64,
+                    "seed {seed}: session {gid} result identity"
+                );
+            }
+        }
+        let stats = router.cluster_stats();
+        let sum = |name: &str| {
+            stats.iter().filter(|(n, _)| n.starts_with(name)).map(|(_, v)| *v).sum::<f64>()
+        };
+        assert_eq!(sum("plan_rollbacks_total"), 1.0, "seed {seed}: one breach, one rollback");
+        assert_eq!(sum("plans_quarantined"), 1.0, "seed {seed}: the set is quarantined");
+        let prepared_ready: f64 = stats
+            .iter()
+            .filter(|(n, _)| {
+                n.starts_with("plan_prepares_total") && n.contains("outcome=\"ready\"")
+            })
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(prepared_ready >= 1.0, "seed {seed}: the commit was prepared first");
+    }
+}
+
+/// Mid-canary node death: the canary window and quarantine entries are
+/// journaled, so a session that dies mid-canary resumes its watch on the
+/// failover host and still rolls back to the journal-carried prior plan
+/// when the breach lands after migration.
+#[test]
+fn mid_canary_node_kill_resumes_the_guard_on_failover() {
+    for seed in seed_matrix(&[1, 7, 42]) {
+        let guard = GuardConfig { canary: 8, breach_pct: 25.0, quarantine_decay: 16 };
+        let (nodes, mut router, gids, cache) = route_cluster_with(3, 6, Some(guard));
+        let program = Arc::new(parse_program(ROUTE_SRC).unwrap());
+        let alt = alternate_cut(&program);
+        let home = (seed % 3) as usize;
+        let victim = *gids.iter().find(|g| (**g % 3) as usize == home).unwrap();
+        let misses_after_open = cache.misses();
+
+        let plan = NodeFaultPlan::new();
+        let _warm = drive_routed(&mut router, &nodes, &gids, &plan, 0, 4);
+
+        // Open the canary, burn one watched envelope, then kill the
+        // hosting node with the window still open.
+        router.reconfigure_session(victim, &alt, Duration::from_secs(2)).unwrap();
+        let out = router.deliver(victim, vec![Value::Int(100), Value::Int(victim as i64)]).unwrap();
+        assert_eq!(out.seq, 5, "seed {seed}: one canary envelope before the crash");
+        nodes[home].kill();
+
+        // The next delivery fails over; the restored session is still
+        // mid-canary (journaled guard state), so the trap that follows
+        // breaches and rolls back to the journal-carried prior plan.
+        let out = router.deliver(victim, vec![Value::Int(101), Value::Int(victim as i64)]).unwrap();
+        assert_eq!(out.seq, 6, "seed {seed}: watermark carried over the failover");
+        let trap = router
+            .deliver(victim, vec![Value::str("boom"), Value::Int(victim as i64)])
+            .unwrap_err();
+        assert!(format!("{trap}").contains('*'), "seed {seed}: {trap}");
+        let again = router.reconfigure_session(victim, &alt, Duration::from_secs(2)).unwrap_err();
+        assert!(
+            format!("{again}").contains("quarantined"),
+            "seed {seed}: quarantine survived the migration: {again}"
+        );
+
+        // Service, numbering, and zero re-analysis all hold.
+        let out = router.deliver(victim, vec![Value::Int(5), Value::Int(victim as i64)]).unwrap();
+        assert_eq!(out.seq, 8, "seed {seed}: the trap consumed seq 7, nothing was lost");
+        assert_eq!(out.ret, Some(Value::Int(15 + victim as i64)));
+        assert_eq!(cache.misses(), misses_after_open, "seed {seed}: zero re-analysis");
+        let stats = router.cluster_stats();
+        let rollbacks: f64 = stats
+            .iter()
+            .filter(|(n, _)| n.starts_with("plan_rollbacks_total"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(rollbacks, 1.0, "seed {seed}: the resumed canary rolled back once");
     }
 }

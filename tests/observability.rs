@@ -57,8 +57,11 @@ const GOLDEN: &[&str] = &[
     "marshal_copied_bytes_total",
     "mod_work_units",
     "plan_epoch",
+    "plan_prepares_total{outcome}",
+    "plan_rollbacks_total{reason}",
     "plan_switch_total{reason}",
     "plan_updates_dropped_total",
+    "plans_quarantined",
     "profile_work_units_total",
     "promotions_total",
     "quarantined_total",
